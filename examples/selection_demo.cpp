@@ -1,0 +1,66 @@
+// selection_demo: find an exact order statistic at the center of the mesh
+// in ~D steps (Section 4.3 upper bound) and compare against the Theorem 4.5
+// lower-bound coefficient.
+//
+//   $ ./selection_demo --d=3 --n=16
+//   $ ./selection_demo --d=2 --n=64 --rank=100
+#include <cstdio>
+
+#include "core/mdmesh.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace mdmesh;
+  Cli cli("selection_demo", "median/order-statistic selection at the center");
+  cli.AddInt("d", 3, "dimension");
+  cli.AddInt("n", 16, "side length");
+  cli.AddInt("g", 0, "blocks per side (0 = auto)");
+  cli.AddInt("rank", -1, "target rank (-1 = median)");
+  cli.AddInt("seed", 5, "rng seed");
+  if (!cli.Parse(argc, argv)) return 2;
+
+  MeshSpec spec{static_cast<int>(cli.GetInt("d")),
+                static_cast<int>(cli.GetInt("n")), Wrap::kMesh};
+  Topology topo = spec.Build();
+  BlockGrid grid(topo, cli.GetInt("g") > 0 ? static_cast<int>(cli.GetInt("g"))
+                                           : DefaultBlocksPerSide(spec));
+  Network net(topo);
+  SortOptions opts;
+  opts.g = grid.blocks_per_side();
+  opts.seed = static_cast<std::uint64_t>(cli.GetInt("seed"));
+  FillInput(net, grid, 1, InputKind::kRandom, opts.seed);
+  GroundTruth truth = CaptureGroundTruth(net);
+
+  std::int64_t target = cli.GetInt("rank");
+  if (target < 0) target = (topo.size() - 1) / 2;
+  if (target >= topo.size()) {
+    std::fprintf(stderr, "rank out of range (N = %lld)\n",
+                 static_cast<long long>(topo.size()));
+    return 2;
+  }
+
+  SelectResult result = SelectAtCenter(net, grid, opts, target);
+  const bool correct =
+      result.found &&
+      result.selected_key == truth[static_cast<std::size_t>(target)].first;
+
+  std::printf("selecting rank %lld of %lld keys on %s (D = %lld)\n",
+              static_cast<long long>(target),
+              static_cast<long long>(topo.size()), spec.ToString().c_str(),
+              static_cast<long long>(topo.Diameter()));
+  std::printf("  candidates routed to the center block: %lld "
+              "(rank window +/- %lld)\n",
+              static_cast<long long>(result.candidates),
+              static_cast<long long>(result.margin));
+  std::printf("  routing steps: %lld = %.3f x D (upper bound: D + o(n))\n",
+              static_cast<long long>(result.routing_steps),
+              result.RatioToDiameter(topo.Diameter()));
+  std::printf("  result: key %llu — %s\n",
+              static_cast<unsigned long long>(result.selected_key),
+              correct ? "matches ground truth" : "WRONG");
+  std::printf("  Theorem 4.5: for large d, selection needs >= %.4f x D "
+              "(eps = 0.05) — the gap to our %.3f x D is the open band\n",
+              SelectionLowerCoefficient(0.05),
+              result.RatioToDiameter(topo.Diameter()));
+  return correct ? 0 : 1;
+}

@@ -1,0 +1,30 @@
+#include "bounds/bisection.h"
+
+#include <cmath>
+
+namespace mdmesh {
+
+std::int64_t BisectionWidth(const Topology& topo) {
+  const std::int64_t face = IPow(topo.side(), topo.dim() - 1);
+  return topo.torus() ? 2 * face : face;
+}
+
+double KkBisectionBound(const Topology& topo, std::int64_t k) {
+  // k*N/2 packets must cross; each step moves at most one packet per
+  // directed crossing link (2 * width of them, one per direction... only
+  // the direction toward the other half helps, so `width` per step per
+  // direction). Worst case: all packets cross one way -> k*N/2 / width.
+  const double crossing = static_cast<double>(k) *
+                          static_cast<double>(topo.size()) / 2.0;
+  return crossing / static_cast<double>(BisectionWidth(topo));
+}
+
+std::int64_t BisectionCrossoverK(const Topology& topo, double c) {
+  const double target = c * static_cast<double>(topo.Diameter());
+  for (std::int64_t k = 1; k <= 1 << 20; ++k) {
+    if (KkBisectionBound(topo, k) >= target) return k;
+  }
+  return -1;
+}
+
+}  // namespace mdmesh

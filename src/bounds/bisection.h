@@ -1,0 +1,37 @@
+// Bisection lower bounds for k-k routing and sorting (paper, Section 1.1).
+//
+// Cutting the network across its middle in one dimension leaves two halves
+// of N/2 processors joined by n^(d-1) bidirectional links on the mesh (twice
+// that on the torus, which also wraps around). A k-k problem may require
+// all k*N/2 packets of one half to cross, giving lower bounds of kn/2 steps
+// on the mesh and kn/4 on the torus — the bounds that the optimal k-k
+// algorithms of [5, 6, 12] match for k >= 4d. Our k-k corollaries
+// (3.1.1/3.3.1) live in the small-k regime where the diameter term
+// dominates; the calculators below quantify the crossover.
+#pragma once
+
+#include <cstdint>
+
+#include "meshsim/topology.h"
+
+namespace mdmesh {
+
+/// Bidirectional links crossing the central bisection of one dimension:
+/// n^(d-1) on the mesh, 2*n^(d-1) on the torus.
+std::int64_t BisectionWidth(const Topology& topo);
+
+/// The k-k routing/sorting bisection bound in steps: k*N/2 packets over
+/// 2 * width directed link-capacity per step => k*n/2 (mesh), k*n/4 (torus).
+double KkBisectionBound(const Topology& topo, std::int64_t k);
+
+/// The diameter-type lower bound for the paper's algorithms, for comparison.
+inline double DiameterBound(const Topology& topo) {
+  return static_cast<double>(topo.Diameter());
+}
+
+/// Smallest k at which the bisection bound overtakes c*D (the crossover
+/// between the diameter-dominated small-k regime of Corollary 3.1.1 and the
+/// bisection-dominated large-k regime of [5, 6, 12]).
+std::int64_t BisectionCrossoverK(const Topology& topo, double c);
+
+}  // namespace mdmesh

@@ -1,0 +1,57 @@
+#include "bounds/broadcast.h"
+
+#include <algorithm>
+
+namespace mdmesh {
+
+std::int64_t SteinerLowerBound(const Topology& topo,
+                               const std::vector<ProcId>& terminals) {
+  if (terminals.size() < 2) return 0;
+  const int d = topo.dim();
+  const int n = topo.side();
+  std::int64_t semi_perimeter = 0;
+  for (int dim = 0; dim < d; ++dim) {
+    const std::int64_t stride = IPow(n, dim);
+    if (!topo.torus()) {
+      std::int32_t lo = n;
+      std::int32_t hi = -1;
+      for (ProcId p : terminals) {
+        const auto c = static_cast<std::int32_t>((p / stride) % n);
+        lo = std::min(lo, c);
+        hi = std::max(hi, c);
+      }
+      semi_perimeter += hi - lo;
+    } else {
+      // Ring span: n minus the largest gap between consecutive occupied
+      // coordinates (the tree can route around the gap).
+      std::vector<std::int32_t> coords;
+      coords.reserve(terminals.size());
+      for (ProcId p : terminals) {
+        coords.push_back(static_cast<std::int32_t>((p / stride) % n));
+      }
+      std::sort(coords.begin(), coords.end());
+      coords.erase(std::unique(coords.begin(), coords.end()), coords.end());
+      std::int64_t largest_gap =
+          coords.front() + n - coords.back();  // wraparound gap
+      for (std::size_t i = 1; i < coords.size(); ++i) {
+        largest_gap = std::max<std::int64_t>(largest_gap,
+                                             coords[i] - coords[i - 1]);
+      }
+      semi_perimeter += n - largest_gap;
+    }
+  }
+  const auto star = static_cast<std::int64_t>(terminals.size()) - 1;
+  return std::max(semi_perimeter, star);
+}
+
+double CopySpreadStepBound(const Topology& topo, std::int64_t spread) {
+  const int d = topo.dim();
+  const std::int64_t N = topo.size();
+  const std::int64_t links =
+      topo.torus() ? 2ll * d * N
+                   : 2ll * d * N * (topo.side() - 1) / topo.side();
+  return static_cast<double>(N) * static_cast<double>(spread) /
+         static_cast<double>(links);
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,42 @@
+// Broadcast-tree lower bounds (paper, Section 4.2 proof sketch).
+//
+// Theorem 4.3's argument needs: "the number of communication steps required
+// to route copies of a packet to a number of locations is lower-bounded by
+// the length of a minimal 'broadcast tree' connecting these locations."
+// A minimal broadcast tree in the L1 mesh is a rectilinear Steiner tree;
+// computing its exact length is NP-hard, so the bound is applied through
+// two classic, efficiently computable lower bounds:
+//
+//   * bounding-box semi-perimeter — any connected subgraph touching all
+//     terminals spans their coordinate ranges in every dimension;
+//   * the star/count bound — a tree with t terminals has >= t-1 edges, and
+//     every edge is one unit of communication.
+//
+// The edge-capacity form of the theorem then says: a packet that must leave
+// copies at locations L pays at least SteinerLowerBound(L) packet-moves in
+// total, so the network-wide move budget (links * steps) caps how many
+// well-spread copies every packet can afford.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "meshsim/topology.h"
+
+namespace mdmesh {
+
+/// max(semi-perimeter of the bounding box, |terminals| - 1); 0 for fewer
+/// than two terminals. A valid lower bound on the rectilinear Steiner tree
+/// length over the given processors (mesh metric; on tori the box is taken
+/// the short way around per dimension).
+std::int64_t SteinerLowerBound(const Topology& topo,
+                               const std::vector<ProcId>& terminals);
+
+/// The aggregate form used by Theorem 4.3: if every one of the N packets
+/// spreads copies over terminals that pairwise span distance >= spread, the
+/// total packet-moves are >= N * spread, so
+///     steps >= N * spread / links.
+/// Returns that step bound.
+double CopySpreadStepBound(const Topology& topo, std::int64_t spread);
+
+}  // namespace mdmesh

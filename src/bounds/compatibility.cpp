@@ -1,0 +1,86 @@
+#include "bounds/compatibility.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace mdmesh {
+namespace {
+
+struct Span {
+  std::int64_t min_idx = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max_idx = -1;
+};
+
+/// Index span of every hyperplane (dim j, value c), laid out as spans[j*n+c].
+std::vector<Span> HyperplaneSpans(const Topology& topo,
+                                  const IndexingScheme& scheme) {
+  const int d = topo.dim();
+  const int n = topo.side();
+  std::vector<Span> spans(static_cast<std::size_t>(d) * static_cast<std::size_t>(n));
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    const Point c = topo.Coords(p);
+    const std::int64_t idx = scheme.Index(c);
+    for (int j = 0; j < d; ++j) {
+      Span& s = spans[static_cast<std::size_t>(j) * static_cast<std::size_t>(n) +
+                      static_cast<std::size_t>(c[static_cast<std::size_t>(j)])];
+      s.min_idx = std::min(s.min_idx, idx);
+      s.max_idx = std::max(s.max_idx, idx);
+    }
+  }
+  return spans;
+}
+
+bool Covered(const std::vector<Span>& spans, std::int64_t N, std::int64_t w) {
+  // A hyperplane H fits windows starting at i in [max-w+1, min]; the union
+  // of these intervals must cover [0, N-w].
+  std::vector<std::pair<std::int64_t, std::int64_t>> intervals;
+  intervals.reserve(spans.size());
+  for (const Span& s : spans) {
+    const std::int64_t lo = std::max<std::int64_t>(0, s.max_idx - w + 1);
+    const std::int64_t hi = s.min_idx;
+    if (lo <= hi) intervals.emplace_back(lo, hi);
+  }
+  std::sort(intervals.begin(), intervals.end());
+  std::int64_t reach = -1;  // highest start covered so far (contiguously)
+  for (const auto& [lo, hi] : intervals) {
+    if (lo > reach + 1) break;
+    reach = std::max(reach, hi);
+    if (reach >= N - w) return true;
+  }
+  return reach >= N - w;
+}
+
+}  // namespace
+
+bool WindowsContainHyperplane(const Topology& topo,
+                              const IndexingScheme& scheme, std::int64_t w) {
+  return Covered(HyperplaneSpans(topo, scheme), topo.size(), w);
+}
+
+CompatibilityResult CheckCompatibility(const Topology& topo,
+                                       const IndexingScheme& scheme) {
+  const auto spans = HyperplaneSpans(topo, scheme);
+  const std::int64_t N = topo.size();
+  std::int64_t lo = 1;
+  std::int64_t hi = N;
+  // Coverage is monotone in w: larger windows only widen every interval and
+  // shrink the range that must be covered.
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (Covered(spans, N, mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  CompatibilityResult result;
+  result.min_window = lo;
+  result.compatible = lo < N;
+  result.beta = std::log(static_cast<double>(lo)) /
+                (topo.dim() * std::log(static_cast<double>(topo.side())));
+  return result;
+}
+
+}  // namespace mdmesh

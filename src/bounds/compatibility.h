@@ -1,0 +1,40 @@
+// Compatible indexing schemes (paper, Section 4 definition).
+//
+// An indexing scheme I is COMPATIBLE if there is beta < 1 such that every
+// index window {i, ..., i + n^(beta d) - 1} contains a complete
+// (d-1)-dimensional subnetwork of side n (an axis-aligned hyperplane
+// x_j = c). Intuition: a joker zone of n^(beta d) keys can steer a packet's
+// destination anywhere within such a hyperplane — the teeth of the Section 4
+// lower bounds.
+//
+// The checker computes the MINIMAL window size w* for which the property
+// holds: a hyperplane H "fits" a window starting at i iff
+// i <= min(I(H)) and max(I(H)) < i + w, i.e. i in
+// [max(I(H)) - w + 1, min(I(H))]; the scheme satisfies the property for w
+// iff these intervals cover every window start in [0, n^d - w]. w* is found
+// by binary search (coverage is monotone in w) and reported together with
+// the induced beta* = log(w*) / (d log n). Compatible <=> w* < n^d
+// (beta* < 1); the paper's schemes all give w* ~ 2 n^(d-1).
+#pragma once
+
+#include <cstdint>
+
+#include "meshsim/indexing.h"
+#include "meshsim/topology.h"
+
+namespace mdmesh {
+
+struct CompatibilityResult {
+  bool compatible = false;
+  std::int64_t min_window = 0;  ///< w*: smallest window size that works
+  double beta = 1.0;            ///< log(w*) / (d log n)
+};
+
+CompatibilityResult CheckCompatibility(const Topology& topo,
+                                       const IndexingScheme& scheme);
+
+/// Whether windows of size `w` suffice (the raw predicate behind w*).
+bool WindowsContainHyperplane(const Topology& topo,
+                              const IndexingScheme& scheme, std::int64_t w);
+
+}  // namespace mdmesh

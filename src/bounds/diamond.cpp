@@ -1,0 +1,159 @@
+#include "bounds/diamond.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mdmesh {
+
+std::vector<double> CenterDistanceDistribution(int d, int n) {
+  assert(d >= 1 && n >= 1);
+  // One coordinate: half-distance |2c - (n-1)| for c in [n]; values range
+  // over [0, n-1].
+  std::vector<double> single(static_cast<std::size_t>(n), 0.0);
+  for (int c = 0; c < n; ++c) {
+    int h = std::abs(2 * c - (n - 1));
+    single[static_cast<std::size_t>(h)] += 1.0;
+  }
+
+  // d-fold convolution.
+  std::vector<double> dist = single;
+  for (int i = 1; i < d; ++i) {
+    std::vector<double> next(dist.size() + static_cast<std::size_t>(n) - 1, 0.0);
+    for (std::size_t a = 0; a < dist.size(); ++a) {
+      if (dist[a] == 0.0) continue;
+      for (std::size_t b = 0; b < single.size(); ++b) {
+        if (single[b] == 0.0) continue;
+        next[a + b] += dist[a] * single[b];
+      }
+    }
+    dist.swap(next);
+  }
+  assert(dist.size() == static_cast<std::size_t>(d) * static_cast<std::size_t>(n - 1) + 1);
+  return dist;
+}
+
+double DiamondVolume(int d, int n, double radius) {
+  if (radius < 0) return 0.0;
+  const auto dist = CenterDistanceDistribution(d, n);
+  const auto cap = static_cast<std::int64_t>(std::floor(2.0 * radius + 1e-9));
+  double total = 0.0;
+  for (std::size_t h = 0; h < dist.size(); ++h) {
+    if (static_cast<std::int64_t>(h) <= cap) total += dist[h];
+  }
+  return total;
+}
+
+double DiamondSurface(int d, int n, double radius) {
+  if (radius < 0) return 0.0;
+  const auto dist = CenterDistanceDistribution(d, n);
+  const auto hi = static_cast<std::int64_t>(std::floor(2.0 * radius + 1e-9));
+  const std::int64_t lo = hi - 2;  // outermost unit shell (two half-units)
+  double total = 0.0;
+  for (std::size_t h = 0; h < dist.size(); ++h) {
+    const auto hh = static_cast<std::int64_t>(h);
+    if (hh > lo && hh <= hi) total += dist[h];
+  }
+  return total;
+}
+
+double DiamondRadius(int d, int n, double gamma) {
+  return (1.0 - gamma) * static_cast<double>(d) * (n - 1) / 4.0;
+}
+
+double VolumeDdGamma(int d, int n, double gamma) {
+  return DiamondVolume(d, n, DiamondRadius(d, n, gamma));
+}
+
+double SurfaceDdGamma(int d, int n, double gamma) {
+  return DiamondSurface(d, n, DiamondRadius(d, n, gamma));
+}
+
+namespace {
+
+std::vector<double> ConvolveOnce(const std::vector<double>& dist,
+                                 const std::vector<double>& single) {
+  std::vector<double> next(dist.size() + single.size() - 1, 0.0);
+  for (std::size_t a = 0; a < dist.size(); ++a) {
+    if (dist[a] == 0.0) continue;
+    for (std::size_t b = 0; b < single.size(); ++b) {
+      if (single[b] == 0.0) continue;
+      next[a + b] += dist[a] * single[b];
+    }
+  }
+  return next;
+}
+
+}  // namespace
+
+std::vector<double> PointDistanceDistribution(int d, int n,
+                                              std::int64_t half_offset) {
+  // Per coordinate: half-distance |2u - (n-1) - half_offset| for u in [n].
+  std::int64_t max_h = 0;
+  for (int u = 0; u < n; ++u) {
+    max_h = std::max<std::int64_t>(
+        max_h, std::llabs(2ll * u - (n - 1) - half_offset));
+  }
+  std::vector<double> single(static_cast<std::size_t>(max_h) + 1, 0.0);
+  for (int u = 0; u < n; ++u) {
+    auto h = static_cast<std::size_t>(std::llabs(2ll * u - (n - 1) - half_offset));
+    single[h] += 1.0;
+  }
+  std::vector<double> dist = single;
+  for (int i = 1; i < d; ++i) dist = ConvolveOnce(dist, single);
+  return dist;
+}
+
+double BallFractionAround(int d, int n, std::int64_t half_offset,
+                          double radius) {
+  if (radius < 0) return 0.0;
+  const auto dist = PointDistanceDistribution(d, n, half_offset);
+  const auto cap = static_cast<std::int64_t>(std::floor(2.0 * radius + 1e-9));
+  double total = 0.0;
+  for (std::size_t h = 0; h < dist.size(); ++h) {
+    if (static_cast<std::int64_t>(h) <= cap) total += dist[h];
+  }
+  return total / std::pow(static_cast<double>(n), d);
+}
+
+CenterDistanceSweep::CenterDistanceSweep(int n) : n_(n) {
+  std::vector<double> single(static_cast<std::size_t>(n), 0.0);
+  for (int c = 0; c < n; ++c) {
+    single[static_cast<std::size_t>(std::abs(2 * c - (n - 1)))] += 1.0;
+  }
+  dists_.push_back(std::move(single));
+}
+
+const std::vector<double>& CenterDistanceSweep::Distribution(int d) {
+  assert(d >= 1);
+  while (static_cast<int>(dists_.size()) < d) {
+    dists_.push_back(ConvolveOnce(dists_.back(), dists_.front()));
+  }
+  return dists_[static_cast<std::size_t>(d) - 1];
+}
+
+double CenterDistanceSweep::VolumeNormalized(int d, double gamma) {
+  const auto& dist = Distribution(d);
+  const auto cap = static_cast<std::int64_t>(
+      std::floor(2.0 * DiamondRadius(d, n_, gamma) + 1e-9));
+  double total = 0.0;
+  for (std::size_t h = 0; h < dist.size(); ++h) {
+    if (static_cast<std::int64_t>(h) <= cap) total += dist[h];
+  }
+  return total / std::pow(static_cast<double>(n_), d);
+}
+
+double CenterDistanceSweep::SurfaceNormalized(int d, double gamma) {
+  const auto& dist = Distribution(d);
+  const auto hi = static_cast<std::int64_t>(
+      std::floor(2.0 * DiamondRadius(d, n_, gamma) + 1e-9));
+  const std::int64_t lo = hi - 2;
+  double total = 0.0;
+  for (std::size_t h = 0; h < dist.size(); ++h) {
+    const auto hh = static_cast<std::int64_t>(h);
+    if (hh > lo && hh <= hi) total += dist[h];
+  }
+  return total / std::pow(static_cast<double>(n_), d - 1);
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,72 @@
+// Exact lattice-point counting for center diamonds (paper, Section 4).
+//
+// C_{d,gamma} is the set of processors within L1 distance (1-gamma)*D/4 of
+// the center of a d-dimensional mesh of side n. Its volume V and surface S
+// drive every lower bound in Section 4 (Lemma 4.1 gives analytic upper
+// bounds for both). Distances to the center are half-integral, so counts
+// are indexed by HALF-distance h = 2 * L1 distance (an integer in
+// [0, d*(n-1)]).
+//
+// The per-coordinate half-distance |2c - (n-1)| takes each even value in
+// {0,2,...,n-1} (n odd) or odd value in {1,3,...,n-1} (n even) a known
+// number of times; the d-dimensional distribution is the d-fold convolution,
+// computed by a simple DP in doubles (counts up to n^d fit a double's range
+// for every d we tabulate; exactness at small sizes is unit-tested against
+// direct enumeration).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mdmesh {
+
+/// dist[h] = number of points of [n]^d whose half-distance to the center is
+/// exactly h; size d*(n-1)+1. Entries sum to n^d.
+std::vector<double> CenterDistanceDistribution(int d, int n);
+
+/// Number of points with half-distance <= 2*radius (radius in full units,
+/// possibly fractional). This is |C(radius)|.
+double DiamondVolume(int d, int n, double radius);
+
+/// Number of points on the "surface": half-distance in
+/// (2*(radius-1), 2*radius] — the outermost unit shell of the diamond.
+/// At most d*S packets can cross into the diamond per step.
+double DiamondSurface(int d, int n, double radius);
+
+/// Radius of C_{d,gamma}: (1-gamma) * D/4 with D = d*(n-1).
+double DiamondRadius(int d, int n, double gamma);
+
+/// V_{d,gamma} and S_{d,gamma} of the paper.
+double VolumeDdGamma(int d, int n, double gamma);
+double SurfaceDdGamma(int d, int n, double gamma);
+
+/// Distance distribution to an arbitrary reference point x whose coordinates
+/// all sit at half-offset `half_offset` from the center (i.e.
+/// x_i = (n-1)/2 + half_offset/2 in every dimension). dist[h] = number of
+/// points at half-distance exactly h from x. Used by the selection bound,
+/// whose reference point lies on the boundary of a diamond.
+std::vector<double> PointDistanceDistribution(int d, int n,
+                                              std::int64_t half_offset);
+
+/// Fraction of [n]^d within (full-unit) `radius` of the reference point
+/// above.
+double BallFractionAround(int d, int n, std::int64_t half_offset, double radius);
+
+/// Incrementally-built center-distance distributions for d = 1..max — the
+/// cheap way to sweep d (each step is one more convolution, not a rebuild).
+class CenterDistanceSweep {
+ public:
+  explicit CenterDistanceSweep(int n);
+
+  /// Distribution for dimension d (>= 1). Grows the cache as needed.
+  const std::vector<double>& Distribution(int d);
+
+  double VolumeNormalized(int d, double gamma);
+  double SurfaceNormalized(int d, double gamma);
+
+ private:
+  int n_;
+  std::vector<std::vector<double>> dists_;  // dists_[d-1]
+};
+
+}  // namespace mdmesh

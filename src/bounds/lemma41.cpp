@@ -1,0 +1,32 @@
+#include "bounds/lemma41.h"
+
+#include <cmath>
+
+#include "bounds/diamond.h"
+
+namespace mdmesh {
+
+double Lemma41VolumeBoundNormalized(int d, double gamma) {
+  return std::exp(-gamma * gamma * d / 4.0);
+}
+
+double Lemma41SurfaceBoundNormalized(int d, double gamma) {
+  return (8.0 / gamma) * std::exp(-gamma * gamma * d / 16.0);
+}
+
+double ExactVolumeNormalized(int d, int n, double gamma) {
+  return VolumeDdGamma(d, n, gamma) / std::pow(static_cast<double>(n), d);
+}
+
+double ExactSurfaceNormalized(int d, int n, double gamma) {
+  return SurfaceDdGamma(d, n, gamma) / std::pow(static_cast<double>(n), d - 1);
+}
+
+bool CheckLemma41(int d, int n, double gamma) {
+  return ExactVolumeNormalized(d, n, gamma) <=
+             Lemma41VolumeBoundNormalized(d, gamma) &&
+         ExactSurfaceNormalized(d, n, gamma) <=
+             Lemma41SurfaceBoundNormalized(d, gamma);
+}
+
+}  // namespace mdmesh

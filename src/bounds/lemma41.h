@@ -1,0 +1,30 @@
+// Lemma 4.1 (paper): analytic bounds on diamond volume and surface.
+//
+//   V_{d,gamma} <= exp(-gamma^2 d / 4)  * n^d
+//   S_{d,gamma} <= (8/gamma) * exp(-gamma^2 d / 16) * n^(d-1)
+//
+// These are Chernoff-style tail bounds on the sum of d independent
+// per-coordinate distances. The bench table E10 compares them against the
+// exact counts of bounds/diamond.h; to keep the comparison overflow-free for
+// large d everything is exposed in NORMALIZED form (divided by n^d resp.
+// n^(d-1)).
+#pragma once
+
+namespace mdmesh {
+
+/// exp(-gamma^2 d/4): the claimed bound on V_{d,gamma} / n^d.
+double Lemma41VolumeBoundNormalized(int d, double gamma);
+
+/// (8/gamma) exp(-gamma^2 d/16): the claimed bound on S_{d,gamma} / n^(d-1).
+double Lemma41SurfaceBoundNormalized(int d, double gamma);
+
+/// Exact V_{d,gamma} / n^d from the counting DP.
+double ExactVolumeNormalized(int d, int n, double gamma);
+
+/// Exact S_{d,gamma} / n^(d-1) from the counting DP.
+double ExactSurfaceNormalized(int d, int n, double gamma);
+
+/// True iff the exact counts satisfy both Lemma 4.1 inequalities.
+bool CheckLemma41(int d, int n, double gamma);
+
+}  // namespace mdmesh

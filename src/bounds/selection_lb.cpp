@@ -1,0 +1,41 @@
+#include "bounds/selection_lb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bounds/diamond.h"
+#include "bounds/lemma41.h"
+
+namespace mdmesh {
+
+bool CheckSelectionPremise(int d, int n, double eps) {
+  // Reference point x: on the boundary of C_{d,eps}, offsets spread evenly
+  // over the dimensions — the x with the SMALLEST expected distance to a
+  // random processor among boundary points, hence the worst case for the
+  // argument. Per-dimension half-offset = (1-eps) * (n-1)/2 / 2.
+  const double D = static_cast<double>(d) * (n - 1);
+  const auto half_offset = static_cast<std::int64_t>(
+      std::llround((1.0 - eps) * (n - 1) / 2.0));
+  const double ball =
+      BallFractionAround(d, n, half_offset, (5.0 / 16.0 - 2.0 * eps) * D);
+  const double diamond = ExactVolumeNormalized(d, n, eps);
+  // Some packet must start outside the diamond AND outside the ball.
+  return diamond + ball < 1.0;
+}
+
+int FindD0Selection(double eps, int max_d) {
+  if (eps <= 0.0 || eps >= 0.15) return -1;  // 5/16 - 2eps must stay positive
+  for (int d = 2; d <= max_d; ++d) {
+    // Analytic premise: diamond fraction e^{-eps^2 d/4} (Lemma 4.1) plus a
+    // Hoeffding bound on the ball. dist(U, x) is a sum of d independent
+    // terms in [0, n]; its mean for the boundary x is >= (5/16 - O(eps))*D,
+    // so P(dist <= (5/16 - 2eps) D) <= exp(-2 (eps D / sqrt(d) n)^2 * d)
+    // ~= exp(-2 eps^2 d) for large n.
+    const double diamond = Lemma41VolumeBoundNormalized(d, eps);
+    const double ball = std::exp(-2.0 * eps * eps * d);
+    if (diamond + ball < 0.5) return d;
+  }
+  return -1;
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,38 @@
+// Selection bounds (paper, Section 4.3, Theorem 4.5).
+//
+// Lower bound: for every eps > 0 there is d0 such that for d >= d0,
+// selecting the median at the center processor takes >= (9/16 - eps) * D
+// steps. The argument: by Lemma 4.1 only a vanishing fraction of packets
+// can enter C_{d,eps} within D/2 steps; a packet x outside the diamond has
+// only a small fraction of the network within (5/16 - 2eps) * D of it, so
+// up to that time x cannot be ruled out as the median; moving it to the
+// center then costs another (1-eps) * D/4.
+//
+// Upper bounds quoted by the paper: D + o(n) (implemented — see
+// sorting/selection.h), improvable to (3/4+eps) * D for large d on meshes
+// and (1+eps) * D on tori (vs. the trivial radius bound D/2 resp. D).
+#pragma once
+
+namespace mdmesh {
+
+/// The claimed lower-bound coefficient (9/16 - eps).
+inline double SelectionLowerCoefficient(double eps) {
+  return 9.0 / 16.0 - eps;
+}
+
+/// Premise check for Theorem 4.5 at concrete (d, n, eps): the fraction of
+/// processors within distance (5/16 - 2 eps) * D of a point x on the
+/// boundary of C_{d,eps} plus the diamond fraction must be < 1 (so some
+/// packet survives as a median candidate). Evaluated exactly with the
+/// counting DP, using the worst case x = center (a ball around any other x
+/// contains at most as many processors as the central one of equal radius).
+bool CheckSelectionPremise(int d, int n, double eps);
+
+/// Smallest d (up to max_d) whose ANALYTIC Lemma 4.1 bound certifies the
+/// premise: e^{-eps^2 d/4} + e^{-c(eps) d} < 1 with room eps; -1 if none.
+int FindD0Selection(double eps, int max_d = 4096);
+
+/// The trivial radius lower bound, in units of D: 1/2 (mesh), 1 (torus).
+inline double SelectionRadiusCoefficient(bool torus) { return torus ? 1.0 : 0.5; }
+
+}  // namespace mdmesh

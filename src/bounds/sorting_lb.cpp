@@ -1,0 +1,86 @@
+#include "bounds/sorting_lb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bounds/diamond.h"
+#include "bounds/lemma41.h"
+
+namespace mdmesh {
+
+Lemma42Eval EvalLemma42(int d, int n, double gamma, double beta) {
+  Lemma42Eval eval;
+  const double D = static_cast<double>(d) * (n - 1);
+  const double T =
+      (0.5 + (1.0 - gamma) / 4.0) * D - d * std::pow(static_cast<double>(n), beta);
+  const double v_norm = ExactVolumeNormalized(d, n, gamma);
+  const double s_norm = ExactSurfaceNormalized(d, n, gamma);
+  // Normalize both sides of  d * S * T < n^d - V  by n^d.
+  eval.lhs = d * s_norm * T / n;
+  eval.rhs = 1.0 - v_norm;
+  eval.condition_holds = T > 0 && eval.lhs < eval.rhs;
+  eval.bound_steps = D + (1.0 - gamma) * D / 2.0 - n -
+                     d * std::pow(static_cast<double>(n), beta);
+  eval.bound_over_D = eval.bound_steps / D;
+  return eval;
+}
+
+int FindD0NoCopy(double eps, double beta, int n, int max_d) {
+  // gamma = 2*eps makes the asymptotic bound coefficient exactly
+  // 1 + (1-gamma)/2 = 3/2 - eps. The capacity condition is checked with the
+  // PROVEN analytic bounds of Lemma 4.1 (they only over-estimate S and V, so
+  // any d passing here genuinely satisfies Lemma 4.2 asymptotically).
+  const double gamma = 2.0 * eps;
+  if (gamma <= 0.0 || gamma >= 1.0) return -1;
+  for (int d = 2; d <= max_d; ++d) {
+    const double s_norm = Lemma41SurfaceBoundNormalized(d, gamma);
+    const double v_norm = Lemma41VolumeBoundNormalized(d, gamma);
+    // T/n ~ (1/2 + (1-gamma)/4) * d  (the d*n^beta term is o(n) per packet
+    // and vanishes in the normalized comparison as n grows).
+    const double t_over_n = (0.5 + (1.0 - gamma) / 4.0) * d;
+    if (d * s_norm * t_over_n < 1.0 - v_norm) return d;
+  }
+  (void)beta;
+  (void)n;
+  return -1;
+}
+
+double BestNoCopyBoundOverD(int d, int n, double beta) {
+  double best = 0.0;
+  for (int t = 1; t < 100; ++t) {
+    const double gamma = t / 100.0;
+    Lemma42Eval eval = EvalLemma42(d, n, gamma, beta);
+    if (eval.condition_holds) best = std::max(best, eval.bound_over_D);
+  }
+  return best;
+}
+
+double BestNoCopyBoundOverDAsymptotic(int d, int n_proxy) {
+  double best = 0.0;
+  for (int t = 1; t < 100; ++t) {
+    const double gamma = t / 100.0;
+    const double s_norm = ExactSurfaceNormalized(d, n_proxy, gamma);
+    const double v_norm = ExactVolumeNormalized(d, n_proxy, gamma);
+    // Capacity: d * S * T < n^d - V with T ~ (1/2 + (1-gamma)/4) * D and
+    // D = d * (n-1) ~ d * n, all normalized by n^d.
+    const double t_over_n = (0.5 + (1.0 - gamma) / 4.0) * d;
+    if (d * s_norm * t_over_n < 1.0 - v_norm) {
+      // bound = D + (1-gamma) D/2 - n; the joker-zone term d*n^beta is
+      // o(n) per the definition of compatibility (beta < 1).
+      best = std::max(best, 1.0 + (1.0 - gamma) / 2.0 - 1.0 / d);
+    }
+  }
+  return best;
+}
+
+int FindD0Copying(double eps, double delta, int n, int max_d) {
+  const double gamma = eps;
+  if (gamma <= 0.0 || gamma >= 1.0) return -1;
+  for (int d = 2; d <= max_d; ++d) {
+    if (Lemma41VolumeBoundNormalized(d, gamma) <= delta) return d;
+  }
+  (void)n;
+  return -1;
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,70 @@
+// Lower bounds for sorting in the multi-packet model
+// (paper, Section 4: Lemma 4.2, Theorems 4.1-4.4).
+//
+// The joker-zone argument: run any sorting algorithm up to time
+// T = (1/2 + (1-gamma)/4)*D - d*n^beta. The diamond C_{d,gamma} admits at
+// most d*S_{d,gamma} packets per step (edge capacity; no limit on queue
+// sizes), so if
+//
+//     d * S_{d,gamma} * T < n^d - V_{d,gamma}                (Lemma 4.2)
+//
+// some packet is still outside the diamond, hence at distance >= T from
+// some corner; a joker zone of n^(beta*d) keys in that corner can (under
+// any compatible indexing scheme) force its destination to be ~T away
+// again, giving total time >= D + (1-gamma)*D/2 - n - d*n^beta.
+//
+// These are pure counting computations; this module evaluates them exactly
+// (via the diamond DP) and tabulates the resulting bounds and the d0(eps)
+// thresholds of Theorems 4.1, 4.3 and 4.4.
+#pragma once
+
+#include <cstdint>
+
+namespace mdmesh {
+
+struct Lemma42Eval {
+  bool condition_holds = false;  ///< the capacity inequality above
+  double lhs = 0.0;              ///< d*S*T, normalized by n^d
+  double rhs = 0.0;              ///< (n^d - V), normalized by n^d
+  double bound_steps = 0.0;      ///< D + (1-gamma)D/2 - n - d n^beta
+  double bound_over_D = 0.0;     ///< bound_steps / D
+};
+
+/// Evaluates Lemma 4.2 for concrete (d, n, gamma, beta).
+Lemma42Eval EvalLemma42(int d, int n, double gamma, double beta);
+
+/// Theorem 4.1: smallest d such that sorting without copying needs
+/// >= (3/2 - eps) * D steps, found by searching d with gamma = 3*eps/2
+/// shrinking until both the Lemma 4.2 condition and the bound target hold
+/// at side length n. Returns -1 if none is found up to max_d.
+int FindD0NoCopy(double eps, double beta, int n, int max_d = 4096);
+
+/// Theorem 4.2 witness: the strongest Lemma 4.2 bound (in units of D)
+/// available at dimension d, maximized over a gamma grid, counting exactly
+/// at side length n. A value > 1 certifies that sorting without copying
+/// cannot asymptotically match the diameter at this d (the theorem asserts
+/// this for every d >= 5). Returns 0 if the capacity condition fails for
+/// every gamma.
+double BestNoCopyBoundOverD(int d, int n, double beta);
+
+/// Asymptotic (n -> infinity) form of the witness: the additive -n and
+/// -d*n^beta terms of Lemma 4.2 vanish relative to D (the first like 1/d,
+/// the second like n^(beta-1)), leaving bound/D = 1 + (1-gamma)/2 - 1/d for
+/// every gamma whose capacity condition holds. The condition is evaluated
+/// with exact counts at side `n_proxy` (the normalized V/n^d and S/n^(d-1)
+/// converge quickly in n). This is the quantity Theorem 4.2 asserts exceeds
+/// 1 for every d >= 5.
+double BestNoCopyBoundOverDAsymptotic(int d, int n_proxy = 65);
+
+/// Theorem 4.3 / 4.4 premise: with copying allowed the argument needs the
+/// diamond to hold only a vanishing fraction of the packets and the
+/// broadcast-tree capacity not to help; the tabulated premise is
+/// V_{d,gamma}/n^d <= delta. Smallest d achieving it for gamma = eps.
+int FindD0Copying(double eps, double delta, int n, int max_d = 4096);
+
+/// The asymptotic coefficients claimed by the theorems (for tables).
+inline double NoCopyCoefficient(double eps) { return 1.5 - eps; }      // Thm 4.1
+inline double CopyMeshCoefficient(double eps) { return 1.25 - eps; }   // Thm 4.3
+inline double CopyTorusCoefficient(double eps) { return 1.5 - eps; }   // Thm 4.4
+
+}  // namespace mdmesh

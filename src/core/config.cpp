@@ -1,0 +1,37 @@
+#include "core/config.h"
+
+#include <sstream>
+
+namespace mdmesh {
+
+std::string MeshSpec::ToString() const {
+  std::ostringstream os;
+  os << (wrap == Wrap::kTorus ? "torus" : "mesh") << "(d=" << d << ",n=" << n
+     << ")";
+  return os.str();
+}
+
+std::vector<MeshSpec> StandardMeshSweep() {
+  return {
+      {2, 16, Wrap::kMesh},  {2, 32, Wrap::kMesh}, {2, 64, Wrap::kMesh},
+      {3, 8, Wrap::kMesh},   {3, 16, Wrap::kMesh}, {3, 24, Wrap::kMesh},
+      {4, 8, Wrap::kMesh},   {4, 12, Wrap::kMesh},
+  };
+}
+
+std::vector<MeshSpec> StandardTorusSweep() {
+  return {
+      {2, 16, Wrap::kTorus}, {2, 32, Wrap::kTorus}, {2, 64, Wrap::kTorus},
+      {3, 8, Wrap::kTorus},  {3, 16, Wrap::kTorus}, {3, 24, Wrap::kTorus},
+      {4, 8, Wrap::kTorus},  {4, 12, Wrap::kTorus},
+  };
+}
+
+std::vector<MeshSpec> HighDimMeshSweep() {
+  return {
+      {6, 4, Wrap::kMesh},
+      {8, 4, Wrap::kMesh},
+  };
+}
+
+}  // namespace mdmesh

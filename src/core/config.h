@@ -1,0 +1,35 @@
+// Experiment configuration shared by benches, tests, and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "meshsim/topology.h"
+
+namespace mdmesh {
+
+/// A network under test.
+struct MeshSpec {
+  int d = 2;
+  int n = 8;
+  Wrap wrap = Wrap::kMesh;
+
+  std::int64_t size() const { return IPow(n, d); }
+  std::int64_t diameter() const {
+    return wrap == Wrap::kTorus ? static_cast<std::int64_t>(d) * (n / 2)
+                                : static_cast<std::int64_t>(d) * (n - 1);
+  }
+  std::string ToString() const;
+  Topology Build() const { return Topology(d, n, wrap); }
+};
+
+/// The (d, n) sweeps used across the reproduction benches. Chosen so every
+/// network simulates in at most a few seconds on a laptop while keeping
+/// the o(n)/D terms visibly shrinking with n.
+std::vector<MeshSpec> StandardMeshSweep();
+std::vector<MeshSpec> StandardTorusSweep();
+/// Small high-dimensional meshes for the d >= 8 theorems (CopySort).
+std::vector<MeshSpec> HighDimMeshSweep();
+
+}  // namespace mdmesh

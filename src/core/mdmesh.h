@@ -1,0 +1,50 @@
+// mdmesh — routing and sorting on multi-dimensional meshes and tori.
+//
+// Reproduction of Torsten Suel, "Improved Bounds for Routing and Sorting on
+// Multi-Dimensional Meshes" (SPAA 1994). Umbrella header: include this to
+// get the whole public API. See README.md for a tour and DESIGN.md for the
+// paper-to-module map.
+#pragma once
+
+// Substrate: topology, indexing, blocks, geometry.
+#include "meshsim/blocks.h"
+#include "meshsim/geometry.h"
+#include "meshsim/indexing.h"
+#include "meshsim/topology.h"
+
+// Simulation kernel.
+#include "net/engine.h"
+#include "net/metrics.h"
+#include "net/network.h"
+#include "net/packet.h"
+#include "net/reference_engine.h"
+
+// Routing (Sections 2.2 and 5).
+#include "routing/greedy.h"
+#include "routing/offline.h"
+#include "routing/permutations.h"
+#include "routing/policy.h"
+#include "routing/two_phase.h"
+
+// Sorting and selection (Section 3, Section 4.3 upper bound).
+#include "sorting/common.h"
+#include "sorting/kk_sort.h"
+#include "sorting/local_sort.h"
+#include "sorting/remap.h"
+#include "sorting/selection.h"
+#include "sorting/spread.h"
+#include "sorting/verify.h"
+
+// Lower bounds (Sections 1.1 and 4).
+#include "bounds/bisection.h"
+#include "bounds/broadcast.h"
+#include "bounds/compatibility.h"
+#include "bounds/diamond.h"
+#include "bounds/lemma41.h"
+#include "bounds/selection_lb.h"
+#include "bounds/sorting_lb.h"
+
+// Experiment harness.
+#include "core/config.h"
+#include "core/report.h"
+#include "core/runner.h"

@@ -1,0 +1,79 @@
+#include "core/report.h"
+
+namespace mdmesh {
+
+Table MakeSortTable(const std::vector<SortRow>& rows) {
+  Table table({"network", "algo", "D", "routing", "ratio", "claimed", "local",
+               "fixups", "max_q", "sorted"});
+  for (const SortRow& row : rows) {
+    table.Row()
+        .Cell(row.spec.ToString())
+        .Cell(SortAlgoName(row.algo))
+        .Cell(row.diameter)
+        .Cell(row.result.routing_steps)
+        .Cell(row.ratio)
+        .Cell(row.claimed, 2)
+        .Cell(row.result.local_steps)
+        .Cell(row.result.fixup_rounds)
+        .Cell(row.result.max_queue)
+        .Cell(row.result.sorted ? "yes" : "NO");
+  }
+  return table;
+}
+
+Table MakeGreedyTable(const std::vector<GreedyRow>& rows) {
+  Table table({"network", "perms", "D", "steps", "steps/D", "max_dist",
+               "overshoot", "overshoot/n", "max_q"});
+  for (const GreedyRow& row : rows) {
+    table.Row()
+        .Cell(row.spec.ToString())
+        .Cell(static_cast<std::int64_t>(row.num_perms))
+        .Cell(row.run.diameter)
+        .Cell(row.run.route.steps)
+        .Cell(row.run.steps_over_diameter())
+        .Cell(row.run.route.max_distance)
+        .Cell(row.run.route.max_overshoot)
+        .Cell(row.run.overshoot_over_n(row.spec.n))
+        .Cell(row.run.route.max_queue);
+  }
+  return table;
+}
+
+Table MakeSelectionTable(const std::vector<SelectRow>& rows) {
+  Table table({"network", "D", "routing", "ratio", "claimed", "candidates",
+               "max_q", "correct"});
+  for (const SelectRow& row : rows) {
+    table.Row()
+        .Cell(row.spec.ToString())
+        .Cell(row.diameter)
+        .Cell(row.result.routing_steps)
+        .Cell(row.ratio)
+        .Cell(1.0, 2)
+        .Cell(row.result.candidates)
+        .Cell(row.result.max_queue)
+        .Cell(row.correct ? "yes" : "NO");
+  }
+  return table;
+}
+
+Table MakeRoutingTable(const std::vector<RoutingRow>& rows) {
+  Table table({"network", "perm", "D", "offlineLB", "2phase", "2phase/D",
+               "greedy", "greedy/D", "min|S|", "max_q", "delivered"});
+  for (const RoutingRow& row : rows) {
+    table.Row()
+        .Cell(row.spec.ToString())
+        .Cell(row.perm_name)
+        .Cell(row.diameter)
+        .Cell(row.offline.bound())
+        .Cell(row.two_phase.total_steps)
+        .Cell(row.two_phase.steps_over_diameter(row.diameter))
+        .Cell(row.baseline.route.steps)
+        .Cell(row.baseline.steps_over_diameter())
+        .Cell(row.two_phase.min_s_size)
+        .Cell(row.two_phase.max_queue)
+        .Cell(row.two_phase.delivered ? "yes" : "NO");
+  }
+  return table;
+}
+
+}  // namespace mdmesh

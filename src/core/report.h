@@ -1,0 +1,27 @@
+// Table rendering for the reproduction experiments: every bench prints the
+// same row shapes, so EXPERIMENTS.md can quote bench output verbatim.
+#pragma once
+
+#include <vector>
+
+#include "core/runner.h"
+#include "util/table.h"
+
+namespace mdmesh {
+
+/// Columns: network, algo, D, routing, ratio (routing/D), claimed, local,
+/// fixups, max_queue, sorted.
+Table MakeSortTable(const std::vector<SortRow>& rows);
+
+/// Columns: network, perms, D, steps, steps/D, max_dist, max_overshoot,
+/// overshoot/n, max_queue.
+Table MakeGreedyTable(const std::vector<GreedyRow>& rows);
+
+/// Columns: network, D, routing, ratio, candidates, correct.
+Table MakeSelectionTable(const std::vector<SelectRow>& rows);
+
+/// Columns: network, perm, D, offline LB, 2phase steps, (D+x)/D, baseline
+/// steps, baseline/D, min|S|, delivered.
+Table MakeRoutingTable(const std::vector<RoutingRow>& rows);
+
+}  // namespace mdmesh

@@ -1,0 +1,127 @@
+#include "core/runner.h"
+
+#include <stdexcept>
+
+#include "routing/permutations.h"
+#include "util/rng.h"
+
+namespace mdmesh {
+
+double ClaimedCoefficient(SortAlgo algo, Wrap wrap) {
+  const bool torus = wrap == Wrap::kTorus;
+  switch (algo) {
+    case SortAlgo::kSimple:
+      return 1.5;  // Theorem 3.1 (mesh)
+    case SortAlgo::kCopy:
+      return 1.25;  // Theorem 3.2 (mesh, d >= 8)
+    case SortAlgo::kTorus:
+      return 1.5;  // Theorem 3.3 (torus)
+    case SortAlgo::kFull:
+      return 2.0;  // baseline, mesh and torus alike
+    case SortAlgo::kSnake:
+      return 0.0;  // classical Theta(N): no cD form (filled in per spec)
+  }
+  (void)torus;
+  return 0.0;
+}
+
+int DefaultBlocksPerSide(const MeshSpec& spec) {
+  int best = 2;
+  for (int g = 2; g <= spec.n / 2; g += 2) {
+    if (spec.n % g != 0) continue;
+    const int b = spec.n / g;
+    if (b % g != 0) continue;  // need g | b for the unshuffle arithmetic
+    const std::int64_t m = IPow(g, spec.d);
+    const std::int64_t B = IPow(b, spec.d);
+    if (m * m <= 2 * B) best = g;  // Lemma 3.1 regime (alpha >= 2/3)
+  }
+  return best;
+}
+
+SortRow RunSortExperiment(SortAlgo algo, const MeshSpec& spec,
+                          const SortOptions& opts, InputKind input) {
+  SortRow row;
+  row.spec = spec;
+  row.algo = algo;
+  row.diameter = spec.diameter();
+  row.claimed = algo == SortAlgo::kSnake
+                    ? static_cast<double>(spec.size()) /
+                          static_cast<double>(spec.diameter())
+                    : ClaimedCoefficient(algo, spec.wrap);
+
+  Topology topo = spec.Build();
+  BlockGrid grid(topo, opts.g > 0 ? opts.g : DefaultBlocksPerSide(spec));
+  Network net(topo);
+  FillInput(net, grid, opts.k, input, opts.seed);
+  SortOptions effective = opts;
+  effective.g = grid.blocks_per_side();
+  row.result = RunSort(algo, net, grid, effective);
+  row.ratio = row.result.RatioToDiameter(row.diameter);
+  return row;
+}
+
+GreedyRow RunGreedyExperiment(const MeshSpec& spec, int j, std::uint64_t seed) {
+  GreedyRow row;
+  row.spec = spec;
+  row.num_perms = j;
+  Topology topo = spec.Build();
+  GreedyOptions opts;
+  opts.seed = seed;
+  opts.class_mode = ClassMode::kByPermutation;
+  row.run = RouteRandomPermutations(topo, j, opts);
+  return row;
+}
+
+SelectRow RunSelectionExperiment(const MeshSpec& spec, const SortOptions& opts) {
+  SelectRow row;
+  row.spec = spec;
+  row.diameter = spec.diameter();
+
+  Topology topo = spec.Build();
+  BlockGrid grid(topo, opts.g > 0 ? opts.g : DefaultBlocksPerSide(spec));
+  Network net(topo);
+  FillInput(net, grid, opts.k, InputKind::kRandom, opts.seed);
+
+  // Ground truth before the algorithm consumes the packets.
+  GroundTruth truth = CaptureGroundTruth(net);
+  const std::int64_t target = (static_cast<std::int64_t>(truth.size()) - 1) / 2;
+
+  row.result = SelectAtCenter(net, grid, opts, target);
+  row.correct = row.result.found &&
+                row.result.selected_key ==
+                    truth[static_cast<std::size_t>(target)].first;
+  row.ratio = row.result.RatioToDiameter(row.diameter);
+  return row;
+}
+
+RoutingRow RunRoutingExperiment(const MeshSpec& spec, const std::string& perm,
+                                const TwoPhaseOptions& opts) {
+  RoutingRow row;
+  row.spec = spec;
+  row.perm_name = perm;
+  row.diameter = spec.diameter();
+
+  Topology topo = spec.Build();
+  std::vector<ProcId> dest;
+  if (perm == "random") {
+    Rng rng(opts.seed);
+    dest = RandomPermutation(topo, rng);
+  } else if (perm == "reversal") {
+    dest = ReversalPermutation(topo);
+  } else if (perm == "transpose") {
+    dest = TransposePermutation(topo);
+  } else {
+    throw std::invalid_argument("unknown permutation: " + perm);
+  }
+
+  row.offline = ComputeOfflineBound(topo, dest);
+  row.two_phase = RouteTwoPhase(topo, dest, opts);
+
+  GreedyOptions base;
+  base.seed = opts.seed;
+  base.class_mode = ClassMode::kZero;  // the classic single greedy router
+  row.baseline = RouteOnePermutation(topo, dest, base);
+  return row;
+}
+
+}  // namespace mdmesh

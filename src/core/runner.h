@@ -1,0 +1,75 @@
+// One-call experiment runners: build the network, generate the input, run
+// the algorithm, verify, and package the row a bench table needs. Keeps the
+// bench binaries and examples free of setup boilerplate and guarantees they
+// all measure the same way.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.h"
+#include "routing/greedy.h"
+#include "routing/offline.h"
+#include "routing/two_phase.h"
+#include "sorting/kk_sort.h"
+#include "sorting/selection.h"
+
+namespace mdmesh {
+
+struct SortRow {
+  MeshSpec spec;
+  SortAlgo algo = SortAlgo::kSimple;
+  std::int64_t diameter = 0;
+  SortResult result;
+  double ratio = 0.0;    ///< routing steps / D
+  double claimed = 0.0;  ///< the theorem's coefficient for this algo/topology
+};
+
+/// The leading-term coefficient the paper claims for `algo` on `wrap`.
+double ClaimedCoefficient(SortAlgo algo, Wrap wrap);
+
+/// Runs a full sorting experiment (input -> sort -> verify).
+SortRow RunSortExperiment(SortAlgo algo, const MeshSpec& spec,
+                          const SortOptions& opts,
+                          InputKind input = InputKind::kRandom);
+
+struct GreedyRow {
+  MeshSpec spec;
+  int num_perms = 0;
+  GreedyRun run;
+};
+
+/// Routes j simultaneous random permutations with the extended greedy
+/// scheme (Lemmas 2.1-2.3 measurements).
+GreedyRow RunGreedyExperiment(const MeshSpec& spec, int j, std::uint64_t seed);
+
+struct SelectRow {
+  MeshSpec spec;
+  std::int64_t diameter = 0;
+  SelectResult result;
+  bool correct = false;  ///< selected key matches ground truth
+  double ratio = 0.0;    ///< routing steps / D (claimed: 1.0)
+};
+
+/// Median selection experiment with ground-truth verification.
+SelectRow RunSelectionExperiment(const MeshSpec& spec, const SortOptions& opts);
+
+struct RoutingRow {
+  MeshSpec spec;
+  std::string perm_name;
+  std::int64_t diameter = 0;
+  TwoPhaseResult two_phase;
+  GreedyRun baseline;       ///< plain greedy on the same permutation
+  OfflineBound offline;     ///< per-instance lower bound (distance/cuts)
+};
+
+/// Section 5 routing vs. the plain greedy baseline on a named permutation
+/// ("random" | "reversal" | "transpose").
+RoutingRow RunRoutingExperiment(const MeshSpec& spec, const std::string& perm,
+                                const TwoPhaseOptions& opts);
+
+/// Blocks-per-side used across experiments: the largest even g with g | b
+/// that keeps m^2 <= 2B (the Lemma 3.1 regime); falls back to 2.
+int DefaultBlocksPerSide(const MeshSpec& spec);
+
+}  // namespace mdmesh

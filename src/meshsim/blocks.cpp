@@ -1,0 +1,132 @@
+#include "meshsim/blocks.h"
+
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace mdmesh {
+
+BlockGrid::BlockGrid(const Topology& topo, int g)
+    : topo_(&topo),
+      g_(g),
+      b_(topo.side() / g),
+      m_(IPow(g, topo.dim())),
+      vol_(IPow(topo.side() / g, topo.dim())),
+      block_snake_(topo.dim(), g),
+      indexing_(topo.dim(), topo.side(), topo.side() / g,
+                BlockedIndexing::Order::kSnake) {
+  if (g <= 0 || topo.side() % g != 0) {
+    throw std::invalid_argument("BlockGrid: g must divide n");
+  }
+  const auto N = static_cast<std::size_t>(topo.size());
+  proc_block_.resize(N);
+  proc_offset_.resize(N);
+  proc_at_.resize(N);
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    // Blocked snake index = block_snake(block) * vol + inner_snake(offset);
+    // reuse the blocked indexing and split it.
+    std::int64_t idx = indexing_.Index(topo.Coords(p));
+    BlockId block = idx / vol_;
+    std::int64_t offset = idx % vol_;
+    proc_block_[static_cast<std::size_t>(p)] = block;
+    proc_offset_[static_cast<std::size_t>(p)] = offset;
+    proc_at_[static_cast<std::size_t>(block * vol_ + offset)] = p;
+  }
+}
+
+Point BlockGrid::BlockCoords(BlockId block) const {
+  assert(block >= 0 && block < m_);
+  return block_snake_.PointAt(block);
+}
+
+BlockId BlockGrid::BlockAtCoords(const Point& bc) const {
+  return block_snake_.Index(bc);
+}
+
+std::array<double, kMaxDim> BlockGrid::BlockCenter(BlockId block) const {
+  Point bc = BlockCoords(block);
+  std::array<double, kMaxDim> center{};
+  for (int i = 0; i < topo_->dim(); ++i) {
+    center[static_cast<std::size_t>(i)] =
+        static_cast<double>(bc[static_cast<std::size_t>(i)]) * b_ +
+        (b_ - 1) / 2.0;
+  }
+  return center;
+}
+
+double BlockGrid::CenterDist(BlockId a, BlockId b) const {
+  auto ca = BlockCenter(a);
+  auto cb = BlockCenter(b);
+  const int n = topo_->side();
+  double total = 0.0;
+  for (int i = 0; i < topo_->dim(); ++i) {
+    double diff = std::abs(ca[static_cast<std::size_t>(i)] - cb[static_cast<std::size_t>(i)]);
+    if (topo_->torus()) diff = std::min(diff, n - diff);
+    total += diff;
+  }
+  return total;
+}
+
+std::int64_t BlockGrid::MaxProcDist(BlockId a, BlockId b) const {
+  Point ca = BlockCoords(a);
+  Point cb = BlockCoords(b);
+  const int n = topo_->side();
+  std::int64_t total = 0;
+  for (int i = 0; i < topo_->dim(); ++i) {
+    // Coordinate intervals covered by each block in this dimension.
+    std::int64_t a1 = static_cast<std::int64_t>(ca[static_cast<std::size_t>(i)]) * b_;
+    std::int64_t a2 = a1 + b_ - 1;
+    std::int64_t b1 = static_cast<std::int64_t>(cb[static_cast<std::size_t>(i)]) * b_;
+    std::int64_t b2 = b1 + b_ - 1;
+    // |x - y| over the two intervals ranges over [tlo, thi] (every integer in
+    // between is achievable).
+    std::int64_t tlo = std::max<std::int64_t>({b1 - a2, a1 - b2, 0});
+    std::int64_t thi = std::max(AbsDiff(a1, b2), AbsDiff(a2, b1));
+    std::int64_t best;
+    if (!topo_->torus()) {
+      best = thi;
+    } else {
+      // Ring distance min(t, n-t) peaks at t = floor(n/2).
+      std::int64_t peak = n / 2;
+      if (tlo <= peak && peak <= thi) {
+        best = std::min(peak, static_cast<std::int64_t>(n) - peak);
+      } else {
+        best = std::max(std::min(tlo, n - tlo), std::min(thi, n - thi));
+      }
+    }
+    total += best;
+  }
+  return total;
+}
+
+BlockId BlockGrid::MirrorBlock(BlockId block) const {
+  Point bc = BlockCoords(block);
+  for (int i = 0; i < topo_->dim(); ++i) {
+    auto& v = bc[static_cast<std::size_t>(i)];
+    v = g_ - 1 - v;
+  }
+  return block_snake_.Index(bc);
+}
+
+BlockId BlockGrid::AntipodeBlock(BlockId block) const {
+  Point bc = BlockCoords(block);
+  for (int i = 0; i < topo_->dim(); ++i) {
+    auto& v = bc[static_cast<std::size_t>(i)];
+    v = static_cast<std::int32_t>(Mod(v + g_ / 2, g_));
+  }
+  return block_snake_.Index(bc);
+}
+
+std::vector<std::pair<BlockId, BlockId>> BlockGrid::SnakeNeighborPairs(
+    int parity) const {
+  assert(parity == 0 || parity == 1);
+  std::vector<std::pair<BlockId, BlockId>> pairs;
+  for (BlockId s = parity; s + 1 < m_; s += 2) {
+    pairs.emplace_back(s, s + 1);
+  }
+  return pairs;
+}
+
+}  // namespace mdmesh

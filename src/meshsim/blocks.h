@@ -1,0 +1,87 @@
+// Block decomposition of the mesh (paper, Sections 1 and 2.1).
+//
+// All algorithms in the paper partition the network into g^d blocks of side
+// b = n/g (the paper writes b = n^alpha) and address packets by
+// (block, within-block position) under the blocked snake-like indexing
+// scheme. BlockGrid precomputes the two-way mapping
+//
+//     processor id  <->  (block snake index, within-block snake offset)
+//
+// so that the sorting algorithms' rank arithmetic (DESIGN.md §2) is table
+// lookups. Blocks are identified by their snake index throughout mdmesh.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "meshsim/indexing.h"
+#include "meshsim/topology.h"
+
+namespace mdmesh {
+
+using BlockId = std::int64_t;
+
+class BlockGrid {
+ public:
+  /// `g` = blocks per side; requires n % g == 0.
+  BlockGrid(const Topology& topo, int g);
+
+  const Topology& topo() const { return *topo_; }
+  int blocks_per_side() const { return g_; }
+  int block_side() const { return b_; }
+  std::int64_t num_blocks() const { return m_; }      ///< g^d
+  std::int64_t block_volume() const { return vol_; }  ///< b^d
+
+  BlockId BlockOf(ProcId p) const {
+    return proc_block_[static_cast<std::size_t>(p)];
+  }
+  std::int64_t OffsetOf(ProcId p) const {
+    return proc_offset_[static_cast<std::size_t>(p)];
+  }
+  ProcId ProcAt(BlockId block, std::int64_t offset) const {
+    return proc_at_[static_cast<std::size_t>(block * vol_ + offset)];
+  }
+
+  /// Block coordinates in [g]^d of a block snake index.
+  Point BlockCoords(BlockId block) const;
+  BlockId BlockAtCoords(const Point& bc) const;
+
+  /// Geometric center of a block in processor coordinates (may be half-odd).
+  /// Only the first d entries are meaningful.
+  std::array<double, kMaxDim> BlockCenter(BlockId block) const;
+
+  /// L1 distance between block centers; ring distance per dimension on tori.
+  double CenterDist(BlockId a, BlockId b) const;
+
+  /// Max over processor pairs (one in each block) of Topology::Dist — i.e.
+  /// the worst-case travel between the two blocks. Used for bound audits.
+  std::int64_t MaxProcDist(BlockId a, BlockId b) const;
+
+  /// Block whose coordinates are mirrored through the grid center
+  /// (c -> g-1-c in every dimension).
+  BlockId MirrorBlock(BlockId block) const;
+
+  /// Torus antipodal block (coordinates shifted by g/2 mod g).
+  BlockId AntipodeBlock(BlockId block) const;
+
+  /// Blocks adjacent in block snake order, as (left, right) pairs for the
+  /// given parity (0: pairs (0,1),(2,3),... ; 1: pairs (1,2),(3,4),...).
+  std::vector<std::pair<BlockId, BlockId>> SnakeNeighborPairs(int parity) const;
+
+  /// The blocked snake-like indexing scheme induced by this grid.
+  const BlockedIndexing& indexing() const { return indexing_; }
+
+ private:
+  const Topology* topo_;
+  int g_;
+  int b_;
+  std::int64_t m_;
+  std::int64_t vol_;
+  SnakeIndexing block_snake_;   // over [g]^d
+  BlockedIndexing indexing_;    // over [n]^d
+  std::vector<BlockId> proc_block_;
+  std::vector<std::int64_t> proc_offset_;
+  std::vector<ProcId> proc_at_;
+};
+
+}  // namespace mdmesh

@@ -1,0 +1,109 @@
+#include "meshsim/geometry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace mdmesh {
+
+std::int64_t HalfDistToCenter(const Topology& topo, ProcId p) {
+  const int n = topo.side();
+  std::int64_t total = 0;
+  for (int i = 0; i < topo.dim(); ++i) {
+    auto c = static_cast<std::int64_t>(p % n);
+    p /= n;
+    total += AbsDiff(2 * c, n - 1);  // |2c - (n-1)| = 2|c - center|
+  }
+  return total;
+}
+
+std::int64_t CountWithinHalfDist(const Topology& topo, std::int64_t half_radius) {
+  std::int64_t count = 0;
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    if (HalfDistToCenter(topo, p) <= half_radius) ++count;
+  }
+  return count;
+}
+
+CenterRegion::CenterRegion(const BlockGrid& grid, std::int64_t count,
+                           bool mirror_closed)
+    : grid_(&grid) {
+  assert(count >= 1 && count <= grid.num_blocks());
+  const auto m = grid.num_blocks();
+  const int d = grid.topo().dim();
+  const int n = grid.topo().side();
+
+  // Center distance of each block's center, in exact half units:
+  // sum_i |2*center_i - (n-1)| where center_i = bc_i*b + (b-1)/2.
+  std::vector<std::int64_t> half_dist(static_cast<std::size_t>(m));
+  for (BlockId blk = 0; blk < m; ++blk) {
+    Point bc = grid.BlockCoords(blk);
+    std::int64_t total = 0;
+    for (int i = 0; i < d; ++i) {
+      std::int64_t twice_center =
+          2 * static_cast<std::int64_t>(bc[static_cast<std::size_t>(i)]) *
+              grid.block_side() +
+          (grid.block_side() - 1);
+      total += AbsDiff(twice_center, n - 1);
+    }
+    half_dist[static_cast<std::size_t>(blk)] = total;
+  }
+
+  std::vector<BlockId> order;
+  if (!mirror_closed) {
+    order.resize(static_cast<std::size_t>(m));
+    std::iota(order.begin(), order.end(), BlockId{0});
+    std::stable_sort(order.begin(), order.end(), [&](BlockId a, BlockId b) {
+      auto da = half_dist[static_cast<std::size_t>(a)];
+      auto db = half_dist[static_cast<std::size_t>(b)];
+      return da != db ? da < db : a < b;
+    });
+  } else {
+    assert(count % 2 == 0);
+    // Reflection through the center has no fixed blocks when g is even
+    // (g-1-c = c has no integer solution), so blocks pair up exactly.
+    std::vector<std::pair<BlockId, BlockId>> pairs;
+    for (BlockId blk = 0; blk < m; ++blk) {
+      BlockId mb = grid.MirrorBlock(blk);
+      assert(mb != blk && "mirror-closed region needs an even g");
+      if (blk < mb) pairs.emplace_back(blk, mb);
+    }
+    std::stable_sort(pairs.begin(), pairs.end(),
+                     [&](const auto& a, const auto& b) {
+                       auto da = half_dist[static_cast<std::size_t>(a.first)];
+                       auto db = half_dist[static_cast<std::size_t>(b.first)];
+                       return da != db ? da < db : a.first < b.first;
+                     });
+    for (const auto& [x, y] : pairs) {
+      order.push_back(x);
+      order.push_back(y);
+    }
+  }
+
+  blocks_.assign(order.begin(), order.begin() + count);
+  // Stable numbering: by (center distance, block id) within the chosen set.
+  std::stable_sort(blocks_.begin(), blocks_.end(), [&](BlockId a, BlockId b) {
+    auto da = half_dist[static_cast<std::size_t>(a)];
+    auto db = half_dist[static_cast<std::size_t>(b)];
+    return da != db ? da < db : a < b;
+  });
+  number_of_.assign(static_cast<std::size_t>(m), -1);
+  for (std::int64_t c = 0; c < count; ++c) {
+    number_of_[static_cast<std::size_t>(blocks_[static_cast<std::size_t>(c)])] = c;
+  }
+  radius_ = static_cast<double>(
+                half_dist[static_cast<std::size_t>(blocks_.back())]) /
+            2.0;
+}
+
+std::int64_t CenterRegion::MaxDistToAnywhere() const {
+  std::int64_t worst = 0;
+  for (BlockId c_block : blocks_) {
+    for (BlockId other = 0; other < grid_->num_blocks(); ++other) {
+      worst = std::max(worst, grid_->MaxProcDist(c_block, other));
+    }
+  }
+  return worst;
+}
+
+}  // namespace mdmesh

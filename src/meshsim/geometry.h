@@ -1,0 +1,75 @@
+// Center-region geometry (paper, Sections 3.1 and 4).
+//
+// The sorting algorithms concentrate packets into the set C of processors
+// within L1 distance D/4 of the network center; the lower bounds reason
+// about diamonds C_{d,gamma} of radius (1-gamma)D/4. Distances to the center
+// point ((n-1)/2, ..., (n-1)/2) can be half-integral, so all center
+// distances here are measured in HALF UNITS (i.e. 2x the L1 distance) to
+// stay in exact integer arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "meshsim/blocks.h"
+#include "meshsim/topology.h"
+
+namespace mdmesh {
+
+/// 2 * L1-distance from p to the center point of the mesh. Always integral.
+std::int64_t HalfDistToCenter(const Topology& topo, ProcId p);
+
+/// Number of processors within half-distance <= 2r of the center, i.e.
+/// |C(r)| for real radius r given as half-units (see bounds/diamond.h for
+/// the large-d counting DP; this is the direct enumeration).
+std::int64_t CountWithinHalfDist(const Topology& topo, std::int64_t half_radius);
+
+/// The center region used by the sorting algorithms: a fixed numbering of
+/// `count` blocks chosen closest to the network center (ties by block snake
+/// index — this realizes the paper's "arbitrary fixed numbering of the
+/// blocks located in C").
+class CenterRegion {
+ public:
+  /// Chooses `count` blocks of `grid` by increasing center distance.
+  /// Requires 1 <= count <= grid.num_blocks().
+  ///
+  /// With `mirror_closed` (CopySort, Lemma 3.3), the region is closed under
+  /// reflection through the network center: blocks are chosen as mirror
+  /// PAIRS ordered by center distance, so count must be even. (Mirroring
+  /// preserves center distance, so this only changes tie-breaking at the
+  /// region boundary.)
+  CenterRegion(const BlockGrid& grid, std::int64_t count,
+               bool mirror_closed = false);
+
+  std::int64_t count() const { return static_cast<std::int64_t>(blocks_.size()); }
+
+  /// C-number -> block snake index.
+  BlockId BlockAt(std::int64_t c_number) const {
+    return blocks_[static_cast<std::size_t>(c_number)];
+  }
+
+  /// block snake index -> C-number, or -1 if the block is not in C.
+  std::int64_t NumberOf(BlockId block) const {
+    return number_of_[static_cast<std::size_t>(block)];
+  }
+
+  bool Contains(BlockId block) const { return NumberOf(block) >= 0; }
+
+  /// Max center distance (block centers, L1, full units) among chosen blocks.
+  double radius() const { return radius_; }
+
+  /// Max over chosen blocks of the farthest processor-to-processor distance
+  /// from that block to any other block of the grid. The paper's Section 3.1
+  /// claim is that this is <= 3D/4 (+O(b)) when count = m/2 on a mesh.
+  std::int64_t MaxDistToAnywhere() const;
+
+  const std::vector<BlockId>& blocks() const { return blocks_; }
+
+ private:
+  const BlockGrid* grid_;
+  std::vector<BlockId> blocks_;
+  std::vector<std::int64_t> number_of_;
+  double radius_ = 0.0;
+};
+
+}  // namespace mdmesh

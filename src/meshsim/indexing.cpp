@@ -1,0 +1,223 @@
+#include "meshsim/indexing.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mdmesh {
+
+IndexingScheme::IndexingScheme(int d, int n) : d_(d), n_(n) {
+  assert(d >= 1 && d <= kMaxDim && n >= 1);
+  size_ = IPow(n, d);
+}
+
+std::vector<std::int64_t> IndexingScheme::IndexTable(const Topology& topo) const {
+  assert(topo.dim() == d_ && topo.side() == n_);
+  std::vector<std::int64_t> table(static_cast<std::size_t>(size_));
+  for (ProcId p = 0; p < size_; ++p) {
+    table[static_cast<std::size_t>(p)] = Index(topo.Coords(p));
+  }
+  return table;
+}
+
+std::int64_t RowMajorIndexing::Index(const Point& p) const {
+  std::int64_t idx = 0;
+  for (int i = d_ - 1; i >= 0; --i) {
+    auto v = p[static_cast<std::size_t>(i)];
+    assert(v >= 0 && v < n_);
+    idx = idx * n_ + v;
+  }
+  return idx;
+}
+
+Point RowMajorIndexing::PointAt(std::int64_t index) const {
+  assert(index >= 0 && index < size_);
+  Point p{};
+  for (int i = 0; i < d_; ++i) {
+    p[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(index % n_);
+    index /= n_;
+  }
+  return p;
+}
+
+std::int64_t SnakeIndexing::Index(const Point& p) const {
+  // Boustrophedon product order: dimension i's digit is reflected when the
+  // parity of the RAW coordinates of all higher dimensions is odd (the
+  // d-dimensional generalization of "odd rows run right-to-left"). Using the
+  // raw parity — not the reflected digit's — is what makes consecutive
+  // indices mesh neighbors across carries.
+  std::int64_t idx = 0;
+  bool flip = false;
+  for (int i = d_ - 1; i >= 0; --i) {
+    auto raw = p[static_cast<std::size_t>(i)];
+    assert(raw >= 0 && raw < n_);
+    std::int32_t v = flip ? n_ - 1 - raw : raw;
+    idx = idx * n_ + v;
+    flip ^= (raw & 1) != 0;
+  }
+  return idx;
+}
+
+Point SnakeIndexing::PointAt(std::int64_t index) const {
+  assert(index >= 0 && index < size_);
+  Point p{};
+  bool flip = false;
+  std::int64_t divisor = size_;
+  for (int i = d_ - 1; i >= 0; --i) {
+    divisor /= n_;
+    auto v = static_cast<std::int32_t>(index / divisor);
+    index %= divisor;
+    const std::int32_t raw = flip ? n_ - 1 - v : v;
+    p[static_cast<std::size_t>(i)] = raw;
+    flip ^= (raw & 1) != 0;
+  }
+  return p;
+}
+
+BlockedIndexing::BlockedIndexing(int d, int n, int b, Order order)
+    : IndexingScheme(d, n), b_(b), order_(order) {
+  if (b <= 0 || n % b != 0) {
+    throw std::invalid_argument("BlockedIndexing: block side must divide n");
+  }
+  const int g = n / b;
+  if (order == Order::kSnake) {
+    outer_ = std::make_unique<SnakeIndexing>(d, g);
+    inner_ = std::make_unique<SnakeIndexing>(d, b);
+  } else {
+    outer_ = std::make_unique<RowMajorIndexing>(d, g);
+    inner_ = std::make_unique<RowMajorIndexing>(d, b);
+  }
+  block_volume_ = IPow(b, d);
+}
+
+std::int64_t BlockedIndexing::Index(const Point& p) const {
+  Point block{};
+  Point offset{};
+  for (int i = 0; i < d_; ++i) {
+    auto v = p[static_cast<std::size_t>(i)];
+    assert(v >= 0 && v < n_);
+    block[static_cast<std::size_t>(i)] = v / b_;
+    offset[static_cast<std::size_t>(i)] = v % b_;
+  }
+  return outer_->Index(block) * block_volume_ + inner_->Index(offset);
+}
+
+Point BlockedIndexing::PointAt(std::int64_t index) const {
+  assert(index >= 0 && index < size_);
+  Point block = outer_->PointAt(index / block_volume_);
+  Point offset = inner_->PointAt(index % block_volume_);
+  Point p{};
+  for (int i = 0; i < d_; ++i) {
+    p[static_cast<std::size_t>(i)] =
+        block[static_cast<std::size_t>(i)] * b_ + offset[static_cast<std::size_t>(i)];
+  }
+  return p;
+}
+
+std::string BlockedIndexing::Name() const {
+  return order_ == Order::kSnake ? "blocked-snake(b=" + std::to_string(b_) + ")"
+                                 : "blocked-row-major(b=" + std::to_string(b_) + ")";
+}
+
+MortonIndexing::MortonIndexing(int d, int n) : IndexingScheme(d, n) {
+  if (n < 2 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("MortonIndexing: n must be a power of two");
+  }
+  bits_ = 0;
+  while ((1 << bits_) < n) ++bits_;
+}
+
+std::int64_t MortonIndexing::Index(const Point& p) const {
+  std::int64_t idx = 0;
+  // Bit t of coordinate i lands at position t*d + i.
+  for (int t = 0; t < bits_; ++t) {
+    for (int i = 0; i < d_; ++i) {
+      const auto v = p[static_cast<std::size_t>(i)];
+      assert(v >= 0 && v < n_);
+      idx |= static_cast<std::int64_t>((v >> t) & 1) << (t * d_ + i);
+    }
+  }
+  return idx;
+}
+
+Point MortonIndexing::PointAt(std::int64_t index) const {
+  assert(index >= 0 && index < size_);
+  Point p{};
+  for (int t = 0; t < bits_; ++t) {
+    for (int i = 0; i < d_; ++i) {
+      p[static_cast<std::size_t>(i)] |=
+          static_cast<std::int32_t>((index >> (t * d_ + i)) & 1) << t;
+    }
+  }
+  return p;
+}
+
+HilbertIndexing::HilbertIndexing(int d, int n) : IndexingScheme(d, n) {
+  if (d != 2) throw std::invalid_argument("HilbertIndexing: 2D only");
+  if (n < 2 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("HilbertIndexing: n must be a power of two");
+  }
+}
+
+std::int64_t HilbertIndexing::Index(const Point& p) const {
+  // Classic xy -> d conversion with quadrant rotation at each level.
+  std::int64_t x = p[0];
+  std::int64_t y = p[1];
+  assert(x >= 0 && x < n_ && y >= 0 && y < n_);
+  std::int64_t idx = 0;
+  for (std::int64_t s = n_ / 2; s > 0; s /= 2) {
+    const std::int64_t rx = (x & s) > 0 ? 1 : 0;
+    const std::int64_t ry = (y & s) > 0 ? 1 : 0;
+    idx += s * s * ((3 * rx) ^ ry);
+    // Rotate the quadrant so the curve's entry/exit line up.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      std::swap(x, y);
+    }
+  }
+  return idx;
+}
+
+Point HilbertIndexing::PointAt(std::int64_t index) const {
+  assert(index >= 0 && index < size_);
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+  std::int64_t t = index;
+  for (std::int64_t s = 1; s < n_; s *= 2) {
+    const std::int64_t rx = 1 & (t / 2);
+    const std::int64_t ry = 1 & (t ^ rx);
+    if (ry == 0) {
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      std::swap(x, y);
+    }
+    x += s * rx;
+    y += s * ry;
+    t /= 4;
+  }
+  Point p{};
+  p[0] = static_cast<std::int32_t>(x);
+  p[1] = static_cast<std::int32_t>(y);
+  return p;
+}
+
+std::unique_ptr<IndexingScheme> MakeIndexing(const std::string& name, int d,
+                                             int n, int b) {
+  if (name == "row-major") return std::make_unique<RowMajorIndexing>(d, n);
+  if (name == "snake") return std::make_unique<SnakeIndexing>(d, n);
+  if (name == "morton") return std::make_unique<MortonIndexing>(d, n);
+  if (name == "hilbert") return std::make_unique<HilbertIndexing>(d, n);
+  if (name == "blocked-row-major") {
+    return std::make_unique<BlockedIndexing>(d, n, b, BlockedIndexing::Order::kRowMajor);
+  }
+  if (name == "blocked-snake") {
+    return std::make_unique<BlockedIndexing>(d, n, b, BlockedIndexing::Order::kSnake);
+  }
+  throw std::invalid_argument("unknown indexing scheme: " + name);
+}
+
+}  // namespace mdmesh

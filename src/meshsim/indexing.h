@@ -1,0 +1,125 @@
+// Indexing schemes (paper, Section 1).
+//
+// An indexing scheme is a bijection I : [n]^d -> [n^d] that defines what
+// "sorted" means: the key of rank i must end at the processor with index i.
+// We implement the schemes the paper's lower bound covers (all are
+// "compatible" in the Section 4 sense, verified in mdmesh_bounds):
+//
+//   * row-major            — dimension d-1 varies slowest
+//   * snake-like           — boustrophedon: a coordinate's direction reverses
+//                            with the parity of the (snaked) digits above it
+//   * blocked row-major    — blocks of side b ordered row-major, row-major
+//                            inside each block
+//   * blocked snake-like   — the scheme all sorting algorithms in the paper
+//                            assume: snake order of blocks, snake inside
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "meshsim/topology.h"
+
+namespace mdmesh {
+
+class IndexingScheme {
+ public:
+  virtual ~IndexingScheme() = default;
+
+  virtual std::int64_t Index(const Point& p) const = 0;
+  virtual Point PointAt(std::int64_t index) const = 0;
+  virtual std::string Name() const = 0;
+
+  int dim() const { return d_; }
+  int side() const { return n_; }
+  std::int64_t size() const { return size_; }
+
+  std::int64_t IndexOf(const Topology& topo, ProcId p) const {
+    return Index(topo.Coords(p));
+  }
+
+  /// table[proc_id] = index; a full bijection check is a unit test.
+  std::vector<std::int64_t> IndexTable(const Topology& topo) const;
+
+ protected:
+  IndexingScheme(int d, int n);
+  int d_;
+  int n_;
+  std::int64_t size_;
+};
+
+class RowMajorIndexing final : public IndexingScheme {
+ public:
+  RowMajorIndexing(int d, int n) : IndexingScheme(d, n) {}
+  std::int64_t Index(const Point& p) const override;
+  Point PointAt(std::int64_t index) const override;
+  std::string Name() const override { return "row-major"; }
+};
+
+class SnakeIndexing final : public IndexingScheme {
+ public:
+  SnakeIndexing(int d, int n) : IndexingScheme(d, n) {}
+  std::int64_t Index(const Point& p) const override;
+  Point PointAt(std::int64_t index) const override;
+  std::string Name() const override { return "snake"; }
+};
+
+/// Shared blocked layout: block side b must divide n. Index is
+/// outer(block coords over side n/b) * b^d + inner(offset coords over side b).
+class BlockedIndexing final : public IndexingScheme {
+ public:
+  enum class Order : std::uint8_t { kRowMajor, kSnake };
+
+  /// `b` is the block side length; n % b == 0.
+  BlockedIndexing(int d, int n, int b, Order order);
+
+  std::int64_t Index(const Point& p) const override;
+  Point PointAt(std::int64_t index) const override;
+  std::string Name() const override;
+
+  int block_side() const { return b_; }
+
+ private:
+  int b_;
+  Order order_;
+  std::unique_ptr<IndexingScheme> outer_;  // over block coordinates, side n/b
+  std::unique_ptr<IndexingScheme> inner_;  // over offsets, side b
+  std::int64_t block_volume_;
+};
+
+/// Morton (Z-order) indexing: interleaves the bits of the coordinates.
+/// Requires n to be a power of two. NOT used by any algorithm in the paper —
+/// it serves as the contrast case for the Section 4 compatibility checker:
+/// its hyperplanes are smeared across the whole index range, so the minimal
+/// joker-zone window is near n^d (bounds/compatibility.h).
+class MortonIndexing final : public IndexingScheme {
+ public:
+  MortonIndexing(int d, int n);
+  std::int64_t Index(const Point& p) const override;
+  Point PointAt(std::int64_t index) const override;
+  std::string Name() const override { return "morton"; }
+
+ private:
+  int bits_;
+};
+
+/// Hilbert curve indexing (2D only; n a power of two). Like the snake it is
+/// a Hamiltonian path (consecutive indices are mesh neighbors) but with
+/// better locality: every aligned subsquare is one contiguous index range.
+/// Not used by the paper; included as the classic locality-preserving
+/// contrast for the compatibility checker and the scheme-remapping API.
+class HilbertIndexing final : public IndexingScheme {
+ public:
+  HilbertIndexing(int d, int n);
+  std::int64_t Index(const Point& p) const override;
+  Point PointAt(std::int64_t index) const override;
+  std::string Name() const override { return "hilbert"; }
+};
+
+/// Factory by name: "row-major" | "snake" | "blocked-row-major" |
+/// "blocked-snake" (blocked forms require b > 0) | "morton" | "hilbert".
+std::unique_ptr<IndexingScheme> MakeIndexing(const std::string& name, int d,
+                                             int n, int b = 0);
+
+}  // namespace mdmesh

@@ -1,0 +1,118 @@
+#include "meshsim/topology.h"
+
+#include <cassert>
+
+namespace mdmesh {
+
+Topology::Topology(int d, int n, Wrap wrap) : d_(d), n_(n), wrap_(wrap) {
+  assert(d >= 1 && d <= kMaxDim);
+  assert(n >= 2);
+  stride_[0] = 1;
+  for (int i = 0; i < d_; ++i) stride_[static_cast<std::size_t>(i) + 1] = stride_[static_cast<std::size_t>(i)] * n_;
+  size_ = stride_[static_cast<std::size_t>(d_)];
+}
+
+std::int64_t Topology::Diameter() const {
+  return torus() ? static_cast<std::int64_t>(d_) * (n_ / 2)
+                 : static_cast<std::int64_t>(d_) * (n_ - 1);
+}
+
+Point Topology::Coords(ProcId p) const {
+  assert(p >= 0 && p < size_);
+  Point c{};
+  for (int i = 0; i < d_; ++i) {
+    c[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(p % n_);
+    p /= n_;
+  }
+  return c;
+}
+
+ProcId Topology::Id(const Point& c) const {
+  ProcId p = 0;
+  for (int i = d_ - 1; i >= 0; --i) {
+    auto v = c[static_cast<std::size_t>(i)];
+    assert(v >= 0 && v < n_);
+    p = p * n_ + v;
+  }
+  return p;
+}
+
+ProcId Topology::Neighbor(ProcId p, int dim, int dir) const {
+  assert(dim >= 0 && dim < d_);
+  assert(dir == 0 || dir == 1);
+  auto coord = static_cast<std::int32_t>((p / stride_[static_cast<std::size_t>(dim)]) % n_);
+  std::int32_t next = coord + (dir == 1 ? 1 : -1);
+  if (next < 0 || next >= n_) {
+    if (!torus()) return -1;
+    next = next < 0 ? n_ - 1 : 0;
+  }
+  return p + static_cast<std::int64_t>(next - coord) * stride_[static_cast<std::size_t>(dim)];
+}
+
+std::int64_t Topology::DistCoords(const Point& a, const Point& b) const {
+  std::int64_t total = 0;
+  for (int i = 0; i < d_; ++i) {
+    auto x = a[static_cast<std::size_t>(i)];
+    auto y = b[static_cast<std::size_t>(i)];
+    total += torus() ? RingDist(x, y, n_) : AbsDiff(x, y);
+  }
+  return total;
+}
+
+std::int64_t Topology::Dist(ProcId a, ProcId b) const {
+  std::int64_t total = 0;
+  for (int i = 0; i < d_; ++i) {
+    auto x = static_cast<std::int32_t>(a % n_);
+    auto y = static_cast<std::int32_t>(b % n_);
+    a /= n_;
+    b /= n_;
+    total += torus() ? RingDist(x, y, n_) : AbsDiff(x, y);
+  }
+  return total;
+}
+
+int Topology::StepToward(int from, int to) const {
+  if (from == to) return 0;
+  if (!torus()) return to > from ? 1 : -1;
+  const int forward = static_cast<int>(Mod(to - from, n_));  // steps going +1
+  // Ties (forward == n - forward) resolve to +1.
+  return forward <= n_ - forward ? 1 : -1;
+}
+
+std::vector<std::int32_t> Topology::BuildCoordTable() const {
+  std::vector<std::int32_t> table(static_cast<std::size_t>(size_) * static_cast<std::size_t>(d_));
+  Point c{};
+  for (ProcId p = 0; p < size_; ++p) {
+    for (int i = 0; i < d_; ++i) {
+      table[static_cast<std::size_t>(p) * static_cast<std::size_t>(d_) + static_cast<std::size_t>(i)] =
+          c[static_cast<std::size_t>(i)];
+    }
+    // increment mixed-radix counter
+    for (int i = 0; i < d_; ++i) {
+      auto& v = c[static_cast<std::size_t>(i)];
+      if (++v < n_) break;
+      v = 0;
+    }
+  }
+  return table;
+}
+
+ProcId Topology::Mirror(ProcId p) const {
+  Point c = Coords(p);
+  for (int i = 0; i < d_; ++i) {
+    auto& v = c[static_cast<std::size_t>(i)];
+    v = n_ - 1 - v;
+  }
+  return Id(c);
+}
+
+ProcId Topology::Antipode(ProcId p) const {
+  Point c = Coords(p);
+  for (int i = 0; i < d_; ++i) {
+    auto& v = c[static_cast<std::size_t>(i)];
+    v = static_cast<std::int32_t>(Mod(v + n_ / 2, n_));
+  }
+  return Id(c);
+}
+
+}  // namespace mdmesh

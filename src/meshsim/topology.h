@@ -1,0 +1,89 @@
+// The d-dimensional mesh / torus topology (paper, Section 1).
+//
+// A d-dimensional mesh of side length n has N = n^d processors identified by
+// d-tuples in [n]^d; processors differing by exactly 1 in one coordinate are
+// joined by a bidirectional link. The torus adds wraparound links. This class
+// owns the coordinate arithmetic used by every other layer: flat processor
+// ids, neighbor lookup, and L1 / ring distances.
+//
+// Coordinate convention: dimension 0 is least significant in the flat id,
+// i.e. id = p[0] + n*p[1] + n^2*p[2] + ...
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/math.h"
+
+namespace mdmesh {
+
+/// Maximum supported dimension. The paper's high-dimensional theorems are
+/// exercised at d <= 10 (n^d must stay simulable); bound *calculators* in
+/// mdmesh_bounds work for arbitrary d and do not use this type.
+inline constexpr int kMaxDim = 10;
+
+/// Flat processor id in [0, n^d).
+using ProcId = std::int64_t;
+
+/// A coordinate tuple; only the first d entries are meaningful.
+using Point = std::array<std::int32_t, kMaxDim>;
+
+enum class Wrap : std::uint8_t {
+  kMesh,   ///< no wraparound edges
+  kTorus,  ///< wraparound in every dimension
+};
+
+class Topology {
+ public:
+  /// Requires 1 <= d <= kMaxDim and n >= 2.
+  Topology(int d, int n, Wrap wrap);
+
+  int dim() const { return d_; }
+  int side() const { return n_; }
+  Wrap wrap() const { return wrap_; }
+  bool torus() const { return wrap_ == Wrap::kTorus; }
+  ProcId size() const { return size_; }
+
+  /// Network diameter D: d(n-1) for the mesh, d*floor(n/2) for the torus.
+  std::int64_t Diameter() const;
+
+  Point Coords(ProcId p) const;
+  ProcId Id(const Point& c) const;
+
+  /// Neighbor of p along `dim` in direction `dir` (0 = decreasing,
+  /// 1 = increasing). Returns -1 if the link does not exist (mesh boundary).
+  ProcId Neighbor(ProcId p, int dim, int dir) const;
+
+  /// L1 distance (mesh) or sum of ring distances (torus).
+  std::int64_t Dist(ProcId a, ProcId b) const;
+  std::int64_t DistCoords(const Point& a, const Point& b) const;
+
+  /// Signed unit step in one dimension that moves `from` toward `to` along a
+  /// shortest path (+1/-1), or 0 if already equal. On the torus the shorter
+  /// way is chosen; an exact tie (distance n/2) resolves to +1 so that a
+  /// packet's direction never flips mid-route.
+  int StepToward(int from, int to) const;
+
+  /// coords(p)[dim] for all p, flattened as table[p * d + dim]. Built once by
+  /// the engine so the hot loop avoids div/mod chains.
+  std::vector<std::int32_t> BuildCoordTable() const;
+
+  /// Processor obtained by reflecting p through the network center,
+  /// i.e. each coordinate c -> n-1-c.
+  ProcId Mirror(ProcId p) const;
+
+  /// Torus antipode: each coordinate shifted by floor(n/2) mod n. On a ring,
+  /// dist(x, c) + dist(x, antipode(c)) >= floor(n/2) with equality for even n,
+  /// which is what makes TorusSort's Lemma 3.4 exact (DESIGN.md §2).
+  ProcId Antipode(ProcId p) const;
+
+ private:
+  int d_;
+  int n_;
+  Wrap wrap_;
+  ProcId size_;
+  std::array<std::int64_t, kMaxDim + 1> stride_;
+};
+
+}  // namespace mdmesh

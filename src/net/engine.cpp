@@ -1,0 +1,240 @@
+#include "net/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+namespace mdmesh {
+namespace {
+
+/// Finds the next hop for a packet at coordinates `cp` heading to `dc`,
+/// visiting dimensions in the rotated order starting at `klass`. Returns the
+/// remaining distance; sets dim/dir to the first uncorrected dimension, or
+/// dim = -1 if the packet is at its destination.
+std::int64_t NextHop(const std::int32_t* cp, const std::int32_t* dc, int d,
+                     int n, bool torus, std::uint16_t klass, int& dim,
+                     int& dir) {
+  std::int64_t rem = 0;
+  dim = -1;
+  dir = 0;
+  for (int t = 0; t < d; ++t) {
+    int i = klass + t;
+    if (i >= d) i -= d;
+    const std::int32_t c = cp[i];
+    const std::int32_t g = dc[i];
+    if (c == g) continue;
+    std::int64_t dist;
+    int step;
+    if (torus) {
+      std::int64_t forward = Mod(g - c, n);
+      if (forward <= n - forward) {
+        dist = forward;
+        step = 1;
+      } else {
+        dist = n - forward;
+        step = -1;
+      }
+    } else {
+      dist = AbsDiff(c, g);
+      step = g > c ? 1 : -1;
+    }
+    rem += dist;
+    if (dim < 0) {
+      dim = i;
+      dir = step > 0 ? 1 : 0;
+    }
+  }
+  return rem;
+}
+
+}  // namespace
+
+Engine::Engine(const Topology& topo, EngineOptions opts)
+    : topo_(&topo),
+      opts_(opts),
+      d_(topo.dim()),
+      n_(topo.side()),
+      coords_(topo.BuildCoordTable()),
+      slot_(static_cast<std::size_t>(topo.size()) * static_cast<std::size_t>(2 * topo.dim())),
+      slot_prio_(slot_.size()),
+      next_(static_cast<std::size_t>(topo.size())) {
+  if (opts_.pool == nullptr) opts_.pool = &ThreadPool::Global();
+}
+
+void Engine::StepPhaseA(Network& net, std::int64_t begin, std::int64_t end) {
+  const bool torus = topo_->torus();
+  const auto links = static_cast<std::size_t>(2 * d_);
+  auto& queues = net.queues();
+  for (ProcId p = begin; p < end; ++p) {
+    const std::size_t base = static_cast<std::size_t>(p) * links;
+    for (std::size_t l = 0; l < links; ++l) {
+      slot_[base + l] = -1;
+      slot_prio_[base + l] = -1;
+    }
+    auto& q = queues[static_cast<std::size_t>(p)];
+    if (q.empty()) continue;
+    const std::int32_t* cp = &coords_[static_cast<std::size_t>(p) * static_cast<std::size_t>(d_)];
+    for (std::size_t k = 0; k < q.size(); ++k) {
+      Packet& pkt = q[k];
+      if (pkt.dest == p) continue;
+      int dim, dir;
+      std::int64_t rem = NextHop(
+          cp, &coords_[static_cast<std::size_t>(pkt.dest) * static_cast<std::size_t>(d_)],
+          d_, n_, torus, pkt.klass, dim, dir);
+      assert(dim >= 0);
+      // Farthest-first priority counts the full remaining path of a
+      // two-leg packet, not just the current leg.
+      if ((pkt.flags & Packet::kTwoLeg) != 0) {
+        rem += topo_->Dist(pkt.dest, static_cast<ProcId>(pkt.tag));
+      }
+      const std::size_t l = base + static_cast<std::size_t>(dim * 2 + dir);
+      const auto cur = slot_[l];
+      // Farthest remaining distance wins; ties to the smaller packet id.
+      if (cur < 0 || rem > slot_prio_[l] ||
+          (rem == slot_prio_[l] && pkt.id < q[static_cast<std::size_t>(cur)].id)) {
+        slot_[l] = static_cast<std::int32_t>(k);
+        slot_prio_[l] = rem;
+      }
+    }
+    for (std::size_t l = 0; l < links; ++l) {
+      if (slot_[base + l] >= 0) {
+        q[static_cast<std::size_t>(slot_[base + l])].flags |= Packet::kMoving;
+      }
+    }
+  }
+}
+
+RouteResult Engine::Route(Network& net) {
+  RouteResult result;
+  const ProcId N = topo_->size();
+  const auto links = static_cast<std::size_t>(2 * d_);
+  auto& queues = net.queues();
+
+  // Initialize per-packet measurement state. Two-leg packets (overlapped
+  // routing) count their full path as the distance; a zero-length first leg
+  // retargets immediately.
+  std::int64_t in_flight = 0;  // packets not yet at their final destination
+  for (ProcId p = 0; p < N; ++p) {
+    for (Packet& pkt : queues[static_cast<std::size_t>(p)]) {
+      pkt.flags &= static_cast<std::uint16_t>(~Packet::kMoving);
+      if ((pkt.flags & Packet::kTwoLeg) != 0) {
+        pkt.dist0 = static_cast<std::int32_t>(
+            topo_->Dist(p, pkt.dest) +
+            topo_->Dist(pkt.dest, static_cast<ProcId>(pkt.tag)));
+        if (pkt.dest == p) {
+          pkt.dest = static_cast<ProcId>(pkt.tag);
+          pkt.flags &= static_cast<std::uint16_t>(~Packet::kTwoLeg);
+        }
+      } else {
+        pkt.dist0 = static_cast<std::int32_t>(topo_->Dist(p, pkt.dest));
+      }
+      pkt.arrived = pkt.dest == p ? 0 : -1;
+      if (pkt.dest != p) ++in_flight;
+      result.max_distance = std::max<std::int64_t>(result.max_distance, pkt.dist0);
+      ++result.packets;
+    }
+  }
+  result.max_queue = net.MaxQueue();
+  // Directed links: 2d per processor on the torus; meshes lose the boundary
+  // links (each dimension has 2*(n-1)*n^(d-1) directed links).
+  result.links = topo_->torus()
+                     ? 2ll * d_ * N
+                     : 2ll * d_ * N * (n_ - 1) / n_;
+
+  std::int64_t cap = opts_.step_cap;
+  if (cap <= 0) {
+    const std::int64_t load = std::max<std::int64_t>(1, CeilDiv(result.packets, N));
+    cap = 4 * load * (topo_->Diameter() + n_) + 4096;
+  }
+
+  std::atomic<std::int64_t> arrivals_total{0};
+  std::atomic<std::int64_t> moves_total{0};
+  std::atomic<std::int64_t> queue_max{result.max_queue};
+
+  std::int64_t step = 0;
+  std::int64_t prev_arrivals = 0;
+  while (in_flight > arrivals_total.load(std::memory_order_relaxed) &&
+         step < cap) {
+    ++step;
+    opts_.pool->ParallelFor(N, [&](std::int64_t begin, std::int64_t end) {
+      StepPhaseA(net, begin, end);
+    });
+    const std::int32_t now = static_cast<std::int32_t>(step);
+    opts_.pool->ParallelFor(N, [&](std::int64_t begin, std::int64_t end) {
+      std::int64_t local_arrivals = 0;
+      std::int64_t local_moves = 0;
+      std::int64_t local_qmax = 0;
+      for (ProcId p = begin; p < end; ++p) {
+        auto& out = next_[static_cast<std::size_t>(p)];
+        out.clear();
+        // Stayers: everything not selected to move out.
+        for (const Packet& pkt : queues[static_cast<std::size_t>(p)]) {
+          if ((pkt.flags & Packet::kMoving) == 0) out.push_back(pkt);
+        }
+        // Incomers: one per directed in-link, from the neighbor's slot.
+        for (int dim = 0; dim < d_; ++dim) {
+          for (int dir = 0; dir < 2; ++dir) {
+            const ProcId q = topo_->Neighbor(p, dim, dir);
+            if (q < 0) continue;
+            // q sends toward p on its (dim, 1-dir) link.
+            const std::size_t l =
+                static_cast<std::size_t>(q) * links +
+                static_cast<std::size_t>(dim * 2 + (1 - dir));
+            const auto k = slot_[l];
+            if (k < 0) continue;
+            Packet pkt = queues[static_cast<std::size_t>(q)][static_cast<std::size_t>(k)];
+            pkt.flags &= static_cast<std::uint16_t>(~Packet::kMoving);
+            ++local_moves;
+            if (pkt.dest == p) {
+              if ((pkt.flags & Packet::kTwoLeg) != 0) {
+                // Midpoint reached: retarget to the final destination and
+                // keep going next step — no barrier between the phases.
+                pkt.dest = static_cast<ProcId>(pkt.tag);
+                pkt.flags &= static_cast<std::uint16_t>(~Packet::kTwoLeg);
+                if (pkt.dest == p) {
+                  pkt.arrived = now;
+                  ++local_arrivals;
+                }
+              } else {
+                pkt.arrived = now;
+                ++local_arrivals;
+              }
+            }
+            out.push_back(pkt);
+          }
+        }
+        local_qmax = std::max<std::int64_t>(local_qmax, static_cast<std::int64_t>(out.size()));
+      }
+      arrivals_total.fetch_add(local_arrivals, std::memory_order_relaxed);
+      moves_total.fetch_add(local_moves, std::memory_order_relaxed);
+      std::int64_t seen = queue_max.load(std::memory_order_relaxed);
+      while (local_qmax > seen &&
+             !queue_max.compare_exchange_weak(seen, local_qmax, std::memory_order_relaxed)) {
+      }
+    });
+    queues.swap(next_);
+    if (opts_.observer) {
+      const std::int64_t arrived_now = arrivals_total.load(std::memory_order_relaxed);
+      opts_.observer(step, in_flight - arrived_now, arrived_now - prev_arrivals);
+      prev_arrivals = arrived_now;
+    }
+  }
+
+  result.steps = step;
+  result.moves = moves_total.load();
+  result.max_queue = queue_max.load();
+  result.completed = in_flight == arrivals_total.load();
+
+  // Overshoot statistics.
+  for (ProcId p = 0; p < N; ++p) {
+    for (const Packet& pkt : queues[static_cast<std::size_t>(p)]) {
+      if (pkt.arrived < 0) continue;
+      const std::int64_t over = pkt.arrived - pkt.dist0;
+      result.overshoot.Add(static_cast<double>(over));
+      result.max_overshoot = std::max(result.max_overshoot, over);
+    }
+  }
+  return result;
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,66 @@
+// Cycle-accurate synchronous routing engine (paper, Sections 1 and 2.2).
+//
+// Model: in one step every processor may transmit one packet across each of
+// its <= 2d directed outgoing links. Packets follow the *extended greedy*
+// scheme: a packet of class c corrects dimensions in the rotated order
+// c, c+1 mod d, ..., c-1 mod d, moving one hop per step toward its
+// destination coordinate (shorter way on tori, ties resolved to +1). When
+// several resident packets want the same outgoing link, the one with the
+// farthest remaining distance wins (ties broken by smaller packet id), which
+// is the paper's contention rule.
+//
+// The engine is deterministic: identical inputs give identical step counts
+// and final placements regardless of thread count (each directed link has a
+// unique writer, so the parallel update is race-free by construction).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/metrics.h"
+#include "net/network.h"
+#include "util/thread_pool.h"
+
+namespace mdmesh {
+
+struct EngineOptions {
+  /// Hard stop; 0 means "auto" (scaled from diameter and load, generous
+  /// enough for every algorithm in the paper; hitting it means a bug and is
+  /// reported via RouteResult::completed = false).
+  std::int64_t step_cap = 0;
+
+  /// Thread pool; nullptr uses ThreadPool::Global().
+  ThreadPool* pool = nullptr;
+
+  /// Optional per-step probe, called after every step with
+  /// (step, packets still in flight, arrivals during this step). Useful for
+  /// congestion traces; adds no cost when unset.
+  std::function<void(std::int64_t, std::int64_t, std::int64_t)> observer;
+};
+
+class Engine {
+ public:
+  explicit Engine(const Topology& topo, EngineOptions opts = {});
+
+  const Topology& topo() const { return *topo_; }
+
+  /// Routes every packet in `net` to its `dest` processor. On return the
+  /// packets sit in their destinations' queues with `arrived` filled in.
+  /// Packets already at their destination stay put (arrived = 0).
+  RouteResult Route(Network& net);
+
+ private:
+  void StepPhaseA(Network& net, std::int64_t begin, std::int64_t end);
+
+  const Topology* topo_;
+  EngineOptions opts_;
+  int d_;
+  int n_;
+  std::vector<std::int32_t> coords_;        // N x d coordinate table
+  std::vector<std::int32_t> slot_;          // N x 2d winner queue-index
+  std::vector<std::int64_t> slot_prio_;     // N x 2d winner priority
+  std::vector<PacketQueue> next_;           // double buffer for queues
+};
+
+}  // namespace mdmesh

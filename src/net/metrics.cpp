@@ -1,0 +1,28 @@
+#include "net/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mdmesh {
+
+std::string RouteResult::ToString() const {
+  std::ostringstream os;
+  os << "steps=" << steps << " packets=" << packets << " moves=" << moves
+     << " max_queue=" << max_queue << " max_distance=" << max_distance
+     << " max_overshoot=" << max_overshoot
+     << (completed ? "" : " INCOMPLETE");
+  return os.str();
+}
+
+void RouteResult::Accumulate(const RouteResult& phase) {
+  steps += phase.steps;
+  moves += phase.moves;
+  max_queue = std::max(max_queue, phase.max_queue);
+  packets = std::max(packets, phase.packets);
+  completed = completed && phase.completed;
+  max_distance = std::max(max_distance, phase.max_distance);
+  max_overshoot = std::max(max_overshoot, phase.max_overshoot);
+  overshoot.Merge(phase.overshoot);
+}
+
+}  // namespace mdmesh

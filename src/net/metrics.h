@@ -1,0 +1,45 @@
+// Measurements produced by a routing run. These are the quantities the
+// paper's theorems bound: step counts (vs. cD + o(n)), per-packet overshoot
+// (arrival time minus source-destination distance, the "distance-optimality"
+// of Section 2.2), and queue occupancy (the multi-packet model's O(1)).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/stats.h"
+
+namespace mdmesh {
+
+struct RouteResult {
+  std::int64_t steps = 0;       ///< steps until the last packet arrived
+  std::int64_t moves = 0;       ///< total packet-moves over all links/steps
+  std::int64_t max_queue = 0;   ///< max packets resident at one processor
+  std::int64_t packets = 0;     ///< number of packets routed
+  std::int64_t links = 0;       ///< directed links in the network
+  bool completed = true;        ///< false if the step cap was hit
+
+  /// Fraction of directed-link-steps that carried a packet — how close the
+  /// run came to saturating the network's wire capacity.
+  double LinkUtilization() const {
+    return steps > 0 && links > 0
+               ? static_cast<double>(moves) /
+                     (static_cast<double>(steps) * static_cast<double>(links))
+               : 0.0;
+  }
+
+  /// Max over packets of dist(src, dest) — the per-run distance bound.
+  std::int64_t max_distance = 0;
+
+  /// Per-packet overshoot = arrival_step - dist(src, dest). A run is
+  /// distance-optimal when max overshoot is o(n).
+  Accumulator overshoot;
+  std::int64_t max_overshoot = 0;
+
+  std::string ToString() const;
+
+  /// Combines phase results: steps/moves add, queue/overshoot take max.
+  void Accumulate(const RouteResult& phase);
+};
+
+}  // namespace mdmesh

@@ -1,0 +1,56 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mdmesh {
+
+Network::Network(const Topology& topo)
+    : topo_(&topo), queues_(static_cast<std::size_t>(topo.size())) {}
+
+void Network::Add(ProcId at, Packet packet) {
+  assert(at >= 0 && at < topo_->size());
+  queues_[static_cast<std::size_t>(at)].push_back(packet);
+}
+
+void Network::Clear() {
+  for (auto& q : queues_) q.clear();
+}
+
+std::int64_t Network::TotalPackets() const {
+  std::int64_t total = 0;
+  for (const auto& q : queues_) total += static_cast<std::int64_t>(q.size());
+  return total;
+}
+
+std::int64_t Network::MaxQueue() const {
+  std::size_t mx = 0;
+  for (const auto& q : queues_) mx = std::max(mx, q.size());
+  return static_cast<std::int64_t>(mx);
+}
+
+void Network::ForEach(const std::function<void(ProcId, Packet&)>& fn) {
+  for (ProcId p = 0; p < topo_->size(); ++p) {
+    for (Packet& pkt : queues_[static_cast<std::size_t>(p)]) fn(p, pkt);
+  }
+}
+
+void Network::ForEach(const std::function<void(ProcId, const Packet&)>& fn) const {
+  for (ProcId p = 0; p < topo_->size(); ++p) {
+    for (const Packet& pkt : queues_[static_cast<std::size_t>(p)]) fn(p, pkt);
+  }
+}
+
+std::vector<Packet> Network::Gather() const {
+  std::vector<Packet> all;
+  all.reserve(static_cast<std::size_t>(TotalPackets()));
+  for (const auto& q : queues_) all.insert(all.end(), q.begin(), q.end());
+  return all;
+}
+
+void Network::Scatter(const std::vector<std::pair<ProcId, Packet>>& placed) {
+  Clear();
+  for (const auto& [proc, pkt] : placed) Add(proc, pkt);
+}
+
+}  // namespace mdmesh

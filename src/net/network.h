@@ -1,0 +1,60 @@
+// The algorithm-facing packet container: which packets sit at which
+// processor between routing phases.
+//
+// Sorting algorithms alternate local phases (rank computations inside
+// blocks, charged to the local cost model) with routing phases (executed by
+// the engine). Network is the shared state: a per-processor queue of
+// packets. Local phases mutate it directly; Engine::Route consumes and
+// rebuilds it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/inline_vec.h"
+
+namespace mdmesh {
+
+/// Per-processor queue: small-buffer storage sized for the multi-packet
+/// model's O(1) occupancy (measured maxima are single digits almost
+/// everywhere; spills to the heap transparently beyond 4).
+using PacketQueue = InlineVec<Packet, 4>;
+
+class Network {
+ public:
+  explicit Network(const Topology& topo);
+
+  const Topology& topo() const { return *topo_; }
+
+  void Add(ProcId at, Packet packet);
+  void Clear();
+
+  PacketQueue& At(ProcId p) { return queues_[static_cast<std::size_t>(p)]; }
+  const PacketQueue& At(ProcId p) const {
+    return queues_[static_cast<std::size_t>(p)];
+  }
+
+  std::int64_t TotalPackets() const;
+  std::int64_t MaxQueue() const;
+
+  /// Visits every (processor, packet). The packet reference is mutable.
+  void ForEach(const std::function<void(ProcId, Packet&)>& fn);
+  void ForEach(const std::function<void(ProcId, const Packet&)>& fn) const;
+
+  /// Flattens to a single vector (processor order, then queue order).
+  std::vector<Packet> Gather() const;
+
+  /// Replaces the contents from (proc, packet) pairs.
+  void Scatter(const std::vector<std::pair<ProcId, Packet>>& placed);
+
+  /// Internal access for the engine (swap-based queue rebuild).
+  std::vector<PacketQueue>& queues() { return queues_; }
+
+ private:
+  const Topology* topo_;
+  std::vector<PacketQueue> queues_;
+};
+
+}  // namespace mdmesh

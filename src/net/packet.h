@@ -1,0 +1,42 @@
+// The unit of communication (paper, Section 1).
+//
+// A packet carries a key (for sorting) plus the routing state the engine
+// needs: its current destination, its extended-greedy dimension class, and
+// bookkeeping for distance-optimality measurements. Algorithms are free to
+// use `tag` as scratch between phases (pair ids for CopySort, rank estimates
+// for selection, ...).
+#pragma once
+
+#include <cstdint>
+
+#include "meshsim/topology.h"
+
+namespace mdmesh {
+
+struct Packet {
+  std::uint64_t key = 0;  ///< sort key
+  std::int64_t id = 0;    ///< unique identity (priority tie-break)
+  std::int64_t tag = 0;   ///< algorithm scratch
+  ProcId dest = 0;        ///< current routing destination
+
+  /// Distance from injection point to dest, filled in by the engine at the
+  /// start of a run; `arrived - dist0` is the packet's overshoot.
+  std::int32_t dist0 = 0;
+  /// Step at which the packet reached `dest` in the last run (-1 if unset).
+  std::int32_t arrived = -1;
+
+  /// Extended greedy class in [0, d): dimensions are corrected in the order
+  /// klass, klass+1 mod d, ..., klass-1 mod d (paper, Section 2.2).
+  std::uint16_t klass = 0;
+  std::uint16_t flags = 0;
+
+  // Flag bits (engine-internal and algorithm-level).
+  static constexpr std::uint16_t kMoving = 1u << 0;  ///< engine scratch
+  static constexpr std::uint16_t kCopy = 1u << 1;    ///< CopySort/TorusSort copy
+  /// Two-leg route: on reaching `dest` the packet retargets to `tag` (its
+  /// final destination) without waiting — the engine-level mechanism behind
+  /// the overlapped two-phase router (the paper's Section 6 open question).
+  static constexpr std::uint16_t kTwoLeg = 1u << 2;
+};
+
+}  // namespace mdmesh

@@ -1,0 +1,157 @@
+#include "net/reference_engine.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+namespace mdmesh {
+namespace {
+
+/// A packet's full remaining distance (both legs for kTwoLeg) — the
+/// farthest-first priority of the model.
+std::int64_t RemainingDistance(const Topology& topo, ProcId at,
+                               const Packet& pkt) {
+  std::int64_t rem = topo.Dist(at, pkt.dest);
+  if ((pkt.flags & Packet::kTwoLeg) != 0) {
+    rem += topo.Dist(pkt.dest, static_cast<ProcId>(pkt.tag));
+  }
+  return rem;
+}
+
+/// First uncorrected dimension in the rotated order klass, klass+1, ...;
+/// returns (dim, dir) or dim = -1 when at the destination.
+std::pair<int, int> DesiredHop(const Topology& topo, ProcId at,
+                               const Packet& pkt) {
+  const Point cur = topo.Coords(at);
+  const Point dst = topo.Coords(pkt.dest);
+  const int d = topo.dim();
+  for (int t = 0; t < d; ++t) {
+    const int dim = (pkt.klass + t) % d;
+    const int step = topo.StepToward(cur[static_cast<std::size_t>(dim)],
+                                     dst[static_cast<std::size_t>(dim)]);
+    if (step != 0) return {dim, step > 0 ? 1 : 0};
+  }
+  return {-1, 0};
+}
+
+}  // namespace
+
+ReferenceEngine::ReferenceEngine(const Topology& topo, std::int64_t step_cap)
+    : topo_(&topo), step_cap_(step_cap) {}
+
+RouteResult ReferenceEngine::Route(Network& net) {
+  RouteResult result;
+  const ProcId N = topo_->size();
+  const int d = topo_->dim();
+
+  std::int64_t in_flight = 0;
+  for (ProcId p = 0; p < N; ++p) {
+    for (Packet& pkt : net.At(p)) {
+      pkt.flags &= static_cast<std::uint16_t>(~Packet::kMoving);
+      pkt.dist0 = static_cast<std::int32_t>(RemainingDistance(*topo_, p, pkt));
+      if ((pkt.flags & Packet::kTwoLeg) != 0 && pkt.dest == p) {
+        pkt.dest = static_cast<ProcId>(pkt.tag);
+        pkt.flags &= static_cast<std::uint16_t>(~Packet::kTwoLeg);
+      }
+      pkt.arrived = pkt.dest == p ? 0 : -1;
+      if (pkt.dest != p) ++in_flight;
+      result.max_distance = std::max<std::int64_t>(result.max_distance, pkt.dist0);
+      ++result.packets;
+    }
+  }
+  result.max_queue = net.MaxQueue();
+  result.links = topo_->torus()
+                     ? 2ll * d * N
+                     : 2ll * d * N * (topo_->side() - 1) / topo_->side();
+
+  std::int64_t cap = step_cap_;
+  if (cap <= 0) {
+    const std::int64_t load = std::max<std::int64_t>(1, CeilDiv(result.packets, N));
+    cap = 4 * load * (topo_->Diameter() + topo_->side()) + 4096;
+  }
+
+  std::int64_t arrivals = 0;
+  std::int64_t step = 0;
+  while (arrivals < in_flight && step < cap) {
+    ++step;
+    // 1. Every packet states its desired directed link.
+    struct Want {
+      ProcId from;
+      std::size_t index;   // position in from's queue
+      std::int64_t rem;    // remaining distance (priority)
+      std::int64_t id;
+    };
+    std::map<std::pair<ProcId, int>, std::vector<Want>> contenders;
+    for (ProcId p = 0; p < N; ++p) {
+      const auto& q = net.At(p);
+      for (std::size_t i = 0; i < q.size(); ++i) {
+        const Packet& pkt = q[i];
+        if (pkt.dest == p) continue;
+        auto [dim, dir] = DesiredHop(*topo_, p, pkt);
+        contenders[{p, dim * 2 + dir}].push_back(
+            Want{p, i, RemainingDistance(*topo_, p, pkt), pkt.id});
+      }
+    }
+    // 2. Arbitrate each link: farthest remaining distance, ties to the
+    //    smaller id. 3. Apply all moves simultaneously.
+    std::vector<std::tuple<ProcId, std::size_t, ProcId>> moves;  // from, idx, to
+    for (auto& [link, wants] : contenders) {
+      const auto winner = std::max_element(
+          wants.begin(), wants.end(), [](const Want& a, const Want& b) {
+            return a.rem != b.rem ? a.rem < b.rem : a.id > b.id;
+          });
+      const ProcId to = topo_->Neighbor(link.first, link.second / 2, link.second % 2);
+      moves.emplace_back(winner->from, winner->index, to);
+    }
+    // Collect moved packets (marking slots), then erase and deliver.
+    std::vector<std::pair<ProcId, Packet>> in_transit;
+    for (const auto& [from, index, to] : moves) {
+      Packet pkt = net.At(from)[index];
+      pkt.flags |= Packet::kMoving;  // mark the original for removal
+      net.At(from)[index].flags |= Packet::kMoving;
+      pkt.flags &= static_cast<std::uint16_t>(~Packet::kMoving);
+      in_transit.emplace_back(to, pkt);
+    }
+    for (ProcId p = 0; p < N; ++p) {
+      auto& q = net.At(p);
+      q.erase(std::remove_if(q.begin(), q.end(),
+                             [](const Packet& pkt) {
+                               return (pkt.flags & Packet::kMoving) != 0;
+                             }),
+              q.end());
+    }
+    result.moves += static_cast<std::int64_t>(in_transit.size());
+    for (auto& [to, pkt] : in_transit) {
+      if (pkt.dest == to) {
+        if ((pkt.flags & Packet::kTwoLeg) != 0) {
+          pkt.dest = static_cast<ProcId>(pkt.tag);
+          pkt.flags &= static_cast<std::uint16_t>(~Packet::kTwoLeg);
+          if (pkt.dest == to) {
+            pkt.arrived = static_cast<std::int32_t>(step);
+            ++arrivals;
+          }
+        } else {
+          pkt.arrived = static_cast<std::int32_t>(step);
+          ++arrivals;
+        }
+      }
+      net.At(to).push_back(pkt);
+    }
+    result.max_queue = std::max(result.max_queue, net.MaxQueue());
+  }
+
+  result.steps = step;
+  result.completed = arrivals == in_flight;
+  for (ProcId p = 0; p < N; ++p) {
+    for (const Packet& pkt : net.At(p)) {
+      if (pkt.arrived < 0) continue;
+      const std::int64_t over = pkt.arrived - pkt.dist0;
+      result.overshoot.Add(static_cast<double>(over));
+      result.max_overshoot = std::max(result.max_overshoot, over);
+    }
+  }
+  return result;
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,35 @@
+// Reference implementation of the synchronous routing semantics, for
+// DIFFERENTIAL TESTING of the optimized Engine.
+//
+// The paper's model is simple to state (Section 1: one packet per directed
+// link per step, farthest-first contention) but the optimized kernel earns
+// its speed with per-link winner slots, double buffering, and a parallel
+// update — all easy places to hide a semantics bug that unit tests on tiny
+// cases would miss. This class re-implements the model as literally as
+// possible (gather every packet's desire, arbitrate each contended link by
+// explicit sort, apply moves one by one, single-threaded) and must produce
+// BIT-IDENTICAL results: same step count, same move count, same queue
+// maximum, same final placement, same arrival times. tests/test_differential
+// drives both engines over randomized workloads and asserts exactly that.
+#pragma once
+
+#include <cstdint>
+
+#include "net/metrics.h"
+#include "net/network.h"
+
+namespace mdmesh {
+
+class ReferenceEngine {
+ public:
+  explicit ReferenceEngine(const Topology& topo, std::int64_t step_cap = 0);
+
+  /// Same contract as Engine::Route, including kTwoLeg retargeting.
+  RouteResult Route(Network& net);
+
+ private:
+  const Topology* topo_;
+  std::int64_t step_cap_;
+};
+
+}  // namespace mdmesh

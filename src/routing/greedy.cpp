@@ -1,0 +1,87 @@
+#include "routing/greedy.h"
+
+#include <memory>
+
+namespace mdmesh {
+namespace {
+
+GreedyRun RouteLoaded(const Topology& topo, Network& net,
+                      const GreedyOptions& opts, int j) {
+  Rng rng(opts.seed ^ 0xc1a55ull);
+  std::unique_ptr<BlockGrid> grid;
+  const BlockGrid* grid_ptr = nullptr;
+  if (opts.class_mode == ClassMode::kLocalRank) {
+    int g = opts.class_grid_g;
+    if (g <= 0) {
+      // Default: blocks of side >= 2, at most 4 per side.
+      g = topo.side() % 4 == 0 ? 4 : 2;
+    }
+    grid = std::make_unique<BlockGrid>(topo, g);
+    grid_ptr = grid.get();
+  }
+  AssignClasses(net, opts.class_mode, grid_ptr, &rng);
+
+  Engine engine(topo, opts.engine);
+  GreedyRun run;
+  run.route = engine.Route(net);
+  run.diameter = topo.Diameter();
+  run.num_perms = j;
+  return run;
+}
+
+}  // namespace
+
+GreedyRun RouteRandomPermutations(const Topology& topo, int j,
+                                  const GreedyOptions& opts) {
+  Network net(topo);
+  Rng rng(opts.seed);
+  std::int64_t next_id = 0;
+  for (int t = 0; t < j; ++t) {
+    Rng perm_rng = rng.Split(static_cast<std::uint64_t>(t));
+    auto dest = RandomPermutation(topo, perm_rng);
+    for (ProcId p = 0; p < topo.size(); ++p) {
+      Packet pkt;
+      pkt.id = next_id++;
+      pkt.key = static_cast<std::uint64_t>(pkt.id);
+      pkt.tag = t;
+      pkt.dest = dest[static_cast<std::size_t>(p)];
+      net.Add(p, pkt);
+    }
+  }
+  return RouteLoaded(topo, net, opts, j);
+}
+
+GreedyRun RouteUnshufflePermutations(const Topology& topo, const BlockGrid& grid,
+                                     int j, const GreedyOptions& opts) {
+  Network net(topo);
+  auto dest = UnshufflePermutation(grid);
+  std::int64_t next_id = 0;
+  for (int t = 0; t < j; ++t) {
+    for (ProcId p = 0; p < topo.size(); ++p) {
+      Packet pkt;
+      pkt.id = next_id++;
+      pkt.key = static_cast<std::uint64_t>(pkt.id);
+      pkt.tag = t;
+      pkt.dest = dest[static_cast<std::size_t>(p)];
+      net.Add(p, pkt);
+    }
+  }
+  return RouteLoaded(topo, net, opts, j);
+}
+
+GreedyRun RouteOnePermutation(const Topology& topo,
+                              const std::vector<ProcId>& dest,
+                              const GreedyOptions& opts) {
+  Network net(topo);
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    Packet pkt;
+    pkt.id = p;
+    pkt.key = static_cast<std::uint64_t>(p);
+    pkt.tag = 0;
+    pkt.dest = dest[static_cast<std::size_t>(p)];
+    net.Add(p, pkt);
+  }
+  return RouteLoaded(topo, net, opts, 1);
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,56 @@
+// High-level greedy routing experiments (paper, Section 2.2).
+//
+// These drive the engine for the workloads behind Lemmas 2.1-2.3: j
+// simultaneous permutations (random or unshuffle) routed by the extended
+// greedy scheme, with distance-optimality measured as the max overshoot
+// (arrival time minus source-destination distance).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/engine.h"
+#include "routing/permutations.h"
+#include "routing/policy.h"
+
+namespace mdmesh {
+
+struct GreedyOptions {
+  ClassMode class_mode = ClassMode::kByPermutation;
+  std::uint64_t seed = 1;
+  /// Fine grid for kLocalRank class assignment (blocks per side); 0 picks a
+  /// sensible default.
+  int class_grid_g = 0;
+  EngineOptions engine;
+};
+
+struct GreedyRun {
+  RouteResult route;
+  std::int64_t diameter = 0;
+  int num_perms = 0;
+  /// steps / diameter — diameter-optimality measure.
+  double steps_over_diameter() const {
+    return static_cast<double>(route.steps) / static_cast<double>(diameter);
+  }
+  /// max overshoot / n — distance-optimality measure (o(n) ⇔ ratio -> 0).
+  double overshoot_over_n(int n) const {
+    return static_cast<double>(route.max_overshoot) / static_cast<double>(n);
+  }
+};
+
+/// Routes `j` simultaneous uniformly random permutations (one packet per
+/// (processor, permutation); permutation index lands in Packet::tag).
+GreedyRun RouteRandomPermutations(const Topology& topo, int j,
+                                  const GreedyOptions& opts);
+
+/// Routes `j` copies of the unshuffle permutation of `grid` simultaneously
+/// (the deterministic analogue used by the sorting algorithms).
+GreedyRun RouteUnshufflePermutations(const Topology& topo, const BlockGrid& grid,
+                                     int j, const GreedyOptions& opts);
+
+/// Routes a single explicit permutation.
+GreedyRun RouteOnePermutation(const Topology& topo,
+                              const std::vector<ProcId>& dest,
+                              const GreedyOptions& opts);
+
+}  // namespace mdmesh

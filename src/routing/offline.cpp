@@ -1,0 +1,78 @@
+#include "routing/offline.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mdmesh {
+
+OfflineBound ComputeOfflineBound(const Topology& topo,
+                                 const std::vector<ProcId>& dest) {
+  assert(dest.size() == static_cast<std::size_t>(topo.size()));
+  const int d = topo.dim();
+  const int n = topo.side();
+  const std::int64_t face = IPow(n, d - 1);
+
+  OfflineBound result;
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    result.distance =
+        std::max(result.distance, topo.Dist(p, dest[static_cast<std::size_t>(p)]));
+  }
+
+  // Pre-extract per-dimension coordinates once.
+  std::vector<std::int32_t> src_coord(dest.size());
+  std::vector<std::int32_t> dst_coord(dest.size());
+  for (int dim = 0; dim < d; ++dim) {
+    const std::int64_t stride = IPow(n, dim);
+    for (ProcId p = 0; p < topo.size(); ++p) {
+      src_coord[static_cast<std::size_t>(p)] =
+          static_cast<std::int32_t>((p / stride) % n);
+      dst_coord[static_cast<std::size_t>(p)] = static_cast<std::int32_t>(
+          (dest[static_cast<std::size_t>(p)] / stride) % n);
+    }
+    if (!topo.torus()) {
+      // Mesh: cut after coordinate c; directed width = face each way.
+      for (int c = 0; c + 1 < n; ++c) {
+        std::int64_t lr = 0;
+        std::int64_t rl = 0;
+        for (std::size_t t = 0; t < dest.size(); ++t) {
+          if (src_coord[t] <= c && dst_coord[t] > c) ++lr;
+          if (src_coord[t] > c && dst_coord[t] <= c) ++rl;
+        }
+        const std::int64_t need = CeilDiv(std::max(lr, rl), face);
+        if (need > result.congestion) {
+          result.congestion = need;
+          result.worst_cut_dim = dim;
+          result.worst_cut_pos = c;
+        }
+      }
+    } else {
+      // Torus: a pair of antipodal seams after c and after c + n/2 splits
+      // the ring into two halves; crossing packets share 2*face directed
+      // links per direction (a packet may take either way around).
+      for (int c = 0; c < n / 2; ++c) {
+        auto in_half = [&](std::int32_t x) {
+          // Half A: coordinates in (c, c + n/2].
+          const std::int64_t shifted = Mod(x - (c + 1), n);
+          return shifted < n / 2;
+        };
+        std::int64_t ab = 0;
+        std::int64_t ba = 0;
+        for (std::size_t t = 0; t < dest.size(); ++t) {
+          const bool sa = in_half(src_coord[t]);
+          const bool da = in_half(dst_coord[t]);
+          if (sa && !da) ++ab;
+          if (!sa && da) ++ba;
+        }
+        const std::int64_t need = CeilDiv(std::max(ab, ba), 2 * face);
+        if (need > result.congestion) {
+          result.congestion = need;
+          result.worst_cut_dim = dim;
+          result.worst_cut_pos = c;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,41 @@
+// Per-instance lower bounds for routing a given permutation — what even an
+// OFFLINE router (full knowledge, unlimited computation) must pay.
+//
+// The paper notes (Section 1.1) that its near-diameter routing results beat
+// everything previously known "even for off-line routing"; these calculators
+// make that comparison concrete per instance:
+//
+//   * distance bound — some packet must travel max_p dist(p, dest[p]);
+//   * cut congestion — for every axis-aligned cut, the packets that must
+//     cross it divided by the directed links crossing it (each link moves
+//     one packet per step toward the far side).
+//
+// The instance lower bound is the max of the two. Our two-phase router's
+// measured times can be compared directly against it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "meshsim/topology.h"
+
+namespace mdmesh {
+
+struct OfflineBound {
+  std::int64_t distance = 0;         ///< max source-destination distance
+  std::int64_t congestion = 0;       ///< max over cuts of ceil(crossing/width)
+  int worst_cut_dim = -1;            ///< dimension of the binding cut
+  std::int64_t worst_cut_pos = -1;   ///< cut between coordinate pos and pos+1
+
+  std::int64_t bound() const {
+    return distance > congestion ? distance : congestion;
+  }
+};
+
+/// Evaluates both terms for the permutation `dest` on `topo`. Considers all
+/// d*(n-1) axis-aligned cuts (on tori a cut is the pair of opposite seams,
+/// with twice the width and the shorter-way crossing rule).
+OfflineBound ComputeOfflineBound(const Topology& topo,
+                                 const std::vector<ProcId>& dest);
+
+}  // namespace mdmesh

@@ -1,0 +1,79 @@
+#include "routing/permutations.h"
+
+#include <stdexcept>
+
+#include <numeric>
+
+namespace mdmesh {
+
+std::vector<ProcId> IdentityPermutation(const Topology& topo) {
+  std::vector<ProcId> dest(static_cast<std::size_t>(topo.size()));
+  std::iota(dest.begin(), dest.end(), ProcId{0});
+  return dest;
+}
+
+std::vector<ProcId> RandomPermutation(const Topology& topo, Rng& rng) {
+  return rng.Permutation(topo.size());
+}
+
+std::vector<ProcId> ReversalPermutation(const Topology& topo) {
+  std::vector<ProcId> dest(static_cast<std::size_t>(topo.size()));
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    dest[static_cast<std::size_t>(p)] = topo.Mirror(p);
+  }
+  return dest;
+}
+
+std::vector<ProcId> TransposePermutation(const Topology& topo) {
+  std::vector<ProcId> dest(static_cast<std::size_t>(topo.size()));
+  const int d = topo.dim();
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    Point c = topo.Coords(p);
+    Point t{};
+    for (int i = 0; i < d; ++i) {
+      t[static_cast<std::size_t>(i)] = c[static_cast<std::size_t>(d - 1 - i)];
+    }
+    dest[static_cast<std::size_t>(p)] = topo.Id(t);
+  }
+  return dest;
+}
+
+std::vector<ProcId> AntipodalPermutation(const Topology& topo) {
+  std::vector<ProcId> dest(static_cast<std::size_t>(topo.size()));
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    dest[static_cast<std::size_t>(p)] = topo.Antipode(p);
+  }
+  return dest;
+}
+
+std::vector<ProcId> UnshufflePermutation(const BlockGrid& grid) {
+  const std::int64_t m = grid.num_blocks();
+  const std::int64_t B = grid.block_volume();
+  if (B % m != 0) {
+    throw std::invalid_argument(
+        "UnshufflePermutation: block volume must be a multiple of the block "
+        "count (choose g | b)");
+  }
+  std::vector<ProcId> dest(static_cast<std::size_t>(grid.topo().size()));
+  for (BlockId j = 0; j < m; ++j) {
+    for (std::int64_t i = 0; i < B; ++i) {
+      const ProcId src = grid.ProcAt(j, i);
+      const BlockId c = i % m;
+      const std::int64_t pos = j + (i / m) * m;
+      dest[static_cast<std::size_t>(src)] = grid.ProcAt(c, pos);
+    }
+  }
+  return dest;
+}
+
+bool IsPermutation(const std::vector<ProcId>& dest) {
+  std::vector<bool> seen(dest.size(), false);
+  for (ProcId v : dest) {
+    if (v < 0 || v >= static_cast<ProcId>(dest.size())) return false;
+    if (seen[static_cast<std::size_t>(v)]) return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return true;
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,51 @@
+// Permutation workload generators (paper, Sections 2.1, 2.2, 5).
+//
+// A routing problem is a destination assignment dest[src]. Besides uniform
+// random permutations we provide the structured worst cases used to stress
+// the Section 5 router, and the *unshuffle permutation* of Section 2.1 —
+// the deterministic stand-in for a random permutation that underlies every
+// derandomized algorithm in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "meshsim/blocks.h"
+#include "meshsim/topology.h"
+#include "util/rng.h"
+
+namespace mdmesh {
+
+/// dest[p] = p.
+std::vector<ProcId> IdentityPermutation(const Topology& topo);
+
+/// Uniformly random permutation of the processors.
+std::vector<ProcId> RandomPermutation(const Topology& topo, Rng& rng);
+
+/// Reflection through the network center: every coordinate c -> n-1-c.
+/// Every packet travels the full distance profile (corner packets travel D),
+/// the classic adversarial input for greedy routing.
+std::vector<ProcId> ReversalPermutation(const Topology& topo);
+
+/// Coordinate reversal (p_0,...,p_{d-1}) -> (p_{d-1},...,p_0), the
+/// d-dimensional analogue of a matrix transpose. Concentrates load on the
+/// main diagonal under dimension-order routing.
+std::vector<ProcId> TransposePermutation(const Topology& topo);
+
+/// Torus-only: shift by floor(n/2) in every dimension (the antipodal map).
+/// All packets travel exactly d*floor(n/2) = D.
+std::vector<ProcId> AntipodalPermutation(const Topology& topo);
+
+/// The unshuffle permutation of Section 2.1 on the blocked snake layout:
+/// the packet at within-block snake offset i of block j moves to block
+/// (i mod m) at offset j + floor(i/m)*m, where m is the number of blocks.
+/// Requires m | block_volume (i.e. g | b). This is an m-way unshuffle of the
+/// processor chain laid out by the blocked snake indexing; its destinations
+/// are evenly spread over the whole network, which is what lets it replace a
+/// random permutation (Lemmas 2.1-2.3 extend to it).
+std::vector<ProcId> UnshufflePermutation(const BlockGrid& grid);
+
+/// Checks dest is a bijection on [0, N).
+bool IsPermutation(const std::vector<ProcId>& dest);
+
+}  // namespace mdmesh

@@ -1,0 +1,61 @@
+#include "routing/policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+namespace mdmesh {
+
+void AssignClasses(Network& net, ClassMode mode, const BlockGrid* grid,
+                   Rng* rng) {
+  const int d = net.topo().dim();
+  switch (mode) {
+    case ClassMode::kZero:
+      net.ForEach([](ProcId, Packet& pkt) { pkt.klass = 0; });
+      return;
+    case ClassMode::kRandom: {
+      if (rng == nullptr) throw std::invalid_argument("kRandom needs an Rng");
+      net.ForEach([&](ProcId, Packet& pkt) {
+        pkt.klass = static_cast<std::uint16_t>(rng->Below(static_cast<std::uint64_t>(d)));
+      });
+      return;
+    }
+    case ClassMode::kByPermutation:
+      net.ForEach([d](ProcId, Packet& pkt) {
+        pkt.klass = static_cast<std::uint16_t>(Mod(pkt.tag, d));
+      });
+      return;
+    case ClassMode::kLocalRank: {
+      if (grid == nullptr) throw std::invalid_argument("kLocalRank needs a grid");
+      // Per block: order resident packets by (dest snake index, id) and hand
+      // out classes round-robin. This spreads each class's destinations
+      // evenly, which is all Lemma 2.2/2.3 need from the split.
+      const auto m = grid->num_blocks();
+      struct Ref {
+        std::int64_t dest_idx;
+        std::int64_t id;
+        Packet* pkt;
+      };
+      std::vector<std::vector<Ref>> per_block(static_cast<std::size_t>(m));
+      const auto& indexing = grid->indexing();
+      const Topology& topo = net.topo();
+      net.ForEach([&](ProcId p, Packet& pkt) {
+        per_block[static_cast<std::size_t>(grid->BlockOf(p))].push_back(
+            Ref{indexing.Index(topo.Coords(pkt.dest)), pkt.id, &pkt});
+      });
+      for (auto& refs : per_block) {
+        std::sort(refs.begin(), refs.end(), [](const Ref& a, const Ref& b) {
+          return a.dest_idx != b.dest_idx ? a.dest_idx < b.dest_idx : a.id < b.id;
+        });
+        for (std::size_t r = 0; r < refs.size(); ++r) {
+          refs[r].pkt->klass = static_cast<std::uint16_t>(r % static_cast<std::size_t>(d));
+        }
+      }
+      return;
+    }
+  }
+  assert(false && "unreachable");
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,39 @@
+// Extended-greedy class assignment (paper, Section 2.2).
+//
+// The extended greedy scheme runs d "copies" of dimension-order routing: the
+// packets are split into d classes of roughly equal size whose origins and
+// destinations are each spread evenly over the network; class i corrects
+// dimensions starting at dimension i. The paper gives two ways to split:
+//
+//   * randomized  — each packet picks a uniform class;
+//   * determinstic — sort packets inside blocks of side o(n) (here: the
+//     fine grid's blocks) by destination index, class = local rank mod d.
+//
+// For multi-permutation workloads the paper's Lemma 2.1 proof assigns whole
+// permutations to dimensions (2 per dimension for 2d permutations); that is
+// the kByPermutation mode.
+#pragma once
+
+#include <cstdint>
+
+#include "meshsim/blocks.h"
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace mdmesh {
+
+enum class ClassMode : std::uint8_t {
+  kRandom,         ///< uniform random class per packet
+  kLocalRank,      ///< deterministic: local-destination-rank mod d
+  kByPermutation,  ///< class = packet.tag mod d (tag = permutation index)
+  kZero,           ///< plain greedy: everyone uses dimension order 0,1,...,d-1
+};
+
+/// Assigns Packet::klass for every packet in the network.
+/// For kLocalRank, `grid` provides the local blocks (may be coarse; the
+/// paper only needs side o(n)); packets inside a block are ordered by
+/// (destination blocked-snake index, id) and classed round-robin.
+void AssignClasses(Network& net, ClassMode mode, const BlockGrid* grid,
+                   Rng* rng);
+
+}  // namespace mdmesh

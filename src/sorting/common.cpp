@@ -1,0 +1,26 @@
+#include "sorting/common.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mdmesh {
+
+void SortResult::AddPhase(PhaseStats phase) {
+  routing_steps += phase.routing_steps;
+  local_steps += phase.local_steps;
+  total_steps = routing_steps + local_steps;
+  max_queue = std::max(max_queue, phase.max_queue);
+  completed = completed && phase.completed;
+  phases.push_back(std::move(phase));
+}
+
+std::string SortResult::Summary(std::int64_t D) const {
+  std::ostringstream os;
+  os << "routing=" << routing_steps << " (" << RatioToDiameter(D) << "D)"
+     << " local=" << local_steps << " total=" << total_steps
+     << " max_queue=" << max_queue << " fixups=" << fixup_rounds
+     << (sorted ? " SORTED" : " UNSORTED") << (completed ? "" : " INCOMPLETE");
+  return os.str();
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,75 @@
+// Shared types for the sorting algorithms (paper, Section 3).
+//
+// Every algorithm alternates LOCAL phases (rank computation inside blocks —
+// the o(n) term, charged via LocalCostModel; see DESIGN.md §1) with ROUTING
+// phases (executed packet-by-packet on the engine — the Theta(D) leading
+// term the theorems bound).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/engine.h"
+
+namespace mdmesh {
+
+/// How local (within-block) sorting is charged. The paper's block sorts cost
+/// o(n) by citation to known block-sorting results; at simulable n a literal
+/// in-simulator sort would swamp the leading term, so the charge is a model.
+enum class LocalCostModel : std::uint8_t {
+  kOracle,    ///< charge 0 steps; report separately (default)
+  kLinear,    ///< charge 4*d*b steps per local phase (an optimal block sort)
+  kMeasured,  ///< run odd-even transposition over the block snake and charge
+              ///  the measured parallel round count
+};
+
+struct SortOptions {
+  int g = 2;  ///< blocks per side (m = g^d blocks); SimpleSort needs m even
+  int k = 1;  ///< k-k sorting: packets per processor
+  LocalCostModel cost = LocalCostModel::kOracle;
+  std::uint64_t seed = 1;
+  /// Ablation (DESIGN.md E18): spread with random intermediate destinations
+  /// instead of the deterministic unshuffle (the Valiant-Brebner style the
+  /// sort-and-unshuffle derandomizes).
+  bool randomized_spread = false;
+  /// Cap on step-5 fix-up merge rounds. Lemma 3.1 predicts 2 in the paper's
+  /// alpha >= 2/3 regime (finite-n form: m^2 <= 2B); outside it the rank
+  /// estimate can be off by several blocks and the odd-even block merges
+  /// need up to m rounds. 0 means auto (2m + 4, always sufficient);
+  /// exceeding the cap marks the result unsorted.
+  int max_fixup_rounds = 0;
+  /// Override the number of center blocks (SimpleSort/CopySort). 0 means the
+  /// paper's m/2. Used for the Corollary 3.1.2 shrunken-center ablation.
+  std::int64_t center_blocks = 0;
+  EngineOptions engine;
+};
+
+struct PhaseStats {
+  std::string name;
+  std::int64_t routing_steps = 0;
+  std::int64_t local_steps = 0;
+  std::int64_t max_queue = 0;
+  std::int64_t max_distance = 0;
+  bool completed = true;
+};
+
+struct SortResult {
+  std::vector<PhaseStats> phases;
+  std::int64_t routing_steps = 0;  ///< sum of routing phases
+  std::int64_t local_steps = 0;    ///< sum of charged local phases
+  std::int64_t total_steps = 0;
+  std::int64_t max_queue = 0;
+  std::int64_t fixup_rounds = 0;  ///< step-5 rounds actually used
+  bool sorted = false;            ///< verified against ground truth
+  bool completed = true;
+
+  void AddPhase(PhaseStats phase);
+  /// routing_steps / D — compare to the theorem coefficient (1.5, 1.25, ...).
+  double RatioToDiameter(std::int64_t D) const {
+    return static_cast<double>(routing_steps) / static_cast<double>(D);
+  }
+  std::string Summary(std::int64_t D) const;
+};
+
+}  // namespace mdmesh

@@ -1,0 +1,172 @@
+#include "sorting/copy_sort.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "meshsim/geometry.h"
+#include "sorting/detail.h"
+#include "sorting/spread.h"
+#include "util/rng.h"
+
+namespace mdmesh {
+namespace {
+
+bool IsOriginal(const Packet& pkt) { return (pkt.flags & Packet::kCopy) == 0; }
+bool IsCopy(const Packet& pkt) { return (pkt.flags & Packet::kCopy) != 0; }
+
+}  // namespace
+
+SortResult CopySortRun(Network& net, const BlockGrid& grid,
+                       const SortOptions& opts) {
+  const std::int64_t m = grid.num_blocks();
+  const std::int64_t B = grid.block_volume();
+  const std::int64_t k = opts.k;
+  const int d = grid.topo().dim();
+  const std::int64_t mc = opts.center_blocks > 0 ? opts.center_blocks : m / 2;
+  if (k < 1) throw std::invalid_argument("CopySort: k >= 1");
+  if (B % m != 0) throw std::invalid_argument("CopySort: needs g | b");
+  if (mc % 2 != 0) {
+    throw std::invalid_argument("CopySort: center block count must be even");
+  }
+  if ((k * m) % mc != 0 || (k * B) % mc != 0) {
+    throw std::invalid_argument("CopySort: mc must divide km and kB");
+  }
+  if (grid.blocks_per_side() % 2 != 0) {
+    throw std::invalid_argument("CopySort: g must be even (mirror pairing)");
+  }
+
+  SortResult result;
+  CenterRegion center(grid, mc, /*mirror_closed=*/true);
+  Engine engine(grid.topo(), opts.engine);
+  LocalSortSpec all_k{k, nullptr};
+
+  // (1) Local sort inside every block.
+  {
+    PhaseStats stats;
+    stats.name = "local-sort";
+    stats.local_steps = SortBlocksLocally(net, grid, {}, all_k, opts.cost);
+    stats.max_queue = net.MaxQueue();
+    result.AddPhase(std::move(stats));
+  }
+
+  // (2) Concentrate originals; route a copy of each to the mirrored center
+  // block. The mirror pairing survives the randomized-spread ablation
+  // because the copy's block is always the mirror of the original's, so the
+  // copy population of mirror(beta) stays exactly the originals of beta.
+  // Copies are staged per source processor and injected afterwards so the
+  // rank enumeration is not disturbed mid-walk.
+  {
+    Rng rng(opts.seed ^ 0xc0bbull);
+    std::vector<std::pair<ProcId, Packet>> copies;
+    copies.reserve(static_cast<std::size_t>(grid.topo().size()) *
+                   static_cast<std::size_t>(k));
+    for (BlockId j = 0; j < m; ++j) {
+      sort_detail::ForEachRanked(
+          net, grid, j, nullptr, [&](std::int64_t i, ProcId src, Packet& pkt) {
+            BlockDest bd;
+            if (opts.randomized_spread) {
+              bd.block = static_cast<std::int64_t>(
+                  rng.Below(static_cast<std::uint64_t>(mc)));
+              bd.offset = static_cast<std::int64_t>(
+                  rng.Below(static_cast<std::uint64_t>(B)));
+            } else {
+              bd = ConcentrateDest(i, j, m, mc, B);
+            }
+            const BlockId orig_block = center.BlockAt(bd.block);
+            pkt.dest = grid.ProcAt(orig_block, bd.offset);
+            pkt.klass = static_cast<std::uint16_t>((2 * i) % d);
+
+            Packet copy = pkt;
+            copy.flags |= Packet::kCopy;
+            copy.dest = grid.ProcAt(grid.MirrorBlock(orig_block), bd.offset);
+            copy.klass = static_cast<std::uint16_t>((2 * i + 1) % d);
+            // Stage at the same source processor as the original.
+            copies.emplace_back(src, copy);
+          });
+    }
+    for (auto& [src, copy] : copies) net.Add(src, copy);
+  }
+  result.AddPhase(sort_detail::RoutePhase(engine, net, "concentrate+copies"));
+
+  // (3) Sort originals and copies separately inside each center block.
+  // Both populations are identical multisets of (key, id) in mirrored
+  // blocks, so their local ranks coincide pairwise.
+  {
+    PhaseStats stats;
+    stats.name = "center-sort";
+    const std::int64_t per_proc = k * m / mc;
+    LocalSortSpec originals{per_proc, IsOriginal};
+    LocalSortSpec copies{per_proc, IsCopy};
+    stats.local_steps =
+        SortBlocksLocally(net, grid, center.blocks(), originals, opts.cost);
+    stats.local_steps = std::max(
+        stats.local_steps,
+        SortBlocksLocally(net, grid, center.blocks(), copies, opts.cost));
+    stats.max_queue = net.MaxQueue();
+    result.AddPhase(std::move(stats));
+  }
+
+  // (3.5 + 4) Keep whichever of original/copy is closer to the estimated
+  // destination block (ties keep the original), then route the survivors.
+  {
+    const std::int64_t per_cblock = k * B * m / mc;
+    std::vector<std::vector<Packet>> survivors(
+        static_cast<std::size_t>(grid.topo().size()));
+    // After the mirrored block sorts, the rank-i copy sits at the SAME
+    // within-block offset of the mirrored center block as its original, so
+    // both sides can evaluate the keep-the-closer rule on exact processor
+    // positions (consistent by construction; ties keep the original). This
+    // realizes Lemma 3.3 with only the within-block O(b) slack.
+    const Topology& topo = grid.topo();
+    for (std::int64_t c = 0; c < mc; ++c) {
+      const BlockId beta = center.BlockAt(c);
+      const BlockId mirror_beta = grid.MirrorBlock(beta);
+      // Originals in beta: their copies live in mirror(beta).
+      sort_detail::ForEachRanked(
+          net, grid, beta, IsOriginal,
+          [&](std::int64_t i, ProcId p_orig, Packet& pkt) {
+            const BlockDest bd =
+                UnconcentrateDest(std::min(i, per_cblock - 1), c, m, mc, B, k);
+            const ProcId dest = grid.ProcAt(bd.block, bd.offset);
+            const ProcId p_copy =
+                grid.ProcAt(mirror_beta, grid.OffsetOf(p_orig));
+            if (topo.Dist(p_orig, dest) <= topo.Dist(p_copy, dest)) {
+              Packet kept = pkt;
+              kept.dest = dest;
+              kept.klass = static_cast<std::uint16_t>(i % d);
+              survivors[static_cast<std::size_t>(p_orig)].push_back(kept);
+            }
+          });
+      // Copies in beta: their originals live in mirror(beta), whose
+      // C-number drives the destination estimate.
+      const std::int64_t c_orig = center.NumberOf(mirror_beta);
+      sort_detail::ForEachRanked(
+          net, grid, beta, IsCopy,
+          [&](std::int64_t i, ProcId p_copy, Packet& pkt) {
+            const BlockDest bd = UnconcentrateDest(std::min(i, per_cblock - 1),
+                                                   c_orig, m, mc, B, k);
+            const ProcId dest = grid.ProcAt(bd.block, bd.offset);
+            const ProcId p_orig =
+                grid.ProcAt(mirror_beta, grid.OffsetOf(p_copy));
+            if (topo.Dist(p_copy, dest) < topo.Dist(p_orig, dest)) {
+              Packet kept = pkt;
+              kept.flags &= static_cast<std::uint16_t>(~Packet::kCopy);
+              kept.dest = dest;
+              kept.klass = static_cast<std::uint16_t>(i % d);
+              survivors[static_cast<std::size_t>(p_copy)].push_back(kept);
+            }
+          });
+    }
+    net.Clear();
+    for (ProcId p = 0; p < grid.topo().size(); ++p) {
+      for (Packet& pkt : survivors[static_cast<std::size_t>(p)]) net.Add(p, pkt);
+    }
+  }
+  result.AddPhase(sort_detail::RoutePhase(engine, net, "route-survivors"));
+
+  // (5) Odd-even fix-up merges.
+  result.fixup_rounds = sort_detail::RunFixups(net, grid, k, opts, result);
+  return result;
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,33 @@
+// Algorithm CopySort (paper, Section 3.2, Theorem 3.2).
+//
+// 5D/4 + o(n) sorting on the d-dimensional mesh by making ONE copy of each
+// packet. Identical to SimpleSort except:
+//
+//   * Step (2) also routes a copy of each packet to the center block that
+//     is the reflection (through the network center) of the original's
+//     center block. The center region is chosen mirror-closed, so the
+//     reflection is again a center block. The phase routes four partial
+//     unshuffle permutations, which is why the theorem needs d >= 8
+//     (Lemma 2.3 routes floor(d/2) permutations distance-optimally).
+//   * After step (3), Lemma 3.3 guarantees every processor is within
+//     D/2 + o(n) of the original OR the copy of every packet. The farther
+//     of the two is deleted; survivors route <= D/2 (+o(n)) in step (4).
+//
+// The keep/delete decision is communication-free and provably consistent:
+// the copies residing in a center block beta are exactly the copies of the
+// originals residing in mirror(beta), so sorting copies inside beta by
+// (key, id) reproduces the originals' local ranks, and both sides evaluate
+// the same closer-block rule (ties keep the original). See DESIGN.md §2.
+#pragma once
+
+#include "meshsim/blocks.h"
+#include "sorting/common.h"
+
+namespace mdmesh {
+
+/// Requirements (checked): g even, g | b, m/2 even (mirror-closed center),
+/// k >= 1. Fills everything in SortResult except `sorted`.
+SortResult CopySortRun(Network& net, const BlockGrid& grid,
+                       const SortOptions& opts);
+
+}  // namespace mdmesh

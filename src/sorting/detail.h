@@ -1,0 +1,74 @@
+// Internal helpers shared by the sorting algorithm implementations.
+// Not part of the public API.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "meshsim/blocks.h"
+#include "net/engine.h"
+#include "sorting/common.h"
+#include "sorting/local_sort.h"
+#include "sorting/verify.h"
+
+namespace mdmesh::sort_detail {
+
+/// Visits the packets of `block` in local-rank order — the layout produced
+/// by SortWithinBlock (ascending within-block offsets, queue order within a
+/// processor), restricted to packets matching `filter` (all if empty).
+/// fn receives (rank, current processor, packet&); the processor is the
+/// packet's actual position, which uneven (randomized-spread) loads can
+/// shift away from the uniform rank/per_proc layout.
+template <typename Fn>
+void ForEachRanked(Network& net, const BlockGrid& grid, BlockId block,
+                   const std::function<bool(const Packet&)>& filter, Fn&& fn) {
+  std::int64_t rank = 0;
+  for (std::int64_t off = 0; off < grid.block_volume(); ++off) {
+    const ProcId proc = grid.ProcAt(block, off);
+    for (Packet& pkt : net.At(proc)) {
+      if (filter && !filter(pkt)) continue;
+      fn(rank++, proc, pkt);
+    }
+  }
+}
+
+/// Runs the engine until delivery and wraps the outcome as a PhaseStats.
+inline PhaseStats RoutePhase(Engine& engine, Network& net, std::string name) {
+  RouteResult r = engine.Route(net);
+  PhaseStats stats;
+  stats.name = std::move(name);
+  stats.routing_steps = r.steps;
+  stats.max_queue = r.max_queue;
+  stats.max_distance = r.max_distance;
+  stats.completed = r.completed;
+  return stats;
+}
+
+/// Step 5: odd-even merges of snake-adjacent blocks until globally sorted
+/// (Lemma 3.1 predicts at most 2 rounds). Appends one PhaseStats covering
+/// all rounds; returns the number of merge rounds used, or -1 if the cap
+/// was exceeded (result left unsorted).
+inline std::int64_t RunFixups(Network& net, const BlockGrid& grid,
+                              std::int64_t k, const SortOptions& opts,
+                              SortResult& result) {
+  PhaseStats stats;
+  stats.name = "fixup-merges";
+  const std::int64_t cap = opts.max_fixup_rounds > 0
+                               ? opts.max_fixup_rounds
+                               : 2 * grid.num_blocks() + 4;
+  std::int64_t rounds = 0;
+  bool sorted = IsGloballySorted(net, grid, k);
+  while (!sorted && rounds < cap) {
+    const int parity = static_cast<int>(rounds % 2);
+    stats.local_steps += MergeAdjacentBlocks(net, grid, parity, k, opts.cost);
+    stats.max_queue = std::max(stats.max_queue, net.MaxQueue());
+    ++rounds;
+    sorted = IsGloballySorted(net, grid, k);
+  }
+  stats.completed = sorted;
+  result.AddPhase(std::move(stats));
+  return sorted ? rounds : -1;
+}
+
+}  // namespace mdmesh::sort_detail

@@ -1,0 +1,81 @@
+#include "sorting/full_sort.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sorting/detail.h"
+#include "sorting/spread.h"
+#include "util/rng.h"
+
+namespace mdmesh {
+
+SortResult FullSortRun(Network& net, const BlockGrid& grid,
+                       const SortOptions& opts) {
+  const std::int64_t m = grid.num_blocks();
+  const std::int64_t B = grid.block_volume();
+  const std::int64_t k = opts.k;
+  const int d = grid.topo().dim();
+  if (k < 1) throw std::invalid_argument("FullSort: k >= 1");
+  if (B % m != 0) throw std::invalid_argument("FullSort: needs g | b");
+
+  SortResult result;
+  Engine engine(grid.topo(), opts.engine);
+  Rng rng(opts.seed);
+  LocalSortSpec all_k{k, nullptr};
+
+  // (1) Local sort inside every block.
+  {
+    PhaseStats stats;
+    stats.name = "local-sort";
+    stats.local_steps = SortBlocksLocally(net, grid, {}, all_k, opts.cost);
+    stats.max_queue = net.MaxQueue();
+    result.AddPhase(std::move(stats));
+  }
+
+  // (2) Unshuffle over the whole network.
+  for (BlockId j = 0; j < m; ++j) {
+    sort_detail::ForEachRanked(
+        net, grid, j, nullptr, [&](std::int64_t i, ProcId, Packet& pkt) {
+          if (opts.randomized_spread) {
+            pkt.dest = static_cast<ProcId>(
+                rng.Below(static_cast<std::uint64_t>(grid.topo().size())));
+            pkt.klass = static_cast<std::uint16_t>(
+                rng.Below(static_cast<std::uint64_t>(d)));
+          } else {
+            const BlockDest bd = UnshuffleDest(i, j, m, B);
+            pkt.dest = grid.ProcAt(bd.block, bd.offset);
+            pkt.klass = static_cast<std::uint16_t>(i % d);
+          }
+        });
+  }
+  result.AddPhase(sort_detail::RoutePhase(engine, net, "unshuffle"));
+
+  // (3) Local sort inside every block.
+  {
+    PhaseStats stats;
+    stats.name = "block-sort";
+    stats.local_steps = SortBlocksLocally(net, grid, {}, all_k, opts.cost);
+    stats.max_queue = net.MaxQueue();
+    result.AddPhase(std::move(stats));
+  }
+
+  // (4) Inverse distribution: consecutive local-rank windows to consecutive
+  // blocks of the snake. (Randomized spread can overfill a block slightly;
+  // clamp those ranks into range.)
+  for (BlockId j = 0; j < m; ++j) {
+    sort_detail::ForEachRanked(
+        net, grid, j, nullptr, [&](std::int64_t i, ProcId, Packet& pkt) {
+          const BlockDest bd =
+              UnshuffleInvDest(std::min(i, k * B - 1), j, m, B, k);
+          pkt.dest = grid.ProcAt(bd.block, bd.offset);
+          pkt.klass = static_cast<std::uint16_t>(i % d);
+        });
+  }
+  result.AddPhase(sort_detail::RoutePhase(engine, net, "route-to-dest"));
+
+  // (5) Odd-even fix-up merges.
+  result.fixup_rounds = sort_detail::RunFixups(net, grid, k, opts, result);
+  return result;
+}
+
+}  // namespace mdmesh

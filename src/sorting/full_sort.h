@@ -1,0 +1,23 @@
+// Baseline: FullSort — sort-and-unshuffle over the WHOLE network.
+//
+// This is the natural d-dimensional generalization of the 2n + o(n)
+// two-dimensional algorithms of [3, 6] (the prior state of the art the
+// paper improves on): spread packets evenly over ALL blocks, sort locally,
+// route every packet to its estimated destination block, fix up. Both
+// routing phases can span the full diameter, so the running time is
+// 2D + o(n) on the mesh — the ~2D baseline that SimpleSort (3D/2) and
+// CopySort (5D/4) beat by concentrating into the center region.
+// Works unchanged on tori (2D + o(n) there as well).
+#pragma once
+
+#include "meshsim/blocks.h"
+#include "sorting/common.h"
+
+namespace mdmesh {
+
+/// Requirements (checked): g | b, k >= 1. Fills everything in SortResult
+/// except `sorted`.
+SortResult FullSortRun(Network& net, const BlockGrid& grid,
+                       const SortOptions& opts);
+
+}  // namespace mdmesh

@@ -1,0 +1,56 @@
+// Sorting harness: input generation, algorithm dispatch, verification.
+//
+// This is the single entry point the examples, tests, and benches use:
+// fill a network with a k-k input, run a named algorithm, verify the output
+// against ground truth, and report the step accounting. The k-k corollaries
+// (3.1.1: k <= floor(d/4) on the mesh; 3.3.1: k = d on the torus) are just
+// parameter choices here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "meshsim/blocks.h"
+#include "sorting/common.h"
+#include "sorting/verify.h"
+
+namespace mdmesh {
+
+enum class SortAlgo : std::uint8_t {
+  kSimple,  ///< Theorem 3.1: 3D/2, mesh, no copies
+  kCopy,    ///< Theorem 3.2: 5D/4, mesh, one copy (d >= 8 for the bound)
+  kTorus,   ///< Theorem 3.3: 3D/2, torus, one copy
+  kFull,    ///< baseline: 2D sort-and-unshuffle over the whole network
+  kSnake,   ///< classical baseline: odd-even transposition, Theta(N) steps
+};
+
+const char* SortAlgoName(SortAlgo algo);
+
+/// Parses "simple" | "copy" | "torus" | "full" | "snake" (throws otherwise).
+SortAlgo ParseSortAlgo(const std::string& name);
+
+enum class InputKind : std::uint8_t {
+  kRandom,    ///< uniform random 64-bit keys
+  kSortedAsc, ///< already sorted along the snake
+  kSortedDesc,///< reverse sorted — every packet crosses the network
+  kAllEqual,  ///< one key value (stresses tie handling)
+  kFewValues, ///< keys drawn from {0..7} (heavy duplicates)
+};
+
+/// Fills `net` (cleared first) with k packets per processor, keys chosen by
+/// `kind`, ids unique and deterministic.
+void FillInput(Network& net, const BlockGrid& grid, std::int64_t k,
+               InputKind kind, std::uint64_t seed);
+
+/// Fills from explicit keys (keys.size() == N*k; key t*k+r goes to the
+/// processor with blocked-snake index t).
+void FillExplicit(Network& net, const BlockGrid& grid, std::int64_t k,
+                  const std::vector<std::uint64_t>& keys);
+
+/// Runs `algo` on the current contents of `net` and verifies the result
+/// against ground truth captured up front. SortResult::sorted is set.
+SortResult RunSort(SortAlgo algo, Network& net, const BlockGrid& grid,
+                   const SortOptions& opts);
+
+}  // namespace mdmesh

@@ -1,0 +1,57 @@
+// Local (within-block) sorting phases and their cost accounting.
+//
+// A local phase rearranges packets inside one block only — every packet
+// moves at most O(d*b) hops — and is charged to the LocalCostModel rather
+// than simulated hop-by-hop (see common.h). The primitive is: gather the
+// block's packets (optionally filtered), sort by (key, id), and lay them
+// back along the within-block snake with a fixed number per processor.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "meshsim/blocks.h"
+#include "net/network.h"
+#include "sorting/common.h"
+
+namespace mdmesh {
+
+/// Packets per processor after a local sort: position r of the sorted order
+/// goes to within-block snake offset r / per_proc.
+struct LocalSortSpec {
+  std::int64_t per_proc = 1;
+  /// Only packets matching the filter participate (others stay put).
+  /// Default: all packets.
+  std::function<bool(const Packet&)> filter;
+};
+
+/// Sorts the packets of `block` by (key, id) and redistributes them along
+/// the block snake. Returns the number of packets placed.
+std::int64_t SortWithinBlock(Network& net, const BlockGrid& grid, BlockId block,
+                             const LocalSortSpec& spec);
+
+/// Runs SortWithinBlock on every block in `blocks` (all blocks if empty) —
+/// conceptually in parallel, so the charged cost is the max over blocks.
+/// Returns the charged local steps under `model`.
+std::int64_t SortBlocksLocally(Network& net, const BlockGrid& grid,
+                               const std::vector<BlockId>& blocks,
+                               const LocalSortSpec& spec, LocalCostModel model);
+
+/// Number of parallel odd-even transposition rounds needed to sort `keys`
+/// in place on a line (each round is one synchronous communication step).
+/// Used by LocalCostModel::kMeasured.
+std::int64_t OddEvenTranspositionRounds(std::vector<std::pair<std::uint64_t, std::int64_t>> keys);
+
+/// One round of the step-5 fix-up: merges the packets of each pair of
+/// blocks adjacent in block snake order (parity 0: (0,1),(2,3),...;
+/// parity 1: (1,2),(3,4),...) by sorting each union. Returns charged steps.
+std::int64_t MergeAdjacentBlocks(Network& net, const BlockGrid& grid, int parity,
+                                 std::int64_t per_proc, LocalCostModel model);
+
+/// The charged cost of one local phase under `model`, given the block grid
+/// and the measured transposition rounds (only used for kMeasured).
+std::int64_t ChargeLocal(const BlockGrid& grid, LocalCostModel model,
+                         std::int64_t measured_rounds);
+
+}  // namespace mdmesh

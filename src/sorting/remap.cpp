@@ -1,0 +1,76 @@
+#include "sorting/remap.h"
+
+#include <algorithm>
+
+#include "net/engine.h"
+#include "sorting/verify.h"
+
+namespace mdmesh {
+
+RouteResult RemapToScheme(Network& net, const BlockGrid& grid,
+                          const IndexingScheme& scheme, std::int64_t k,
+                          const EngineOptions& engine_opts) {
+  const Topology& topo = grid.topo();
+  const std::int64_t B = grid.block_volume();
+  const int d = topo.dim();
+  // The rank-t group sits at snake position t; it must move to the
+  // processor the scheme assigns index t.
+  std::int64_t t = 0;
+  for (BlockId blk = 0; blk < grid.num_blocks(); ++blk) {
+    for (std::int64_t off = 0; off < B; ++off, ++t) {
+      const ProcId target = topo.Id(scheme.PointAt(t));
+      std::int64_t lane = 0;
+      for (Packet& pkt : net.At(grid.ProcAt(blk, off))) {
+        pkt.dest = target;
+        pkt.klass = static_cast<std::uint16_t>((t + lane++) % d);
+      }
+    }
+  }
+  (void)k;
+  Engine engine(topo, engine_opts);
+  return engine.Route(net);
+}
+
+bool IsSortedUnderScheme(const Network& net, const Topology& topo,
+                         const IndexingScheme& scheme, std::int64_t k) {
+  // Traverse processors in scheme-index order; (key, id) ranges must be
+  // non-decreasing with exactly k packets per processor.
+  std::pair<std::uint64_t, std::int64_t> prev_max{0, 0};
+  bool first = true;
+  std::vector<std::pair<std::uint64_t, std::int64_t>> here;
+  for (std::int64_t t = 0; t < topo.size(); ++t) {
+    const ProcId p = topo.Id(scheme.PointAt(t));
+    const auto& q = net.At(p);
+    if (static_cast<std::int64_t>(q.size()) != k) return false;
+    here.clear();
+    for (const Packet& pkt : q) here.emplace_back(pkt.key, pkt.id);
+    std::sort(here.begin(), here.end());
+    if (!first && here.front() < prev_max) return false;
+    prev_max = here.back();
+    first = false;
+  }
+  return true;
+}
+
+SortResult SortIntoScheme(SortAlgo algo, Network& net, const BlockGrid& grid,
+                          const IndexingScheme& scheme, const SortOptions& opts) {
+  const GroundTruth truth = CaptureGroundTruth(net);
+  SortResult result = RunSort(algo, net, grid, opts);
+  if (!result.sorted) return result;
+
+  RouteResult remap = RemapToScheme(net, grid, scheme, opts.k, opts.engine);
+  PhaseStats stats;
+  stats.name = "remap";
+  stats.routing_steps = remap.steps;
+  stats.max_queue = remap.max_queue;
+  stats.max_distance = remap.max_distance;
+  stats.completed = remap.completed;
+  result.AddPhase(std::move(stats));
+
+  result.sorted = remap.completed &&
+                  CaptureGroundTruth(net) == truth &&
+                  IsSortedUnderScheme(net, grid.topo(), scheme, opts.k);
+  return result;
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,39 @@
+// Sorting into arbitrary indexing schemes.
+//
+// The paper's algorithms sort with respect to the blocked snake-like
+// indexing; its Section 4 lower bounds quantify over every COMPATIBLE
+// scheme. This adapter closes the gap for the library user: after a blocked
+// snake sort, one more permutation-routing phase moves the rank-t packet
+// from the snake position to the position the target scheme assigns rank t.
+// The remap permutation is fixed (input-independent), costs at most D + o(n)
+// routed greedily, and turns any 3D/2 algorithm into a (<= 5D/2)-step sort
+// for row-major, Morton, Hilbert, or any other bijective scheme.
+#pragma once
+
+#include "meshsim/blocks.h"
+#include "meshsim/indexing.h"
+#include "net/metrics.h"
+#include "sorting/common.h"
+#include "sorting/kk_sort.h"
+
+namespace mdmesh {
+
+/// Routes every packet from its blocked-snake rank position to the target
+/// scheme's position for the same rank (k packets per processor throughout).
+/// Requires net to be sorted w.r.t. grid's blocked snake (as produced by
+/// RunSort); schemes must match the topology.
+RouteResult RemapToScheme(Network& net, const BlockGrid& grid,
+                          const IndexingScheme& scheme, std::int64_t k,
+                          const EngineOptions& engine = {});
+
+/// Sortedness check against an arbitrary scheme: processor with scheme
+/// index t holds exactly the keys of ranks [t*k, (t+1)*k).
+bool IsSortedUnderScheme(const Network& net, const Topology& topo,
+                         const IndexingScheme& scheme, std::int64_t k);
+
+/// Convenience: RunSort into the blocked snake, then remap into `scheme`.
+/// SortResult gains one extra routing phase ("remap").
+SortResult SortIntoScheme(SortAlgo algo, Network& net, const BlockGrid& grid,
+                          const IndexingScheme& scheme, const SortOptions& opts);
+
+}  // namespace mdmesh

@@ -1,0 +1,56 @@
+// Selection (median finding) at the center of the mesh
+// (paper, Section 4.3: lower bound (9/16-eps)D, upper bound D + o(n)).
+//
+// The upper bound reuses SimpleSort's concentration machinery:
+//
+//   1. steps (1)-(3) of SimpleSort: concentrate all packets evenly into the
+//      center region C and sort each center block (<= 3D/4 + o(n) routing);
+//   2. the local rank i inside C-block c now estimates the global rank as
+//      est = i*mc + c, with provable error < (m+1)*mc (every C-block holds
+//      every mc-th local rank of every source block, so the counts of
+//      smaller keys per source block are off by at most 1 each);
+//   3. CANDIDATES — packets with |est - target| <= (m+2)*mc — route to the
+//      center block (<= D/4 + o(n): they start inside C, whose radius is
+//      D/4). All non-candidates are decisively above or below the target,
+//      so the exact below-count is known without moving them;
+//   4. the center block locally selects the (target - below_count)-th
+//      smallest candidate: the exact order statistic.
+//
+// Total routing: <= 3D/4 + D/4 + o(n) = D + o(n).
+#pragma once
+
+#include <cstdint>
+
+#include "meshsim/blocks.h"
+#include "sorting/common.h"
+
+namespace mdmesh {
+
+struct SelectResult {
+  std::uint64_t selected_key = 0;
+  bool found = false;            ///< candidate window contained the target
+  std::int64_t candidates = 0;   ///< packets routed to the center block
+  std::int64_t margin = 0;       ///< rank window half-width used
+  /// True when the rank-estimate margin (m+2)*mc is not small relative to
+  /// the input (the grid is too fine for this N): the result is still exact
+  /// but most packets become candidates and the D/4 collection argument
+  /// degenerates. Choose a coarser grid (smaller g).
+  bool degenerate_margin = false;
+  std::int64_t routing_steps = 0;
+  std::int64_t local_steps = 0;
+  std::int64_t total_steps = 0;
+  std::int64_t max_queue = 0;
+  bool completed = true;
+
+  double RatioToDiameter(std::int64_t D) const {
+    return static_cast<double>(routing_steps) / static_cast<double>(D);
+  }
+};
+
+/// Selects the key of global rank `target` (0-based; the median is
+/// target = (N*k-1)/2) and reports it at the center block. Consumes the
+/// packets in `net`. Requirements as SimpleSort (g even, g | b).
+SelectResult SelectAtCenter(Network& net, const BlockGrid& grid,
+                            const SortOptions& opts, std::int64_t target);
+
+}  // namespace mdmesh

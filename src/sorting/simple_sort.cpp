@@ -1,0 +1,99 @@
+#include "sorting/simple_sort.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "meshsim/geometry.h"
+#include "sorting/detail.h"
+#include "sorting/spread.h"
+#include "util/rng.h"
+
+namespace mdmesh {
+
+SortResult SimpleSortRun(Network& net, const BlockGrid& grid,
+                         const SortOptions& opts) {
+  const std::int64_t m = grid.num_blocks();
+  const std::int64_t B = grid.block_volume();
+  const std::int64_t k = opts.k;
+  const int d = grid.topo().dim();
+  const std::int64_t mc = opts.center_blocks > 0 ? opts.center_blocks : m / 2;
+  if (k < 1) throw std::invalid_argument("SimpleSort: k >= 1");
+  if (mc < 1 || mc > m) throw std::invalid_argument("SimpleSort: bad center size");
+  if (B % m != 0) {
+    throw std::invalid_argument("SimpleSort: needs g | b (m must divide B)");
+  }
+  if ((k * m) % mc != 0 || (k * B) % mc != 0) {
+    throw std::invalid_argument(
+        "SimpleSort: center size must divide the load (mc | km and mc | kB)");
+  }
+
+  SortResult result;
+  CenterRegion center(grid, mc);
+  Engine engine(grid.topo(), opts.engine);
+  Rng rng(opts.seed);
+  LocalSortSpec all_k{k, nullptr};
+
+  // (1) Local sort inside every block.
+  {
+    PhaseStats stats;
+    stats.name = "local-sort";
+    stats.local_steps = SortBlocksLocally(net, grid, {}, all_k, opts.cost);
+    stats.max_queue = net.MaxQueue();
+    result.AddPhase(std::move(stats));
+  }
+
+  // (2) Concentrate: spread each block evenly over the center blocks.
+  for (BlockId j = 0; j < m; ++j) {
+    sort_detail::ForEachRanked(
+        net, grid, j, nullptr, [&](std::int64_t i, ProcId, Packet& pkt) {
+          if (opts.randomized_spread) {
+            const auto c = static_cast<std::int64_t>(
+                rng.Below(static_cast<std::uint64_t>(mc)));
+            const auto off = static_cast<std::int64_t>(
+                rng.Below(static_cast<std::uint64_t>(B)));
+            pkt.dest = grid.ProcAt(center.BlockAt(c), off);
+            pkt.klass = static_cast<std::uint16_t>(
+                rng.Below(static_cast<std::uint64_t>(d)));
+          } else {
+            const BlockDest bd = ConcentrateDest(i, j, m, mc, B);
+            pkt.dest = grid.ProcAt(center.BlockAt(bd.block), bd.offset);
+            pkt.klass = static_cast<std::uint16_t>(i % d);
+          }
+        });
+  }
+  result.AddPhase(sort_detail::RoutePhase(engine, net, "concentrate"));
+
+  // (3) Local sort inside the center blocks. Each center processor holds
+  // exactly k*m/mc packets after concentration (2k for the paper's mc=m/2).
+  {
+    PhaseStats stats;
+    stats.name = "center-sort";
+    LocalSortSpec spec{k * m / mc, nullptr};
+    stats.local_steps =
+        SortBlocksLocally(net, grid, center.blocks(), spec, opts.cost);
+    stats.max_queue = net.MaxQueue();
+    result.AddPhase(std::move(stats));
+  }
+
+  // (4) Unconcentrate: every packet to its approximate destination block.
+  // (Under the randomized-spread ablation a center block may hold a few
+  // more packets than its deterministic share; clamp those into range.)
+  const std::int64_t per_cblock = k * B * m / mc;
+  for (std::int64_t c = 0; c < mc; ++c) {
+    sort_detail::ForEachRanked(
+        net, grid, center.BlockAt(c), nullptr,
+        [&](std::int64_t i, ProcId, Packet& pkt) {
+          const BlockDest bd =
+              UnconcentrateDest(std::min(i, per_cblock - 1), c, m, mc, B, k);
+          pkt.dest = grid.ProcAt(bd.block, bd.offset);
+          pkt.klass = static_cast<std::uint16_t>(i % d);
+        });
+  }
+  result.AddPhase(sort_detail::RoutePhase(engine, net, "unconcentrate"));
+
+  // (5) Odd-even fix-up merges.
+  result.fixup_rounds = sort_detail::RunFixups(net, grid, k, opts, result);
+  return result;
+}
+
+}  // namespace mdmesh

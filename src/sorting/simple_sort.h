@@ -1,0 +1,34 @@
+// Algorithm SimpleSort (paper, Section 3.2, Theorem 3.1).
+//
+// Deterministic 1-1 (and k-k, Corollary 3.1.1) sorting on the d-dimensional
+// mesh in 3D/2 + o(n) steps without copying packets:
+//
+//   (1) sort each block of side b locally;
+//   (2) spread every block's packets evenly over the m/2 center blocks C
+//       (two partial unshuffle permutations; no packet travels more than
+//       ~3D/4 because every processor is within 3D/4 of the center region);
+//   (3) sort each center block locally — local ranks now approximate global
+//       ranks to within one block (Lemma 3.1, which needs m^2 <= 2B, the
+//       finite-n form of the paper's alpha >= 2/3);
+//   (4) route every packet to its approximate destination block (the
+//       inverse unshuffle; again <= ~3D/4);
+//   (5) fix up with odd-even merges of snake-adjacent blocks.
+//
+// Corollary 3.1.2 (shrunken center region, running time D + 2r) is obtained
+// via SortOptions::center_blocks.
+#pragma once
+
+#include "meshsim/blocks.h"
+#include "sorting/common.h"
+
+namespace mdmesh {
+
+/// Sorts the k packets per processor in `net` with respect to the blocked
+/// snake indexing of `grid`. Requirements (checked): g even (unless
+/// center_blocks is set), g | b, k >= 1. The caller verifies the output
+/// (see RunSort in kk_sort.h); this function fills everything in SortResult
+/// except `sorted`.
+SortResult SimpleSortRun(Network& net, const BlockGrid& grid,
+                         const SortOptions& opts);
+
+}  // namespace mdmesh

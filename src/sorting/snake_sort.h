@@ -1,0 +1,27 @@
+// Classical baseline: odd-even transposition sort along the global snake.
+//
+// The pre-1977 straw man the mesh-sorting literature (Orcutt [16],
+// Thompson/Kung [18]) starts from: treat the whole network as one
+// Hamiltonian chain (the blocked snake) and run odd-even transposition —
+// each round compare-exchanges adjacent chain positions, one synchronous
+// communication step per round, and sorting needs up to N = n^d rounds.
+// Against the paper's 3D/2 = O(dn) algorithms this is slower by a factor
+// ~n^(d-1)/d, which is exactly the gap Sections 3 and 5 close.
+//
+// Unlike the block-sort phases elsewhere, every round here IS a real
+// communication step (exchanges happen between mesh neighbors), so
+// routing_steps carries the full cost with no oracle charge.
+#pragma once
+
+#include "meshsim/blocks.h"
+#include "sorting/common.h"
+
+namespace mdmesh {
+
+/// Sorts k packets per processor by odd-even transposition over the global
+/// snake (granularity: processor contents; a round merges each adjacent
+/// pair's 2k packets). steps = rounds until sorted; max N rounds.
+SortResult SnakeSortRun(Network& net, const BlockGrid& grid,
+                        const SortOptions& opts);
+
+}  // namespace mdmesh

@@ -1,0 +1,35 @@
+#include "sorting/spread.h"
+
+#include <cassert>
+
+namespace mdmesh {
+
+BlockDest ConcentrateDest(std::int64_t i, std::int64_t j, std::int64_t m,
+                          std::int64_t mc, std::int64_t B) {
+  assert(i >= 0 && j >= 0 && j < m && mc > 0 && mc <= m && B % m == 0);
+  return BlockDest{i % mc, (j + (i / mc) * m) % B};
+}
+
+BlockDest UnconcentrateDest(std::int64_t i, std::int64_t j, std::int64_t m,
+                            std::int64_t mc, std::int64_t B, std::int64_t k) {
+  assert(k * B % mc == 0);
+  const std::int64_t per_block = k * B / mc;  // ranks per destination block
+  assert(per_block > 0 && i >= 0 && i < k * B * m / mc && j >= 0 && j < mc);
+  (void)m;
+  return BlockDest{i / per_block, (j + (i % per_block) * mc) % B};
+}
+
+BlockDest UnshuffleDest(std::int64_t i, std::int64_t j, std::int64_t m,
+                        std::int64_t B) {
+  assert(i >= 0 && j >= 0 && j < m && B % m == 0);
+  return BlockDest{i % m, (j + (i / m) * m) % B};
+}
+
+BlockDest UnshuffleInvDest(std::int64_t i, std::int64_t j, std::int64_t m,
+                           std::int64_t B, std::int64_t k) {
+  const std::int64_t per_block = k * B / m;
+  assert(per_block > 0 && i >= 0 && i < k * B && j >= 0 && j < m);
+  return BlockDest{i / per_block, (j + (i % per_block) * m) % B};
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,57 @@
+// Rank-to-destination arithmetic for the distribution phases
+// (paper, Algorithm SimpleSort steps 2 and 4, and Section 2.1).
+//
+// These pure functions map (local rank i, source block number j) to
+// (destination block number, within-block offset). They generalize the
+// paper's formulas to k-k sorting by wrapping offsets modulo the block
+// volume B; for k = 1 the occupancy they produce is identical to the
+// paper's (exactly 2 packets per center processor after concentration,
+// exactly 1 per processor after unconcentration). The balance proofs are in
+// DESIGN.md §2 and are unit-tested exhaustively in tests/test_spread.cpp.
+//
+// Numbering conventions:
+//   * "block number" for Concentrate's destination is the C-number of a
+//     center block (the CenterRegion's fixed numbering);
+//   * for Unconcentrate/Unshuffle it is the block snake index — which is
+//     also the block's position in the global sorted order, making
+//     `dest_block = i / (ranks per block)` route rank windows to their
+//     final blocks.
+#pragma once
+
+#include <cstdint>
+
+namespace mdmesh {
+
+struct BlockDest {
+  std::int64_t block = 0;   ///< destination block number (see above)
+  std::int64_t offset = 0;  ///< within-block snake offset
+};
+
+/// Step 2 (concentration): rank i in [k*B] of source block j in [m] moves to
+/// C-block (i mod mc) at offset (j + (i/mc)*m) mod B. Every processor of the
+/// center region receives exactly 2k packets.
+BlockDest ConcentrateDest(std::int64_t i, std::int64_t j, std::int64_t m,
+                          std::int64_t mc, std::int64_t B);
+
+/// Step 4 (unconcentration): after concentration each C-block holds
+/// P = k*B*m/mc packets — a 1/mc sample of the global order. Rank i in [P]
+/// of C-block j in [mc] moves to block i/(kB/mc) at offset
+/// (j + (i mod (kB/mc))*mc) mod B. Every processor of the network receives
+/// exactly k packets; consecutive rank windows fill consecutive blocks of
+/// the snake. Requires mc | kB. (For the paper's mc = m/2 this is the
+/// formula of SimpleSort step 4 with per-block window 2kB/m.)
+BlockDest UnconcentrateDest(std::int64_t i, std::int64_t j, std::int64_t m,
+                            std::int64_t mc, std::int64_t B, std::int64_t k);
+
+/// Full unshuffle over all m blocks (TorusSort/FullSort step 2): rank i in
+/// [k*B] of block j moves to block (i mod m) at offset (j + (i/m)*m) mod B.
+/// Every processor receives exactly k packets.
+BlockDest UnshuffleDest(std::int64_t i, std::int64_t j, std::int64_t m,
+                        std::int64_t B);
+
+/// Inverse distribution (TorusSort/FullSort step 4): rank i in [k*B] of
+/// block j moves to block i/(kB/m) at offset (j + (i mod (kB/m))*m) mod B.
+BlockDest UnshuffleInvDest(std::int64_t i, std::int64_t j, std::int64_t m,
+                           std::int64_t B, std::int64_t k);
+
+}  // namespace mdmesh

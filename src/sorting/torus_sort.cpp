@@ -1,0 +1,136 @@
+#include "sorting/torus_sort.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sorting/detail.h"
+#include "sorting/spread.h"
+
+namespace mdmesh {
+namespace {
+
+bool IsOriginal(const Packet& pkt) { return (pkt.flags & Packet::kCopy) == 0; }
+bool IsCopy(const Packet& pkt) { return (pkt.flags & Packet::kCopy) != 0; }
+
+}  // namespace
+
+SortResult TorusSortRun(Network& net, const BlockGrid& grid,
+                        const SortOptions& opts) {
+  const std::int64_t m = grid.num_blocks();
+  const std::int64_t B = grid.block_volume();
+  const std::int64_t k = opts.k;
+  const int d = grid.topo().dim();
+  if (!grid.topo().torus()) {
+    throw std::invalid_argument("TorusSort: needs a torus topology");
+  }
+  if (k < 1) throw std::invalid_argument("TorusSort: k >= 1");
+  if (B % m != 0) throw std::invalid_argument("TorusSort: needs g | b");
+  if (grid.blocks_per_side() % 2 != 0) {
+    throw std::invalid_argument("TorusSort: g must be even (antipodal pairing)");
+  }
+
+  SortResult result;
+  Engine engine(grid.topo(), opts.engine);
+  LocalSortSpec all_k{k, nullptr};
+
+  // (1) Local sort inside every block.
+  {
+    PhaseStats stats;
+    stats.name = "local-sort";
+    stats.local_steps = SortBlocksLocally(net, grid, {}, all_k, opts.cost);
+    stats.max_queue = net.MaxQueue();
+    result.AddPhase(std::move(stats));
+  }
+
+  // (2) Full unshuffle of originals over all blocks; copies to the antipodal
+  // block of the original's destination.
+  {
+    std::vector<std::pair<ProcId, Packet>> copies;
+    copies.reserve(static_cast<std::size_t>(grid.topo().size()) *
+                   static_cast<std::size_t>(k));
+    for (BlockId j = 0; j < m; ++j) {
+      sort_detail::ForEachRanked(
+          net, grid, j, nullptr, [&](std::int64_t i, ProcId src, Packet& pkt) {
+            const BlockDest bd = UnshuffleDest(i, j, m, B);
+            pkt.dest = grid.ProcAt(bd.block, bd.offset);
+            pkt.klass = static_cast<std::uint16_t>((2 * i) % d);
+
+            Packet copy = pkt;
+            copy.flags |= Packet::kCopy;
+            copy.dest = grid.ProcAt(grid.AntipodeBlock(bd.block), bd.offset);
+            copy.klass = static_cast<std::uint16_t>((2 * i + 1) % d);
+            copies.emplace_back(src, copy);
+          });
+    }
+    for (auto& [src, copy] : copies) net.Add(src, copy);
+  }
+  result.AddPhase(sort_detail::RoutePhase(engine, net, "unshuffle+copies"));
+
+  // (3) Sort originals and copies separately inside each block.
+  {
+    PhaseStats stats;
+    stats.name = "block-sort";
+    LocalSortSpec originals{k, IsOriginal};
+    LocalSortSpec copies{k, IsCopy};
+    stats.local_steps = SortBlocksLocally(net, grid, {}, originals, opts.cost);
+    stats.local_steps = std::max(
+        stats.local_steps, SortBlocksLocally(net, grid, {}, copies, opts.cost));
+    stats.max_queue = net.MaxQueue();
+    result.AddPhase(std::move(stats));
+  }
+
+  // (3.5 + 4) Keep the closer of original/copy (ties keep the original);
+  // route survivors to their estimated destinations.
+  {
+    std::vector<std::vector<Packet>> survivors(
+        static_cast<std::size_t>(grid.topo().size()));
+    const Topology& topo = grid.topo();
+    // After the mirrored block sorts, the rank-i copy sits at the SAME
+    // within-block offset as its rank-i original — and on a torus that is
+    // the exact antipodal processor. Deciding on processor-level distances
+    // therefore guarantees min(d_orig, d_copy) <= ceil(D/2) with no block
+    // slack: per ring, dist(p, x) + dist(p, x + n/2) = n/2.
+    for (BlockId beta = 0; beta < m; ++beta) {
+      const BlockId anti = grid.AntipodeBlock(beta);
+      sort_detail::ForEachRanked(
+          net, grid, beta, IsOriginal,
+          [&](std::int64_t i, ProcId p_orig, Packet& pkt) {
+            const BlockDest bd = UnshuffleInvDest(i, beta, m, B, k);
+            const ProcId dest = grid.ProcAt(bd.block, bd.offset);
+            const ProcId p_copy = topo.Antipode(p_orig);
+            if (topo.Dist(p_orig, dest) <= topo.Dist(p_copy, dest)) {
+              Packet kept = pkt;
+              kept.dest = dest;
+              kept.klass = static_cast<std::uint16_t>(i % d);
+              survivors[static_cast<std::size_t>(p_orig)].push_back(kept);
+            }
+          });
+      // Copies in beta belong to originals in antipode(beta).
+      sort_detail::ForEachRanked(
+          net, grid, beta, IsCopy,
+          [&](std::int64_t i, ProcId p_copy, Packet& pkt) {
+            const BlockDest bd = UnshuffleInvDest(i, anti, m, B, k);
+            const ProcId dest = grid.ProcAt(bd.block, bd.offset);
+            const ProcId p_orig = topo.Antipode(p_copy);
+            if (topo.Dist(p_copy, dest) < topo.Dist(p_orig, dest)) {
+              Packet kept = pkt;
+              kept.flags &= static_cast<std::uint16_t>(~Packet::kCopy);
+              kept.dest = dest;
+              kept.klass = static_cast<std::uint16_t>(i % d);
+              survivors[static_cast<std::size_t>(p_copy)].push_back(kept);
+            }
+          });
+    }
+    net.Clear();
+    for (ProcId p = 0; p < grid.topo().size(); ++p) {
+      for (Packet& pkt : survivors[static_cast<std::size_t>(p)]) net.Add(p, pkt);
+    }
+  }
+  result.AddPhase(sort_detail::RoutePhase(engine, net, "route-survivors"));
+
+  // (5) Odd-even fix-up merges.
+  result.fixup_rounds = sort_detail::RunFixups(net, grid, k, opts, result);
+  return result;
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,33 @@
+// Algorithm TorusSort (paper, Section 3.3, Theorem 3.3 / Corollary 3.3.1).
+//
+// 3D/2 + o(n) sorting on the d-dimensional torus (D = d*floor(n/2)) with one
+// copy per packet:
+//
+//   (2) spread packets evenly over ALL m blocks (a full unshuffle; the
+//       farthest packet travels ~D, and Lemma 2.1 routes up to 2d such
+//       permutations distance-optimally on tori) and route a copy of each
+//       packet to the ANTIPODAL block of the original's destination.
+//       On a ring dist(p,x) + dist(p, x + n/2) = n/2 per dimension, so every
+//       processor is within D/2 of the original or the copy — Lemma 3.4 is
+//       exact with the antipodal choice (the paper's "unique block D/2 away
+//       from the destination"; see DESIGN.md §2 for the corrected reading).
+//   (3) sort originals and copies separately inside each block; copies in
+//       block beta are the copies of originals in antipode(beta), so ranks
+//       coincide pairwise and the keep/delete rule is communication-free.
+//   (4) delete the farther of each pair; survivors travel <= D/2 + o(n).
+//   (5) odd-even fix-up merges.
+//
+// Corollary 3.3.1 (d-d sorting in the same time) is the k = d case.
+#pragma once
+
+#include "meshsim/blocks.h"
+#include "sorting/common.h"
+
+namespace mdmesh {
+
+/// Requirements (checked): torus topology, g even (antipodal pairing),
+/// g | b, k >= 1. Fills everything in SortResult except `sorted`.
+SortResult TorusSortRun(Network& net, const BlockGrid& grid,
+                        const SortOptions& opts);
+
+}  // namespace mdmesh

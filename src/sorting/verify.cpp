@@ -1,0 +1,65 @@
+#include "sorting/verify.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mdmesh {
+
+GroundTruth CaptureGroundTruth(const Network& net) {
+  GroundTruth truth;
+  net.ForEach([&](ProcId, const Packet& pkt) {
+    truth.emplace_back(pkt.key, pkt.id);
+  });
+  std::sort(truth.begin(), truth.end());
+  return truth;
+}
+
+bool IsGloballySorted(const Network& net, const BlockGrid& grid, std::int64_t k) {
+  const std::int64_t B = grid.block_volume();
+  std::pair<std::uint64_t, std::int64_t> prev_max{0, 0};
+  bool first = true;
+  std::vector<std::pair<std::uint64_t, std::int64_t>> here;
+  for (BlockId blk = 0; blk < grid.num_blocks(); ++blk) {
+    for (std::int64_t off = 0; off < B; ++off) {
+      const auto& q = net.At(grid.ProcAt(blk, off));
+      if (static_cast<std::int64_t>(q.size()) != k) return false;
+      here.clear();
+      for (const Packet& pkt : q) here.emplace_back(pkt.key, pkt.id);
+      std::sort(here.begin(), here.end());
+      if (!first && here.front() < prev_max) return false;
+      prev_max = here.back();
+      first = false;
+    }
+  }
+  return true;
+}
+
+bool VerifySortedPlacement(const Network& net, const BlockGrid& grid,
+                           std::int64_t k, const GroundTruth& truth,
+                           std::string* err) {
+  GroundTruth now = CaptureGroundTruth(net);
+  if (now != truth) {
+    if (err != nullptr) {
+      std::ostringstream os;
+      os << "multiset mismatch: have " << now.size() << " packets, expected "
+         << truth.size();
+      *err = os.str();
+    }
+    return false;
+  }
+  if (!IsGloballySorted(net, grid, k)) {
+    if (err != nullptr) *err = "placement not sorted along the snake index";
+    return false;
+  }
+  return true;
+}
+
+bool VerifyAllDelivered(const Network& net) {
+  bool ok = true;
+  net.ForEach([&](ProcId p, const Packet& pkt) {
+    if (pkt.dest != p) ok = false;
+  });
+  return ok;
+}
+
+}  // namespace mdmesh

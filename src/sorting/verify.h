@@ -1,0 +1,40 @@
+// Output verification for the sorting algorithms.
+//
+// "Sorted" means: under the blocked snake indexing, the processor with index
+// t holds exactly the keys of ranks [t*k, (t+1)*k) (the k-k sorting
+// contract of Section 1). Verification is two-part: the placement is
+// non-decreasing along the index order, and the multiset of (key, id) pairs
+// equals the input's (no packet lost, duplicated, or mutated).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "meshsim/blocks.h"
+#include "net/network.h"
+
+namespace mdmesh {
+
+/// Snapshot of the input taken before sorting: all (key, id) pairs, sorted.
+using GroundTruth = std::vector<std::pair<std::uint64_t, std::int64_t>>;
+
+GroundTruth CaptureGroundTruth(const Network& net);
+
+/// True iff traversing processors in blocked-snake index order yields
+/// non-decreasing (key, id) ranges with exactly k packets per processor.
+/// (Within-processor order is immaterial: a processor holds k consecutive
+/// ranks.) Does not check against ground truth.
+bool IsGloballySorted(const Network& net, const BlockGrid& grid, std::int64_t k);
+
+/// Full check: IsGloballySorted plus multiset equality with `truth`.
+/// On failure a short diagnostic lands in *err (if non-null).
+bool VerifySortedPlacement(const Network& net, const BlockGrid& grid,
+                           std::int64_t k, const GroundTruth& truth,
+                           std::string* err);
+
+/// Routing check: every packet sits at its `dest`.
+bool VerifyAllDelivered(const Network& net);
+
+}  // namespace mdmesh

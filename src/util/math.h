@@ -1,0 +1,57 @@
+// Small integer-math helpers used throughout mdmesh.
+//
+// All network sizes are products n^d that comfortably fit in int64_t for the
+// parameter ranges we simulate (N < 2^40); helpers assert on overflow in
+// debug builds instead of silently wrapping.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+
+namespace mdmesh {
+
+/// Integer power base^exp for small exponents. Asserts on overflow.
+constexpr std::int64_t IPow(std::int64_t base, int exp) {
+  assert(exp >= 0);
+  std::int64_t r = 1;
+  for (int i = 0; i < exp; ++i) {
+    assert(base == 0 || r <= std::numeric_limits<std::int64_t>::max() / (base > 0 ? base : 1));
+    r *= base;
+  }
+  return r;
+}
+
+/// Ceiling division for non-negative operands.
+constexpr std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
+  assert(b > 0 && a >= 0);
+  return (a + b - 1) / b;
+}
+
+/// True Euclidean modulus (result in [0, m) even for negative a).
+constexpr std::int64_t Mod(std::int64_t a, std::int64_t m) {
+  assert(m > 0);
+  std::int64_t r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+/// |a - b| for signed integers.
+constexpr std::int64_t AbsDiff(std::int64_t a, std::int64_t b) {
+  return a > b ? a - b : b - a;
+}
+
+/// Distance between positions a and b on a ring of size n (shorter way).
+constexpr std::int64_t RingDist(std::int64_t a, std::int64_t b, std::int64_t n) {
+  std::int64_t x = AbsDiff(a, b);
+  return x < n - x ? x : n - x;
+}
+
+/// Integer log2 floor; requires x > 0.
+constexpr int Log2Floor(std::uint64_t x) {
+  assert(x > 0);
+  int r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,85 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace mdmesh {
+namespace {
+
+constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& lane : s_) lane = SplitMix64(sm);
+  // xoshiro must not start in the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::Below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::Range(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<std::int64_t>(
+                  Below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::Unit() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+Rng Rng::Split(std::uint64_t stream) const {
+  // Hash (lane0, stream) through SplitMix64 twice to decorrelate streams.
+  std::uint64_t sm = s_[0] ^ (0x6a09e667f3bcc909ull + stream);
+  std::uint64_t a = SplitMix64(sm);
+  std::uint64_t b = SplitMix64(sm);
+  return Rng(a ^ Rotl(b, 31) ^ stream);
+}
+
+std::vector<std::int64_t> Rng::Permutation(std::int64_t size) {
+  assert(size >= 0);
+  std::vector<std::int64_t> p(static_cast<std::size_t>(size));
+  std::iota(p.begin(), p.end(), std::int64_t{0});
+  Shuffle(p);
+  return p;
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,67 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// Simulations in mdmesh must be exactly reproducible across runs and across
+// thread counts. We therefore avoid std::mt19937 seeded from global state
+// and instead use xoshiro256** seeded via SplitMix64, with a Split() method
+// that derives statistically independent child streams (e.g., one per
+// processor of the simulated network) from a parent seed and a stream id.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mdmesh {
+
+/// SplitMix64 step: used for seeding and stream derivation.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+/// xoshiro256** generator (Blackman/Vigna). Satisfies the basic requirements
+/// of UniformRandomBitGenerator so it can drive std::shuffle and friends.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four lanes from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return Next(); }
+  std::uint64_t Next();
+
+  /// Unbiased uniform draw from [0, bound) via Lemire rejection. bound > 0.
+  std::uint64_t Below(std::uint64_t bound);
+
+  /// Uniform draw from [lo, hi] inclusive.
+  std::int64_t Range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double Unit();
+
+  /// Bernoulli(p) draw.
+  bool Chance(double p) { return Unit() < p; }
+
+  /// Derives an independent child generator for stream `stream`.
+  /// Children of the same parent with distinct stream ids are independent;
+  /// the parent's own state is not advanced.
+  Rng Split(std::uint64_t stream) const;
+
+  /// Fisher-Yates shuffle of a vector (deterministic given this Rng state).
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(Below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A uniformly random permutation of [0, size).
+  std::vector<std::int64_t> Permutation(std::int64_t size);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mdmesh

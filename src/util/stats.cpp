@@ -1,0 +1,81 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace mdmesh {
+
+void Accumulator::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::Merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  double delta = other.mean_ - mean_;
+  double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double Accumulator::min() const { return count_ ? min_ : 0.0; }
+double Accumulator::max() const { return count_ ? max_ : 0.0; }
+double Accumulator::mean() const { return mean_; }
+
+double Accumulator::variance() const {
+  return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+std::string Accumulator::ToString() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " min=" << min() << " mean=" << mean()
+     << " max=" << max() << " sd=" << stddev();
+  return os.str();
+}
+
+void Histogram::Add(std::int64_t value) {
+  assert(value >= 0);
+  auto idx = static_cast<std::size_t>(value);
+  if (idx >= buckets_.size()) {
+    ++overflow_;
+    idx = buckets_.size() - 1;
+  }
+  ++buckets_[idx];
+  ++total_;
+}
+
+std::int64_t Histogram::Quantile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return 0;
+  auto want = static_cast<std::int64_t>(std::ceil(q * static_cast<double>(total_)));
+  want = std::max<std::int64_t>(want, 1);
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= want) return static_cast<std::int64_t>(i);
+  }
+  return static_cast<std::int64_t>(buckets_.size()) - 1;
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,55 @@
+// Streaming statistics accumulators used by the metrics and bench layers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdmesh {
+
+/// Single-pass accumulator for count/min/max/mean/variance (Welford).
+class Accumulator {
+ public:
+  void Add(double x);
+  void Merge(const Accumulator& other);
+
+  std::int64_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  std::string ToString() const;
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bucket histogram over integer values [0, size). Values >= size are
+/// clamped into the last bucket (and counted as overflow).
+class Histogram {
+ public:
+  explicit Histogram(std::size_t size) : buckets_(size, 0) {}
+
+  void Add(std::int64_t value);
+  std::int64_t Count(std::size_t bucket) const { return buckets_.at(bucket); }
+  std::int64_t total() const { return total_; }
+  std::int64_t overflow() const { return overflow_; }
+  std::size_t size() const { return buckets_.size(); }
+
+  /// Smallest value v such that at least `q` fraction of samples are <= v.
+  std::int64_t Quantile(double q) const;
+
+ private:
+  std::vector<std::int64_t> buckets_;
+  std::int64_t total_ = 0;
+  std::int64_t overflow_ = 0;
+};
+
+}  // namespace mdmesh

@@ -1,0 +1,84 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+namespace mdmesh {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  assert(!headers_.empty());
+}
+
+Table& Table::Row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::Cell(const std::string& value) {
+  assert(!rows_.empty() && rows_.back().size() < headers_.size());
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::Cell(std::int64_t value) { return Cell(std::to_string(value)); }
+
+Table& Table::Cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return Cell(os.str());
+}
+
+std::string Table::ToString() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string{};
+      os << (c ? "  " : "") << std::setw(static_cast<int>(width[c])) << v;
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < headers_.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string Table::ToCsv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c) os << ',';
+      os << escape(c < cells.size() ? cells[c] : std::string{});
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace mdmesh

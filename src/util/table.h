@@ -1,0 +1,42 @@
+// Plain-text table formatter for bench/example output.
+//
+// Benches reproduce the paper's theorem bounds as rows of
+// (parameters, measured steps, steps/D, claimed coefficient); this helper
+// renders them with aligned columns so EXPERIMENTS.md can quote the output
+// verbatim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdmesh {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent Cell() calls fill it left to right.
+  Table& Row();
+  Table& Cell(const std::string& value);
+  Table& Cell(std::int64_t value);
+  Table& Cell(double value, int precision = 3);
+
+  /// Renders with a header rule. All rows are padded to the header width.
+  std::string ToString() const;
+
+  /// Comma-separated form (header row first; cells containing commas or
+  /// quotes are quoted) for piping bench tables into plotting scripts.
+  std::string ToCsv() const;
+
+  /// Renders to stdout.
+  void Print() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mdmesh

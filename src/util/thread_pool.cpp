@@ -1,0 +1,82 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mdmesh {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::ParallelFor(
+    std::int64_t count,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (count <= 0) return;
+  const auto nw = static_cast<std::int64_t>(threads_.size());
+  if (nw <= 1 || count < 2 * nw) {
+    fn(0, count);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_.fn = &fn;
+    job_.count = count;
+    ++epoch_;
+    job_.epoch = epoch_;
+    remaining_ = static_cast<unsigned>(nw);
+  }
+  cv_start_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return remaining_ == 0; });
+}
+
+void ThreadPool::WorkerLoop(unsigned index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::int64_t, std::int64_t)>* fn;
+    std::int64_t count;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || job_.epoch > seen; });
+      if (stop_) return;
+      seen = job_.epoch;
+      fn = job_.fn;
+      count = job_.count;
+    }
+    const auto nw = static_cast<std::int64_t>(threads_.size());
+    const std::int64_t chunk = (count + nw - 1) / nw;
+    const std::int64_t begin = std::min<std::int64_t>(count, chunk * index);
+    const std::int64_t end = std::min<std::int64_t>(count, begin + chunk);
+    if (begin < end) (*fn)(begin, end);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("MDMESH_THREADS")) {
+      long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<unsigned>(std::min<long>(v, 256));
+    }
+    return 0u;  // serial by default; deterministic either way
+  }());
+  return pool;
+}
+
+}  // namespace mdmesh

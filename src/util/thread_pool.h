@@ -1,0 +1,60 @@
+// Minimal work-sharing thread pool with a blocking ParallelFor.
+//
+// The simulation engine's per-step update is embarrassingly parallel over
+// processors (each directed link has a unique writer slot), so a simple
+// static range split is sufficient. The pool is optional: with 0 or 1
+// workers ParallelFor degrades to a plain serial loop, which keeps single
+// core machines (and unit tests) free of threading overhead while remaining
+// bit-for-bit deterministic at any worker count.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mdmesh {
+
+class ThreadPool {
+ public:
+  /// Creates `workers` persistent threads. 0 means "serial mode".
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Runs fn(begin, end) over a static partition of [0, count) and blocks
+  /// until all chunks finish. fn must be safe to call concurrently on
+  /// disjoint ranges. Exceptions in fn terminate (by design: the simulation
+  /// kernel is noexcept in practice).
+  void ParallelFor(std::int64_t count,
+                   const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  /// Process-wide pool sized from MDMESH_THREADS (default: serial).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop(unsigned index);
+
+  struct Job {
+    const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+    std::int64_t count = 0;
+    std::uint64_t epoch = 0;
+  };
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Job job_;
+  unsigned remaining_ = 0;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace mdmesh

@@ -1,0 +1,58 @@
+#include "bounds/bisection.h"
+
+#include <gtest/gtest.h>
+
+namespace mdmesh {
+namespace {
+
+TEST(BisectionTest, WidthFormulas) {
+  EXPECT_EQ(BisectionWidth(Topology(2, 8, Wrap::kMesh)), 8);
+  EXPECT_EQ(BisectionWidth(Topology(2, 8, Wrap::kTorus)), 16);
+  EXPECT_EQ(BisectionWidth(Topology(3, 8, Wrap::kMesh)), 64);
+  EXPECT_EQ(BisectionWidth(Topology(3, 8, Wrap::kTorus)), 128);
+  EXPECT_EQ(BisectionWidth(Topology(1, 8, Wrap::kMesh)), 1);
+}
+
+TEST(BisectionTest, KkBoundsMatchPaperFormulas) {
+  // Section 1.1: kn/2 on the mesh, kn/4 on the torus.
+  Topology mesh(3, 16, Wrap::kMesh);
+  Topology torus(3, 16, Wrap::kTorus);
+  for (std::int64_t k : {1, 2, 4, 8}) {
+    EXPECT_DOUBLE_EQ(KkBisectionBound(mesh, k),
+                     static_cast<double>(k) * 16 / 2.0);
+    EXPECT_DOUBLE_EQ(KkBisectionBound(torus, k),
+                     static_cast<double>(k) * 16 / 4.0);
+  }
+}
+
+TEST(BisectionTest, SmallKIsDiameterDominated) {
+  // Corollary 3.1.1 regime: for k <= floor(d/4) the 3D/2 term dominates the
+  // bisection bound, which is why the same running time is possible at all.
+  Topology mesh(8, 4, Wrap::kMesh);
+  const double diameter_term = 1.5 * static_cast<double>(mesh.Diameter());
+  for (std::int64_t k = 1; k <= 8 / 4; ++k) {
+    EXPECT_LT(KkBisectionBound(mesh, k), diameter_term);
+  }
+}
+
+TEST(BisectionTest, CrossoverGrowsWithDimension) {
+  // D = d(n-1) grows with d while the bisection bound kn/2 does not, so the
+  // crossover k moves out linearly in d.
+  const std::int64_t k2 = BisectionCrossoverK(Topology(2, 16, Wrap::kMesh), 1.5);
+  const std::int64_t k4 = BisectionCrossoverK(Topology(4, 16, Wrap::kMesh), 1.5);
+  ASSERT_GT(k2, 0);
+  ASSERT_GT(k4, 0);
+  EXPECT_GT(k4, k2);
+  EXPECT_NEAR(static_cast<double>(k4) / static_cast<double>(k2), 2.0, 0.35);
+}
+
+TEST(BisectionTest, CrossoverConsistency) {
+  Topology topo(3, 16, Wrap::kMesh);
+  const std::int64_t k = BisectionCrossoverK(topo, 1.5);
+  ASSERT_GT(k, 1);
+  EXPECT_GE(KkBisectionBound(topo, k), 1.5 * static_cast<double>(topo.Diameter()));
+  EXPECT_LT(KkBisectionBound(topo, k - 1), 1.5 * static_cast<double>(topo.Diameter()));
+}
+
+}  // namespace
+}  // namespace mdmesh

@@ -1,0 +1,177 @@
+#include "meshsim/blocks.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+namespace mdmesh {
+namespace {
+
+class BlockGridTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, Wrap>> {};
+
+TEST_P(BlockGridTest, MappingsRoundTrip) {
+  auto [d, n, g, wrap] = GetParam();
+  Topology topo(d, n, wrap);
+  BlockGrid grid(topo, g);
+  EXPECT_EQ(grid.num_blocks() * grid.block_volume(), topo.size());
+  std::set<std::pair<BlockId, std::int64_t>> seen;
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    BlockId blk = grid.BlockOf(p);
+    std::int64_t off = grid.OffsetOf(p);
+    ASSERT_GE(blk, 0);
+    ASSERT_LT(blk, grid.num_blocks());
+    ASSERT_GE(off, 0);
+    ASSERT_LT(off, grid.block_volume());
+    EXPECT_EQ(grid.ProcAt(blk, off), p);
+    EXPECT_TRUE(seen.insert({blk, off}).second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, BlockGridTest,
+                         ::testing::Values(std::tuple{2, 8, 2, Wrap::kMesh},
+                                           std::tuple{2, 8, 4, Wrap::kMesh},
+                                           std::tuple{2, 12, 2, Wrap::kTorus},
+                                           std::tuple{3, 8, 2, Wrap::kMesh},
+                                           std::tuple{3, 6, 2, Wrap::kTorus},
+                                           std::tuple{4, 4, 2, Wrap::kMesh}));
+
+TEST(BlockGridTest, RejectsNonDividingG) {
+  Topology topo(2, 8, Wrap::kMesh);
+  EXPECT_THROW(BlockGrid(topo, 3), std::invalid_argument);
+}
+
+TEST(BlockGridTest, BlockCoordsRoundTrip) {
+  Topology topo(3, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  for (BlockId b = 0; b < grid.num_blocks(); ++b) {
+    EXPECT_EQ(grid.BlockAtCoords(grid.BlockCoords(b)), b);
+  }
+}
+
+TEST(BlockGridTest, BlockOfMatchesCoordinateArithmetic) {
+  Topology topo(2, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 4);  // b = 2
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    Point c = topo.Coords(p);
+    Point bc = grid.BlockCoords(grid.BlockOf(p));
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_EQ(bc[static_cast<std::size_t>(i)], c[static_cast<std::size_t>(i)] / 2);
+    }
+  }
+}
+
+TEST(BlockGridTest, WithinBlockOffsetsAreSnakeOrdered) {
+  // Consecutive offsets inside a block are mesh neighbors.
+  Topology topo(2, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);  // b = 4
+  for (BlockId blk = 0; blk < grid.num_blocks(); ++blk) {
+    for (std::int64_t off = 0; off + 1 < grid.block_volume(); ++off) {
+      EXPECT_EQ(topo.Dist(grid.ProcAt(blk, off), grid.ProcAt(blk, off + 1)), 1);
+    }
+  }
+}
+
+TEST(BlockGridTest, SnakeAdjacentBlocksAreGridNeighbors) {
+  Topology topo(3, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  for (BlockId b = 0; b + 1 < grid.num_blocks(); ++b) {
+    Point x = grid.BlockCoords(b);
+    Point y = grid.BlockCoords(b + 1);
+    std::int64_t dist = 0;
+    for (int i = 0; i < 3; ++i) {
+      dist += AbsDiff(x[static_cast<std::size_t>(i)], y[static_cast<std::size_t>(i)]);
+    }
+    EXPECT_EQ(dist, 1);
+  }
+}
+
+TEST(BlockGridTest, BlockCenterAndDistance) {
+  Topology topo(2, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);  // blocks of side 4; centers at 1.5 and 5.5
+  auto c0 = grid.BlockCenter(0);
+  EXPECT_DOUBLE_EQ(c0[0], 1.5);
+  EXPECT_DOUBLE_EQ(c0[1], 1.5);
+  // Distance between diagonal blocks: |1.5-5.5| * 2 = 8.
+  BlockId diag = -1;
+  for (BlockId b = 0; b < grid.num_blocks(); ++b) {
+    auto c = grid.BlockCenter(b);
+    if (c[0] == 5.5 && c[1] == 5.5) diag = b;
+  }
+  ASSERT_GE(diag, 0);
+  EXPECT_DOUBLE_EQ(grid.CenterDist(0, diag), 8.0);
+}
+
+TEST(BlockGridTest, TorusCenterDistWraps) {
+  Topology topo(1, 8, Wrap::kTorus);
+  BlockGrid grid(topo, 4);  // blocks of side 2, centers 0.5, 2.5, 4.5, 6.5
+  BlockId first = grid.BlockOf(0);
+  BlockId last = grid.BlockOf(7);
+  EXPECT_DOUBLE_EQ(grid.CenterDist(first, last), 2.0);  // 0.5 vs 6.5 wraps
+}
+
+TEST(BlockGridTest, MaxProcDistMeshExact) {
+  Topology topo(2, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  for (BlockId a = 0; a < grid.num_blocks(); ++a) {
+    for (BlockId b = 0; b < grid.num_blocks(); ++b) {
+      std::int64_t brute = 0;
+      for (std::int64_t i = 0; i < grid.block_volume(); ++i) {
+        for (std::int64_t j = 0; j < grid.block_volume(); ++j) {
+          brute = std::max(brute, topo.Dist(grid.ProcAt(a, i), grid.ProcAt(b, j)));
+        }
+      }
+      EXPECT_EQ(grid.MaxProcDist(a, b), brute) << "blocks " << a << "," << b;
+    }
+  }
+}
+
+TEST(BlockGridTest, MaxProcDistTorusExact) {
+  Topology topo(2, 8, Wrap::kTorus);
+  BlockGrid grid(topo, 2);
+  for (BlockId a = 0; a < grid.num_blocks(); ++a) {
+    for (BlockId b = 0; b < grid.num_blocks(); ++b) {
+      std::int64_t brute = 0;
+      for (std::int64_t i = 0; i < grid.block_volume(); ++i) {
+        for (std::int64_t j = 0; j < grid.block_volume(); ++j) {
+          brute = std::max(brute, topo.Dist(grid.ProcAt(a, i), grid.ProcAt(b, j)));
+        }
+      }
+      EXPECT_EQ(grid.MaxProcDist(a, b), brute) << "blocks " << a << "," << b;
+    }
+  }
+}
+
+TEST(BlockGridTest, MirrorBlockInvolution) {
+  Topology topo(3, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  for (BlockId b = 0; b < grid.num_blocks(); ++b) {
+    EXPECT_EQ(grid.MirrorBlock(grid.MirrorBlock(b)), b);
+    EXPECT_NE(grid.MirrorBlock(b), b);  // even g has no fixed blocks
+  }
+}
+
+TEST(BlockGridTest, AntipodeBlockInvolution) {
+  Topology topo(2, 8, Wrap::kTorus);
+  BlockGrid grid(topo, 4);
+  for (BlockId b = 0; b < grid.num_blocks(); ++b) {
+    EXPECT_EQ(grid.AntipodeBlock(grid.AntipodeBlock(b)), b);
+    EXPECT_NE(grid.AntipodeBlock(b), b);
+  }
+}
+
+TEST(BlockGridTest, SnakeNeighborPairs) {
+  Topology topo(2, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 4);  // 16 blocks
+  auto even = grid.SnakeNeighborPairs(0);
+  auto odd = grid.SnakeNeighborPairs(1);
+  EXPECT_EQ(even.size(), 8u);
+  EXPECT_EQ(odd.size(), 7u);
+  for (auto [l, r] : even) EXPECT_EQ(r, l + 1);
+  EXPECT_EQ(even[0].first, 0);
+  EXPECT_EQ(odd[0].first, 1);
+}
+
+}  // namespace
+}  // namespace mdmesh

@@ -1,0 +1,90 @@
+#include "bounds/broadcast.h"
+
+#include <gtest/gtest.h>
+
+namespace mdmesh {
+namespace {
+
+TEST(BroadcastTest, TrivialCases) {
+  Topology topo(2, 8, Wrap::kMesh);
+  EXPECT_EQ(SteinerLowerBound(topo, {}), 0);
+  EXPECT_EQ(SteinerLowerBound(topo, {5}), 0);
+}
+
+TEST(BroadcastTest, TwoTerminalsIsTheirDistance) {
+  // For two points the bounding-box semi-perimeter IS the L1 distance.
+  Topology topo(2, 8, Wrap::kMesh);
+  for (ProcId a : {ProcId{0}, ProcId{13}, ProcId{42}}) {
+    for (ProcId b : {ProcId{7}, ProcId{21}, ProcId{63}}) {
+      EXPECT_EQ(SteinerLowerBound(topo, {a, b}), topo.Dist(a, b));
+    }
+  }
+}
+
+TEST(BroadcastTest, BoundingBoxOnAxisAlignedSet) {
+  // Corners of a 4x3 box: semi-perimeter 4 + 3 = 7.
+  Topology topo(2, 8, Wrap::kMesh);
+  Point p{};
+  auto id = [&](int x, int y) {
+    p[0] = x;
+    p[1] = y;
+    return topo.Id(p);
+  };
+  EXPECT_EQ(SteinerLowerBound(topo, {id(1, 2), id(5, 2), id(1, 5), id(5, 5)}), 7);
+}
+
+TEST(BroadcastTest, StarBoundDominatesForDenseClusters) {
+  // 9 terminals packed in a 2x2 box: box bound 2, star bound 8.
+  Topology topo(2, 8, Wrap::kMesh);
+  std::vector<ProcId> terminals;
+  Point p{};
+  for (int x = 0; x < 3; ++x) {
+    for (int y = 0; y < 3; ++y) {
+      p[0] = x;
+      p[1] = y;
+      terminals.push_back(topo.Id(p));
+    }
+  }
+  EXPECT_EQ(SteinerLowerBound(topo, terminals), 8);
+}
+
+TEST(BroadcastTest, TorusRoutesAroundTheGap) {
+  // Terminals at ring positions 0 and 6 on an 8-ring: mesh span 6, torus
+  // span 2 (going the short way).
+  Topology mesh(1, 8, Wrap::kMesh);
+  Topology torus(1, 8, Wrap::kTorus);
+  EXPECT_EQ(SteinerLowerBound(mesh, {0, 6}), 6);
+  EXPECT_EQ(SteinerLowerBound(torus, {0, 6}), 2);
+}
+
+TEST(BroadcastTest, TorusFullRingHasNoGapToSkip) {
+  Topology torus(1, 8, Wrap::kTorus);
+  std::vector<ProcId> all{0, 1, 2, 3, 4, 5, 6, 7};
+  // Largest gap is 1 => span 7 (a Hamiltonian path around the ring).
+  EXPECT_EQ(SteinerLowerBound(torus, all), 7);
+}
+
+TEST(BroadcastTest, LowerBoundsActualTreeOnSamples) {
+  // The bound must not exceed the length of an explicit spanning
+  // construction (star from the first terminal).
+  Topology topo(3, 5, Wrap::kMesh);
+  std::vector<ProcId> terminals{3, 57, 88, 120, 14};
+  std::int64_t star_length = 0;
+  for (std::size_t i = 1; i < terminals.size(); ++i) {
+    star_length += topo.Dist(terminals[0], terminals[i]);
+  }
+  EXPECT_LE(SteinerLowerBound(topo, terminals), star_length);
+}
+
+TEST(BroadcastTest, CopySpreadStepBoundScales) {
+  Topology topo(2, 16, Wrap::kMesh);
+  // spread = n: every packet leaves copies n apart => steps >= N*n/links.
+  // links = 2*2*256*15/16 = 960; N*spread = 256*16 = 4096 => 4096/960.
+  const double bound = CopySpreadStepBound(topo, 16);
+  EXPECT_NEAR(bound, 4096.0 / 960.0, 1e-9);
+  // Doubling the spread doubles the bound.
+  EXPECT_NEAR(CopySpreadStepBound(topo, 32), 2.0 * bound, 1e-9);
+}
+
+}  // namespace
+}  // namespace mdmesh

@@ -1,0 +1,82 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace mdmesh {
+namespace {
+
+Cli MakeCli() {
+  Cli cli("prog", "test program");
+  cli.AddInt("n", 8, "side length");
+  cli.AddString("algo", "simple", "algorithm");
+  cli.AddBool("verbose", false, "chatty output");
+  return cli;
+}
+
+TEST(CliTest, Defaults) {
+  Cli cli = MakeCli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.Parse(1, argv));
+  EXPECT_EQ(cli.GetInt("n"), 8);
+  EXPECT_EQ(cli.GetString("algo"), "simple");
+  EXPECT_FALSE(cli.GetBool("verbose"));
+}
+
+TEST(CliTest, EqualsSyntax) {
+  Cli cli = MakeCli();
+  const char* argv[] = {"prog", "--n=32", "--algo=copy", "--verbose=1"};
+  ASSERT_TRUE(cli.Parse(4, argv));
+  EXPECT_EQ(cli.GetInt("n"), 32);
+  EXPECT_EQ(cli.GetString("algo"), "copy");
+  EXPECT_TRUE(cli.GetBool("verbose"));
+}
+
+TEST(CliTest, SpaceSyntax) {
+  Cli cli = MakeCli();
+  const char* argv[] = {"prog", "--n", "64", "--algo", "torus"};
+  ASSERT_TRUE(cli.Parse(5, argv));
+  EXPECT_EQ(cli.GetInt("n"), 64);
+  EXPECT_EQ(cli.GetString("algo"), "torus");
+}
+
+TEST(CliTest, BareBoolFlag) {
+  Cli cli = MakeCli();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(cli.Parse(2, argv));
+  EXPECT_TRUE(cli.GetBool("verbose"));
+}
+
+TEST(CliTest, UnknownFlagFails) {
+  Cli cli = MakeCli();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(cli.Parse(2, argv));
+}
+
+TEST(CliTest, MissingValueFails) {
+  Cli cli = MakeCli();
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_FALSE(cli.Parse(2, argv));
+}
+
+TEST(CliTest, HelpReturnsFalse) {
+  Cli cli = MakeCli();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.Parse(2, argv));
+}
+
+TEST(CliTest, PositionalArgumentRejected) {
+  Cli cli = MakeCli();
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_FALSE(cli.Parse(2, argv));
+}
+
+TEST(CliTest, WrongTypeAccessThrows) {
+  Cli cli = MakeCli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.Parse(1, argv));
+  EXPECT_THROW(cli.GetInt("algo"), std::logic_error);
+  EXPECT_THROW(cli.GetString("n"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mdmesh

@@ -1,0 +1,142 @@
+#include "bounds/diamond.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "meshsim/geometry.h"
+#include "meshsim/topology.h"
+
+namespace mdmesh {
+namespace {
+
+TEST(DiamondTest, DistributionSumsToNd) {
+  for (auto [d, n] : {std::pair{1, 8}, std::pair{2, 7}, std::pair{3, 5}, std::pair{5, 4}}) {
+    auto dist = CenterDistanceDistribution(d, n);
+    ASSERT_EQ(dist.size(), static_cast<std::size_t>(d * (n - 1) + 1));
+    double sum = 0;
+    for (double v : dist) sum += v;
+    EXPECT_DOUBLE_EQ(sum, std::pow(n, d));
+  }
+}
+
+TEST(DiamondTest, MatchesDirectEnumeration) {
+  // The DP must agree exactly with brute-force counting on the topology.
+  for (auto [d, n] : {std::pair{2, 6}, std::pair{2, 7}, std::pair{3, 4}, std::pair{3, 5}}) {
+    Topology topo(d, n, Wrap::kMesh);
+    auto dist = CenterDistanceDistribution(d, n);
+    std::vector<std::int64_t> brute(dist.size(), 0);
+    for (ProcId p = 0; p < topo.size(); ++p) {
+      ++brute[static_cast<std::size_t>(HalfDistToCenter(topo, p))];
+    }
+    for (std::size_t h = 0; h < dist.size(); ++h) {
+      EXPECT_DOUBLE_EQ(dist[h], static_cast<double>(brute[h]))
+          << "d=" << d << " n=" << n << " h=" << h;
+    }
+  }
+}
+
+TEST(DiamondTest, VolumeMatchesCountWithin) {
+  for (auto [d, n] : {std::pair{2, 8}, std::pair{3, 5}}) {
+    Topology topo(d, n, Wrap::kMesh);
+    for (double radius : {0.0, 1.0, 1.5, 2.0, 3.25, 10.0}) {
+      EXPECT_DOUBLE_EQ(
+          DiamondVolume(d, n, radius),
+          static_cast<double>(CountWithinHalfDist(
+              topo, static_cast<std::int64_t>(std::floor(2 * radius + 1e-9)))))
+          << "d=" << d << " n=" << n << " r=" << radius;
+    }
+  }
+}
+
+TEST(DiamondTest, VolumeMonotoneInRadius) {
+  for (double r = 0; r < 12; r += 0.5) {
+    EXPECT_LE(DiamondVolume(3, 9, r), DiamondVolume(3, 9, r + 0.5));
+  }
+  EXPECT_EQ(DiamondVolume(3, 9, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(DiamondVolume(3, 9, 100.0), std::pow(9, 3));
+}
+
+TEST(DiamondTest, SurfaceIsOuterShell) {
+  // Volume(r) - Volume(r - 1) equals the shell count.
+  const int d = 3, n = 9;
+  for (double r : {2.0, 3.0, 5.0}) {
+    EXPECT_DOUBLE_EQ(DiamondSurface(d, n, r),
+                     DiamondVolume(d, n, r) - DiamondVolume(d, n, r - 1.0));
+  }
+}
+
+TEST(DiamondTest, RadiusFormula) {
+  EXPECT_DOUBLE_EQ(DiamondRadius(4, 9, 0.0), 8.0);  // (1-0)*4*8/4
+  EXPECT_DOUBLE_EQ(DiamondRadius(4, 9, 0.5), 4.0);
+}
+
+TEST(DiamondTest, VolumeHalfAtGammaZeroLargeN) {
+  // V_{d,0} is the D/4 diamond: about half the processors (Section 3.1).
+  const double frac = VolumeDdGamma(2, 101, 0.0) / std::pow(101.0, 2);
+  EXPECT_NEAR(frac, 0.5, 0.02);
+}
+
+TEST(DiamondTest, PointDistributionCenterEqualsCenterDistribution) {
+  auto a = CenterDistanceDistribution(3, 7);
+  auto b = PointDistanceDistribution(3, 7, 0);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t h = 0; h < a.size(); ++h) EXPECT_DOUBLE_EQ(a[h], b[h]);
+}
+
+TEST(DiamondTest, PointDistributionOffsetMatchesBruteForce) {
+  const int d = 2, n = 7;
+  const std::int64_t half_offset = 4;  // x_i = 3 + 2 = 5 in every dimension
+  Topology topo(d, n, Wrap::kMesh);
+  auto dist = PointDistanceDistribution(d, n, half_offset);
+  std::vector<std::int64_t> brute(dist.size(), 0);
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    Point c = topo.Coords(p);
+    std::int64_t h = 0;
+    for (int i = 0; i < d; ++i) {
+      h += std::llabs(2ll * c[static_cast<std::size_t>(i)] - (n - 1) - half_offset);
+    }
+    ++brute[static_cast<std::size_t>(h)];
+  }
+  for (std::size_t h = 0; h < dist.size(); ++h) {
+    EXPECT_DOUBLE_EQ(dist[h], static_cast<double>(brute[h])) << "h=" << h;
+  }
+}
+
+TEST(DiamondTest, BallFractionBounds) {
+  EXPECT_DOUBLE_EQ(BallFractionAround(2, 9, 0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(BallFractionAround(2, 9, 0, -1.0), 0.0);
+  const double near = BallFractionAround(2, 9, 0, 1.0);
+  EXPECT_GT(near, 0.0);
+  EXPECT_LT(near, 0.2);
+}
+
+TEST(DiamondTest, SweepMatchesOneShot) {
+  CenterDistanceSweep sweep(9);
+  for (int d = 1; d <= 6; ++d) {
+    auto direct = CenterDistanceDistribution(d, 9);
+    const auto& cached = sweep.Distribution(d);
+    ASSERT_EQ(direct.size(), cached.size());
+    for (std::size_t h = 0; h < direct.size(); ++h) {
+      EXPECT_DOUBLE_EQ(direct[h], cached[h]) << "d=" << d << " h=" << h;
+    }
+  }
+}
+
+TEST(DiamondTest, SweepNormalizedQuantities) {
+  CenterDistanceSweep sweep(9);
+  EXPECT_NEAR(sweep.VolumeNormalized(3, 0.0),
+              VolumeDdGamma(3, 9, 0.0) / std::pow(9.0, 3), 1e-12);
+  EXPECT_NEAR(sweep.SurfaceNormalized(3, 0.2),
+              SurfaceDdGamma(3, 9, 0.2) / std::pow(9.0, 2), 1e-12);
+}
+
+TEST(DiamondTest, VolumeDecaysWithGamma) {
+  for (double g1 = 0.0; g1 < 0.8; g1 += 0.2) {
+    EXPECT_GE(VolumeDdGamma(4, 9, g1), VolumeDdGamma(4, 9, g1 + 0.2));
+  }
+}
+
+}  // namespace
+}  // namespace mdmesh

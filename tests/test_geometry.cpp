@@ -1,0 +1,142 @@
+#include "meshsim/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mdmesh {
+namespace {
+
+TEST(GeometryTest, HalfDistToCenterMatchesDirectComputation) {
+  Topology topo(3, 5, Wrap::kMesh);
+  const double center = (5 - 1) / 2.0;
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    Point c = topo.Coords(p);
+    double dist = 0;
+    for (int i = 0; i < 3; ++i) {
+      dist += std::abs(c[static_cast<std::size_t>(i)] - center);
+    }
+    EXPECT_EQ(HalfDistToCenter(topo, p), static_cast<std::int64_t>(2 * dist));
+  }
+}
+
+TEST(GeometryTest, CountWithinHalfDist) {
+  Topology topo(2, 3, Wrap::kMesh);  // center at (1,1)
+  EXPECT_EQ(CountWithinHalfDist(topo, 0), 1);   // just the center
+  EXPECT_EQ(CountWithinHalfDist(topo, 2), 5);   // plus the 4 neighbors
+  EXPECT_EQ(CountWithinHalfDist(topo, 4), 9);   // everything
+}
+
+TEST(GeometryTest, HalfOfProcessorsWithinQuarterDiameter) {
+  // Section 3.1: |C(D/4)| is half the network. The per-coordinate distance
+  // to the center has a symmetric distribution, so the claim is exact in
+  // the continuum; discrete small-n grids sit somewhat below half and
+  // approach it as n grows.
+  for (auto [d, n] : {std::pair{2, 8}, std::pair{2, 16}, std::pair{3, 8}}) {
+    Topology topo(d, n, Wrap::kMesh);
+    const std::int64_t D = topo.Diameter();
+    const std::int64_t count = CountWithinHalfDist(topo, D / 2);  // half-units
+    const double frac = static_cast<double>(count) / static_cast<double>(topo.size());
+    EXPECT_GT(frac, 0.28) << "d=" << d << " n=" << n;
+    EXPECT_LT(frac, 0.65) << "d=" << d << " n=" << n;
+  }
+}
+
+TEST(GeometryTest, FractionApproachesHalfWithN) {
+  Topology small(2, 8, Wrap::kMesh);
+  Topology large(2, 64, Wrap::kMesh);
+  const double f_small =
+      static_cast<double>(CountWithinHalfDist(small, small.Diameter() / 2)) /
+      static_cast<double>(small.size());
+  const double f_large =
+      static_cast<double>(CountWithinHalfDist(large, large.Diameter() / 2)) /
+      static_cast<double>(large.size());
+  EXPECT_GT(f_large, f_small);
+  EXPECT_GT(f_large, 0.45);
+  EXPECT_LT(f_large, 0.55);
+}
+
+TEST(GeometryTest, CenterRegionPicksClosestBlocks) {
+  Topology topo(2, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 4);  // 16 blocks of side 2
+  CenterRegion region(grid, 4);
+  EXPECT_EQ(region.count(), 4);
+  // The four chosen blocks must be the four around the center (coords 1..2).
+  for (BlockId b : region.blocks()) {
+    Point bc = grid.BlockCoords(b);
+    EXPECT_GE(bc[0], 1);
+    EXPECT_LE(bc[0], 2);
+    EXPECT_GE(bc[1], 1);
+    EXPECT_LE(bc[1], 2);
+  }
+}
+
+TEST(GeometryTest, NumberingIsConsistent) {
+  Topology topo(3, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  CenterRegion region(grid, 4);
+  for (std::int64_t c = 0; c < region.count(); ++c) {
+    EXPECT_EQ(region.NumberOf(region.BlockAt(c)), c);
+    EXPECT_TRUE(region.Contains(region.BlockAt(c)));
+  }
+  std::int64_t outside = 0;
+  for (BlockId b = 0; b < grid.num_blocks(); ++b) {
+    if (!region.Contains(b)) {
+      EXPECT_EQ(region.NumberOf(b), -1);
+      ++outside;
+    }
+  }
+  EXPECT_EQ(outside, grid.num_blocks() - 4);
+}
+
+TEST(GeometryTest, MirrorClosedRegionIsClosedUnderMirror) {
+  Topology topo(3, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  CenterRegion region(grid, 4, /*mirror_closed=*/true);
+  for (BlockId b : region.blocks()) {
+    EXPECT_TRUE(region.Contains(grid.MirrorBlock(b)))
+        << "mirror of block " << b << " missing from the region";
+  }
+}
+
+TEST(GeometryTest, MirrorClosedAtHalfTheBlocks) {
+  Topology topo(2, 16, Wrap::kMesh);
+  BlockGrid grid(topo, 4);
+  CenterRegion region(grid, grid.num_blocks() / 2, /*mirror_closed=*/true);
+  for (BlockId b : region.blocks()) {
+    EXPECT_TRUE(region.Contains(grid.MirrorBlock(b)));
+  }
+}
+
+TEST(GeometryTest, HalfRegionRadiusNearQuarterDiameter) {
+  // The m/2 center blocks form the paper's region C of radius ~D/4.
+  Topology topo(2, 32, Wrap::kMesh);
+  BlockGrid grid(topo, 4);
+  CenterRegion region(grid, grid.num_blocks() / 2);
+  const double D = static_cast<double>(topo.Diameter());
+  EXPECT_LT(region.radius(), 0.40 * D);
+  EXPECT_GT(region.radius(), 0.10 * D);
+}
+
+TEST(GeometryTest, MaxDistToAnywhereAboutThreeQuartersD) {
+  // Section 3.1: no processor in C is farther than ~3D/4 (+block slack)
+  // from any processor of the network.
+  Topology topo(2, 16, Wrap::kMesh);
+  BlockGrid grid(topo, 4);
+  CenterRegion region(grid, grid.num_blocks() / 2);
+  const double D = static_cast<double>(topo.Diameter());
+  const auto worst = static_cast<double>(region.MaxDistToAnywhere());
+  EXPECT_LE(worst, 0.75 * D + 2.0 * grid.block_side());
+  EXPECT_GE(worst, 0.5 * D);
+}
+
+TEST(GeometryTest, FullRegionIsEverything) {
+  Topology topo(2, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  CenterRegion region(grid, grid.num_blocks());
+  EXPECT_EQ(region.count(), grid.num_blocks());
+  for (BlockId b = 0; b < grid.num_blocks(); ++b) EXPECT_TRUE(region.Contains(b));
+}
+
+}  // namespace
+}  // namespace mdmesh

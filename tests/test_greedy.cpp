@@ -1,0 +1,110 @@
+#include "routing/greedy.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace mdmesh {
+namespace {
+
+TEST(GreedyTest, SingleRandomPermutationNearDistanceOptimal) {
+  // Leighton [13]: one random permutation routes distance-optimally under
+  // plain greedy. At n = 16 the o(n) slack is a small constant.
+  Topology topo(2, 16, Wrap::kMesh);
+  GreedyOptions opts;
+  opts.seed = 11;
+  GreedyRun run = RouteRandomPermutations(topo, 1, opts);
+  EXPECT_TRUE(run.route.completed);
+  EXPECT_LE(run.route.max_overshoot, topo.side());
+  EXPECT_LE(run.route.steps, run.route.max_distance + topo.side());
+}
+
+class MultiPermTest
+    : public ::testing::TestWithParam<std::tuple<int, int, Wrap, int>> {};
+
+TEST_P(MultiPermTest, SimultaneousPermutationsDeliver) {
+  auto [d, n, wrap, j] = GetParam();
+  Topology topo(d, n, wrap);
+  GreedyOptions opts;
+  opts.seed = 21;
+  GreedyRun run = RouteRandomPermutations(topo, j, opts);
+  EXPECT_TRUE(run.route.completed);
+  EXPECT_EQ(run.route.packets, topo.size() * j);
+  // Sanity cap: even heavy multi-permutation loads stay within a small
+  // multiple of the diameter.
+  EXPECT_LE(run.route.steps, (2 + j) * topo.Diameter() + 8 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Loads, MultiPermTest,
+    ::testing::Values(std::tuple{2, 8, Wrap::kMesh, 1},
+                      std::tuple{2, 8, Wrap::kMesh, 2},
+                      std::tuple{2, 8, Wrap::kTorus, 4},
+                      std::tuple{3, 6, Wrap::kMesh, 1},
+                      std::tuple{3, 6, Wrap::kTorus, 6},
+                      std::tuple{4, 4, Wrap::kMesh, 2},
+                      std::tuple{4, 4, Wrap::kTorus, 8}));
+
+TEST(GreedyTest, TorusTwoDPermsStaysNearDistanceOptimal) {
+  // Lemma 2.1: 2d random permutations route distance-optimally on the
+  // d-dimensional torus. Overshoot should be o(n) — we allow ~1.5n at this
+  // tiny scale and check it is far below the trivial bound.
+  Topology topo(3, 8, Wrap::kTorus);
+  GreedyOptions opts;
+  opts.seed = 5;
+  GreedyRun run = RouteRandomPermutations(topo, 6, opts);
+  EXPECT_TRUE(run.route.completed);
+  EXPECT_LT(run.route.max_overshoot, 2 * topo.side());
+}
+
+TEST(GreedyTest, UnshufflePermutationsDeliver) {
+  Topology topo(2, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  GreedyOptions opts;
+  opts.seed = 31;
+  GreedyRun run = RouteUnshufflePermutations(topo, grid, 2, opts);
+  EXPECT_TRUE(run.route.completed);
+  EXPECT_EQ(run.route.packets, 2 * topo.size());
+}
+
+TEST(GreedyTest, ExplicitPermutationReversal) {
+  Topology topo(2, 8, Wrap::kMesh);
+  GreedyOptions opts;
+  GreedyRun run = RouteOnePermutation(topo, ReversalPermutation(topo), opts);
+  EXPECT_TRUE(run.route.completed);
+  EXPECT_EQ(run.route.max_distance, topo.Diameter());
+  EXPECT_GE(run.route.steps, topo.Diameter());
+}
+
+TEST(GreedyTest, LocalRankClassesAlsoDeliver) {
+  Topology topo(2, 8, Wrap::kMesh);
+  GreedyOptions opts;
+  opts.class_mode = ClassMode::kLocalRank;
+  opts.class_grid_g = 2;
+  GreedyRun run = RouteRandomPermutations(topo, 2, opts);
+  EXPECT_TRUE(run.route.completed);
+}
+
+TEST(GreedyTest, DeterministicGivenSeed) {
+  Topology topo(2, 8, Wrap::kMesh);
+  GreedyOptions opts;
+  opts.seed = 99;
+  auto a = RouteRandomPermutations(topo, 2, opts);
+  auto b = RouteRandomPermutations(topo, 2, opts);
+  EXPECT_EQ(a.route.steps, b.route.steps);
+  EXPECT_EQ(a.route.moves, b.route.moves);
+  EXPECT_EQ(a.route.max_queue, b.route.max_queue);
+}
+
+TEST(GreedyTest, MoreParallelPermutationsNeverGetFaster) {
+  // Adding simultaneous permutations can only add contention.
+  Topology topo(2, 12, Wrap::kTorus);
+  GreedyOptions opts;
+  opts.seed = 13;
+  auto one = RouteRandomPermutations(topo, 1, opts);
+  auto four = RouteRandomPermutations(topo, 4, opts);
+  EXPECT_LE(one.route.steps, four.route.steps + 2);
+}
+
+}  // namespace
+}  // namespace mdmesh

@@ -1,0 +1,211 @@
+#include "meshsim/indexing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <tuple>
+
+namespace mdmesh {
+namespace {
+
+struct Scheme {
+  std::string name;
+  int b;  // block side, 0 for unblocked schemes
+};
+
+class IndexingBijectionTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int, int, int>> {};
+
+TEST_P(IndexingBijectionTest, IsBijectionWithInverse) {
+  auto [name, d, n, b] = GetParam();
+  auto scheme = MakeIndexing(name, d, n, b);
+  Topology topo(d, n, Wrap::kMesh);
+  std::set<std::int64_t> seen;
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    Point c = topo.Coords(p);
+    std::int64_t idx = scheme->Index(c);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, topo.size());
+    EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+    Point back = scheme->PointAt(idx);
+    for (int i = 0; i < d; ++i) {
+      EXPECT_EQ(back[static_cast<std::size_t>(i)], c[static_cast<std::size_t>(i)]);
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(topo.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, IndexingBijectionTest,
+    ::testing::Values(
+        std::tuple{"row-major", 1, 9, 0}, std::tuple{"row-major", 2, 6, 0},
+        std::tuple{"row-major", 3, 4, 0}, std::tuple{"row-major", 4, 3, 0},
+        std::tuple{"snake", 1, 9, 0}, std::tuple{"snake", 2, 6, 0},
+        std::tuple{"snake", 2, 7, 0}, std::tuple{"snake", 3, 4, 0},
+        std::tuple{"snake", 3, 5, 0}, std::tuple{"snake", 4, 3, 0},
+        std::tuple{"blocked-row-major", 2, 6, 3},
+        std::tuple{"blocked-row-major", 3, 4, 2},
+        std::tuple{"blocked-snake", 2, 6, 3},
+        std::tuple{"blocked-snake", 2, 8, 4},
+        std::tuple{"blocked-snake", 3, 4, 2},
+        std::tuple{"blocked-snake", 3, 6, 2},
+        std::tuple{"blocked-snake", 4, 4, 2}));
+
+TEST(IndexingTest, RowMajor2D) {
+  RowMajorIndexing idx(2, 3);
+  // Dimension 1 most significant: (x, y) -> y*3 + x.
+  Point p{};
+  p[0] = 2;
+  p[1] = 1;
+  EXPECT_EQ(idx.Index(p), 5);
+  p[0] = 0;
+  p[1] = 2;
+  EXPECT_EQ(idx.Index(p), 6);
+}
+
+TEST(IndexingTest, SnakeAdjacencyProperty) {
+  // Consecutive snake indices are neighbors in the mesh — the defining
+  // property of a snake (Hamiltonian path).
+  for (auto [d, n] : {std::pair{2, 4}, std::pair{2, 5}, std::pair{3, 3}, std::pair{3, 4}}) {
+    SnakeIndexing idx(d, n);
+    Topology topo(d, n, Wrap::kMesh);
+    for (std::int64_t t = 0; t + 1 < topo.size(); ++t) {
+      Point a = idx.PointAt(t);
+      Point b = idx.PointAt(t + 1);
+      EXPECT_EQ(topo.DistCoords(a, b), 1)
+          << "snake breaks between index " << t << " and " << t + 1
+          << " (d=" << d << ", n=" << n << ")";
+    }
+  }
+}
+
+TEST(IndexingTest, Snake2DMatchesDefinition) {
+  // Row-by-row boustrophedon: row 0 left-to-right, row 1 right-to-left...
+  // With our convention dimension 1 is the row index.
+  SnakeIndexing idx(2, 4);
+  Point p{};
+  p[1] = 0;
+  for (int x = 0; x < 4; ++x) {
+    p[0] = x;
+    EXPECT_EQ(idx.Index(p), x);
+  }
+  p[1] = 1;
+  for (int x = 0; x < 4; ++x) {
+    p[0] = x;
+    EXPECT_EQ(idx.Index(p), 4 + (3 - x));
+  }
+}
+
+TEST(IndexingTest, BlockedSnakeKeepsBlocksContiguous) {
+  const int d = 2, n = 8, b = 4;
+  BlockedIndexing idx(d, n, b, BlockedIndexing::Order::kSnake);
+  // All b^d indices of a block form one contiguous range.
+  const std::int64_t vol = IPow(b, d);
+  Topology topo(d, n, Wrap::kMesh);
+  std::map<std::int64_t, std::pair<std::int64_t, std::int64_t>> block_range;
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    Point c = topo.Coords(p);
+    std::int64_t block_key = (c[0] / b) + 100 * (c[1] / b);
+    std::int64_t i = idx.Index(c);
+    auto it = block_range.find(block_key);
+    if (it == block_range.end()) {
+      block_range[block_key] = {i, i};
+    } else {
+      it->second.first = std::min(it->second.first, i);
+      it->second.second = std::max(it->second.second, i);
+    }
+  }
+  for (const auto& [key, range] : block_range) {
+    EXPECT_EQ(range.second - range.first + 1, vol) << "block " << key;
+    EXPECT_EQ(range.first % vol, 0);
+  }
+}
+
+TEST(IndexingTest, BlockedRequiresDivisibility) {
+  EXPECT_THROW(BlockedIndexing(2, 8, 3, BlockedIndexing::Order::kSnake),
+               std::invalid_argument);
+  EXPECT_THROW(MakeIndexing("blocked-snake", 2, 8, 0), std::invalid_argument);
+}
+
+TEST(IndexingTest, FactoryRejectsUnknown) {
+  EXPECT_THROW(MakeIndexing("peano", 2, 8, 0), std::invalid_argument);
+}
+
+TEST(IndexingTest, IndexTableIsConsistent) {
+  Topology topo(2, 6, Wrap::kMesh);
+  SnakeIndexing idx(2, 6);
+  auto table = idx.IndexTable(topo);
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    EXPECT_EQ(table[static_cast<std::size_t>(p)], idx.Index(topo.Coords(p)));
+  }
+}
+
+
+TEST(IndexingTest, MortonBijection) {
+  for (auto [d, n] : {std::pair{1, 8}, std::pair{2, 8}, std::pair{3, 4}, std::pair{4, 4}}) {
+    MortonIndexing idx(d, n);
+    Topology topo(d, n, Wrap::kMesh);
+    std::set<std::int64_t> seen;
+    for (ProcId p = 0; p < topo.size(); ++p) {
+      Point c = topo.Coords(p);
+      std::int64_t i = idx.Index(c);
+      ASSERT_GE(i, 0);
+      ASSERT_LT(i, topo.size());
+      EXPECT_TRUE(seen.insert(i).second);
+      Point back = idx.PointAt(i);
+      for (int k = 0; k < d; ++k) {
+        EXPECT_EQ(back[static_cast<std::size_t>(k)], c[static_cast<std::size_t>(k)]);
+      }
+    }
+  }
+}
+
+TEST(IndexingTest, Morton2DKnownValues) {
+  // Bit interleave with dimension 0 in the low bit: (x, y) = (3, 1) ->
+  // x bits 11, y bits 01 -> interleaved y1 x1 y0 x0 = 0111 = 7.
+  MortonIndexing idx(2, 4);
+  Point p{};
+  p[0] = 3;
+  p[1] = 1;
+  EXPECT_EQ(idx.Index(p), 7);
+  p[0] = 0;
+  p[1] = 0;
+  EXPECT_EQ(idx.Index(p), 0);
+  p[0] = 3;
+  p[1] = 3;
+  EXPECT_EQ(idx.Index(p), 15);
+}
+
+TEST(IndexingTest, MortonRequiresPowerOfTwo) {
+  EXPECT_THROW(MortonIndexing(2, 6), std::invalid_argument);
+  EXPECT_THROW(MakeIndexing("morton", 2, 12, 0), std::invalid_argument);
+}
+
+TEST(IndexingTest, MortonKeepsAlignedSubcubesContiguous) {
+  // The defining locality property: each aligned 2^k-subcube occupies one
+  // contiguous index range.
+  MortonIndexing idx(2, 8);
+  Topology topo(2, 8, Wrap::kMesh);
+  for (int half = 0; half < 4; ++half) {
+    const int x0 = (half % 2) * 4;
+    const int y0 = (half / 2) * 4;
+    std::int64_t lo = topo.size();
+    std::int64_t hi = -1;
+    for (int x = x0; x < x0 + 4; ++x) {
+      for (int y = y0; y < y0 + 4; ++y) {
+        Point p{};
+        p[0] = x;
+        p[1] = y;
+        const std::int64_t i = idx.Index(p);
+        lo = std::min(lo, i);
+        hi = std::max(hi, i);
+      }
+    }
+    EXPECT_EQ(hi - lo + 1, 16) << "subcube " << half;
+  }
+}
+
+}  // namespace
+}  // namespace mdmesh

@@ -1,0 +1,221 @@
+#include "util/inline_vec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace mdmesh {
+namespace {
+
+TEST(InlineVecTest, StartsEmptyWithInlineCapacity) {
+  InlineVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(InlineVecTest, PushWithinInlineCapacity) {
+  InlineVec<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);  // still inline
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(InlineVecTest, SpillsToHeapAndPreservesContents) {
+  InlineVec<int, 4> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_GE(v.capacity(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(InlineVecTest, ClearKeepsCapacity) {
+  InlineVec<int, 2> v;
+  for (int i = 0; i < 50; ++i) v.push_back(i);
+  const std::size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+  v.push_back(7);
+  EXPECT_EQ(v[0], 7);
+}
+
+TEST(InlineVecTest, PopBack) {
+  InlineVec<int, 4> v;
+  v.push_back(1);
+  v.push_back(2);
+  v.pop_back();
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.back(), 1);
+}
+
+TEST(InlineVecTest, ResizeValueInitializes) {
+  InlineVec<int, 2> v;
+  v.push_back(9);
+  v.resize(6);
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_EQ(v[0], 9);
+  for (std::size_t i = 1; i < 6; ++i) EXPECT_EQ(v[i], 0);
+  v.resize(2);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(InlineVecTest, AssignFromRange) {
+  std::vector<int> src{5, 6, 7, 8, 9, 10};
+  InlineVec<int, 4> v;
+  v.push_back(1);
+  v.assign(src.begin(), src.end());
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), src.begin()));
+}
+
+TEST(InlineVecTest, EraseRange) {
+  InlineVec<int, 4> v;
+  for (int i = 0; i < 8; ++i) v.push_back(i);
+  v.erase(v.begin() + 2, v.begin() + 5);  // remove 2,3,4
+  ASSERT_EQ(v.size(), 5u);
+  const int expect[] = {0, 1, 5, 6, 7};
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], expect[i]);
+  v.erase(v.begin(), v.begin());  // empty range is a no-op
+  EXPECT_EQ(v.size(), 5u);
+}
+
+TEST(InlineVecTest, RemoveIfIdiom) {
+  InlineVec<int, 4> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  v.erase(std::remove_if(v.begin(), v.end(), [](int x) { return x % 2 == 0; }),
+          v.end());
+  ASSERT_EQ(v.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], static_cast<int>(2 * i + 1));
+}
+
+TEST(InlineVecTest, CopyInlineAndHeap) {
+  InlineVec<int, 4> small;
+  small.push_back(1);
+  small.push_back(2);
+  InlineVec<int, 4> small_copy = small;
+  small[0] = 99;  // copies must be independent
+  EXPECT_EQ(small_copy[0], 1);
+  EXPECT_EQ(small_copy.size(), 2u);
+
+  InlineVec<int, 4> big;
+  for (int i = 0; i < 40; ++i) big.push_back(i);
+  InlineVec<int, 4> big_copy = big;
+  big[0] = 99;
+  EXPECT_EQ(big_copy[0], 0);
+  EXPECT_EQ(big_copy.size(), 40u);
+}
+
+TEST(InlineVecTest, CopyAssignOverwrites) {
+  InlineVec<int, 2> a;
+  a.push_back(1);
+  InlineVec<int, 2> b;
+  for (int i = 0; i < 20; ++i) b.push_back(i);
+  a = b;
+  EXPECT_EQ(a.size(), 20u);
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  b = a;  // heap-to-heap as well
+  EXPECT_EQ(b.size(), 20u);
+}
+
+TEST(InlineVecTest, SelfAssignmentIsSafe) {
+  InlineVec<int, 2> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  v = *&v;
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v[9], 9);
+}
+
+TEST(InlineVecTest, MoveStealsHeapBuffer) {
+  InlineVec<int, 2> big;
+  for (int i = 0; i < 30; ++i) big.push_back(i);
+  const int* buffer = big.data();
+  InlineVec<int, 2> moved = std::move(big);
+  EXPECT_EQ(moved.data(), buffer);  // pointer stolen, no copy
+  EXPECT_EQ(moved.size(), 30u);
+  EXPECT_TRUE(big.empty());
+}
+
+TEST(InlineVecTest, MoveInlineCopies) {
+  InlineVec<int, 4> small;
+  small.push_back(3);
+  InlineVec<int, 4> moved = std::move(small);
+  EXPECT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved[0], 3);
+}
+
+TEST(InlineVecTest, StdSortWorksOnIterators) {
+  InlineVec<int, 4> v;
+  for (int i = 0; i < 20; ++i) v.push_back(19 - i);
+  std::sort(v.begin(), v.end());
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0), 190);
+}
+
+TEST(InlineVecTest, Equality) {
+  InlineVec<int, 2> a;
+  InlineVec<int, 2> b;
+  EXPECT_TRUE(a == b);
+  a.push_back(1);
+  EXPECT_FALSE(a == b);
+  b.push_back(1);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(InlineVecTest, ReserveIsIdempotent) {
+  InlineVec<int, 2> v;
+  v.reserve(100);
+  const std::size_t cap = v.capacity();
+  EXPECT_GE(cap, 100u);
+  v.reserve(10);
+  EXPECT_EQ(v.capacity(), cap);
+}
+
+TEST(InlineVecTest, StressAgainstStdVector) {
+  // Randomized differential test against std::vector<int>.
+  InlineVec<int, 3> mine;
+  std::vector<int> ref;
+  std::uint64_t state = 12345;
+  auto next = [&] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  for (int op = 0; op < 5000; ++op) {
+    switch (next() % 5) {
+      case 0:
+      case 1: {
+        const int x = static_cast<int>(next() % 1000);
+        mine.push_back(x);
+        ref.push_back(x);
+        break;
+      }
+      case 2:
+        if (!ref.empty()) {
+          mine.pop_back();
+          ref.pop_back();
+        }
+        break;
+      case 3: {
+        const std::size_t want = next() % 10;
+        mine.resize(want);
+        ref.resize(want);
+        break;
+      }
+      default:
+        if (!ref.empty()) {
+          const std::size_t at = next() % ref.size();
+          mine.erase(mine.begin() + static_cast<std::ptrdiff_t>(at), mine.end());
+          ref.erase(ref.begin() + static_cast<std::ptrdiff_t>(at), ref.end());
+        }
+        break;
+    }
+    ASSERT_EQ(mine.size(), ref.size()) << "op " << op;
+    ASSERT_TRUE(std::equal(mine.begin(), mine.end(), ref.begin())) << "op " << op;
+  }
+}
+
+}  // namespace
+}  // namespace mdmesh

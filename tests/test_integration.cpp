@@ -1,0 +1,155 @@
+// Cross-module integration tests: whole-pipeline properties that no single
+// module test covers.
+#include <gtest/gtest.h>
+
+#include "core/mdmesh.h"
+
+namespace mdmesh {
+namespace {
+
+TEST(IntegrationTest, AllFourAlgorithmsSortTheSameInput) {
+  // Same keys through SimpleSort, CopySort, FullSort (mesh) and TorusSort,
+  // FullSort (torus): identical final placement (sorting is a function).
+  const int d = 2, n = 16, g = 2;
+  std::vector<std::uint64_t> keys;
+  Rng rng(1234);
+  for (int t = 0; t < n * n; ++t) keys.push_back(rng.Next() % 1000);
+
+  auto final_keys = [&](SortAlgo algo, Wrap wrap) {
+    Topology topo(d, n, wrap);
+    BlockGrid grid(topo, g);
+    Network net(topo);
+    FillExplicit(net, grid, 1, keys);
+    SortOptions opts;
+    opts.g = g;
+    SortResult r = RunSort(algo, net, grid, opts);
+    EXPECT_TRUE(r.sorted) << SortAlgoName(algo);
+    std::vector<std::uint64_t> out;
+    for (BlockId b = 0; b < grid.num_blocks(); ++b) {
+      for (std::int64_t off = 0; off < grid.block_volume(); ++off) {
+        out.push_back(net.At(grid.ProcAt(b, off))[0].key);
+      }
+    }
+    return out;
+  };
+
+  auto simple = final_keys(SortAlgo::kSimple, Wrap::kMesh);
+  auto copy = final_keys(SortAlgo::kCopy, Wrap::kMesh);
+  auto full = final_keys(SortAlgo::kFull, Wrap::kMesh);
+  auto torus = final_keys(SortAlgo::kTorus, Wrap::kTorus);
+  EXPECT_EQ(simple, copy);
+  EXPECT_EQ(simple, full);
+  EXPECT_EQ(simple, torus);
+}
+
+TEST(IntegrationTest, SortThenRouteBackRestoresInput) {
+  // Sort, then route every packet back to where it started: a full loop
+  // exercising sorting + explicit permutation routing on the same network.
+  Topology topo(2, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  Network net(topo);
+  FillInput(net, grid, 1, InputKind::kRandom, 555);
+
+  std::vector<ProcId> origin(static_cast<std::size_t>(topo.size()));
+  net.ForEach([&](ProcId p, const Packet& pkt) {
+    origin[static_cast<std::size_t>(pkt.id)] = p;
+  });
+
+  SortOptions opts;
+  opts.g = 2;
+  SortResult sorted = RunSort(SortAlgo::kSimple, net, grid, opts);
+  ASSERT_TRUE(sorted.sorted);
+
+  net.ForEach([&](ProcId, Packet& pkt) {
+    pkt.dest = origin[static_cast<std::size_t>(pkt.id)];
+    pkt.klass = 0;
+  });
+  Engine engine(topo);
+  RouteResult back = engine.Route(net);
+  ASSERT_TRUE(back.completed);
+  net.ForEach([&](ProcId p, const Packet& pkt) {
+    EXPECT_EQ(origin[static_cast<std::size_t>(pkt.id)], p);
+  });
+}
+
+TEST(IntegrationTest, SortingRespectsTheBlockedSnakeIndexing) {
+  // The packet of rank i must end at the processor whose blocked snake
+  // index is i — cross-check against the BlockedIndexing directly.
+  Topology topo(2, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  Network net(topo);
+  FillInput(net, grid, 1, InputKind::kRandom, 777);
+  GroundTruth truth = CaptureGroundTruth(net);
+  SortOptions opts;
+  opts.g = 2;
+  SortResult r = RunSort(SortAlgo::kSimple, net, grid, opts);
+  ASSERT_TRUE(r.sorted);
+  const auto& indexing = grid.indexing();
+  net.ForEach([&](ProcId p, const Packet& pkt) {
+    const std::int64_t idx = indexing.Index(topo.Coords(p));
+    EXPECT_EQ(truth[static_cast<std::size_t>(idx)].first, pkt.key);
+    EXPECT_EQ(truth[static_cast<std::size_t>(idx)].second, pkt.id);
+  });
+}
+
+TEST(IntegrationTest, LowerBoundNeverExceedsMeasuredUpperBound) {
+  // Internal consistency of the reproduction: the Section 4 lower bound
+  // evaluated at our simulated sizes must stay below the measured SimpleSort
+  // step count (otherwise either the bound or the simulation is wrong).
+  const MeshSpec spec{3, 8, Wrap::kMesh};
+  SortOptions opts;
+  SortRow row = RunSortExperiment(SortAlgo::kSimple, spec, opts);
+  ASSERT_TRUE(row.result.sorted);
+  Lemma42Eval lb = EvalLemma42(spec.d, spec.n, 0.5, 0.7);
+  if (lb.condition_holds) {
+    EXPECT_LE(lb.bound_steps, static_cast<double>(row.result.routing_steps));
+  }
+}
+
+TEST(IntegrationTest, CompatibilityOfTheIndexingWeSortWith) {
+  // The lower bounds cover the indexing scheme the algorithms actually use.
+  Topology topo(3, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  CompatibilityResult r = CheckCompatibility(topo, grid.indexing());
+  EXPECT_TRUE(r.compatible);
+}
+
+TEST(IntegrationTest, SelectionAgreesWithSorting) {
+  // The median found by SelectAtCenter equals the key at the middle index
+  // after a full sort of the same input.
+  const int d = 2, n = 16, g = 2;
+  Topology topo(d, n, Wrap::kMesh);
+  BlockGrid grid(topo, g);
+
+  Network to_sort(topo);
+  FillInput(to_sort, grid, 1, InputKind::kRandom, 999);
+  SortOptions opts;
+  opts.g = g;
+  SortResult sorted = RunSort(SortAlgo::kSimple, to_sort, grid, opts);
+  ASSERT_TRUE(sorted.sorted);
+  const std::int64_t target = (topo.size() - 1) / 2;
+  const ProcId median_proc = grid.ProcAt(target / grid.block_volume(),
+                                         target % grid.block_volume());
+  const std::uint64_t median_by_sort = to_sort.At(median_proc)[0].key;
+
+  Network to_select(topo);
+  FillInput(to_select, grid, 1, InputKind::kRandom, 999);
+  SelectResult sel = SelectAtCenter(to_select, grid, opts, target);
+  ASSERT_TRUE(sel.found);
+  EXPECT_EQ(sel.selected_key, median_by_sort);
+}
+
+TEST(IntegrationTest, TwoPhaseBeatsGreedyOnTranspose) {
+  // The structured worst case for dimension-order greedy: transpose funnels
+  // n packets through single links, while the Section 5 router spreads them.
+  const MeshSpec spec{2, 32, Wrap::kMesh};
+  TwoPhaseOptions opts;
+  opts.g = 4;
+  RoutingRow row = RunRoutingExperiment(spec, "transpose", opts);
+  ASSERT_TRUE(row.two_phase.delivered);
+  ASSERT_TRUE(row.baseline.route.completed);
+  EXPECT_LT(row.two_phase.total_steps, row.baseline.route.steps * 2);
+}
+
+}  // namespace
+}  // namespace mdmesh

@@ -1,0 +1,58 @@
+#include "bounds/lemma41.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <tuple>
+
+namespace mdmesh {
+namespace {
+
+TEST(Lemma41Test, BoundFormulas) {
+  EXPECT_DOUBLE_EQ(Lemma41VolumeBoundNormalized(4, 1.0), std::exp(-1.0));
+  EXPECT_DOUBLE_EQ(Lemma41SurfaceBoundNormalized(16, 1.0), 8.0 * std::exp(-1.0));
+  EXPECT_DOUBLE_EQ(Lemma41VolumeBoundNormalized(0, 0.5), 1.0);
+}
+
+TEST(Lemma41Test, BoundsDecayExponentiallyInD) {
+  for (int d = 2; d < 64; d *= 2) {
+    EXPECT_GT(Lemma41VolumeBoundNormalized(d, 0.5),
+              Lemma41VolumeBoundNormalized(2 * d, 0.5));
+    EXPECT_GT(Lemma41SurfaceBoundNormalized(d, 0.5),
+              Lemma41SurfaceBoundNormalized(2 * d, 0.5));
+  }
+}
+
+class Lemma41HoldsTest
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(Lemma41HoldsTest, ExactCountsRespectTheAnalyticBounds) {
+  auto [d, n, gamma] = GetParam();
+  EXPECT_LE(ExactVolumeNormalized(d, n, gamma),
+            Lemma41VolumeBoundNormalized(d, gamma))
+      << "volume bound violated at d=" << d << " n=" << n << " gamma=" << gamma;
+  EXPECT_LE(ExactSurfaceNormalized(d, n, gamma),
+            Lemma41SurfaceBoundNormalized(d, gamma))
+      << "surface bound violated at d=" << d << " n=" << n << " gamma=" << gamma;
+  EXPECT_TRUE(CheckLemma41(d, n, gamma));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Lemma41HoldsTest,
+    ::testing::Combine(::testing::Values(2, 4, 8, 16, 32),
+                       ::testing::Values(9, 17, 33),
+                       ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9)));
+
+TEST(Lemma41Test, VolumeBoundIsAsymptoticallyTightIsh) {
+  // The exact normalized volume at gamma=0.5 should not be absurdly far
+  // below the bound for moderate d (the bound is Chernoff, so a gap of a
+  // few orders is expected but it must not be vacuous at small d).
+  const double exact = ExactVolumeNormalized(4, 17, 0.5);
+  const double bound = Lemma41VolumeBoundNormalized(4, 0.5);
+  EXPECT_GT(exact, 0.0);
+  EXPECT_LT(exact, bound);
+}
+
+}  // namespace
+}  // namespace mdmesh

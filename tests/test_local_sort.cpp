@@ -1,0 +1,200 @@
+#include "sorting/local_sort.h"
+
+#include <gtest/gtest.h>
+
+#include "sorting/verify.h"
+#include "util/rng.h"
+
+namespace mdmesh {
+namespace {
+
+Network RandomNetwork(const Topology& topo, const BlockGrid& grid, int k,
+                      std::uint64_t seed) {
+  Network net(topo);
+  Rng rng(seed);
+  std::int64_t id = 0;
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    for (int t = 0; t < k; ++t) {
+      Packet pkt;
+      pkt.key = rng.Next();
+      pkt.id = id++;
+      pkt.dest = p;
+      net.Add(p, pkt);
+    }
+  }
+  (void)grid;
+  return net;
+}
+
+TEST(LocalSortTest, SortWithinBlockOrdersAlongSnake) {
+  Topology topo(2, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  Network net = RandomNetwork(topo, grid, 1, 3);
+  LocalSortSpec spec{1, nullptr};
+  EXPECT_EQ(SortWithinBlock(net, grid, 0, spec), grid.block_volume());
+  std::uint64_t prev = 0;
+  for (std::int64_t off = 0; off < grid.block_volume(); ++off) {
+    const auto& q = net.At(grid.ProcAt(0, off));
+    ASSERT_EQ(q.size(), 1u);
+    EXPECT_GE(q[0].key, prev);
+    prev = q[0].key;
+  }
+}
+
+TEST(LocalSortTest, OtherBlocksUntouched) {
+  Topology topo(2, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  Network net = RandomNetwork(topo, grid, 1, 4);
+  auto before = net.Gather();
+  LocalSortSpec spec{1, nullptr};
+  SortWithinBlock(net, grid, 0, spec);
+  // Block 1..3 contents are identical.
+  for (BlockId b = 1; b < grid.num_blocks(); ++b) {
+    for (std::int64_t off = 0; off < grid.block_volume(); ++off) {
+      const ProcId p = grid.ProcAt(b, off);
+      ASSERT_EQ(net.At(p).size(), 1u);
+      EXPECT_EQ(net.At(p)[0].id, before[static_cast<std::size_t>(p)].id);
+    }
+  }
+}
+
+TEST(LocalSortTest, FilterSortsOnlyMatching) {
+  Topology topo(2, 4, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  Network net(topo);
+  // Two packets per processor of block 0: one flagged, one not.
+  for (std::int64_t off = 0; off < grid.block_volume(); ++off) {
+    const ProcId p = grid.ProcAt(0, off);
+    Packet plain;
+    plain.key = 1000 - static_cast<std::uint64_t>(off);
+    plain.id = off;
+    plain.dest = p;
+    net.Add(p, plain);
+    Packet flagged = plain;
+    flagged.id = 100 + off;
+    flagged.key = 500 - static_cast<std::uint64_t>(off);
+    flagged.flags = Packet::kCopy;
+    net.Add(p, flagged);
+  }
+  LocalSortSpec spec{1, [](const Packet& pkt) { return (pkt.flags & Packet::kCopy) != 0; }};
+  SortWithinBlock(net, grid, 0, spec);
+  // Flagged packets now ascend along the snake; plain ones untouched.
+  std::uint64_t prev = 0;
+  for (std::int64_t off = 0; off < grid.block_volume(); ++off) {
+    const auto& q = net.At(grid.ProcAt(0, off));
+    ASSERT_EQ(q.size(), 2u);
+    const Packet& flagged = (q[0].flags & Packet::kCopy) ? q[0] : q[1];
+    const Packet& plain = (q[0].flags & Packet::kCopy) ? q[1] : q[0];
+    EXPECT_GE(flagged.key, prev);
+    prev = flagged.key;
+    EXPECT_EQ(plain.id, off);  // stayed put
+  }
+}
+
+TEST(LocalSortTest, PerProcTwoPacksPairsOfRanks) {
+  Topology topo(2, 4, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  Network net(topo);
+  for (std::int64_t off = 0; off < grid.block_volume(); ++off) {
+    for (int t = 0; t < 2; ++t) {
+      Packet pkt;
+      pkt.key = 100 - static_cast<std::uint64_t>(2 * off + t);
+      pkt.id = 2 * off + t;
+      net.Add(grid.ProcAt(0, off), pkt);
+    }
+  }
+  LocalSortSpec spec{2, nullptr};
+  SortWithinBlock(net, grid, 0, spec);
+  // Processor at offset `off` holds the sorted ranks {2*off, 2*off+1}:
+  // with keys 100-t for t in [0,8), rank r has key 93+r.
+  for (std::int64_t off = 0; off < grid.block_volume(); ++off) {
+    const auto& q = net.At(grid.ProcAt(0, off));
+    ASSERT_EQ(q.size(), 2u);
+    const auto lo = std::min(q[0].key, q[1].key);
+    const auto hi = std::max(q[0].key, q[1].key);
+    EXPECT_EQ(lo, 93 + 2 * static_cast<std::uint64_t>(off));
+    EXPECT_EQ(hi, lo + 1);
+  }
+}
+
+TEST(LocalSortTest, SortBlocksLocallySortsAll) {
+  Topology topo(2, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  Network net = RandomNetwork(topo, grid, 2, 5);
+  LocalSortSpec spec{2, nullptr};
+  const std::int64_t cost = SortBlocksLocally(net, grid, {}, spec, LocalCostModel::kOracle);
+  EXPECT_EQ(cost, 0);
+  for (BlockId b = 0; b < grid.num_blocks(); ++b) {
+    std::uint64_t prev = 0;
+    for (std::int64_t off = 0; off < grid.block_volume(); ++off) {
+      const auto& q = net.At(grid.ProcAt(b, off));
+      ASSERT_EQ(q.size(), 2u);
+      const auto lo = std::min(q[0].key, q[1].key);
+      const auto hi = std::max(q[0].key, q[1].key);
+      EXPECT_GE(lo, prev);
+      prev = hi;
+    }
+  }
+}
+
+TEST(LocalSortTest, CostModels) {
+  Topology topo(2, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  {
+    Network net = RandomNetwork(topo, grid, 1, 6);
+    EXPECT_EQ(SortBlocksLocally(net, grid, {}, {1, nullptr}, LocalCostModel::kOracle), 0);
+  }
+  {
+    Network net = RandomNetwork(topo, grid, 1, 6);
+    EXPECT_EQ(SortBlocksLocally(net, grid, {}, {1, nullptr}, LocalCostModel::kLinear),
+              4 * 2 * grid.block_side());
+  }
+  {
+    Network net = RandomNetwork(topo, grid, 1, 6);
+    const std::int64_t measured =
+        SortBlocksLocally(net, grid, {}, {1, nullptr}, LocalCostModel::kMeasured);
+    EXPECT_GT(measured, 0);
+    EXPECT_LE(measured, grid.block_volume());  // odd-even sorts in <= L rounds
+  }
+}
+
+TEST(LocalSortTest, OddEvenRoundsZeroForSorted) {
+  std::vector<std::pair<std::uint64_t, std::int64_t>> keys;
+  for (int i = 0; i < 16; ++i) keys.emplace_back(static_cast<std::uint64_t>(i), i);
+  EXPECT_EQ(OddEvenTranspositionRounds(keys), 0);
+}
+
+TEST(LocalSortTest, OddEvenRoundsWorstCase) {
+  std::vector<std::pair<std::uint64_t, std::int64_t>> keys;
+  for (int i = 0; i < 16; ++i) keys.emplace_back(static_cast<std::uint64_t>(16 - i), i);
+  const std::int64_t rounds = OddEvenTranspositionRounds(keys);
+  EXPECT_GE(rounds, 14);  // reverse order needs ~L rounds
+  EXPECT_LE(rounds, 16);
+}
+
+TEST(LocalSortTest, OddEvenRoundsTinyInputs) {
+  EXPECT_EQ(OddEvenTranspositionRounds({}), 0);
+  EXPECT_EQ(OddEvenTranspositionRounds({{5, 0}}), 0);
+  EXPECT_EQ(OddEvenTranspositionRounds({{5, 0}, {3, 1}}), 1);
+}
+
+TEST(LocalSortTest, MergeAdjacentBlocksSortsPairUnions) {
+  Topology topo(1, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 4);  // 4 blocks of 2 procs
+  Network net(topo);
+  // Descending keys along the line.
+  for (ProcId p = 0; p < 8; ++p) {
+    Packet pkt;
+    pkt.key = static_cast<std::uint64_t>(8 - p);
+    pkt.id = p;
+    net.Add(p, pkt);
+  }
+  MergeAdjacentBlocks(net, grid, 0, 1, LocalCostModel::kOracle);
+  // Pairs (0,1) and (2,3) each sorted: positions 0..3 ascend, 4..7 ascend.
+  for (ProcId p : {0, 1, 2, 4, 5, 6}) {
+    EXPECT_LE(net.At(p)[0].key, net.At(p + 1)[0].key);
+  }
+}
+
+}  // namespace
+}  // namespace mdmesh

@@ -1,0 +1,69 @@
+#include "util/math.h"
+
+#include <gtest/gtest.h>
+
+namespace mdmesh {
+namespace {
+
+TEST(MathTest, IPowBasics) {
+  EXPECT_EQ(IPow(2, 0), 1);
+  EXPECT_EQ(IPow(2, 10), 1024);
+  EXPECT_EQ(IPow(3, 4), 81);
+  EXPECT_EQ(IPow(10, 9), 1000000000LL);
+  EXPECT_EQ(IPow(1, 63), 1);
+  EXPECT_EQ(IPow(0, 3), 0);
+}
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0);
+  EXPECT_EQ(CeilDiv(1, 4), 1);
+  EXPECT_EQ(CeilDiv(4, 4), 1);
+  EXPECT_EQ(CeilDiv(5, 4), 2);
+  EXPECT_EQ(CeilDiv(8, 4), 2);
+}
+
+TEST(MathTest, ModHandlesNegatives) {
+  EXPECT_EQ(Mod(5, 3), 2);
+  EXPECT_EQ(Mod(-1, 3), 2);
+  EXPECT_EQ(Mod(-3, 3), 0);
+  EXPECT_EQ(Mod(-7, 3), 2);
+  EXPECT_EQ(Mod(0, 7), 0);
+}
+
+TEST(MathTest, AbsDiff) {
+  EXPECT_EQ(AbsDiff(3, 7), 4);
+  EXPECT_EQ(AbsDiff(7, 3), 4);
+  EXPECT_EQ(AbsDiff(-2, 2), 4);
+  EXPECT_EQ(AbsDiff(5, 5), 0);
+}
+
+TEST(MathTest, RingDistShorterWay) {
+  EXPECT_EQ(RingDist(0, 1, 8), 1);
+  EXPECT_EQ(RingDist(0, 7, 8), 1);
+  EXPECT_EQ(RingDist(0, 4, 8), 4);
+  EXPECT_EQ(RingDist(2, 6, 8), 4);
+  EXPECT_EQ(RingDist(1, 6, 8), 3);
+  EXPECT_EQ(RingDist(3, 3, 8), 0);
+}
+
+TEST(MathTest, RingDistIsSymmetric) {
+  for (int n : {5, 8, 9}) {
+    for (int a = 0; a < n; ++a) {
+      for (int b = 0; b < n; ++b) {
+        EXPECT_EQ(RingDist(a, b, n), RingDist(b, a, n));
+        EXPECT_LE(RingDist(a, b, n), n / 2);
+      }
+    }
+  }
+}
+
+TEST(MathTest, Log2Floor) {
+  EXPECT_EQ(Log2Floor(1), 0);
+  EXPECT_EQ(Log2Floor(2), 1);
+  EXPECT_EQ(Log2Floor(3), 1);
+  EXPECT_EQ(Log2Floor(1024), 10);
+  EXPECT_EQ(Log2Floor(1025), 10);
+}
+
+}  // namespace
+}  // namespace mdmesh

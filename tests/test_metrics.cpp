@@ -1,0 +1,135 @@
+#include "net/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "net/engine.h"
+#include "routing/permutations.h"
+#include "util/rng.h"
+
+namespace mdmesh {
+namespace {
+
+TEST(MetricsTest, AccumulateCombinesPhases) {
+  RouteResult a, b;
+  a.steps = 10;
+  a.moves = 100;
+  a.max_queue = 3;
+  a.packets = 50;
+  a.max_distance = 9;
+  a.max_overshoot = 1;
+  b.steps = 20;
+  b.moves = 300;
+  b.max_queue = 5;
+  b.packets = 50;
+  b.max_distance = 12;
+  b.max_overshoot = 4;
+  b.completed = false;
+  a.Accumulate(b);
+  EXPECT_EQ(a.steps, 30);
+  EXPECT_EQ(a.moves, 400);
+  EXPECT_EQ(a.max_queue, 5);
+  EXPECT_EQ(a.max_distance, 12);
+  EXPECT_EQ(a.max_overshoot, 4);
+  EXPECT_FALSE(a.completed);
+}
+
+TEST(MetricsTest, ToStringMentionsKeyFields) {
+  RouteResult r;
+  r.steps = 7;
+  r.completed = false;
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("steps=7"), std::string::npos);
+  EXPECT_NE(s.find("INCOMPLETE"), std::string::npos);
+}
+
+TEST(MetricsTest, LinkCountsAreExact) {
+  // Mesh: 2 * (n-1) * n^(d-1) directed links per dimension.
+  Topology mesh(2, 4, Wrap::kMesh);
+  Engine engine(mesh);
+  Network net(mesh);
+  Packet pkt;
+  pkt.dest = 1;
+  net.Add(0, pkt);
+  RouteResult r = engine.Route(net);
+  EXPECT_EQ(r.links, 2 * 2 * (4 - 1) * 4);  // 48
+
+  Topology torus(2, 4, Wrap::kTorus);
+  Engine tengine(torus);
+  Network tnet(torus);
+  tnet.Add(0, pkt);
+  RouteResult tr = tengine.Route(tnet);
+  EXPECT_EQ(tr.links, 2 * 2 * 16);  // 64
+}
+
+TEST(MetricsTest, LinkUtilizationBounds) {
+  Topology topo(2, 8, Wrap::kMesh);
+  Engine engine(topo);
+  Network net(topo);
+  Rng rng(3);
+  auto dest = RandomPermutation(topo, rng);
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    Packet pkt;
+    pkt.id = p;
+    pkt.dest = dest[static_cast<std::size_t>(p)];
+    net.Add(p, pkt);
+  }
+  RouteResult r = engine.Route(net);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.LinkUtilization(), 0.0);
+  EXPECT_LE(r.LinkUtilization(), 1.0);
+}
+
+TEST(MetricsTest, UtilizationZeroWhenNothingMoves) {
+  RouteResult r;
+  EXPECT_EQ(r.LinkUtilization(), 0.0);
+}
+
+TEST(MetricsTest, ObserverSeesEveryStep) {
+  Topology topo(1, 8, Wrap::kMesh);
+  EngineOptions opts;
+  std::int64_t calls = 0;
+  std::int64_t total_arrivals = 0;
+  std::int64_t last_in_flight = -1;
+  opts.observer = [&](std::int64_t step, std::int64_t in_flight,
+                      std::int64_t arrivals) {
+    ++calls;
+    EXPECT_EQ(step, calls);
+    total_arrivals += arrivals;
+    last_in_flight = in_flight;
+  };
+  Engine engine(topo, opts);
+  Network net(topo);
+  Packet pkt;
+  pkt.dest = 7;
+  net.Add(0, pkt);
+  RouteResult r = engine.Route(net);
+  EXPECT_EQ(calls, r.steps);
+  EXPECT_EQ(total_arrivals, 1);
+  EXPECT_EQ(last_in_flight, 0);
+}
+
+TEST(MetricsTest, ObserverInFlightIsMonotoneForPermutations) {
+  Topology topo(2, 8, Wrap::kMesh);
+  EngineOptions opts;
+  std::int64_t prev = topo.size() + 1;
+  bool monotone = true;
+  opts.observer = [&](std::int64_t, std::int64_t in_flight, std::int64_t) {
+    if (in_flight > prev) monotone = false;
+    prev = in_flight;
+  };
+  Engine engine(topo, opts);
+  Network net(topo);
+  Rng rng(4);
+  auto dest = RandomPermutation(topo, rng);
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    Packet pkt;
+    pkt.id = p;
+    pkt.dest = dest[static_cast<std::size_t>(p)];
+    net.Add(p, pkt);
+  }
+  engine.Route(net);
+  EXPECT_TRUE(monotone);  // arrivals only remove packets from flight
+}
+
+}  // namespace
+}  // namespace mdmesh

@@ -1,0 +1,80 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+namespace mdmesh {
+namespace {
+
+Packet MakePacket(std::int64_t id, ProcId dest) {
+  Packet pkt;
+  pkt.id = id;
+  pkt.key = static_cast<std::uint64_t>(id);
+  pkt.dest = dest;
+  return pkt;
+}
+
+TEST(NetworkTest, AddAndCount) {
+  Topology topo(2, 4, Wrap::kMesh);
+  Network net(topo);
+  EXPECT_EQ(net.TotalPackets(), 0);
+  net.Add(0, MakePacket(1, 5));
+  net.Add(0, MakePacket(2, 6));
+  net.Add(3, MakePacket(3, 7));
+  EXPECT_EQ(net.TotalPackets(), 3);
+  EXPECT_EQ(net.MaxQueue(), 2);
+  EXPECT_EQ(net.At(0).size(), 2u);
+  EXPECT_EQ(net.At(3).size(), 1u);
+  EXPECT_TRUE(net.At(1).empty());
+}
+
+TEST(NetworkTest, ForEachVisitsEverythingOnce) {
+  Topology topo(2, 4, Wrap::kMesh);
+  Network net(topo);
+  for (ProcId p = 0; p < topo.size(); ++p) net.Add(p, MakePacket(p, p));
+  std::int64_t visits = 0;
+  std::int64_t id_sum = 0;
+  net.ForEach([&](ProcId p, Packet& pkt) {
+    ++visits;
+    id_sum += pkt.id;
+    EXPECT_EQ(pkt.id, p);
+  });
+  EXPECT_EQ(visits, topo.size());
+  EXPECT_EQ(id_sum, topo.size() * (topo.size() - 1) / 2);
+}
+
+TEST(NetworkTest, ForEachMutates) {
+  Topology topo(1, 4, Wrap::kMesh);
+  Network net(topo);
+  net.Add(0, MakePacket(0, 0));
+  net.ForEach([](ProcId, Packet& pkt) { pkt.dest = 3; });
+  EXPECT_EQ(net.At(0)[0].dest, 3);
+}
+
+TEST(NetworkTest, GatherScatterRoundTrip) {
+  Topology topo(2, 3, Wrap::kMesh);
+  Network net(topo);
+  net.Add(1, MakePacket(10, 2));
+  net.Add(7, MakePacket(11, 0));
+  auto all = net.Gather();
+  EXPECT_EQ(all.size(), 2u);
+  std::vector<std::pair<ProcId, Packet>> placed;
+  for (const Packet& pkt : all) placed.emplace_back(pkt.dest, pkt);
+  net.Scatter(placed);
+  EXPECT_EQ(net.TotalPackets(), 2);
+  EXPECT_EQ(net.At(2).size(), 1u);
+  EXPECT_EQ(net.At(0).size(), 1u);
+  EXPECT_TRUE(net.At(1).empty());
+}
+
+TEST(NetworkTest, ClearEmptiesEverything) {
+  Topology topo(1, 4, Wrap::kMesh);
+  Network net(topo);
+  net.Add(0, MakePacket(0, 0));
+  net.Add(1, MakePacket(1, 1));
+  net.Clear();
+  EXPECT_EQ(net.TotalPackets(), 0);
+  EXPECT_EQ(net.MaxQueue(), 0);
+}
+
+}  // namespace
+}  // namespace mdmesh

@@ -1,0 +1,99 @@
+#include "routing/offline.h"
+
+#include <gtest/gtest.h>
+
+#include "net/engine.h"
+#include "routing/greedy.h"
+#include "routing/permutations.h"
+#include "routing/two_phase.h"
+#include "util/rng.h"
+
+namespace mdmesh {
+namespace {
+
+TEST(OfflineBoundTest, IdentityIsZero) {
+  Topology topo(2, 8, Wrap::kMesh);
+  OfflineBound b = ComputeOfflineBound(topo, IdentityPermutation(topo));
+  EXPECT_EQ(b.distance, 0);
+  EXPECT_EQ(b.congestion, 0);
+  EXPECT_EQ(b.bound(), 0);
+}
+
+TEST(OfflineBoundTest, ReversalDistanceIsDiameter) {
+  Topology topo(2, 8, Wrap::kMesh);
+  OfflineBound b = ComputeOfflineBound(topo, ReversalPermutation(topo));
+  EXPECT_EQ(b.distance, topo.Diameter());
+  // Reversal moves every packet across the central cut: N/2 packets over
+  // n links => congestion n/2.
+  EXPECT_EQ(b.congestion, 4);
+}
+
+TEST(OfflineBoundTest, CongestionCountsCutCrossings) {
+  // 1D shift-to-the-right-half: every left packet crosses the middle.
+  Topology topo(1, 8, Wrap::kMesh);
+  std::vector<ProcId> dest = {4, 5, 6, 7, 0, 1, 2, 3};  // swap halves
+  OfflineBound b = ComputeOfflineBound(topo, dest);
+  EXPECT_EQ(b.distance, 4);
+  EXPECT_EQ(b.congestion, 4);  // 4 packets each way over 1 link
+  EXPECT_EQ(b.worst_cut_dim, 0);
+}
+
+TEST(OfflineBoundTest, TorusHalvesTheCongestion) {
+  // The same half-swap on a ring can use both ways around: 4 packets over
+  // 2 seams.
+  Topology topo(1, 8, Wrap::kTorus);
+  std::vector<ProcId> dest = {4, 5, 6, 7, 0, 1, 2, 3};
+  OfflineBound b = ComputeOfflineBound(topo, dest);
+  EXPECT_EQ(b.distance, 4);
+  EXPECT_EQ(b.congestion, 2);
+}
+
+TEST(OfflineBoundTest, BoundIsMaxOfTerms) {
+  OfflineBound b;
+  b.distance = 10;
+  b.congestion = 7;
+  EXPECT_EQ(b.bound(), 10);
+  b.congestion = 12;
+  EXPECT_EQ(b.bound(), 12);
+}
+
+TEST(OfflineBoundTest, NeverExceedsMeasuredGreedyTime) {
+  // Soundness: the offline bound is a lower bound for every router,
+  // including our greedy engine.
+  for (Wrap wrap : {Wrap::kMesh, Wrap::kTorus}) {
+    Topology topo(2, 8, wrap);
+    Rng rng(7);
+    for (int trial = 0; trial < 5; ++trial) {
+      auto dest = RandomPermutation(topo, rng);
+      OfflineBound lb = ComputeOfflineBound(topo, dest);
+      GreedyOptions opts;
+      GreedyRun run = RouteOnePermutation(topo, dest, opts);
+      ASSERT_TRUE(run.route.completed);
+      EXPECT_LE(lb.bound(), run.route.steps) << "trial " << trial;
+    }
+  }
+}
+
+TEST(OfflineBoundTest, NeverExceedsTwoPhaseTime) {
+  Topology topo(2, 16, Wrap::kMesh);
+  for (auto dest : {ReversalPermutation(topo), TransposePermutation(topo)}) {
+    OfflineBound lb = ComputeOfflineBound(topo, dest);
+    TwoPhaseOptions opts;
+    opts.g = 2;
+    TwoPhaseResult r = RouteTwoPhase(topo, dest, opts);
+    ASSERT_TRUE(r.delivered);
+    EXPECT_LE(lb.bound(), r.total_steps);
+  }
+}
+
+TEST(OfflineBoundTest, TransposeCongestionOnMesh) {
+  // Transpose swaps the halves above/below the diagonal; the central
+  // column cut sees ~N/4 crossings each way over n links.
+  Topology topo(2, 16, Wrap::kMesh);
+  OfflineBound b = ComputeOfflineBound(topo, TransposePermutation(topo));
+  EXPECT_GE(b.congestion, 16 / 4);
+  EXPECT_LE(b.congestion, 16);
+}
+
+}  // namespace
+}  // namespace mdmesh

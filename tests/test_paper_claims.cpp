@@ -1,0 +1,181 @@
+// End-to-end assertions of the paper's quantitative claims at reproduction
+// scale — the executable form of EXPERIMENTS.md. These are deliberately the
+// strictest checks in the suite; if an algorithm regresses in *speed* (not
+// just correctness), they catch it.
+#include <gtest/gtest.h>
+
+#include "core/mdmesh.h"
+
+namespace mdmesh {
+namespace {
+
+TEST(PaperClaimsTest, TorusSortHitsExactlyThreeHalvesAtD2) {
+  // Theorem 3.3 with the antipodal-copy reading is EXACT at d=2 for every
+  // even n with b | n: full unshuffle costs D, survivors cost D/2.
+  for (int n : {32, 64}) {
+    SortOptions opts;
+    opts.g = 4;
+    opts.seed = 777;
+    SortRow row = RunSortExperiment(SortAlgo::kTorus, {2, n, Wrap::kTorus}, opts);
+    ASSERT_TRUE(row.result.sorted);
+    EXPECT_DOUBLE_EQ(row.ratio, 1.5) << "n=" << n;
+  }
+}
+
+TEST(PaperClaimsTest, OrderingCopyBelowSimpleBelowFull) {
+  // Theorems 3.2 < 3.1 < baseline at the flagship mesh scale.
+  SortOptions opts;
+  opts.g = 8;
+  opts.seed = 4242;
+  const MeshSpec spec{2, 128, Wrap::kMesh};
+  SortRow copy = RunSortExperiment(SortAlgo::kCopy, spec, opts);
+  SortRow simple = RunSortExperiment(SortAlgo::kSimple, spec, opts);
+  SortRow full = RunSortExperiment(SortAlgo::kFull, spec, opts);
+  ASSERT_TRUE(copy.result.sorted && simple.result.sorted && full.result.sorted);
+  EXPECT_LT(copy.result.routing_steps, simple.result.routing_steps);
+  EXPECT_LT(simple.result.routing_steps, full.result.routing_steps);
+  // Coefficients within 15% of the claims at this scale.
+  EXPECT_NEAR(copy.ratio, 1.25, 0.15);
+  EXPECT_NEAR(simple.ratio, 1.50, 0.15);
+  EXPECT_NEAR(full.ratio, 2.00, 0.35);
+}
+
+TEST(PaperClaimsTest, SimpleSortWithinClaimPlusBlockSlack) {
+  // Theorem 3.1: routing <= 1.5 D + O(b) at every tested scale.
+  struct Case {
+    MeshSpec spec;
+    int g;
+  };
+  for (const Case& c : {Case{{2, 64, Wrap::kMesh}, 4},
+                        Case{{2, 128, Wrap::kMesh}, 8},
+                        Case{{3, 32, Wrap::kMesh}, 4}}) {
+    SortOptions opts;
+    opts.g = c.g;
+    opts.seed = 12345;
+    SortRow row = RunSortExperiment(SortAlgo::kSimple, c.spec, opts);
+    ASSERT_TRUE(row.result.sorted) << c.spec.ToString();
+    const double slack = 4.0 * c.spec.d * (c.spec.n / c.g);
+    EXPECT_LE(static_cast<double>(row.result.routing_steps),
+              1.5 * static_cast<double>(row.diameter) + slack)
+        << c.spec.ToString();
+  }
+}
+
+TEST(PaperClaimsTest, TwoPhaseRoutingWithinClaimPlusBlockSlack) {
+  // Theorem 5.1: <= D + n + O(b) on every permutation tested.
+  for (const char* perm : {"random", "reversal", "transpose"}) {
+    TwoPhaseOptions opts;
+    opts.g = 8;
+    opts.seed = 99;
+    RoutingRow row = RunRoutingExperiment({2, 128, Wrap::kMesh}, perm, opts);
+    ASSERT_TRUE(row.two_phase.delivered) << perm;
+    const double slack = 4.0 * 2 * (128 / 8);
+    EXPECT_LE(static_cast<double>(row.two_phase.total_steps),
+              static_cast<double>(row.diameter) + 128.0 + slack)
+        << perm;
+  }
+}
+
+TEST(PaperClaimsTest, Lemma34SurvivorDistanceIsExactlyHalfD) {
+  SortOptions opts;
+  opts.g = 4;
+  opts.seed = 777;
+  SortRow row = RunSortExperiment(SortAlgo::kTorus, {2, 64, Wrap::kTorus}, opts);
+  ASSERT_TRUE(row.result.sorted);
+  for (const PhaseStats& phase : row.result.phases) {
+    if (phase.name == "route-survivors") {
+      EXPECT_EQ(phase.max_distance, row.diameter / 2);
+    }
+  }
+}
+
+TEST(PaperClaimsTest, Theorem42WitnessCrossesOneAtModerateD) {
+  // Theorem 4.2 says the diameter cannot be matched for d >= 5. Our
+  // conservative capacity form (entry rate d*S) certifies it from d = 6 —
+  // the witness must be < 1 at d <= 4 and > 1 by d = 6 (documented
+  // deviation: the paper's sharper per-network argument buys d = 5).
+  EXPECT_LT(BestNoCopyBoundOverDAsymptotic(4), 1.0);
+  EXPECT_LT(BestNoCopyBoundOverDAsymptotic(5), 1.0);  // just below: 0.99
+  EXPECT_GT(BestNoCopyBoundOverDAsymptotic(5), 0.95);
+  EXPECT_GT(BestNoCopyBoundOverDAsymptotic(6), 1.0);
+  EXPECT_GT(BestNoCopyBoundOverDAsymptotic(8), 1.1);
+}
+
+TEST(PaperClaimsTest, FiniteSizeWitnessMonotoneInD) {
+  double prev = 0.0;
+  for (int d : {2, 3, 4, 6, 8}) {
+    const double now = BestNoCopyBoundOverD(d, 33, 0.7);
+    EXPECT_GE(now, prev) << "witness regressed at d=" << d;
+    prev = now;
+  }
+}
+
+TEST(PaperClaimsTest, SelectionOnTorusIsExact) {
+  // Section 4.3: the torus admits (1 + eps) D selection for large d; at
+  // simulable d we verify exactness and a sane ratio.
+  SortOptions opts;
+  opts.g = 4;
+  opts.seed = 5;
+  SelectRow row = RunSelectionExperiment({2, 32, Wrap::kTorus}, opts);
+  EXPECT_TRUE(row.correct);
+  EXPECT_LT(row.ratio, 2.5);
+}
+
+TEST(PaperClaimsTest, JokerZoneMovesFarPacketsDestination) {
+  // The information-theoretic heart of Section 4: the content of a corner
+  // block ("joker zone") of size ~n^(beta*d) decides where a packet on the
+  // opposite side of the network must end up. Two inputs identical outside
+  // the corner block force destinations a hyperplane apart.
+  const int d = 2, n = 16, g = 4;  // corner block = 16 procs = N^(1/2)
+  Topology topo(d, n, Wrap::kMesh);
+  BlockGrid grid(topo, g);
+  const std::int64_t B = grid.block_volume();
+  const std::int64_t N = topo.size();
+
+  // The watched packet: a middling key at the far corner (last block).
+  const std::uint64_t watched_key = 1000;
+  std::vector<std::uint64_t> low(static_cast<std::size_t>(N), 500);
+  std::vector<std::uint64_t> high = low;
+  // Everything gets a distinct filler below the watched key...
+  for (std::size_t t = 0; t < low.size(); ++t) low[t] = high[t] = 2 * t;
+  low.back() = high.back() = watched_key * 1000;  // far corner: huge key
+  // ...except the joker zone (block 0 = the corner block in snake order):
+  // `low` puts tiny keys there, `high` puts keys above the watched packet.
+  for (std::int64_t i = 0; i < B; ++i) {
+    low[static_cast<std::size_t>(i)] = 1;
+    high[static_cast<std::size_t>(i)] = watched_key * 2000 + static_cast<std::uint64_t>(i);
+  }
+
+  auto dest_of_watched = [&](const std::vector<std::uint64_t>& keys) {
+    Network net(topo);
+    FillExplicit(net, grid, 1, keys);
+    // Identify the watched packet's id: it sits at the last snake position.
+    std::int64_t watched_id = N - 1;
+    SortOptions opts;
+    opts.g = g;
+    SortResult r = RunSort(SortAlgo::kSimple, net, grid, opts);
+    EXPECT_TRUE(r.sorted);
+    ProcId where = -1;
+    net.ForEach([&](ProcId p, const Packet& pkt) {
+      if (pkt.id == watched_id) where = p;
+    });
+    return where;
+  };
+
+  const ProcId dest_low = dest_of_watched(low);
+  const ProcId dest_high = dest_of_watched(high);
+  ASSERT_GE(dest_low, 0);
+  ASSERT_GE(dest_high, 0);
+  // B keys moved from below to above the watched packet: its rank, and
+  // hence its destination index, shifts by exactly B — at least a block
+  // away in the network.
+  EXPECT_NE(dest_low, dest_high);
+  EXPECT_GE(topo.Dist(dest_low, dest_high), 1);
+  const auto& indexing = grid.indexing();
+  const std::int64_t idx_low = indexing.Index(topo.Coords(dest_low));
+  const std::int64_t idx_high = indexing.Index(topo.Coords(dest_high));
+  EXPECT_EQ(idx_low - idx_high, B);
+}
+
+}  // namespace
+}  // namespace mdmesh

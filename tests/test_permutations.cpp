@@ -1,0 +1,122 @@
+#include "routing/permutations.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace mdmesh {
+namespace {
+
+class PermutationGenTest
+    : public ::testing::TestWithParam<std::tuple<int, int, Wrap>> {};
+
+TEST_P(PermutationGenTest, AllGeneratorsProducePermutations) {
+  auto [d, n, wrap] = GetParam();
+  Topology topo(d, n, wrap);
+  Rng rng(3);
+  EXPECT_TRUE(IsPermutation(IdentityPermutation(topo)));
+  EXPECT_TRUE(IsPermutation(RandomPermutation(topo, rng)));
+  EXPECT_TRUE(IsPermutation(ReversalPermutation(topo)));
+  EXPECT_TRUE(IsPermutation(TransposePermutation(topo)));
+  if (wrap == Wrap::kTorus) {
+    EXPECT_TRUE(IsPermutation(AntipodalPermutation(topo)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Networks, PermutationGenTest,
+                         ::testing::Values(std::tuple{2, 6, Wrap::kMesh},
+                                           std::tuple{2, 6, Wrap::kTorus},
+                                           std::tuple{3, 4, Wrap::kMesh},
+                                           std::tuple{3, 4, Wrap::kTorus},
+                                           std::tuple{4, 3, Wrap::kMesh}));
+
+TEST(PermutationsTest, ReversalSendsCornerToCorner) {
+  Topology topo(2, 8, Wrap::kMesh);
+  auto dest = ReversalPermutation(topo);
+  EXPECT_EQ(dest[0], topo.size() - 1);
+  EXPECT_EQ(dest[static_cast<std::size_t>(topo.size() - 1)], 0);
+  // Every packet travels dist(p, mirror(p)); the corner travels D.
+  EXPECT_EQ(topo.Dist(0, dest[0]), topo.Diameter());
+}
+
+TEST(PermutationsTest, ReversalIsInvolution) {
+  Topology topo(3, 5, Wrap::kMesh);
+  auto dest = ReversalPermutation(topo);
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    EXPECT_EQ(dest[static_cast<std::size_t>(dest[static_cast<std::size_t>(p)])], p);
+  }
+}
+
+TEST(PermutationsTest, TransposeFixesDiagonal) {
+  Topology topo(2, 6, Wrap::kMesh);
+  auto dest = TransposePermutation(topo);
+  for (int i = 0; i < 6; ++i) {
+    Point c{};
+    c[0] = i;
+    c[1] = i;
+    ProcId p = topo.Id(c);
+    EXPECT_EQ(dest[static_cast<std::size_t>(p)], p);
+  }
+}
+
+TEST(PermutationsTest, AntipodalTravelsDiameterEverywhere) {
+  Topology topo(2, 8, Wrap::kTorus);
+  auto dest = AntipodalPermutation(topo);
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    EXPECT_EQ(topo.Dist(p, dest[static_cast<std::size_t>(p)]), topo.Diameter());
+  }
+}
+
+TEST(PermutationsTest, UnshuffleIsPermutation) {
+  Topology topo(2, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);  // m = 4, B = 16, m | B
+  auto dest = UnshufflePermutation(grid);
+  EXPECT_TRUE(IsPermutation(dest));
+}
+
+TEST(PermutationsTest, UnshuffleSpreadsBlockEvenly) {
+  // Every source block sends exactly B/m packets to every block.
+  Topology topo(2, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  auto dest = UnshufflePermutation(grid);
+  const std::int64_t m = grid.num_blocks();
+  std::vector<std::int64_t> count(static_cast<std::size_t>(m * m), 0);
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    BlockId from = grid.BlockOf(p);
+    BlockId to = grid.BlockOf(dest[static_cast<std::size_t>(p)]);
+    ++count[static_cast<std::size_t>(from * m + to)];
+  }
+  for (std::int64_t c : count) EXPECT_EQ(c, grid.block_volume() / m);
+}
+
+TEST(PermutationsTest, UnshuffleMatchesPaperFormulaOnChain) {
+  // Laid out along the blocked snake, the unshuffle is an m-way unshuffle of
+  // the chain: chain position j*B + i -> (i mod m)*B + j + floor(i/m)*m.
+  Topology topo(2, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  auto dest = UnshufflePermutation(grid);
+  const std::int64_t m = grid.num_blocks();
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    const std::int64_t j = grid.BlockOf(p);
+    const std::int64_t i = grid.OffsetOf(p);
+    const ProcId q = dest[static_cast<std::size_t>(p)];
+    EXPECT_EQ(grid.BlockOf(q), i % m);
+    EXPECT_EQ(grid.OffsetOf(q), j + (i / m) * m);
+  }
+}
+
+TEST(PermutationsTest, UnshuffleRejectsBadGrid) {
+  Topology topo(2, 6, Wrap::kMesh);
+  BlockGrid grid(topo, 2);  // b = 3, m = 4, B = 9: m does not divide B
+  EXPECT_THROW(UnshufflePermutation(grid), std::invalid_argument);
+}
+
+TEST(PermutationsTest, IsPermutationRejectsBadInputs) {
+  EXPECT_TRUE(IsPermutation({0, 1, 2}));
+  EXPECT_FALSE(IsPermutation({0, 0, 2}));
+  EXPECT_FALSE(IsPermutation({0, 1, 3}));
+  EXPECT_FALSE(IsPermutation({0, 1, -1}));
+}
+
+}  // namespace
+}  // namespace mdmesh

@@ -1,0 +1,108 @@
+#include "routing/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "routing/permutations.h"
+
+namespace mdmesh {
+namespace {
+
+Network MakeLoadedNetwork(const Topology& topo, int packets_per_proc) {
+  Network net(topo);
+  std::int64_t id = 0;
+  Rng rng(4);
+  auto dest = RandomPermutation(topo, rng);
+  for (int t = 0; t < packets_per_proc; ++t) {
+    for (ProcId p = 0; p < topo.size(); ++p) {
+      Packet pkt;
+      pkt.id = id++;
+      pkt.tag = t;
+      pkt.dest = dest[static_cast<std::size_t>(p)];
+      net.Add(p, pkt);
+    }
+  }
+  return net;
+}
+
+TEST(PolicyTest, ZeroModeClearsClasses) {
+  Topology topo(3, 4, Wrap::kMesh);
+  Network net = MakeLoadedNetwork(topo, 2);
+  net.ForEach([](ProcId, Packet& pkt) { pkt.klass = 2; });
+  AssignClasses(net, ClassMode::kZero, nullptr, nullptr);
+  net.ForEach([](ProcId, const Packet& pkt) { EXPECT_EQ(pkt.klass, 0); });
+}
+
+TEST(PolicyTest, RandomModeUsesAllClasses) {
+  Topology topo(3, 4, Wrap::kMesh);
+  Network net = MakeLoadedNetwork(topo, 4);
+  Rng rng(9);
+  AssignClasses(net, ClassMode::kRandom, nullptr, &rng);
+  std::vector<std::int64_t> count(3, 0);
+  net.ForEach([&](ProcId, const Packet& pkt) {
+    ASSERT_LT(pkt.klass, 3);
+    ++count[pkt.klass];
+  });
+  const std::int64_t total = topo.size() * 4;
+  for (std::int64_t c : count) {
+    EXPECT_GT(c, total / 5);
+    EXPECT_LT(c, total / 2);
+  }
+}
+
+TEST(PolicyTest, RandomModeWithoutRngThrows) {
+  Topology topo(2, 4, Wrap::kMesh);
+  Network net = MakeLoadedNetwork(topo, 1);
+  EXPECT_THROW(AssignClasses(net, ClassMode::kRandom, nullptr, nullptr),
+               std::invalid_argument);
+}
+
+TEST(PolicyTest, ByPermutationUsesTagModD) {
+  Topology topo(3, 4, Wrap::kMesh);
+  Network net = MakeLoadedNetwork(topo, 6);
+  AssignClasses(net, ClassMode::kByPermutation, nullptr, nullptr);
+  net.ForEach([](ProcId, const Packet& pkt) {
+    EXPECT_EQ(pkt.klass, pkt.tag % 3);
+  });
+}
+
+TEST(PolicyTest, LocalRankBalancesClassesWithinBlocks) {
+  Topology topo(2, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  Network net = MakeLoadedNetwork(topo, 2);
+  AssignClasses(net, ClassMode::kLocalRank, &grid, nullptr);
+  // Each block holds 2 * B packets; classes must split them near-evenly.
+  std::vector<std::vector<std::int64_t>> count(
+      static_cast<std::size_t>(grid.num_blocks()),
+      std::vector<std::int64_t>(2, 0));
+  net.ForEach([&](ProcId p, const Packet& pkt) {
+    ASSERT_LT(pkt.klass, 2);
+    ++count[static_cast<std::size_t>(grid.BlockOf(p))][pkt.klass];
+  });
+  for (const auto& per_block : count) {
+    EXPECT_EQ(per_block[0] + per_block[1], 2 * grid.block_volume());
+    EXPECT_LE(AbsDiff(per_block[0], per_block[1]), 1);
+  }
+}
+
+TEST(PolicyTest, LocalRankWithoutGridThrows) {
+  Topology topo(2, 4, Wrap::kMesh);
+  Network net = MakeLoadedNetwork(topo, 1);
+  EXPECT_THROW(AssignClasses(net, ClassMode::kLocalRank, nullptr, nullptr),
+               std::invalid_argument);
+}
+
+TEST(PolicyTest, LocalRankIsDeterministic) {
+  Topology topo(2, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  auto classes = [&] {
+    Network net = MakeLoadedNetwork(topo, 2);
+    AssignClasses(net, ClassMode::kLocalRank, &grid, nullptr);
+    std::vector<std::uint16_t> out;
+    net.ForEach([&](ProcId, const Packet& pkt) { out.push_back(pkt.klass); });
+    return out;
+  };
+  EXPECT_EQ(classes(), classes());
+}
+
+}  // namespace
+}  // namespace mdmesh

@@ -1,0 +1,122 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace mdmesh {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BelowOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit in 1000 draws
+}
+
+TEST(RngTest, UnitInHalfOpenInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UnitRoughlyUniform) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) sum += rng.Unit();
+  EXPECT_NEAR(sum / trials, 0.5, 0.02);
+}
+
+TEST(RngTest, SplitStreamsIndependentAndStable) {
+  Rng parent(99);
+  Rng c1 = parent.Split(1);
+  Rng c2 = parent.Split(2);
+  Rng c1_again = parent.Split(1);
+  EXPECT_EQ(c1.Next(), c1_again.Next());
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1.Next() == c2.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, SplitDoesNotAdvanceParent) {
+  Rng a(5);
+  Rng b(5);
+  (void)a.Split(123);
+  EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, PermutationIsBijective) {
+  Rng rng(21);
+  for (std::int64_t size : {0ll, 1ll, 2ll, 17ll, 256ll}) {
+    auto p = rng.Permutation(size);
+    ASSERT_EQ(p.size(), static_cast<std::size_t>(size));
+    std::vector<std::int64_t> sorted = p;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::int64_t i = 0; i < size; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(RngTest, PermutationIsNotIdentityForLargeSizes) {
+  Rng rng(23);
+  auto p = rng.Permutation(1000);
+  int fixed = 0;
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    if (p[static_cast<std::size_t>(i)] == i) ++fixed;
+  }
+  EXPECT_LT(fixed, 20);  // E[fixed] = 1
+}
+
+TEST(RngTest, ShuffleDeterministicGivenSeed) {
+  std::vector<int> v1{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> v2 = v1;
+  Rng a(31), b(31);
+  a.Shuffle(v1);
+  b.Shuffle(v2);
+  EXPECT_EQ(v1, v2);
+}
+
+}  // namespace
+}  // namespace mdmesh

@@ -1,0 +1,103 @@
+#include "core/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+
+namespace mdmesh {
+namespace {
+
+TEST(RunnerTest, ClaimedCoefficients) {
+  EXPECT_DOUBLE_EQ(ClaimedCoefficient(SortAlgo::kSimple, Wrap::kMesh), 1.5);
+  EXPECT_DOUBLE_EQ(ClaimedCoefficient(SortAlgo::kCopy, Wrap::kMesh), 1.25);
+  EXPECT_DOUBLE_EQ(ClaimedCoefficient(SortAlgo::kTorus, Wrap::kTorus), 1.5);
+  EXPECT_DOUBLE_EQ(ClaimedCoefficient(SortAlgo::kFull, Wrap::kMesh), 2.0);
+}
+
+TEST(RunnerTest, DefaultBlocksPerSideRespectsConstraints) {
+  for (const MeshSpec& spec : StandardMeshSweep()) {
+    const int g = DefaultBlocksPerSide(spec);
+    EXPECT_GE(g, 2);
+    EXPECT_EQ(spec.n % g, 0) << spec.ToString();
+    EXPECT_EQ((spec.n / g) % g, 0) << spec.ToString();  // g | b
+  }
+  // n=64, d=2: can afford g=4 (m^2 = 256 <= 2*B = 2*256^... b=16, B=256).
+  EXPECT_EQ(DefaultBlocksPerSide({2, 64, Wrap::kMesh}), 4);
+}
+
+TEST(RunnerTest, SortExperimentEndToEnd) {
+  SortOptions opts;
+  SortRow row = RunSortExperiment(SortAlgo::kSimple, {2, 16, Wrap::kMesh}, opts);
+  EXPECT_TRUE(row.result.sorted);
+  EXPECT_EQ(row.diameter, 2 * 15);
+  EXPECT_DOUBLE_EQ(row.claimed, 1.5);
+  EXPECT_GT(row.ratio, 0.5);
+  EXPECT_LT(row.ratio, 2.5);
+}
+
+TEST(RunnerTest, GreedyExperimentEndToEnd) {
+  GreedyRow row = RunGreedyExperiment({2, 8, Wrap::kTorus}, 4, 7);
+  EXPECT_TRUE(row.run.route.completed);
+  EXPECT_EQ(row.num_perms, 4);
+  EXPECT_EQ(row.run.route.packets, 4 * 64);
+}
+
+TEST(RunnerTest, SelectionExperimentEndToEnd) {
+  SortOptions opts;
+  SelectRow row = RunSelectionExperiment({2, 16, Wrap::kMesh}, opts);
+  EXPECT_TRUE(row.correct);
+  EXPECT_GT(row.result.candidates, 0);
+}
+
+TEST(RunnerTest, RoutingExperimentEndToEnd) {
+  TwoPhaseOptions opts;
+  opts.g = 2;
+  RoutingRow row = RunRoutingExperiment({2, 8, Wrap::kMesh}, "reversal", opts);
+  EXPECT_TRUE(row.two_phase.delivered);
+  EXPECT_TRUE(row.baseline.route.completed);
+  EXPECT_THROW(RunRoutingExperiment({2, 8, Wrap::kMesh}, "bogus", opts),
+               std::invalid_argument);
+}
+
+TEST(RunnerTest, ReportTablesRender) {
+  SortOptions opts;
+  std::vector<SortRow> sort_rows{
+      RunSortExperiment(SortAlgo::kSimple, {2, 8, Wrap::kMesh}, opts)};
+  Table t1 = MakeSortTable(sort_rows);
+  EXPECT_EQ(t1.rows(), 1u);
+  EXPECT_NE(t1.ToString().find("SimpleSort"), std::string::npos);
+
+  std::vector<GreedyRow> greedy_rows{RunGreedyExperiment({2, 8, Wrap::kMesh}, 1, 3)};
+  EXPECT_EQ(MakeGreedyTable(greedy_rows).rows(), 1u);
+
+  std::vector<SelectRow> select_rows{
+      RunSelectionExperiment({2, 8, Wrap::kMesh}, opts)};
+  EXPECT_EQ(MakeSelectionTable(select_rows).rows(), 1u);
+
+  TwoPhaseOptions topts;
+  topts.g = 2;
+  std::vector<RoutingRow> routing_rows{
+      RunRoutingExperiment({2, 8, Wrap::kMesh}, "random", topts)};
+  EXPECT_EQ(MakeRoutingTable(routing_rows).rows(), 1u);
+}
+
+TEST(RunnerTest, MeshSpecHelpers) {
+  MeshSpec spec{3, 8, Wrap::kTorus};
+  EXPECT_EQ(spec.size(), 512);
+  EXPECT_EQ(spec.diameter(), 12);
+  EXPECT_NE(spec.ToString().find("torus"), std::string::npos);
+  EXPECT_EQ(spec.Build().size(), 512);
+}
+
+TEST(RunnerTest, SweepsAreSimulable) {
+  for (const auto& sweep :
+       {StandardMeshSweep(), StandardTorusSweep(), HighDimMeshSweep()}) {
+    for (const MeshSpec& spec : sweep) {
+      EXPECT_LE(spec.size(), 1 << 20) << spec.ToString();
+      EXPECT_GE(spec.d, 2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdmesh

@@ -1,0 +1,127 @@
+#include "sorting/selection.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sorting/kk_sort.h"
+
+namespace mdmesh {
+namespace {
+
+struct SelFixture {
+  Topology topo;
+  BlockGrid grid;
+  Network net;
+  GroundTruth truth;
+  SelFixture(int d, int n, int g, InputKind kind, std::uint64_t seed)
+      : topo(d, n, Wrap::kMesh), grid(topo, g), net(topo) {
+    FillInput(net, grid, 1, kind, seed);
+    truth = CaptureGroundTruth(net);
+  }
+};
+
+class SelectionTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SelectionTest, FindsExactMedian) {
+  auto [d, n, g] = GetParam();
+  SelFixture s(d, n, g, InputKind::kRandom, 111);
+  const std::int64_t target = (static_cast<std::int64_t>(s.truth.size()) - 1) / 2;
+  SortOptions opts;
+  opts.g = g;
+  SelectResult r = SelectAtCenter(s.net, s.grid, opts, target);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.selected_key, s.truth[static_cast<std::size_t>(target)].first);
+  EXPECT_TRUE(r.completed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Networks, SelectionTest,
+                         ::testing::Values(std::tuple{2, 8, 2},
+                                           std::tuple{2, 16, 2},
+                                           std::tuple{2, 16, 4},
+                                           std::tuple{2, 32, 4},
+                                           std::tuple{3, 8, 2},
+                                           std::tuple{3, 16, 2},
+                                           std::tuple{4, 8, 2}));
+
+TEST(SelectionTest, ArbitraryRanksAreExact) {
+  SelFixture s(2, 16, 2, InputKind::kRandom, 113);
+  const auto total = static_cast<std::int64_t>(s.truth.size());
+  for (std::int64_t target : {std::int64_t{0}, total / 4, total - 1}) {
+    SelFixture fresh(2, 16, 2, InputKind::kRandom, 113);
+    SortOptions opts;
+    opts.g = 2;
+    SelectResult r = SelectAtCenter(fresh.net, fresh.grid, opts, target);
+    ASSERT_TRUE(r.found) << "target " << target;
+    EXPECT_EQ(r.selected_key, s.truth[static_cast<std::size_t>(target)].first)
+        << "target " << target;
+  }
+}
+
+TEST(SelectionTest, DuplicateKeysHandled) {
+  SelFixture s(2, 16, 2, InputKind::kFewValues, 117);
+  const std::int64_t target = (static_cast<std::int64_t>(s.truth.size()) - 1) / 2;
+  SortOptions opts;
+  opts.g = 2;
+  SelectResult r = SelectAtCenter(s.net, s.grid, opts, target);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.selected_key, s.truth[static_cast<std::size_t>(target)].first);
+}
+
+TEST(SelectionTest, CandidateSetIsSmallFraction) {
+  // The candidate window has size O(m^2 * mc / N)-ish; at n = 32 it must be
+  // a small fraction of all packets — that is what makes the final hop D/4.
+  SelFixture s(2, 32, 2, InputKind::kRandom, 119);
+  const std::int64_t target = (static_cast<std::int64_t>(s.truth.size()) - 1) / 2;
+  SortOptions opts;
+  opts.g = 2;
+  SelectResult r = SelectAtCenter(s.net, s.grid, opts, target);
+  ASSERT_TRUE(r.found);
+  EXPECT_LT(r.candidates, static_cast<std::int64_t>(s.truth.size()) / 4);
+  EXPECT_GT(r.candidates, 0);
+}
+
+TEST(SelectionTest, RoutingWithinDiameterPlusSlack) {
+  // Section 4.3 upper bound: D + o(n) total routing.
+  SelFixture s(2, 32, 4, InputKind::kRandom, 121);
+  const std::int64_t target = (static_cast<std::int64_t>(s.truth.size()) - 1) / 2;
+  SortOptions opts;
+  opts.g = 4;
+  SelectResult r = SelectAtCenter(s.net, s.grid, opts, target);
+  ASSERT_TRUE(r.found);
+  EXPECT_LE(r.routing_steps,
+            s.topo.Diameter() + 4 * s.topo.side());  // generous o(n) at n=32
+}
+
+TEST(SelectionTest, RejectsOutOfRangeTarget) {
+  SelFixture s(2, 8, 2, InputKind::kRandom, 123);
+  SortOptions opts;
+  opts.g = 2;
+  EXPECT_THROW(SelectAtCenter(s.net, s.grid, opts, -1), std::invalid_argument);
+  SelFixture t(2, 8, 2, InputKind::kRandom, 123);
+  EXPECT_THROW(SelectAtCenter(t.net, t.grid, opts, t.topo.size()),
+               std::invalid_argument);
+}
+
+
+TEST(SelectionTest, DegenerateMarginFlagged) {
+  // A grid too fine for the network: margin (m+2)*mc covers most ranks.
+  SelFixture fine(2, 16, 4, InputKind::kRandom, 131);  // m=16: margin 18*8=144 vs N=256
+  SortOptions opts;
+  opts.g = 4;
+  SelectResult r = SelectAtCenter(fine.net, fine.grid, opts, 127);
+  EXPECT_TRUE(r.degenerate_margin);
+  EXPECT_TRUE(r.found);  // still exact, just not fast
+
+  // A coarse grid on the same network is fine: margin (4+2)*2 = 12 << 256.
+  SelFixture coarse(2, 16, 2, InputKind::kRandom, 131);
+  SortOptions copts;
+  copts.g = 2;
+  SelectResult rc = SelectAtCenter(coarse.net, coarse.grid, copts, 127);
+  EXPECT_FALSE(rc.degenerate_margin);
+  EXPECT_TRUE(rc.found);
+}
+
+}  // namespace
+}  // namespace mdmesh

@@ -1,0 +1,64 @@
+#include "bounds/selection_lb.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bounds/diamond.h"
+
+namespace mdmesh {
+namespace {
+
+TEST(SelectionLbTest, Coefficients) {
+  EXPECT_DOUBLE_EQ(SelectionLowerCoefficient(0.0), 9.0 / 16.0);
+  EXPECT_DOUBLE_EQ(SelectionLowerCoefficient(0.0625), 0.5);
+  EXPECT_DOUBLE_EQ(SelectionRadiusCoefficient(false), 0.5);
+  EXPECT_DOUBLE_EQ(SelectionRadiusCoefficient(true), 1.0);
+}
+
+TEST(SelectionLbTest, LowerBoundExceedsTrivialForSmallEps) {
+  // The whole point of Theorem 4.5: 9/16 > 1/2 for eps < 1/16.
+  EXPECT_GT(SelectionLowerCoefficient(0.05), SelectionRadiusCoefficient(false));
+}
+
+TEST(SelectionLbTest, PremiseHoldsAndBallShrinksWithD) {
+  // The (weak) existence premise holds broadly; the quantitative content is
+  // that the ball around the boundary point covers a VANISHING fraction as
+  // d grows — that is what turns "some packet survives" into "most do".
+  EXPECT_TRUE(CheckSelectionPremise(48, 17, 0.1));
+  const double D16 = 16.0 * 16.0;
+  const double D48 = 48.0 * 16.0;
+  const auto off = static_cast<std::int64_t>(std::llround(0.9 * 16.0 / 2.0));
+  const double ball16 =
+      BallFractionAround(16, 17, off, (5.0 / 16.0 - 0.2) * D16);
+  const double ball48 =
+      BallFractionAround(48, 17, off, (5.0 / 16.0 - 0.2) * D48);
+  EXPECT_LT(ball48, ball16);
+  EXPECT_LT(ball48, 0.05);
+}
+
+TEST(SelectionLbTest, PremiseMonotoneInD) {
+  bool held = false;
+  for (int d : {4, 8, 16, 32, 64}) {
+    const bool now = CheckSelectionPremise(d, 9, 0.1);
+    if (held) {
+      EXPECT_TRUE(now) << "premise regressed at d=" << d;
+    }
+    held = held || now;
+  }
+  EXPECT_TRUE(held);
+}
+
+TEST(SelectionLbTest, FindD0SelectionBehaves) {
+  const int d0 = FindD0Selection(0.1);
+  ASSERT_GT(d0, 0);
+  EXPECT_EQ(FindD0Selection(0.0), -1);
+  EXPECT_EQ(FindD0Selection(0.2), -1);  // 5/16 - 2 eps would go negative soon
+  // Tighter eps needs at least as many dimensions.
+  const int d0_tight = FindD0Selection(0.05);
+  ASSERT_GT(d0_tight, 0);
+  EXPECT_GE(d0_tight, d0);
+}
+
+}  // namespace
+}  // namespace mdmesh

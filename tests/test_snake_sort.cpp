@@ -1,0 +1,85 @@
+#include "sorting/snake_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/runner.h"
+#include "sorting/kk_sort.h"
+
+namespace mdmesh {
+namespace {
+
+class SnakeSortTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, InputKind>> {};
+
+TEST_P(SnakeSortTest, SortsCorrectly) {
+  auto [d, n, k, input] = GetParam();
+  Topology topo(d, n, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  Network net(topo);
+  FillInput(net, grid, k, input, 211);
+  SortOptions opts;
+  opts.g = 2;
+  opts.k = k;
+  SortResult result = RunSort(SortAlgo::kSnake, net, grid, opts);
+  EXPECT_TRUE(result.sorted) << result.Summary(topo.Diameter());
+  EXPECT_TRUE(result.completed);
+  // Odd-even transposition sorts a chain of N positions in <= N rounds.
+  EXPECT_LE(result.fixup_rounds, topo.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SnakeSortTest,
+    ::testing::Values(std::tuple{1, 16, 1, InputKind::kRandom},
+                      std::tuple{2, 8, 1, InputKind::kRandom},
+                      std::tuple{2, 8, 1, InputKind::kSortedDesc},
+                      std::tuple{2, 8, 1, InputKind::kAllEqual},
+                      std::tuple{2, 8, 2, InputKind::kRandom},
+                      std::tuple{3, 4, 1, InputKind::kRandom},
+                      std::tuple{3, 4, 3, InputKind::kFewValues}));
+
+TEST(SnakeSortTest, SortedInputTakesZeroRounds) {
+  Topology topo(2, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  Network net(topo);
+  FillInput(net, grid, 1, InputKind::kSortedAsc, 1);
+  SortOptions opts;
+  opts.g = 2;
+  SortResult result = RunSort(SortAlgo::kSnake, net, grid, opts);
+  EXPECT_TRUE(result.sorted);
+  EXPECT_EQ(result.routing_steps, 0);
+}
+
+TEST(SnakeSortTest, ReverseInputNeedsAboutNRounds) {
+  Topology topo(2, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  Network net(topo);
+  FillInput(net, grid, 1, InputKind::kSortedDesc, 1);
+  SortOptions opts;
+  opts.g = 2;
+  SortResult result = RunSort(SortAlgo::kSnake, net, grid, opts);
+  ASSERT_TRUE(result.sorted);
+  EXPECT_GE(result.routing_steps, topo.size() - 4);
+}
+
+TEST(SnakeSortTest, ClassicalBaselineIsFarSlowerThanSimpleSort) {
+  // The gap the paper's algorithms close: Theta(N) vs Theta(dn).
+  const MeshSpec spec{2, 16, Wrap::kMesh};
+  SortOptions opts;
+  opts.g = 2;
+  opts.seed = 3;
+  SortRow snake = RunSortExperiment(SortAlgo::kSnake, spec, opts);
+  SortRow simple = RunSortExperiment(SortAlgo::kSimple, spec, opts);
+  ASSERT_TRUE(snake.result.sorted);
+  ASSERT_TRUE(simple.result.sorted);
+  EXPECT_GT(snake.result.routing_steps, 3 * simple.result.routing_steps);
+}
+
+TEST(SnakeSortTest, HarnessIntegration) {
+  EXPECT_EQ(ParseSortAlgo("snake"), SortAlgo::kSnake);
+  EXPECT_STREQ(SortAlgoName(SortAlgo::kSnake), "SnakeSort");
+}
+
+}  // namespace
+}  // namespace mdmesh

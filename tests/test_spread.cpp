@@ -1,0 +1,140 @@
+#include "sorting/spread.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+namespace mdmesh {
+namespace {
+
+// Exhaustive balance checks for the distribution formulas (DESIGN.md §2).
+
+class ConcentrateBalanceTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t>> {};
+
+TEST_P(ConcentrateBalanceTest, EveryCenterSlotGetsExactShare) {
+  auto [m, B, k] = GetParam();
+  const std::int64_t mc = m / 2;
+  // occupancy[c * B + pos] over all (j, i).
+  std::vector<std::int64_t> occupancy(static_cast<std::size_t>(mc * B), 0);
+  for (std::int64_t j = 0; j < m; ++j) {
+    for (std::int64_t i = 0; i < k * B; ++i) {
+      BlockDest bd = ConcentrateDest(i, j, m, mc, B);
+      ASSERT_GE(bd.block, 0);
+      ASSERT_LT(bd.block, mc);
+      ASSERT_GE(bd.offset, 0);
+      ASSERT_LT(bd.offset, B);
+      ++occupancy[static_cast<std::size_t>(bd.block * B + bd.offset)];
+    }
+  }
+  // Exactly 2k packets per center processor (the paper's step-2 invariant).
+  const std::int64_t expected = k * m / mc;
+  for (std::int64_t o : occupancy) EXPECT_EQ(o, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ConcentrateBalanceTest,
+                         ::testing::Values(std::tuple{4, 16, 1},
+                                           std::tuple{4, 16, 2},
+                                           std::tuple{8, 64, 1},
+                                           std::tuple{8, 512, 1},
+                                           std::tuple{16, 64, 1},
+                                           std::tuple{16, 256, 2},
+                                           std::tuple{4, 64, 3}));
+
+TEST(ConcentrateTest, EveryRankClassLandsInItsBlock) {
+  // Rank i goes to C-block i mod mc: each center block samples every mc-th
+  // local rank of every source block — the even-distribution property that
+  // makes local ranks estimate global ranks.
+  const std::int64_t m = 8, mc = 4, B = 64;
+  for (std::int64_t j = 0; j < m; ++j) {
+    for (std::int64_t i = 0; i < B; ++i) {
+      EXPECT_EQ(ConcentrateDest(i, j, m, mc, B).block, i % mc);
+    }
+  }
+}
+
+class UnconcentrateBalanceTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t>> {};
+
+TEST_P(UnconcentrateBalanceTest, EveryProcessorGetsExactlyK) {
+  auto [m, B, k] = GetParam();
+  const std::int64_t mc = m / 2;
+  const std::int64_t per_cblock = k * B * m / mc;
+  std::vector<std::int64_t> occupancy(static_cast<std::size_t>(m * B), 0);
+  for (std::int64_t j = 0; j < mc; ++j) {
+    for (std::int64_t i = 0; i < per_cblock; ++i) {
+      BlockDest bd = UnconcentrateDest(i, j, m, mc, B, k);
+      ASSERT_GE(bd.block, 0);
+      ASSERT_LT(bd.block, m);
+      ASSERT_GE(bd.offset, 0);
+      ASSERT_LT(bd.offset, B);
+      ++occupancy[static_cast<std::size_t>(bd.block * B + bd.offset)];
+    }
+  }
+  for (std::int64_t o : occupancy) EXPECT_EQ(o, k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, UnconcentrateBalanceTest,
+                         ::testing::Values(std::tuple{4, 16, 1},
+                                           std::tuple{4, 16, 2},
+                                           std::tuple{8, 64, 1},
+                                           std::tuple{16, 64, 1},
+                                           std::tuple{16, 256, 2}));
+
+TEST(UnconcentrateTest, ConsecutiveRankWindowsFillConsecutiveBlocks) {
+  const std::int64_t m = 8, mc = 4, B = 64, k = 1;
+  const std::int64_t per_block = k * B / mc;  // ranks per destination block
+  for (std::int64_t i = 0; i < k * B * m / mc; ++i) {
+    EXPECT_EQ(UnconcentrateDest(i, 0, m, mc, B, k).block, i / per_block);
+  }
+}
+
+TEST(UnshuffleTest, FullSpreadBalance) {
+  const std::int64_t m = 8, B = 64, k = 2;
+  std::vector<std::int64_t> occupancy(static_cast<std::size_t>(m * B), 0);
+  for (std::int64_t j = 0; j < m; ++j) {
+    for (std::int64_t i = 0; i < k * B; ++i) {
+      BlockDest bd = UnshuffleDest(i, j, m, B);
+      ++occupancy[static_cast<std::size_t>(bd.block * B + bd.offset)];
+    }
+  }
+  for (std::int64_t o : occupancy) EXPECT_EQ(o, k);
+}
+
+TEST(UnshuffleTest, InverseSpreadBalance) {
+  const std::int64_t m = 8, B = 64, k = 2;
+  std::vector<std::int64_t> occupancy(static_cast<std::size_t>(m * B), 0);
+  for (std::int64_t j = 0; j < m; ++j) {
+    for (std::int64_t i = 0; i < k * B; ++i) {
+      BlockDest bd = UnshuffleInvDest(i, j, m, B, k);
+      ++occupancy[static_cast<std::size_t>(bd.block * B + bd.offset)];
+    }
+  }
+  for (std::int64_t o : occupancy) EXPECT_EQ(o, k);
+}
+
+TEST(UnshuffleTest, K1IsBijective) {
+  const std::int64_t m = 8, B = 64;
+  std::map<std::pair<std::int64_t, std::int64_t>, int> seen;
+  for (std::int64_t j = 0; j < m; ++j) {
+    for (std::int64_t i = 0; i < B; ++i) {
+      BlockDest bd = UnshuffleDest(i, j, m, B);
+      const int hits = ++seen[std::make_pair(bd.block, bd.offset)];
+      EXPECT_EQ(hits, 1);
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(m * B));
+}
+
+TEST(UnshuffleTest, InverseIsRankMonotoneInBlocks) {
+  const std::int64_t m = 8, B = 64, k = 1;
+  for (std::int64_t i = 0; i + 1 < k * B; ++i) {
+    EXPECT_LE(UnshuffleInvDest(i, 3, m, B, k).block,
+              UnshuffleInvDest(i + 1, 3, m, B, k).block);
+  }
+}
+
+}  // namespace
+}  // namespace mdmesh

@@ -1,0 +1,99 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mdmesh {
+namespace {
+
+TEST(AccumulatorTest, Empty) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_EQ(acc.min(), 0.0);
+  EXPECT_EQ(acc.max(), 0.0);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.stddev(), 0.0);
+}
+
+TEST(AccumulatorTest, SingleValue) {
+  Accumulator acc;
+  acc.Add(3.5);
+  EXPECT_EQ(acc.count(), 1);
+  EXPECT_EQ(acc.min(), 3.5);
+  EXPECT_EQ(acc.max(), 3.5);
+  EXPECT_EQ(acc.mean(), 3.5);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(AccumulatorTest, KnownMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(x);
+  EXPECT_EQ(acc.count(), 8);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 4.0);  // classic example set
+  EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+  EXPECT_EQ(acc.min(), 2.0);
+  EXPECT_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(AccumulatorTest, MergeMatchesSequential) {
+  Accumulator whole, left, right;
+  for (int i = 0; i < 100; ++i) {
+    double x = std::sin(i) * 10.0;
+    whole.Add(x);
+    (i < 37 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(AccumulatorTest, MergeWithEmpty) {
+  Accumulator a, empty;
+  a.Add(1.0);
+  a.Add(2.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  Accumulator b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(HistogramTest, BasicCounts) {
+  Histogram h(10);
+  h.Add(0);
+  h.Add(3);
+  h.Add(3);
+  h.Add(9);
+  EXPECT_EQ(h.total(), 4);
+  EXPECT_EQ(h.Count(0), 1);
+  EXPECT_EQ(h.Count(3), 2);
+  EXPECT_EQ(h.Count(9), 1);
+  EXPECT_EQ(h.overflow(), 0);
+}
+
+TEST(HistogramTest, OverflowClampsToLastBucket) {
+  Histogram h(4);
+  h.Add(100);
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_EQ(h.Count(3), 1);
+  EXPECT_EQ(h.total(), 1);
+}
+
+TEST(HistogramTest, Quantiles) {
+  Histogram h(100);
+  for (int i = 0; i < 100; ++i) h.Add(i);
+  EXPECT_EQ(h.Quantile(0.0), 0);
+  EXPECT_EQ(h.Quantile(0.5), 49);
+  EXPECT_EQ(h.Quantile(1.0), 99);
+  EXPECT_EQ(h.Quantile(0.99), 98);
+}
+
+}  // namespace
+}  // namespace mdmesh

@@ -1,0 +1,66 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace mdmesh {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.Row().Cell("alpha").Cell(std::int64_t{42});
+  t.Row().Cell("beta").Cell(3.14159, 2);
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, ColumnsAligned) {
+  Table t({"a", "b"});
+  t.Row().Cell("xxxxxxxx").Cell("1");
+  t.Row().Cell("y").Cell("2");
+  std::string s = t.ToString();
+  // Every line has the same length (uniform padding).
+  std::size_t prev = std::string::npos;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    std::size_t end = s.find('\n', start);
+    if (end == std::string::npos) break;
+    std::size_t len = end - start;
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
+    prev = len;
+    start = end + 1;
+  }
+}
+
+TEST(TableTest, DoublePrecisionControl) {
+  Table t({"x"});
+  t.Row().Cell(1.0 / 3.0, 5);
+  EXPECT_NE(t.ToString().find("0.33333"), std::string::npos);
+}
+
+TEST(TableTest, EmptyTableStillRendersHeader) {
+  Table t({"only"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("only"), std::string::npos);
+  EXPECT_EQ(t.rows(), 0u);
+}
+
+
+TEST(TableTest, CsvOutput) {
+  Table t({"name", "value"});
+  t.Row().Cell("plain").Cell(std::int64_t{1});
+  t.Row().Cell("with,comma").Cell("with\"quote");
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("name,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("plain,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdmesh

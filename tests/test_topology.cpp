@@ -1,0 +1,194 @@
+#include "meshsim/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace mdmesh {
+namespace {
+
+TEST(TopologyTest, SizesAndDiameters) {
+  Topology mesh(3, 4, Wrap::kMesh);
+  EXPECT_EQ(mesh.size(), 64);
+  EXPECT_EQ(mesh.Diameter(), 9);  // d(n-1) = 3*3
+  Topology torus(3, 4, Wrap::kTorus);
+  EXPECT_EQ(torus.Diameter(), 6);  // d*floor(n/2) = 3*2
+  Topology odd(2, 5, Wrap::kTorus);
+  EXPECT_EQ(odd.Diameter(), 4);  // 2*floor(5/2)
+}
+
+TEST(TopologyTest, CoordsIdRoundTrip) {
+  for (auto [d, n] : {std::pair{1, 7}, std::pair{2, 5}, std::pair{3, 4}, std::pair{4, 3}}) {
+    Topology topo(d, n, Wrap::kMesh);
+    for (ProcId p = 0; p < topo.size(); ++p) {
+      EXPECT_EQ(topo.Id(topo.Coords(p)), p);
+    }
+  }
+}
+
+TEST(TopologyTest, CoordConvention) {
+  // Dimension 0 is least significant.
+  Topology topo(2, 4, Wrap::kMesh);
+  Point c = topo.Coords(5);  // 5 = 1 + 4*1
+  EXPECT_EQ(c[0], 1);
+  EXPECT_EQ(c[1], 1);
+  c = topo.Coords(7);  // 7 = 3 + 4*1
+  EXPECT_EQ(c[0], 3);
+  EXPECT_EQ(c[1], 1);
+}
+
+TEST(TopologyTest, MeshNeighborsRespectBoundary) {
+  Topology topo(2, 3, Wrap::kMesh);
+  // Corner (0,0) = id 0.
+  EXPECT_EQ(topo.Neighbor(0, 0, 0), -1);
+  EXPECT_EQ(topo.Neighbor(0, 1, 0), -1);
+  EXPECT_EQ(topo.Neighbor(0, 0, 1), 1);
+  EXPECT_EQ(topo.Neighbor(0, 1, 1), 3);
+  // Center (1,1) = id 4 has all four.
+  EXPECT_EQ(topo.Neighbor(4, 0, 0), 3);
+  EXPECT_EQ(topo.Neighbor(4, 0, 1), 5);
+  EXPECT_EQ(topo.Neighbor(4, 1, 0), 1);
+  EXPECT_EQ(topo.Neighbor(4, 1, 1), 7);
+}
+
+TEST(TopologyTest, TorusNeighborsWrap) {
+  Topology topo(2, 3, Wrap::kTorus);
+  EXPECT_EQ(topo.Neighbor(0, 0, 0), 2);  // (0,0) -> (2,0)
+  EXPECT_EQ(topo.Neighbor(0, 1, 0), 6);  // (0,0) -> (0,2)
+  EXPECT_EQ(topo.Neighbor(2, 0, 1), 0);  // (2,0) -> (0,0)
+}
+
+TEST(TopologyTest, NeighborsAreSymmetric) {
+  for (Wrap wrap : {Wrap::kMesh, Wrap::kTorus}) {
+    Topology topo(3, 4, wrap);
+    for (ProcId p = 0; p < topo.size(); ++p) {
+      for (int dim = 0; dim < 3; ++dim) {
+        for (int dir = 0; dir < 2; ++dir) {
+          ProcId q = topo.Neighbor(p, dim, dir);
+          if (q < 0) continue;
+          EXPECT_EQ(topo.Neighbor(q, dim, 1 - dir), p);
+          EXPECT_EQ(topo.Dist(p, q), 1);
+        }
+      }
+    }
+  }
+}
+
+TEST(TopologyTest, DistMatchesCoordsDist) {
+  for (Wrap wrap : {Wrap::kMesh, Wrap::kTorus}) {
+    Topology topo(3, 5, wrap);
+    for (ProcId a = 0; a < topo.size(); a += 7) {
+      for (ProcId b = 0; b < topo.size(); b += 5) {
+        EXPECT_EQ(topo.Dist(a, b), topo.DistCoords(topo.Coords(a), topo.Coords(b)));
+        EXPECT_EQ(topo.Dist(a, b), topo.Dist(b, a));
+        EXPECT_LE(topo.Dist(a, b), topo.Diameter());
+      }
+    }
+  }
+}
+
+TEST(TopologyTest, DistTriangleInequalityOnSamples) {
+  Topology topo(2, 6, Wrap::kTorus);
+  for (ProcId a = 0; a < topo.size(); a += 3) {
+    for (ProcId b = 0; b < topo.size(); b += 4) {
+      for (ProcId c = 0; c < topo.size(); c += 5) {
+        EXPECT_LE(topo.Dist(a, c), topo.Dist(a, b) + topo.Dist(b, c));
+      }
+    }
+  }
+}
+
+TEST(TopologyTest, DiameterIsAttained) {
+  Topology mesh(2, 4, Wrap::kMesh);
+  std::int64_t best = 0;
+  for (ProcId a = 0; a < mesh.size(); ++a) {
+    for (ProcId b = 0; b < mesh.size(); ++b) best = std::max(best, mesh.Dist(a, b));
+  }
+  EXPECT_EQ(best, mesh.Diameter());
+
+  Topology torus(2, 4, Wrap::kTorus);
+  best = 0;
+  for (ProcId a = 0; a < torus.size(); ++a) {
+    for (ProcId b = 0; b < torus.size(); ++b) best = std::max(best, torus.Dist(a, b));
+  }
+  EXPECT_EQ(best, torus.Diameter());
+}
+
+TEST(TopologyTest, StepTowardMesh) {
+  Topology topo(1, 8, Wrap::kMesh);
+  EXPECT_EQ(topo.StepToward(2, 5), 1);
+  EXPECT_EQ(topo.StepToward(5, 2), -1);
+  EXPECT_EQ(topo.StepToward(3, 3), 0);
+}
+
+TEST(TopologyTest, StepTowardTorusShorterWay) {
+  Topology topo(1, 8, Wrap::kTorus);
+  EXPECT_EQ(topo.StepToward(0, 1), 1);
+  EXPECT_EQ(topo.StepToward(0, 7), -1);   // wrap backwards is shorter
+  EXPECT_EQ(topo.StepToward(0, 4), 1);    // exact tie resolves to +1
+  EXPECT_EQ(topo.StepToward(6, 1), 1);    // forward through the wrap
+}
+
+TEST(TopologyTest, StepTowardConsistentAlongPath) {
+  // Repeatedly stepping must reach the target in exactly Dist steps.
+  Topology topo(1, 9, Wrap::kTorus);
+  for (int from = 0; from < 9; ++from) {
+    for (int to = 0; to < 9; ++to) {
+      int cur = from;
+      std::int64_t steps = 0;
+      while (cur != to) {
+        cur = static_cast<int>(Mod(cur + topo.StepToward(cur, to), 9));
+        ++steps;
+        ASSERT_LE(steps, 9);
+      }
+      Point a{}, b{};
+      a[0] = from;
+      b[0] = to;
+      EXPECT_EQ(steps, topo.DistCoords(a, b));
+    }
+  }
+}
+
+TEST(TopologyTest, CoordTableMatchesCoords) {
+  Topology topo(3, 4, Wrap::kMesh);
+  auto table = topo.BuildCoordTable();
+  ASSERT_EQ(table.size(), static_cast<std::size_t>(topo.size() * 3));
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    Point c = topo.Coords(p);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(table[static_cast<std::size_t>(p * 3 + i)], c[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST(TopologyTest, MirrorIsInvolutionAndPreservesCenterDistance) {
+  Topology topo(3, 5, Wrap::kMesh);
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    EXPECT_EQ(topo.Mirror(topo.Mirror(p)), p);
+  }
+  EXPECT_EQ(topo.Mirror(0), topo.size() - 1);  // corner maps to corner
+}
+
+TEST(TopologyTest, AntipodeProperties) {
+  Topology topo(2, 8, Wrap::kTorus);
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    ProcId a = topo.Antipode(p);
+    EXPECT_EQ(topo.Antipode(a), p);                 // involution (even n)
+    EXPECT_EQ(topo.Dist(p, a), topo.Diameter());    // farthest point
+  }
+}
+
+TEST(TopologyTest, RingAntipodeSplitsDistanceExactly) {
+  // On a ring of even n: dist(p,x) + dist(p, antipode(x)) == n/2, the
+  // geometric fact behind TorusSort's Lemma 3.4.
+  Topology topo(1, 10, Wrap::kTorus);
+  for (ProcId x = 0; x < 10; ++x) {
+    ProcId ax = topo.Antipode(x);
+    for (ProcId p = 0; p < 10; ++p) {
+      EXPECT_EQ(topo.Dist(p, x) + topo.Dist(p, ax), 5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdmesh

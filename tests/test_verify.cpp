@@ -1,0 +1,115 @@
+#include "sorting/verify.h"
+
+#include <gtest/gtest.h>
+
+namespace mdmesh {
+namespace {
+
+void FillSorted(Network& net, const BlockGrid& grid, std::int64_t k) {
+  net.Clear();
+  std::int64_t t = 0;
+  for (BlockId b = 0; b < grid.num_blocks(); ++b) {
+    for (std::int64_t off = 0; off < grid.block_volume(); ++off) {
+      for (std::int64_t r = 0; r < k; ++r, ++t) {
+        Packet pkt;
+        pkt.key = static_cast<std::uint64_t>(t);
+        pkt.id = t;
+        net.Add(grid.ProcAt(b, off), pkt);
+      }
+    }
+  }
+}
+
+TEST(VerifyTest, SortedPlacementAccepted) {
+  Topology topo(2, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  Network net(topo);
+  FillSorted(net, grid, 1);
+  GroundTruth truth = CaptureGroundTruth(net);
+  EXPECT_TRUE(IsGloballySorted(net, grid, 1));
+  std::string err;
+  EXPECT_TRUE(VerifySortedPlacement(net, grid, 1, truth, &err)) << err;
+}
+
+TEST(VerifyTest, SwappedPairRejected) {
+  Topology topo(2, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  Network net(topo);
+  FillSorted(net, grid, 1);
+  GroundTruth truth = CaptureGroundTruth(net);
+  std::swap(net.At(grid.ProcAt(0, 0))[0], net.At(grid.ProcAt(3, 5))[0]);
+  EXPECT_FALSE(IsGloballySorted(net, grid, 1));
+  EXPECT_FALSE(VerifySortedPlacement(net, grid, 1, truth, nullptr));
+}
+
+TEST(VerifyTest, MutatedKeyRejectedByMultiset) {
+  Topology topo(2, 4, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  Network net(topo);
+  FillSorted(net, grid, 1);
+  GroundTruth truth = CaptureGroundTruth(net);
+  net.At(0)[0].key += 1000000;
+  std::string err;
+  EXPECT_FALSE(VerifySortedPlacement(net, grid, 1, truth, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(VerifyTest, LostPacketRejected) {
+  Topology topo(2, 4, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  Network net(topo);
+  FillSorted(net, grid, 1);
+  GroundTruth truth = CaptureGroundTruth(net);
+  net.At(5).clear();
+  EXPECT_FALSE(VerifySortedPlacement(net, grid, 1, truth, nullptr));
+}
+
+TEST(VerifyTest, MultiPacketWithinProcOrderIrrelevant) {
+  Topology topo(2, 4, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  Network net(topo);
+  FillSorted(net, grid, 3);
+  // Shuffle within one processor: still sorted (ranks are per-processor).
+  auto& q = net.At(grid.ProcAt(1, 2));
+  std::swap(q[0], q[2]);
+  EXPECT_TRUE(IsGloballySorted(net, grid, 3));
+}
+
+TEST(VerifyTest, WrongCountPerProcessorRejected) {
+  Topology topo(2, 4, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  Network net(topo);
+  FillSorted(net, grid, 2);
+  auto& q = net.At(grid.ProcAt(0, 0));
+  Packet extra = q[0];
+  net.At(grid.ProcAt(0, 1)).push_back(extra);
+  q.pop_back();
+  EXPECT_FALSE(IsGloballySorted(net, grid, 2));
+}
+
+TEST(VerifyTest, DuplicateKeysAcceptedWhenOrderedById) {
+  Topology topo(1, 8, Wrap::kMesh);
+  BlockGrid grid(topo, 2);
+  Network net(topo);
+  for (ProcId p = 0; p < 8; ++p) {
+    Packet pkt;
+    pkt.key = 7;  // all equal
+    pkt.id = p;
+    net.Add(p, pkt);
+  }
+  EXPECT_TRUE(IsGloballySorted(net, grid, 1));
+}
+
+TEST(VerifyTest, AllDelivered) {
+  Topology topo(2, 4, Wrap::kMesh);
+  Network net(topo);
+  Packet pkt;
+  pkt.dest = 3;
+  net.Add(3, pkt);
+  EXPECT_TRUE(VerifyAllDelivered(net));
+  net.Add(2, pkt);  // dest 3 but parked at 2
+  EXPECT_FALSE(VerifyAllDelivered(net));
+}
+
+}  // namespace
+}  // namespace mdmesh
