@@ -18,7 +18,7 @@
 namespace mdmesh {
 namespace {
 
-void PrintCenterSizeAblation() {
+void PrintCenterSizeAblation(BenchJson& json) {
   std::printf("== E6: center-region size sweep (Corollary 3.1.2 machinery, "
               "mesh d=2 n=64 g=4, m=16) ==\n");
   Table table({"center blocks", "load/proc", "region radius", "D", "routing",
@@ -30,6 +30,7 @@ void PrintCenterSizeAblation() {
     opts.center_blocks = mc;
     opts.seed = 11;
     SortRow row = RunSortExperiment(SortAlgo::kSimple, spec, opts);
+    json.Add(row);
     Topology topo = spec.Build();
     BlockGrid grid(topo, 4);
     CenterRegion region(grid, mc);
@@ -48,7 +49,7 @@ void PrintCenterSizeAblation() {
               "is large\n\n");
 }
 
-void PrintDerandomizationAblation() {
+void PrintDerandomizationAblation(BenchJson& json) {
   std::printf("== E18: deterministic unshuffle spread vs random intermediate "
               "destinations (Section 2.1) ==\n");
   Table table({"network", "algo", "spread", "routing", "ratio", "max_q",
@@ -72,6 +73,7 @@ void PrintDerandomizationAblation() {
       opts.seed = 13;
       opts.randomized_spread = randomized;
       SortRow row = RunSortExperiment(config.algo, config.spec, opts);
+      json.Add(row);
       table.Row()
           .Cell(config.spec.ToString())
           .Cell(SortAlgoName(config.algo))
@@ -197,10 +199,15 @@ BENCHMARK(BM_AblationCenter)->Arg(4)->Arg(8)->Iterations(1)->Unit(benchmark::kMi
 }  // namespace mdmesh
 
 int main(int argc, char** argv) {
-  mdmesh::PrintCenterSizeAblation();
-  mdmesh::PrintDerandomizationAblation();
-  mdmesh::PrintCostModelAblation();
-  mdmesh::PrintRemapAblation();
+  const mdmesh::OutputFlags flags = mdmesh::ParseOutputFlags(&argc, argv);
+  mdmesh::BenchJson json("ablation");
+  mdmesh::PrintCenterSizeAblation(json);
+  if (!flags.quick) {
+    mdmesh::PrintDerandomizationAblation(json);
+    mdmesh::PrintCostModelAblation();
+    mdmesh::PrintRemapAblation();
+  }
+  if (flags.WantsJson()) json.WriteFile(flags.json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

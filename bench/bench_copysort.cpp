@@ -16,19 +16,21 @@
 namespace mdmesh {
 namespace {
 
-void PrintReproductionTable() {
+void PrintReproductionTable(const OutputFlags& flags) {
   std::printf("== E7: CopySort (Theorem 3.2, claimed 1.25 D, d >= 8) vs "
               "SimpleSort (1.5 D) ==\n");
   struct Config {
     MeshSpec spec;
     int g;
   };
-  const std::vector<Config> configs = {
+  std::vector<Config> configs = {
       {{2, 64, Wrap::kMesh}, 4}, {{2, 128, Wrap::kMesh}, 8},
       {{3, 16, Wrap::kMesh}, 4}, {{3, 32, Wrap::kMesh}, 4},
       {{4, 16, Wrap::kMesh}, 4}, {{6, 4, Wrap::kMesh}, 2},
       {{8, 4, Wrap::kMesh}, 2},
   };
+  if (flags.quick) configs.resize(1);
+  BenchJson json("copy_sort");
   std::vector<SortRow> rows;
   for (const Config& config : configs) {
     for (SortAlgo algo : {SortAlgo::kCopy, SortAlgo::kSimple}) {
@@ -36,11 +38,14 @@ void PrintReproductionTable() {
       opts.g = config.g;
       opts.seed = 4242;
       rows.push_back(RunSortExperiment(algo, config.spec, opts));
+      json.Add(rows.back());
     }
   }
   MakeSortTable(rows).Print();
   std::printf("claim: CopySort's copy+delete halves the second routing "
               "phase: ratio -> 1.25 (vs SimpleSort's 1.5)\n\n");
+  if (flags.WantsJson()) json.WriteFile(flags.json);
+  if (flags.quick) return;
 
   // Lemma 3.3 audit: the survivor phase's realized max distance vs D/2.
   std::printf("== Lemma 3.3: survivor routing distance <= D/2 + O(b) ==\n");
@@ -95,7 +100,8 @@ BENCHMARK(BM_CopySort)
 }  // namespace mdmesh
 
 int main(int argc, char** argv) {
-  mdmesh::PrintReproductionTable();
+  const mdmesh::OutputFlags flags = mdmesh::ParseOutputFlags(&argc, argv);
+  mdmesh::PrintReproductionTable(flags);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

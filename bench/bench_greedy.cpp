@@ -20,7 +20,7 @@
 namespace mdmesh {
 namespace {
 
-void PrintReproductionTable() {
+void PrintReproductionTable(const OutputFlags& flags) {
   std::printf("== E1-E3: distance-optimality of extended greedy routing "
               "(Lemmas 2.1-2.3) ==\n");
   std::vector<GreedyRow> rows;
@@ -28,7 +28,7 @@ void PrintReproductionTable() {
     MeshSpec spec;
     std::vector<int> perm_counts;
   };
-  const std::vector<Sweep> sweeps = {
+  std::vector<Sweep> sweeps = {
       {{2, 32, Wrap::kMesh}, {1, 2, 4}},        // Lemma 2.2 regime is j<=1..2
       {{3, 16, Wrap::kMesh}, {1, 2, 3, 6}},     // floor(d/2)=1 .. beyond
       {{4, 8, Wrap::kMesh}, {1, 2, 4, 8}},      // floor(d/2)=2 .. beyond
@@ -36,15 +36,20 @@ void PrintReproductionTable() {
       {{3, 16, Wrap::kTorus}, {3, 6, 12}},      // 2d = 6
       {{4, 8, Wrap::kTorus}, {4, 8, 16}},       // 2d = 8
   };
+  if (flags.quick) sweeps = {{{2, 32, Wrap::kMesh}, {1, 2}}};
+  BenchJson json("greedy");
   for (const Sweep& sweep : sweeps) {
     for (int j : sweep.perm_counts) {
       rows.push_back(RunGreedyExperiment(sweep.spec, j, 42));
+      json.Add(rows.back());
     }
   }
   MakeGreedyTable(rows).Print();
   std::printf(
       "claim: overshoot/n stays O(1) for j <= 2d (torus) resp. floor(d/2) "
       "(mesh)\n\n");
+  if (flags.WantsJson()) json.WriteFile(flags.json);
+  if (flags.quick) return;
 
   // The deterministic stand-in: unshuffle permutations route like random
   // ones (Section 2.1's claim).
@@ -103,7 +108,8 @@ BENCHMARK(BM_GreedyPermutations)
 }  // namespace mdmesh
 
 int main(int argc, char** argv) {
-  mdmesh::PrintReproductionTable();
+  const mdmesh::OutputFlags flags = mdmesh::ParseOutputFlags(&argc, argv);
+  mdmesh::PrintReproductionTable(flags);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

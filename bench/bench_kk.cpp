@@ -18,18 +18,20 @@
 namespace mdmesh {
 namespace {
 
-void PrintReproductionTable() {
+void PrintReproductionTable(const OutputFlags& flags) {
   std::printf("== E5: k-k SimpleSort on meshes (Corollary 3.1.1) ==\n");
   struct Config {
     MeshSpec spec;
     int g;
     int k;
   };
-  const std::vector<Config> mesh_configs = {
+  std::vector<Config> mesh_configs = {
       {{2, 64, Wrap::kMesh}, 4, 1}, {{2, 64, Wrap::kMesh}, 4, 2},
       {{3, 16, Wrap::kMesh}, 4, 1}, {{3, 16, Wrap::kMesh}, 4, 2},
       {{4, 8, Wrap::kMesh}, 2, 1},  {{4, 8, Wrap::kMesh}, 2, 2},
   };
+  if (flags.quick) mesh_configs.resize(2);
+  BenchJson json("kk_sort");
   Table mesh_table({"network", "k", "D", "routing", "ratio", "claimed",
                     "max_q", "sorted"});
   for (const Config& config : mesh_configs) {
@@ -38,6 +40,7 @@ void PrintReproductionTable() {
     opts.k = config.k;
     opts.seed = 31337;
     SortRow row = RunSortExperiment(SortAlgo::kSimple, config.spec, opts);
+    json.Add(row);
     mesh_table.Row()
         .Cell(config.spec.ToString())
         .Cell(static_cast<std::int64_t>(config.k))
@@ -49,6 +52,10 @@ void PrintReproductionTable() {
         .Cell(row.result.sorted ? "yes" : "NO");
   }
   mesh_table.Print();
+  if (flags.quick) {
+    if (flags.WantsJson()) json.WriteFile(flags.json);
+    return;
+  }
   std::printf("\n== E9: d-d TorusSort (Corollary 3.3.1, k = d) ==\n");
   const std::vector<Config> torus_configs = {
       {{2, 32, Wrap::kTorus}, 4, 2},
@@ -64,6 +71,7 @@ void PrintReproductionTable() {
     opts.k = config.k;
     opts.seed = 31337;
     SortRow row = RunSortExperiment(SortAlgo::kTorus, config.spec, opts);
+    json.Add(row);
     torus_table.Row()
         .Cell(config.spec.ToString())
         .Cell(static_cast<std::int64_t>(config.k))
@@ -102,6 +110,7 @@ void PrintReproductionTable() {
   cross.Print();
   std::printf("claim: the crossover k grows with d — small-k sorting is "
               "diameter-bound, matching Corollary 3.1.1's k <= d/4 regime\n\n");
+  if (flags.WantsJson()) json.WriteFile(flags.json);
 }
 
 void BM_KkSort(benchmark::State& state) {
@@ -135,7 +144,8 @@ BENCHMARK(BM_KkSort)
 }  // namespace mdmesh
 
 int main(int argc, char** argv) {
-  mdmesh::PrintReproductionTable();
+  const mdmesh::OutputFlags flags = mdmesh::ParseOutputFlags(&argc, argv);
+  mdmesh::PrintReproductionTable(flags);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

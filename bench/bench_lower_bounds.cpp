@@ -10,12 +10,53 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <sstream>
 #include <vector>
 
 #include "core/mdmesh.h"
 
 namespace mdmesh {
 namespace {
+
+// The lower-bound tables are analytic (no simulation), so the JSON records
+// carry the evaluated quantities directly instead of the routing schema.
+void WriteJsonRecords(const OutputFlags& flags) {
+  if (!flags.WantsJson()) return;
+  BenchJson json("lower_bounds");
+  for (int d : {2, 4, 8, 16, 32}) {
+    for (double gamma : {0.2, 0.5, 0.8}) {
+      std::ostringstream os;
+      JsonWriter w(os);
+      w.BeginObject();
+      w.Key("experiment").String("lower_bounds");
+      w.Key("lemma").String("4.1");
+      w.Key("d").Int(d);
+      w.Key("n").Int(33);
+      w.Key("gamma").Double(gamma);
+      w.Key("volume_exact").Double(ExactVolumeNormalized(d, 33, gamma));
+      w.Key("volume_bound").Double(Lemma41VolumeBoundNormalized(d, gamma));
+      w.Key("surface_exact").Double(ExactSurfaceNormalized(d, 33, gamma));
+      w.Key("surface_bound").Double(Lemma41SurfaceBoundNormalized(d, gamma));
+      w.Key("holds").Bool(CheckLemma41(d, 33, gamma));
+      w.EndObject();
+      json.AddRaw(os.str());
+    }
+  }
+  for (double eps : {0.05, 0.1, 0.2, 0.3}) {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.BeginObject();
+    w.Key("experiment").String("lower_bounds");
+    w.Key("theorem").String("4.3/4.4");
+    w.Key("eps").Double(eps);
+    w.Key("mesh_coeff").Double(CopyMeshCoefficient(eps));
+    w.Key("torus_coeff").Double(CopyTorusCoefficient(eps));
+    w.Key("d0").Int(FindD0Copying(eps, 0.01, 33));
+    w.EndObject();
+    json.AddRaw(os.str());
+  }
+  json.WriteFile(flags.json);
+}
 
 void PrintLemma41Table() {
   std::printf("== E10: Lemma 4.1 — exact diamond counts vs analytic bounds "
@@ -195,11 +236,15 @@ BENCHMARK(BM_Lemma42Eval)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond);
 }  // namespace mdmesh
 
 int main(int argc, char** argv) {
+  const mdmesh::OutputFlags flags = mdmesh::ParseOutputFlags(&argc, argv);
   mdmesh::PrintLemma41Table();
-  mdmesh::PrintLemma42Table();
-  mdmesh::PrintTheorem42Table();
-  mdmesh::PrintCopyingTable();
-  mdmesh::PrintCompatibilityTable();
+  if (!flags.quick) {
+    mdmesh::PrintLemma42Table();
+    mdmesh::PrintTheorem42Table();
+    mdmesh::PrintCopyingTable();
+    mdmesh::PrintCompatibilityTable();
+  }
+  mdmesh::WriteJsonRecords(flags);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

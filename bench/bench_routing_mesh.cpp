@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 #include <vector>
 
 #include "core/mdmesh.h"
@@ -16,18 +17,20 @@
 namespace mdmesh {
 namespace {
 
-void PrintReproductionTable() {
+void PrintReproductionTable(const OutputFlags& flags) {
   std::printf("== E14: two-phase permutation routing on meshes (Theorem 5.1, "
               "claimed <= D + n + o(n)) ==\n");
   struct Config {
     MeshSpec spec;
     int g;
   };
-  const std::vector<Config> configs = {
+  std::vector<Config> configs = {
       {{2, 32, Wrap::kMesh}, 4}, {{2, 64, Wrap::kMesh}, 4},
       {{2, 128, Wrap::kMesh}, 8}, {{3, 16, Wrap::kMesh}, 4},
       {{3, 32, Wrap::kMesh}, 4}, {{4, 8, Wrap::kMesh}, 2},
   };
+  if (flags.quick) configs.resize(1);
+  BenchJson json("two_phase_mesh");
   std::vector<RoutingRow> rows;
   for (const Config& config : configs) {
     for (const char* perm : {"random", "reversal", "transpose"}) {
@@ -35,6 +38,7 @@ void PrintReproductionTable() {
       opts.g = config.g;
       opts.seed = 99;
       rows.push_back(RunRoutingExperiment(config.spec, perm, opts));
+      json.Add(rows.back());
     }
   }
   MakeRoutingTable(rows).Print();
@@ -47,6 +51,33 @@ void PrintReproductionTable() {
                 config.spec.ToString().c_str(), claimed);
   }
   std::printf("\n");
+
+  if (flags.WantsTrace()) {
+    // Per-step congestion trace of the transpose worst case (the funnel the
+    // two-phase router exists to avoid), viewable with examples/trace_viewer.
+    const MeshSpec spec = configs.front().spec;
+    Topology topo = spec.Build();
+    std::vector<ProcId> dest = TransposePermutation(topo);
+    CongestionTrace trace;
+    TwoPhaseOptions opts;
+    opts.g = configs.front().g;
+    opts.seed = 99;
+    opts.engine.probe = &trace;
+    RouteTwoPhase(topo, dest, opts);
+    std::ofstream csv(flags.trace_csv);
+    if (csv) {
+      trace.WriteCsv(csv);
+      std::fprintf(stderr, "wrote %zu trace sample(s) to %s\n",
+                   trace.samples().size(), flags.trace_csv.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s\n", flags.trace_csv.c_str());
+    }
+  }
+
+  if (flags.quick) {
+    if (flags.WantsJson()) json.WriteFile(flags.json);
+    return;
+  }
 
   // The paper's Section 6 open question: "one might try to overlap the two
   // routing phases". Measured answer: overlapping (packets retarget at
@@ -81,6 +112,7 @@ void PrintReproductionTable() {
   std::printf("finding: overlapping achieves D exactly on reversal and cuts "
               "0.05-0.55 D elsewhere — evidence toward the conjectured "
               "D + o(n) routing\n\n");
+  if (flags.WantsJson()) json.WriteFile(flags.json);
 }
 
 void BM_TwoPhaseMesh(benchmark::State& state) {
@@ -112,7 +144,8 @@ BENCHMARK(BM_TwoPhaseMesh)
 }  // namespace mdmesh
 
 int main(int argc, char** argv) {
-  mdmesh::PrintReproductionTable();
+  const mdmesh::OutputFlags flags = mdmesh::ParseOutputFlags(&argc, argv);
+  mdmesh::PrintReproductionTable(flags);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

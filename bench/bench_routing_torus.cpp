@@ -12,18 +12,20 @@
 namespace mdmesh {
 namespace {
 
-void PrintReproductionTable() {
+void PrintReproductionTable(const OutputFlags& flags) {
   std::printf("== E15: two-phase routing on tori (Theorem 5.2, claimed "
               "<= D + n/8 + o(n)) ==\n");
   struct Config {
     MeshSpec spec;
     int g;
   };
-  const std::vector<Config> configs = {
+  std::vector<Config> configs = {
       {{2, 32, Wrap::kTorus}, 4}, {{2, 64, Wrap::kTorus}, 4},
       {{2, 128, Wrap::kTorus}, 8}, {{3, 16, Wrap::kTorus}, 4},
       {{3, 32, Wrap::kTorus}, 4}, {{4, 8, Wrap::kTorus}, 2},
   };
+  if (flags.quick) configs.resize(1);
+  BenchJson json("two_phase_torus");
   std::vector<RoutingRow> rows;
   for (const Config& config : configs) {
     for (const char* perm : {"random", "reversal", "transpose"}) {
@@ -31,10 +33,16 @@ void PrintReproductionTable() {
       opts.g = config.g;
       opts.seed = 55;
       rows.push_back(RunRoutingExperiment(config.spec, perm, opts));
+      json.Add(rows.back());
     }
   }
   MakeRoutingTable(rows).Print();
   std::printf("claim: 2phase/D <= (D + n/8)/D + o(1) on every permutation\n\n");
+
+  if (flags.quick) {
+    if (flags.WantsJson()) json.WriteFile(flags.json);
+    return;
+  }
 
   // Section 6 open question, torus edition: overlapped phases.
   std::printf("== overlapped vs sequential phases (tori) ==\n");
@@ -96,6 +104,7 @@ void PrintReproductionTable() {
   table.Print();
   std::printf("claim: the feasible nu/n shrinks with d (routing time -> "
               "D + eps*n)\n\n");
+  if (flags.WantsJson()) json.WriteFile(flags.json);
 }
 
 void BM_TwoPhaseTorus(benchmark::State& state) {
@@ -123,7 +132,8 @@ BENCHMARK(BM_TwoPhaseTorus)
 }  // namespace mdmesh
 
 int main(int argc, char** argv) {
-  mdmesh::PrintReproductionTable();
+  const mdmesh::OutputFlags flags = mdmesh::ParseOutputFlags(&argc, argv);
+  mdmesh::PrintReproductionTable(flags);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

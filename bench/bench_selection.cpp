@@ -18,7 +18,7 @@
 namespace mdmesh {
 namespace {
 
-void PrintReproductionTable() {
+void PrintReproductionTable(const OutputFlags& flags) {
   std::printf("== E13a: median selection upper bound (Section 4.3, claimed "
               "~1.0 D) ==\n");
   struct Config {
@@ -27,21 +27,28 @@ void PrintReproductionTable() {
   };
   // The candidate window spans (m+2)*mc ranks, so the block grid must stay
   // coarse relative to N (margin << N*k) — at d >= 3 that means g = 2.
-  const std::vector<Config> configs = {
+  std::vector<Config> configs = {
       {{2, 32, Wrap::kMesh}, 4}, {{2, 64, Wrap::kMesh}, 4},
       {{2, 128, Wrap::kMesh}, 8}, {{3, 16, Wrap::kMesh}, 2},
       {{3, 32, Wrap::kMesh}, 2}, {{4, 16, Wrap::kMesh}, 2},
   };
+  if (flags.quick) configs.resize(1);
+  BenchJson json("selection");
   std::vector<SelectRow> rows;
   for (const Config& config : configs) {
     SortOptions opts;
     opts.g = config.g;
     opts.seed = 2718;
     rows.push_back(RunSelectionExperiment(config.spec, opts));
+    json.Add(rows.back());
   }
   MakeSelectionTable(rows).Print();
   std::printf("claim: routing <= D + o(n); every run returns the exact "
               "median\n\n");
+  if (flags.quick) {
+    if (flags.WantsJson()) json.WriteFile(flags.json);
+    return;
+  }
 
   // Torus variant (Section 4.3: (1 + eps) D achievable for large d against
   // the trivial radius bound of D). The same concentrate-and-collect
@@ -62,6 +69,7 @@ void PrintReproductionTable() {
     opts.g = config.g;
     opts.seed = 2718;
     torus_rows.push_back(RunSelectionExperiment(config.spec, opts));
+    json.Add(torus_rows.back());
   }
   MakeSelectionTable(torus_rows).Print();
   std::printf("\n");
@@ -106,6 +114,7 @@ void PrintReproductionTable() {
   lb.Print();
   std::printf("claim: selection needs (9/16 - eps) D steps for d >= d0(eps) "
               "— strictly above the trivial D/2 radius bound for eps < 1/16\n\n");
+  if (flags.WantsJson()) json.WriteFile(flags.json);
 }
 
 void BM_Selection(benchmark::State& state) {
@@ -134,7 +143,8 @@ BENCHMARK(BM_Selection)
 }  // namespace mdmesh
 
 int main(int argc, char** argv) {
-  mdmesh::PrintReproductionTable();
+  const mdmesh::OutputFlags flags = mdmesh::ParseOutputFlags(&argc, argv);
+  mdmesh::PrintReproductionTable(flags);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -16,19 +16,21 @@
 namespace mdmesh {
 namespace {
 
-void PrintReproductionTable() {
+void PrintReproductionTable(const OutputFlags& flags) {
   std::printf("== E4: SimpleSort (Theorem 3.1, claimed 1.5 D) vs FullSort "
               "baseline (~2 D) ==\n");
   struct Config {
     MeshSpec spec;
     int g;
   };
-  const std::vector<Config> configs = {
+  std::vector<Config> configs = {
       {{2, 32, Wrap::kMesh}, 4},  {{2, 64, Wrap::kMesh}, 4},
       {{2, 128, Wrap::kMesh}, 8}, {{3, 16, Wrap::kMesh}, 4},
       {{3, 32, Wrap::kMesh}, 4},  {{4, 8, Wrap::kMesh}, 2},
       {{4, 16, Wrap::kMesh}, 4},
   };
+  if (flags.quick) configs.resize(1);
+  BenchJson json("simple_sort");
   std::vector<SortRow> rows;
   for (const Config& config : configs) {
     for (SortAlgo algo : {SortAlgo::kSimple, SortAlgo::kFull}) {
@@ -36,11 +38,14 @@ void PrintReproductionTable() {
       opts.g = config.g;
       opts.seed = 12345;
       rows.push_back(RunSortExperiment(algo, config.spec, opts));
+      json.Add(rows.back());
     }
   }
   MakeSortTable(rows).Print();
   std::printf("claim: ratio(SimpleSort) -> 1.5, ratio(FullSort) -> 2.0; "
               "SimpleSort wins at every scale with b << n\n\n");
+  if (flags.WantsJson()) json.WriteFile(flags.json);
+  if (flags.quick) return;
 
   // The classical pre-mesh-algorithms baseline for perspective: odd-even
   // transposition over the global snake is Theta(N) = Theta(n^d) steps.
@@ -90,7 +95,8 @@ BENCHMARK(BM_SimpleSort)
 }  // namespace mdmesh
 
 int main(int argc, char** argv) {
-  mdmesh::PrintReproductionTable();
+  const mdmesh::OutputFlags flags = mdmesh::ParseOutputFlags(&argc, argv);
+  mdmesh::PrintReproductionTable(flags);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

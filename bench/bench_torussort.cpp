@@ -15,19 +15,21 @@
 namespace mdmesh {
 namespace {
 
-void PrintReproductionTable() {
+void PrintReproductionTable(const OutputFlags& flags) {
   std::printf("== E8: TorusSort (Theorem 3.3, claimed 1.5 D) vs FullSort "
               "baseline (~2 D) on tori ==\n");
   struct Config {
     MeshSpec spec;
     int g;
   };
-  const std::vector<Config> configs = {
+  std::vector<Config> configs = {
       {{2, 32, Wrap::kTorus}, 4},  {{2, 64, Wrap::kTorus}, 4},
       {{2, 128, Wrap::kTorus}, 8}, {{3, 16, Wrap::kTorus}, 4},
       {{3, 32, Wrap::kTorus}, 4},  {{4, 8, Wrap::kTorus}, 2},
       {{4, 16, Wrap::kTorus}, 4},
   };
+  if (flags.quick) configs.resize(1);
+  BenchJson json("torus_sort");
   std::vector<SortRow> rows;
   for (const Config& config : configs) {
     for (SortAlgo algo : {SortAlgo::kTorus, SortAlgo::kFull}) {
@@ -35,11 +37,14 @@ void PrintReproductionTable() {
       opts.g = config.g;
       opts.seed = 777;
       rows.push_back(RunSortExperiment(algo, config.spec, opts));
+      json.Add(rows.back());
     }
   }
   MakeSortTable(rows).Print();
   std::printf("claim: ratio(TorusSort) -> 1.5 on tori; previous best was "
               "2D - n + o(n)\n\n");
+  if (flags.WantsJson()) json.WriteFile(flags.json);
+  if (flags.quick) return;
 
   std::printf("== Lemma 3.4: survivor distance <= D/2 + O(b) "
               "(exact for the antipodal copy) ==\n");
@@ -94,7 +99,8 @@ BENCHMARK(BM_TorusSort)
 }  // namespace mdmesh
 
 int main(int argc, char** argv) {
-  mdmesh::PrintReproductionTable();
+  const mdmesh::OutputFlags flags = mdmesh::ParseOutputFlags(&argc, argv);
+  mdmesh::PrintReproductionTable(flags);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

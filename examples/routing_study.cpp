@@ -4,7 +4,9 @@
 //   $ ./routing_study --perm=transpose --d=2 --n=64
 //   $ ./routing_study --perm=random --d=3 --n=16 --torus
 //   $ ./routing_study --perm=reversal --d=2 --n=128 --g=8 --randomized
+//   $ ./routing_study --perm=transpose --trace --json=run.json --trace-csv=run.csv
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -47,7 +49,10 @@ int main(int argc, char** argv) {
   cli.AddBool("overlap", false, "overlap the two phases (Sec. 6 open question)");
   cli.AddInt("nu32", -1, "midpoint slack nu in n/32 units (-1 = paper default)");
   cli.AddInt("seed", 1, "rng seed");
+  cli.AddBool("trace", false, "print the phase-span tree after the run");
+  AddOutputFlags(cli);
   if (!cli.Parse(argc, argv)) return 2;
+  const OutputFlags out = GetOutputFlags(cli);
 
   MeshSpec spec{static_cast<int>(cli.GetInt("d")),
                 static_cast<int>(cli.GetInt("n")),
@@ -64,6 +69,10 @@ int main(int argc, char** argv) {
   opts.engine.observer = [&](std::int64_t, std::int64_t in_flight, std::int64_t) {
     in_flight_series.push_back(in_flight);
   };
+  TraceContext trace_ctx;
+  opts.trace = &trace_ctx;
+  CongestionTrace congestion;
+  if (out.WantsTrace()) opts.engine.probe = &congestion;
 
   RoutingRow row = RunRoutingExperiment(spec, cli.GetString("perm"), opts);
   const auto D = static_cast<double>(row.diameter);
@@ -89,5 +98,23 @@ int main(int argc, char** argv) {
               static_cast<long long>(row.baseline.route.max_queue));
   std::printf("in-flight packets over time (both phases):\n  [%s]\n",
               Sparkline(in_flight_series, 64).c_str());
+  if (cli.GetBool("trace")) {
+    std::printf("\nphase spans:\n%s", trace_ctx.RenderTree(row.diameter).c_str());
+  }
+  if (out.WantsJson()) {
+    BenchJson json("routing_study");
+    json.Add(row);
+    json.WriteFile(out.json);
+  }
+  if (out.WantsTrace()) {
+    std::ofstream csv(out.trace_csv);
+    if (!csv) {
+      std::fprintf(stderr, "cannot open %s\n", out.trace_csv.c_str());
+      return 2;
+    }
+    congestion.WriteCsv(csv);
+    std::fprintf(stderr, "wrote %zu trace sample(s) to %s\n",
+                 congestion.samples().size(), out.trace_csv.c_str());
+  }
   return row.two_phase.delivered ? 0 : 1;
 }

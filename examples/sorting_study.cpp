@@ -4,7 +4,9 @@
 //   $ ./sorting_study --algo=simple --d=3 --n=16 --g=2
 //   $ ./sorting_study --algo=copy --d=2 --n=64 --g=4 --input=desc
 //   $ ./sorting_study --algo=torus --torus --d=2 --n=32 --k=2
+//   $ ./sorting_study --algo=simple --trace --json=run.json --trace-csv=run.csv
 #include <cstdio>
+#include <fstream>
 #include <stdexcept>
 
 #include "core/mdmesh.h"
@@ -37,7 +39,10 @@ int main(int argc, char** argv) {
   cli.AddString("input", "random", "random | asc | desc | equal | few");
   cli.AddString("cost", "oracle", "local-sort cost model: oracle | linear | measured");
   cli.AddInt("seed", 1, "rng seed");
+  cli.AddBool("trace", false, "print the phase-span tree after the run");
+  AddOutputFlags(cli);
   if (!cli.Parse(argc, argv)) return 2;
+  const OutputFlags out = GetOutputFlags(cli);
 
   MeshSpec spec{static_cast<int>(cli.GetInt("d")),
                 static_cast<int>(cli.GetInt("n")),
@@ -50,6 +55,11 @@ int main(int argc, char** argv) {
   opts.cost = cost == "linear"     ? LocalCostModel::kLinear
               : cost == "measured" ? LocalCostModel::kMeasured
                                    : LocalCostModel::kOracle;
+
+  TraceContext trace_ctx;
+  opts.trace = &trace_ctx;
+  CongestionTrace congestion;
+  if (out.WantsTrace()) opts.engine.probe = &congestion;
 
   SortAlgo algo = ParseSortAlgo(cli.GetString("algo"));
   SortRow row =
@@ -71,5 +81,23 @@ int main(int argc, char** argv) {
   std::printf("total: %s\n", row.result.Summary(row.diameter).c_str());
   std::printf("routing/D = %.3f (claimed %.2f + o(n)/D)\n", row.ratio,
               row.claimed);
+  if (cli.GetBool("trace")) {
+    std::printf("\nphase spans:\n%s", trace_ctx.RenderTree(row.diameter).c_str());
+  }
+  if (out.WantsJson()) {
+    BenchJson json("sorting_study");
+    json.Add(row);
+    json.WriteFile(out.json);
+  }
+  if (out.WantsTrace()) {
+    std::ofstream csv(out.trace_csv);
+    if (!csv) {
+      std::fprintf(stderr, "cannot open %s\n", out.trace_csv.c_str());
+      return 2;
+    }
+    congestion.WriteCsv(csv);
+    std::fprintf(stderr, "wrote %zu trace sample(s) to %s\n",
+                 congestion.samples().size(), out.trace_csv.c_str());
+  }
   return row.result.sorted ? 0 : 1;
 }

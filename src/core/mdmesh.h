@@ -12,6 +12,12 @@
 #include "meshsim/indexing.h"
 #include "meshsim/topology.h"
 
+// Observability: phase-span traces, per-step probes, JSON/CSV sinks.
+#include "obs/json.h"
+#include "obs/output.h"
+#include "obs/probe.h"
+#include "obs/trace.h"
+
 // Simulation kernel.
 #include "net/engine.h"
 #include "net/metrics.h"

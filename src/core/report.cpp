@@ -1,6 +1,48 @@
 #include "core/report.h"
 
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
 namespace mdmesh {
+namespace {
+
+void WriteSpec(JsonWriter& w, const MeshSpec& spec) {
+  w.Key("spec").BeginObject();
+  w.Key("d").Int(spec.d);
+  w.Key("n").Int(spec.n);
+  w.Key("wrap").String(spec.wrap == Wrap::kTorus ? "torus" : "mesh");
+  w.EndObject();
+}
+
+void WritePhase(JsonWriter& w, const PhaseStats& p) {
+  w.BeginObject();
+  w.Key("name").String(p.name);
+  w.Key("steps").Int(p.routing_steps);
+  w.Key("local_steps").Int(p.local_steps);
+  w.Key("moves").Int(p.moves);
+  w.Key("max_queue").Int(p.max_queue);
+  w.Key("max_overshoot").Int(p.max_overshoot);
+  w.Key("wall_ms").Double(p.wall_ms);
+  w.Key("completed").Bool(p.completed);
+  w.EndObject();
+}
+
+void WriteRoutePhase(JsonWriter& w, const char* name, const RouteResult& r) {
+  w.BeginObject();
+  w.Key("name").String(name);
+  w.Key("steps").Int(r.steps);
+  w.Key("local_steps").Int(0);
+  w.Key("moves").Int(r.moves);
+  w.Key("max_queue").Int(r.max_queue);
+  w.Key("max_overshoot").Int(r.max_overshoot);
+  w.Key("link_utilization").Double(r.LinkUtilization());
+  w.Key("completed").Bool(r.completed);
+  w.EndObject();
+}
+
+}  // namespace
 
 Table MakeSortTable(const std::vector<SortRow>& rows) {
   Table table({"network", "algo", "D", "routing", "ratio", "claimed", "local",
@@ -74,6 +116,145 @@ Table MakeRoutingTable(const std::vector<RoutingRow>& rows) {
         .Cell(row.two_phase.delivered ? "yes" : "NO");
   }
   return table;
+}
+
+BenchJson::BenchJson(std::string experiment)
+    : experiment_(std::move(experiment)) {}
+
+void BenchJson::Add(const RoutingRow& row) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("experiment").String(experiment_);
+  WriteSpec(w, row.spec);
+  w.Key("perm").String(row.perm_name);
+  w.Key("seed").UInt(row.seed);
+  w.Key("steps").Int(row.two_phase.total_steps);
+  w.Key("D").Int(row.diameter);
+  w.Key("ratio").Double(row.two_phase.steps_over_diameter(row.diameter));
+  w.Key("phases").BeginArray();
+  WriteRoutePhase(w, "phase_a_route", row.two_phase.phase1);
+  if (row.two_phase.phase2.packets > 0) {
+    WriteRoutePhase(w, "phase_b_route", row.two_phase.phase2);
+  }
+  w.EndArray();
+  w.Key("wall_ms").Double(row.wall_ms);
+  w.Key("max_queue").Int(row.two_phase.max_queue);
+  w.Key("min_s_size").Int(row.two_phase.min_s_size);
+  w.Key("nu_used").Double(row.two_phase.nu_used);
+  w.Key("offline_lb").Int(row.offline.bound());
+  w.Key("greedy_steps").Int(row.baseline.route.steps);
+  w.Key("greedy_ratio").Double(row.baseline.steps_over_diameter());
+  w.Key("delivered").Bool(row.two_phase.delivered);
+  w.EndObject();
+  records_.push_back(os.str());
+}
+
+void BenchJson::Add(const SortRow& row) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("experiment").String(experiment_);
+  WriteSpec(w, row.spec);
+  w.Key("algo").String(SortAlgoName(row.algo));
+  w.Key("seed").UInt(row.seed);
+  w.Key("steps").Int(row.result.routing_steps);
+  w.Key("D").Int(row.diameter);
+  w.Key("ratio").Double(row.ratio);
+  w.Key("claimed").Double(row.claimed);
+  w.Key("phases").BeginArray();
+  for (const PhaseStats& p : row.result.phases) WritePhase(w, p);
+  w.EndArray();
+  w.Key("wall_ms").Double(row.wall_ms);
+  w.Key("local_steps").Int(row.result.local_steps);
+  w.Key("total_steps").Int(row.result.total_steps);
+  w.Key("max_queue").Int(row.result.max_queue);
+  w.Key("fixup_rounds").Int(row.result.fixup_rounds);
+  w.Key("sorted").Bool(row.result.sorted);
+  w.EndObject();
+  records_.push_back(os.str());
+}
+
+void BenchJson::Add(const GreedyRow& row) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("experiment").String(experiment_);
+  WriteSpec(w, row.spec);
+  w.Key("perm").String("random");
+  w.Key("num_perms").Int(row.num_perms);
+  w.Key("seed").UInt(row.seed);
+  w.Key("steps").Int(row.run.route.steps);
+  w.Key("D").Int(row.run.diameter);
+  w.Key("ratio").Double(row.run.steps_over_diameter());
+  w.Key("phases").BeginArray();
+  WriteRoutePhase(w, "greedy_route", row.run.route);
+  w.EndArray();
+  w.Key("wall_ms").Double(row.wall_ms);
+  w.Key("max_distance").Int(row.run.route.max_distance);
+  w.Key("max_overshoot").Int(row.run.route.max_overshoot);
+  w.Key("overshoot_over_n").Double(row.run.overshoot_over_n(row.spec.n));
+  w.Key("max_queue").Int(row.run.route.max_queue);
+  w.EndObject();
+  records_.push_back(os.str());
+}
+
+void BenchJson::Add(const SelectRow& row) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("experiment").String(experiment_);
+  WriteSpec(w, row.spec);
+  w.Key("seed").UInt(row.seed);
+  w.Key("steps").Int(row.result.routing_steps);
+  w.Key("D").Int(row.diameter);
+  w.Key("ratio").Double(row.ratio);
+  w.Key("phases").BeginArray().EndArray();
+  w.Key("wall_ms").Double(row.wall_ms);
+  w.Key("local_steps").Int(row.result.local_steps);
+  w.Key("candidates").Int(row.result.candidates);
+  w.Key("margin").Int(row.result.margin);
+  w.Key("max_queue").Int(row.result.max_queue);
+  w.Key("correct").Bool(row.correct);
+  w.EndObject();
+  records_.push_back(os.str());
+}
+
+void BenchJson::AddRaw(std::string json_object) {
+  records_.push_back(std::move(json_object));
+}
+
+void BenchJson::Write(std::ostream& os, bool jsonl) const {
+  if (jsonl) {
+    for (const std::string& rec : records_) os << rec << '\n';
+    return;
+  }
+  os << "[\n";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    os << "  " << records_[i];
+    if (i + 1 < records_.size()) os << ',';
+    os << '\n';
+  }
+  os << "]\n";
+}
+
+bool BenchJson::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "BenchJson: cannot open " << path << " for writing\n";
+    return false;
+  }
+  const bool jsonl =
+      path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0;
+  Write(out, jsonl);
+  out.flush();
+  if (!out) {
+    std::cerr << "BenchJson: error writing " << path << '\n';
+    return false;
+  }
+  std::cerr << "BenchJson: wrote " << records_.size() << " record(s) to "
+            << path << '\n';
+  return true;
 }
 
 }  // namespace mdmesh

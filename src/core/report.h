@@ -1,10 +1,15 @@
 // Table rendering for the reproduction experiments: every bench prints the
 // same row shapes, so EXPERIMENTS.md can quote bench output verbatim.
+// BenchJson is the machine-readable twin: the same rows serialized as JSON
+// records for the BENCH_*.json perf trajectory and downstream tooling.
 #pragma once
 
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "core/runner.h"
+#include "obs/json.h"
 #include "util/table.h"
 
 namespace mdmesh {
@@ -23,5 +28,39 @@ Table MakeSelectionTable(const std::vector<SelectRow>& rows);
 /// Columns: network, perm, D, offline LB, 2phase steps, (D+x)/D, baseline
 /// steps, baseline/D, min|S|, delivered.
 Table MakeRoutingTable(const std::vector<RoutingRow>& rows);
+
+/// Machine-readable bench output: collects one JSON record per experiment
+/// row and writes them as a JSON array (or JSON Lines when the path ends in
+/// ".jsonl"). Every record shares the base schema
+///   {experiment, spec: {d, n, wrap}, seed, steps, D, ratio,
+///    phases: [{name, steps, local_steps, moves, max_queue, wall_ms}, ...],
+///    wall_ms}
+/// plus per-row extras (perm/algo, lower bounds, verification flags).
+class BenchJson {
+ public:
+  explicit BenchJson(std::string experiment);
+
+  void Add(const RoutingRow& row);
+  void Add(const SortRow& row);
+  void Add(const GreedyRow& row);
+  void Add(const SelectRow& row);
+  /// Appends an already-serialized JSON object (escape hatch for benches
+  /// with bespoke records, e.g. engine throughput or lower-bound tables).
+  void AddRaw(std::string json_object);
+
+  std::size_t size() const { return records_.size(); }
+  const std::string& experiment() const { return experiment_; }
+
+  /// Writes all records to `os`. JSONL emits one object per line; otherwise
+  /// a pretty-printed JSON array.
+  void Write(std::ostream& os, bool jsonl) const;
+  /// Writes to `path` (JSONL iff it ends in ".jsonl"). Returns false and
+  /// reports to stderr if the file cannot be written.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::string experiment_;
+  std::vector<std::string> records_;  ///< serialized JSON objects
+};
 
 }  // namespace mdmesh

@@ -1,11 +1,21 @@
 #include "core/runner.h"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "routing/permutations.h"
 #include "util/rng.h"
 
 namespace mdmesh {
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 double ClaimedCoefficient(SortAlgo algo, Wrap wrap) {
   const bool torus = wrap == Wrap::kTorus;
@@ -55,7 +65,10 @@ SortRow RunSortExperiment(SortAlgo algo, const MeshSpec& spec,
   FillInput(net, grid, opts.k, input, opts.seed);
   SortOptions effective = opts;
   effective.g = grid.blocks_per_side();
+  row.seed = opts.seed;
+  const auto t0 = std::chrono::steady_clock::now();
   row.result = RunSort(algo, net, grid, effective);
+  row.wall_ms = MsSince(t0);
   row.ratio = row.result.RatioToDiameter(row.diameter);
   return row;
 }
@@ -68,7 +81,10 @@ GreedyRow RunGreedyExperiment(const MeshSpec& spec, int j, std::uint64_t seed) {
   GreedyOptions opts;
   opts.seed = seed;
   opts.class_mode = ClassMode::kByPermutation;
+  row.seed = seed;
+  const auto t0 = std::chrono::steady_clock::now();
   row.run = RouteRandomPermutations(topo, j, opts);
+  row.wall_ms = MsSince(t0);
   return row;
 }
 
@@ -86,7 +102,10 @@ SelectRow RunSelectionExperiment(const MeshSpec& spec, const SortOptions& opts) 
   GroundTruth truth = CaptureGroundTruth(net);
   const std::int64_t target = (static_cast<std::int64_t>(truth.size()) - 1) / 2;
 
+  row.seed = opts.seed;
+  const auto t0 = std::chrono::steady_clock::now();
   row.result = SelectAtCenter(net, grid, opts, target);
+  row.wall_ms = MsSince(t0);
   row.correct = row.result.found &&
                 row.result.selected_key ==
                     truth[static_cast<std::size_t>(target)].first;
@@ -115,7 +134,10 @@ RoutingRow RunRoutingExperiment(const MeshSpec& spec, const std::string& perm,
   }
 
   row.offline = ComputeOfflineBound(topo, dest);
+  row.seed = opts.seed;
+  const auto t0 = std::chrono::steady_clock::now();
   row.two_phase = RouteTwoPhase(topo, dest, opts);
+  row.wall_ms = MsSince(t0);
 
   GreedyOptions base;
   base.seed = opts.seed;

@@ -23,6 +23,8 @@ struct SortRow {
   SortResult result;
   double ratio = 0.0;    ///< routing steps / D
   double claimed = 0.0;  ///< the theorem's coefficient for this algo/topology
+  double wall_ms = 0.0;  ///< wall-clock for the sort itself (setup excluded)
+  std::uint64_t seed = 0;
 };
 
 /// The leading-term coefficient the paper claims for `algo` on `wrap`.
@@ -37,6 +39,8 @@ struct GreedyRow {
   MeshSpec spec;
   int num_perms = 0;
   GreedyRun run;
+  double wall_ms = 0.0;
+  std::uint64_t seed = 0;
 };
 
 /// Routes j simultaneous random permutations with the extended greedy
@@ -49,6 +53,8 @@ struct SelectRow {
   SelectResult result;
   bool correct = false;  ///< selected key matches ground truth
   double ratio = 0.0;    ///< routing steps / D (claimed: 1.0)
+  double wall_ms = 0.0;
+  std::uint64_t seed = 0;
 };
 
 /// Median selection experiment with ground-truth verification.
@@ -61,6 +67,8 @@ struct RoutingRow {
   TwoPhaseResult two_phase;
   GreedyRun baseline;       ///< plain greedy on the same permutation
   OfflineBound offline;     ///< per-instance lower bound (distance/cuts)
+  double wall_ms = 0.0;     ///< wall-clock for the two-phase route
+  std::uint64_t seed = 0;
 };
 
 /// Section 5 routing vs. the plain greedy baseline on a named permutation

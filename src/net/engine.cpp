@@ -7,6 +7,11 @@
 namespace mdmesh {
 namespace {
 
+/// Queue-occupancy histogram resolution for StepProbe snapshots. Measured
+/// maxima stay single-digit (the multi-packet model's O(1)); longer queues
+/// clamp into the last bucket and show up as overflow.
+constexpr std::size_t kQueueHistBuckets = 64;
+
 /// Finds the next hop for a packet at coordinates `cp` heading to `dc`,
 /// visiting dimensions in the rotated order starting at `klass`. Returns the
 /// remaining distance; sets dim/dir to the first uncorrected dimension, or
@@ -151,11 +156,21 @@ RouteResult Engine::Route(Network& net) {
   std::atomic<std::int64_t> moves_total{0};
   std::atomic<std::int64_t> queue_max{result.max_queue};
 
+  // Probe support: per-dimension directed-link move counters, collected
+  // only when a probe is attached so the unobserved step loop stays lean.
+  StepProbe* const probe = opts_.probe;
+  const std::size_t dir_slots = probe != nullptr ? links : 0;
+  std::vector<std::atomic<std::int64_t>> dir_moves_atomic(dir_slots);
+  std::vector<std::int64_t> dir_moves_snapshot(dir_slots);
+  const bool want_hist = probe != nullptr && probe->WantsQueueHistogram();
+
   std::int64_t step = 0;
   std::int64_t prev_arrivals = 0;
+  std::int64_t prev_moves = 0;
   while (in_flight > arrivals_total.load(std::memory_order_relaxed) &&
          step < cap) {
     ++step;
+    for (auto& c : dir_moves_atomic) c.store(0, std::memory_order_relaxed);
     opts_.pool->ParallelFor(N, [&](std::int64_t begin, std::int64_t end) {
       StepPhaseA(net, begin, end);
     });
@@ -164,6 +179,7 @@ RouteResult Engine::Route(Network& net) {
       std::int64_t local_arrivals = 0;
       std::int64_t local_moves = 0;
       std::int64_t local_qmax = 0;
+      std::vector<std::int64_t> local_dirs(dir_slots, 0);
       for (ProcId p = begin; p < end; ++p) {
         auto& out = next_[static_cast<std::size_t>(p)];
         out.clear();
@@ -185,6 +201,10 @@ RouteResult Engine::Route(Network& net) {
             Packet pkt = queues[static_cast<std::size_t>(q)][static_cast<std::size_t>(k)];
             pkt.flags &= static_cast<std::uint16_t>(~Packet::kMoving);
             ++local_moves;
+            if (dir_slots != 0) {
+              // The packet crossed q's (dim, 1-dir) directed link.
+              ++local_dirs[static_cast<std::size_t>(dim * 2 + (1 - dir))];
+            }
             if (pkt.dest == p) {
               if ((pkt.flags & Packet::kTwoLeg) != 0) {
                 // Midpoint reached: retarget to the final destination and
@@ -207,15 +227,45 @@ RouteResult Engine::Route(Network& net) {
       }
       arrivals_total.fetch_add(local_arrivals, std::memory_order_relaxed);
       moves_total.fetch_add(local_moves, std::memory_order_relaxed);
+      for (std::size_t i = 0; i < dir_slots; ++i) {
+        if (local_dirs[i] != 0) {
+          dir_moves_atomic[i].fetch_add(local_dirs[i], std::memory_order_relaxed);
+        }
+      }
       std::int64_t seen = queue_max.load(std::memory_order_relaxed);
       while (local_qmax > seen &&
              !queue_max.compare_exchange_weak(seen, local_qmax, std::memory_order_relaxed)) {
       }
     });
     queues.swap(next_);
-    if (opts_.observer) {
+    if (opts_.observer || probe != nullptr) {
       const std::int64_t arrived_now = arrivals_total.load(std::memory_order_relaxed);
-      opts_.observer(step, in_flight - arrived_now, arrived_now - prev_arrivals);
+      const std::int64_t arrivals_this = arrived_now - prev_arrivals;
+      if (opts_.observer) {
+        opts_.observer(step, in_flight - arrived_now, arrivals_this);
+      }
+      if (probe != nullptr) {
+        const std::int64_t moves_now = moves_total.load(std::memory_order_relaxed);
+        for (std::size_t i = 0; i < dir_slots; ++i) {
+          dir_moves_snapshot[i] = dir_moves_atomic[i].load(std::memory_order_relaxed);
+        }
+        StepSnapshot snap;
+        snap.step = step;
+        snap.in_flight = in_flight - arrived_now;
+        snap.arrivals = arrivals_this;
+        snap.moves = moves_now - prev_moves;
+        snap.dims = d_;
+        snap.dim_dir_moves = dir_moves_snapshot.data();
+        Histogram hist(kQueueHistBuckets);
+        if (want_hist) {
+          for (ProcId p = 0; p < N; ++p) {
+            hist.Add(static_cast<std::int64_t>(queues[static_cast<std::size_t>(p)].size()));
+          }
+          snap.queue_hist = &hist;
+        }
+        probe->OnStep(snap);
+        prev_moves = moves_now;
+      }
       prev_arrivals = arrived_now;
     }
   }

@@ -20,6 +20,7 @@
 
 #include "net/metrics.h"
 #include "net/network.h"
+#include "obs/probe.h"
 #include "util/thread_pool.h"
 
 namespace mdmesh {
@@ -33,10 +34,17 @@ struct EngineOptions {
   /// Thread pool; nullptr uses ThreadPool::Global().
   ThreadPool* pool = nullptr;
 
-  /// Optional per-step probe, called after every step with
-  /// (step, packets still in flight, arrivals during this step). Useful for
-  /// congestion traces; adds no cost when unset.
+  /// Optional per-step callback, called after every step with
+  /// (step, packets still in flight, arrivals during this step). Adds no
+  /// cost when unset. For richer per-step data (per-dimension link moves,
+  /// queue histograms) attach a StepProbe instead.
   std::function<void(std::int64_t, std::int64_t, std::int64_t)> observer;
+
+  /// Optional rich per-step probe (obs/probe.h). When attached, the engine
+  /// additionally collects per-dimension directed-link move counts and — if
+  /// the probe asks for it — a queue-occupancy histogram each step. Costs
+  /// nothing when null.
+  StepProbe* probe = nullptr;
 };
 
 class Engine {

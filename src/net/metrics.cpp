@@ -14,6 +14,33 @@ std::string RouteResult::ToString() const {
   return os.str();
 }
 
+void RouteResult::WriteJson(JsonWriter& w) const {
+  w.BeginObject();
+  w.Key("steps").Int(steps);
+  w.Key("moves").Int(moves);
+  w.Key("max_queue").Int(max_queue);
+  w.Key("packets").Int(packets);
+  w.Key("links").Int(links);
+  w.Key("completed").Bool(completed);
+  w.Key("link_utilization").Double(LinkUtilization());
+  w.Key("max_distance").Int(max_distance);
+  w.Key("max_overshoot").Int(max_overshoot);
+  w.Key("overshoot_mean")
+      .Double(overshoot.count() > 0 ? overshoot.mean() : 0.0);
+  w.EndObject();
+}
+
+std::string RouteResult::ToJson() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  WriteJson(w);
+  return os.str();
+}
+
+void RouteResult::RecordTo(Span& span) const {
+  span.RecordRouting(steps, moves, max_queue, max_overshoot);
+}
+
 void RouteResult::Accumulate(const RouteResult& phase) {
   steps += phase.steps;
   moves += phase.moves;

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/trace.h"
 #include "util/stats.h"
 
 namespace mdmesh {
@@ -20,12 +21,16 @@ struct RouteResult {
   bool completed = true;        ///< false if the step cap was hit
 
   /// Fraction of directed-link-steps that carried a packet — how close the
-  /// run came to saturating the network's wire capacity.
+  /// run came to saturating the network's wire capacity. Always in [0, 1]:
+  /// degenerate runs (no steps, no links, nothing moved) report 0, and the
+  /// product steps*links is formed in double so huge runs cannot overflow
+  /// the int64 intermediate.
   double LinkUtilization() const {
-    return steps > 0 && links > 0
-               ? static_cast<double>(moves) /
-                     (static_cast<double>(steps) * static_cast<double>(links))
-               : 0.0;
+    if (steps <= 0 || links <= 0 || moves <= 0) return 0.0;
+    const double capacity =
+        static_cast<double>(steps) * static_cast<double>(links);
+    const double util = static_cast<double>(moves) / capacity;
+    return util < 1.0 ? util : 1.0;
   }
 
   /// Max over packets of dist(src, dest) — the per-run distance bound.
@@ -37,6 +42,15 @@ struct RouteResult {
   std::int64_t max_overshoot = 0;
 
   std::string ToString() const;
+
+  /// Serializes every field (plus derived link_utilization and overshoot
+  /// summary) as one JSON object.
+  std::string ToJson() const;
+  void WriteJson(JsonWriter& w) const;
+
+  /// Folds this run's counters into an open trace span (steps, moves,
+  /// max queue, max overshoot). No-op on a null span.
+  void RecordTo(Span& span) const;
 
   /// Combines phase results: steps/moves add, queue/overshoot take max.
   void Accumulate(const RouteResult& phase);

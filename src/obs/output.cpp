@@ -1,0 +1,57 @@
+#include "obs/output.h"
+
+#include <cstring>
+
+namespace mdmesh {
+
+void AddOutputFlags(Cli& cli) {
+  cli.AddString("--json", "",
+                "write experiment records to this path (JSON array; .jsonl "
+                "for one record per line)");
+  cli.AddString("--trace-csv", "",
+                "write the per-step congestion trace to this CSV path");
+  cli.AddBool("--quick", false, "smallest configuration only (CI smoke runs)");
+}
+
+OutputFlags GetOutputFlags(const Cli& cli) {
+  OutputFlags flags;
+  flags.json = cli.GetString("json");
+  flags.trace_csv = cli.GetString("trace-csv");
+  flags.quick = cli.GetBool("quick");
+  return flags;
+}
+
+OutputFlags ParseOutputFlags(int* argc, char** argv) {
+  OutputFlags flags;
+  int w = 1;
+  for (int r = 1; r < *argc; ++r) {
+    const char* arg = argv[r];
+    std::string* target = nullptr;
+    std::size_t name_len = 0;
+    if (std::strncmp(arg, "--json", 6) == 0 &&
+        (arg[6] == '\0' || arg[6] == '=')) {
+      target = &flags.json;
+      name_len = 6;
+    } else if (std::strncmp(arg, "--trace-csv", 11) == 0 &&
+               (arg[11] == '\0' || arg[11] == '=')) {
+      target = &flags.trace_csv;
+      name_len = 11;
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      flags.quick = true;
+      continue;
+    }
+    if (target == nullptr) {
+      argv[w++] = argv[r];
+      continue;
+    }
+    if (arg[name_len] == '=') {
+      *target = arg + name_len + 1;
+    } else if (r + 1 < *argc) {
+      *target = argv[++r];
+    }
+  }
+  *argc = w;
+  return flags;
+}
+
+}  // namespace mdmesh

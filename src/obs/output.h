@@ -1,0 +1,41 @@
+// Shared machine-readable-output flags, registered identically by every
+// bench binary and example:
+//
+//   --json=<path>       write experiment records (JSON array, or JSONL when
+//                       the path ends in .jsonl)
+//   --trace-csv=<path>  write the per-step congestion trace as CSV
+//   --quick             smallest configuration only (CI smoke runs)
+//
+// Examples register them on their Cli via AddOutputFlags/GetOutputFlags.
+// Bench binaries cannot use Cli (google-benchmark parses argv itself), so
+// ParseOutputFlags extracts just these flags from argc/argv in place and
+// leaves everything else for benchmark::Initialize.
+#pragma once
+
+#include <string>
+
+#include "util/cli.h"
+
+namespace mdmesh {
+
+struct OutputFlags {
+  std::string json;       ///< empty = no JSON output
+  std::string trace_csv;  ///< empty = no congestion-trace CSV
+  bool quick = false;
+
+  bool WantsJson() const { return !json.empty(); }
+  bool WantsTrace() const { return !trace_csv.empty(); }
+};
+
+/// Registers --json, --trace-csv, and --quick on `cli`.
+void AddOutputFlags(Cli& cli);
+
+/// Reads the flags registered by AddOutputFlags back from a parsed Cli.
+OutputFlags GetOutputFlags(const Cli& cli);
+
+/// Extracts --json(=)/--trace-csv(=)/--quick from argv (both `--flag=value`
+/// and `--flag value` forms), compacting argv and updating *argc so that
+/// unrecognized flags survive for a downstream parser.
+OutputFlags ParseOutputFlags(int* argc, char** argv);
+
+}  // namespace mdmesh

@@ -1,0 +1,76 @@
+#include "obs/probe.h"
+
+namespace mdmesh {
+
+CongestionTrace::CongestionTrace(std::size_t capacity)
+    : capacity_(capacity < 2 ? 2 : capacity) {
+  samples_.reserve(capacity_);
+}
+
+void CongestionTrace::OnStep(const StepSnapshot& snapshot) {
+  ++tick_;
+  dims_ = snapshot.dims;
+  if (tick_ < next_sample_) return;
+
+  Sample s;
+  s.step = tick_;
+  s.run_step = snapshot.step;
+  s.in_flight = snapshot.in_flight;
+  s.arrivals = snapshot.arrivals;
+  s.moves = snapshot.moves;
+  if (snapshot.queue_hist != nullptr) {
+    s.queue_p50 = snapshot.queue_hist->Quantile(0.5);
+    s.queue_p99 = snapshot.queue_hist->Quantile(0.99);
+    s.queue_max = snapshot.queue_hist->Quantile(1.0);
+  }
+  if (snapshot.dim_dir_moves != nullptr && snapshot.dims > 0) {
+    s.dim_dir_moves.assign(snapshot.dim_dir_moves,
+                           snapshot.dim_dir_moves + 2 * snapshot.dims);
+  }
+  samples_.push_back(std::move(s));
+  next_sample_ = tick_ + stride_;
+
+  if (samples_.size() >= capacity_) {
+    // Downsample: keep every other sample, double the stride. The retained
+    // set still spans the full time axis at half the resolution.
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < samples_.size(); r += 2) {
+      if (w != r) samples_[w] = std::move(samples_[r]);  // r==w would self-move
+      ++w;
+    }
+    samples_.resize(w);
+    stride_ *= 2;
+    next_sample_ = samples_.back().step + stride_;
+  }
+}
+
+void CongestionTrace::WriteCsv(std::ostream& os) const {
+  os << "step,run_step,in_flight,arrivals,moves,queue_p50,queue_p99,queue_max";
+  for (int dim = 0; dim < dims_; ++dim) {
+    os << ",dim" << dim << "_dec,dim" << dim << "_inc";
+  }
+  os << '\n';
+  for (const Sample& s : samples_) {
+    os << s.step << ',' << s.run_step << ',' << s.in_flight << ','
+       << s.arrivals << ',' << s.moves << ',' << s.queue_p50 << ','
+       << s.queue_p99 << ',' << s.queue_max;
+    for (int i = 0; i < 2 * dims_; ++i) {
+      const std::int64_t v =
+          i < static_cast<int>(s.dim_dir_moves.size())
+              ? s.dim_dir_moves[static_cast<std::size_t>(i)]
+              : 0;
+      os << ',' << v;
+    }
+    os << '\n';
+  }
+}
+
+void CongestionTrace::Clear() {
+  samples_.clear();
+  stride_ = 1;
+  next_sample_ = 1;
+  tick_ = 0;
+  dims_ = 0;
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,91 @@
+// Per-step engine instrumentation: the StepProbe interface the engine calls
+// after every synchronous step, and CongestionTrace, the standard probe that
+// keeps a bounded time series of congestion measurements.
+//
+// The probe sees what the booksim-style simulators export per cycle: packets
+// in flight, arrivals, packet-moves split per directed dimension link, and a
+// queue-occupancy histogram. A null probe costs the engine nothing; the
+// per-dimension counters and the histogram are only collected when a probe
+// is attached (and, for the histogram, only when the probe asks for it).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace mdmesh {
+
+/// One synchronous step, as observed after delivery. Pointers are valid only
+/// for the duration of the OnStep call.
+struct StepSnapshot {
+  std::int64_t step = 0;       ///< 1-based step index within this Route call
+  std::int64_t in_flight = 0;  ///< packets not yet at their final destination
+  std::int64_t arrivals = 0;   ///< packets that arrived during this step
+  std::int64_t moves = 0;      ///< packet-moves across links this step
+  int dims = 0;                ///< topology dimension d
+  /// Moves per directed dimension link class, 2*dims entries indexed
+  /// dim*2 + dir (dir 0 = decreasing, 1 = increasing); null if dims == 0.
+  const std::int64_t* dim_dir_moves = nullptr;
+  /// Queue-occupancy histogram over all processors (bucket = queue length),
+  /// or null when the probe did not request it.
+  const Histogram* queue_hist = nullptr;
+};
+
+class StepProbe {
+ public:
+  virtual ~StepProbe() = default;
+
+  /// Histograms cost an O(N) pass per step; probes opt in.
+  virtual bool WantsQueueHistogram() const { return false; }
+
+  virtual void OnStep(const StepSnapshot& snapshot) = 0;
+};
+
+/// Bounded congestion time series. Samples every `stride()` steps; when the
+/// buffer fills, every other retained sample is dropped and the stride
+/// doubles, so a million-step run still fits in `capacity` samples while
+/// covering the whole time axis. Step indices are accumulated across Route
+/// calls, so a multi-phase algorithm produces one continuous series.
+class CongestionTrace final : public StepProbe {
+ public:
+  struct Sample {
+    std::int64_t step = 0;      ///< cumulative step across all Route calls
+    std::int64_t run_step = 0;  ///< step within the Route call that produced it
+    std::int64_t in_flight = 0;
+    std::int64_t arrivals = 0;
+    std::int64_t moves = 0;
+    std::int64_t queue_p50 = 0;
+    std::int64_t queue_p99 = 0;
+    std::int64_t queue_max = 0;
+    std::vector<std::int64_t> dim_dir_moves;  ///< 2*dims entries
+  };
+
+  explicit CongestionTrace(std::size_t capacity = 4096);
+
+  bool WantsQueueHistogram() const override { return true; }
+  void OnStep(const StepSnapshot& snapshot) override;
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  std::int64_t stride() const { return stride_; }
+  int dims() const { return dims_; }
+  std::int64_t total_steps() const { return tick_; }
+
+  /// CSV dump, one row per retained sample:
+  /// step,run_step,in_flight,arrivals,moves,queue_p50,queue_p99,queue_max,
+  /// dim0_dec,dim0_inc,dim1_dec,...
+  void WriteCsv(std::ostream& os) const;
+
+  void Clear();
+
+ private:
+  std::size_t capacity_;
+  std::int64_t stride_ = 1;
+  std::int64_t next_sample_ = 1;  ///< next cumulative step to retain
+  std::int64_t tick_ = 0;
+  int dims_ = 0;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace mdmesh

@@ -1,0 +1,210 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace mdmesh {
+
+void SpanStats::Merge(const SpanStats& other) {
+  steps += other.steps;
+  local_steps += other.local_steps;
+  moves += other.moves;
+  max_queue = std::max(max_queue, other.max_queue);
+  max_overshoot = std::max(max_overshoot, other.max_overshoot);
+  wall_ms += other.wall_ms;
+}
+
+Span::Span(Span&& other) noexcept : ctx_(other.ctx_), node_(other.node_) {
+  other.ctx_ = nullptr;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    Close();
+    ctx_ = other.ctx_;
+    node_ = other.node_;
+    other.ctx_ = nullptr;
+  }
+  return *this;
+}
+
+Span::~Span() { Close(); }
+
+void Span::Record(const SpanStats& stats) {
+  if (ctx_ == nullptr) return;
+  ctx_->nodes_[node_].stats.Merge(stats);
+}
+
+void Span::RecordRouting(std::int64_t steps, std::int64_t moves,
+                         std::int64_t max_queue, std::int64_t max_overshoot) {
+  SpanStats s;
+  s.steps = steps;
+  s.moves = moves;
+  s.max_queue = max_queue;
+  s.max_overshoot = max_overshoot;
+  Record(s);
+}
+
+void Span::RecordLocal(std::int64_t local_steps, std::int64_t max_queue) {
+  SpanStats s;
+  s.local_steps = local_steps;
+  s.max_queue = max_queue;
+  Record(s);
+}
+
+void Span::Close() {
+  if (ctx_ == nullptr) return;
+  TraceContext* ctx = ctx_;
+  ctx_ = nullptr;
+  // Wall time is measured open-to-close; Record() only adds counters.
+  const auto now = std::chrono::steady_clock::now();
+  double ms = 0.0;
+  for (std::size_t i = ctx->open_.size(); i-- > 1;) {
+    if (ctx->open_[i] == node_) {
+      ms = std::chrono::duration<double, std::milli>(now -
+                                                     ctx->open_start_[i])
+               .count();
+      break;
+    }
+  }
+  ctx->CloseNode(node_, ms);
+}
+
+TraceContext::TraceContext() {
+  nodes_.push_back(Node{"", SpanStats{}, 0, {}});
+  open_.push_back(0);
+  open_start_.push_back(std::chrono::steady_clock::now());
+}
+
+Span TraceContext::Open(std::string name) {
+  const std::size_t idx = nodes_.size();
+  Node node;
+  node.name = std::move(name);
+  node.parent = open_.back();
+  nodes_.push_back(std::move(node));
+  nodes_[open_.back()].children.push_back(idx);
+  open_.push_back(idx);
+  open_start_.push_back(std::chrono::steady_clock::now());
+  return Span(this, idx);
+}
+
+void TraceContext::CloseNode(std::size_t node, double wall_ms) {
+  nodes_[node].stats.wall_ms += wall_ms;
+  // Well-nested RAII spans close in LIFO order; tolerate out-of-order
+  // closes by popping through (inner spans were already abandoned).
+  while (open_.size() > 1) {
+    const std::size_t top = open_.back();
+    open_.pop_back();
+    open_start_.pop_back();
+    if (top == node) break;
+  }
+}
+
+SpanStats TraceContext::Totals() const {
+  SpanStats total;
+  for (std::size_t i = 1; i < nodes_.size(); ++i) total.Merge(nodes_[i].stats);
+  return total;
+}
+
+SpanStats TraceContext::Rollup(std::size_t node) const {
+  SpanStats total = nodes_[node].stats;
+  for (const std::size_t child : nodes_[node].children) {
+    SpanStats sub = Rollup(child);
+    total.steps += sub.steps;
+    total.local_steps += sub.local_steps;
+    total.moves += sub.moves;
+    total.max_queue = std::max(total.max_queue, sub.max_queue);
+    total.max_overshoot = std::max(total.max_overshoot, sub.max_overshoot);
+    // Child wall time nests inside the parent's open-to-close window; do
+    // not double count it.
+  }
+  return total;
+}
+
+std::string TraceContext::RenderTree(std::int64_t diameter) const {
+  std::ostringstream os;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-32s %8s %8s %10s %6s %7s %8s%s\n",
+                "span", "steps", "local", "moves", "max_q", "oversh",
+                "wall_ms", diameter > 0 ? "  steps/D" : "");
+  os << line;
+  // Depth-first over the explicit child lists keeps sibling order.
+  struct Frame {
+    std::size_t node;
+    int depth;
+  };
+  std::vector<Frame> stack;
+  const auto& top = nodes_[0].children;
+  for (std::size_t i = top.size(); i-- > 0;) stack.push_back({top[i], 0});
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[f.node];
+    const SpanStats roll = Rollup(f.node);
+    std::string label(static_cast<std::size_t>(2 * f.depth), ' ');
+    label += node.name;
+    if (label.size() > 32) label.resize(32);
+    std::snprintf(line, sizeof(line), "%-32s %8lld %8lld %10lld %6lld %7lld %8.1f",
+                  label.c_str(), static_cast<long long>(roll.steps),
+                  static_cast<long long>(roll.local_steps),
+                  static_cast<long long>(roll.moves),
+                  static_cast<long long>(roll.max_queue),
+                  static_cast<long long>(roll.max_overshoot), roll.wall_ms);
+    os << line;
+    if (diameter > 0) {
+      std::snprintf(line, sizeof(line), "  %7.3f",
+                    static_cast<double>(roll.steps) /
+                        static_cast<double>(diameter));
+      os << line;
+    }
+    os << '\n';
+    for (std::size_t i = node.children.size(); i-- > 0;) {
+      stack.push_back({node.children[i], f.depth + 1});
+    }
+  }
+  return os.str();
+}
+
+void TraceContext::WriteNode(JsonWriter& w, std::size_t node) const {
+  const Node& n = nodes_[node];
+  w.BeginObject();
+  w.Key("name").String(n.name);
+  w.Key("steps").Int(n.stats.steps);
+  w.Key("local_steps").Int(n.stats.local_steps);
+  w.Key("moves").Int(n.stats.moves);
+  w.Key("max_queue").Int(n.stats.max_queue);
+  w.Key("max_overshoot").Int(n.stats.max_overshoot);
+  w.Key("wall_ms").Double(n.stats.wall_ms);
+  if (!n.children.empty()) {
+    w.Key("children").BeginArray();
+    for (const std::size_t child : n.children) WriteNode(w, child);
+    w.EndArray();
+  }
+  w.EndObject();
+}
+
+void TraceContext::WriteJson(JsonWriter& w) const {
+  w.BeginArray();
+  for (const std::size_t child : nodes_[0].children) WriteNode(w, child);
+  w.EndArray();
+}
+
+std::string TraceContext::ToJson() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  WriteJson(w);
+  return os.str();
+}
+
+void TraceContext::Clear() {
+  nodes_.clear();
+  open_.clear();
+  open_start_.clear();
+  nodes_.push_back(Node{"", SpanStats{}, 0, {}});
+  open_.push_back(0);
+  open_start_.push_back(std::chrono::steady_clock::now());
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,126 @@
+// Phase spans: hierarchical attribution of a run's step counts.
+//
+// Every theorem in the paper has the form cD + o(n), proved by decomposing
+// the algorithm into named phases whose step counts add up. A TraceContext
+// captures that decomposition at runtime: algorithms open an RAII Span
+// around each routing/compute phase ("local-sort", "phase_a_route", ...),
+// record the phase's measurements into it, and the context keeps the spans
+// as a tree. RenderTree() prints the tree with per-span steps/D so measured
+// totals can be checked phase-by-phase against the proof's decomposition;
+// WriteJson() serializes the same tree for the bench JSON sink.
+//
+// A default-constructed (null) Span ignores every call, so algorithms thread
+// an optional TraceContext* through their options and pay nothing when it is
+// absent. Spans must be closed in LIFO order (the RAII handle guarantees
+// this); a TraceContext is not thread-safe — open spans from one thread.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace mdmesh {
+
+class TraceContext;
+
+/// What a phase span accumulates. Step counts follow the sorting layer's
+/// split: `steps` are synchronous routing steps (the Theta(D) leading term),
+/// `local_steps` are charged local-computation steps (the o(n) term).
+struct SpanStats {
+  std::int64_t steps = 0;
+  std::int64_t local_steps = 0;
+  std::int64_t moves = 0;
+  std::int64_t max_queue = 0;
+  std::int64_t max_overshoot = 0;
+  double wall_ms = 0.0;
+
+  /// Adds counters; maxima take the max, wall times add.
+  void Merge(const SpanStats& other);
+};
+
+/// RAII handle for one open phase. Move-only; the destructor closes the
+/// span (stamping wall-clock time) if Close() was not called explicitly.
+class Span {
+ public:
+  Span() = default;  ///< null span: every operation is a no-op
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  explicit operator bool() const { return ctx_ != nullptr; }
+
+  /// Folds measurements into the span (counters add, maxima max).
+  void Record(const SpanStats& stats);
+  void RecordRouting(std::int64_t steps, std::int64_t moves,
+                     std::int64_t max_queue, std::int64_t max_overshoot);
+  void RecordLocal(std::int64_t local_steps, std::int64_t max_queue);
+
+  /// Closes the span now (idempotent). Children must already be closed.
+  void Close();
+
+ private:
+  friend class TraceContext;
+  Span(TraceContext* ctx, std::size_t node) : ctx_(ctx), node_(node) {}
+
+  TraceContext* ctx_ = nullptr;
+  std::size_t node_ = 0;
+};
+
+class TraceContext {
+ public:
+  struct Node {
+    std::string name;
+    SpanStats stats;
+    std::size_t parent = 0;  ///< index into nodes(); 0 is the virtual root
+    std::vector<std::size_t> children;
+  };
+
+  TraceContext();
+
+  /// Opens a span nested under the innermost currently open span.
+  Span Open(std::string name);
+
+  /// Null-safe variant: returns a null Span when ctx is null.
+  static Span OpenIf(TraceContext* ctx, std::string name) {
+    return ctx != nullptr ? ctx->Open(std::move(name)) : Span();
+  }
+
+  /// nodes()[0] is a virtual root whose children are the top-level spans.
+  const std::vector<Node>& nodes() const { return nodes_; }
+  bool empty() const { return nodes_.size() == 1; }
+
+  /// Sum over the whole tree, counting each span's own recorded stats once.
+  SpanStats Totals() const;
+
+  /// ASCII tree: one row per span with its rolled-up stats (own + children).
+  /// When `diameter` > 0 a steps/D column is included — the number to check
+  /// against the paper's per-phase coefficients.
+  std::string RenderTree(std::int64_t diameter = 0) const;
+
+  /// Serializes the top-level spans as a JSON array of
+  /// {name, steps, local_steps, moves, max_queue, max_overshoot, wall_ms,
+  ///  children:[...]} objects.
+  void WriteJson(JsonWriter& w) const;
+  std::string ToJson() const;
+
+  /// Drops all recorded spans (open spans must not outlive this).
+  void Clear();
+
+ private:
+  friend class Span;
+  void CloseNode(std::size_t node, double wall_ms);
+  /// Stats of `node` plus all descendants.
+  SpanStats Rollup(std::size_t node) const;
+  void WriteNode(JsonWriter& w, std::size_t node) const;
+
+  std::vector<Node> nodes_;
+  std::vector<std::size_t> open_;  ///< stack of open node indices; [0] = root
+  std::vector<std::chrono::steady_clock::time_point> open_start_;
+};
+
+}  // namespace mdmesh

@@ -23,7 +23,11 @@ GreedyRun RouteLoaded(const Topology& topo, Network& net,
 
   Engine engine(topo, opts.engine);
   GreedyRun run;
-  run.route = engine.Route(net);
+  {
+    Span span = TraceContext::OpenIf(opts.trace, "greedy_route");
+    run.route = engine.Route(net);
+    run.route.RecordTo(span);
+  }
   run.diameter = topo.Diameter();
   run.num_perms = j;
   return run;

@@ -21,6 +21,8 @@ struct GreedyOptions {
   /// Fine grid for kLocalRank class assignment (blocks per side); 0 picks a
   /// sensible default.
   int class_grid_g = 0;
+  /// Optional phase-span trace: each run opens one "greedy_route" span.
+  TraceContext* trace = nullptr;
   EngineOptions engine;
 };
 

@@ -47,6 +47,9 @@ TwoPhaseResult RouteTwoPhase(const Topology& topo,
   const std::int64_t D = topo.Diameter();
   const int d = topo.dim();
 
+  Span root = TraceContext::OpenIf(opts.trace, "two_phase");
+  Span assign = TraceContext::OpenIf(opts.trace, "assign_midpoints");
+
   TwoPhaseResult result;
   result.nu_used =
       opts.nu >= 0.0
@@ -147,19 +150,31 @@ TwoPhaseResult RouteTwoPhase(const Topology& topo,
     result.min_s_size = 0;
   }
 
+  assign.Close();
+
   Engine engine(topo, opts.engine);
   if (opts.overlap) {
     // Single run: packets retarget at their midpoints with no barrier.
+    Span span = TraceContext::OpenIf(opts.trace, "overlapped_route");
     result.phase1 = engine.Route(net);
+    result.phase1.RecordTo(span);
     result.total_steps = result.phase1.steps;
     result.max_queue = result.phase1.max_queue;
   } else {
-    result.phase1 = engine.Route(net);
+    {
+      Span span = TraceContext::OpenIf(opts.trace, "phase_a_route");
+      result.phase1 = engine.Route(net);
+      result.phase1.RecordTo(span);
+    }
     // Phase 2: aim every packet at its final destination.
     net.ForEach([](ProcId, Packet& pkt) {
       pkt.dest = static_cast<ProcId>(pkt.tag);
     });
-    result.phase2 = engine.Route(net);
+    {
+      Span span = TraceContext::OpenIf(opts.trace, "phase_b_route");
+      result.phase2 = engine.Route(net);
+      result.phase2.RecordTo(span);
+    }
     result.total_steps = result.phase1.steps + result.phase2.steps;
     result.max_queue =
         std::max(result.phase1.max_queue, result.phase2.max_queue);

@@ -33,6 +33,10 @@ struct TwoPhaseOptions {
   /// consistently removes the phase-boundary idle time.
   bool overlap = false;
   std::uint64_t seed = 1;
+  /// Optional phase-span trace: the router opens "two_phase" with children
+  /// "assign_midpoints", then "phase_a_route"/"phase_b_route" (sequential)
+  /// or "overlapped_route" (overlap = true).
+  TraceContext* trace = nullptr;
   EngineOptions engine;
 };
 

@@ -42,6 +42,9 @@ struct SortOptions {
   /// Override the number of center blocks (SimpleSort/CopySort). 0 means the
   /// paper's m/2. Used for the Corollary 3.1.2 shrunken-center ablation.
   std::int64_t center_blocks = 0;
+  /// Optional phase-span trace: RunSort opens a root span named after the
+  /// algorithm with one child per phase (same names as SortResult::phases).
+  TraceContext* trace = nullptr;
   EngineOptions engine;
 };
 
@@ -49,8 +52,11 @@ struct PhaseStats {
   std::string name;
   std::int64_t routing_steps = 0;
   std::int64_t local_steps = 0;
+  std::int64_t moves = 0;  ///< packet-moves (routing phases only)
   std::int64_t max_queue = 0;
   std::int64_t max_distance = 0;
+  std::int64_t max_overshoot = 0;
+  double wall_ms = 0.0;
   bool completed = true;
 };
 

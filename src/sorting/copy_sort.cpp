@@ -41,13 +41,9 @@ SortResult CopySortRun(Network& net, const BlockGrid& grid,
   LocalSortSpec all_k{k, nullptr};
 
   // (1) Local sort inside every block.
-  {
-    PhaseStats stats;
-    stats.name = "local-sort";
-    stats.local_steps = SortBlocksLocally(net, grid, {}, all_k, opts.cost);
-    stats.max_queue = net.MaxQueue();
-    result.AddPhase(std::move(stats));
-  }
+  result.AddPhase(sort_detail::LocalPhase(net, "local-sort", opts.trace, [&] {
+    return SortBlocksLocally(net, grid, {}, all_k, opts.cost);
+  }));
 
   // (2) Concentrate originals; route a copy of each to the mirrored center
   // block. The mirror pairing survives the randomized-spread ablation
@@ -86,25 +82,22 @@ SortResult CopySortRun(Network& net, const BlockGrid& grid,
     }
     for (auto& [src, copy] : copies) net.Add(src, copy);
   }
-  result.AddPhase(sort_detail::RoutePhase(engine, net, "concentrate+copies"));
+  result.AddPhase(
+      sort_detail::RoutePhase(engine, net, "concentrate+copies", opts.trace));
 
   // (3) Sort originals and copies separately inside each center block.
   // Both populations are identical multisets of (key, id) in mirrored
   // blocks, so their local ranks coincide pairwise.
-  {
-    PhaseStats stats;
-    stats.name = "center-sort";
+  result.AddPhase(sort_detail::LocalPhase(net, "center-sort", opts.trace, [&] {
     const std::int64_t per_proc = k * m / mc;
     LocalSortSpec originals{per_proc, IsOriginal};
     LocalSortSpec copies{per_proc, IsCopy};
-    stats.local_steps =
+    const std::int64_t originals_steps =
         SortBlocksLocally(net, grid, center.blocks(), originals, opts.cost);
-    stats.local_steps = std::max(
-        stats.local_steps,
+    return std::max(
+        originals_steps,
         SortBlocksLocally(net, grid, center.blocks(), copies, opts.cost));
-    stats.max_queue = net.MaxQueue();
-    result.AddPhase(std::move(stats));
-  }
+  }));
 
   // (3.5 + 4) Keep whichever of original/copy is closer to the estimated
   // destination block (ties keep the original), then route the survivors.
@@ -162,7 +155,8 @@ SortResult CopySortRun(Network& net, const BlockGrid& grid,
       for (Packet& pkt : survivors[static_cast<std::size_t>(p)]) net.Add(p, pkt);
     }
   }
-  result.AddPhase(sort_detail::RoutePhase(engine, net, "route-survivors"));
+  result.AddPhase(
+      sort_detail::RoutePhase(engine, net, "route-survivors", opts.trace));
 
   // (5) Odd-even fix-up merges.
   result.fixup_rounds = sort_detail::RunFixups(net, grid, k, opts, result);

@@ -2,6 +2,7 @@
 // Not part of the public API.
 #pragma once
 
+#include <chrono>
 #include <functional>
 #include <string>
 #include <utility>
@@ -33,15 +34,45 @@ void ForEachRanked(Network& net, const BlockGrid& grid, BlockId block,
   }
 }
 
+inline double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 /// Runs the engine until delivery and wraps the outcome as a PhaseStats.
-inline PhaseStats RoutePhase(Engine& engine, Network& net, std::string name) {
+/// When `trace` is set, a span of the same name records the phase.
+inline PhaseStats RoutePhase(Engine& engine, Network& net, std::string name,
+                             TraceContext* trace = nullptr) {
+  Span span = TraceContext::OpenIf(trace, name);
+  const auto t0 = std::chrono::steady_clock::now();
   RouteResult r = engine.Route(net);
   PhaseStats stats;
   stats.name = std::move(name);
   stats.routing_steps = r.steps;
+  stats.moves = r.moves;
   stats.max_queue = r.max_queue;
   stats.max_distance = r.max_distance;
+  stats.max_overshoot = r.max_overshoot;
+  stats.wall_ms = MsSince(t0);
   stats.completed = r.completed;
+  r.RecordTo(span);
+  return stats;
+}
+
+/// Runs a local (within-block) phase: `body()` returns the charged local
+/// step count. Mirrors RoutePhase for the o(n)-term phases.
+template <typename Fn>
+PhaseStats LocalPhase(Network& net, std::string name, TraceContext* trace,
+                      Fn&& body) {
+  Span span = TraceContext::OpenIf(trace, name);
+  const auto t0 = std::chrono::steady_clock::now();
+  PhaseStats stats;
+  stats.name = std::move(name);
+  stats.local_steps = body();
+  stats.max_queue = net.MaxQueue();
+  stats.wall_ms = MsSince(t0);
+  span.RecordLocal(stats.local_steps, stats.max_queue);
   return stats;
 }
 
@@ -52,6 +83,8 @@ inline PhaseStats RoutePhase(Engine& engine, Network& net, std::string name) {
 inline std::int64_t RunFixups(Network& net, const BlockGrid& grid,
                               std::int64_t k, const SortOptions& opts,
                               SortResult& result) {
+  Span span = TraceContext::OpenIf(opts.trace, "fixup-merges");
+  const auto t0 = std::chrono::steady_clock::now();
   PhaseStats stats;
   stats.name = "fixup-merges";
   const std::int64_t cap = opts.max_fixup_rounds > 0
@@ -67,6 +100,8 @@ inline std::int64_t RunFixups(Network& net, const BlockGrid& grid,
     sorted = IsGloballySorted(net, grid, k);
   }
   stats.completed = sorted;
+  stats.wall_ms = MsSince(t0);
+  span.RecordLocal(stats.local_steps, stats.max_queue);
   result.AddPhase(std::move(stats));
   return sorted ? rounds : -1;
 }

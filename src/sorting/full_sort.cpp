@@ -24,13 +24,9 @@ SortResult FullSortRun(Network& net, const BlockGrid& grid,
   LocalSortSpec all_k{k, nullptr};
 
   // (1) Local sort inside every block.
-  {
-    PhaseStats stats;
-    stats.name = "local-sort";
-    stats.local_steps = SortBlocksLocally(net, grid, {}, all_k, opts.cost);
-    stats.max_queue = net.MaxQueue();
-    result.AddPhase(std::move(stats));
-  }
+  result.AddPhase(sort_detail::LocalPhase(net, "local-sort", opts.trace, [&] {
+    return SortBlocksLocally(net, grid, {}, all_k, opts.cost);
+  }));
 
   // (2) Unshuffle over the whole network.
   for (BlockId j = 0; j < m; ++j) {
@@ -48,16 +44,12 @@ SortResult FullSortRun(Network& net, const BlockGrid& grid,
           }
         });
   }
-  result.AddPhase(sort_detail::RoutePhase(engine, net, "unshuffle"));
+  result.AddPhase(sort_detail::RoutePhase(engine, net, "unshuffle", opts.trace));
 
   // (3) Local sort inside every block.
-  {
-    PhaseStats stats;
-    stats.name = "block-sort";
-    stats.local_steps = SortBlocksLocally(net, grid, {}, all_k, opts.cost);
-    stats.max_queue = net.MaxQueue();
-    result.AddPhase(std::move(stats));
-  }
+  result.AddPhase(sort_detail::LocalPhase(net, "block-sort", opts.trace, [&] {
+    return SortBlocksLocally(net, grid, {}, all_k, opts.cost);
+  }));
 
   // (4) Inverse distribution: consecutive local-rank windows to consecutive
   // blocks of the snake. (Randomized spread can overfill a block slightly;
@@ -71,7 +63,8 @@ SortResult FullSortRun(Network& net, const BlockGrid& grid,
           pkt.klass = static_cast<std::uint16_t>(i % d);
         });
   }
-  result.AddPhase(sort_detail::RoutePhase(engine, net, "route-to-dest"));
+  result.AddPhase(
+      sort_detail::RoutePhase(engine, net, "route-to-dest", opts.trace));
 
   // (5) Odd-even fix-up merges.
   result.fixup_rounds = sort_detail::RunFixups(net, grid, k, opts, result);

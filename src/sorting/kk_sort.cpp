@@ -82,6 +82,8 @@ void FillExplicit(Network& net, const BlockGrid& grid, std::int64_t k,
 SortResult RunSort(SortAlgo algo, Network& net, const BlockGrid& grid,
                    const SortOptions& opts) {
   const GroundTruth truth = CaptureGroundTruth(net);
+  // Root span named after the algorithm; each phase nests under it.
+  Span root = TraceContext::OpenIf(opts.trace, SortAlgoName(algo));
   SortResult result;
   switch (algo) {
     case SortAlgo::kSimple:

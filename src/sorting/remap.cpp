@@ -58,12 +58,17 @@ SortResult SortIntoScheme(SortAlgo algo, Network& net, const BlockGrid& grid,
   SortResult result = RunSort(algo, net, grid, opts);
   if (!result.sorted) return result;
 
+  Span span = TraceContext::OpenIf(opts.trace, "remap");
   RouteResult remap = RemapToScheme(net, grid, scheme, opts.k, opts.engine);
+  remap.RecordTo(span);
+  span.Close();
   PhaseStats stats;
   stats.name = "remap";
   stats.routing_steps = remap.steps;
+  stats.moves = remap.moves;
   stats.max_queue = remap.max_queue;
   stats.max_distance = remap.max_distance;
+  stats.max_overshoot = remap.max_overshoot;
   stats.completed = remap.completed;
   result.AddPhase(std::move(stats));
 

@@ -34,13 +34,9 @@ SortResult SimpleSortRun(Network& net, const BlockGrid& grid,
   LocalSortSpec all_k{k, nullptr};
 
   // (1) Local sort inside every block.
-  {
-    PhaseStats stats;
-    stats.name = "local-sort";
-    stats.local_steps = SortBlocksLocally(net, grid, {}, all_k, opts.cost);
-    stats.max_queue = net.MaxQueue();
-    result.AddPhase(std::move(stats));
-  }
+  result.AddPhase(sort_detail::LocalPhase(net, "local-sort", opts.trace, [&] {
+    return SortBlocksLocally(net, grid, {}, all_k, opts.cost);
+  }));
 
   // (2) Concentrate: spread each block evenly over the center blocks.
   for (BlockId j = 0; j < m; ++j) {
@@ -61,19 +57,14 @@ SortResult SimpleSortRun(Network& net, const BlockGrid& grid,
           }
         });
   }
-  result.AddPhase(sort_detail::RoutePhase(engine, net, "concentrate"));
+  result.AddPhase(sort_detail::RoutePhase(engine, net, "concentrate", opts.trace));
 
   // (3) Local sort inside the center blocks. Each center processor holds
   // exactly k*m/mc packets after concentration (2k for the paper's mc=m/2).
-  {
-    PhaseStats stats;
-    stats.name = "center-sort";
+  result.AddPhase(sort_detail::LocalPhase(net, "center-sort", opts.trace, [&] {
     LocalSortSpec spec{k * m / mc, nullptr};
-    stats.local_steps =
-        SortBlocksLocally(net, grid, center.blocks(), spec, opts.cost);
-    stats.max_queue = net.MaxQueue();
-    result.AddPhase(std::move(stats));
-  }
+    return SortBlocksLocally(net, grid, center.blocks(), spec, opts.cost);
+  }));
 
   // (4) Unconcentrate: every packet to its approximate destination block.
   // (Under the randomized-spread ablation a center block may hold a few
@@ -89,7 +80,7 @@ SortResult SimpleSortRun(Network& net, const BlockGrid& grid,
           pkt.klass = static_cast<std::uint16_t>(i % d);
         });
   }
-  result.AddPhase(sort_detail::RoutePhase(engine, net, "unconcentrate"));
+  result.AddPhase(sort_detail::RoutePhase(engine, net, "unconcentrate", opts.trace));
 
   // (5) Odd-even fix-up merges.
   result.fixup_rounds = sort_detail::RunFixups(net, grid, k, opts, result);

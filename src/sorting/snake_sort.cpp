@@ -32,6 +32,7 @@ SortResult SnakeSortRun(Network& net, const BlockGrid& grid,
   for (ProcId p = 0; p < N; ++p) sort_one(net.At(p));
 
   SortResult result;
+  Span span = TraceContext::OpenIf(opts.trace, "odd-even-transposition");
   PhaseStats stats;
   stats.name = "odd-even-transposition";
   std::int64_t max_queue = net.MaxQueue();
@@ -65,6 +66,7 @@ SortResult SnakeSortRun(Network& net, const BlockGrid& grid,
   }
   stats.max_queue = max_queue;
   stats.completed = sorted;
+  span.RecordRouting(stats.routing_steps, 0, stats.max_queue, 0);
   result.AddPhase(std::move(stats));
   result.fixup_rounds = rounds;
   return result;

@@ -34,13 +34,9 @@ SortResult TorusSortRun(Network& net, const BlockGrid& grid,
   LocalSortSpec all_k{k, nullptr};
 
   // (1) Local sort inside every block.
-  {
-    PhaseStats stats;
-    stats.name = "local-sort";
-    stats.local_steps = SortBlocksLocally(net, grid, {}, all_k, opts.cost);
-    stats.max_queue = net.MaxQueue();
-    result.AddPhase(std::move(stats));
-  }
+  result.AddPhase(sort_detail::LocalPhase(net, "local-sort", opts.trace, [&] {
+    return SortBlocksLocally(net, grid, {}, all_k, opts.cost);
+  }));
 
   // (2) Full unshuffle of originals over all blocks; copies to the antipodal
   // block of the original's destination.
@@ -64,20 +60,18 @@ SortResult TorusSortRun(Network& net, const BlockGrid& grid,
     }
     for (auto& [src, copy] : copies) net.Add(src, copy);
   }
-  result.AddPhase(sort_detail::RoutePhase(engine, net, "unshuffle+copies"));
+  result.AddPhase(
+      sort_detail::RoutePhase(engine, net, "unshuffle+copies", opts.trace));
 
   // (3) Sort originals and copies separately inside each block.
-  {
-    PhaseStats stats;
-    stats.name = "block-sort";
+  result.AddPhase(sort_detail::LocalPhase(net, "block-sort", opts.trace, [&] {
     LocalSortSpec originals{k, IsOriginal};
     LocalSortSpec copies{k, IsCopy};
-    stats.local_steps = SortBlocksLocally(net, grid, {}, originals, opts.cost);
-    stats.local_steps = std::max(
-        stats.local_steps, SortBlocksLocally(net, grid, {}, copies, opts.cost));
-    stats.max_queue = net.MaxQueue();
-    result.AddPhase(std::move(stats));
-  }
+    const std::int64_t originals_steps =
+        SortBlocksLocally(net, grid, {}, originals, opts.cost);
+    return std::max(originals_steps,
+                    SortBlocksLocally(net, grid, {}, copies, opts.cost));
+  }));
 
   // (3.5 + 4) Keep the closer of original/copy (ties keep the original);
   // route survivors to their estimated destinations.
@@ -126,7 +120,8 @@ SortResult TorusSortRun(Network& net, const BlockGrid& grid,
       for (Packet& pkt : survivors[static_cast<std::size_t>(p)]) net.Add(p, pkt);
     }
   }
-  result.AddPhase(sort_detail::RoutePhase(engine, net, "route-survivors"));
+  result.AddPhase(
+      sort_detail::RoutePhase(engine, net, "route-survivors", opts.trace));
 
   // (5) Odd-even fix-up merges.
   result.fixup_rounds = sort_detail::RunFixups(net, grid, k, opts, result);

@@ -9,19 +9,28 @@ namespace mdmesh {
 Cli::Cli(std::string program, std::string description)
     : program_(std::move(program)), description_(std::move(description)) {}
 
+std::string Cli::Normalize(const std::string& name) {
+  std::size_t start = 0;
+  while (start < name.size() && name[start] == '-') ++start;
+  return name.substr(start);
+}
+
 void Cli::AddInt(const std::string& name, std::int64_t def, const std::string& help) {
-  flags_[name] = Flag{Kind::kInt, std::to_string(def), std::to_string(def), help};
-  order_.push_back(name);
+  const std::string key = Normalize(name);
+  flags_[key] = Flag{Kind::kInt, std::to_string(def), std::to_string(def), help};
+  order_.push_back(key);
 }
 
 void Cli::AddString(const std::string& name, const std::string& def, const std::string& help) {
-  flags_[name] = Flag{Kind::kString, def, def, help};
-  order_.push_back(name);
+  const std::string key = Normalize(name);
+  flags_[key] = Flag{Kind::kString, def, def, help};
+  order_.push_back(key);
 }
 
 void Cli::AddBool(const std::string& name, bool def, const std::string& help) {
-  flags_[name] = Flag{Kind::kBool, def ? "1" : "0", def ? "1" : "0", help};
-  order_.push_back(name);
+  const std::string key = Normalize(name);
+  flags_[key] = Flag{Kind::kBool, def ? "1" : "0", def ? "1" : "0", help};
+  order_.push_back(key);
 }
 
 bool Cli::Parse(int argc, const char* const* argv) {
@@ -65,7 +74,7 @@ bool Cli::Parse(int argc, const char* const* argv) {
 }
 
 const Cli::Flag& Cli::Find(const std::string& name, Kind kind) const {
-  auto it = flags_.find(name);
+  auto it = flags_.find(Normalize(name));
   if (it == flags_.end() || it->second.kind != kind) {
     throw std::logic_error("flag not registered with this type: " + name);
   }

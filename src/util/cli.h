@@ -1,7 +1,10 @@
 // Tiny command-line flag parser for the example binaries.
 //
 // Supports `--name=value`, `--name value`, and boolean `--name`. Unknown
-// flags are an error so typos surface immediately.
+// flags are an error so typos surface immediately. Flag names may be given
+// with or without the leading dashes ("json" and "--json" register and look
+// up the same flag), so call sites can spell the flag the way the user
+// types it.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +35,8 @@ class Cli {
 
  private:
   enum class Kind { kInt, kString, kBool };
+  /// Strips any leading dashes: "--json" -> "json".
+  static std::string Normalize(const std::string& name);
   struct Flag {
     Kind kind;
     std::string value;

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/output.h"
+
 namespace mdmesh {
 namespace {
 
@@ -76,6 +82,68 @@ TEST(CliTest, WrongTypeAccessThrows) {
   ASSERT_TRUE(cli.Parse(1, argv));
   EXPECT_THROW(cli.GetInt("algo"), std::logic_error);
   EXPECT_THROW(cli.GetString("n"), std::logic_error);
+}
+
+TEST(CliTest, DashedRegistrationIsNormalized) {
+  // Registering "--json" and reading back "json" (or vice versa) must refer
+  // to the same flag — the registrar shouldn't care about the dash prefix.
+  Cli cli("prog", "test program");
+  cli.AddString("--json", "", "output path");
+  cli.AddBool("--quick", false, "smallest config");
+  const char* argv[] = {"prog", "--json=out.json", "--quick"};
+  ASSERT_TRUE(cli.Parse(3, argv));
+  EXPECT_EQ(cli.GetString("json"), "out.json");
+  EXPECT_EQ(cli.GetString("--json"), "out.json");
+  EXPECT_TRUE(cli.GetBool("quick"));
+}
+
+// ParseOutputFlags tests work on mutable argv copies, as main() would pass.
+struct ArgvFixture {
+  explicit ArgvFixture(std::vector<std::string> args) : storage(std::move(args)) {
+    for (std::string& s : storage) argv.push_back(s.data());
+    argc = static_cast<int>(argv.size());
+  }
+  std::vector<std::string> storage;
+  std::vector<char*> argv;
+  int argc = 0;
+};
+
+TEST(OutputFlagsTest, ParseExtractsAndCompactsArgv) {
+  ArgvFixture fx({"prog", "--json=out.json", "--benchmark_filter=NONE",
+                  "--trace-csv", "t.csv", "--quick"});
+  OutputFlags flags = ParseOutputFlags(&fx.argc, fx.argv.data());
+  EXPECT_EQ(flags.json, "out.json");
+  EXPECT_EQ(flags.trace_csv, "t.csv");
+  EXPECT_TRUE(flags.quick);
+  EXPECT_TRUE(flags.WantsJson());
+  EXPECT_TRUE(flags.WantsTrace());
+  // Unrecognized flags survive for the downstream parser, in order.
+  ASSERT_EQ(fx.argc, 2);
+  EXPECT_STREQ(fx.argv[0], "prog");
+  EXPECT_STREQ(fx.argv[1], "--benchmark_filter=NONE");
+}
+
+TEST(OutputFlagsTest, ParseLeavesUnrelatedArgvUntouched) {
+  ArgvFixture fx({"prog", "--benchmark_list_tests", "positional"});
+  OutputFlags flags = ParseOutputFlags(&fx.argc, fx.argv.data());
+  EXPECT_FALSE(flags.WantsJson());
+  EXPECT_FALSE(flags.WantsTrace());
+  EXPECT_FALSE(flags.quick);
+  ASSERT_EQ(fx.argc, 3);
+  EXPECT_STREQ(fx.argv[1], "--benchmark_list_tests");
+  EXPECT_STREQ(fx.argv[2], "positional");
+}
+
+TEST(OutputFlagsTest, RegisteredFlagsRoundTripThroughCli) {
+  Cli cli("prog", "test program");
+  AddOutputFlags(cli);
+  const char* argv[] = {"prog", "--json=a.jsonl", "--trace-csv=b.csv",
+                        "--quick"};
+  ASSERT_TRUE(cli.Parse(4, argv));
+  OutputFlags flags = GetOutputFlags(cli);
+  EXPECT_EQ(flags.json, "a.jsonl");
+  EXPECT_EQ(flags.trace_csv, "b.csv");
+  EXPECT_TRUE(flags.quick);
 }
 
 }  // namespace

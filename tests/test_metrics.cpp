@@ -84,6 +84,75 @@ TEST(MetricsTest, UtilizationZeroWhenNothingMoves) {
   EXPECT_EQ(r.LinkUtilization(), 0.0);
 }
 
+TEST(MetricsTest, UtilizationGuardsDegenerateCounters) {
+  // Any non-positive factor of the capacity must short-circuit to 0 rather
+  // than divide by zero or return a negative fraction.
+  RouteResult r;
+  r.moves = 100;
+  r.steps = 0;
+  r.links = 48;
+  EXPECT_EQ(r.LinkUtilization(), 0.0);
+  r.steps = 10;
+  r.links = 0;
+  EXPECT_EQ(r.LinkUtilization(), 0.0);
+  r.links = 48;
+  r.moves = -5;
+  EXPECT_EQ(r.LinkUtilization(), 0.0);
+}
+
+TEST(MetricsTest, UtilizationDoesNotOverflowOrExceedOne) {
+  RouteResult r;
+  // steps * links would overflow int64 if formed as an integer product.
+  r.steps = INT64_C(4) << 40;
+  r.links = INT64_C(4) << 40;
+  r.moves = 1;
+  const double util = r.LinkUtilization();
+  EXPECT_GT(util, 0.0);
+  EXPECT_LT(util, 1e-20);
+  // Inconsistent counters (moves beyond capacity) clamp to 1.
+  r.steps = 2;
+  r.links = 3;
+  r.moves = 1000;
+  EXPECT_EQ(r.LinkUtilization(), 1.0);
+}
+
+TEST(MetricsTest, ToJsonSerializesEveryField) {
+  RouteResult r;
+  r.steps = 12;
+  r.moves = 240;
+  r.max_queue = 4;
+  r.packets = 64;
+  r.links = 48;
+  r.max_distance = 9;
+  r.max_overshoot = 3;
+  r.completed = false;
+  const std::string json = r.ToJson();
+  EXPECT_NE(json.find("\"steps\":12"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"moves\":240"), std::string::npos);
+  EXPECT_NE(json.find("\"max_queue\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"packets\":64"), std::string::npos);
+  EXPECT_NE(json.find("\"links\":48"), std::string::npos);
+  EXPECT_NE(json.find("\"completed\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"link_utilization\":"), std::string::npos);
+  EXPECT_NE(json.find("\"max_distance\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"max_overshoot\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"overshoot_mean\":0"), std::string::npos);
+}
+
+TEST(MetricsTest, ToJsonMatchesMeasuredRun) {
+  Topology topo(2, 4, Wrap::kMesh);
+  Engine engine(topo);
+  Network net(topo);
+  Packet pkt;
+  pkt.dest = 5;
+  net.Add(0, pkt);
+  RouteResult r = engine.Route(net);
+  const std::string json = r.ToJson();
+  EXPECT_NE(json.find("\"steps\":" + std::to_string(r.steps)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"completed\":true"), std::string::npos);
+}
+
 TEST(MetricsTest, ObserverSeesEveryStep) {
   Topology topo(1, 8, Wrap::kMesh);
   EngineOptions opts;
