@@ -64,14 +64,10 @@ void PrintReproductionTable(const OutputFlags& flags) {
     opts.seed = 99;
     opts.engine.probe = &trace;
     RouteTwoPhase(topo, dest, opts);
-    std::ofstream csv(flags.trace_csv);
-    if (csv) {
-      trace.WriteCsv(csv);
-      std::fprintf(stderr, "wrote %zu trace sample(s) to %s\n",
-                   trace.samples().size(), flags.trace_csv.c_str());
-    } else {
-      std::fprintf(stderr, "cannot open %s\n", flags.trace_csv.c_str());
-    }
+    std::ofstream csv = OpenOutputFile(flags.trace_csv, "--trace-csv");
+    trace.WriteCsv(csv);
+    std::fprintf(stderr, "wrote %zu trace sample(s) to %s\n",
+                 trace.samples().size(), flags.trace_csv.c_str());
   }
 
   if (flags.quick) {

@@ -107,11 +107,7 @@ int main(int argc, char** argv) {
     json.WriteFile(out.json);
   }
   if (out.WantsTrace()) {
-    std::ofstream csv(out.trace_csv);
-    if (!csv) {
-      std::fprintf(stderr, "cannot open %s\n", out.trace_csv.c_str());
-      return 2;
-    }
+    std::ofstream csv = OpenOutputFile(out.trace_csv, "--trace-csv");
     congestion.WriteCsv(csv);
     std::fprintf(stderr, "wrote %zu trace sample(s) to %s\n",
                  congestion.samples().size(), out.trace_csv.c_str());

@@ -18,8 +18,12 @@
 #include "obs/probe.h"
 #include "obs/trace.h"
 
+// Fault injection (dead links/nodes, transient flaps).
+#include "fault/fault_plan.h"
+
 // Simulation kernel.
 #include "net/engine.h"
+#include "net/invariants.h"
 #include "net/metrics.h"
 #include "net/network.h"
 #include "net/packet.h"

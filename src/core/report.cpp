@@ -5,6 +5,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/output.h"
+
 namespace mdmesh {
 namespace {
 
@@ -239,18 +241,16 @@ void BenchJson::Write(std::ostream& os, bool jsonl) const {
 }
 
 bool BenchJson::WriteFile(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "BenchJson: cannot open " << path << " for writing\n";
-    return false;
-  }
+  // Open-or-die: a run pointed at an unwritable --json path must fail
+  // loudly instead of silently producing nothing.
+  std::ofstream out = OpenOutputFile(path, "--json");
   const bool jsonl =
       path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0;
   Write(out, jsonl);
   out.flush();
   if (!out) {
-    std::cerr << "BenchJson: error writing " << path << '\n';
-    return false;
+    std::cerr << "error: failed writing --json=" << path << '\n';
+    std::exit(1);
   }
   std::cerr << "BenchJson: wrote " << records_.size() << " record(s) to "
             << path << '\n';

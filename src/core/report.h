@@ -54,8 +54,9 @@ class BenchJson {
   /// Writes all records to `os`. JSONL emits one object per line; otherwise
   /// a pretty-printed JSON array.
   void Write(std::ostream& os, bool jsonl) const;
-  /// Writes to `path` (JSONL iff it ends in ".jsonl"). Returns false and
-  /// reports to stderr if the file cannot be written.
+  /// Writes to `path` (JSONL iff it ends in ".jsonl"). If the file cannot
+  /// be opened or written, prints a clear error to stderr and exits with
+  /// status 1 (a CI run must not silently lose its records).
   bool WriteFile(const std::string& path) const;
 
  private:

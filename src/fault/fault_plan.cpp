@@ -1,0 +1,188 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mdmesh {
+
+FaultPlan::FaultPlan(const Topology& topo)
+    : topo_(&topo),
+      dead_(static_cast<std::size_t>(topo.size()) *
+            static_cast<std::size_t>(2 * topo.dim())),
+      node_dead_(static_cast<std::size_t>(topo.size())) {}
+
+void FaultPlan::MarkDead(ProcId p, int dim, int dir) {
+  if (topo_->Neighbor(p, dim, dir) < 0) return;  // mesh boundary: no link
+  auto& cell = dead_[static_cast<std::size_t>(LinkIndex(p, dim, dir))];
+  if (cell == 0) {
+    cell = 1;
+    ++dead_links_;
+  }
+}
+
+void FaultPlan::KillLink(ProcId p, int dim, int dir) {
+  assert(p >= 0 && p < topo_->size() && dim >= 0 && dim < topo_->dim());
+  MarkDead(p, dim, dir);
+}
+
+void FaultPlan::KillLinkPair(ProcId p, int dim, int dir) {
+  const ProcId q = topo_->Neighbor(p, dim, dir);
+  if (q < 0) return;
+  MarkDead(p, dim, dir);
+  MarkDead(q, dim, 1 - dir);
+}
+
+void FaultPlan::KillNode(ProcId p) {
+  assert(p >= 0 && p < topo_->size());
+  auto& cell = node_dead_[static_cast<std::size_t>(p)];
+  if (cell != 0) return;
+  cell = 1;
+  ++dead_nodes_;
+  for (int dim = 0; dim < topo_->dim(); ++dim) {
+    for (int dir = 0; dir < 2; ++dir) {
+      MarkDead(p, dim, dir);
+      const ProcId q = topo_->Neighbor(p, dim, dir);
+      if (q >= 0) MarkDead(q, dim, 1 - dir);
+    }
+  }
+}
+
+void FaultPlan::AddFlap(ProcId p, int dim, int dir, std::int64_t start,
+                        std::int64_t duration) {
+  assert(start >= 1 && duration >= 1);
+  if (topo_->Neighbor(p, dim, dir) < 0) return;
+  flaps_.push_back(Flap{LinkIndex(p, dim, dir), start, duration});
+  max_flap_duration_ = std::max(max_flap_duration_, duration);
+}
+
+std::vector<FaultPlan::FlapEvent> FaultPlan::Events() const {
+  std::vector<FlapEvent> events;
+  events.reserve(flaps_.size() * 2);
+  for (const Flap& f : flaps_) {
+    events.push_back(FlapEvent{f.start, f.link, +1});
+    events.push_back(FlapEvent{f.start + f.duration, f.link, -1});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FlapEvent& a, const FlapEvent& b) {
+              if (a.step != b.step) return a.step < b.step;
+              if (a.link != b.link) return a.link < b.link;
+              return a.delta < b.delta;
+            });
+  return events;
+}
+
+FaultPlan FaultPlan::Random(const Topology& topo, const FaultSpec& spec,
+                            std::uint64_t seed) {
+  FaultPlan plan(topo);
+  Rng base(seed);
+  // Independent streams per fault kind, so e.g. raising the flap rate never
+  // reshuffles which permanent links die.
+  Rng links = base.Split(1);
+  Rng nodes = base.Split(2);
+  Rng flaps = base.Split(3);
+  const ProcId N = topo.size();
+  const int d = topo.dim();
+  if (spec.link_rate > 0.0) {
+    for (ProcId p = 0; p < N; ++p) {
+      for (int dim = 0; dim < d; ++dim) {
+        for (int dir = 0; dir < 2; ++dir) {
+          if (topo.Neighbor(p, dim, dir) < 0) continue;
+          if (links.Chance(spec.link_rate)) plan.KillLink(p, dim, dir);
+        }
+      }
+    }
+  }
+  if (spec.node_rate > 0.0) {
+    for (ProcId p = 0; p < N; ++p) {
+      if (nodes.Chance(spec.node_rate)) plan.KillNode(p);
+    }
+  }
+  if (spec.flap_rate > 0.0) {
+    const std::int64_t dur_span =
+        std::max<std::int64_t>(1, spec.flap_duration_max -
+                                      spec.flap_duration_min + 1);
+    for (ProcId p = 0; p < N; ++p) {
+      for (int dim = 0; dim < d; ++dim) {
+        for (int dir = 0; dir < 2; ++dir) {
+          if (topo.Neighbor(p, dim, dir) < 0) continue;
+          if (!flaps.Chance(spec.flap_rate)) continue;
+          const std::int64_t start =
+              1 + static_cast<std::int64_t>(flaps.Below(
+                      static_cast<std::uint64_t>(
+                          std::max<std::int64_t>(1, spec.flap_start_max))));
+          const std::int64_t duration =
+              spec.flap_duration_min +
+              static_cast<std::int64_t>(
+                  flaps.Below(static_cast<std::uint64_t>(dur_span)));
+          plan.AddFlap(p, dim, dir, start, duration);
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+std::vector<ProcId> FaultPlan::AliveNodes() const {
+  std::vector<ProcId> alive;
+  alive.reserve(static_cast<std::size_t>(topo_->size() - dead_nodes_));
+  for (ProcId p = 0; p < topo_->size(); ++p) {
+    if (node_dead_[static_cast<std::size_t>(p)] == 0) alive.push_back(p);
+  }
+  return alive;
+}
+
+bool FaultPlan::Connected() const {
+  const ProcId N = topo_->size();
+  const int d = topo_->dim();
+  ProcId source = -1;
+  std::int64_t alive = 0;
+  for (ProcId p = 0; p < N; ++p) {
+    if (node_dead_[static_cast<std::size_t>(p)] == 0) {
+      if (source < 0) source = p;
+      ++alive;
+    }
+  }
+  if (alive <= 1) return true;
+
+  // Strong connectivity of the directed alive graph: every alive node must
+  // be forward-reachable from `source` and reach it back (BFS on the graph
+  // and on its transpose).
+  auto bfs = [&](bool forward) {
+    std::vector<std::uint8_t> seen(static_cast<std::size_t>(N));
+    std::vector<ProcId> frontier{source};
+    seen[static_cast<std::size_t>(source)] = 1;
+    std::int64_t count = 1;
+    while (!frontier.empty()) {
+      const ProcId p = frontier.back();
+      frontier.pop_back();
+      for (int dim = 0; dim < d; ++dim) {
+        for (int dir = 0; dir < 2; ++dir) {
+          const ProcId q = topo_->Neighbor(p, dim, dir);
+          if (q < 0 || seen[static_cast<std::size_t>(q)] != 0) continue;
+          if (node_dead_[static_cast<std::size_t>(q)] != 0) continue;
+          // Forward: edge p -> q uses p's (dim, dir) link. Backward: edge
+          // q -> p uses q's (dim, 1 - dir) link.
+          const std::int64_t link = forward ? LinkIndex(p, dim, dir)
+                                           : LinkIndex(q, dim, 1 - dir);
+          if (dead_[static_cast<std::size_t>(link)] != 0) continue;
+          seen[static_cast<std::size_t>(q)] = 1;
+          ++count;
+          frontier.push_back(q);
+        }
+      }
+    }
+    return count;
+  };
+  return bfs(/*forward=*/true) == alive && bfs(/*forward=*/false) == alive;
+}
+
+void FaultPlan::WriteJson(JsonWriter& w) const {
+  w.BeginObject();
+  w.Key("dead_links").Int(dead_links_);
+  w.Key("dead_nodes").Int(dead_nodes_);
+  w.Key("flaps").Int(static_cast<std::int64_t>(flaps_.size()));
+  w.Key("max_flap_duration").Int(max_flap_duration_);
+  w.EndObject();
+}
+
+}  // namespace mdmesh

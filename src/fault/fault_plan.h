@@ -1,0 +1,137 @@
+// Deterministic, seeded fault injection for the routing engine.
+//
+// A FaultPlan describes which parts of the network are broken: permanently
+// dead directed links, dead processors (every incident directed link dies,
+// in both directions), and transient link "flaps" — a directed link that is
+// down for a contiguous window of steps and then recovers. The engine honors
+// the plan per step: a dead link transmits nothing, and the adaptive detour
+// policy (net/engine.h) routes around permanent damage.
+//
+// Step semantics: flap windows are expressed in the engine's 1-based step
+// counter and are *relative to each Engine::Route call* — a multi-phase
+// algorithm replays the schedule in every phase. A flap with start s and
+// duration t keeps the link dead during steps s, s+1, ..., s+t-1.
+//
+// Determinism: Random() derives everything from (topology, spec, seed) via
+// split RNG streams, so a plan is reproducible across runs, platforms, and
+// thread counts. Plans are immutable once handed to an Engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "meshsim/topology.h"
+#include "obs/json.h"
+#include "util/rng.h"
+
+namespace mdmesh {
+
+/// Fault rates for FaultPlan::Random. Rates are per directed link (or per
+/// node) Bernoulli probabilities; 0 everywhere yields an empty plan.
+struct FaultSpec {
+  double link_rate = 0.0;  ///< permanently dead directed links
+  double node_rate = 0.0;  ///< dead processors
+  double flap_rate = 0.0;  ///< links that flap once during the run
+
+  /// Flap start is uniform in [1, flap_start_max]; duration is uniform in
+  /// [flap_duration_min, flap_duration_max].
+  std::int64_t flap_start_max = 256;
+  std::int64_t flap_duration_min = 4;
+  std::int64_t flap_duration_max = 64;
+
+  bool empty() const {
+    return link_rate <= 0.0 && node_rate <= 0.0 && flap_rate <= 0.0;
+  }
+};
+
+class FaultPlan {
+ public:
+  /// One transient outage of a directed link.
+  struct Flap {
+    std::int64_t link = 0;      ///< global directed link index
+    std::int64_t start = 1;     ///< first dead step (1-based)
+    std::int64_t duration = 1;  ///< number of consecutive dead steps
+  };
+
+  /// Flap edge: at `step`, add `delta` (+1 down / -1 up) to the link's
+  /// outage count. Sorted by (step, link, delta) in events().
+  struct FlapEvent {
+    std::int64_t step = 0;
+    std::int64_t link = 0;
+    std::int32_t delta = 0;
+  };
+
+  explicit FaultPlan(const Topology& topo);
+
+  /// Samples a plan from `spec` with the given seed. Deterministic: the
+  /// same (topology, spec, seed) always yields the same plan.
+  static FaultPlan Random(const Topology& topo, const FaultSpec& spec,
+                          std::uint64_t seed);
+
+  const Topology& topo() const { return *topo_; }
+
+  /// Global index of the directed link leaving `p` along (dim, dir) —
+  /// matches the engine's slot layout: p * 2d + dim * 2 + dir.
+  std::int64_t LinkIndex(ProcId p, int dim, int dir) const {
+    return p * 2 * topo_->dim() + dim * 2 + dir;
+  }
+
+  /// Kills the directed link leaving `p` along (dim, dir). No-op on a mesh
+  /// boundary (the link does not exist).
+  void KillLink(ProcId p, int dim, int dir);
+  /// Kills both directions between `p` and its (dim, dir) neighbor.
+  void KillLinkPair(ProcId p, int dim, int dir);
+  /// Kills `p`: all 2d outgoing links plus every neighbor's link toward p.
+  void KillNode(ProcId p);
+  /// Schedules a transient outage of the link leaving `p` along (dim, dir).
+  /// Requires start >= 1 and duration >= 1; no-op on a mesh boundary.
+  void AddFlap(ProcId p, int dim, int dir, std::int64_t start,
+               std::int64_t duration);
+
+  bool empty() const { return dead_links_ == 0 && flaps_.empty(); }
+  std::int64_t dead_link_count() const { return dead_links_; }
+  std::int64_t dead_node_count() const { return dead_nodes_; }
+  std::size_t flap_count() const { return flaps_.size(); }
+  std::int64_t max_flap_duration() const { return max_flap_duration_; }
+
+  bool NodeDead(ProcId p) const {
+    return node_dead_[static_cast<std::size_t>(p)] != 0;
+  }
+  bool LinkDead(ProcId p, int dim, int dir) const {
+    return dead_[static_cast<std::size_t>(LinkIndex(p, dim, dir))] != 0;
+  }
+
+  /// Permanent dead mask over all N * 2d directed link slots (includes the
+  /// links implied by dead nodes). The engine copies this once per run.
+  const std::vector<std::uint8_t>& dead_mask() const { return dead_; }
+  const std::vector<Flap>& flaps() const { return flaps_; }
+
+  /// All flap edges sorted by (step, link, delta) — the per-step schedule
+  /// the engine consumes.
+  std::vector<FlapEvent> Events() const;
+
+  /// Processors that are not dead, in id order.
+  std::vector<ProcId> AliveNodes() const;
+
+  /// True when the alive subgraph under the *permanent* faults (flaps
+  /// ignored — they heal) is strongly connected, i.e. every alive processor
+  /// can still route to every other. Networks with <= 1 alive processor
+  /// count as connected.
+  bool Connected() const;
+
+  /// Summary object: {dead_links, dead_nodes, flaps, max_flap_duration}.
+  void WriteJson(JsonWriter& w) const;
+
+ private:
+  void MarkDead(ProcId p, int dim, int dir);
+
+  const Topology* topo_;
+  std::vector<std::uint8_t> dead_;       ///< N * 2d permanent dead mask
+  std::vector<std::uint8_t> node_dead_;  ///< N dead-node mask
+  std::vector<Flap> flaps_;
+  std::int64_t dead_links_ = 0;  ///< distinct dead directed links
+  std::int64_t dead_nodes_ = 0;
+  std::int64_t max_flap_duration_ = 0;
+};
+
+}  // namespace mdmesh

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <stdexcept>
 
 namespace mdmesh {
 namespace {
@@ -11,6 +12,45 @@ namespace {
 /// maxima stay single-digit (the multi-packet model's O(1)); longer queues
 /// clamp into the last bucket and show up as overflow.
 constexpr std::size_t kQueueHistBuckets = 64;
+
+/// Watchdog default: a fault-free engine moves at least one packet every
+/// step, so this many consecutive zero-move steps means a real deadlock.
+constexpr std::int64_t kDefaultStallWindow = 64;
+
+/// A packet whose accumulated slack (steps elapsed beyond its ideal
+/// shortest-path schedule) exceeds this starts rotating the fallback detour
+/// order, so a detour cycle cannot repeat the same two hops forever.
+constexpr std::int64_t kDetourRotateSlack = 4;
+
+/// Past this much slack the packet is assumed trapped in a cycle the plain
+/// fallback order cannot escape (e.g. its class insists on re-correcting a
+/// sidestep dimension straight back into the wall); it then makes an
+/// occasional hash-randomized choice over *every* alive hop, progress hops
+/// included, so any escape edge is eventually tried.
+constexpr std::int64_t kScrambleSlack = 16;
+
+/// Mixes (step, packet id) into rotation choices for trapped packets. Slack
+/// alone is unusable as a rotation source: it can grow by an exact multiple
+/// of the candidate count per trap cycle, repeating the same choices forever.
+/// The hash sequence never repeats across steps, so a deterministic limit
+/// cycle cannot persist — and it stays identical across thread counts.
+inline std::uint64_t DetourHash(std::int64_t step, std::int64_t id) {
+  std::uint64_t x = (static_cast<std::uint64_t>(step) << 32) ^
+                    (static_cast<std::uint64_t>(id) * 0x9e3779b97f4a7c15ull);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+inline int LockDim(std::uint16_t flags) { return (flags >> 9) & 0xF; }
+inline int LockDir(std::uint16_t flags) { return (flags >> 13) & 1; }
+inline std::uint16_t MakeLock(int dim, int dir) {
+  return static_cast<std::uint16_t>(Packet::kLockActive | (dim << 9) |
+                                    (dir << 13));
+}
 
 /// Finds the next hop for a packet at coordinates `cp` heading to `dc`,
 /// visiting dimensions in the rotated order starting at `klass`. Returns the
@@ -52,6 +92,186 @@ std::int64_t NextHop(const std::int32_t* cp, const std::int32_t* dc, int d,
   return rem;
 }
 
+/// Fault-aware hop selection: like NextHop, but skips dead links. Candidate
+/// order — (1) the preferred hop; (2) the other uncorrected dimensions in
+/// rotated order (still shortest-path progress, merely out of dimension
+/// order); (3) fallbacks that temporarily increase distance: sidesteps
+/// through corrected dimensions first (cost 2 around a wall), then the
+/// reverse direction of each uncorrected dimension.
+///
+/// Local information alone livelocks: the node *next to* a dead link sees a
+/// healthy shortest-way hop pointing straight back at the wall. Two
+/// stateless-per-step escapes handle that, both derived from state the
+/// packet already carries:
+///  - Wrong-way commitment (torus): taking a reverse fallback locks that
+///    (dimension, direction) into the packet's flag bits, and the packet
+///    keeps walking the long way around the ring until the dimension is
+///    corrected (or the locked path itself dies).
+///  - Slack-gated randomization: slack = steps elapsed beyond the packet's
+///    ideal shortest-path schedule (from `step` and `dist0`), monotone
+///    while stuck. Past kDetourRotateSlack the fallback order rotates by a
+///    per-step hash; past kScrambleSlack the packet additionally makes a
+///    hash-randomized choice over every alive hop on ~1 in 4 steps. The
+///    perturbation is intermittent, so a packet that escapes its trap still
+///    drifts home greedily; a trapped one keeps getting kicked until some
+///    kick lands on an escape edge.
+///
+/// Sets dim = -1 when every outgoing link is dead (the packet cannot bid);
+/// `detour` is set when the chosen hop differs from the fault-free one.
+/// Returns the remaining first-leg distance, like NextHop.
+std::int64_t NextHopFaulted(const Topology& topo, ProcId p,
+                            const std::int32_t* cp, const std::int32_t* dc,
+                            int d, int n, bool torus, std::uint16_t klass,
+                            std::int64_t id, std::uint16_t& flags,
+                            const std::uint8_t* dead, std::int64_t step,
+                            std::int32_t dist0, std::int64_t twoleg_extra,
+                            int& dim, int& dir, bool& detour) {
+  int u_dim[kMaxDim], u_dir[kMaxDim];
+  int nu = 0;
+  std::int64_t rem = 0;
+  for (int t = 0; t < d; ++t) {
+    int i = klass + t;
+    if (i >= d) i -= d;
+    const std::int32_t c = cp[i];
+    const std::int32_t g = dc[i];
+    if (c == g) continue;
+    std::int64_t dist;
+    int sgn;
+    if (torus) {
+      std::int64_t forward = Mod(g - c, n);
+      if (forward <= n - forward) {
+        dist = forward;
+        sgn = 1;
+      } else {
+        dist = n - forward;
+        sgn = -1;
+      }
+    } else {
+      dist = AbsDiff(c, g);
+      sgn = g > c ? 1 : -1;
+    }
+    rem += dist;
+    u_dim[nu] = i;
+    u_dir[nu] = sgn > 0 ? 1 : 0;
+    ++nu;
+  }
+  dim = -1;
+  dir = 0;
+  detour = false;
+  if (nu == 0) {
+    flags &= static_cast<std::uint16_t>(~Packet::kLockMask);
+    return 0;
+  }
+  // Boundary links (mesh) are filtered by the Neighbor check; the dead mask
+  // only covers existing links.
+  const auto alive = [&](int di, int dr) {
+    return dead[di * 2 + dr] == 0 && topo.Neighbor(p, di, dr) >= 0;
+  };
+  const std::int64_t slack = (step - 1) - (dist0 - (rem + twoleg_extra));
+  const std::uint64_t hash =
+      slack > kDetourRotateSlack ? DetourHash(step, id) : 0;
+  if ((flags & Packet::kLockActive) != 0) {
+    const int ld = LockDim(flags);
+    const int ldir = LockDir(flags);
+    if (cp[ld] == dc[ld]) {
+      // Dimension corrected: the commitment paid off.
+      flags &= static_cast<std::uint16_t>(~Packet::kLockMask);
+    } else if (alive(ld, ldir)) {
+      dim = ld;
+      dir = ldir;
+      detour = ld != u_dim[0] || ldir != u_dir[0];
+      return rem;
+    } else {
+      // The committed ring is blocked here. Sidestep to an adjacent ring
+      // and KEEP the lock — the packet rounds the fault block instead of
+      // bouncing back toward the distance gradient it committed against.
+      const int np = 2 * (d - 1);
+      for (int t = 0; t < np; ++t) {
+        int k = t + (np > 0 ? static_cast<int>(DetourHash(step, ~id) %
+                                               static_cast<std::uint64_t>(np))
+                            : 0);
+        if (k >= np) k -= np;
+        int i = k / 2;
+        if (i >= ld) ++i;  // skip the locked dimension
+        const int dr = k & 1;
+        if (!alive(i, dr)) continue;
+        dim = i;
+        dir = dr;
+        detour = true;
+        return rem;
+      }
+      // Fully cornered on the committed path: give up the lock.
+      flags &= static_cast<std::uint16_t>(~Packet::kLockMask);
+    }
+  }
+  const bool scramble_now = slack > kScrambleSlack && (hash & 3) == 0;
+  if (!scramble_now) {
+    if (alive(u_dim[0], u_dir[0])) {
+      dim = u_dim[0];
+      dir = u_dir[0];
+      return rem;
+    }
+    for (int k = 1; k < nu; ++k) {
+      if (alive(u_dim[k], u_dir[k])) {
+        dim = u_dim[k];
+        dir = u_dir[k];
+        detour = true;
+        return rem;
+      }
+    }
+  }
+  int c_dim[4 * kMaxDim], c_dir[4 * kMaxDim];
+  bool c_rev[4 * kMaxDim];
+  int nc = 0;
+  if (scramble_now) {
+    for (int k = 0; k < nu; ++k) {
+      c_dim[nc] = u_dim[k];
+      c_dir[nc] = u_dir[k];
+      c_rev[nc] = false;
+      ++nc;
+    }
+  }
+  for (int t = 0; t < d; ++t) {
+    int i = klass + t;
+    if (i >= d) i -= d;
+    if (cp[i] != dc[i]) continue;
+    c_dim[nc] = i;
+    c_dir[nc] = 1;
+    c_rev[nc] = false;
+    ++nc;
+    c_dim[nc] = i;
+    c_dir[nc] = 0;
+    c_rev[nc] = false;
+    ++nc;
+  }
+  for (int k = 0; k < nu; ++k) {
+    c_dim[nc] = u_dim[k];
+    c_dir[nc] = 1 - u_dir[k];
+    c_rev[nc] = true;
+    ++nc;
+  }
+  // Rotate with bits independent of the (hash & 3) scramble gate — reusing
+  // the low bits would make every scramble step pick rotation 0.
+  const int rot =
+      (nc > 0 && slack > kDetourRotateSlack)
+          ? static_cast<int>((hash >> 8) % static_cast<std::uint64_t>(nc))
+          : 0;
+  for (int t = 0; t < nc; ++t) {
+    int k = t + rot;
+    if (k >= nc) k -= nc;
+    if (!alive(c_dim[k], c_dir[k])) continue;
+    dim = c_dim[k];
+    dir = c_dir[k];
+    detour = dim != u_dim[0] || dir != u_dir[0];
+    if (torus && c_rev[k]) {
+      flags = static_cast<std::uint16_t>(
+          (flags & ~Packet::kLockMask) | MakeLock(dim, dir));
+    }
+    return rem;
+  }
+  return rem;  // fully walled in: every outgoing link is dead
+}
+
 }  // namespace
 
 Engine::Engine(const Topology& topo, EngineOptions opts)
@@ -64,9 +284,24 @@ Engine::Engine(const Topology& topo, EngineOptions opts)
       slot_prio_(slot_.size()),
       next_(static_cast<std::size_t>(topo.size())) {
   if (opts_.pool == nullptr) opts_.pool = &ThreadPool::Global();
+  if (opts_.faults != nullptr && !opts_.faults->empty()) {
+    const Topology& ft = opts_.faults->topo();
+    if (ft.dim() != topo.dim() || ft.side() != topo.side() ||
+        ft.wrap() != topo.wrap()) {
+      throw std::invalid_argument(
+          "Engine: FaultPlan was built for a different topology");
+    }
+    have_faults_ = true;
+    link_dead_perm_ = opts_.faults->dead_mask();
+    link_dead_ = link_dead_perm_;
+    flap_count_.assign(link_dead_.size(), 0);
+    events_ = opts_.faults->Events();
+  }
 }
 
-void Engine::StepPhaseA(Network& net, std::int64_t begin, std::int64_t end) {
+template <bool kFaults>
+void Engine::StepPhaseA(Network& net, std::int64_t step, std::int64_t begin,
+                        std::int64_t end) {
   const bool torus = topo_->torus();
   const auto links = static_cast<std::size_t>(2 * d_);
   auto& queues = net.queues();
@@ -82,15 +317,35 @@ void Engine::StepPhaseA(Network& net, std::int64_t begin, std::int64_t end) {
     for (std::size_t k = 0; k < q.size(); ++k) {
       Packet& pkt = q[k];
       if (pkt.dest == p) continue;
+      const std::int32_t* dc =
+          &coords_[static_cast<std::size_t>(pkt.dest) * static_cast<std::size_t>(d_)];
       int dim, dir;
-      std::int64_t rem = NextHop(
-          cp, &coords_[static_cast<std::size_t>(pkt.dest) * static_cast<std::size_t>(d_)],
-          d_, n_, torus, pkt.klass, dim, dir);
-      assert(dim >= 0);
-      // Farthest-first priority counts the full remaining path of a
-      // two-leg packet, not just the current leg.
-      if ((pkt.flags & Packet::kTwoLeg) != 0) {
-        rem += topo_->Dist(pkt.dest, static_cast<ProcId>(pkt.tag));
+      std::int64_t rem;
+      if constexpr (kFaults) {
+        // Farthest-first priority counts the full remaining path of a
+        // two-leg packet, not just the current leg.
+        std::int64_t extra = 0;
+        if ((pkt.flags & Packet::kTwoLeg) != 0) {
+          extra = topo_->Dist(pkt.dest, static_cast<ProcId>(pkt.tag));
+        }
+        bool is_detour = false;
+        rem = NextHopFaulted(*topo_, p, cp, dc, d_, n_, torus, pkt.klass,
+                             pkt.id, pkt.flags, &link_dead_[base], step,
+                             pkt.dist0, extra, dim, dir, is_detour);
+        pkt.flags = is_detour
+                        ? static_cast<std::uint16_t>(pkt.flags | Packet::kDetour)
+                        : static_cast<std::uint16_t>(pkt.flags &
+                                                     ~Packet::kDetour);
+        rem += extra;
+        if (dim < 0) continue;  // every outgoing link is dead: cannot bid
+      } else {
+        rem = NextHop(cp, dc, d_, n_, torus, pkt.klass, dim, dir);
+        assert(dim >= 0);
+        // Farthest-first priority counts the full remaining path of a
+        // two-leg packet, not just the current leg.
+        if ((pkt.flags & Packet::kTwoLeg) != 0) {
+          rem += topo_->Dist(pkt.dest, static_cast<ProcId>(pkt.tag));
+        }
       }
       const std::size_t l = base + static_cast<std::size_t>(dim * 2 + dir);
       const auto cur = slot_[l];
@@ -109,6 +364,52 @@ void Engine::StepPhaseA(Network& net, std::int64_t begin, std::int64_t end) {
   }
 }
 
+std::shared_ptr<StallReport> Engine::BuildStallReport(
+    const Network& net, StallReason reason, std::int64_t step,
+    std::int64_t no_progress) const {
+  auto report = std::make_shared<StallReport>();
+  report->reason = reason;
+  report->step = step;
+  report->no_progress_steps = no_progress;
+  const bool torus = topo_->torus();
+  for (ProcId p = 0; p < topo_->size(); ++p) {
+    for (const Packet& pkt : net.At(p)) {
+      if (pkt.arrived >= 0) continue;
+      ++report->stuck_packets;
+      if (report->sample.size() >= StallReport::kSampleCap) continue;
+      StallReport::StuckPacket stuck;
+      stuck.id = pkt.id;
+      stuck.at = p;
+      stuck.dest = pkt.dest;
+      const std::int32_t* cp =
+          &coords_[static_cast<std::size_t>(p) * static_cast<std::size_t>(d_)];
+      const std::int32_t* dc =
+          &coords_[static_cast<std::size_t>(pkt.dest) * static_cast<std::size_t>(d_)];
+      // Report the *fault-free preferred* hop: the link the packet wants,
+      // which is the interesting one when it is dead.
+      int dim, dir;
+      stuck.remaining = NextHop(cp, dc, d_, n_, torus, pkt.klass, dim, dir);
+      if ((pkt.flags & Packet::kTwoLeg) != 0) {
+        stuck.remaining += topo_->Dist(pkt.dest, static_cast<ProcId>(pkt.tag));
+      }
+      stuck.want_dim = dim;
+      stuck.want_dir = dir;
+      if (have_faults_ && dim >= 0) {
+        const std::int64_t link = p * 2 * d_ + dim * 2 + dir;
+        stuck.link_dead = link_dead_[static_cast<std::size_t>(link)] != 0;
+        if (stuck.link_dead &&
+            std::find(report->blocked_links.begin(),
+                      report->blocked_links.end(),
+                      link) == report->blocked_links.end()) {
+          report->blocked_links.push_back(link);
+        }
+      }
+      report->sample.push_back(stuck);
+    }
+  }
+  return report;
+}
+
 RouteResult Engine::Route(Network& net) {
   RouteResult result;
   const ProcId N = topo_->size();
@@ -121,7 +422,8 @@ RouteResult Engine::Route(Network& net) {
   std::int64_t in_flight = 0;  // packets not yet at their final destination
   for (ProcId p = 0; p < N; ++p) {
     for (Packet& pkt : queues[static_cast<std::size_t>(p)]) {
-      pkt.flags &= static_cast<std::uint16_t>(~Packet::kMoving);
+      pkt.flags &= static_cast<std::uint16_t>(
+          ~(Packet::kMoving | Packet::kDetour | Packet::kLockMask));
       if ((pkt.flags & Packet::kTwoLeg) != 0) {
         pkt.dist0 = static_cast<std::int32_t>(
             topo_->Dist(p, pkt.dest) +
@@ -152,8 +454,36 @@ RouteResult Engine::Route(Network& net) {
     cap = 4 * load * (topo_->Diameter() + n_) + 4096;
   }
 
+  // Fault bookkeeping. Flap windows are relative to each Route call, so the
+  // transient state resets here.
+  std::size_t event_cursor = 0;
+  if (have_faults_) {
+    link_dead_ = link_dead_perm_;
+    std::fill(flap_count_.begin(), flap_count_.end(), 0);
+  }
+
+  // Stall watchdog: abort after `stall_window` consecutive steps in which
+  // nothing moved and no fault event fired (instead of burning to the cap).
+  std::int64_t stall_window = opts_.stall_window;
+  if (stall_window == 0) {
+    stall_window = kDefaultStallWindow;
+    if (opts_.faults != nullptr) {
+      stall_window += 2 * opts_.faults->max_flap_duration();
+    }
+  }
+  const bool watchdog_on = stall_window > 0;
+  std::int64_t no_progress = 0;
+  bool watchdog_fired = false;
+
+  std::unique_ptr<InvariantChecker> checker;
+  if (InvariantsEnabled(opts_.invariants)) {
+    checker = std::make_unique<InvariantChecker>(*topo_);
+    checker->BeginRun(net);
+  }
+
   std::atomic<std::int64_t> arrivals_total{0};
   std::atomic<std::int64_t> moves_total{0};
+  std::atomic<std::int64_t> detours_total{0};
   std::atomic<std::int64_t> queue_max{result.max_queue};
 
   // Probe support: per-dimension directed-link move counters, collected
@@ -164,20 +494,46 @@ RouteResult Engine::Route(Network& net) {
   std::vector<std::int64_t> dir_moves_snapshot(dir_slots);
   const bool want_hist = probe != nullptr && probe->WantsQueueHistogram();
 
+  const bool have_faults = have_faults_;
   std::int64_t step = 0;
   std::int64_t prev_arrivals = 0;
   std::int64_t prev_moves = 0;
+  std::int64_t wd_prev_moves = 0;
   while (in_flight > arrivals_total.load(std::memory_order_relaxed) &&
          step < cap) {
     ++step;
+    // Apply this step's scheduled flap edges before anyone bids.
+    bool fault_event = false;
+    if (have_faults) {
+      while (event_cursor < events_.size() &&
+             events_[event_cursor].step == step) {
+        const FaultPlan::FlapEvent& ev = events_[event_cursor++];
+        const auto l = static_cast<std::size_t>(ev.link);
+        flap_count_[l] += ev.delta;
+        assert(flap_count_[l] >= 0);
+        link_dead_[l] = (link_dead_perm_[l] != 0 || flap_count_[l] > 0) ? 1 : 0;
+        fault_event = true;
+      }
+    }
     for (auto& c : dir_moves_atomic) c.store(0, std::memory_order_relaxed);
-    opts_.pool->ParallelFor(N, [&](std::int64_t begin, std::int64_t end) {
-      StepPhaseA(net, begin, end);
-    });
+    if (have_faults) {
+      opts_.pool->ParallelFor(N, [&](std::int64_t begin, std::int64_t end) {
+        StepPhaseA<true>(net, step, begin, end);
+      });
+    } else {
+      opts_.pool->ParallelFor(N, [&](std::int64_t begin, std::int64_t end) {
+        StepPhaseA<false>(net, step, begin, end);
+      });
+    }
+    if (checker != nullptr) {
+      checker->CheckSlots(net, slot_, have_faults ? link_dead_.data() : nullptr,
+                          step);
+    }
     const std::int32_t now = static_cast<std::int32_t>(step);
     opts_.pool->ParallelFor(N, [&](std::int64_t begin, std::int64_t end) {
       std::int64_t local_arrivals = 0;
       std::int64_t local_moves = 0;
+      std::int64_t local_detours = 0;
       std::int64_t local_qmax = 0;
       std::vector<std::int64_t> local_dirs(dir_slots, 0);
       for (ProcId p = begin; p < end; ++p) {
@@ -199,7 +555,11 @@ RouteResult Engine::Route(Network& net) {
             const auto k = slot_[l];
             if (k < 0) continue;
             Packet pkt = queues[static_cast<std::size_t>(q)][static_cast<std::size_t>(k)];
-            pkt.flags &= static_cast<std::uint16_t>(~Packet::kMoving);
+            if (have_faults && (pkt.flags & Packet::kDetour) != 0) {
+              ++local_detours;
+            }
+            pkt.flags &= static_cast<std::uint16_t>(
+                ~(Packet::kMoving | Packet::kDetour));
             ++local_moves;
             if (dir_slots != 0) {
               // The packet crossed q's (dim, 1-dir) directed link.
@@ -227,6 +587,9 @@ RouteResult Engine::Route(Network& net) {
       }
       arrivals_total.fetch_add(local_arrivals, std::memory_order_relaxed);
       moves_total.fetch_add(local_moves, std::memory_order_relaxed);
+      if (local_detours != 0) {
+        detours_total.fetch_add(local_detours, std::memory_order_relaxed);
+      }
       for (std::size_t i = 0; i < dir_slots; ++i) {
         if (local_dirs[i] != 0) {
           dir_moves_atomic[i].fetch_add(local_dirs[i], std::memory_order_relaxed);
@@ -238,6 +601,7 @@ RouteResult Engine::Route(Network& net) {
       }
     });
     queues.swap(next_);
+    if (checker != nullptr) checker->CheckStep(net, step);
     if (opts_.observer || probe != nullptr) {
       const std::int64_t arrived_now = arrivals_total.load(std::memory_order_relaxed);
       const std::int64_t arrivals_this = arrived_now - prev_arrivals;
@@ -268,12 +632,32 @@ RouteResult Engine::Route(Network& net) {
       }
       prev_arrivals = arrived_now;
     }
+    if (watchdog_on) {
+      const std::int64_t moves_now = moves_total.load(std::memory_order_relaxed);
+      if (moves_now == wd_prev_moves && !fault_event) {
+        ++no_progress;
+      } else {
+        no_progress = 0;
+      }
+      wd_prev_moves = moves_now;
+      if (no_progress >= stall_window &&
+          in_flight > arrivals_total.load(std::memory_order_relaxed)) {
+        watchdog_fired = true;
+        break;
+      }
+    }
   }
 
   result.steps = step;
   result.moves = moves_total.load();
+  result.detours = detours_total.load();
   result.max_queue = queue_max.load();
   result.completed = in_flight == arrivals_total.load();
+  if (!result.completed) {
+    result.stall_report = BuildStallReport(
+        net, watchdog_fired ? StallReason::kWatchdog : StallReason::kStepCap,
+        step, no_progress);
+  }
 
   // Overshoot statistics.
   for (ProcId p = 0; p < N; ++p) {

@@ -9,6 +9,18 @@
 // farthest remaining distance wins (ties broken by smaller packet id), which
 // is the paper's contention rule.
 //
+// Fault injection (fault/fault_plan.h): when a FaultPlan is attached, a dead
+// directed link transmits nothing that step, and packets route around
+// permanent damage with an adaptive detour policy — preferred hop first,
+// then the other uncorrected dimensions, then (torus-aware) the long way
+// around, then a sidestep through an already-corrected dimension; a
+// slack-driven rotation of the fallback order breaks detour cycles. A stall
+// watchdog aborts with a structured StallReport instead of burning to the
+// step cap when nothing moves for a whole window, and an opt-in
+// InvariantChecker (net/invariants.h) validates conservation and link
+// capacity per step. The fault-free hot path is untouched: with no plan (or
+// an empty one) the engine behaves byte-identically to a fault-unaware one.
+//
 // The engine is deterministic: identical inputs give identical step counts
 // and final placements regardless of thread count (each directed link has a
 // unique writer, so the parallel update is race-free by construction).
@@ -16,8 +28,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "fault/fault_plan.h"
+#include "net/invariants.h"
 #include "net/metrics.h"
 #include "net/network.h"
 #include "obs/probe.h"
@@ -28,7 +43,7 @@ namespace mdmesh {
 struct EngineOptions {
   /// Hard stop; 0 means "auto" (scaled from diameter and load, generous
   /// enough for every algorithm in the paper; hitting it means a bug and is
-  /// reported via RouteResult::completed = false).
+  /// reported via RouteResult::completed = false plus a StallReport).
   std::int64_t step_cap = 0;
 
   /// Thread pool; nullptr uses ThreadPool::Global().
@@ -45,10 +60,27 @@ struct EngineOptions {
   /// the probe asks for it — a queue-occupancy histogram each step. Costs
   /// nothing when null.
   StepProbe* probe = nullptr;
+
+  /// Optional fault plan (must be built on the same topology; outlives the
+  /// engine). Null or empty leaves the fault-free hot path byte-identical.
+  const FaultPlan* faults = nullptr;
+
+  /// Stall watchdog window: abort with a StallReport after this many
+  /// consecutive steps in which no packet moved and no scheduled fault
+  /// event fired. 0 picks an automatic window (generous against the plan's
+  /// longest flap); < 0 disables the watchdog. A fault-free run always
+  /// moves at least one packet per step, so the watchdog never fires there.
+  std::int64_t stall_window = 0;
+
+  /// Per-step invariant checking (net/invariants.h). kAuto enables it in
+  /// debug builds (NDEBUG undefined) and disables it otherwise.
+  InvariantMode invariants = InvariantMode::kAuto;
 };
 
 class Engine {
  public:
+  /// Throws std::invalid_argument if opts.faults targets a different
+  /// topology shape.
   explicit Engine(const Topology& topo, EngineOptions opts = {});
 
   const Topology& topo() const { return *topo_; }
@@ -59,7 +91,14 @@ class Engine {
   RouteResult Route(Network& net);
 
  private:
-  void StepPhaseA(Network& net, std::int64_t begin, std::int64_t end);
+  template <bool kFaults>
+  void StepPhaseA(Network& net, std::int64_t step, std::int64_t begin,
+                  std::int64_t end);
+
+  std::shared_ptr<StallReport> BuildStallReport(const Network& net,
+                                                StallReason reason,
+                                                std::int64_t step,
+                                                std::int64_t no_progress) const;
 
   const Topology* topo_;
   EngineOptions opts_;
@@ -69,6 +108,13 @@ class Engine {
   std::vector<std::int32_t> slot_;          // N x 2d winner queue-index
   std::vector<std::int64_t> slot_prio_;     // N x 2d winner priority
   std::vector<PacketQueue> next_;           // double buffer for queues
+
+  // Fault state (empty vectors when no plan is attached).
+  bool have_faults_ = false;
+  std::vector<std::uint8_t> link_dead_perm_;     // permanent dead mask
+  std::vector<std::uint8_t> link_dead_;          // current per-step mask
+  std::vector<std::int32_t> flap_count_;         // active flaps per link
+  std::vector<FaultPlan::FlapEvent> events_;     // sorted flap schedule
 };
 
 }  // namespace mdmesh

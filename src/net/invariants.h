@@ -1,0 +1,63 @@
+// Opt-in engine invariant checking: per-step structural assertions on the
+// simulation state, used to catch engine bugs loudly instead of producing
+// silently wrong step counts.
+//
+// Checked per step:
+//   * packet conservation — the total packet count never changes;
+//   * <= 1 packet per directed link — winner slots are in-bounds, distinct
+//     within a processor, and exactly the packets flagged kMoving;
+//   * fault respect — no winner is selected on a dead link;
+//   * arrival-coordinate correctness — a packet whose arrival was stamped
+//     this step is resident at its destination;
+//   * queue-slot consistency — no packet still carries engine scratch flags
+//     after delivery.
+//
+// Violations throw std::logic_error with a description of the first broken
+// invariant. The checks are serial O(N * d) per step, so they are meant for
+// debug/test builds: InvariantMode::kAuto enables them when NDEBUG is not
+// defined and disables them otherwise; tests that must run under release
+// flags pass kOn explicitly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+
+namespace mdmesh {
+
+enum class InvariantMode : std::uint8_t {
+  kAuto,  ///< on in debug builds (NDEBUG undefined), off otherwise
+  kOff,
+  kOn,
+};
+
+/// Resolves kAuto against the build type.
+bool InvariantsEnabled(InvariantMode mode);
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(const Topology& topo);
+
+  /// Captures the conserved quantities at the start of a Route call.
+  void BeginRun(const Network& net);
+
+  /// After winner selection, before delivery: `slot` is the engine's
+  /// N x 2d winner table (queue index or -1); `link_dead` is the current
+  /// per-link dead mask (null when no faults are active).
+  void CheckSlots(const Network& net, const std::vector<std::int32_t>& slot,
+                  const std::uint8_t* link_dead, std::int64_t step) const;
+
+  /// After delivery: conservation, cleared scratch flags, and arrival
+  /// coordinates for packets stamped during `step`.
+  void CheckStep(const Network& net, std::int64_t step) const;
+
+ private:
+  [[noreturn]] void Fail(std::int64_t step, const char* what,
+                         ProcId proc) const;
+
+  const Topology* topo_;
+  std::int64_t packets_ = 0;
+};
+
+}  // namespace mdmesh

@@ -5,12 +5,65 @@
 
 namespace mdmesh {
 
+const char* StallReport::ReasonName() const {
+  return reason == StallReason::kWatchdog ? "watchdog" : "step_cap";
+}
+
+std::string StallReport::ToString() const {
+  std::ostringstream os;
+  os << "stall[" << ReasonName() << "] at step " << step << ": "
+     << stuck_packets << " packet(s) in flight, " << no_progress_steps
+     << " trailing no-progress step(s)";
+  for (const StuckPacket& pkt : sample) {
+    os << "\n  packet " << pkt.id << " at " << pkt.at << " -> " << pkt.dest
+       << " (remaining " << pkt.remaining << ")";
+    if (pkt.want_dim >= 0) {
+      os << " wants dim " << pkt.want_dim << (pkt.want_dir > 0 ? "+" : "-")
+         << (pkt.link_dead ? " [link dead]" : " [link alive]");
+    } else {
+      os << " has no alive outgoing link";
+    }
+  }
+  return os.str();
+}
+
+void StallReport::WriteJson(JsonWriter& w) const {
+  w.BeginObject();
+  w.Key("reason").String(ReasonName());
+  w.Key("step").Int(step);
+  w.Key("no_progress_steps").Int(no_progress_steps);
+  w.Key("stuck_packets").Int(stuck_packets);
+  w.Key("sample").BeginArray();
+  for (const StuckPacket& pkt : sample) {
+    w.BeginObject();
+    w.Key("id").Int(pkt.id);
+    w.Key("at").Int(pkt.at);
+    w.Key("dest").Int(pkt.dest);
+    w.Key("remaining").Int(pkt.remaining);
+    w.Key("want_dim").Int(pkt.want_dim);
+    w.Key("want_dir").Int(pkt.want_dir);
+    w.Key("link_dead").Bool(pkt.link_dead);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("blocked_links").BeginArray();
+  for (std::int64_t link : blocked_links) w.Int(link);
+  w.EndArray();
+  w.EndObject();
+}
+
 std::string RouteResult::ToString() const {
   std::ostringstream os;
   os << "steps=" << steps << " packets=" << packets << " moves=" << moves
      << " max_queue=" << max_queue << " max_distance=" << max_distance
-     << " max_overshoot=" << max_overshoot
-     << (completed ? "" : " INCOMPLETE");
+     << " max_overshoot=" << max_overshoot;
+  if (detours > 0) os << " detours=" << detours;
+  if (!completed) {
+    os << " INCOMPLETE";
+    if (stall_report != nullptr) {
+      os << " (" << stall_report->ReasonName() << ")";
+    }
+  }
   return os.str();
 }
 
@@ -27,6 +80,11 @@ void RouteResult::WriteJson(JsonWriter& w) const {
   w.Key("max_overshoot").Int(max_overshoot);
   w.Key("overshoot_mean")
       .Double(overshoot.count() > 0 ? overshoot.mean() : 0.0);
+  w.Key("detours").Int(detours);
+  if (stall_report != nullptr) {
+    w.Key("stall");
+    stall_report->WriteJson(w);
+  }
   w.EndObject();
 }
 
@@ -50,6 +108,8 @@ void RouteResult::Accumulate(const RouteResult& phase) {
   max_distance = std::max(max_distance, phase.max_distance);
   max_overshoot = std::max(max_overshoot, phase.max_overshoot);
   overshoot.Merge(phase.overshoot);
+  detours += phase.detours;
+  if (stall_report == nullptr) stall_report = phase.stall_report;
 }
 
 }  // namespace mdmesh

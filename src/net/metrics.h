@@ -5,12 +5,53 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "meshsim/topology.h"
 #include "obs/trace.h"
 #include "util/stats.h"
 
 namespace mdmesh {
+
+/// Why a Route call gave up before delivering every packet.
+enum class StallReason : std::uint8_t {
+  kStepCap,   ///< the hard step cap was reached
+  kWatchdog,  ///< no packet moved for the whole watchdog window
+};
+
+/// Structured diagnostic produced when a Route call aborts (watchdog or
+/// step cap): which packets are stuck where, what hop each one wants, and
+/// which of those wanted links are dead. Serialized through the JSON sink
+/// so step-cap/deadlock bugs are debuggable from bench output alone.
+struct StallReport {
+  /// At most this many stuck packets are sampled (processor order).
+  static constexpr std::size_t kSampleCap = 32;
+
+  struct StuckPacket {
+    std::int64_t id = 0;
+    ProcId at = 0;              ///< processor the packet is parked on
+    ProcId dest = 0;            ///< current routing destination
+    std::int64_t remaining = 0; ///< remaining distance (both legs if two-leg)
+    int want_dim = -1;          ///< next hop the policy would take (-1: none)
+    int want_dir = 0;
+    bool link_dead = false;     ///< that hop's link is currently dead
+  };
+
+  StallReason reason = StallReason::kStepCap;
+  std::int64_t step = 0;               ///< step at which the run aborted
+  std::int64_t no_progress_steps = 0;  ///< trailing zero-move steps
+  std::int64_t stuck_packets = 0;      ///< total packets still in flight
+  std::vector<StuckPacket> sample;     ///< first kSampleCap stuck packets
+  /// Distinct dead links wanted by sampled packets (global directed index
+  /// p * 2d + dim * 2 + dir).
+  std::vector<std::int64_t> blocked_links;
+
+  const char* ReasonName() const;
+  std::string ToString() const;
+  void WriteJson(JsonWriter& w) const;
+};
 
 struct RouteResult {
   std::int64_t steps = 0;       ///< steps until the last packet arrived
@@ -40,6 +81,14 @@ struct RouteResult {
   /// distance-optimal when max overshoot is o(n).
   Accumulator overshoot;
   std::int64_t max_overshoot = 0;
+
+  /// Moves that deviated from the packet's fault-free preferred hop
+  /// (adaptive detours around dead links). Always 0 without a fault plan.
+  std::int64_t detours = 0;
+
+  /// Present iff the run aborted (completed == false): the structured
+  /// diagnostic from the stall watchdog or the step cap.
+  std::shared_ptr<const StallReport> stall_report;
 
   std::string ToString() const;
 

@@ -41,6 +41,25 @@ void Network::ForEach(const std::function<void(ProcId, const Packet&)>& fn) cons
   }
 }
 
+std::int64_t Network::EraseIf(
+    const std::function<bool(ProcId, const Packet&)>& pred) {
+  std::int64_t removed = 0;
+  for (ProcId p = 0; p < topo_->size(); ++p) {
+    auto& q = queues_[static_cast<std::size_t>(p)];
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < q.size(); ++r) {
+      if (pred(p, q[r])) {
+        ++removed;
+        continue;
+      }
+      if (w != r) q[w] = q[r];
+      ++w;
+    }
+    while (q.size() > w) q.pop_back();
+  }
+  return removed;
+}
+
 std::vector<Packet> Network::Gather() const {
   std::vector<Packet> all;
   all.reserve(static_cast<std::size_t>(TotalPackets()));

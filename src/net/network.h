@@ -43,6 +43,11 @@ class Network {
   void ForEach(const std::function<void(ProcId, Packet&)>& fn);
   void ForEach(const std::function<void(ProcId, const Packet&)>& fn) const;
 
+  /// Removes every packet for which `pred(proc, packet)` returns true
+  /// (e.g. packets parked on processors a FaultPlan declares dead). Queue
+  /// order of the survivors is preserved. Returns the number removed.
+  std::int64_t EraseIf(const std::function<bool(ProcId, const Packet&)>& pred);
+
   /// Flattens to a single vector (processor order, then queue order).
   std::vector<Packet> Gather() const;
 

@@ -37,6 +37,19 @@ struct Packet {
   /// final destination) without waiting — the engine-level mechanism behind
   /// the overlapped two-phase router (the paper's Section 6 open question).
   static constexpr std::uint16_t kTwoLeg = 1u << 2;
+  /// Engine scratch under fault injection: this step's selected hop deviates
+  /// from the fault-free preferred hop (an adaptive detour). Cleared on
+  /// delivery like kMoving.
+  static constexpr std::uint16_t kDetour = 1u << 3;
+  /// Engine scratch under fault injection (bits 8-13): wrong-way commitment.
+  /// When a torus packet detours *against* its shortest direction around a
+  /// dead link, it locks that (dimension, direction) and keeps walking the
+  /// long way around the ring until the dimension is corrected — without
+  /// the lock it would bounce back toward the wall as soon as the distance
+  /// gradient pointed there again. Bit 8: active; bits 9-12: dimension;
+  /// bit 13: direction. Cleared at the start of every Route call.
+  static constexpr std::uint16_t kLockActive = 1u << 8;
+  static constexpr std::uint16_t kLockMask = 0x3F00;
 };
 
 }  // namespace mdmesh

@@ -1,8 +1,22 @@
 #include "obs/output.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace mdmesh {
+
+std::ofstream OpenOutputFile(const std::string& path, const char* flag) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr,
+                 "error: cannot open %s=%s for writing (check that the "
+                 "directory exists and is writable)\n",
+                 flag, path.c_str());
+    std::exit(1);
+  }
+  return out;
+}
 
 void AddOutputFlags(Cli& cli) {
   cli.AddString("--json", "",

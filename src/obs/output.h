@@ -12,6 +12,7 @@
 // leaves everything else for benchmark::Initialize.
 #pragma once
 
+#include <fstream>
 #include <string>
 
 #include "util/cli.h"
@@ -37,5 +38,11 @@ OutputFlags GetOutputFlags(const Cli& cli);
 /// and `--flag value` forms), compacting argv and updating *argc so that
 /// unrecognized flags survive for a downstream parser.
 OutputFlags ParseOutputFlags(int* argc, char** argv);
+
+/// Opens `path` for writing. On failure, prints a clear error naming the
+/// responsible flag (e.g. "--json") to stderr and exits with status 1 —
+/// a CI run pointing its output at an unwritable path must fail, not
+/// silently produce nothing.
+std::ofstream OpenOutputFile(const std::string& path, const char* flag);
 
 }  // namespace mdmesh

@@ -58,4 +58,43 @@ void AssignClasses(Network& net, ClassMode mode, const BlockGrid* grid,
   assert(false && "unreachable");
 }
 
+std::int64_t ReassignClassesForFaults(Network& net, const FaultPlan& plan) {
+  const Topology& topo = net.topo();
+  const int d = topo.dim();
+  if (plan.dead_link_count() == 0) return 0;
+  std::int64_t reassigned = 0;
+  net.ForEach([&](ProcId p, Packet& pkt) {
+    if (pkt.dest == p) return;
+    const Point src = topo.Coords(p);
+    const Point dst = topo.Coords(pkt.dest);
+    // First hop of class c: the first dimension in c's rotated order where
+    // the packet is uncorrected, stepped the shortest way.
+    auto first_hop_alive = [&](int c, bool& exists) {
+      for (int t = 0; t < d; ++t) {
+        int i = c + t;
+        if (i >= d) i -= d;
+        const int sgn = topo.StepToward(src[static_cast<std::size_t>(i)],
+                                        dst[static_cast<std::size_t>(i)]);
+        if (sgn == 0) continue;
+        exists = true;
+        return !plan.LinkDead(p, i, sgn > 0 ? 1 : 0);
+      }
+      exists = false;
+      return true;  // already home in every dimension
+    };
+    bool exists = false;
+    if (first_hop_alive(pkt.klass, exists) || !exists) return;
+    for (int t = 1; t < d; ++t) {
+      int c = pkt.klass + t;
+      if (c >= d) c -= d;
+      if (first_hop_alive(c, exists)) {
+        pkt.klass = static_cast<std::uint16_t>(c);
+        ++reassigned;
+        return;
+      }
+    }
+  });
+  return reassigned;
+}
+
 }  // namespace mdmesh

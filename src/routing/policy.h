@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "fault/fault_plan.h"
 #include "meshsim/blocks.h"
 #include "net/network.h"
 #include "util/rng.h"
@@ -35,5 +36,15 @@ enum class ClassMode : std::uint8_t {
 /// (destination blocked-snake index, id) and classed round-robin.
 void AssignClasses(Network& net, ClassMode mode, const BlockGrid* grid,
                    Rng* rng);
+
+/// Fault-aware class fixup, applied after AssignClasses when routing under a
+/// FaultPlan: any packet whose very first hop (the preferred link of its
+/// class's starting dimension) is permanently dead is moved to the next
+/// class (in rotated order) whose starting hop leaves the source on an
+/// alive link. This keeps the class split balanced at fault rate 0 (no
+/// packet moves) while sparing the engine an injection-time detour for
+/// every affected packet. Packets with no alive starting hop in any class
+/// keep their class. Returns the number of packets reassigned.
+std::int64_t ReassignClassesForFaults(Network& net, const FaultPlan& plan);
 
 }  // namespace mdmesh

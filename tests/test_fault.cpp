@@ -1,0 +1,528 @@
+// Fault-injection subsystem tests: FaultPlan construction and sampling, the
+// engine's fault honoring and adaptive detours, the stall watchdog, the
+// invariant checker, and chaos runs over randomized seeded plans.
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "net/engine.h"
+#include "routing/policy.h"
+#include "util/rng.h"
+
+namespace mdmesh {
+namespace {
+
+Packet MakePacket(std::int64_t id, ProcId dest, std::uint16_t klass = 0) {
+  Packet pkt;
+  pkt.id = id;
+  pkt.key = static_cast<std::uint64_t>(id);
+  pkt.dest = dest;
+  pkt.klass = klass;
+  return pkt;
+}
+
+/// Final placement fingerprint: (processor, id, arrived) for every packet,
+/// in a canonical order. Two runs that agree here are indistinguishable.
+std::vector<std::tuple<ProcId, std::int64_t, std::int32_t>> Placement(
+    const Network& net) {
+  std::vector<std::tuple<ProcId, std::int64_t, std::int32_t>> out;
+  net.ForEach([&](ProcId p, const Packet& pkt) {
+    out.emplace_back(p, pkt.id, pkt.arrived);
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan construction.
+
+TEST(FaultPlanTest, KillLinkIsDirectedAndSkipsMeshBoundary) {
+  Topology topo(2, 4, Wrap::kMesh);
+  FaultPlan plan(topo);
+  EXPECT_TRUE(plan.empty());
+  plan.KillLink(0, 0, 1);
+  EXPECT_TRUE(plan.LinkDead(0, 0, 1));
+  EXPECT_FALSE(plan.LinkDead(0, 0, 0));  // the reverse direction lives
+  EXPECT_EQ(plan.dead_link_count(), 1);
+  plan.KillLink(0, 0, 1);  // idempotent
+  EXPECT_EQ(plan.dead_link_count(), 1);
+  plan.KillLink(0, 0, 0);  // off the mesh boundary: no such link
+  EXPECT_EQ(plan.dead_link_count(), 1);
+  plan.KillLinkPair(0, 1, 1);
+  EXPECT_EQ(plan.dead_link_count(), 3);
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlanTest, KillNodeSeversBothDirections) {
+  Topology topo(2, 4, Wrap::kTorus);
+  FaultPlan plan(topo);
+  Point c{};
+  c[0] = 1;
+  c[1] = 1;
+  const ProcId p = topo.Id(c);
+  plan.KillNode(p);
+  EXPECT_TRUE(plan.NodeDead(p));
+  EXPECT_EQ(plan.dead_node_count(), 1);
+  // All 4 outgoing links die, plus each neighbor's link back toward p.
+  EXPECT_EQ(plan.dead_link_count(), 8);
+  for (int dim = 0; dim < 2; ++dim) {
+    for (int dir = 0; dir < 2; ++dir) {
+      EXPECT_TRUE(plan.LinkDead(p, dim, dir));
+      const ProcId q = topo.Neighbor(p, dim, dir);
+      EXPECT_TRUE(plan.LinkDead(q, dim, 1 - dir));
+    }
+  }
+  EXPECT_EQ(plan.AliveNodes().size(), static_cast<std::size_t>(topo.size() - 1));
+}
+
+TEST(FaultPlanTest, ConnectivityIsStronglyDirected) {
+  // A torus ring stays strongly connected after losing one direction of one
+  // link (everyone can still go the long way around) ...
+  Topology ring(1, 4, Wrap::kTorus);
+  FaultPlan one_way(ring);
+  one_way.KillLink(0, 0, 1);
+  EXPECT_TRUE(one_way.Connected());
+  // ... but a mesh path is cut by killing both directions of an edge.
+  Topology path(1, 4, Wrap::kMesh);
+  FaultPlan cut(path);
+  cut.KillLinkPair(1, 0, 1);
+  EXPECT_FALSE(cut.Connected());
+  // A 2D mesh minus one interior node keeps the rest connected.
+  Topology grid(2, 4, Wrap::kMesh);
+  FaultPlan holed(grid);
+  Point c{};
+  c[0] = 1;
+  c[1] = 1;
+  holed.KillNode(grid.Id(c));
+  EXPECT_TRUE(holed.Connected());
+}
+
+TEST(FaultPlanTest, FlapEventsSortDownBeforeUpAtSameStep) {
+  Topology topo(1, 2, Wrap::kMesh);
+  FaultPlan plan(topo);
+  // Two overlapping flaps of the same link: [1, 5] and [3, 7].
+  plan.AddFlap(0, 0, 1, 1, 5);
+  plan.AddFlap(0, 0, 1, 3, 5);
+  EXPECT_EQ(plan.flap_count(), 2u);
+  EXPECT_EQ(plan.max_flap_duration(), 5);
+  const auto events = plan.Events();
+  ASSERT_EQ(events.size(), 4u);
+  std::int32_t active = 0;
+  for (const FaultPlan::FlapEvent& ev : events) {
+    active += ev.delta;
+    ASSERT_GE(active, 0);  // -1 sorts before +1, so counts never go negative
+  }
+  EXPECT_EQ(active, 0);
+  EXPECT_EQ(events.front().step, 1);
+  EXPECT_EQ(events.back().step, 8);  // second flap recovers at step 3+5
+}
+
+TEST(FaultPlanTest, RandomPlansAreDeterministicPerSeed) {
+  Topology topo(2, 8, Wrap::kTorus);
+  FaultSpec spec;
+  spec.link_rate = 0.05;
+  spec.node_rate = 0.02;
+  spec.flap_rate = 0.05;
+  FaultPlan a = FaultPlan::Random(topo, spec, 42);
+  FaultPlan b = FaultPlan::Random(topo, spec, 42);
+  EXPECT_EQ(a.dead_mask(), b.dead_mask());
+  EXPECT_EQ(a.dead_link_count(), b.dead_link_count());
+  EXPECT_EQ(a.dead_node_count(), b.dead_node_count());
+  ASSERT_EQ(a.flap_count(), b.flap_count());
+  for (std::size_t i = 0; i < a.flaps().size(); ++i) {
+    EXPECT_EQ(a.flaps()[i].link, b.flaps()[i].link);
+    EXPECT_EQ(a.flaps()[i].start, b.flaps()[i].start);
+    EXPECT_EQ(a.flaps()[i].duration, b.flaps()[i].duration);
+  }
+  FaultPlan c = FaultPlan::Random(topo, spec, 43);
+  EXPECT_NE(a.dead_mask(), c.dead_mask());
+  // Something actually got sampled at these rates on 64 processors.
+  EXPECT_GT(a.dead_link_count(), 0);
+  EXPECT_GT(a.flap_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: fault honoring and detours.
+
+TEST(FaultRoutingTest, EmptyPlanMatchesFaultFreeRunExactly) {
+  // Acceptance criterion: a plan with rate 0 must leave results
+  // byte-identical to a run with no plan at all.
+  Topology topo(2, 8, Wrap::kMesh);
+  FaultPlan plan = FaultPlan::Random(topo, FaultSpec{}, 7);
+  ASSERT_TRUE(plan.empty());
+  Rng rng(11);
+  const std::vector<std::int64_t> perm = rng.Permutation(topo.size());
+
+  auto run = [&](const FaultPlan* faults) {
+    EngineOptions opts;
+    opts.faults = faults;
+    opts.invariants = InvariantMode::kOn;
+    Engine engine(topo, opts);
+    Network net(topo);
+    for (ProcId p = 0; p < topo.size(); ++p) {
+      net.Add(p, MakePacket(p, static_cast<ProcId>(perm[static_cast<std::size_t>(p)])));
+    }
+    RouteResult r = engine.Route(net);
+    return std::make_tuple(r.steps, r.moves, r.detours, r.max_queue,
+                           Placement(net));
+  };
+  const auto bare = run(nullptr);
+  const auto empty = run(&plan);
+  EXPECT_EQ(bare, empty);
+  EXPECT_EQ(std::get<2>(bare), 0);  // no detours without faults
+}
+
+TEST(FaultRoutingTest, TorusRingCommitsToTheLongWayAround) {
+  // Packet 0 -> 1 on an 8-ring with the (0 -> 1) link dead. The only route
+  // is the long way: 0 -> 7 -> 6 -> ... -> 1, seven hops. Without wrong-way
+  // commitment the packet would bounce 0 <-> 7 forever, since 7's
+  // shortest-way hop points straight back at the dead link.
+  Topology topo(1, 8, Wrap::kTorus);
+  FaultPlan plan(topo);
+  plan.KillLink(0, 0, 1);
+  ASSERT_TRUE(plan.Connected());
+  EngineOptions opts;
+  opts.faults = &plan;
+  opts.invariants = InvariantMode::kOn;
+  Engine engine(topo, opts);
+  Network net(topo);
+  net.Add(0, MakePacket(0, 1));
+  RouteResult r = engine.Route(net);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.steps, 7);
+  EXPECT_GT(r.detours, 0);
+  EXPECT_EQ(net.At(1).size(), 1u);
+}
+
+TEST(FaultRoutingTest, MeshDetourSidestepsThroughCorrectedDimension) {
+  // (0,0) -> (3,0) with the (1,0) -> (2,0) link dead: the packet sidesteps
+  // to row 1, passes the wall, and drops back — two extra hops.
+  Topology topo(2, 4, Wrap::kMesh);
+  Point block{};
+  block[0] = 1;
+  FaultPlan plan(topo);
+  plan.KillLink(topo.Id(block), 0, 1);
+  Point dst{};
+  dst[0] = 3;
+  EngineOptions opts;
+  opts.faults = &plan;
+  opts.invariants = InvariantMode::kOn;
+  Engine engine(topo, opts);
+  Network net(topo);
+  net.Add(0, MakePacket(0, topo.Id(dst)));
+  RouteResult r = engine.Route(net);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.steps, 5);  // distance 3 + sidestep out and back
+  EXPECT_EQ(r.detours, 1);
+}
+
+TEST(FaultRoutingTest, PacketWaitsOutAFlap) {
+  // The only link out of 0 flaps dead for steps 1..5; the packet cannot
+  // detour (1-D mesh) and crosses at step 6.
+  Topology topo(1, 2, Wrap::kMesh);
+  FaultPlan plan(topo);
+  plan.AddFlap(0, 0, 1, 1, 5);
+  EngineOptions opts;
+  opts.faults = &plan;
+  opts.invariants = InvariantMode::kOn;
+  Engine engine(topo, opts);
+  Network net(topo);
+  net.Add(0, MakePacket(0, 1));
+  RouteResult r = engine.Route(net);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.steps, 6);
+  EXPECT_EQ(r.detours, 0);
+}
+
+TEST(FaultRoutingTest, RoutesAmongAliveNodesAroundADeadOne) {
+  Topology topo(2, 4, Wrap::kMesh);
+  Point c{};
+  c[0] = 1;
+  c[1] = 1;
+  FaultPlan plan(topo);
+  plan.KillNode(topo.Id(c));
+  ASSERT_TRUE(plan.Connected());
+  EngineOptions opts;
+  opts.faults = &plan;
+  opts.invariants = InvariantMode::kOn;
+  Engine engine(topo, opts);
+  Network net(topo);
+  // A cyclic shift over the alive processors.
+  const std::vector<ProcId> alive = plan.AliveNodes();
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    net.Add(alive[i], MakePacket(static_cast<std::int64_t>(i),
+                                 alive[(i + 1) % alive.size()]));
+  }
+  RouteResult r = engine.Route(net);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(net.TotalPackets(), static_cast<std::int64_t>(alive.size()));
+}
+
+TEST(FaultRoutingTest, EngineRejectsPlanForDifferentTopology) {
+  Topology big(2, 8, Wrap::kMesh);
+  Topology small(2, 4, Wrap::kMesh);
+  FaultPlan plan(small);
+  plan.KillLink(0, 0, 1);
+  EngineOptions opts;
+  opts.faults = &plan;
+  EXPECT_THROW(Engine(big, opts), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Stall watchdog and structured reports.
+
+TEST(WatchdogTest, FiresOnDeadlockInsteadOfBurningToStepCap) {
+  // Node 1 has every outgoing link dead; a packet stranded there can never
+  // bid, so nothing ever moves. The watchdog must abort after its window,
+  // not after the (huge) step cap.
+  Topology topo(1, 4, Wrap::kMesh);
+  FaultPlan plan(topo);
+  plan.KillLink(1, 0, 0);
+  plan.KillLink(1, 0, 1);
+  EngineOptions opts;
+  opts.faults = &plan;
+  opts.step_cap = 1000000;
+  opts.stall_window = 10;
+  opts.invariants = InvariantMode::kOn;
+  Engine engine(topo, opts);
+  Network net(topo);
+  net.Add(1, MakePacket(77, 3));
+  RouteResult r = engine.Route(net);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.steps, 10);  // window, not cap
+  ASSERT_NE(r.stall_report, nullptr);
+  EXPECT_EQ(r.stall_report->reason, StallReason::kWatchdog);
+  EXPECT_EQ(r.stall_report->stuck_packets, 1);
+  EXPECT_GE(r.stall_report->no_progress_steps, 10);
+  ASSERT_EQ(r.stall_report->sample.size(), 1u);
+  const StallReport::StuckPacket& stuck = r.stall_report->sample[0];
+  EXPECT_EQ(stuck.id, 77);
+  EXPECT_EQ(stuck.at, 1);
+  EXPECT_EQ(stuck.dest, 3);
+  EXPECT_EQ(stuck.remaining, 2);
+  EXPECT_EQ(stuck.want_dim, 0);
+  EXPECT_EQ(stuck.want_dir, 1);
+  EXPECT_TRUE(stuck.link_dead);
+  EXPECT_EQ(r.stall_report->blocked_links.size(), 1u);
+  // The report survives serialization.
+  EXPECT_NE(r.stall_report->ToString().find("watchdog"), std::string::npos);
+}
+
+TEST(WatchdogTest, StepCapHitProducesTheSameStructuredReport) {
+  // Same deadlock, watchdog disabled: the run burns to the cap and the
+  // diagnostic arrives with reason kStepCap instead.
+  Topology topo(1, 4, Wrap::kMesh);
+  FaultPlan plan(topo);
+  plan.KillLink(1, 0, 0);
+  plan.KillLink(1, 0, 1);
+  EngineOptions opts;
+  opts.faults = &plan;
+  opts.step_cap = 30;
+  opts.stall_window = -1;
+  opts.invariants = InvariantMode::kOn;
+  Engine engine(topo, opts);
+  Network net(topo);
+  net.Add(1, MakePacket(0, 3));
+  RouteResult r = engine.Route(net);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.steps, 30);
+  ASSERT_NE(r.stall_report, nullptr);
+  EXPECT_EQ(r.stall_report->reason, StallReason::kStepCap);
+  EXPECT_EQ(r.stall_report->stuck_packets, 1);
+}
+
+TEST(WatchdogTest, DoesNotFireWhileAFlapIsPending) {
+  // A packet waiting out a 20-step flap makes no progress, but the flap's
+  // edges count as activity and the auto window is sized past the longest
+  // flap — the run must complete, not abort.
+  Topology topo(1, 2, Wrap::kMesh);
+  FaultPlan plan(topo);
+  plan.AddFlap(0, 0, 1, 1, 20);
+  EngineOptions opts;
+  opts.faults = &plan;
+  opts.invariants = InvariantMode::kOn;
+  Engine engine(topo, opts);
+  Network net(topo);
+  net.Add(0, MakePacket(0, 1));
+  RouteResult r = engine.Route(net);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.steps, 21);
+  EXPECT_EQ(r.stall_report, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checker.
+
+TEST(InvariantTest, CheckerCatchesConservationViolation) {
+  Topology topo(1, 4, Wrap::kMesh);
+  Network net(topo);
+  net.Add(0, MakePacket(0, 3));
+  net.Add(1, MakePacket(1, 3));
+  InvariantChecker checker(topo);
+  checker.BeginRun(net);
+  checker.CheckStep(net, 1);  // untouched network: fine
+  net.At(1).clear();          // a packet vanishes
+  EXPECT_THROW(checker.CheckStep(net, 1), std::logic_error);
+}
+
+TEST(InvariantTest, CheckerCatchesLeftoverScratchFlags) {
+  Topology topo(1, 4, Wrap::kMesh);
+  Network net(topo);
+  net.Add(0, MakePacket(0, 3));
+  InvariantChecker checker(topo);
+  checker.BeginRun(net);
+  net.At(0)[0].flags |= Packet::kMoving;  // delivery must clear this
+  EXPECT_THROW(checker.CheckStep(net, 1), std::logic_error);
+}
+
+TEST(InvariantTest, FullRunPassesUnderChecking) {
+  Topology topo(2, 6, Wrap::kTorus);
+  FaultPlan plan = FaultPlan::Random(topo, FaultSpec{0.03, 0.0, 0.03}, 3);
+  EngineOptions opts;
+  opts.faults = &plan;
+  opts.invariants = InvariantMode::kOn;
+  Engine engine(topo, opts);
+  Network net(topo);
+  Rng rng(9);
+  const std::vector<std::int64_t> perm = rng.Permutation(topo.size());
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    net.Add(p, MakePacket(p, static_cast<ProcId>(perm[static_cast<std::size_t>(p)])));
+  }
+  EXPECT_NO_THROW(engine.Route(net));
+}
+
+// ---------------------------------------------------------------------------
+// Class reassignment around permanent damage.
+
+TEST(PolicyTest, ReassignClassesSkipsDeadFirstHops) {
+  Topology topo(2, 4, Wrap::kMesh);
+  Point dst{};
+  dst[0] = 2;
+  dst[1] = 2;
+  FaultPlan plan(topo);
+  plan.KillLink(0, 0, 1);  // class 0's first hop out of processor 0
+  Network net(topo);
+  net.Add(0, MakePacket(0, topo.Id(dst), /*klass=*/0));
+  EXPECT_EQ(ReassignClassesForFaults(net, plan), 1);
+  EXPECT_EQ(net.At(0)[0].klass, 1);  // class 1 starts along dimension 1
+  // Idempotent: the new class's first hop is alive.
+  EXPECT_EQ(ReassignClassesForFaults(net, plan), 0);
+  // And a no-op on an empty plan.
+  FaultPlan clean(topo);
+  EXPECT_EQ(ReassignClassesForFaults(net, clean), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: randomized plans, determinism, conservation, completion.
+
+TEST(ChaosTest, DeterministicAcrossThreadCounts) {
+  Topology topo(2, 8, Wrap::kTorus);
+  FaultSpec spec;
+  spec.link_rate = 0.05;
+  spec.flap_rate = 0.03;
+  spec.flap_start_max = 64;
+  spec.flap_duration_max = 16;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    FaultPlan plan = FaultPlan::Random(topo, spec, seed);
+    auto run = [&](unsigned workers) {
+      ThreadPool pool(workers);
+      EngineOptions opts;
+      opts.faults = &plan;
+      opts.pool = &pool;
+      opts.invariants = InvariantMode::kOn;
+      Engine engine(topo, opts);
+      Network net(topo);
+      Rng rng(seed + 100);
+      const std::vector<std::int64_t> perm = rng.Permutation(topo.size());
+      for (ProcId p = 0; p < topo.size(); ++p) {
+        net.Add(p, MakePacket(p, static_cast<ProcId>(perm[static_cast<std::size_t>(p)])));
+      }
+      RouteResult r = engine.Route(net);
+      return std::make_tuple(r.steps, r.moves, r.detours, r.completed,
+                             Placement(net));
+    };
+    const auto serial = run(0);
+    const auto threaded = run(4);
+    EXPECT_EQ(serial, threaded) << "seed " << seed;
+  }
+}
+
+TEST(ChaosTest, CompletesWheneverTheFaultedNetworkStaysConnected) {
+  Topology topo(2, 8, Wrap::kTorus);
+  FaultSpec spec;
+  spec.link_rate = 0.06;
+  spec.flap_rate = 0.02;
+  spec.flap_start_max = 32;
+  spec.flap_duration_max = 16;
+  int connected_seeds = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    FaultPlan plan = FaultPlan::Random(topo, spec, seed);
+    if (!plan.Connected()) continue;
+    ++connected_seeds;
+    EngineOptions opts;
+    opts.faults = &plan;
+    opts.invariants = InvariantMode::kOn;
+    Engine engine(topo, opts);
+    Network net(topo);
+    Rng rng(seed);
+    const std::vector<std::int64_t> perm = rng.Permutation(topo.size());
+    for (ProcId p = 0; p < topo.size(); ++p) {
+      net.Add(p, MakePacket(p, static_cast<ProcId>(perm[static_cast<std::size_t>(p)])));
+    }
+    const std::int64_t before = net.TotalPackets();
+    RouteResult r = engine.Route(net);
+    EXPECT_TRUE(r.completed)
+        << "seed " << seed << ": " << r.ToString()
+        << (r.stall_report != nullptr ? "\n" + r.stall_report->ToString() : "");
+    EXPECT_EQ(net.TotalPackets(), before) << "seed " << seed;
+    // Every packet is at its destination with a stamped arrival.
+    net.ForEach([&](ProcId p, const Packet& pkt) {
+      EXPECT_EQ(pkt.dest, p);
+      EXPECT_GE(pkt.arrived, 0);
+    });
+  }
+  EXPECT_GE(connected_seeds, 3) << "fault rate too aggressive for the test";
+}
+
+TEST(ChaosTest, DeadNodeWorkloadsCompleteAfterErasingTheirPackets) {
+  // With node faults the workload itself must avoid dead processors:
+  // EraseIf drops packets parked on (or destined for) them, and the rest
+  // still routes.
+  Topology topo(2, 8, Wrap::kTorus);
+  FaultSpec spec;
+  spec.link_rate = 0.02;
+  spec.node_rate = 0.03;
+  int connected_seeds = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    FaultPlan plan = FaultPlan::Random(topo, spec, seed);
+    if (!plan.Connected() || plan.dead_node_count() == 0) continue;
+    ++connected_seeds;
+    EngineOptions opts;
+    opts.faults = &plan;
+    opts.invariants = InvariantMode::kOn;
+    Engine engine(topo, opts);
+    Network net(topo);
+    Rng rng(seed * 17);
+    const std::vector<std::int64_t> perm = rng.Permutation(topo.size());
+    for (ProcId p = 0; p < topo.size(); ++p) {
+      net.Add(p, MakePacket(p, static_cast<ProcId>(perm[static_cast<std::size_t>(p)])));
+    }
+    const std::int64_t erased = net.EraseIf([&](ProcId p, const Packet& pkt) {
+      return plan.NodeDead(p) || plan.NodeDead(pkt.dest);
+    });
+    EXPECT_GT(erased, 0) << "seed " << seed;
+    RouteResult r = engine.Route(net);
+    EXPECT_TRUE(r.completed)
+        << "seed " << seed << ": " << r.ToString()
+        << (r.stall_report != nullptr ? "\n" + r.stall_report->ToString() : "");
+  }
+  EXPECT_GE(connected_seeds, 2) << "node rate too aggressive for the test";
+}
+
+}  // namespace
+}  // namespace mdmesh
