@@ -1,63 +1,149 @@
-// E19 (DESIGN.md §3): substrate performance — raw throughput of the
-// synchronous simulation kernel (packet-moves per second), serial vs the
-// thread pool, plus the scaling of a full sorting run with network size.
-// This is the only bench about wall-clock speed rather than step counts.
+// E19/E21 (DESIGN.md §3): substrate performance — raw throughput of the
+// synchronous simulation kernel (packet-moves per second), the sparse
+// active-set path vs the dense sweep on drain-heavy workloads, serial vs
+// the thread pool, plus the scaling of a full sorting run with network
+// size. This is the only bench about wall-clock speed rather than step
+// counts. The JSON records (BENCH_engine.json) feed the CI perf-smoke
+// guard (scripts/check_perf_regression.py).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <sstream>
+#include <string>
 
 #include "core/mdmesh.h"
 
 namespace mdmesh {
 namespace {
 
-// Bespoke throughput record: the schema's steps/phases fields don't fit a
-// wall-clock bench, so emit {experiment, spec, steps, moves, wall_ms,
-// moves_per_sec} per measured network.
-void WriteThroughputJson(const OutputFlags& flags) {
-  if (!flags.WantsJson()) return;
-  BenchJson json("engine_throughput");
-  std::vector<MeshSpec> specs = {{2, 32, Wrap::kMesh},
-                                 {2, 64, Wrap::kMesh},
-                                 {3, 32, Wrap::kMesh}};
-  if (flags.quick) specs.resize(1);
-  for (const MeshSpec& spec : specs) {
-    Topology topo = spec.Build();
+/// One timed run for the E21 wall-clock records. `mode` is the engine
+/// traversal policy under test; everything else about the run is fixed by
+/// the workload.
+struct WallRecord {
+  std::string workload;  ///< "drain_two_phase" or "loaded_route"
+  MeshSpec spec;
+  std::string mode;      ///< "dense" (kNever) or "sparse" (kAuto)
+  std::int64_t steps = 0;
+  std::int64_t sparse_steps = 0;
+  std::int64_t moves = 0;
+  double wall_ms = 0.0;
+};
+
+void EmitWallRecord(BenchJson& json, const WallRecord& rec) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("experiment").String("engine_wall");
+  w.Key("workload").String(rec.workload);
+  w.Key("spec").BeginObject();
+  w.Key("d").Int(rec.spec.d);
+  w.Key("n").Int(rec.spec.n);
+  w.Key("wrap").String(rec.spec.wrap == Wrap::kTorus ? "torus" : "mesh");
+  w.EndObject();
+  w.Key("mode").String(rec.mode);
+  w.Key("steps").Int(rec.steps);
+  w.Key("sparse_steps").Int(rec.sparse_steps);
+  w.Key("moves").Int(rec.moves);
+  w.Key("wall_ms").Double(rec.wall_ms);
+  w.Key("packet_steps_per_sec")
+      .Double(rec.wall_ms > 0.0
+                  ? static_cast<double>(rec.moves) * 1000.0 / rec.wall_ms
+                  : 0.0);
+  w.EndObject();
+  json.AddRaw(os.str());
+}
+
+SparseMode ModeFor(const std::string& mode) {
+  return mode == "dense" ? SparseMode::kNever : SparseMode::kAuto;
+}
+
+/// Two-phase reversal routing — the drain-heavy workload the sparse path
+/// targets: each phase spends most of its steps below half occupancy.
+WallRecord RunDrainTwoPhase(const MeshSpec& spec, const std::string& mode,
+                            int reps) {
+  Topology topo = spec.Build();
+  const std::vector<ProcId> dest = ReversalPermutation(topo);
+  TwoPhaseOptions opts;
+  opts.g = spec.d == 2 ? 8 : 4;
+  opts.seed = 99;
+  opts.engine.sparse = ModeFor(mode);
+  WallRecord rec{"drain_two_phase", spec, mode, 0, 0, 0, 1e300};
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    TwoPhaseResult r = RouteTwoPhase(topo, dest, opts);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (ms < rec.wall_ms) rec.wall_ms = ms;
+    rec.steps = r.total_steps;
+    rec.sparse_steps = r.phase1.sparse_steps + r.phase2.sparse_steps;
+    rec.moves = r.phase1.moves + r.phase2.moves;
+  }
+  return rec;
+}
+
+/// Multi-permutation Route — the dense guard: occupancy stays near j
+/// packets per processor for most of the run, so kAuto must not regress
+/// against the plain dense sweep here.
+WallRecord RunLoadedRoute(const MeshSpec& spec, const std::string& mode,
+                          int reps) {
+  Topology topo = spec.Build();
+  constexpr int kPerms = 4;
+  WallRecord rec{"loaded_route", spec, mode, 0, 0, 0, 1e300};
+  for (int rep = 0; rep < reps; ++rep) {
     Network net(topo);
-    Rng rng(1);
-    auto dest = RandomPermutation(topo, rng);
-    for (ProcId p = 0; p < topo.size(); ++p) {
-      Packet pkt;
-      pkt.id = p;
-      pkt.dest = dest[static_cast<std::size_t>(p)];
-      pkt.klass = static_cast<std::uint16_t>(p % spec.d);
-      net.Add(p, pkt);
+    Rng rng(7);
+    std::int64_t id = 0;
+    for (int t = 0; t < kPerms; ++t) {
+      Rng perm_rng = rng.Split(static_cast<std::uint64_t>(t));
+      auto dest = RandomPermutation(topo, perm_rng);
+      for (ProcId p = 0; p < topo.size(); ++p) {
+        Packet pkt;
+        pkt.id = id++;
+        pkt.key = static_cast<std::uint64_t>(pkt.id);
+        pkt.dest = dest[static_cast<std::size_t>(p)];
+        pkt.klass = static_cast<std::uint16_t>(t % spec.d);
+        net.Add(p, pkt);
+      }
     }
-    Engine engine(topo);
+    EngineOptions eopts;
+    eopts.sparse = ModeFor(mode);
+    Engine engine(topo, eopts);
     const auto t0 = std::chrono::steady_clock::now();
     RouteResult r = engine.Route(net);
-    const double wall_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - t0)
-            .count();
-    std::ostringstream os;
-    JsonWriter w(os);
-    w.BeginObject();
-    w.Key("experiment").String("engine_throughput");
-    w.Key("spec").BeginObject();
-    w.Key("d").Int(spec.d);
-    w.Key("n").Int(spec.n);
-    w.Key("wrap").String("mesh");
-    w.EndObject();
-    w.Key("steps").Int(r.steps);
-    w.Key("moves").Int(r.moves);
-    w.Key("wall_ms").Double(wall_ms);
-    w.Key("moves_per_sec")
-        .Double(wall_ms > 0.0 ? static_cast<double>(r.moves) * 1000.0 / wall_ms
-                              : 0.0);
-    w.EndObject();
-    json.AddRaw(os.str());
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (ms < rec.wall_ms) rec.wall_ms = ms;
+    rec.steps = r.steps;
+    rec.sparse_steps = r.sparse_steps;
+    rec.moves = r.moves;
+  }
+  return rec;
+}
+
+// E21 wall-clock records, keyed (workload, spec, mode): min-of-reps wall
+// time and derived packet-moves-per-second throughput for the dense sweep
+// vs the sparse active-set path on the same inputs.
+void WriteThroughputJson(const OutputFlags& flags) {
+  if (!flags.WantsJson()) return;
+  BenchJson json("engine_wall");
+  // --quick keeps the exact spec set (the regression guard matches records
+  // by (workload, spec, mode), so CI must produce the same keys as the
+  // committed baseline) and only drops the repetitions.
+  const int reps = flags.quick ? 1 : 3;
+  const std::vector<MeshSpec> drain_specs = {{2, 128, Wrap::kMesh},
+                                             {3, 32, Wrap::kMesh}};
+  const std::vector<MeshSpec> loaded_specs = {{2, 64, Wrap::kMesh}};
+  for (const MeshSpec& spec : drain_specs) {
+    for (const char* mode : {"dense", "sparse"}) {
+      EmitWallRecord(json, RunDrainTwoPhase(spec, mode, reps));
+    }
+  }
+  for (const MeshSpec& spec : loaded_specs) {
+    for (const char* mode : {"dense", "sparse"}) {
+      EmitWallRecord(json, RunLoadedRoute(spec, mode, reps));
+    }
   }
   json.WriteFile(flags.json);
 }

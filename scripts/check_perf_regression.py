@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Wall-clock regression guard for the engine bench (E21).
+
+Compares a freshly generated BENCH_engine.json against the committed
+baseline: every (workload, spec, mode) key present in the baseline must
+still exist, and its packet_steps_per_sec must not have dropped by more
+than the guard factor. The factor defaults to 2x — CI machines are shared
+and noisy, so the guard catches order-of-magnitude regressions (a dense
+fallback that stopped engaging, an accidentally quadratic active-set
+rebuild), not single-digit-percent drift; tighten it for controlled
+hardware with --factor.
+
+Usage:
+    check_perf_regression.py BASELINE CANDIDATE [--factor 2.0]
+
+Exit status: 0 when every key holds, 1 on any regression or missing key.
+Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def key_of(rec):
+    spec = rec.get("spec", {})
+    return (
+        rec.get("workload", "?"),
+        spec.get("d"),
+        spec.get("n"),
+        spec.get("wrap"),
+        rec.get("mode", "?"),
+    )
+
+
+def load(path):
+    with open(path) as f:
+        recs = json.load(f)
+    if not isinstance(recs, list) or not recs:
+        sys.exit(f"{path}: expected a non-empty JSON array of records")
+    table = {}
+    for rec in recs:
+        if rec.get("experiment") != "engine_wall":
+            continue
+        rate = rec.get("packet_steps_per_sec", 0.0)
+        if not isinstance(rate, (int, float)) or rate <= 0:
+            sys.exit(f"{path}: bad packet_steps_per_sec in {rec}")
+        table[key_of(rec)] = float(rate)
+    if not table:
+        sys.exit(f"{path}: no engine_wall records")
+    return table
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="committed BENCH_engine.json")
+    ap.add_argument("candidate", help="freshly generated BENCH_engine.json")
+    ap.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="max allowed throughput drop (candidate >= baseline / factor)",
+    )
+    args = ap.parse_args()
+    if args.factor < 1.0:
+        ap.error("--factor must be >= 1.0")
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    failures = []
+    for key, base_rate in sorted(base.items()):
+        name = "/".join(str(part) for part in key)
+        if key not in cand:
+            # Workload sets may legitimately differ between the full bench
+            # (committed baseline) and a --quick CI run; only keys present
+            # in BOTH are guarded.
+            print(f"  skip  {name}: not in candidate")
+            continue
+        cand_rate = cand[key]
+        floor = base_rate / args.factor
+        verdict = "ok" if cand_rate >= floor else "FAIL"
+        print(
+            f"  {verdict:4}  {name}: {cand_rate / 1e6:.2f} M moves/s "
+            f"(baseline {base_rate / 1e6:.2f}, floor {floor / 1e6:.2f})"
+        )
+        if cand_rate < floor:
+            failures.append(name)
+
+    guarded = sum(1 for key in base if key in cand)
+    if guarded == 0:
+        sys.exit("no overlapping (workload, spec, mode) keys to guard")
+    if failures:
+        sys.exit(
+            f"{len(failures)} of {guarded} guarded key(s) regressed by more "
+            f"than {args.factor}x: {', '.join(failures)}"
+        )
+    print(f"all {guarded} guarded key(s) within {args.factor}x of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,9 +1,14 @@
 #include "net/engine.h"
 
 #include <algorithm>
-#include <atomic>
+#include <bit>
 #include <cassert>
+#include <cstring>
+#include <limits>
 #include <stdexcept>
+#include <utility>
+
+#include "util/math.h"
 
 namespace mdmesh {
 namespace {
@@ -92,6 +97,32 @@ std::int64_t NextHop(const std::int32_t* cp, const std::int32_t* dc, int d,
   return rem;
 }
 
+/// Direction-only variant of NextHop for queues that cannot have link
+/// contention (a single resident packet): stops at the first uncorrected
+/// dimension without accumulating the remaining distance, which is only
+/// ever used as a contention priority.
+inline void NextHopDir(const std::int32_t* cp, const std::int32_t* dc, int d,
+                       int n, bool torus, std::uint16_t klass, int& dim,
+                       int& dir) {
+  for (int t = 0; t < d; ++t) {
+    int i = klass + t;
+    if (i >= d) i -= d;
+    const std::int32_t c = cp[i];
+    const std::int32_t g = dc[i];
+    if (c == g) continue;
+    if (torus) {
+      const std::int64_t forward = Mod(g - c, n);
+      dir = forward <= n - forward ? 1 : 0;
+    } else {
+      dir = g > c ? 1 : 0;
+    }
+    dim = i;
+    return;
+  }
+  dim = -1;
+  dir = 0;
+}
+
 /// Fault-aware hop selection: like NextHop, but skips dead links. Candidate
 /// order — (1) the preferred hop; (2) the other uncorrected dimensions in
 /// rotated order (still shortest-path progress, merely out of dimension
@@ -116,16 +147,20 @@ std::int64_t NextHop(const std::int32_t* cp, const std::int32_t* dc, int d,
 ///    drifts home greedily; a trapped one keeps getting kicked until some
 ///    kick lands on an escape edge.
 ///
+/// `nbr` is the packet's processor row of the engine's neighbor table (2d
+/// entries, -1 on mesh boundaries), so link-existence checks are a load
+/// instead of coordinate arithmetic.
+///
 /// Sets dim = -1 when every outgoing link is dead (the packet cannot bid);
 /// `detour` is set when the chosen hop differs from the fault-free one.
 /// Returns the remaining first-leg distance, like NextHop.
-std::int64_t NextHopFaulted(const Topology& topo, ProcId p,
-                            const std::int32_t* cp, const std::int32_t* dc,
-                            int d, int n, bool torus, std::uint16_t klass,
-                            std::int64_t id, std::uint16_t& flags,
-                            const std::uint8_t* dead, std::int64_t step,
-                            std::int32_t dist0, std::int64_t twoleg_extra,
-                            int& dim, int& dir, bool& detour) {
+std::int64_t NextHopFaulted(const std::int32_t* nbr, const std::int32_t* cp,
+                            const std::int32_t* dc, int d, int n, bool torus,
+                            std::uint16_t klass, std::int64_t id,
+                            std::uint16_t& flags, const std::uint8_t* dead,
+                            std::int64_t step, std::int32_t dist0,
+                            std::int64_t twoleg_extra, int& dim, int& dir,
+                            bool& detour) {
   int u_dim[kMaxDim], u_dir[kMaxDim];
   int nu = 0;
   std::int64_t rem = 0;
@@ -162,10 +197,10 @@ std::int64_t NextHopFaulted(const Topology& topo, ProcId p,
     flags &= static_cast<std::uint16_t>(~Packet::kLockMask);
     return 0;
   }
-  // Boundary links (mesh) are filtered by the Neighbor check; the dead mask
-  // only covers existing links.
+  // Boundary links (mesh) are filtered by the neighbor-table check; the
+  // dead mask only covers existing links.
   const auto alive = [&](int di, int dr) {
-    return dead[di * 2 + dr] == 0 && topo.Neighbor(p, di, dr) >= 0;
+    return dead[di * 2 + dr] == 0 && nbr[di * 2 + dr] >= 0;
   };
   const std::int64_t slack = (step - 1) - (dist0 - (rem + twoleg_extra));
   const std::uint64_t hash =
@@ -280,10 +315,30 @@ Engine::Engine(const Topology& topo, EngineOptions opts)
       d_(topo.dim()),
       n_(topo.side()),
       coords_(topo.BuildCoordTable()),
-      slot_(static_cast<std::size_t>(topo.size()) * static_cast<std::size_t>(2 * topo.dim())),
-      slot_prio_(slot_.size()),
-      next_(static_cast<std::size_t>(topo.size())) {
+      slot_(static_cast<std::size_t>(topo.size()) * static_cast<std::size_t>(2 * topo.dim())) {
   if (opts_.pool == nullptr) opts_.pool = &ThreadPool::Global();
+  if (topo.size() > std::numeric_limits<std::int32_t>::max()) {
+    throw std::invalid_argument(
+        "Engine: topology exceeds the 32-bit neighbor table");
+  }
+  // Double-buffered mailbox (see engine.h): packet entries plus padded
+  // presence rows, both sized 2 x N x row.
+  const auto links = static_cast<std::size_t>(2 * d_);
+  mask_stride_ = (links + 7) / 8 * 8;
+  in_pkt_.resize(2 * slot_.size());
+  in_mask_.assign(2 * static_cast<std::size_t>(topo.size()) * mask_stride_, 0);
+  // Flat neighbor table: the bid and commit hot loops probe links with one
+  // load instead of re-deriving coordinates per hop.
+  nbr_.resize(slot_.size());
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    const std::size_t base = static_cast<std::size_t>(p) * links;
+    for (int dim = 0; dim < d_; ++dim) {
+      for (int dir = 0; dir < 2; ++dir) {
+        nbr_[base + static_cast<std::size_t>(dim * 2 + dir)] =
+            static_cast<std::int32_t>(topo.Neighbor(p, dim, dir));
+      }
+    }
+  }
   if (opts_.faults != nullptr && !opts_.faults->empty()) {
     const Topology& ft = opts_.faults->topo();
     if (ft.dim() != topo.dim() || ft.side() != topo.side() ||
@@ -299,67 +354,403 @@ Engine::Engine(const Topology& topo, EngineOptions opts)
   }
 }
 
-template <bool kFaults>
-void Engine::StepPhaseA(Network& net, std::int64_t step, std::int64_t begin,
-                        std::int64_t end) {
-  const bool torus = topo_->torus();
+template <bool kFaults, bool kSparse, bool kRecordSlots>
+void Engine::BidProc(PacketQueue* queues, ProcId p, std::int64_t step,
+                     int parity, [[maybe_unused]] WorkerScratch* s) {
   const auto links = static_cast<std::size_t>(2 * d_);
-  auto& queues = net.queues();
-  for (ProcId p = begin; p < end; ++p) {
-    const std::size_t base = static_cast<std::size_t>(p) * links;
-    for (std::size_t l = 0; l < links; ++l) {
-      slot_[base + l] = -1;
-      slot_prio_[base + l] = -1;
+  const std::size_t base = static_cast<std::size_t>(p) * links;
+  auto& q = queues[static_cast<std::size_t>(p)];
+  if (q.empty()) {
+    if constexpr (kRecordSlots && !kSparse) {
+      // Dense CheckSlots scans every row, so even an idle processor's row
+      // must be clean. (The sparse path only ever bids active processors.)
+      for (std::size_t l = 0; l < links; ++l) slot_[base + l] = -1;
     }
-    auto& q = queues[static_cast<std::size_t>(p)];
-    if (q.empty()) continue;
-    const std::int32_t* cp = &coords_[static_cast<std::size_t>(p) * static_cast<std::size_t>(d_)];
-    for (std::size_t k = 0; k < q.size(); ++k) {
-      Packet& pkt = q[k];
-      if (pkt.dest == p) continue;
-      const std::int32_t* dc =
-          &coords_[static_cast<std::size_t>(pkt.dest) * static_cast<std::size_t>(d_)];
+    return;
+  }
+  // Winner selection is stack-local: the slot table is only published for
+  // the checker's CheckSlots pass — nothing else ever reads a foreign row,
+  // so the hot path keeps selection out of shared memory entirely. A bid
+  // bitmask (`used`) replaces array initialization and the full-links
+  // winner scan — with the typical drain-tail queue of one packet, the
+  // fixed per-link overhead would otherwise rival the useful work.
+  std::int32_t win[2 * kMaxDim];
+  std::int64_t prio[2 * kMaxDim];
+  std::uint32_t used = 0;
+  const bool torus = topo_->torus();
+  const std::int32_t* cp =
+      &coords_[static_cast<std::size_t>(p) * static_cast<std::size_t>(d_)];
+  if constexpr (!kFaults) {
+    // Singleton fast path: a one-packet queue cannot have link contention,
+    // so the farthest-first priority (the remaining-distance sum) is never
+    // consulted — only the hop direction matters. Drain tails are dominated
+    // by such queues. Faulted runs keep the general path (the detour policy
+    // needs the remaining distance for its slack rotation).
+    if (q.size() == 1) {
+      Packet& pkt = q[0];
+      if (pkt.dest == p) {
+        if constexpr (kRecordSlots && !kSparse) {
+          for (std::size_t l = 0; l < links; ++l) slot_[base + l] = -1;
+        }
+        return;
+      }
+      const std::int32_t* dc = &coords_[static_cast<std::size_t>(pkt.dest) *
+                                        static_cast<std::size_t>(d_)];
       int dim, dir;
-      std::int64_t rem;
-      if constexpr (kFaults) {
-        // Farthest-first priority counts the full remaining path of a
-        // two-leg packet, not just the current leg.
-        std::int64_t extra = 0;
-        if ((pkt.flags & Packet::kTwoLeg) != 0) {
-          extra = topo_->Dist(pkt.dest, static_cast<ProcId>(pkt.tag));
-        }
-        bool is_detour = false;
-        rem = NextHopFaulted(*topo_, p, cp, dc, d_, n_, torus, pkt.klass,
-                             pkt.id, pkt.flags, &link_dead_[base], step,
-                             pkt.dist0, extra, dim, dir, is_detour);
-        pkt.flags = is_detour
-                        ? static_cast<std::uint16_t>(pkt.flags | Packet::kDetour)
-                        : static_cast<std::uint16_t>(pkt.flags &
-                                                     ~Packet::kDetour);
-        rem += extra;
-        if (dim < 0) continue;  // every outgoing link is dead: cannot bid
-      } else {
-        rem = NextHop(cp, dc, d_, n_, torus, pkt.klass, dim, dir);
-        assert(dim >= 0);
-        // Farthest-first priority counts the full remaining path of a
-        // two-leg packet, not just the current leg.
-        if ((pkt.flags & Packet::kTwoLeg) != 0) {
-          rem += topo_->Dist(pkt.dest, static_cast<ProcId>(pkt.tag));
-        }
+      NextHopDir(cp, dc, d_, n_, torus, pkt.klass, dim, dir);
+      assert(dim >= 0);
+      const std::size_t l = static_cast<std::size_t>(dim * 2 + dir);
+      if constexpr (kRecordSlots) {
+        for (std::size_t ll = 0; ll < links; ++ll) slot_[base + ll] = -1;
+        slot_[base + l] = 0;
       }
-      const std::size_t l = base + static_cast<std::size_t>(dim * 2 + dir);
-      const auto cur = slot_[l];
-      // Farthest remaining distance wins; ties to the smaller packet id.
-      if (cur < 0 || rem > slot_prio_[l] ||
-          (rem == slot_prio_[l] && pkt.id < q[static_cast<std::size_t>(cur)].id)) {
-        slot_[l] = static_cast<std::int32_t>(k);
-        slot_prio_[l] = rem;
+      pkt.flags |= Packet::kMoving;
+      const auto r = static_cast<std::size_t>(nbr_[base + l]);
+      Packet* const out = in_pkt_.data() +
+                          static_cast<std::size_t>(parity) * (in_pkt_.size() / 2);
+      std::uint8_t* const mask =
+          in_mask_.data() +
+          static_cast<std::size_t>(parity) * (in_mask_.size() / 2);
+      out[r * links + (l ^ 1)] = pkt;
+      mask[r * mask_stride_ + (l ^ 1)] = 1;
+      if constexpr (kSparse) {
+        s->receivers.push_back(static_cast<ProcId>(r));
+      }
+      return;
+    }
+  }
+  for (std::size_t k = 0; k < q.size(); ++k) {
+    Packet& pkt = q[k];
+    if (pkt.dest == p) continue;
+    const std::int32_t* dc =
+        &coords_[static_cast<std::size_t>(pkt.dest) * static_cast<std::size_t>(d_)];
+    int dim, dir;
+    std::int64_t rem;
+    if constexpr (kFaults) {
+      // Farthest-first priority counts the full remaining path of a
+      // two-leg packet, not just the current leg.
+      std::int64_t extra = 0;
+      if ((pkt.flags & Packet::kTwoLeg) != 0) {
+        extra = topo_->Dist(pkt.dest, static_cast<ProcId>(pkt.tag));
+      }
+      bool is_detour = false;
+      rem = NextHopFaulted(&nbr_[base], cp, dc, d_, n_, torus, pkt.klass,
+                           pkt.id, pkt.flags, &link_dead_[base], step,
+                           pkt.dist0, extra, dim, dir, is_detour);
+      pkt.flags = is_detour
+                      ? static_cast<std::uint16_t>(pkt.flags | Packet::kDetour)
+                      : static_cast<std::uint16_t>(pkt.flags &
+                                                   ~Packet::kDetour);
+      rem += extra;
+      if (dim < 0) continue;  // every outgoing link is dead: cannot bid
+    } else {
+      rem = NextHop(cp, dc, d_, n_, torus, pkt.klass, dim, dir);
+      assert(dim >= 0);
+      // Farthest-first priority counts the full remaining path of a
+      // two-leg packet, not just the current leg.
+      if ((pkt.flags & Packet::kTwoLeg) != 0) {
+        rem += topo_->Dist(pkt.dest, static_cast<ProcId>(pkt.tag));
       }
     }
+    const std::size_t l = static_cast<std::size_t>(dim * 2 + dir);
+    // Farthest remaining distance wins; ties to the smaller packet id.
+    if ((used & (std::uint32_t{1} << l)) == 0) {
+      used |= std::uint32_t{1} << l;
+      win[l] = static_cast<std::int32_t>(k);
+      prio[l] = rem;
+    } else if (rem > prio[l] ||
+               (rem == prio[l] &&
+                pkt.id < q[static_cast<std::size_t>(win[l])].id)) {
+      win[l] = static_cast<std::int32_t>(k);
+      prio[l] = rem;
+    }
+  }
+  if constexpr (kRecordSlots) {
     for (std::size_t l = 0; l < links; ++l) {
-      if (slot_[base + l] >= 0) {
-        q[static_cast<std::size_t>(slot_[base + l])].flags |= Packet::kMoving;
+      slot_[base + l] = (used & (std::uint32_t{1} << l)) != 0 ? win[l] : -1;
+    }
+  }
+  Packet* const out =
+      in_pkt_.data() + static_cast<std::size_t>(parity) * (in_pkt_.size() / 2);
+  std::uint8_t* const mask =
+      in_mask_.data() + static_cast<std::size_t>(parity) * (in_mask_.size() / 2);
+  while (used != 0) {
+    const auto l = static_cast<std::size_t>(std::countr_zero(used));
+    used &= used - 1;
+    Packet& pkt = q[static_cast<std::size_t>(win[l])];
+    pkt.flags |= Packet::kMoving;
+    // Hand the packet to the receiver's mailbox row. Link l = dim*2+dir
+    // lands in the receiver's dim*2+(1-dir) entry (l ^ 1): the entry
+    // indexed by the direction the receiver sees us in. Each directed
+    // link has exactly one possible writer, so the scatter is race-free.
+    // (Boundary links never win: NextHop never points off the mesh and
+    // the faulted policy checks nbr >= 0.)
+    const auto r = static_cast<std::size_t>(nbr_[base + l]);
+    out[r * links + (l ^ 1)] = pkt;
+    mask[r * mask_stride_ + (l ^ 1)] = 1;
+    if constexpr (kSparse) {
+      // The receiver joins the commit set for `step`.
+      s->receivers.push_back(static_cast<ProcId>(r));
+    }
+  }
+}
+
+template <bool kFaults>
+void Engine::StepPhaseA(PacketQueue* queues, std::int64_t step, int parity,
+                        std::int64_t begin, std::int64_t end) {
+  for (ProcId p = begin; p < end; ++p) {
+    BidProc<kFaults, false, true>(queues, p, step, parity, nullptr);
+  }
+}
+
+bool Engine::CommitProc(PacketQueue* queues, ProcId p, std::int32_t now,
+                        bool count_dirs, int parity, WorkerScratch& s) {
+  const auto links = static_cast<std::size_t>(2 * d_);
+  auto& q = queues[static_cast<std::size_t>(p)];
+  bool inflight = false;
+  // Stayers: compact everything not selected to move out, preserving order
+  // (equivalent to the stayers-first rebuild of a fresh queue).
+  std::size_t w = 0;
+  const std::size_t sz = q.size();
+  for (std::size_t i = 0; i < sz; ++i) {
+    if ((q[i].flags & Packet::kMoving) == 0) {
+      if (w != i) q[w] = q[i];
+      if (q[i].arrived < 0) {
+        inflight = true;
+        // The fused bid that follows needs this stayer's destination
+        // coordinates — a random access; start the load now.
+        __builtin_prefetch(
+            &coords_[static_cast<std::size_t>(q[i].dest) *
+                     static_cast<std::size_t>(d_)]);
       }
+      ++w;
+    }
+  }
+  q.resize(w);
+  // Incomers: one per directed in-link, consumed from p's own mailbox row
+  // in canonical (dim, dir) order. Everything here is p-local. The padded
+  // presence row collapses the common "no incomers" case to one or two
+  // aligned 8-byte loads.
+  const std::size_t rows = static_cast<std::size_t>(topo_->size());
+  std::uint8_t* const mrow =
+      in_mask_.data() +
+      (static_cast<std::size_t>(parity) * rows + static_cast<std::size_t>(p)) *
+          mask_stride_;
+  const Packet* const row =
+      in_pkt_.data() +
+      (static_cast<std::size_t>(parity) * rows + static_cast<std::size_t>(p)) *
+          links;
+  for (std::size_t wi = 0; wi < mask_stride_; wi += 8) {
+    // Each presence byte is 0 or 1, so the row word has at most one set
+    // bit per byte: countr_zero(word) >> 3 walks the occupied entries in
+    // ascending (canonical) link order with no per-link branch, and one
+    // zero store consumes the whole word.
+    std::uint64_t word;
+    std::memcpy(&word, mrow + wi, sizeof(word));
+    if (word == 0) continue;
+    const std::uint64_t zero = 0;
+    std::memcpy(mrow + wi, &zero, sizeof(zero));
+    while (word != 0) {
+      const std::size_t l =
+          wi + (static_cast<std::size_t>(std::countr_zero(word)) >> 3);
+      word &= word - 1;
+      Packet pkt = row[l];
+      if (have_faults_ && (pkt.flags & Packet::kDetour) != 0) {
+        ++s.detours;
+      }
+      pkt.flags &= static_cast<std::uint16_t>(
+          ~(Packet::kMoving | Packet::kDetour));
+      ++s.moves;
+      if (count_dirs) {
+        // Entry l arrived from p's (dim, dir) neighbor, i.e. it crossed the
+        // sender's (dim, 1-dir) directed link — index l ^ 1.
+        ++s.dir_moves[l ^ 1];
+      }
+      if (pkt.dest == p) {
+        if ((pkt.flags & Packet::kTwoLeg) != 0) {
+          // Midpoint reached: retarget to the final destination and
+          // keep going next step — no barrier between the phases.
+          pkt.dest = static_cast<ProcId>(pkt.tag);
+          pkt.flags &= static_cast<std::uint16_t>(~Packet::kTwoLeg);
+          if (pkt.dest == p) {
+            pkt.arrived = now;
+            ++s.arrivals;
+          }
+        } else {
+          pkt.arrived = now;
+          ++s.arrivals;
+        }
+      }
+      if (pkt.arrived < 0) {
+        inflight = true;
+        __builtin_prefetch(
+            &coords_[static_cast<std::size_t>(pkt.dest) *
+                     static_cast<std::size_t>(d_)]);
+      }
+      q.push_back(pkt);
+    }
+  }
+  s.qmax = std::max<std::int64_t>(s.qmax, static_cast<std::int64_t>(q.size()));
+  return inflight;
+}
+
+void Engine::RebuildActiveSet(Network& net) {
+  const ProcId N = topo_->size();
+  const std::size_t words = (static_cast<std::size_t>(N) + 63) / 64;
+  if (touched_bits_.size() != words) touched_bits_.assign(words, 0);
+  active_.clear();
+  const auto& queues = net.queues();
+  for (ProcId p = 0; p < N; ++p) {
+    for (const Packet& pkt : queues[static_cast<std::size_t>(p)]) {
+      if (pkt.arrived < 0) {
+        active_.push_back(p);
+        break;
+      }
+    }
+  }
+}
+
+void Engine::RebuildTouched(Network& net, int parity) {
+  const ProcId N = topo_->size();
+  touched_.clear();
+  const auto& queues = net.queues();
+  const std::uint8_t* const mask =
+      in_mask_.data() + static_cast<std::size_t>(parity) * (in_mask_.size() / 2);
+  for (ProcId p = 0; p < N; ++p) {
+    bool t = false;
+    // In-flight packets include next step's movers (still queued, kMoving):
+    // their sender must commit to drop them.
+    for (const Packet& pkt : queues[static_cast<std::size_t>(p)]) {
+      if (pkt.arrived < 0) {
+        t = true;
+        break;
+      }
+    }
+    if (!t) {
+      const std::uint8_t* mrow = mask + static_cast<std::size_t>(p) * mask_stride_;
+      std::uint64_t any = 0;
+      for (std::size_t i = 0; i < mask_stride_; i += 8) {
+        std::uint64_t word;
+        std::memcpy(&word, mrow + i, sizeof(word));
+        any |= word;
+      }
+      t = any != 0;
+    }
+    if (t) touched_.push_back(p);
+  }
+}
+
+void Engine::DenseStep(Network& net, std::int64_t step, std::int32_t now,
+                       bool count_dirs, InvariantChecker* checker) {
+  // Unfused two-phase step, checker path only: CheckSlots must see the full
+  // winner table after every bid and before any delivery mutates the queues
+  // it indexes into.
+  assert(checker != nullptr);
+  const ProcId N = topo_->size();
+  const auto shards = static_cast<std::int64_t>(opts_.pool->ShardsFor(N));
+  const std::int64_t chunk = CeilDiv(N, shards);
+  const int parity = static_cast<int>(step & 1);
+  PacketQueue* const queues = net.queues().data();
+  opts_.pool->ParallelFor(N, [&](std::int64_t b, std::int64_t e) {
+    if (have_faults_) {
+      StepPhaseA<true>(queues, step, parity, b, e);
+    } else {
+      StepPhaseA<false>(queues, step, parity, b, e);
+    }
+  });
+  checker->CheckSlots(net, slot_, have_faults_ ? link_dead_.data() : nullptr,
+                      step);
+  opts_.pool->ParallelFor(N, [&](std::int64_t b, std::int64_t e) {
+    WorkerScratch& s = scratch_[static_cast<std::size_t>(b / chunk)];
+    for (ProcId p = b; p < e; ++p) {
+      CommitProc(queues, p, now, count_dirs, parity, s);
+    }
+  });
+  slots_clean_ = false;  // every row now holds this step's winners
+}
+
+void Engine::SparseStep(Network& net, std::int64_t step, std::int32_t now,
+                        bool count_dirs, InvariantChecker* checker) {
+  // Unfused sparse step, checker path only (see DenseStep).
+  assert(checker != nullptr);
+  const auto links = static_cast<std::size_t>(2 * d_);
+  const int parity = static_cast<int>(step & 1);
+  PacketQueue* const queues = net.queues().data();
+  const auto na = static_cast<std::int64_t>(active_.size());
+  if (na > 0) {
+    const std::int64_t bid_chunk =
+        CeilDiv(na, static_cast<std::int64_t>(opts_.pool->ShardsFor(na)));
+    opts_.pool->ParallelFor(na, [&](std::int64_t b, std::int64_t e) {
+      WorkerScratch& s = scratch_[static_cast<std::size_t>(b / bid_chunk)];
+      if (have_faults_) {
+        for (std::int64_t i = b; i < e; ++i) {
+          BidProc<true, true, true>(queues, active_[static_cast<std::size_t>(i)],
+                                    step, parity, &s);
+        }
+      } else {
+        for (std::int64_t i = b; i < e; ++i) {
+          BidProc<false, true, true>(queues, active_[static_cast<std::size_t>(i)],
+                                     step, parity, &s);
+        }
+      }
+    });
+  }
+  checker->CheckActiveSet(net, active_, step);
+  checker->CheckSlots(net, slot_, have_faults_ ? link_dead_.data() : nullptr,
+                      step);
+  // Commit set = active processors plus every winner's receiving neighbor,
+  // deduped through a word bitmap whose scan also emits the set in
+  // ascending order — the commit and next step's bid then walk memory
+  // sequentially, which matters more than the scan's O(N/64) floor.
+  for (ProcId p : active_) {
+    touched_bits_[static_cast<std::size_t>(p) >> 6] |=
+        std::uint64_t{1} << (static_cast<std::size_t>(p) & 63);
+  }
+  for (const WorkerScratch& s : scratch_) {
+    for (ProcId r : s.receivers) {
+      touched_bits_[static_cast<std::size_t>(r) >> 6] |=
+          std::uint64_t{1} << (static_cast<std::size_t>(r) & 63);
+    }
+  }
+  touched_.clear();
+  for (std::size_t w = 0; w < touched_bits_.size(); ++w) {
+    std::uint64_t bits = touched_bits_[w];
+    if (bits == 0) continue;
+    touched_bits_[w] = 0;  // leave the bitmap clear for the next step
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      bits &= bits - 1;
+      touched_.push_back(static_cast<ProcId>((w << 6) | static_cast<std::size_t>(bit)));
+    }
+  }
+  const auto nt = static_cast<std::int64_t>(touched_.size());
+  touched_inflight_.assign(static_cast<std::size_t>(nt), 0);
+  if (nt > 0) {
+    const std::int64_t commit_chunk =
+        CeilDiv(nt, static_cast<std::int64_t>(opts_.pool->ShardsFor(nt)));
+    opts_.pool->ParallelFor(nt, [&](std::int64_t b, std::int64_t e) {
+      WorkerScratch& s = scratch_[static_cast<std::size_t>(b / commit_chunk)];
+      for (std::int64_t i = b; i < e; ++i) {
+        touched_inflight_[static_cast<std::size_t>(i)] =
+            CommitProc(queues, touched_[static_cast<std::size_t>(i)], now,
+                       count_dirs, parity, s)
+                ? 1
+                : 0;
+      }
+    });
+  }
+  // Re-clear this step's bid rows so the next CheckSlots pass (which scans
+  // every row) sees no stale winners from processors that leave the active
+  // set. The routing itself never reads foreign slot rows.
+  for (ProcId p : active_) {
+    const std::size_t base = static_cast<std::size_t>(p) * links;
+    for (std::size_t l = 0; l < links; ++l) slot_[base + l] = -1;
+  }
+  // Refresh the active set — O(|touched|), no full-mesh pass anywhere.
+  active_.clear();
+  for (std::int64_t i = 0; i < nt; ++i) {
+    if (touched_inflight_[static_cast<std::size_t>(i)] != 0) {
+      active_.push_back(touched_[static_cast<std::size_t>(i)]);
     }
   }
 }
@@ -414,7 +805,8 @@ RouteResult Engine::Route(Network& net) {
   RouteResult result;
   const ProcId N = topo_->size();
   const auto links = static_cast<std::size_t>(2 * d_);
-  auto& queues = net.queues();
+  auto& queues_vec = net.queues();
+  PacketQueue* const queues = queues_vec.data();
 
   // Initialize per-packet measurement state. Two-leg packets (overlapped
   // routing) count their full path as the distance; a zero-length first leg
@@ -454,6 +846,13 @@ RouteResult Engine::Route(Network& net) {
     cap = 4 * load * (topo_->Diameter() + n_) + 4096;
   }
 
+  // A previous aborted Route left speculative next-step bids in the
+  // mailbox; clear the presence rows once, lazily.
+  if (mailbox_dirty_) {
+    std::fill(in_mask_.begin(), in_mask_.end(), 0);
+    mailbox_dirty_ = false;
+  }
+
   // Fault bookkeeping. Flap windows are relative to each Route call, so the
   // transient state resets here.
   std::size_t event_cursor = 0;
@@ -481,178 +880,395 @@ RouteResult Engine::Route(Network& net) {
     checker->BeginRun(net);
   }
 
-  std::atomic<std::int64_t> arrivals_total{0};
-  std::atomic<std::int64_t> moves_total{0};
-  std::atomic<std::int64_t> detours_total{0};
-  std::atomic<std::int64_t> queue_max{result.max_queue};
-
-  // Probe support: per-dimension directed-link move counters, collected
-  // only when a probe is attached so the unobserved step loop stays lean.
+  // Per-worker scratch arenas replace the old per-step atomics and vector
+  // allocations. Probe support (per-dimension move counters, histograms) is
+  // entirely behind this one null check — an unobserved run never touches
+  // dir_moves again.
   StepProbe* const probe = opts_.probe;
-  const std::size_t dir_slots = probe != nullptr ? links : 0;
-  std::vector<std::atomic<std::int64_t>> dir_moves_atomic(dir_slots);
-  std::vector<std::int64_t> dir_moves_snapshot(dir_slots);
-  const bool want_hist = probe != nullptr && probe->WantsQueueHistogram();
+  const bool count_dirs = probe != nullptr;
+  const bool want_hist = count_dirs && probe->WantsQueueHistogram();
+  const std::size_t nshards = std::max<std::size_t>(1, opts_.pool->workers());
+  if (scratch_.size() != nshards) scratch_.resize(nshards);
+  for (WorkerScratch& s : scratch_) {
+    s.dir_moves.assign(count_dirs ? links : 0, 0);
+    s.receivers.clear();
+  }
+  std::vector<std::int64_t> dir_moves_snapshot(count_dirs ? links : 0);
 
+  const double threshold = std::clamp(opts_.sparse_threshold, 0.0, 1.0);
   const bool have_faults = have_faults_;
+  std::int64_t arrivals_total = 0;
+  std::int64_t moves_total = 0;
+  std::int64_t detours_total = 0;
+  std::int64_t queue_max = result.max_queue;
   std::int64_t step = 0;
-  std::int64_t prev_arrivals = 0;
-  std::int64_t prev_moves = 0;
-  std::int64_t wd_prev_moves = 0;
-  while (in_flight > arrivals_total.load(std::memory_order_relaxed) &&
-         step < cap) {
-    ++step;
-    // Apply this step's scheduled flap edges before anyone bids.
-    bool fault_event = false;
+
+  // Applies the flap edges scheduled for step `at`; returns whether any
+  // fired (the watchdog treats a fault event as progress).
+  const auto apply_events = [&](std::int64_t at) {
+    bool fired = false;
     if (have_faults) {
       while (event_cursor < events_.size() &&
-             events_[event_cursor].step == step) {
+             events_[event_cursor].step == at) {
         const FaultPlan::FlapEvent& ev = events_[event_cursor++];
         const auto l = static_cast<std::size_t>(ev.link);
         flap_count_[l] += ev.delta;
         assert(flap_count_[l] >= 0);
         link_dead_[l] = (link_dead_perm_[l] != 0 || flap_count_[l] > 0) ? 1 : 0;
-        fault_event = true;
+        fired = true;
       }
     }
-    for (auto& c : dir_moves_atomic) c.store(0, std::memory_order_relaxed);
-    if (have_faults) {
-      opts_.pool->ParallelFor(N, [&](std::int64_t begin, std::int64_t end) {
-        StepPhaseA<true>(net, step, begin, end);
-      });
-    } else {
-      opts_.pool->ParallelFor(N, [&](std::int64_t begin, std::int64_t end) {
-        StepPhaseA<false>(net, step, begin, end);
-      });
+    return fired;
+  };
+
+  const auto mode_for = [&](std::int64_t remaining) {
+    switch (opts_.sparse) {
+      case SparseMode::kAlways:
+        return true;
+      case SparseMode::kNever:
+        return false;
+      case SparseMode::kAuto:
+      default:
+        // In-flight packets upper-bound the occupied processors, and the
+        // count is already on hand — no occupancy scan needed.
+        return static_cast<double>(remaining) <=
+               threshold * static_cast<double>(N);
     }
-    if (checker != nullptr) {
-      checker->CheckSlots(net, slot_, have_faults ? link_dead_.data() : nullptr,
-                          step);
+  };
+
+  const auto reset_scratch = [&] {
+    for (WorkerScratch& s : scratch_) {
+      s.arrivals = 0;
+      s.moves = 0;
+      s.detours = 0;
+      s.qmax = 0;
+      s.receivers.clear();
     }
-    const std::int32_t now = static_cast<std::int32_t>(step);
-    opts_.pool->ParallelFor(N, [&](std::int64_t begin, std::int64_t end) {
-      std::int64_t local_arrivals = 0;
-      std::int64_t local_moves = 0;
-      std::int64_t local_detours = 0;
-      std::int64_t local_qmax = 0;
-      std::vector<std::int64_t> local_dirs(dir_slots, 0);
-      for (ProcId p = begin; p < end; ++p) {
-        auto& out = next_[static_cast<std::size_t>(p)];
-        out.clear();
-        // Stayers: everything not selected to move out.
-        for (const Packet& pkt : queues[static_cast<std::size_t>(p)]) {
-          if ((pkt.flags & Packet::kMoving) == 0) out.push_back(pkt);
+    if (count_dirs) {
+      for (WorkerScratch& s : scratch_) {
+        std::fill(s.dir_moves.begin(), s.dir_moves.end(), 0);
+      }
+    }
+  };
+
+  // Deterministic reduction: worker order is fixed, sums and maxima are
+  // order-insensitive anyway. Returns (step arrivals, step moves).
+  const auto reduce_scratch = [&]() -> std::pair<std::int64_t, std::int64_t> {
+    std::int64_t step_arrivals = 0;
+    std::int64_t step_moves = 0;
+    for (const WorkerScratch& s : scratch_) {
+      step_arrivals += s.arrivals;
+      step_moves += s.moves;
+      detours_total += s.detours;
+      queue_max = std::max(queue_max, s.qmax);
+    }
+    arrivals_total += step_arrivals;
+    moves_total += step_moves;
+    return {step_arrivals, step_moves};
+  };
+
+  // Observer, probe, and watchdog for one completed step; returns true when
+  // the watchdog aborts the run.
+  const auto emit_step = [&](std::int64_t st, std::int64_t step_arrivals,
+                             std::int64_t step_moves, bool fault_event,
+                             std::int64_t active_procs) {
+    if (opts_.observer) {
+      opts_.observer(st, in_flight - arrivals_total, step_arrivals);
+    }
+    if (probe != nullptr) {
+      for (std::size_t i = 0; i < links; ++i) {
+        std::int64_t v = 0;
+        for (const WorkerScratch& s : scratch_) v += s.dir_moves[i];
+        dir_moves_snapshot[i] = v;
+      }
+      StepSnapshot snap;
+      snap.step = st;
+      snap.in_flight = in_flight - arrivals_total;
+      snap.arrivals = step_arrivals;
+      snap.moves = step_moves;
+      snap.dims = d_;
+      snap.dim_dir_moves = dir_moves_snapshot.data();
+      snap.active_procs = active_procs;
+      Histogram hist(kQueueHistBuckets);
+      if (want_hist) {
+        for (ProcId p = 0; p < N; ++p) {
+          hist.Add(static_cast<std::int64_t>(queues[static_cast<std::size_t>(p)].size()));
         }
-        // Incomers: one per directed in-link, from the neighbor's slot.
-        for (int dim = 0; dim < d_; ++dim) {
-          for (int dir = 0; dir < 2; ++dir) {
-            const ProcId q = topo_->Neighbor(p, dim, dir);
-            if (q < 0) continue;
-            // q sends toward p on its (dim, 1-dir) link.
-            const std::size_t l =
-                static_cast<std::size_t>(q) * links +
-                static_cast<std::size_t>(dim * 2 + (1 - dir));
-            const auto k = slot_[l];
-            if (k < 0) continue;
-            Packet pkt = queues[static_cast<std::size_t>(q)][static_cast<std::size_t>(k)];
-            if (have_faults && (pkt.flags & Packet::kDetour) != 0) {
-              ++local_detours;
-            }
-            pkt.flags &= static_cast<std::uint16_t>(
-                ~(Packet::kMoving | Packet::kDetour));
-            ++local_moves;
-            if (dir_slots != 0) {
-              // The packet crossed q's (dim, 1-dir) directed link.
-              ++local_dirs[static_cast<std::size_t>(dim * 2 + (1 - dir))];
-            }
-            if (pkt.dest == p) {
-              if ((pkt.flags & Packet::kTwoLeg) != 0) {
-                // Midpoint reached: retarget to the final destination and
-                // keep going next step — no barrier between the phases.
-                pkt.dest = static_cast<ProcId>(pkt.tag);
-                pkt.flags &= static_cast<std::uint16_t>(~Packet::kTwoLeg);
-                if (pkt.dest == p) {
-                  pkt.arrived = now;
-                  ++local_arrivals;
-                }
-              } else {
-                pkt.arrived = now;
-                ++local_arrivals;
-              }
-            }
-            out.push_back(pkt);
-          }
-        }
-        local_qmax = std::max<std::int64_t>(local_qmax, static_cast<std::int64_t>(out.size()));
+        snap.queue_hist = &hist;
       }
-      arrivals_total.fetch_add(local_arrivals, std::memory_order_relaxed);
-      moves_total.fetch_add(local_moves, std::memory_order_relaxed);
-      if (local_detours != 0) {
-        detours_total.fetch_add(local_detours, std::memory_order_relaxed);
-      }
-      for (std::size_t i = 0; i < dir_slots; ++i) {
-        if (local_dirs[i] != 0) {
-          dir_moves_atomic[i].fetch_add(local_dirs[i], std::memory_order_relaxed);
-        }
-      }
-      std::int64_t seen = queue_max.load(std::memory_order_relaxed);
-      while (local_qmax > seen &&
-             !queue_max.compare_exchange_weak(seen, local_qmax, std::memory_order_relaxed)) {
-      }
-    });
-    queues.swap(next_);
-    if (checker != nullptr) checker->CheckStep(net, step);
-    if (opts_.observer || probe != nullptr) {
-      const std::int64_t arrived_now = arrivals_total.load(std::memory_order_relaxed);
-      const std::int64_t arrivals_this = arrived_now - prev_arrivals;
-      if (opts_.observer) {
-        opts_.observer(step, in_flight - arrived_now, arrivals_this);
-      }
-      if (probe != nullptr) {
-        const std::int64_t moves_now = moves_total.load(std::memory_order_relaxed);
-        for (std::size_t i = 0; i < dir_slots; ++i) {
-          dir_moves_snapshot[i] = dir_moves_atomic[i].load(std::memory_order_relaxed);
-        }
-        StepSnapshot snap;
-        snap.step = step;
-        snap.in_flight = in_flight - arrived_now;
-        snap.arrivals = arrivals_this;
-        snap.moves = moves_now - prev_moves;
-        snap.dims = d_;
-        snap.dim_dir_moves = dir_moves_snapshot.data();
-        Histogram hist(kQueueHistBuckets);
-        if (want_hist) {
-          for (ProcId p = 0; p < N; ++p) {
-            hist.Add(static_cast<std::int64_t>(queues[static_cast<std::size_t>(p)].size()));
-          }
-          snap.queue_hist = &hist;
-        }
-        probe->OnStep(snap);
-        prev_moves = moves_now;
-      }
-      prev_arrivals = arrived_now;
+      probe->OnStep(snap);
     }
     if (watchdog_on) {
-      const std::int64_t moves_now = moves_total.load(std::memory_order_relaxed);
-      if (moves_now == wd_prev_moves && !fault_event) {
+      if (step_moves == 0 && !fault_event) {
         ++no_progress;
       } else {
         no_progress = 0;
       }
-      wd_prev_moves = moves_now;
-      if (no_progress >= stall_window &&
-          in_flight > arrivals_total.load(std::memory_order_relaxed)) {
+      if (no_progress >= stall_window && in_flight > arrivals_total) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  if (checker != nullptr) {
+    // Checker path: plain two-phase steps (bid, CheckSlots, commit) so the
+    // per-phase invariants see exactly the state they are specified on.
+    bool active_valid = false;
+    while (in_flight > arrivals_total && step < cap) {
+      ++step;
+      const bool fault_event = apply_events(step);
+      const bool use_sparse = mode_for(in_flight - arrivals_total);
+      reset_scratch();
+      const auto now = static_cast<std::int32_t>(step);
+      if (use_sparse) {
+        if (!active_valid) {
+          RebuildActiveSet(net);
+          active_valid = true;
+        }
+        if (!slots_clean_) {
+          // CheckSlots scans every slot row, so entering sparse mode after
+          // a dense step must erase the dense pass's winners once; sparse
+          // steps then keep the rows clean incrementally.
+          std::fill(slot_.begin(), slot_.end(), -1);
+          slots_clean_ = true;
+        }
+        SparseStep(net, step, now, count_dirs, checker.get());
+        ++result.sparse_steps;
+      } else {
+        active_valid = false;
+        DenseStep(net, step, now, count_dirs, checker.get());
+      }
+      checker->CheckStep(net, step);
+      const auto [step_arrivals, step_moves] = reduce_scratch();
+      if (emit_step(step, step_arrivals, step_moves, fault_event,
+                    use_sparse ? static_cast<std::int64_t>(active_.size())
+                               : -1)) {
         watchdog_fired = true;
         break;
+      }
+    }
+  } else if (in_flight > 0) {
+    // Fused pipeline: one pass over the commit set per step performs
+    // commit(S) and immediately bids S+1 from the still-hot queue — each
+    // processor is traversed once per step, with no mid-step barrier (the
+    // parity mailbox keeps the early S+1 scatter off step-S entries).
+    // Fault events for S+1 must therefore be applied before pass S runs.
+    const std::size_t words = (static_cast<std::size_t>(N) + 63) / 64;
+    if (touched_bits_.size() != words) touched_bits_.assign(words, 0);
+    const auto mark = [&](ProcId p) {
+      touched_bits_[static_cast<std::size_t>(p) >> 6] |=
+          std::uint64_t{1} << (static_cast<std::size_t>(p) & 63);
+    };
+    // Bitmap scan emits the commit set deduped and ascending, so the pass
+    // walks queue memory sequentially; the words are cleared on the way.
+    const auto scan_marks = [&] {
+      touched_.clear();
+      for (std::size_t wd = 0; wd < touched_bits_.size(); ++wd) {
+        std::uint64_t bits = touched_bits_[wd];
+        if (bits == 0) continue;
+        touched_bits_[wd] = 0;
+        while (bits != 0) {
+          const int bit = std::countr_zero(bits);
+          bits &= bits - 1;
+          touched_.push_back(
+              static_cast<ProcId>((wd << 6) | static_cast<std::size_t>(bit)));
+        }
+      }
+    };
+
+    // Bootstrap: bid step 1 on its own (every later bid rides a commit).
+    bool fault_event_next = apply_events(1);
+    bool cur_sparse = mode_for(in_flight);
+    reset_scratch();
+    if (cur_sparse) {
+      RebuildActiveSet(net);
+      const auto na = static_cast<std::int64_t>(active_.size());
+      const std::int64_t chunk =
+          CeilDiv(na, static_cast<std::int64_t>(opts_.pool->ShardsFor(na)));
+      opts_.pool->ParallelFor(na, [&](std::int64_t b, std::int64_t e) {
+        WorkerScratch& s = scratch_[static_cast<std::size_t>(b / chunk)];
+        if (have_faults) {
+          for (std::int64_t i = b; i < e; ++i) {
+            BidProc<true, true, false>(
+                queues, active_[static_cast<std::size_t>(i)], 1, 1, &s);
+          }
+        } else {
+          for (std::int64_t i = b; i < e; ++i) {
+            BidProc<false, true, false>(
+                queues, active_[static_cast<std::size_t>(i)], 1, 1, &s);
+          }
+        }
+      });
+      for (ProcId p : active_) mark(p);
+      for (const WorkerScratch& s : scratch_) {
+        for (ProcId r : s.receivers) mark(r);
+      }
+      scan_marks();
+    } else {
+      opts_.pool->ParallelFor(N, [&](std::int64_t b, std::int64_t e) {
+        if (have_faults) {
+          for (ProcId p = b; p < e; ++p) {
+            BidProc<true, false, false>(queues, p, 1, 1, nullptr);
+          }
+        } else {
+          for (ProcId p = b; p < e; ++p) {
+            BidProc<false, false, false>(queues, p, 1, 1, nullptr);
+          }
+        }
+      });
+    }
+
+    while (in_flight > arrivals_total && step < cap) {
+      ++step;
+      const bool fault_event = fault_event_next;
+      fault_event_next = apply_events(step + 1);
+      reset_scratch();
+      const auto now = static_cast<std::int32_t>(step);
+      const int cparity = static_cast<int>(step & 1);  // commit buffer
+      const int bparity = cparity ^ 1;                 // bid buffer (S+1)
+      std::int64_t nt = 0;
+      if (cur_sparse) {
+        ++result.sparse_steps;
+        nt = static_cast<std::int64_t>(touched_.size());
+        touched_inflight_.assign(static_cast<std::size_t>(nt), 0);
+        if (nt > 0) {
+          const std::int64_t chunk = CeilDiv(
+              nt, static_cast<std::int64_t>(opts_.pool->ShardsFor(nt)));
+          const std::size_t rows = static_cast<std::size_t>(N);
+          opts_.pool->ParallelFor(nt, [&](std::int64_t b, std::int64_t e) {
+            WorkerScratch& s = scratch_[static_cast<std::size_t>(b / chunk)];
+            // The pass is memory-latency-bound (queue rows, presence rows,
+            // destination coordinates are all strided or random). Process
+            // in small batches — prefetch every batch member, commit them
+            // all (the commit also prefetches each survivor's destination
+            // coordinates), then bid them all — so the misses of ~16
+            // independent processors are in flight at once instead of one
+            // serial chain. Reordering is safe: a commit touches only its
+            // own queue and step-S rows, a bid writes only step-S+1 rows.
+            constexpr std::int64_t kBatch = 16;
+            for (std::int64_t i0 = b; i0 < e; i0 += kBatch) {
+              const std::int64_t i1 = std::min(i0 + kBatch, e);
+              for (std::int64_t i = i0; i < i1; ++i) {
+                const auto pf = static_cast<std::size_t>(
+                    touched_[static_cast<std::size_t>(i)]);
+                const char* const qp =
+                    reinterpret_cast<const char*>(&queues[pf]);
+                __builtin_prefetch(qp);
+                __builtin_prefetch(qp + 64);
+                __builtin_prefetch(
+                    in_mask_.data() +
+                    (static_cast<std::size_t>(cparity) * rows + pf) *
+                        mask_stride_);
+                __builtin_prefetch(
+                    in_pkt_.data() +
+                    (static_cast<std::size_t>(cparity) * rows + pf) * links);
+              }
+              for (std::int64_t i = i0; i < i1; ++i) {
+                touched_inflight_[static_cast<std::size_t>(i)] =
+                    CommitProc(queues, touched_[static_cast<std::size_t>(i)],
+                               now, count_dirs, cparity, s)
+                        ? 1
+                        : 0;
+              }
+              for (std::int64_t i = i0; i < i1; ++i) {
+                if (touched_inflight_[static_cast<std::size_t>(i)] != 0) {
+                  const ProcId p = touched_[static_cast<std::size_t>(i)];
+                  if (have_faults) {
+                    BidProc<true, true, false>(queues, p, step + 1, bparity,
+                                               &s);
+                  } else {
+                    BidProc<false, true, false>(queues, p, step + 1, bparity,
+                                                &s);
+                  }
+                }
+              }
+            }
+          });
+        }
+      } else {
+        const std::int64_t chunk =
+            CeilDiv(N, static_cast<std::int64_t>(opts_.pool->ShardsFor(N)));
+        opts_.pool->ParallelFor(N, [&](std::int64_t b, std::int64_t e) {
+          WorkerScratch& s = scratch_[static_cast<std::size_t>(b / chunk)];
+          // Commit-then-bid in small batches, as in the sparse pass: the
+          // sequential arrays stream well, but the batch gap gives the
+          // commit's destination-coordinate prefetches time to land
+          // before the bids consume them.
+          constexpr std::int64_t kBatch = 16;
+          for (std::int64_t p0 = b; p0 < e; p0 += kBatch) {
+            const std::int64_t p1 = std::min(p0 + kBatch, e);
+            bool infl[kBatch];
+            for (ProcId p = p0; p < p1; ++p) {
+              infl[p - p0] = CommitProc(queues, p, now, count_dirs,
+                                        cparity, s);
+            }
+            for (ProcId p = p0; p < p1; ++p) {
+              if (infl[p - p0]) {
+                if (have_faults) {
+                  BidProc<true, false, false>(queues, p, step + 1, bparity,
+                                              &s);
+                } else {
+                  BidProc<false, false, false>(queues, p, step + 1, bparity,
+                                               &s);
+                }
+              }
+            }
+          }
+        });
+      }
+      const auto [step_arrivals, step_moves] = reduce_scratch();
+      const std::int64_t remaining = in_flight - arrivals_total;
+      const bool next_sparse = mode_for(remaining);
+      std::int64_t active_procs = cur_sparse ? 0 : -1;
+      if (remaining > 0 && next_sparse) {
+        if (cur_sparse) {
+          // Incremental: next commit set = still-in-flight processors plus
+          // the receivers of the bids just scattered. O(|touched|).
+          std::int64_t na = 0;
+          for (std::int64_t i = 0; i < nt; ++i) {
+            if (touched_inflight_[static_cast<std::size_t>(i)] != 0) {
+              mark(touched_[static_cast<std::size_t>(i)]);
+              ++na;
+            }
+          }
+          for (const WorkerScratch& s : scratch_) {
+            for (ProcId r : s.receivers) mark(r);
+          }
+          scan_marks();
+          active_procs = na;
+        } else {
+          // Dense-to-sparse transition: one O(N) scan. Occupancy only
+          // decays, so this runs at most once per Route call.
+          RebuildTouched(net, bparity);
+        }
+      }
+      cur_sparse = next_sparse;
+      if (emit_step(step, step_arrivals, step_moves, fault_event,
+                    active_procs)) {
+        watchdog_fired = true;
+        break;
+      }
+    }
+    if (in_flight > arrivals_total) {
+      // Aborted (step cap or watchdog) with the pipeline's speculative
+      // step+1 bids already scattered: flag the mailbox for lazy clearing
+      // and strip the bid marks so the exposed queues match the unfused
+      // engine's post-commit state.
+      mailbox_dirty_ = true;
+      for (ProcId p = 0; p < N; ++p) {
+        for (Packet& pkt : queues[static_cast<std::size_t>(p)]) {
+          pkt.flags &= static_cast<std::uint16_t>(~Packet::kMoving);
+        }
       }
     }
   }
 
   result.steps = step;
-  result.moves = moves_total.load();
-  result.detours = detours_total.load();
-  result.max_queue = queue_max.load();
-  result.completed = in_flight == arrivals_total.load();
+  result.moves = moves_total;
+  result.detours = detours_total;
+  result.max_queue = queue_max;
+  result.completed = in_flight == arrivals_total;
   if (!result.completed) {
     result.stall_report = BuildStallReport(
         net, watchdog_fired ? StallReason::kWatchdog : StallReason::kStepCap,

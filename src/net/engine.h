@@ -9,6 +9,42 @@
 // farthest remaining distance wins (ties broken by smaller packet id), which
 // is the paper's contention rule.
 //
+// Execution strategy — two byte-identical traversal modes:
+//
+//  * Dense sweep: every processor is visited each step.
+//
+//  * Sparse active set: when occupancy drops below
+//    EngineOptions::sparse_threshold, the engine iterates only over the
+//    set of processors holding in-flight packets (maintained
+//    incrementally) plus the one-hop halo that receives traffic, skipping
+//    the ~90% of the mesh that sits idle during drain phases.
+//
+// Delivery goes through a receiver-indexed mailbox: the bid pass copies
+// each winning packet into its receiver's 2d-entry row and sets the
+// matching presence byte (each directed link has a unique writer, so the
+// scatter is race-free), and the commit pass is then fully local — it
+// compacts the processor's own queue in place and appends the incomers
+// from its own contiguous row, touching no neighbor state. That removes
+// both the per-step double buffer (and its per-queue swaps) and the 2d
+// scattered neighbor-slot probes per processor.
+//
+// Because a commit is p-local, the engine pipelines steps: one pass over
+// the commit set performs commit(S) and immediately bids step S+1 from the
+// still-hot queue, so each processor is traversed once per step instead of
+// once per phase — with no mid-step barrier at all. The mailbox is
+// double-buffered by step parity (bids for step S write buffer S mod 2),
+// which makes the pipelined scatter safe: a neighbor's early bid for S+1
+// can never clobber an unconsumed step-S entry. Under an active
+// InvariantChecker the engine instead runs the plain two-phase step
+// (bid, CheckSlots, commit) so per-phase diagnostics keep their ordering.
+//
+// Both paths produce identical winner slots and identical queue contents
+// (including order) at every step, for any thread count — the contention
+// rule, extended-greedy order, and detour policy are shared code; only the
+// traversal differs. Per-step counters accumulate into per-worker scratch
+// arenas (no atomics, no per-step allocations) and are reduced by the
+// coordinator, which also keeps the reduction order fixed.
+//
 // Fault injection (fault/fault_plan.h): when a FaultPlan is attached, a dead
 // directed link transmits nothing that step, and packets route around
 // permanent damage with an adaptive detour policy — preferred hop first,
@@ -17,9 +53,10 @@
 // slack-driven rotation of the fallback order breaks detour cycles. A stall
 // watchdog aborts with a structured StallReport instead of burning to the
 // step cap when nothing moves for a whole window, and an opt-in
-// InvariantChecker (net/invariants.h) validates conservation and link
-// capacity per step. The fault-free hot path is untouched: with no plan (or
-// an empty one) the engine behaves byte-identically to a fault-unaware one.
+// InvariantChecker (net/invariants.h) validates conservation, link capacity,
+// and active-set exactness per step. The fault-free hot path is untouched:
+// with no plan (or an empty one) the engine behaves byte-identically to a
+// fault-unaware one.
 //
 // The engine is deterministic: identical inputs give identical step counts
 // and final placements regardless of thread count (each directed link has a
@@ -40,6 +77,15 @@
 
 namespace mdmesh {
 
+/// Traversal policy for the step loop. Both paths are byte-identical in
+/// routing behavior; kAlways/kNever exist for differential testing and for
+/// benchmarking the crossover.
+enum class SparseMode : std::uint8_t {
+  kAuto,    ///< sparse once occupancy drops below sparse_threshold
+  kAlways,  ///< force the active-set path from the first step
+  kNever,   ///< force the dense full-mesh sweep
+};
+
 struct EngineOptions {
   /// Hard stop; 0 means "auto" (scaled from diameter and load, generous
   /// enough for every algorithm in the paper; hitting it means a bug and is
@@ -58,7 +104,8 @@ struct EngineOptions {
   /// Optional rich per-step probe (obs/probe.h). When attached, the engine
   /// additionally collects per-dimension directed-link move counts and — if
   /// the probe asks for it — a queue-occupancy histogram each step. Costs
-  /// nothing when null.
+  /// nothing when null: every probe-conditional piece of the step loop is
+  /// behind a single null check hoisted out of the loop.
   StepProbe* probe = nullptr;
 
   /// Optional fault plan (must be built on the same topology; outlives the
@@ -75,6 +122,16 @@ struct EngineOptions {
   /// Per-step invariant checking (net/invariants.h). kAuto enables it in
   /// debug builds (NDEBUG undefined) and disables it otherwise.
   InvariantMode invariants = InvariantMode::kAuto;
+
+  /// Step-loop traversal policy (see SparseMode).
+  SparseMode sparse = SparseMode::kAuto;
+
+  /// With SparseMode::kAuto, run the sparse path once the number of
+  /// in-flight packets drops to <= sparse_threshold * N (in-flight packets
+  /// upper-bound the occupied processors). Near-full phases keep the dense
+  /// sweep; drain tails switch over. Clamped to [0, 1]; 0 never goes
+  /// sparse, 1 goes sparse as soon as occupancy allows.
+  double sparse_threshold = 0.5;
 };
 
 class Engine {
@@ -91,9 +148,58 @@ class Engine {
   RouteResult Route(Network& net);
 
  private:
+  /// Per-worker scratch arena: step counters and reusable buffers, reset by
+  /// the coordinator each step and reduced after the dispatch returns.
+  /// Cache-line aligned so two workers never share a line.
+  struct alignas(64) WorkerScratch {
+    std::int64_t arrivals = 0;
+    std::int64_t moves = 0;
+    std::int64_t detours = 0;
+    std::int64_t qmax = 0;
+    std::vector<std::int64_t> dir_moves;  // 2d entries; empty without probe
+    std::vector<ProcId> receivers;        // sparse bid output (reused)
+  };
+
+  /// Winner selection for one processor (step `step`, mailbox buffer
+  /// `parity` = step & 1): picks the farthest-first winner per outgoing
+  /// link into stack-local arrays, marks winners kMoving, and scatters each
+  /// winning packet (plus its presence byte) into the receiver's mailbox
+  /// row. kSparse additionally records the receivers into `s->receivers`
+  /// for active-set maintenance; kRecordSlots additionally publishes the
+  /// winner indices to the processor's slot_ row for CheckSlots (checker
+  /// path only — the routing never reads a foreign slot row). `queues` is
+  /// the network's queue array, hoisted out of the per-processor loop.
+  template <bool kFaults, bool kSparse, bool kRecordSlots>
+  void BidProc(PacketQueue* queues, ProcId p, std::int64_t step, int parity,
+               WorkerScratch* s);
+
   template <bool kFaults>
-  void StepPhaseA(Network& net, std::int64_t step, std::int64_t begin,
-                  std::int64_t end);
+  void StepPhaseA(PacketQueue* queues, std::int64_t step, int parity,
+                  std::int64_t begin, std::int64_t end);
+
+  /// Delivery for one processor, fully local: compacts the stayers of
+  /// queues[p] in place and appends the incomers from p's own mailbox row
+  /// in buffer `parity` (consuming the presence bytes), accumulating
+  /// counters into `s`. Returns true if the queue still holds an in-flight
+  /// packet (active-set maintenance).
+  bool CommitProc(PacketQueue* queues, ProcId p, std::int32_t now,
+                  bool count_dirs, int parity, WorkerScratch& s);
+
+  // Unfused two-phase steps, used only under an active InvariantChecker
+  // (bid, CheckSlots, commit — the checker needs the full winner table
+  // between the phases). The fused pipeline lives in Route itself.
+  void DenseStep(Network& net, std::int64_t step, std::int32_t now,
+                 bool count_dirs, InvariantChecker* checker);
+  void SparseStep(Network& net, std::int64_t step, std::int32_t now,
+                  bool count_dirs, InvariantChecker* checker);
+
+  /// Scans the network for processors holding in-flight packets.
+  void RebuildActiveSet(Network& net);
+
+  /// Dense-to-sparse transition for the fused pipeline: rebuilds touched_
+  /// as every processor holding an in-flight packet (movers included) or a
+  /// pending mailbox entry in buffer `parity`. O(N), runs once per switch.
+  void RebuildTouched(Network& net, int parity);
 
   std::shared_ptr<StallReport> BuildStallReport(const Network& net,
                                                 StallReason reason,
@@ -105,9 +211,35 @@ class Engine {
   int d_;
   int n_;
   std::vector<std::int32_t> coords_;        // N x d coordinate table
+  std::vector<std::int32_t> nbr_;           // N x 2d neighbor table (-1: none)
   std::vector<std::int32_t> slot_;          // N x 2d winner queue-index
-  std::vector<std::int64_t> slot_prio_;     // N x 2d winner priority
-  std::vector<PacketQueue> next_;           // double buffer for queues
+                                            // (checker diagnostics only)
+
+  // Receiver mailbox, double-buffered by step parity: bids for step S write
+  // buffer S & 1, so the fused pipeline's early bids for S+1 never clobber
+  // an unconsumed step-S entry. in_pkt_ holds 2 x N x 2d packet entries;
+  // presence lives in in_mask_ (2 x N x mask_stride_ bytes, rows padded to
+  // a multiple of 8 so emptiness is a couple of aligned 8-byte loads).
+  std::vector<Packet> in_pkt_;
+  std::vector<std::uint8_t> in_mask_;
+  std::size_t mask_stride_ = 0;
+  // Set when a Route call aborts (step cap / watchdog) with the pipeline's
+  // speculative next-step bids already scattered; the next Route clears the
+  // mask instead of every call paying for it.
+  bool mailbox_dirty_ = false;
+
+  std::vector<WorkerScratch> scratch_;      // per-worker arenas
+
+  // Sparse-path state: active_ lists exactly the processors with in-flight
+  // packets (ascending). slots_clean_ tracks whether every slot_ entry
+  // outside the current bid set is -1 — only the InvariantChecker needs
+  // that global invariant (CheckSlots scans all rows); the routing itself
+  // never reads another processor's slot row.
+  std::vector<ProcId> active_;
+  std::vector<ProcId> touched_;             // active + receivers, ascending
+  std::vector<std::uint8_t> touched_inflight_;
+  std::vector<std::uint64_t> touched_bits_;  // dedup bitmap, N/64 words
+  bool slots_clean_ = false;
 
   // Fault state (empty vectors when no plan is attached).
   bool have_faults_ = false;

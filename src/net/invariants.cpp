@@ -75,6 +75,37 @@ void InvariantChecker::CheckSlots(const Network& net,
   }
 }
 
+void InvariantChecker::CheckActiveSet(const Network& net,
+                                      const std::vector<ProcId>& active,
+                                      std::int64_t step) const {
+  std::vector<std::uint8_t> listed(static_cast<std::size_t>(topo_->size()), 0);
+  for (ProcId p : active) {
+    if (p < 0 || p >= topo_->size()) {
+      Fail(step, "active set lists a processor outside the topology", p);
+    }
+    if (listed[static_cast<std::size_t>(p)] != 0) {
+      Fail(step, "active set lists a processor twice", p);
+    }
+    listed[static_cast<std::size_t>(p)] = 1;
+  }
+  for (ProcId p = 0; p < topo_->size(); ++p) {
+    bool has_inflight = false;
+    for (const Packet& pkt : net.At(p)) {
+      if (pkt.arrived < 0) {
+        has_inflight = true;
+        break;
+      }
+    }
+    if (has_inflight && listed[static_cast<std::size_t>(p)] == 0) {
+      Fail(step, "processor with in-flight packets missing from active set",
+           p);
+    }
+    if (!has_inflight && listed[static_cast<std::size_t>(p)] != 0) {
+      Fail(step, "idle processor listed in active set", p);
+    }
+  }
+}
+
 void InvariantChecker::CheckStep(const Network& net, std::int64_t step) const {
   std::int64_t total = 0;
   for (ProcId p = 0; p < topo_->size(); ++p) {

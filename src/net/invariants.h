@@ -52,6 +52,13 @@ class InvariantChecker {
   /// coordinates for packets stamped during `step`.
   void CheckStep(const Network& net, std::int64_t step) const;
 
+  /// Sparse-path bookkeeping: `active` must list exactly the processors
+  /// holding at least one in-flight packet (arrived < 0), each once. A
+  /// stale or duplicated active set silently skips (or double-delivers)
+  /// traffic, so the engine validates it before every sparse bid pass.
+  void CheckActiveSet(const Network& net, const std::vector<ProcId>& active,
+                      std::int64_t step) const;
+
  private:
   [[noreturn]] void Fail(std::int64_t step, const char* what,
                          ProcId proc) const;

@@ -81,6 +81,7 @@ void RouteResult::WriteJson(JsonWriter& w) const {
   w.Key("overshoot_mean")
       .Double(overshoot.count() > 0 ? overshoot.mean() : 0.0);
   w.Key("detours").Int(detours);
+  w.Key("sparse_steps").Int(sparse_steps);
   if (stall_report != nullptr) {
     w.Key("stall");
     stall_report->WriteJson(w);
@@ -109,6 +110,7 @@ void RouteResult::Accumulate(const RouteResult& phase) {
   max_overshoot = std::max(max_overshoot, phase.max_overshoot);
   overshoot.Merge(phase.overshoot);
   detours += phase.detours;
+  sparse_steps += phase.sparse_steps;
   if (stall_report == nullptr) stall_report = phase.stall_report;
 }
 

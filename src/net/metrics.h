@@ -86,6 +86,12 @@ struct RouteResult {
   /// (adaptive detours around dead links). Always 0 without a fault plan.
   std::int64_t detours = 0;
 
+  /// Steps executed on the engine's sparse active-set path (vs the dense
+  /// full-mesh sweep). Purely observational — the two paths are
+  /// byte-identical in routing behavior — but useful for confirming that a
+  /// low-occupancy phase actually ran sparse.
+  std::int64_t sparse_steps = 0;
+
   /// Present iff the run aborted (completed == false): the structured
   /// diagnostic from the stall watchdog or the step cap.
   std::shared_ptr<const StallReport> stall_report;

@@ -1,6 +1,5 @@
 #include "net/network.h"
 
-#include <algorithm>
 #include <cassert>
 
 namespace mdmesh {
@@ -10,54 +9,31 @@ Network::Network(const Topology& topo)
 
 void Network::Add(ProcId at, Packet packet) {
   assert(at >= 0 && at < topo_->size());
-  queues_[static_cast<std::size_t>(at)].push_back(packet);
+  auto& q = queues_[static_cast<std::size_t>(at)];
+  q.push_back(packet);
+  if (counts_valid_) {
+    ++total_packets_;
+    max_queue_ = std::max(max_queue_, static_cast<std::int64_t>(q.size()));
+  }
 }
 
 void Network::Clear() {
   for (auto& q : queues_) q.clear();
+  total_packets_ = 0;
+  max_queue_ = 0;
+  counts_valid_ = true;
 }
 
-std::int64_t Network::TotalPackets() const {
+void Network::RecomputeCounts() const {
   std::int64_t total = 0;
-  for (const auto& q : queues_) total += static_cast<std::int64_t>(q.size());
-  return total;
-}
-
-std::int64_t Network::MaxQueue() const {
   std::size_t mx = 0;
-  for (const auto& q : queues_) mx = std::max(mx, q.size());
-  return static_cast<std::int64_t>(mx);
-}
-
-void Network::ForEach(const std::function<void(ProcId, Packet&)>& fn) {
-  for (ProcId p = 0; p < topo_->size(); ++p) {
-    for (Packet& pkt : queues_[static_cast<std::size_t>(p)]) fn(p, pkt);
+  for (const auto& q : queues_) {
+    total += static_cast<std::int64_t>(q.size());
+    mx = std::max(mx, q.size());
   }
-}
-
-void Network::ForEach(const std::function<void(ProcId, const Packet&)>& fn) const {
-  for (ProcId p = 0; p < topo_->size(); ++p) {
-    for (const Packet& pkt : queues_[static_cast<std::size_t>(p)]) fn(p, pkt);
-  }
-}
-
-std::int64_t Network::EraseIf(
-    const std::function<bool(ProcId, const Packet&)>& pred) {
-  std::int64_t removed = 0;
-  for (ProcId p = 0; p < topo_->size(); ++p) {
-    auto& q = queues_[static_cast<std::size_t>(p)];
-    std::size_t w = 0;
-    for (std::size_t r = 0; r < q.size(); ++r) {
-      if (pred(p, q[r])) {
-        ++removed;
-        continue;
-      }
-      if (w != r) q[w] = q[r];
-      ++w;
-    }
-    while (q.size() > w) q.pop_back();
-  }
-  return removed;
+  total_packets_ = total;
+  max_queue_ = static_cast<std::int64_t>(mx);
+  counts_valid_ = true;
 }
 
 std::vector<Packet> Network::Gather() const {

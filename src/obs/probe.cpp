@@ -23,6 +23,7 @@ void CongestionTrace::OnStep(const StepSnapshot& snapshot) {
     s.queue_p99 = snapshot.queue_hist->Quantile(0.99);
     s.queue_max = snapshot.queue_hist->Quantile(1.0);
   }
+  s.active_procs = snapshot.active_procs;
   if (snapshot.dim_dir_moves != nullptr && snapshot.dims > 0) {
     s.dim_dir_moves.assign(snapshot.dim_dir_moves,
                            snapshot.dim_dir_moves + 2 * snapshot.dims);
@@ -49,7 +50,7 @@ void CongestionTrace::WriteCsv(std::ostream& os) const {
   for (int dim = 0; dim < dims_; ++dim) {
     os << ",dim" << dim << "_dec,dim" << dim << "_inc";
   }
-  os << '\n';
+  os << ",active_procs\n";
   for (const Sample& s : samples_) {
     os << s.step << ',' << s.run_step << ',' << s.in_flight << ','
        << s.arrivals << ',' << s.moves << ',' << s.queue_p50 << ','
@@ -61,7 +62,7 @@ void CongestionTrace::WriteCsv(std::ostream& os) const {
               : 0;
       os << ',' << v;
     }
-    os << '\n';
+    os << ',' << s.active_procs << '\n';
   }
 }
 

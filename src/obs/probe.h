@@ -31,6 +31,10 @@ struct StepSnapshot {
   /// Queue-occupancy histogram over all processors (bucket = queue length),
   /// or null when the probe did not request it.
   const Histogram* queue_hist = nullptr;
+  /// Processors holding in-flight packets, as tracked by the engine's
+  /// sparse active-set path; -1 when the step ran the dense full-mesh
+  /// sweep (which does not maintain the set).
+  std::int64_t active_procs = -1;
 };
 
 class StepProbe {
@@ -59,6 +63,7 @@ class CongestionTrace final : public StepProbe {
     std::int64_t queue_p50 = 0;
     std::int64_t queue_p99 = 0;
     std::int64_t queue_max = 0;
+    std::int64_t active_procs = -1;  ///< sparse active-set size (-1: dense)
     std::vector<std::int64_t> dim_dir_moves;  ///< 2*dims entries
   };
 
@@ -74,7 +79,7 @@ class CongestionTrace final : public StepProbe {
 
   /// CSV dump, one row per retained sample:
   /// step,run_step,in_flight,arrivals,moves,queue_p50,queue_p99,queue_max,
-  /// dim0_dec,dim0_inc,dim1_dec,...
+  /// dim0_dec,dim0_inc,dim1_dec,...,active_procs
   void WriteCsv(std::ostream& os) const;
 
   void Clear();

@@ -21,22 +21,53 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
+unsigned ThreadPool::ShardsFor(std::int64_t count) const {
+  const auto nw = static_cast<std::int64_t>(threads_.size());
+  if (nw <= 1 || count < 2 * nw) return 1;
+  return static_cast<unsigned>(nw);
+}
+
 void ThreadPool::ParallelFor(
     std::int64_t count,
     const std::function<void(std::int64_t, std::int64_t)>& fn) {
   if (count <= 0) return;
-  const auto nw = static_cast<std::int64_t>(threads_.size());
-  if (nw <= 1 || count < 2 * nw) {
+  if (ShardsFor(count) == 1) {
     fn(0, count);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_.fn = &fn;
+    job_.stage1 = nullptr;
+    job_.stage2 = nullptr;
     job_.count = count;
     ++epoch_;
     job_.epoch = epoch_;
-    remaining_ = static_cast<unsigned>(nw);
+    remaining_ = static_cast<unsigned>(threads_.size());
+  }
+  cv_start_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return remaining_ == 0; });
+}
+
+void ThreadPool::ParallelForStaged(std::int64_t count, const StagedFn& stage1,
+                                   const StagedFn& stage2) {
+  if (count <= 0) return;
+  if (ShardsFor(count) == 1) {
+    stage1(0, 0, count);
+    stage2(0, 0, count);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_.fn = nullptr;
+    job_.stage1 = &stage1;
+    job_.stage2 = &stage2;
+    job_.count = count;
+    ++epoch_;
+    job_.epoch = epoch_;
+    remaining_ = static_cast<unsigned>(threads_.size());
+    barrier_remaining_ = remaining_;
   }
   cv_start_.notify_all();
   std::unique_lock<std::mutex> lock(mu_);
@@ -47,6 +78,8 @@ void ThreadPool::WorkerLoop(unsigned index) {
   std::uint64_t seen = 0;
   for (;;) {
     const std::function<void(std::int64_t, std::int64_t)>* fn;
+    const StagedFn* stage1;
+    const StagedFn* stage2;
     std::int64_t count;
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -54,13 +87,31 @@ void ThreadPool::WorkerLoop(unsigned index) {
       if (stop_) return;
       seen = job_.epoch;
       fn = job_.fn;
+      stage1 = job_.stage1;
+      stage2 = job_.stage2;
       count = job_.count;
     }
     const auto nw = static_cast<std::int64_t>(threads_.size());
     const std::int64_t chunk = (count + nw - 1) / nw;
     const std::int64_t begin = std::min<std::int64_t>(count, chunk * index);
     const std::int64_t end = std::min<std::int64_t>(count, begin + chunk);
-    if (begin < end) (*fn)(begin, end);
+    if (fn != nullptr) {
+      if (begin < end) (*fn)(begin, end);
+    } else {
+      if (begin < end) (*stage1)(index, begin, end);
+      // Internal barrier: every worker (empty shards included) arrives, the
+      // last one releases the rest, and only then may stage2 read what
+      // other shards' stage1 wrote.
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (--barrier_remaining_ == 0) {
+          cv_barrier_.notify_all();
+        } else {
+          cv_barrier_.wait(lock, [this] { return barrier_remaining_ == 0; });
+        }
+      }
+      if (begin < end) (*stage2)(index, begin, end);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--remaining_ == 0) cv_done_.notify_all();
