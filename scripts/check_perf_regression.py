@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
-"""Wall-clock regression guard for the engine bench (E21).
+"""Wall-clock regression guard for the timed bench records (E21, workloads).
 
-Compares a freshly generated BENCH_engine.json against the committed
-baseline: every (workload, spec, mode) key present in the baseline must
-still exist, and its packet_steps_per_sec must not have dropped by more
-than the guard factor. The factor defaults to 2x — CI machines are shared
+Compares a freshly generated bench JSON (BENCH_engine.json,
+BENCH_workloads.json) against the committed baseline: every
+(experiment, workload, spec, mode) key present in the baseline must still
+exist, and its packet_steps_per_sec must not have dropped by more than the
+guard factor. Records without a packet_steps_per_sec field (step-count
+experiments like workload_latency) are ignored — only timed wall-clock
+records are guarded. The factor defaults to 2x — CI machines are shared
 and noisy, so the guard catches order-of-magnitude regressions (a dense
 fallback that stopped engaging, an accidentally quadratic active-set
 rebuild), not single-digit-percent drift; tighten it for controlled
@@ -25,6 +28,7 @@ import sys
 def key_of(rec):
     spec = rec.get("spec", {})
     return (
+        rec.get("experiment", "?"),
         rec.get("workload", "?"),
         spec.get("d"),
         spec.get("n"),
@@ -40,14 +44,14 @@ def load(path):
         sys.exit(f"{path}: expected a non-empty JSON array of records")
     table = {}
     for rec in recs:
-        if rec.get("experiment") != "engine_wall":
-            continue
-        rate = rec.get("packet_steps_per_sec", 0.0)
+        if "packet_steps_per_sec" not in rec:
+            continue  # step-count experiment, not a timed record
+        rate = rec["packet_steps_per_sec"]
         if not isinstance(rate, (int, float)) or rate <= 0:
             sys.exit(f"{path}: bad packet_steps_per_sec in {rec}")
         table[key_of(rec)] = float(rate)
     if not table:
-        sys.exit(f"{path}: no engine_wall records")
+        sys.exit(f"{path}: no timed wall-clock records")
     return table
 
 

@@ -36,6 +36,10 @@
 #include "routing/policy.h"
 #include "routing/two_phase.h"
 
+// Dynamic workloads: traffic patterns, open-loop injection, saturation.
+#include "workload/driver.h"
+#include "workload/patterns.h"
+
 // Sorting and selection (Section 3, Section 4.3 upper bound).
 #include "sorting/common.h"
 #include "sorting/kk_sort.h"

@@ -495,11 +495,11 @@ void Engine::BidProc(PacketQueue* queues, ProcId p, std::int64_t step,
   }
 }
 
-template <bool kFaults>
+template <bool kFaults, bool kRecordSlots>
 void Engine::StepPhaseA(PacketQueue* queues, std::int64_t step, int parity,
                         std::int64_t begin, std::int64_t end) {
   for (ProcId p = begin; p < end; ++p) {
-    BidProc<kFaults, false, true>(queues, p, step, parity, nullptr);
+    BidProc<kFaults, false, kRecordSlots>(queues, p, step, parity, nullptr);
   }
 }
 
@@ -642,40 +642,51 @@ void Engine::RebuildTouched(Network& net, int parity) {
 
 void Engine::DenseStep(Network& net, std::int64_t step, std::int32_t now,
                        bool count_dirs, InvariantChecker* checker) {
-  // Unfused two-phase step, checker path only: CheckSlots must see the full
+  // Unfused two-phase step. Under a checker, CheckSlots must see the full
   // winner table after every bid and before any delivery mutates the queues
-  // it indexes into.
-  assert(checker != nullptr);
+  // it indexes into; injector-driven runs pass checker == nullptr and skip
+  // the slot bookkeeping entirely.
   const ProcId N = topo_->size();
   const auto shards = static_cast<std::int64_t>(opts_.pool->ShardsFor(N));
   const std::int64_t chunk = CeilDiv(N, shards);
   const int parity = static_cast<int>(step & 1);
   PacketQueue* const queues = net.queues().data();
+  const bool record_slots = checker != nullptr;
   opts_.pool->ParallelFor(N, [&](std::int64_t b, std::int64_t e) {
     if (have_faults_) {
-      StepPhaseA<true>(queues, step, parity, b, e);
+      if (record_slots) {
+        StepPhaseA<true, true>(queues, step, parity, b, e);
+      } else {
+        StepPhaseA<true, false>(queues, step, parity, b, e);
+      }
     } else {
-      StepPhaseA<false>(queues, step, parity, b, e);
+      if (record_slots) {
+        StepPhaseA<false, true>(queues, step, parity, b, e);
+      } else {
+        StepPhaseA<false, false>(queues, step, parity, b, e);
+      }
     }
   });
-  checker->CheckSlots(net, slot_, have_faults_ ? link_dead_.data() : nullptr,
-                      step);
+  if (checker != nullptr) {
+    checker->CheckSlots(net, slot_, have_faults_ ? link_dead_.data() : nullptr,
+                        step);
+  }
   opts_.pool->ParallelFor(N, [&](std::int64_t b, std::int64_t e) {
     WorkerScratch& s = scratch_[static_cast<std::size_t>(b / chunk)];
     for (ProcId p = b; p < e; ++p) {
       CommitProc(queues, p, now, count_dirs, parity, s);
     }
   });
-  slots_clean_ = false;  // every row now holds this step's winners
+  if (record_slots) slots_clean_ = false;  // rows hold this step's winners
 }
 
 void Engine::SparseStep(Network& net, std::int64_t step, std::int32_t now,
                         bool count_dirs, InvariantChecker* checker) {
-  // Unfused sparse step, checker path only (see DenseStep).
-  assert(checker != nullptr);
+  // Unfused sparse step (see DenseStep for the checker-vs-injector split).
   const auto links = static_cast<std::size_t>(2 * d_);
   const int parity = static_cast<int>(step & 1);
   PacketQueue* const queues = net.queues().data();
+  const bool record_slots = checker != nullptr;
   const auto na = static_cast<std::int64_t>(active_.size());
   if (na > 0) {
     const std::int64_t bid_chunk =
@@ -683,21 +694,37 @@ void Engine::SparseStep(Network& net, std::int64_t step, std::int32_t now,
     opts_.pool->ParallelFor(na, [&](std::int64_t b, std::int64_t e) {
       WorkerScratch& s = scratch_[static_cast<std::size_t>(b / bid_chunk)];
       if (have_faults_) {
-        for (std::int64_t i = b; i < e; ++i) {
-          BidProc<true, true, true>(queues, active_[static_cast<std::size_t>(i)],
-                                    step, parity, &s);
+        if (record_slots) {
+          for (std::int64_t i = b; i < e; ++i) {
+            BidProc<true, true, true>(
+                queues, active_[static_cast<std::size_t>(i)], step, parity, &s);
+          }
+        } else {
+          for (std::int64_t i = b; i < e; ++i) {
+            BidProc<true, true, false>(
+                queues, active_[static_cast<std::size_t>(i)], step, parity, &s);
+          }
         }
       } else {
-        for (std::int64_t i = b; i < e; ++i) {
-          BidProc<false, true, true>(queues, active_[static_cast<std::size_t>(i)],
-                                     step, parity, &s);
+        if (record_slots) {
+          for (std::int64_t i = b; i < e; ++i) {
+            BidProc<false, true, true>(
+                queues, active_[static_cast<std::size_t>(i)], step, parity, &s);
+          }
+        } else {
+          for (std::int64_t i = b; i < e; ++i) {
+            BidProc<false, true, false>(
+                queues, active_[static_cast<std::size_t>(i)], step, parity, &s);
+          }
         }
       }
     });
   }
-  checker->CheckActiveSet(net, active_, step);
-  checker->CheckSlots(net, slot_, have_faults_ ? link_dead_.data() : nullptr,
-                      step);
+  if (checker != nullptr) {
+    checker->CheckActiveSet(net, active_, step);
+    checker->CheckSlots(net, slot_, have_faults_ ? link_dead_.data() : nullptr,
+                        step);
+  }
   // Commit set = active processors plus every winner's receiving neighbor,
   // deduped through a word bitmap whose scan also emits the set in
   // ascending order — the commit and next step's bid then walk memory
@@ -741,10 +768,13 @@ void Engine::SparseStep(Network& net, std::int64_t step, std::int32_t now,
   }
   // Re-clear this step's bid rows so the next CheckSlots pass (which scans
   // every row) sees no stale winners from processors that leave the active
-  // set. The routing itself never reads foreign slot rows.
-  for (ProcId p : active_) {
-    const std::size_t base = static_cast<std::size_t>(p) * links;
-    for (std::size_t l = 0; l < links; ++l) slot_[base + l] = -1;
+  // set. The routing itself never reads foreign slot rows, so injector runs
+  // (which never wrote slots) skip this.
+  if (record_slots) {
+    for (ProcId p : active_) {
+      const std::size_t base = static_cast<std::size_t>(p) * links;
+      for (std::size_t l = 0; l < links; ++l) slot_[base + l] = -1;
+    }
   }
   // Refresh the active set — O(|touched|), no full-mesh pass anywhere.
   active_.clear();
@@ -842,8 +872,15 @@ RouteResult Engine::Route(Network& net) {
 
   std::int64_t cap = opts_.step_cap;
   if (cap <= 0) {
-    const std::int64_t load = std::max<std::int64_t>(1, CeilDiv(result.packets, N));
-    cap = 4 * load * (topo_->Diameter() + n_) + 4096;
+    if (opts_.injector != nullptr) {
+      // The injector owns termination (kDrain/kStop); the preload-scaled
+      // auto cap below would cut a continuous run short.
+      cap = std::numeric_limits<std::int64_t>::max();
+    } else {
+      const std::int64_t load =
+          std::max<std::int64_t>(1, CeilDiv(result.packets, N));
+      cap = 4 * load * (topo_->Diameter() + n_) + 4096;
+    }
   }
 
   // A previous aborted Route left speculative next-step bids in the
@@ -874,8 +911,11 @@ RouteResult Engine::Route(Network& net) {
   std::int64_t no_progress = 0;
   bool watchdog_fired = false;
 
+  // Injector-driven runs bypass the checker: its conservation invariant
+  // assumes a closed packet population, which per-step injection and
+  // delivery retirement both violate by design.
   std::unique_ptr<InvariantChecker> checker;
-  if (InvariantsEnabled(opts_.invariants)) {
+  if (opts_.injector == nullptr && InvariantsEnabled(opts_.invariants)) {
     checker = std::make_unique<InvariantChecker>(*topo_);
     checker->BeginRun(net);
   }
@@ -971,7 +1011,10 @@ RouteResult Engine::Route(Network& net) {
   // the watchdog aborts the run.
   const auto emit_step = [&](std::int64_t st, std::int64_t step_arrivals,
                              std::int64_t step_moves, bool fault_event,
-                             std::int64_t active_procs) {
+                             std::int64_t active_procs,
+                             std::int64_t step_injected) {
+    result.peak_active_procs =
+        std::max(result.peak_active_procs, active_procs);
     if (opts_.observer) {
       opts_.observer(st, in_flight - arrivals_total, step_arrivals);
     }
@@ -989,6 +1032,7 @@ RouteResult Engine::Route(Network& net) {
       snap.dims = d_;
       snap.dim_dir_moves = dir_moves_snapshot.data();
       snap.active_procs = active_procs;
+      snap.injected = step_injected;
       Histogram hist(kQueueHistBuckets);
       if (want_hist) {
         for (ProcId p = 0; p < N; ++p) {
@@ -1011,7 +1055,132 @@ RouteResult Engine::Route(Network& net) {
     return false;
   };
 
-  if (checker != nullptr) {
+  bool injector_stopped = false;
+  StepInjector* const injector = opts_.injector;
+  if (injector != nullptr) {
+    // Open-loop injection: unfused two-phase steps with per-step injection
+    // before the bids and delivery retirement after the commits (contract
+    // in engine.h). Preloaded packets count as injected at step 1; ones
+    // already at their destination retire right here with latency 0.
+    for (ProcId p = 0; p < N; ++p) {
+      auto& q = queues[static_cast<std::size_t>(p)];
+      std::size_t w = 0;
+      const std::size_t sz = q.size();
+      for (std::size_t i = 0; i < sz; ++i) {
+        q[i].tag = 1;
+        if (q[i].arrived >= 0) {
+          q[i].arrived = 0;
+          result.overshoot.Add(0.0);
+          injector->OnDeliver(q[i], 0);
+          continue;
+        }
+        if (w != i) q[w] = q[i];
+        ++w;
+      }
+      q.resize(w);
+    }
+    std::vector<std::pair<ProcId, Packet>> batch;
+    std::vector<ProcId> injected_procs;
+    bool injecting = true;
+    bool active_valid = false;
+    while ((injecting || in_flight > arrivals_total) && step < cap) {
+      ++step;
+      const bool fault_event = apply_events(step);
+      const auto now = static_cast<std::int32_t>(step);
+      std::int64_t step_injected = 0;
+      if (injecting) {
+        batch.clear();
+        const InjectAction action = injector->Inject(step, &batch);
+        if (action != InjectAction::kContinue) injecting = false;
+        if (action == InjectAction::kStop) injector_stopped = true;
+        injected_procs.clear();
+        for (auto& [src, pkt] : batch) {
+          pkt.flags &= static_cast<std::uint16_t>(
+              ~(Packet::kMoving | Packet::kDetour | Packet::kLockMask |
+                Packet::kTwoLeg));
+          pkt.tag = step;
+          pkt.dist0 = static_cast<std::int32_t>(topo_->Dist(src, pkt.dest));
+          result.max_distance =
+              std::max<std::int64_t>(result.max_distance, pkt.dist0);
+          ++result.packets;
+          ++step_injected;
+          if (pkt.dest == src) {
+            // Zero-hop traffic never enters the network: arrived is set one
+            // step back so latency (arrived - tag + 1) reads 0.
+            pkt.arrived = static_cast<std::int32_t>(now - 1);
+            result.overshoot.Add(0.0);
+            injector->OnDeliver(pkt, step);
+            continue;
+          }
+          pkt.arrived = -1;
+          queues[static_cast<std::size_t>(src)].push_back(pkt);
+          ++in_flight;
+          if (active_valid) injected_procs.push_back(src);
+        }
+        if (active_valid && !injected_procs.empty()) {
+          // Newly injected processors join the sparse active set (merge
+          // keeps it ascending and deduped).
+          std::sort(injected_procs.begin(), injected_procs.end());
+          const auto old = static_cast<std::ptrdiff_t>(active_.size());
+          active_.insert(active_.end(), injected_procs.begin(),
+                         injected_procs.end());
+          std::inplace_merge(active_.begin(), active_.begin() + old,
+                             active_.end());
+          active_.erase(std::unique(active_.begin(), active_.end()),
+                        active_.end());
+        }
+      }
+      const bool use_sparse = mode_for(in_flight - arrivals_total);
+      reset_scratch();
+      if (use_sparse) {
+        if (!active_valid) {
+          RebuildActiveSet(net);
+          active_valid = true;
+        }
+        SparseStep(net, step, now, count_dirs, nullptr);
+        ++result.sparse_steps;
+      } else {
+        active_valid = false;
+        DenseStep(net, step, now, count_dirs, nullptr);
+      }
+      // Retire delivered packets: ascending processor order (the sparse
+      // commit set is emitted ascending), queue order within a processor.
+      const auto retire = [&](ProcId p) {
+        auto& q = queues[static_cast<std::size_t>(p)];
+        std::size_t w = 0;
+        const std::size_t sz = q.size();
+        for (std::size_t i = 0; i < sz; ++i) {
+          if (q[i].arrived >= 0) {
+            const std::int64_t over =
+                (static_cast<std::int64_t>(q[i].arrived) - q[i].tag + 1) -
+                q[i].dist0;
+            result.overshoot.Add(static_cast<double>(over));
+            result.max_overshoot = std::max(result.max_overshoot, over);
+            injector->OnDeliver(q[i], step);
+            continue;
+          }
+          if (w != i) q[w] = q[i];
+          ++w;
+        }
+        q.resize(w);
+      };
+      if (use_sparse) {
+        for (ProcId p : touched_) retire(p);
+      } else {
+        for (ProcId p = 0; p < N; ++p) retire(p);
+      }
+      const auto [step_arrivals, step_moves] = reduce_scratch();
+      if (emit_step(step, step_arrivals, step_moves,
+                    fault_event || step_injected > 0,
+                    use_sparse ? static_cast<std::int64_t>(active_.size())
+                               : -1,
+                    step_injected)) {
+        watchdog_fired = true;
+        break;
+      }
+      if (injector_stopped) break;
+    }
+  } else if (checker != nullptr) {
     // Checker path: plain two-phase steps (bid, CheckSlots, commit) so the
     // per-phase invariants see exactly the state they are specified on.
     bool active_valid = false;
@@ -1043,7 +1212,8 @@ RouteResult Engine::Route(Network& net) {
       const auto [step_arrivals, step_moves] = reduce_scratch();
       if (emit_step(step, step_arrivals, step_moves, fault_event,
                     use_sparse ? static_cast<std::int64_t>(active_.size())
-                               : -1)) {
+                               : -1,
+                    0)) {
         watchdog_fired = true;
         break;
       }
@@ -1245,7 +1415,7 @@ RouteResult Engine::Route(Network& net) {
       }
       cur_sparse = next_sparse;
       if (emit_step(step, step_arrivals, step_moves, fault_event,
-                    active_procs)) {
+                    active_procs, 0)) {
         watchdog_fired = true;
         break;
       }
@@ -1269,19 +1439,24 @@ RouteResult Engine::Route(Network& net) {
   result.detours = detours_total;
   result.max_queue = queue_max;
   result.completed = in_flight == arrivals_total;
-  if (!result.completed) {
+  if (!result.completed && !injector_stopped) {
+    // A kStop verdict is a requested early exit, not a stall — the leftover
+    // backlog is expected (completed stays false, no report).
     result.stall_report = BuildStallReport(
         net, watchdog_fired ? StallReason::kWatchdog : StallReason::kStepCap,
         step, no_progress);
   }
 
-  // Overshoot statistics.
-  for (ProcId p = 0; p < N; ++p) {
-    for (const Packet& pkt : queues[static_cast<std::size_t>(p)]) {
-      if (pkt.arrived < 0) continue;
-      const std::int64_t over = pkt.arrived - pkt.dist0;
-      result.overshoot.Add(static_cast<double>(over));
-      result.max_overshoot = std::max(result.max_overshoot, over);
+  // Overshoot statistics. Injector runs accumulate per-packet overshoot at
+  // retirement instead (their final queues hold only undelivered packets).
+  if (injector == nullptr) {
+    for (ProcId p = 0; p < N; ++p) {
+      for (const Packet& pkt : queues[static_cast<std::size_t>(p)]) {
+        if (pkt.arrived < 0) continue;
+        const std::int64_t over = pkt.arrived - pkt.dist0;
+        result.overshoot.Add(static_cast<double>(over));
+        result.max_overshoot = std::max(result.max_overshoot, over);
+      }
     }
   }
   return result;

@@ -58,6 +58,16 @@
 // with no plan (or an empty one) the engine behaves byte-identically to a
 // fault-unaware one.
 //
+// Open-loop injection (workload/): when EngineOptions::injector is set,
+// Route runs a continuous-traffic loop instead of the one-shot drain — the
+// injector appends packets at the start of every step, delivered packets
+// are handed back through StepInjector::OnDeliver and retired so memory
+// stays bounded, and the run ends when the injector says so (see the
+// StepInjector contract below). Injector-driven runs use the unfused
+// two-phase step (newly injected processors merge into the sparse active
+// set between steps); with no injector configured, Route is byte-identical
+// to an engine without injection support.
+//
 // The engine is deterministic: identical inputs give identical step counts
 // and final placements regardless of thread count (each directed link has a
 // unique writer, so the parallel update is race-free by construction).
@@ -66,6 +76,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "fault/fault_plan.h"
@@ -84,6 +95,57 @@ enum class SparseMode : std::uint8_t {
   kAuto,    ///< sparse once occupancy drops below sparse_threshold
   kAlways,  ///< force the active-set path from the first step
   kNever,   ///< force the dense full-mesh sweep
+};
+
+/// Verdict returned by StepInjector::Inject for one step.
+enum class InjectAction : std::uint8_t {
+  kContinue,  ///< keep going: Inject is called again next step
+  kDrain,     ///< stop injecting; route until every packet is delivered
+  kStop,      ///< end the run after this step (undelivered packets remain)
+};
+
+/// Open-loop per-step packet injection (workload/driver.h ships the standard
+/// Bernoulli driver). Attached via EngineOptions::injector.
+///
+/// Contract:
+///  * Inject(step, out) runs once per step on the coordinator thread, before
+///    the step's bids; appended (source, packet) pairs enter the source
+///    queue immediately and may move that very step. The injector fills
+///    id/dest/klass (ids unique — they break contention ties); the engine
+///    overwrites dist0/arrived/flags and stamps the injection step into
+///    Packet::tag, so latency = arrived - tag + 1. Packets preloaded in the
+///    Network before Route are stamped tag = 1. A packet injected at its own
+///    destination is handed straight to OnDeliver (latency 0) without
+///    entering a queue. Because tag is repurposed for the injection step,
+///    two-leg (kTwoLeg) packets are not supported in injector runs — the
+///    flag is stripped on injection.
+///  * OnDeliver(pkt, step) runs on the coordinator for every delivered
+///    packet — ascending processor order, queue order within a processor —
+///    after which the packet is retired from the network, keeping memory
+///    bounded on continuous runs. Final queue contents therefore hold only
+///    undelivered packets, unlike a plain Route call.
+///  * After Inject returns kDrain it is never called again and the engine
+///    routes until the network drains (or the step cap); kStop ends the run
+///    once the current step commits.
+///  * Injector-driven runs use the unfused two-phase step (dense or sparse
+///    per SparseMode — newly injected processors join the sparse active
+///    set) and bypass the InvariantChecker; results are identical for any
+///    thread count and sparse mode. When opts.step_cap is 0 the cap is
+///    effectively unbounded: the injector owns termination.
+class StepInjector {
+ public:
+  virtual ~StepInjector() = default;
+
+  /// Append this step's arrivals to `out` (cleared by the caller; entries
+  /// are (source processor, packet)). Return what the engine should do next.
+  virtual InjectAction Inject(std::int64_t step,
+                              std::vector<std::pair<ProcId, Packet>>* out) = 0;
+
+  /// Called once per delivered packet just before it is retired.
+  virtual void OnDeliver(const Packet& pkt, std::int64_t step) {
+    (void)pkt;
+    (void)step;
+  }
 };
 
 struct EngineOptions {
@@ -132,6 +194,11 @@ struct EngineOptions {
   /// sweep; drain tails switch over. Clamped to [0, 1]; 0 never goes
   /// sparse, 1 goes sparse as soon as occupancy allows.
   double sparse_threshold = 0.5;
+
+  /// Optional open-loop injection hook (see the StepInjector contract
+  /// above; must outlive the engine). Null keeps Route byte-identical to an
+  /// engine without injection support.
+  StepInjector* injector = nullptr;
 };
 
 class Engine {
@@ -173,7 +240,7 @@ class Engine {
   void BidProc(PacketQueue* queues, ProcId p, std::int64_t step, int parity,
                WorkerScratch* s);
 
-  template <bool kFaults>
+  template <bool kFaults, bool kRecordSlots>
   void StepPhaseA(PacketQueue* queues, std::int64_t step, int parity,
                   std::int64_t begin, std::int64_t end);
 
@@ -185,9 +252,11 @@ class Engine {
   bool CommitProc(PacketQueue* queues, ProcId p, std::int32_t now,
                   bool count_dirs, int parity, WorkerScratch& s);
 
-  // Unfused two-phase steps, used only under an active InvariantChecker
-  // (bid, CheckSlots, commit — the checker needs the full winner table
-  // between the phases). The fused pipeline lives in Route itself.
+  // Unfused two-phase steps: bid, (CheckSlots), commit. Used under an
+  // active InvariantChecker — which needs the full winner table between
+  // the phases — and, with checker == nullptr, by injector-driven runs,
+  // where the per-step injection and delivery retirement need a clean
+  // step boundary. The fused pipeline lives in Route itself.
   void DenseStep(Network& net, std::int64_t step, std::int32_t now,
                  bool count_dirs, InvariantChecker* checker);
   void SparseStep(Network& net, std::int64_t step, std::int32_t now,

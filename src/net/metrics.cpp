@@ -82,6 +82,7 @@ void RouteResult::WriteJson(JsonWriter& w) const {
       .Double(overshoot.count() > 0 ? overshoot.mean() : 0.0);
   w.Key("detours").Int(detours);
   w.Key("sparse_steps").Int(sparse_steps);
+  w.Key("peak_active_procs").Int(peak_active_procs);
   if (stall_report != nullptr) {
     w.Key("stall");
     stall_report->WriteJson(w);
@@ -111,6 +112,7 @@ void RouteResult::Accumulate(const RouteResult& phase) {
   overshoot.Merge(phase.overshoot);
   detours += phase.detours;
   sparse_steps += phase.sparse_steps;
+  peak_active_procs = std::max(peak_active_procs, phase.peak_active_procs);
   if (stall_report == nullptr) stall_report = phase.stall_report;
 }
 

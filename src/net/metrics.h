@@ -92,6 +92,11 @@ struct RouteResult {
   /// low-occupancy phase actually ran sparse.
   std::int64_t sparse_steps = 0;
 
+  /// Peak sparse active-set size over the run (the maximum of the per-step
+  /// StepSnapshot::active_procs values); -1 when every step ran the dense
+  /// sweep, where the set is not tracked.
+  std::int64_t peak_active_procs = -1;
+
   /// Present iff the run aborted (completed == false): the structured
   /// diagnostic from the stall watchdog or the step cap.
   std::shared_ptr<const StallReport> stall_report;

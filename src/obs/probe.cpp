@@ -24,6 +24,7 @@ void CongestionTrace::OnStep(const StepSnapshot& snapshot) {
     s.queue_max = snapshot.queue_hist->Quantile(1.0);
   }
   s.active_procs = snapshot.active_procs;
+  s.injected = snapshot.injected;
   if (snapshot.dim_dir_moves != nullptr && snapshot.dims > 0) {
     s.dim_dir_moves.assign(snapshot.dim_dir_moves,
                            snapshot.dim_dir_moves + 2 * snapshot.dims);
@@ -50,7 +51,7 @@ void CongestionTrace::WriteCsv(std::ostream& os) const {
   for (int dim = 0; dim < dims_; ++dim) {
     os << ",dim" << dim << "_dec,dim" << dim << "_inc";
   }
-  os << ",active_procs\n";
+  os << ",active_procs,injected\n";
   for (const Sample& s : samples_) {
     os << s.step << ',' << s.run_step << ',' << s.in_flight << ','
        << s.arrivals << ',' << s.moves << ',' << s.queue_p50 << ','
@@ -62,7 +63,7 @@ void CongestionTrace::WriteCsv(std::ostream& os) const {
               : 0;
       os << ',' << v;
     }
-    os << ',' << s.active_procs << '\n';
+    os << ',' << s.active_procs << ',' << s.injected << '\n';
   }
 }
 

@@ -35,6 +35,8 @@ struct StepSnapshot {
   /// sparse active-set path; -1 when the step ran the dense full-mesh
   /// sweep (which does not maintain the set).
   std::int64_t active_procs = -1;
+  /// Packets injected this step by a StepInjector (0 on one-shot runs).
+  std::int64_t injected = 0;
 };
 
 class StepProbe {
@@ -64,6 +66,7 @@ class CongestionTrace final : public StepProbe {
     std::int64_t queue_p99 = 0;
     std::int64_t queue_max = 0;
     std::int64_t active_procs = -1;  ///< sparse active-set size (-1: dense)
+    std::int64_t injected = 0;       ///< packets injected this step
     std::vector<std::int64_t> dim_dir_moves;  ///< 2*dims entries
   };
 
@@ -79,7 +82,7 @@ class CongestionTrace final : public StepProbe {
 
   /// CSV dump, one row per retained sample:
   /// step,run_step,in_flight,arrivals,moves,queue_p50,queue_p99,queue_max,
-  /// dim0_dec,dim0_inc,dim1_dec,...,active_procs
+  /// dim0_dec,dim0_inc,dim1_dec,...,active_procs,injected
   void WriteCsv(std::ostream& os) const;
 
   void Clear();

@@ -1,5 +1,7 @@
 #include "routing/permutations.h"
 
+#include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 #include <numeric>
@@ -42,6 +44,65 @@ std::vector<ProcId> AntipodalPermutation(const Topology& topo) {
   std::vector<ProcId> dest(static_cast<std::size_t>(topo.size()));
   for (ProcId p = 0; p < topo.size(); ++p) {
     dest[static_cast<std::size_t>(p)] = topo.Antipode(p);
+  }
+  return dest;
+}
+
+namespace {
+
+/// Reverses the low `bits` bits of x.
+std::uint32_t ReverseBits(std::uint32_t x, int bits) {
+  std::uint32_t r = 0;
+  for (int i = 0; i < bits; ++i) {
+    r = (r << 1) | ((x >> i) & 1u);
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<ProcId> BitReversalPermutation(const Topology& topo) {
+  const int d = topo.dim();
+  const auto n = static_cast<std::uint32_t>(topo.side());
+  const int bits = n > 1 ? static_cast<int>(std::bit_width(n - 1)) : 0;
+  std::vector<ProcId> dest(static_cast<std::size_t>(topo.size()));
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    Point c = topo.Coords(p);
+    for (int i = 0; i < d; ++i) {
+      const auto x = static_cast<std::uint32_t>(c[static_cast<std::size_t>(i)]);
+      const std::uint32_t r = ReverseBits(x, bits);
+      // Cycle-walk: an out-of-range image keeps the coordinate fixed. Both
+      // cases are involutions, so the whole map is one.
+      if (r < n) c[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(r);
+    }
+    dest[static_cast<std::size_t>(p)] = topo.Id(c);
+  }
+  return dest;
+}
+
+std::vector<ProcId> HotSpotAssignment(const Topology& topo,
+                                      std::int64_t hot_count, double skew,
+                                      Rng& rng) {
+  const ProcId N = topo.size();
+  hot_count = std::clamp<std::int64_t>(hot_count, 1, N);
+  skew = std::clamp(skew, 0.0, 1.0);
+  // The hot set is a deterministic draw from the same stream the
+  // destination draws use, so one (seed, hot_count, skew) triple names the
+  // whole assignment.
+  std::vector<ProcId> hot(static_cast<std::size_t>(hot_count));
+  for (ProcId& h : hot) {
+    h = static_cast<ProcId>(rng.Below(static_cast<std::uint64_t>(N)));
+  }
+  std::vector<ProcId> dest(static_cast<std::size_t>(N));
+  for (ProcId p = 0; p < N; ++p) {
+    if (rng.Chance(skew)) {
+      dest[static_cast<std::size_t>(p)] =
+          hot[static_cast<std::size_t>(
+              rng.Below(static_cast<std::uint64_t>(hot_count)))];
+    } else {
+      dest[static_cast<std::size_t>(p)] =
+          static_cast<ProcId>(rng.Below(static_cast<std::uint64_t>(N)));
+    }
   }
   return dest;
 }

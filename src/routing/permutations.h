@@ -36,6 +36,23 @@ std::vector<ProcId> TransposePermutation(const Topology& topo);
 /// All packets travel exactly d*floor(n/2) = D.
 std::vector<ProcId> AntipodalPermutation(const Topology& topo);
 
+/// Per-coordinate bit reversal: every coordinate c is reversed within
+/// b = bit_width(n-1) bits; a reversal that lands outside [0, n) leaves the
+/// coordinate fixed (cycle-walking), so the map is a bijection — and an
+/// involution — for every side length. On power-of-two sides every
+/// coordinate is reversed (the classic FFT/butterfly stress pattern, which
+/// folds distant address bits together and defeats locality-based routing).
+std::vector<ProcId> BitReversalPermutation(const Topology& topo);
+
+/// Hot-spot destination assignment (not a permutation): each source sends
+/// to one of `hot_count` fixed hot processors with probability `skew`, and
+/// to a uniformly random processor otherwise. The hot set and all draws are
+/// deterministic in `rng`. hot_count is clamped to [1, N]; skew to [0, 1].
+/// skew = 1 with hot_count = 1 is the pure single-target pile-up.
+std::vector<ProcId> HotSpotAssignment(const Topology& topo,
+                                      std::int64_t hot_count, double skew,
+                                      Rng& rng);
+
 /// The unshuffle permutation of Section 2.1 on the blocked snake layout:
 /// the packet at within-block snake offset i of block j moves to block
 /// (i mod m) at offset j + floor(i/m)*m, where m is the number of blocks.

@@ -1,0 +1,159 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+
+#include "net/network.h"
+#include "obs/json.h"
+
+namespace mdmesh {
+
+OpenLoopInjector::OpenLoopInjector(const Topology& topo,
+                                   const TrafficPattern& pattern,
+                                   const DriverOptions& opts)
+    : topo_(&topo),
+      pattern_(&pattern),
+      opts_(opts),
+      rng_(opts.seed),
+      latency_(512) {
+  opts_.rate = std::clamp(opts_.rate, 0.0, 1.0);
+  opts_.warmup_steps = std::max<std::int64_t>(opts_.warmup_steps, 0);
+  opts_.measure_steps = std::max<std::int64_t>(opts_.measure_steps, 1);
+}
+
+InjectAction OpenLoopInjector::Inject(
+    std::int64_t step, std::vector<std::pair<ProcId, Packet>>* out) {
+  const std::int64_t measure_end = opts_.warmup_steps + opts_.measure_steps;
+  if (step == opts_.warmup_steps + 1) backlog_start_ = backlog();
+  if (step > measure_end) {
+    backlog_end_ = backlog();
+    return opts_.drain ? InjectAction::kDrain : InjectAction::kStop;
+  }
+  const bool measured = step > opts_.warmup_steps;
+  const int d = topo_->dim();
+  for (ProcId p = 0; p < topo_->size(); ++p) {
+    if (!rng_.Chance(opts_.rate)) continue;
+    Packet pkt;
+    pkt.id = next_id_++;
+    pkt.key = static_cast<std::uint64_t>(pkt.id);
+    pkt.dest = pattern_->Draw(p, rng_);
+    pkt.klass = static_cast<std::uint16_t>(pkt.id % d);
+    out->emplace_back(p, pkt);
+    ++offered_;
+    if (measured) ++measured_injected_;
+  }
+  return InjectAction::kContinue;
+}
+
+void OpenLoopInjector::OnDeliver(const Packet& pkt, std::int64_t step) {
+  ++delivered_;
+  if (step <= opts_.warmup_steps ||
+      step > opts_.warmup_steps + opts_.measure_steps) {
+    return;
+  }
+  ++measured_delivered_;
+  latency_.Add(static_cast<std::int64_t>(pkt.arrived) - pkt.tag + 1);
+}
+
+double OpenLoopInjector::Throughput() const {
+  const double proc_steps = static_cast<double>(topo_->size()) *
+                            static_cast<double>(opts_.measure_steps);
+  return proc_steps > 0.0
+             ? static_cast<double>(measured_delivered_) / proc_steps
+             : 0.0;
+}
+
+bool OpenLoopInjector::Stable() const {
+  if (backlog_end_ < 0) return false;  // window never completed
+  const double slack =
+      0.05 * static_cast<double>(measured_injected_) + 8.0;
+  return static_cast<double>(backlog_end_ - backlog_start_) <= slack;
+}
+
+void WorkloadResult::WriteJson(JsonWriter& w) const {
+  w.BeginObject();
+  w.Key("pattern").String(pattern);
+  w.Key("rate").Double(driver.rate);
+  w.Key("warmup_steps").Int(driver.warmup_steps);
+  w.Key("measure_steps").Int(driver.measure_steps);
+  w.Key("drain").Bool(driver.drain);
+  w.Key("seed").UInt(driver.seed);
+  w.Key("offered").Int(offered);
+  w.Key("delivered").Int(delivered);
+  w.Key("measured_injected").Int(measured_injected);
+  w.Key("measured_delivered").Int(measured_delivered);
+  w.Key("backlog_start").Int(backlog_start);
+  w.Key("backlog_end").Int(backlog_end);
+  w.Key("throughput").Double(throughput);
+  w.Key("stable").Bool(stable);
+  w.Key("latency_count").Int(latency_count);
+  w.Key("latency_mean").Double(latency_mean);
+  w.Key("latency_p50").Double(latency_p50);
+  w.Key("latency_p95").Double(latency_p95);
+  w.Key("latency_p99").Double(latency_p99);
+  w.Key("latency_max").Int(latency_max);
+  w.Key("steps").Int(route.steps);
+  w.Key("moves").Int(route.moves);
+  w.Key("sparse_steps").Int(route.sparse_steps);
+  w.Key("peak_active_procs").Int(route.peak_active_procs);
+  w.Key("max_queue").Int(route.max_queue);
+  w.Key("completed").Bool(route.completed);
+  w.EndObject();
+}
+
+WorkloadResult RunOpenLoop(const Topology& topo, const TrafficPattern& pattern,
+                           const DriverOptions& dopts,
+                           const EngineOptions& eopts) {
+  OpenLoopInjector injector(topo, pattern, dopts);
+  EngineOptions opts = eopts;
+  opts.injector = &injector;
+  Engine engine(topo, opts);
+  Network net(topo);
+  WorkloadResult out;
+  out.pattern = pattern.name();
+  out.driver = dopts;
+  out.route = engine.Route(net);
+  out.offered = injector.offered();
+  out.delivered = injector.delivered();
+  out.measured_injected = injector.measured_injected();
+  out.measured_delivered = injector.measured_delivered();
+  out.backlog_start = injector.backlog_start();
+  out.backlog_end = injector.backlog_end();
+  out.throughput = injector.Throughput();
+  out.stable = injector.Stable();
+  const QuantileHistogram& lat = injector.latency();
+  out.latency_count = lat.count();
+  out.latency_mean = lat.mean();
+  out.latency_p50 = lat.Quantile(0.5);
+  out.latency_p95 = lat.Quantile(0.95);
+  out.latency_p99 = lat.Quantile(0.99);
+  out.latency_max = lat.max();
+  return out;
+}
+
+SaturationResult FindSaturationRate(const Topology& topo,
+                                    const TrafficPattern& pattern,
+                                    const DriverOptions& base,
+                                    const SaturationOptions& sopts,
+                                    const EngineOptions& eopts) {
+  SaturationResult result;
+  double lo = std::clamp(sopts.lo, 0.0, 1.0);
+  double hi = std::clamp(sopts.hi, lo, 1.0);
+  for (int i = 0; i < sopts.iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    DriverOptions probe = base;
+    probe.rate = mid;
+    probe.drain = false;
+    WorkloadResult r = RunOpenLoop(topo, pattern, probe, eopts);
+    if (r.stable) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    result.probes.push_back(std::move(r));
+  }
+  result.rate = lo;
+  result.unstable_rate = hi;
+  return result;
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,153 @@
+// Open-loop injection driver and measurement layer.
+//
+// OpenLoopInjector implements the engine's StepInjector contract
+// (net/engine.h): every step, every processor independently injects a
+// packet with probability `rate` (Bernoulli arrivals), destinations drawn
+// from a TrafficPattern. The run is windowed booksim-style:
+//
+//   steps 1 .. warmup                   warm-up (fills the network; excluded)
+//   steps warmup+1 .. warmup+measure    measurement window
+//   step  warmup+measure+1              verdict: kStop (fixed horizon) or
+//                                       kDrain (route the backlog out)
+//
+// Measured quantities: per-packet latency (delivery step - injection step
+// + 1, recorded into a QuantileHistogram at delivery for packets delivered
+// inside the window), steady-state throughput (measured deliveries per
+// processor-step), and a stability verdict — the network is saturated at a
+// rate when the backlog keeps growing across the measurement window
+// instead of fluctuating around a steady state. FindSaturationRate
+// bisects on the rate to locate the boundary.
+//
+// Everything is deterministic: one Rng stream drives all draws on the
+// coordinator thread, so a (pattern, seed, rate, windows) tuple names the
+// same run for any thread count and either engine traversal mode.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/engine.h"
+#include "util/stats.h"
+#include "workload/patterns.h"
+
+namespace mdmesh {
+
+struct DriverOptions {
+  double rate = 0.1;  ///< per-processor per-step injection probability
+  std::int64_t warmup_steps = 128;
+  std::int64_t measure_steps = 512;
+  /// After the measurement window: drain the backlog (true) or stop at the
+  /// fixed horizon (false). Latency/saturation sweeps use the fixed
+  /// horizon; drain = true makes offered == delivered, which the tests pin.
+  bool drain = false;
+  std::uint64_t seed = 1;
+};
+
+class OpenLoopInjector final : public StepInjector {
+ public:
+  OpenLoopInjector(const Topology& topo, const TrafficPattern& pattern,
+                   const DriverOptions& opts);
+
+  InjectAction Inject(std::int64_t step,
+                      std::vector<std::pair<ProcId, Packet>>* out) override;
+  void OnDeliver(const Packet& pkt, std::int64_t step) override;
+
+  // Whole-run totals.
+  std::int64_t offered() const { return offered_; }
+  std::int64_t delivered() const { return delivered_; }
+  std::int64_t backlog() const { return offered_ - delivered_; }
+
+  // Measurement window [warmup+1, warmup+measure].
+  std::int64_t measured_injected() const { return measured_injected_; }
+  std::int64_t measured_delivered() const { return measured_delivered_; }
+  std::int64_t backlog_start() const { return backlog_start_; }
+  std::int64_t backlog_end() const { return backlog_end_; }
+
+  /// Latency histogram of packets delivered inside the window.
+  const QuantileHistogram& latency() const { return latency_; }
+
+  /// Measured deliveries per processor-step — the standard accepted-traffic
+  /// rate; equals the offered rate while the network is below saturation.
+  double Throughput() const;
+
+  /// False when the backlog grew across the measurement window by more than
+  /// measurement noise (5% of the measured offered load plus a small
+  /// constant) — the open-loop queue is unstable, i.e. the offered rate
+  /// exceeds the network's saturation rate. Also false when the run was cut
+  /// off before the window completed (step cap / watchdog).
+  bool Stable() const;
+
+ private:
+  const Topology* topo_;
+  const TrafficPattern* pattern_;
+  DriverOptions opts_;
+  Rng rng_;
+  std::int64_t next_id_ = 0;
+  std::int64_t offered_ = 0;
+  std::int64_t delivered_ = 0;
+  std::int64_t measured_injected_ = 0;
+  std::int64_t measured_delivered_ = 0;
+  std::int64_t backlog_start_ = 0;
+  std::int64_t backlog_end_ = -1;  ///< -1 until the window completes
+  QuantileHistogram latency_;
+};
+
+/// One open-loop run, summarized for tables and JSON records.
+struct WorkloadResult {
+  std::string pattern;
+  DriverOptions driver;
+  RouteResult route;
+
+  std::int64_t offered = 0;
+  std::int64_t delivered = 0;
+  std::int64_t measured_injected = 0;
+  std::int64_t measured_delivered = 0;
+  std::int64_t backlog_start = 0;
+  std::int64_t backlog_end = -1;
+  double throughput = 0.0;
+  bool stable = false;
+
+  std::int64_t latency_count = 0;
+  double latency_mean = 0.0;
+  double latency_p50 = 0.0;
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
+  std::int64_t latency_max = 0;
+
+  /// One JSON object: driver configuration, accounting, latency quantiles,
+  /// and the engine-side counters (steps, sparse_steps, peak_active_procs).
+  void WriteJson(JsonWriter& w) const;
+};
+
+/// Builds the injector, routes an (initially empty) network under `eopts`
+/// (the injector field is overwritten), and summarizes. `eopts.step_cap`
+/// 0 leaves termination to the driver windows.
+WorkloadResult RunOpenLoop(const Topology& topo, const TrafficPattern& pattern,
+                           const DriverOptions& dopts,
+                           const EngineOptions& eopts = {});
+
+struct SaturationOptions {
+  double lo = 0.0;     ///< assumed-stable lower bracket
+  double hi = 1.0;     ///< assumed-unstable upper bracket
+  int iterations = 7;  ///< bisection steps (resolution = (hi-lo) / 2^iters)
+};
+
+struct SaturationResult {
+  double rate = 0.0;           ///< highest rate that measured stable
+  double unstable_rate = 0.0;  ///< lowest rate that measured unstable
+  std::vector<WorkloadResult> probes;  ///< every bisection run, in order
+};
+
+/// Bisection search for the saturation injection rate: the boundary between
+/// rates whose backlog stays bounded over the measurement window and rates
+/// where it grows without limit. `base.rate` is ignored; `base.drain`
+/// should stay false (probes run on the fixed horizon).
+SaturationResult FindSaturationRate(const Topology& topo,
+                                    const TrafficPattern& pattern,
+                                    const DriverOptions& base,
+                                    const SaturationOptions& sopts = {},
+                                    const EngineOptions& eopts = {});
+
+}  // namespace mdmesh

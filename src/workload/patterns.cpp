@@ -1,0 +1,210 @@
+#include "workload/patterns.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#include "routing/permutations.h"
+
+namespace mdmesh {
+namespace {
+
+/// Swaps the top and bottom of the low `bits` bits of x.
+std::uint32_t SwapEndBits(std::uint32_t x, int bits) {
+  if (bits < 2) return x;
+  const std::uint32_t lo = x & 1u;
+  const std::uint32_t hi = (x >> (bits - 1)) & 1u;
+  x &= ~((1u << (bits - 1)) | 1u);
+  return x | (lo << (bits - 1)) | hi;
+}
+
+/// Applies an involution `f` on [0, 2^bits) to every coordinate, keeping a
+/// coordinate fixed when its image falls outside [0, n) (cycle-walking).
+/// The result is a bijection on the mesh — and itself an involution.
+template <typename F>
+std::vector<ProcId> PerCoordinateInvolution(const Topology& topo, F&& f) {
+  const int d = topo.dim();
+  const auto n = static_cast<std::uint32_t>(topo.side());
+  std::vector<ProcId> dest(static_cast<std::size_t>(topo.size()));
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    Point c = topo.Coords(p);
+    for (int i = 0; i < d; ++i) {
+      const auto x = static_cast<std::uint32_t>(c[static_cast<std::size_t>(i)]);
+      const std::uint32_t r = f(x);
+      if (r < n) c[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(r);
+    }
+    dest[static_cast<std::size_t>(p)] = topo.Id(c);
+  }
+  return dest;
+}
+
+/// Coordinate rotation (c0, ..., cd-1) -> (c1, ..., cd-1, c0): viewing the
+/// processor id as a d-digit base-n number, this is the perfect shuffle of
+/// its digits.
+std::vector<ProcId> ShufflePermutation(const Topology& topo) {
+  const int d = topo.dim();
+  std::vector<ProcId> dest(static_cast<std::size_t>(topo.size()));
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    Point c = topo.Coords(p);
+    Point t{};
+    for (int i = 0; i < d; ++i) {
+      t[static_cast<std::size_t>(i)] = c[static_cast<std::size_t>((i + 1) % d)];
+    }
+    dest[static_cast<std::size_t>(p)] = topo.Id(t);
+  }
+  return dest;
+}
+
+/// Every coordinate shifted by floor(n/2) mod n — the tornado-style
+/// rotation. A bijection on meshes and tori alike (the shift is modular in
+/// index space; only the travel distance differs with wraparound).
+std::vector<ProcId> DiagonalPermutation(const Topology& topo) {
+  const int d = topo.dim();
+  const std::int32_t n = topo.side();
+  const std::int32_t shift = std::max<std::int32_t>(1, n / 2);
+  std::vector<ProcId> dest(static_cast<std::size_t>(topo.size()));
+  for (ProcId p = 0; p < topo.size(); ++p) {
+    Point c = topo.Coords(p);
+    for (int i = 0; i < d; ++i) {
+      c[static_cast<std::size_t>(i)] =
+          static_cast<std::int32_t>((c[static_cast<std::size_t>(i)] + shift) % n);
+    }
+    dest[static_cast<std::size_t>(p)] = topo.Id(c);
+  }
+  return dest;
+}
+
+}  // namespace
+
+const char* PatternName(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kUniform:
+      return "uniform";
+    case PatternKind::kBitReversal:
+      return "bitrev";
+    case PatternKind::kShuffle:
+      return "shuffle";
+    case PatternKind::kButterfly:
+      return "butterfly";
+    case PatternKind::kDiagonal:
+      return "diagonal";
+    case PatternKind::kTranspose:
+      return "transpose";
+    case PatternKind::kReversal:
+      return "reversal";
+    case PatternKind::kHotSpot:
+      return "hotspot";
+  }
+  return "unknown";
+}
+
+const std::vector<PatternKind>& AllPatterns() {
+  static const std::vector<PatternKind> kAll = {
+      PatternKind::kUniform,   PatternKind::kBitReversal,
+      PatternKind::kShuffle,   PatternKind::kButterfly,
+      PatternKind::kDiagonal,  PatternKind::kTranspose,
+      PatternKind::kReversal,  PatternKind::kHotSpot,
+  };
+  return kAll;
+}
+
+bool ParsePattern(std::string_view name, PatternKind* out) {
+  for (PatternKind kind : AllPatterns()) {
+    if (name == PatternName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+TrafficPattern::TrafficPattern(const Topology& topo, PatternKind kind,
+                               std::uint64_t seed, PatternOptions opts)
+    : topo_(&topo), kind_(kind) {
+  switch (kind) {
+    case PatternKind::kUniform:
+      break;
+    case PatternKind::kBitReversal:
+      map_ = BitReversalPermutation(topo);
+      break;
+    case PatternKind::kShuffle:
+      map_ = ShufflePermutation(topo);
+      break;
+    case PatternKind::kButterfly: {
+      const auto n = static_cast<std::uint32_t>(topo.side());
+      const int bits =
+          n > 1 ? static_cast<int>(std::bit_width(n - 1)) : 0;
+      map_ = PerCoordinateInvolution(
+          topo, [bits](std::uint32_t x) { return SwapEndBits(x, bits); });
+      break;
+    }
+    case PatternKind::kDiagonal:
+      map_ = DiagonalPermutation(topo);
+      break;
+    case PatternKind::kTranspose:
+      map_ = TransposePermutation(topo);
+      break;
+    case PatternKind::kReversal:
+      map_ = ReversalPermutation(topo);
+      break;
+    case PatternKind::kHotSpot: {
+      skew_ = std::clamp(opts.hot_skew, 0.0, 1.0);
+      const std::int64_t count =
+          std::clamp<std::int64_t>(opts.hot_count, 1, topo.size());
+      Rng rng(seed);
+      hot_.resize(static_cast<std::size_t>(count));
+      for (ProcId& h : hot_) {
+        h = static_cast<ProcId>(
+            rng.Below(static_cast<std::uint64_t>(topo.size())));
+      }
+      break;
+    }
+  }
+}
+
+ProcId TrafficPattern::Draw(ProcId src, Rng& rng) const {
+  if (!map_.empty()) return map_[static_cast<std::size_t>(src)];
+  if (kind_ == PatternKind::kHotSpot && rng.Chance(skew_)) {
+    return hot_[static_cast<std::size_t>(
+        rng.Below(static_cast<std::uint64_t>(hot_.size())))];
+  }
+  return static_cast<ProcId>(
+      rng.Below(static_cast<std::uint64_t>(topo_->size())));
+}
+
+std::vector<std::pair<ProcId, ProcId>> LKRelation(const Topology& topo,
+                                                  std::int64_t l,
+                                                  std::int64_t k, Rng& rng) {
+  if (l < 1 || k < 1) {
+    throw std::invalid_argument("LKRelation: l and k must be >= 1");
+  }
+  const ProcId N = topo.size();
+  const std::int64_t m = N * std::min(l, k);
+  std::vector<ProcId> senders(static_cast<std::size_t>(N * l));
+  std::vector<ProcId> receivers(static_cast<std::size_t>(N * k));
+  for (std::int64_t i = 0; i < N * l; ++i) {
+    senders[static_cast<std::size_t>(i)] = static_cast<ProcId>(i % N);
+  }
+  for (std::int64_t i = 0; i < N * k; ++i) {
+    receivers[static_cast<std::size_t>(i)] = static_cast<ProcId>(i % N);
+  }
+  rng.Shuffle(senders);
+  rng.Shuffle(receivers);
+  std::vector<std::pair<ProcId, ProcId>> rel(static_cast<std::size_t>(m));
+  for (std::int64_t i = 0; i < m; ++i) {
+    rel[static_cast<std::size_t>(i)] = {senders[static_cast<std::size_t>(i)],
+                                        receivers[static_cast<std::size_t>(i)]};
+  }
+  std::stable_sort(rel.begin(), rel.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  return rel;
+}
+
+std::vector<std::pair<ProcId, ProcId>> HRelation(const Topology& topo,
+                                                 std::int64_t h, Rng& rng) {
+  return LKRelation(topo, h, h, rng);
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,101 @@
+// Traffic-pattern library for the dynamic workload subsystem.
+//
+// A TrafficPattern maps a source processor to a destination draw — either a
+// fixed structured map (bit-reversal, shuffle, butterfly, diagonal,
+// transpose, reversal) or a seeded random draw per packet (uniform,
+// hot-spot). Patterns are topology-generic (mesh or torus, any d) and
+// deterministic: the same (topology, kind, seed) names the same traffic for
+// any thread count. The structured kinds are the classic adversarial inputs
+// of the interconnection-network literature (bit-reversal and shuffle
+// defeat dimension-order locality; hot-spot models service skew); together
+// with the paper's permutations they span the regimes the related
+// (l,k)-routing and online-routing work studies.
+//
+// Beyond per-packet draws, LKRelation/HRelation build whole bounded-degree
+// routing problems: each processor sends at most l packets and receives at
+// most k (an (l,k)-relation; an h-relation is the symmetric h = l = k
+// case), the standard generalization of permutation routing.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "meshsim/topology.h"
+#include "util/rng.h"
+
+namespace mdmesh {
+
+enum class PatternKind : std::uint8_t {
+  kUniform,      ///< independent uniform destination per packet
+  kBitReversal,  ///< per-coordinate bit reversal (cycle-walked)
+  kShuffle,      ///< coordinate rotation — a base-n digit perfect shuffle
+  kButterfly,    ///< per-coordinate MSB<->LSB swap (cycle-walked)
+  kDiagonal,     ///< every coordinate shifted by n/2 mod n (tornado-like)
+  kTranspose,    ///< coordinate order reversed
+  kReversal,     ///< reflection through the network center
+  kHotSpot,      ///< k fixed hot destinations drawn with probability skew
+};
+
+struct PatternOptions {
+  std::int64_t hot_count = 4;  ///< hot destinations (kHotSpot), clamped to N
+  double hot_skew = 0.5;       ///< probability a packet targets the hot set
+};
+
+/// Stable lowercase name ("uniform", "bitrev", ...), used in JSON records
+/// and CLI flags.
+const char* PatternName(PatternKind kind);
+
+/// Every PatternKind, in declaration order.
+const std::vector<PatternKind>& AllPatterns();
+
+/// Parses a PatternName back; returns false on an unknown name.
+bool ParsePattern(std::string_view name, PatternKind* out);
+
+class TrafficPattern {
+ public:
+  /// Structured kinds precompute their destination map; random kinds
+  /// (uniform, hot-spot) derive their fixed state (the hot set) from
+  /// `seed` and draw per packet.
+  TrafficPattern(const Topology& topo, PatternKind kind, std::uint64_t seed,
+                 PatternOptions opts = {});
+
+  const Topology& topo() const { return *topo_; }
+  PatternKind kind() const { return kind_; }
+  const char* name() const { return PatternName(kind_); }
+
+  /// True when every packet from `src` goes to the same destination.
+  bool fixed() const { return !map_.empty(); }
+
+  /// Destination for one packet injected at `src`. Random kinds consume
+  /// draws from `rng` (the caller's stream); structured kinds ignore it.
+  ProcId Draw(ProcId src, Rng& rng) const;
+
+  /// The full destination map (empty for random kinds).
+  const std::vector<ProcId>& map() const { return map_; }
+
+ private:
+  const Topology* topo_;
+  PatternKind kind_;
+  std::vector<ProcId> map_;  ///< fixed destinations; empty for random kinds
+  std::vector<ProcId> hot_;  ///< kHotSpot target set
+  double skew_ = 0.0;
+};
+
+/// A random (l,k)-relation: a list of (source, destination) pairs in which
+/// every processor appears at most l times as a source and at most k times
+/// as a destination — exactly min(l, k) times each when l == k. Built by
+/// shuffling N*l sender slots against N*k receiver slots and pairing the
+/// first N*min(l, k); sorted by source (ties in slot order), deterministic
+/// in `rng`. l, k >= 1.
+std::vector<std::pair<ProcId, ProcId>> LKRelation(const Topology& topo,
+                                                  std::int64_t l,
+                                                  std::int64_t k, Rng& rng);
+
+/// The symmetric case: every processor sends exactly h packets and receives
+/// exactly h (an h-relation; h = 1 is a random permutation-like relation).
+std::vector<std::pair<ProcId, ProcId>> HRelation(const Topology& topo,
+                                                 std::int64_t h, Rng& rng);
+
+}  // namespace mdmesh

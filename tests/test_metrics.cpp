@@ -137,6 +137,7 @@ TEST(MetricsTest, ToJsonSerializesEveryField) {
   EXPECT_NE(json.find("\"max_distance\":9"), std::string::npos);
   EXPECT_NE(json.find("\"max_overshoot\":3"), std::string::npos);
   EXPECT_NE(json.find("\"overshoot_mean\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_active_procs\":"), std::string::npos);
 }
 
 TEST(MetricsTest, ToJsonMatchesMeasuredRun) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
 
 namespace mdmesh {
@@ -116,6 +117,62 @@ TEST(PermutationsTest, IsPermutationRejectsBadInputs) {
   EXPECT_FALSE(IsPermutation({0, 0, 2}));
   EXPECT_FALSE(IsPermutation({0, 1, 3}));
   EXPECT_FALSE(IsPermutation({0, 1, -1}));
+}
+
+TEST(PermutationsTest, BitReversalIsPermutationForEverySide) {
+  for (int n : {2, 3, 4, 5, 6, 7, 8, 9, 16}) {
+    Topology topo(2, n, Wrap::kMesh);
+    EXPECT_TRUE(IsPermutation(BitReversalPermutation(topo))) << "n=" << n;
+  }
+}
+
+TEST(PermutationsTest, BitReversalIsSelfInverseOnPowerOfTwoSides) {
+  for (int n : {2, 4, 8, 16}) {
+    Topology topo(2, n, Wrap::kMesh);
+    auto dest = BitReversalPermutation(topo);
+    for (ProcId p = 0; p < topo.size(); ++p) {
+      EXPECT_EQ(
+          dest[static_cast<std::size_t>(dest[static_cast<std::size_t>(p)])], p)
+          << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(PermutationsTest, BitReversalMatchesClassicTableOnChain) {
+  // d=1, n=8: the textbook 3-bit reversal.
+  Topology topo(1, 8, Wrap::kMesh);
+  auto dest = BitReversalPermutation(topo);
+  const std::vector<ProcId> expected = {0, 4, 2, 6, 1, 5, 3, 7};
+  EXPECT_EQ(dest, expected);
+}
+
+TEST(PermutationsTest, HotSpotAssignmentStaysInRangeAndConcentrates) {
+  Topology topo(3, 4, Wrap::kMesh);
+  Rng rng(42);
+  auto dest = HotSpotAssignment(topo, 2, 1.0, rng);
+  ASSERT_EQ(dest.size(), static_cast<std::size_t>(topo.size()));
+  // skew=1: every destination is one of the (at most) 2 hot processors.
+  std::vector<ProcId> uniq(dest);
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  EXPECT_LE(uniq.size(), 2u);
+  for (ProcId v : dest) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, topo.size());
+  }
+}
+
+TEST(PermutationsTest, HotSpotAssignmentIsSeedDeterministic) {
+  Topology topo(2, 6, Wrap::kMesh);
+  Rng a(7);
+  Rng b(7);
+  Rng c(8);
+  EXPECT_EQ(HotSpotAssignment(topo, 4, 0.5, a),
+            HotSpotAssignment(topo, 4, 0.5, b));
+  Rng d(7);
+  // A different seed almost surely changes the assignment on 36 draws.
+  EXPECT_NE(HotSpotAssignment(topo, 4, 0.5, d),
+            HotSpotAssignment(topo, 4, 0.5, c));
 }
 
 }  // namespace

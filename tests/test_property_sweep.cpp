@@ -113,5 +113,37 @@ TEST_P(RoutingSweepTest, SampledPermutationRoutes) {
 
 INSTANTIATE_TEST_SUITE_P(Samples, RoutingSweepTest, ::testing::Range(0, 25));
 
+class HRelationSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HRelationSweepTest, GreedyRoutesWithinScaledEnvelope) {
+  Rng rng(static_cast<std::uint64_t>(0xabba + GetParam()));
+  MeshSpec spec;
+  spec.wrap = rng.Chance(0.5) ? Wrap::kTorus : Wrap::kMesh;
+  spec.d = 2 + static_cast<int>(rng.Below(2));
+  spec.n = spec.d == 2 ? 8 : 6;
+  Topology topo = spec.Build();
+  const std::int64_t h = 1 + static_cast<std::int64_t>(rng.Below(3));
+  SCOPED_TRACE(spec.ToString() + " h=" + std::to_string(h));
+  auto rel = HRelation(topo, h, rng);
+  ASSERT_EQ(rel.size(), static_cast<std::size_t>(topo.size() * h));
+  Network net(topo);
+  std::int64_t id = 0;
+  for (const auto& [src, dst] : rel) {
+    Packet pkt;
+    pkt.id = id;
+    pkt.key = static_cast<std::uint64_t>(id++);
+    pkt.dest = dst;
+    net.Add(src, pkt);
+  }
+  Engine engine(topo);
+  RouteResult r = engine.Route(net);
+  EXPECT_TRUE(r.completed);
+  // Every processor sends and receives exactly h packets, so the greedy
+  // schedule must stay inside h times the single-relation envelope.
+  EXPECT_LE(r.steps, h * (topo.Diameter() + 2 * spec.n) + 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Samples, HRelationSweepTest, ::testing::Range(0, 15));
+
 }  // namespace
 }  // namespace mdmesh

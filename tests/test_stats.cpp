@@ -95,5 +95,123 @@ TEST(HistogramTest, Quantiles) {
   EXPECT_EQ(h.Quantile(0.99), 98);
 }
 
+TEST(HistogramTest, PercentileEmptyIsZero) {
+  Histogram h(8);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, PercentileInterpolatesBetweenSamples) {
+  Histogram h(16);
+  h.Add(0);
+  h.Add(10);
+  // Fractional rank 0.5 * (2 - 1) = 0.5 — halfway between the two samples.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 10.0);
+}
+
+TEST(HistogramTest, PercentileMatchesQuantileOnExactRanks) {
+  Histogram h(100);
+  for (int i = 0; i < 101; ++i) h.Add(i % 100);
+  // 101 samples: rank q * 100 is integral for q in {0, 0.25, 0.5, 1}.
+  for (double q : {0.0, 0.25, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(q), static_cast<double>(h.Quantile(q))) << q;
+  }
+}
+
+TEST(QuantileHistogramTest, EmptyAnswersZero) {
+  QuantileHistogram h(8);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 0.0);
+}
+
+TEST(QuantileHistogramTest, SingletonIsExactAtEveryQuantile) {
+  QuantileHistogram h(8);
+  h.Add(7);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 7.0) << q;
+  }
+  EXPECT_EQ(h.min(), 7);
+  EXPECT_EQ(h.max(), 7);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.0);
+}
+
+TEST(QuantileHistogramTest, AllEqualIsExactEvenAfterWidthGrowth) {
+  QuantileHistogram h(4);
+  // Force width > 1, then fill with one repeated value: the clamp to the
+  // observed [min, max] range must keep every quantile exact.
+  for (int i = 0; i < 100; ++i) h.Add(33);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 33.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 33.0);
+}
+
+TEST(QuantileHistogramTest, ExactWhileWidthIsOne) {
+  QuantileHistogram h(128);
+  for (int i = 0; i < 100; ++i) h.Add(i);
+  EXPECT_EQ(h.width(), 1);
+  EXPECT_NEAR(h.Quantile(0.5), 49.5, 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 99.0);
+}
+
+TEST(QuantileHistogramTest, WidthDoublesAndQuantilesStayBracketed) {
+  QuantileHistogram h(8);
+  for (int i = 0; i < 1000; ++i) h.Add(i);
+  EXPECT_GT(h.width(), 1);
+  EXPECT_EQ(h.count(), 1000);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 999);
+  const double p50 = h.Quantile(0.5);
+  // Interpolated inside a wide bin: bounded by one bucket width of error.
+  EXPECT_NEAR(p50, 500.0, static_cast<double>(h.width()));
+  EXPECT_GE(h.Quantile(0.99), p50);
+  EXPECT_LE(h.Quantile(1.0), 999.0);
+}
+
+TEST(QuantileHistogramTest, MergeMatchesSequential) {
+  QuantileHistogram a(16);
+  QuantileHistogram b(16);
+  QuantileHistogram all(16);
+  for (int i = 0; i < 200; ++i) {
+    ((i % 2 == 0) ? a : b).Add(i);
+    all.Add(i);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+  EXPECT_NEAR(a.Quantile(0.5), all.Quantile(0.5),
+              static_cast<double>(all.width()));
+}
+
+TEST(QuantileHistogramTest, MergeWithEmptyIsIdentity) {
+  QuantileHistogram a(8);
+  a.Add(3);
+  a.Add(5);
+  QuantileHistogram empty(8);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_EQ(empty.max(), 5);
+}
+
+TEST(QuantileHistogramTest, ToStringNamesTheSummaryFields) {
+  QuantileHistogram h(8);
+  h.Add(1);
+  h.Add(2);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("n=2"), std::string::npos) << s;
+  EXPECT_NE(s.find("p50="), std::string::npos) << s;
+  EXPECT_NE(s.find("p95="), std::string::npos) << s;
+  EXPECT_NE(s.find("p99="), std::string::npos) << s;
+  EXPECT_NE(s.find("max=2"), std::string::npos) << s;
+}
+
 }  // namespace
 }  // namespace mdmesh

@@ -353,7 +353,8 @@ TEST(CongestionTraceTest, WriteCsvEmitsHeaderAndOneRowPerSample) {
   ASSERT_TRUE(std::getline(is, header));
   EXPECT_EQ(header,
             "step,run_step,in_flight,arrivals,moves,queue_p50,queue_p99,"
-            "queue_max,dim0_dec,dim0_inc,dim1_dec,dim1_inc,active_procs");
+            "queue_max,dim0_dec,dim0_inc,dim1_dec,dim1_inc,active_procs,"
+            "injected");
   std::size_t rows = 0;
   std::string line;
   while (std::getline(is, line)) {
