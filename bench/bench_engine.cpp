@@ -122,12 +122,53 @@ WallRecord RunLoadedRoute(const MeshSpec& spec, const std::string& mode,
   return rec;
 }
 
+// --perfetto: one instrumented two-phase drain exported as a Chrome-trace
+// timeline — phase spans (TraceContext via TwoPhaseOptions::trace), engine
+// counter tracks (CongestionTrace probe), and thread-pool worker tracks.
+// CI schema-checks this artifact with check_perf_regression.py
+// validate-trace.
+void WritePerfettoTrace(const OutputFlags& flags) {
+  const MeshSpec spec{3, 16, Wrap::kMesh};
+  Topology topo = spec.Build();
+  const std::vector<ProcId> dest = ReversalPermutation(topo);
+  ThreadPool pool(2);
+  ThreadPoolActivity activity;
+  pool.set_activity(&activity);
+  TraceContext ctx;
+  CongestionTrace trace;
+  MetricsRegistry metrics;
+  TwoPhaseOptions opts;
+  opts.g = 4;
+  opts.seed = 99;
+  opts.trace = &ctx;
+  opts.engine.pool = &pool;
+  opts.engine.probe = &trace;
+  opts.engine.metrics = &metrics;
+  RouteTwoPhase(topo, dest, opts);
+
+  RunManifest manifest = MakeRunManifest(topo, opts.engine);
+  manifest.seed = opts.seed;
+  manifest.binary = "bench_engine";
+  ChromeTraceWriter writer(manifest);
+  writer.AddSpanTree(ctx);
+  writer.AddCounters(trace);
+  writer.AddWorkerActivity(activity);
+  pool.set_activity(nullptr);
+  writer.WriteFile(flags.perfetto);
+}
+
 // E21 wall-clock records, keyed (workload, spec, mode): min-of-reps wall
 // time and derived packet-moves-per-second throughput for the dense sweep
 // vs the sparse active-set path on the same inputs.
 void WriteThroughputJson(const OutputFlags& flags) {
   if (!flags.WantsJson()) return;
   BenchJson json("engine_wall");
+  {
+    RunManifest m = json.manifest();
+    m.binary = "bench_engine";
+    m.seed = 99;  // the drain workload's two-phase seed
+    json.SetManifest(std::move(m));
+  }
   // --quick keeps the exact spec set (the regression guard matches records
   // by (workload, spec, mode), so CI must produce the same keys as the
   // committed baseline) and only drops the repetitions.
@@ -236,6 +277,7 @@ BENCHMARK(BM_FullSortingRun)
 
 int main(int argc, char** argv) {
   const mdmesh::OutputFlags flags = mdmesh::ParseOutputFlags(&argc, argv);
+  if (flags.WantsPerfetto()) mdmesh::WritePerfettoTrace(flags);
   mdmesh::WriteThroughputJson(flags);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -31,6 +31,11 @@ void PrintReproductionTable(const OutputFlags& flags) {
   };
   if (flags.quick) configs.resize(1);
   BenchJson json("two_phase_mesh");
+  {
+    RunManifest m = json.manifest();
+    m.binary = "bench_routing_mesh";
+    json.SetManifest(std::move(m));
+  }
   std::vector<RoutingRow> rows;
   for (const Config& config : configs) {
     for (const char* perm : {"random", "reversal", "transpose"}) {

@@ -235,7 +235,51 @@ WallRecord RunWall(const MeshSpec& spec, const std::string& mode, bool quick) {
   return rec;
 }
 
+// ---------------------------------------------------------------------------
+// --perfetto: one instrumented open-loop capture exported as a Chrome-trace
+// timeline (phase spans, engine counter tracks, thread-pool worker tracks,
+// embedded run manifest). Runs on a small local pool so the worker tracks
+// show real parallel dispatches; the engine is byte-identical at any thread
+// count, so this changes no results.
+
+void WritePerfettoTrace(const OutputFlags& flags) {
+  const MeshSpec spec{3, 8, Wrap::kMesh};
+  const Topology topo = spec.Build();
+  ThreadPool pool(2);
+  ThreadPoolActivity activity;
+  pool.set_activity(&activity);
+  TraceContext ctx;
+  CongestionTrace trace;
+  MetricsRegistry metrics;
+  EngineOptions eopts;
+  eopts.pool = &pool;
+  eopts.probe = &trace;
+  eopts.metrics = &metrics;
+
+  DriverOptions dopts = Windows(flags.quick);
+  dopts.rate = 0.2;
+  dopts.drain = true;
+  TrafficPattern uniform(topo, PatternKind::kUniform, /*seed=*/17);
+  TrafficPattern transpose(topo, PatternKind::kTranspose, /*seed=*/17);
+  for (const TrafficPattern* pattern : {&uniform, &transpose}) {
+    Span span = ctx.Open(std::string("open_loop_") + pattern->name());
+    const WorkloadResult r = RunOpenLoop(topo, *pattern, dopts, eopts);
+    r.route.RecordTo(span);
+  }
+
+  RunManifest manifest = MakeRunManifest(topo, eopts);
+  manifest.seed = dopts.seed;
+  manifest.binary = "bench_workloads";
+  ChromeTraceWriter writer(manifest);
+  writer.AddSpanTree(ctx);
+  writer.AddCounters(trace);
+  writer.AddWorkerActivity(activity);
+  pool.set_activity(nullptr);
+  writer.WriteFile(flags.perfetto);
+}
+
 void RunAllAndReport(const OutputFlags& flags) {
+  if (flags.WantsPerfetto()) WritePerfettoTrace(flags);
   const std::vector<LatencyPoint> latency = RunLatencySweep(flags.quick);
   PrintLatencyTable(latency);
   const std::vector<SaturationPoint> saturation =
@@ -243,6 +287,12 @@ void RunAllAndReport(const OutputFlags& flags) {
   PrintSaturationTable(saturation);
   if (!flags.WantsJson()) return;
   BenchJson json("workloads");
+  {
+    RunManifest m = json.manifest();
+    m.binary = "bench_workloads";
+    m.seed = 11;  // the shared Windows() driver seed
+    json.SetManifest(std::move(m));
+  }
   for (const LatencyPoint& pt : latency) EmitLatencyRecord(json, pt);
   for (const SaturationPoint& pt : saturation) EmitSaturationRecord(json, pt);
   // Wall records use a fixed spec set for the same reason as bench_engine:

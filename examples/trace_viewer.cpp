@@ -135,6 +135,30 @@ void Render(const TraceData& data, int width) {
               HeatRow(Bucket(data.queue_max, width), q_peak).c_str(), q_peak);
 }
 
+// Re-exports a parsed CSV trace as Chrome-trace counter tracks so an old
+// --trace-csv artifact can be opened in Perfetto without rerunning the
+// experiment. Timestamps are the simulated step numbers (1 step = 1 us of
+// trace time), matching the live AddCounters layout.
+void WritePerfettoTrace(const TraceData& data, const std::string& path) {
+  using namespace mdmesh;
+  RunManifest manifest;
+  manifest.binary = "trace_viewer";
+  ChromeTraceWriter writer(manifest);
+  for (std::size_t i = 0; i < data.step.size(); ++i) {
+    const double ts = static_cast<double>(data.step[i]);
+    writer.AddCounter("in_flight", ts,
+                      static_cast<std::int64_t>(data.in_flight[i]));
+    writer.AddCounter("moves", ts, static_cast<std::int64_t>(data.moves[i]));
+    writer.AddCounter("queue_max", ts,
+                      static_cast<std::int64_t>(data.queue_max[i]));
+    for (std::size_t lbl = 0; lbl < data.dim_labels.size(); ++lbl) {
+      writer.AddCounter("moves." + data.dim_labels[lbl], ts,
+                        static_cast<std::int64_t>(data.dim_moves[lbl][i]));
+    }
+  }
+  writer.WriteFile(path);
+}
+
 // Self-generated demo: the transpose funnel on a small 2D mesh, routed
 // greedily — dimension 0 lights up while dimension 1 drains late.
 std::string DemoCsv() {
@@ -159,7 +183,9 @@ int main(int argc, char** argv) {
   cli.AddString("in", "", "trace CSV produced with --trace-csv");
   cli.AddBool("demo", false, "render a self-generated demo trace instead");
   cli.AddInt("width", 72, "heatmap width in characters");
+  AddOutputFlags(cli);
   if (!cli.Parse(argc, argv)) return 2;
+  const OutputFlags out = GetOutputFlags(cli);
 
   const int width = std::max(8, static_cast<int>(cli.GetInt("width")));
   try {
@@ -182,6 +208,7 @@ int main(int argc, char** argv) {
       }
       data = ParseCsv(is);
     }
+    if (out.WantsPerfetto()) WritePerfettoTrace(data, out.perfetto);
     Render(data, width);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());

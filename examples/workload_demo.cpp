@@ -71,7 +71,38 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const WorkloadResult r = RunOpenLoop(topo, pattern, dopts);
+  // With --perfetto, instrument the run: a phase span, the congestion
+  // probe, the metrics registry, and thread-pool activity all feed one
+  // Chrome-trace timeline. Instrumentation never changes the routing.
+  TraceContext ctx;
+  CongestionTrace trace;
+  MetricsRegistry metrics;
+  ThreadPoolActivity activity;
+  EngineOptions eopts;
+  if (out.WantsPerfetto()) {
+    eopts.probe = &trace;
+    eopts.metrics = &metrics;
+    ThreadPool::Global().set_activity(&activity);
+  }
+  WorkloadResult r;
+  {
+    Span span = TraceContext::OpenIf(
+        out.WantsPerfetto() ? &ctx : nullptr,
+        std::string("open_loop_") + pattern.name());
+    r = RunOpenLoop(topo, pattern, dopts, eopts);
+    r.route.RecordTo(span);
+  }
+  if (out.WantsPerfetto()) {
+    ThreadPool::Global().set_activity(nullptr);
+    RunManifest manifest = MakeRunManifest(topo, eopts);
+    manifest.seed = dopts.seed;
+    manifest.binary = "workload_demo";
+    ChromeTraceWriter writer(manifest);
+    writer.AddSpanTree(ctx);
+    writer.AddCounters(trace);
+    writer.AddWorkerActivity(activity);
+    writer.WriteFile(out.perfetto);
+  }
   std::printf("%s, pattern %s, rate %.3f over %lld+%lld steps%s\n",
               spec.ToString().c_str(), pattern.name(), dopts.rate,
               static_cast<long long>(dopts.warmup_steps),

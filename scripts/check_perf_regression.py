@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Wall-clock regression guard for the timed bench records (E21, workloads).
+"""Wall-clock regression guard + Chrome-trace validator for bench artifacts.
 
-Compares a freshly generated bench JSON (BENCH_engine.json,
+Default mode compares a freshly generated bench JSON (BENCH_engine.json,
 BENCH_workloads.json) against the committed baseline: every
 (experiment, workload, spec, mode) key present in the baseline must still
 exist, and its packet_steps_per_sec must not have dropped by more than the
@@ -13,11 +13,22 @@ fallback that stopped engaging, an accidentally quadratic active-set
 rebuild), not single-digit-percent drift; tighten it for controlled
 hardware with --factor.
 
+Artifacts may be the legacy bare JSON array of records or the manifest
+wrapper {"manifest": {...}, "records": [...]} (BenchJson since the
+timeline-export change); both load transparently.
+
+The validate-trace subcommand schema-checks a --perfetto Chrome Trace
+Event artifact instead: top-level shape, an embedded run manifest, the
+required ph/ts/pid/tid fields on every event, matched B/E pairs per
+(pid, tid) track, non-negative durations on X events, and (optionally) a
+minimum number of distinct counter tracks.
+
 Usage:
     check_perf_regression.py BASELINE CANDIDATE [--factor 2.0]
+    check_perf_regression.py validate-trace TRACE [--min-counter-tracks N]
 
-Exit status: 0 when every key holds, 1 on any regression or missing key.
-Stdlib only.
+Exit status: 0 when every check holds, 1 on any regression, missing key,
+or schema violation. Stdlib only.
 """
 
 import argparse
@@ -37,11 +48,22 @@ def key_of(rec):
     )
 
 
+def records_of(path, data):
+    """Unwraps either artifact shape into the list of records."""
+    if isinstance(data, dict):
+        if "records" not in data:
+            sys.exit(f"{path}: object artifact is missing a 'records' array")
+        if not isinstance(data.get("manifest"), dict):
+            sys.exit(f"{path}: object artifact is missing its run manifest")
+        data = data["records"]
+    if not isinstance(data, list) or not data:
+        sys.exit(f"{path}: expected a non-empty array of records")
+    return data
+
+
 def load(path):
     with open(path) as f:
-        recs = json.load(f)
-    if not isinstance(recs, list) or not recs:
-        sys.exit(f"{path}: expected a non-empty JSON array of records")
+        recs = records_of(path, json.load(f))
     table = {}
     for rec in recs:
         if "packet_steps_per_sec" not in rec:
@@ -55,7 +77,86 @@ def load(path):
     return table
 
 
+def validate_trace(argv):
+    ap = argparse.ArgumentParser(
+        prog="check_perf_regression.py validate-trace",
+        description="Schema-check a --perfetto Chrome Trace Event artifact.",
+    )
+    ap.add_argument("trace", help="Chrome-trace JSON written with --perfetto")
+    ap.add_argument(
+        "--min-counter-tracks",
+        type=int,
+        default=0,
+        help="require at least N distinct counter (ph=C) track names",
+    )
+    args = ap.parse_args(argv)
+
+    with open(args.trace) as f:
+        data = json.load(f)
+
+    problems = []
+    if not isinstance(data, dict):
+        sys.exit(f"{args.trace}: top level must be an object")
+    manifest = data.get("metadata", {}).get("manifest")
+    if not isinstance(manifest, dict) or "tool" not in manifest:
+        problems.append("missing embedded run manifest in metadata.manifest")
+    events = data.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        sys.exit(f"{args.trace}: traceEvents must be a non-empty array")
+
+    counter_tracks = set()
+    open_stacks = {}  # (pid, tid) -> stack of open B names
+    for i, ev in enumerate(events):
+        missing = [k for k in ("ph", "ts", "pid", "tid") if k not in ev]
+        if missing:
+            problems.append(f"event {i} missing {missing}: {ev}")
+            continue
+        ph = ev["ph"]
+        track = (ev["pid"], ev["tid"])
+        if ph == "B":
+            open_stacks.setdefault(track, []).append(ev.get("name", "?"))
+        elif ph == "E":
+            stack = open_stacks.setdefault(track, [])
+            if not stack:
+                problems.append(f"event {i}: E without matching B on {track}")
+            else:
+                begun = stack.pop()
+                if ev.get("name", "?") != begun:
+                    problems.append(
+                        f"event {i}: E '{ev.get('name')}' closes B '{begun}' "
+                        f"on {track}"
+                    )
+        elif ph == "C":
+            counter_tracks.add(ev.get("name", "?"))
+        elif ph == "X":
+            if ev.get("dur", 0) < 0:
+                problems.append(f"event {i}: negative dur on X event")
+
+    for track, stack in sorted(open_stacks.items()):
+        if stack:
+            problems.append(f"unclosed B event(s) on {track}: {stack}")
+
+    if len(counter_tracks) < args.min_counter_tracks:
+        problems.append(
+            f"only {len(counter_tracks)} counter track(s), need "
+            f">= {args.min_counter_tracks}: {sorted(counter_tracks)}"
+        )
+
+    if problems:
+        for p in problems:
+            print(f"  FAIL  {p}")
+        sys.exit(f"{args.trace}: {len(problems)} schema problem(s)")
+    print(
+        f"{args.trace}: {len(events)} events ok "
+        f"({len(counter_tracks)} counter track(s), manifest embedded)"
+    )
+
+
 def main():
+    if len(sys.argv) > 1 and sys.argv[1] == "validate-trace":
+        validate_trace(sys.argv[2:])
+        return
+
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline", help="committed BENCH_engine.json")
     ap.add_argument("candidate", help="freshly generated BENCH_engine.json")

@@ -12,10 +12,14 @@
 #include "meshsim/indexing.h"
 #include "meshsim/topology.h"
 
-// Observability: phase-span traces, per-step probes, JSON/CSV sinks.
+// Observability: phase-span traces, per-step probes, JSON/CSV/Chrome-trace
+// sinks, metrics registry, run manifests.
+#include "obs/chrome_trace.h"
 #include "obs/json.h"
+#include "obs/manifest.h"
 #include "obs/output.h"
 #include "obs/probe.h"
+#include "obs/registry.h"
 #include "obs/trace.h"
 
 // Fault injection (dead links/nodes, transient flaps).

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/output.h"
+#include "util/thread_pool.h"
 
 namespace mdmesh {
 namespace {
@@ -121,7 +122,16 @@ Table MakeRoutingTable(const std::vector<RoutingRow>& rows) {
 }
 
 BenchJson::BenchJson(std::string experiment)
-    : experiment_(std::move(experiment)) {}
+    : experiment_(std::move(experiment)) {
+  manifest_.build_type = BuildTypeName();
+  manifest_.threads = ThreadPool::Global().workers();
+  manifest_.binary = experiment_;
+}
+
+void BenchJson::SetManifest(RunManifest manifest) {
+  manifest_ = std::move(manifest);
+  if (manifest_.binary.empty()) manifest_.binary = experiment_;
+}
 
 void BenchJson::Add(const RoutingRow& row) {
   std::ostringstream os;
@@ -228,16 +238,19 @@ void BenchJson::AddRaw(std::string json_object) {
 
 void BenchJson::Write(std::ostream& os, bool jsonl) const {
   if (jsonl) {
+    // The manifest leads as its own line so a streaming reader sees the
+    // run description before any record.
+    os << "{\"manifest\": " << manifest_.ToJson() << "}\n";
     for (const std::string& rec : records_) os << rec << '\n';
     return;
   }
-  os << "[\n";
+  os << "{\n\"manifest\": " << manifest_.ToJson() << ",\n\"records\": [\n";
   for (std::size_t i = 0; i < records_.size(); ++i) {
     os << "  " << records_[i];
     if (i + 1 < records_.size()) os << ',';
     os << '\n';
   }
-  os << "]\n";
+  os << "]}\n";
 }
 
 bool BenchJson::WriteFile(const std::string& path) const {

@@ -10,6 +10,7 @@
 
 #include "core/runner.h"
 #include "obs/json.h"
+#include "obs/manifest.h"
 #include "util/table.h"
 
 namespace mdmesh {
@@ -29,9 +30,12 @@ Table MakeSelectionTable(const std::vector<SelectRow>& rows);
 /// steps, baseline/D, min|S|, delivered.
 Table MakeRoutingTable(const std::vector<RoutingRow>& rows);
 
-/// Machine-readable bench output: collects one JSON record per experiment
-/// row and writes them as a JSON array (or JSON Lines when the path ends in
-/// ".jsonl"). Every record shares the base schema
+/// Machine-readable bench output: a run manifest followed by one JSON
+/// record per experiment row. The array form is
+///   {"manifest": {...}, "records": [...]}
+/// and the JSONL form (path ends in ".jsonl") emits {"manifest": {...}} as
+/// its first line, then one record per line. Every record shares the base
+/// schema
 ///   {experiment, spec: {d, n, wrap}, seed, steps, D, ratio,
 ///    phases: [{name, steps, local_steps, moves, max_queue, wall_ms}, ...],
 ///    wall_ms}
@@ -39,6 +43,12 @@ Table MakeRoutingTable(const std::vector<RoutingRow>& rows);
 class BenchJson {
  public:
   explicit BenchJson(std::string experiment);
+
+  /// Replaces the default manifest (build type, global thread count,
+  /// binary = experiment name) with one describing the actual run — e.g. a
+  /// bench passing along the engine's MakeRunManifest plus its seed.
+  void SetManifest(RunManifest manifest);
+  const RunManifest& manifest() const { return manifest_; }
 
   void Add(const RoutingRow& row);
   void Add(const SortRow& row);
@@ -61,6 +71,7 @@ class BenchJson {
 
  private:
   std::string experiment_;
+  RunManifest manifest_;
   std::vector<std::string> records_;  ///< serialized JSON objects
 };
 

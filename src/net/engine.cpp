@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cstdio>
 #include <cstring>
 #include <limits>
 #include <stdexcept>
@@ -309,6 +310,57 @@ std::int64_t NextHopFaulted(const std::int32_t* nbr, const std::int32_t* cp,
 
 }  // namespace
 
+std::uint64_t HashEngineOptions(const EngineOptions& opts) {
+  // FNV-1a over a canonical encoding of the options that influence routing
+  // behavior. Observability hooks (observer, probe, metrics) and the thread
+  // pool are excluded: they never change results.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(opts.step_cap));
+  mix(static_cast<std::uint64_t>(opts.stall_window));
+  mix(static_cast<std::uint64_t>(opts.invariants));
+  mix(static_cast<std::uint64_t>(opts.sparse));
+  std::uint64_t threshold_bits = 0;
+  static_assert(sizeof(threshold_bits) == sizeof(opts.sparse_threshold));
+  std::memcpy(&threshold_bits, &opts.sparse_threshold, sizeof(threshold_bits));
+  mix(threshold_bits);
+  mix(opts.faults != nullptr && !opts.faults->empty() ? 1 : 0);
+  mix(opts.injector != nullptr ? 1 : 0);
+  return h;
+}
+
+const char* SparseModeName(SparseMode mode) {
+  switch (mode) {
+    case SparseMode::kAlways:
+      return "always";
+    case SparseMode::kNever:
+      return "never";
+    default:
+      return "auto";
+  }
+}
+
+RunManifest MakeRunManifest(const Topology& topo, const EngineOptions& opts) {
+  RunManifest m;
+  m.d = topo.dim();
+  m.n = topo.side();
+  m.torus = topo.torus();
+  m.threads = opts.pool != nullptr ? opts.pool->workers()
+                                   : ThreadPool::Global().workers();
+  m.build_type = BuildTypeName();
+  m.sparse_mode = SparseModeName(opts.sparse);
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(HashEngineOptions(opts)));
+  m.engine_options_hash = hex;
+  return m;
+}
+
 Engine::Engine(const Topology& topo, EngineOptions opts)
     : topo_(&topo),
       opts_(opts),
@@ -339,6 +391,7 @@ Engine::Engine(const Topology& topo, EngineOptions opts)
       }
     }
   }
+  manifest_ = std::make_shared<const RunManifest>(MakeRunManifest(topo, opts_));
   if (opts_.faults != nullptr && !opts_.faults->empty()) {
     const Topology& ft = opts_.faults->topo();
     if (ft.dim() != topo.dim() || ft.side() != topo.side() ||
@@ -940,6 +993,7 @@ RouteResult Engine::Route(Network& net) {
   std::int64_t arrivals_total = 0;
   std::int64_t moves_total = 0;
   std::int64_t detours_total = 0;
+  std::int64_t fault_events_total = 0;
   std::int64_t queue_max = result.max_queue;
   std::int64_t step = 0;
 
@@ -956,6 +1010,7 @@ RouteResult Engine::Route(Network& net) {
         assert(flap_count_[l] >= 0);
         link_dead_[l] = (link_dead_perm_[l] != 0 || flap_count_[l] > 0) ? 1 : 0;
         fired = true;
+        ++fault_events_total;
       }
     }
     return fired;
@@ -1457,6 +1512,30 @@ RouteResult Engine::Route(Network& net) {
         result.overshoot.Add(static_cast<double>(over));
         result.max_overshoot = std::max(result.max_overshoot, over);
       }
+    }
+  }
+
+  result.manifest = manifest_;
+
+  // Metrics recording: once per Route, after the step loop — nothing here
+  // touches the hot path, and a null registry skips the block entirely.
+  if (opts_.metrics != nullptr) {
+    MetricsRegistry& m = *opts_.metrics;
+    m.counter("engine.routes").Increment();
+    m.counter("engine.steps").Add(result.steps);
+    m.counter("engine.moves").Add(result.moves);
+    m.counter("engine.packets").Add(result.packets);
+    m.counter("engine.detours").Add(result.detours);
+    m.counter("engine.sparse_steps").Add(result.sparse_steps);
+    m.counter("engine.fault_events").Add(fault_events_total);
+    m.gauge("engine.max_queue").Max(result.max_queue);
+    m.gauge("engine.peak_active_procs").Max(result.peak_active_procs);
+    m.histogram("engine.route_steps").Add(result.steps);
+    if (result.stall_report != nullptr) {
+      m.counter(result.stall_report->reason == StallReason::kWatchdog
+                    ? "engine.stall.watchdog"
+                    : "engine.stall.step_cap")
+          .Increment();
     }
   }
   return result;

@@ -84,6 +84,7 @@
 #include "net/metrics.h"
 #include "net/network.h"
 #include "obs/probe.h"
+#include "obs/registry.h"
 #include "util/thread_pool.h"
 
 namespace mdmesh {
@@ -199,7 +200,28 @@ struct EngineOptions {
   /// above; must outlive the engine). Null keeps Route byte-identical to an
   /// engine without injection support.
   StepInjector* injector = nullptr;
+
+  /// Optional metrics registry (obs/registry.h). When set, every Route call
+  /// folds its run totals into named engine.* counters/gauges (routes,
+  /// steps, moves, packets, detours, sparse steps, fault events, stall
+  /// reasons, peak queue/active-set gauges). Recording happens once per
+  /// Route, never per step, so the hot loop is untouched; null costs one
+  /// pointer check per call.
+  MetricsRegistry* metrics = nullptr;
 };
+
+/// FNV-1a over the routing-relevant options: step cap, sparse policy and
+/// threshold, stall window, invariant mode, fault-plan presence, injector
+/// presence. Identical hashes mean two runs routed under the same engine
+/// configuration (thread count excluded — it never changes results).
+std::uint64_t HashEngineOptions(const EngineOptions& opts);
+
+const char* SparseModeName(SparseMode mode);
+
+/// Fills a RunManifest (obs/manifest.h) from a live engine configuration:
+/// topology shape, worker threads, build type, sparse mode, options hash.
+/// Seed and binary are left for the caller — the engine does not know them.
+RunManifest MakeRunManifest(const Topology& topo, const EngineOptions& opts);
 
 class Engine {
  public:
@@ -309,6 +331,11 @@ class Engine {
   std::vector<std::uint8_t> touched_inflight_;
   std::vector<std::uint64_t> touched_bits_;  // dedup bitmap, N/64 words
   bool slots_clean_ = false;
+
+  // Shared by every RouteResult this engine produces (S6: artifacts are
+  // self-describing). Built once in the constructor; assigning it per Route
+  // is a refcount bump, not a serialization.
+  std::shared_ptr<const RunManifest> manifest_;
 
   // Fault state (empty vectors when no plan is attached).
   bool have_faults_ = false;

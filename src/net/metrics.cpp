@@ -87,6 +87,10 @@ void RouteResult::WriteJson(JsonWriter& w) const {
     w.Key("stall");
     stall_report->WriteJson(w);
   }
+  if (manifest != nullptr) {
+    w.Key("manifest");
+    manifest->WriteJson(w);
+  }
   w.EndObject();
 }
 
@@ -114,6 +118,7 @@ void RouteResult::Accumulate(const RouteResult& phase) {
   sparse_steps += phase.sparse_steps;
   peak_active_procs = std::max(peak_active_procs, phase.peak_active_procs);
   if (stall_report == nullptr) stall_report = phase.stall_report;
+  if (manifest == nullptr) manifest = phase.manifest;
 }
 
 }  // namespace mdmesh

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "meshsim/topology.h"
+#include "obs/manifest.h"
 #include "obs/trace.h"
 #include "util/stats.h"
 
@@ -100,6 +101,12 @@ struct RouteResult {
   /// Present iff the run aborted (completed == false): the structured
   /// diagnostic from the stall watchdog or the step cap.
   std::shared_ptr<const StallReport> stall_report;
+
+  /// Self-description of the run (topology, threads, sparse mode, options
+  /// hash) — stamped by the engine once per Engine instance and shared by
+  /// every Route result it produces. Serialized into ToJson so any record
+  /// built from a RouteResult is reproducible from the artifact alone.
+  std::shared_ptr<const RunManifest> manifest;
 
   std::string ToString() const;
 

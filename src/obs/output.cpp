@@ -24,6 +24,9 @@ void AddOutputFlags(Cli& cli) {
                 "for one record per line)");
   cli.AddString("--trace-csv", "",
                 "write the per-step congestion trace to this CSV path");
+  cli.AddString("--perfetto", "",
+                "write a Chrome Trace Event JSON timeline to this path "
+                "(open in ui.perfetto.dev)");
   cli.AddBool("--quick", false, "smallest configuration only (CI smoke runs)");
 }
 
@@ -31,37 +34,52 @@ OutputFlags GetOutputFlags(const Cli& cli) {
   OutputFlags flags;
   flags.json = cli.GetString("json");
   flags.trace_csv = cli.GetString("trace-csv");
+  flags.perfetto = cli.GetString("perfetto");
   flags.quick = cli.GetBool("quick");
   return flags;
 }
 
 OutputFlags ParseOutputFlags(int* argc, char** argv) {
   OutputFlags flags;
+  // One table drives every value flag so the two accepted forms
+  // (--flag=value, --flag value) cannot drift apart between flags.
+  struct ValueFlag {
+    const char* name;
+    std::size_t len;
+    std::string* target;
+  };
+  const ValueFlag value_flags[] = {
+      {"--json", 6, &flags.json},
+      {"--trace-csv", 11, &flags.trace_csv},
+      {"--perfetto", 10, &flags.perfetto},
+  };
   int w = 1;
   for (int r = 1; r < *argc; ++r) {
     const char* arg = argv[r];
-    std::string* target = nullptr;
-    std::size_t name_len = 0;
-    if (std::strncmp(arg, "--json", 6) == 0 &&
-        (arg[6] == '\0' || arg[6] == '=')) {
-      target = &flags.json;
-      name_len = 6;
-    } else if (std::strncmp(arg, "--trace-csv", 11) == 0 &&
-               (arg[11] == '\0' || arg[11] == '=')) {
-      target = &flags.trace_csv;
-      name_len = 11;
-    } else if (std::strcmp(arg, "--quick") == 0) {
-      flags.quick = true;
+    const ValueFlag* hit = nullptr;
+    for (const ValueFlag& vf : value_flags) {
+      if (std::strncmp(arg, vf.name, vf.len) == 0 &&
+          (arg[vf.len] == '\0' || arg[vf.len] == '=')) {
+        hit = &vf;
+        break;
+      }
+    }
+    if (hit == nullptr) {
+      if (std::strcmp(arg, "--quick") == 0) {
+        flags.quick = true;
+      } else {
+        argv[w++] = argv[r];
+      }
       continue;
     }
-    if (target == nullptr) {
-      argv[w++] = argv[r];
-      continue;
-    }
-    if (arg[name_len] == '=') {
-      *target = arg + name_len + 1;
+    if (arg[hit->len] == '=') {
+      *hit->target = arg + hit->len + 1;
     } else if (r + 1 < *argc) {
-      *target = argv[++r];
+      *hit->target = argv[++r];
+    } else {
+      std::fprintf(stderr, "error: %s requires a value (%s=PATH or %s PATH)\n",
+                   hit->name, hit->name, hit->name);
+      std::exit(2);
     }
   }
   *argc = w;

@@ -4,12 +4,16 @@
 //   --json=<path>       write experiment records (JSON array, or JSONL when
 //                       the path ends in .jsonl)
 //   --trace-csv=<path>  write the per-step congestion trace as CSV
+//   --perfetto=<path>   write a Chrome Trace Event JSON timeline (open in
+//                       ui.perfetto.dev or chrome://tracing)
 //   --quick             smallest configuration only (CI smoke runs)
 //
 // Examples register them on their Cli via AddOutputFlags/GetOutputFlags.
 // Bench binaries cannot use Cli (google-benchmark parses argv itself), so
 // ParseOutputFlags extracts just these flags from argc/argv in place and
-// leaves everything else for benchmark::Initialize.
+// leaves everything else for benchmark::Initialize. Every value flag
+// accepts both `--flag=value` and `--flag value`; a trailing value flag
+// with no value is a usage error (exit 2).
 #pragma once
 
 #include <fstream>
@@ -22,21 +26,25 @@ namespace mdmesh {
 struct OutputFlags {
   std::string json;       ///< empty = no JSON output
   std::string trace_csv;  ///< empty = no congestion-trace CSV
+  std::string perfetto;   ///< empty = no Chrome-trace timeline
   bool quick = false;
 
   bool WantsJson() const { return !json.empty(); }
   bool WantsTrace() const { return !trace_csv.empty(); }
+  bool WantsPerfetto() const { return !perfetto.empty(); }
 };
 
-/// Registers --json, --trace-csv, and --quick on `cli`.
+/// Registers --json, --trace-csv, --perfetto, and --quick on `cli`.
 void AddOutputFlags(Cli& cli);
 
 /// Reads the flags registered by AddOutputFlags back from a parsed Cli.
 OutputFlags GetOutputFlags(const Cli& cli);
 
-/// Extracts --json(=)/--trace-csv(=)/--quick from argv (both `--flag=value`
-/// and `--flag value` forms), compacting argv and updating *argc so that
-/// unrecognized flags survive for a downstream parser.
+/// Extracts --json/--trace-csv/--perfetto/--quick from argv (uniformly
+/// both `--flag=value` and `--flag value` forms for every value flag),
+/// compacting argv and updating *argc so that unrecognized flags survive
+/// for a downstream parser. A value flag at the end of argv with no value
+/// prints an error and exits with status 2.
 OutputFlags ParseOutputFlags(int* argc, char** argv);
 
 /// Opens `path` for writing. On failure, prints a clear error naming the

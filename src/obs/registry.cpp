@@ -1,0 +1,119 @@
+#include "obs/registry.h"
+
+#include <sstream>
+
+namespace mdmesh {
+namespace {
+
+/// Process-wide dense thread index: each thread that ever records into a
+/// sharded metric gets the next integer, so up to kShards concurrent
+/// threads map to distinct cells (beyond that, cells are shared but stay
+/// correct through the atomics).
+std::size_t ShardIndex() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return idx & (MetricsRegistry::kShards - 1);
+}
+
+}  // namespace
+
+void MetricsRegistry::Counter::Add(std::int64_t v) {
+  cells_[ShardIndex()].v.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::int64_t MetricsRegistry::Counter::Total() const {
+  std::int64_t total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void MetricsRegistry::Gauge::Max(std::int64_t v) {
+  std::int64_t cur = v_.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void MetricsRegistry::Hist::Add(std::int64_t value) {
+  Cell& cell = cells_[ShardIndex()];
+  std::lock_guard<std::mutex> lock(cell.mu);
+  cell.hist.Add(value);
+}
+
+void MetricsRegistry::Hist::Merge(const QuantileHistogram& other) {
+  Cell& cell = cells_[ShardIndex()];
+  std::lock_guard<std::mutex> lock(cell.mu);
+  cell.hist.Merge(other);
+}
+
+QuantileHistogram MetricsRegistry::Hist::Merged() const {
+  QuantileHistogram out;
+  for (const Cell& cell : cells_) {
+    std::lock_guard<std::mutex> lock(cell.mu);
+    out.Merge(cell.hist);
+  }
+  return out;
+}
+
+MetricsRegistry::Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+MetricsRegistry::Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+MetricsRegistry::Hist& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = hists_[name];
+  if (slot == nullptr) slot = std::make_unique<Hist>();
+  return *slot;
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    w.Key(name).Int(counter->Total());
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    w.Key(name).Int(gauge->Value());
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, hist] : hists_) {
+    const QuantileHistogram merged = hist->Merged();
+    w.Key(name).BeginObject();
+    w.Key("count").Int(merged.count());
+    w.Key("min").Int(merged.min());
+    w.Key("max").Int(merged.max());
+    w.Key("mean").Double(merged.mean());
+    w.Key("p50").Double(merged.Quantile(0.5));
+    w.Key("p95").Double(merged.Quantile(0.95));
+    w.Key("p99").Double(merged.Quantile(0.99));
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  WriteJson(w);
+  return os.str();
+}
+
+}  // namespace mdmesh

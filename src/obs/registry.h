@@ -1,0 +1,101 @@
+// MetricsRegistry: named counters, gauges, and histograms shared by the
+// engine, the workload driver, and the fault paths, so subsystems stop
+// growing ad-hoc result fields for every new measurement.
+//
+// Counters are built for the engine's threading model: Add() goes to one of
+// kShards cache-line-padded cells selected by a process-wide thread index,
+// so concurrent workers almost never touch the same line, and the rare
+// collision is still safe (relaxed atomics — counters are commutative
+// sums, no ordering needed). Total() folds the shards on read. Gauges are
+// coordinator-side last-write-wins values. Histograms shard a
+// QuantileHistogram per cell behind a per-cell mutex (uncontended in
+// practice; the engine only records histograms from the coordinator).
+//
+// Registration (counter()/gauge()/histogram()) takes a registry-wide mutex
+// and returns a stable reference — callers look a metric up once and hold
+// the reference across the hot loop. A null MetricsRegistry* anywhere in
+// the engine options costs nothing: every recording site is behind a
+// pointer check evaluated once per Route call, not per step.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/json.h"
+#include "util/stats.h"
+
+namespace mdmesh {
+
+class MetricsRegistry {
+ public:
+  static constexpr std::size_t kShards = 16;  // power of two (mask select)
+
+  /// Sharded monotonic counter. Thread-safe; totals fold on read.
+  class Counter {
+   public:
+    void Add(std::int64_t v);
+    void Increment() { Add(1); }
+    std::int64_t Total() const;
+
+   private:
+    struct alignas(64) Cell {
+      std::atomic<std::int64_t> v{0};
+    };
+    std::array<Cell, kShards> cells_;
+  };
+
+  /// Last-write-wins value (peaks, configuration echoes). Thread-safe via
+  /// relaxed atomics; intended for coordinator-side writes.
+  class Gauge {
+   public:
+    void Set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+    void Max(std::int64_t v);  ///< monotone raise (peak tracking)
+    std::int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+   private:
+    std::atomic<std::int64_t> v_{0};
+  };
+
+  /// Sharded quantile histogram (constant memory, see util/stats.h).
+  class Hist {
+   public:
+    void Add(std::int64_t value);
+    /// Folds a whole pre-built histogram in (e.g. a driver's latency
+    /// histogram at end of run).
+    void Merge(const QuantileHistogram& other);
+    /// Snapshot of all shards merged.
+    QuantileHistogram Merged() const;
+
+   private:
+    struct alignas(64) Cell {
+      mutable std::mutex mu;
+      QuantileHistogram hist;
+    };
+    std::array<Cell, kShards> cells_;
+  };
+
+  /// Lookup-or-create by name; the returned reference stays valid for the
+  /// registry's lifetime. Takes the registry mutex — resolve once, not in
+  /// hot loops.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Hist& histogram(const std::string& name);
+
+  /// One JSON object, keys sorted: counters/gauges as integers, histograms
+  /// as {count, min, max, mean, p50, p95, p99}.
+  void WriteJson(JsonWriter& w) const;
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Hist>> hists_;
+};
+
+}  // namespace mdmesh

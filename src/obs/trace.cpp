@@ -35,6 +35,10 @@ Span::~Span() { Close(); }
 void Span::Record(const SpanStats& stats) {
   if (ctx_ == nullptr) return;
   ctx_->nodes_[node_].stats.Merge(stats);
+  // Advance the context's simulated-step clock: recorded steps (and charged
+  // local steps) extend the timeline, so the span's close stamps an
+  // end_steps that places the phase on the step axis.
+  ctx_->step_cursor_ += stats.steps + stats.local_steps;
 }
 
 void Span::RecordRouting(std::int64_t steps, std::int64_t moves,
@@ -69,29 +73,36 @@ void Span::Close() {
       break;
     }
   }
-  ctx->CloseNode(node_, ms);
+  ctx->CloseNode(node_, ms, now);
 }
 
-TraceContext::TraceContext() {
-  nodes_.push_back(Node{"", SpanStats{}, 0, {}});
+TraceContext::TraceContext() : origin_(std::chrono::steady_clock::now()) {
+  nodes_.push_back(Node{});
   open_.push_back(0);
-  open_start_.push_back(std::chrono::steady_clock::now());
+  open_start_.push_back(origin_);
 }
 
 Span TraceContext::Open(std::string name) {
   const std::size_t idx = nodes_.size();
+  const auto now = std::chrono::steady_clock::now();
   Node node;
   node.name = std::move(name);
   node.parent = open_.back();
+  node.begin_ms = std::chrono::duration<double, std::milli>(now - origin_).count();
+  node.begin_steps = step_cursor_;
   nodes_.push_back(std::move(node));
   nodes_[open_.back()].children.push_back(idx);
   open_.push_back(idx);
-  open_start_.push_back(std::chrono::steady_clock::now());
+  open_start_.push_back(now);
   return Span(this, idx);
 }
 
-void TraceContext::CloseNode(std::size_t node, double wall_ms) {
+void TraceContext::CloseNode(std::size_t node, double wall_ms,
+                             std::chrono::steady_clock::time_point now) {
   nodes_[node].stats.wall_ms += wall_ms;
+  nodes_[node].end_ms =
+      std::chrono::duration<double, std::milli>(now - origin_).count();
+  nodes_[node].end_steps = step_cursor_;
   // Well-nested RAII spans close in LIFO order; tolerate out-of-order
   // closes by popping through (inner spans were already abandoned).
   while (open_.size() > 1) {
@@ -177,6 +188,10 @@ void TraceContext::WriteNode(JsonWriter& w, std::size_t node) const {
   w.Key("max_queue").Int(n.stats.max_queue);
   w.Key("max_overshoot").Int(n.stats.max_overshoot);
   w.Key("wall_ms").Double(n.stats.wall_ms);
+  w.Key("begin_ms").Double(n.begin_ms);
+  w.Key("end_ms").Double(n.end_ms);
+  w.Key("begin_steps").Int(n.begin_steps);
+  w.Key("end_steps").Int(n.end_steps);
   if (!n.children.empty()) {
     w.Key("children").BeginArray();
     for (const std::size_t child : n.children) WriteNode(w, child);
@@ -202,9 +217,11 @@ void TraceContext::Clear() {
   nodes_.clear();
   open_.clear();
   open_start_.clear();
-  nodes_.push_back(Node{"", SpanStats{}, 0, {}});
+  origin_ = std::chrono::steady_clock::now();
+  step_cursor_ = 0;
+  nodes_.push_back(Node{});
   open_.push_back(0);
-  open_start_.push_back(std::chrono::steady_clock::now());
+  open_start_.push_back(origin_);
 }
 
 }  // namespace mdmesh

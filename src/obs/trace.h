@@ -78,6 +78,15 @@ class TraceContext {
     SpanStats stats;
     std::size_t parent = 0;  ///< index into nodes(); 0 is the virtual root
     std::vector<std::size_t> children;
+    /// Timeline placement: wall-clock offsets from context creation (ms,
+    /// stamped at Open/Close) and the simulated-step clock interval — the
+    /// context keeps a running step cursor that each span's recorded
+    /// steps + local_steps advance, so phases can be laid out on a
+    /// simulated time axis as well. end_ms < 0 means "still open".
+    double begin_ms = 0.0;
+    double end_ms = -1.0;
+    std::int64_t begin_steps = 0;
+    std::int64_t end_steps = 0;
   };
 
   TraceContext();
@@ -104,16 +113,25 @@ class TraceContext {
 
   /// Serializes the top-level spans as a JSON array of
   /// {name, steps, local_steps, moves, max_queue, max_overshoot, wall_ms,
-  ///  children:[...]} objects.
+  ///  begin_ms, end_ms, begin_steps, end_steps, children:[...]} objects.
   void WriteJson(JsonWriter& w) const;
   std::string ToJson() const;
 
   /// Drops all recorded spans (open spans must not outlive this).
   void Clear();
 
+  /// Simulated-step clock: total steps + local_steps recorded so far.
+  std::int64_t step_cursor() const { return step_cursor_; }
+
+  /// Wall-clock origin every node's begin_ms/end_ms is relative to —
+  /// timeline exporters align other clocks (e.g. thread-pool activity)
+  /// against it.
+  std::chrono::steady_clock::time_point origin() const { return origin_; }
+
  private:
   friend class Span;
-  void CloseNode(std::size_t node, double wall_ms);
+  void CloseNode(std::size_t node, double wall_ms,
+                 std::chrono::steady_clock::time_point now);
   /// Stats of `node` plus all descendants.
   SpanStats Rollup(std::size_t node) const;
   void WriteNode(JsonWriter& w, std::size_t node) const;
@@ -121,6 +139,8 @@ class TraceContext {
   std::vector<Node> nodes_;
   std::vector<std::size_t> open_;  ///< stack of open node indices; [0] = root
   std::vector<std::chrono::steady_clock::time_point> open_start_;
+  std::chrono::steady_clock::time_point origin_;  ///< context creation time
+  std::int64_t step_cursor_ = 0;  ///< simulated-step clock (steps + local)
 };
 
 }  // namespace mdmesh

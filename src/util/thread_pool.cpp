@@ -5,6 +5,49 @@
 
 namespace mdmesh {
 
+void ThreadPoolActivity::Clear() {
+  for (auto& lane : lanes_) lane.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void ThreadPoolActivity::EnsureLanes(std::size_t count) {
+  if (lanes_.size() < count) lanes_.resize(count);
+}
+
+void ThreadPoolActivity::Record(std::size_t lane, const Interval& iv) {
+  std::vector<Interval>& slot = lanes_[lane];
+  if (slot.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (slot.capacity() == 0) slot.reserve(capacity_);
+  slot.push_back(iv);
+}
+
+template <typename Body>
+void ThreadPool::RunLogged(std::size_t lane, std::int64_t begin,
+                           std::int64_t end, std::uint8_t stage,
+                           const Body& body) {
+  if (activity_ == nullptr) {
+    body();
+    return;
+  }
+  ThreadPoolActivity::Interval iv;
+  iv.begin = begin;
+  iv.end = end;
+  iv.stage = stage;
+  iv.t0 = std::chrono::steady_clock::now();
+  body();
+  iv.t1 = std::chrono::steady_clock::now();
+  activity_->Record(lane, iv);
+}
+
+void ThreadPool::set_activity(ThreadPoolActivity* activity) {
+  activity_ = activity;
+  // Lane 0 is the coordinator; pool workers append at index + 1.
+  if (activity_ != nullptr) activity_->EnsureLanes(threads_.size() + 1);
+}
+
 ThreadPool::ThreadPool(unsigned workers) {
   threads_.reserve(workers);
   for (unsigned i = 0; i < workers; ++i) {
@@ -32,7 +75,7 @@ void ThreadPool::ParallelFor(
     const std::function<void(std::int64_t, std::int64_t)>& fn) {
   if (count <= 0) return;
   if (ShardsFor(count) == 1) {
-    fn(0, count);
+    RunLogged(0, 0, count, 0, [&] { fn(0, count); });
     return;
   }
   {
@@ -54,8 +97,8 @@ void ThreadPool::ParallelForStaged(std::int64_t count, const StagedFn& stage1,
                                    const StagedFn& stage2) {
   if (count <= 0) return;
   if (ShardsFor(count) == 1) {
-    stage1(0, 0, count);
-    stage2(0, 0, count);
+    RunLogged(0, 0, count, 1, [&] { stage1(0, 0, count); });
+    RunLogged(0, 0, count, 2, [&] { stage2(0, 0, count); });
     return;
   }
   {
@@ -96,9 +139,14 @@ void ThreadPool::WorkerLoop(unsigned index) {
     const std::int64_t begin = std::min<std::int64_t>(count, chunk * index);
     const std::int64_t end = std::min<std::int64_t>(count, begin + chunk);
     if (fn != nullptr) {
-      if (begin < end) (*fn)(begin, end);
+      if (begin < end) {
+        RunLogged(index + 1, begin, end, 0, [&] { (*fn)(begin, end); });
+      }
     } else {
-      if (begin < end) (*stage1)(index, begin, end);
+      if (begin < end) {
+        RunLogged(index + 1, begin, end, 1,
+                  [&] { (*stage1)(index, begin, end); });
+      }
       // Internal barrier: every worker (empty shards included) arrives, the
       // last one releases the rest, and only then may stage2 read what
       // other shards' stage1 wrote.
@@ -110,7 +158,10 @@ void ThreadPool::WorkerLoop(unsigned index) {
           cv_barrier_.wait(lock, [this] { return barrier_remaining_ == 0; });
         }
       }
-      if (begin < end) (*stage2)(index, begin, end);
+      if (begin < end) {
+        RunLogged(index + 1, begin, end, 2,
+                  [&] { (*stage2)(index, begin, end); });
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -18,6 +18,8 @@
 // shard-interior sets that stay valid as long as the partition does.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -26,6 +28,41 @@
 #include <vector>
 
 namespace mdmesh {
+
+/// Bounded per-worker record of pool dispatch activity, for timeline export
+/// (obs/chrome_trace.h renders it as one Perfetto track per worker). Lane 0
+/// is the coordinator (serial-mode dispatches and too-small-to-shard loops
+/// run inline there); lanes 1..workers are the pool threads. Each worker
+/// appends to its own lane with no synchronization — attach/detach and
+/// reads must happen while the pool is quiescent (no dispatch in flight).
+/// When a lane fills up, further intervals are dropped (counted), so a
+/// million-step run cannot grow the log without bound.
+class ThreadPoolActivity {
+ public:
+  struct Interval {
+    std::chrono::steady_clock::time_point t0;
+    std::chrono::steady_clock::time_point t1;
+    std::int64_t begin = 0;   ///< item range [begin, end)
+    std::int64_t end = 0;
+    std::uint8_t stage = 0;   ///< 0 = ParallelFor; 1/2 = staged stages
+  };
+
+  explicit ThreadPoolActivity(std::size_t capacity_per_lane = 8192)
+      : capacity_(capacity_per_lane) {}
+
+  const std::vector<std::vector<Interval>>& lanes() const { return lanes_; }
+  std::int64_t dropped() const { return dropped_; }
+  void Clear();
+
+ private:
+  friend class ThreadPool;
+  void EnsureLanes(std::size_t count);
+  void Record(std::size_t lane, const Interval& iv);
+
+  std::size_t capacity_;
+  std::vector<std::vector<Interval>> lanes_;
+  std::atomic<std::int64_t> dropped_{0};
+};
 
 class ThreadPool {
  public:
@@ -62,11 +99,25 @@ class ThreadPool {
   void ParallelForStaged(std::int64_t count, const StagedFn& stage1,
                          const StagedFn& stage2);
 
+  /// Attaches (or detaches, with nullptr) an activity recorder. Every
+  /// subsequent dispatch logs one Interval per executed shard — including
+  /// serial/inline execution, which logs into lane 0. Call only while the
+  /// pool is quiescent; the recorder must outlive its attachment. A null
+  /// recorder (the default) costs one pointer check per dispatch, nothing
+  /// per item — the engine's zero-cost observability contract.
+  void set_activity(ThreadPoolActivity* activity);
+  ThreadPoolActivity* activity() const { return activity_; }
+
   /// Process-wide pool sized from MDMESH_THREADS (default: serial).
   static ThreadPool& Global();
 
  private:
   void WorkerLoop(unsigned index);
+  /// Runs `body()` and, when a recorder is attached, logs it as an Interval
+  /// on `lane`.
+  template <typename Body>
+  void RunLogged(std::size_t lane, std::int64_t begin, std::int64_t end,
+                 std::uint8_t stage, const Body& body);
 
   struct Job {
     const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
@@ -77,6 +128,7 @@ class ThreadPool {
   };
 
   std::vector<std::thread> threads_;
+  ThreadPoolActivity* activity_ = nullptr;
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_barrier_;

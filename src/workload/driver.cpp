@@ -127,6 +127,18 @@ WorkloadResult RunOpenLoop(const Topology& topo, const TrafficPattern& pattern,
   out.latency_p95 = lat.Quantile(0.95);
   out.latency_p99 = lat.Quantile(0.99);
   out.latency_max = lat.max();
+  // Driver-side metrics: whole-run offered/delivered totals plus the
+  // measured-window latency histogram, folded into the shared registry the
+  // engine already recorded its engine.* counters into.
+  if (opts.metrics != nullptr) {
+    MetricsRegistry& m = *opts.metrics;
+    m.counter("workload.offered").Add(out.offered);
+    m.counter("workload.delivered").Add(out.delivered);
+    m.counter("workload.measured_injected").Add(out.measured_injected);
+    m.counter("workload.measured_delivered").Add(out.measured_delivered);
+    m.counter("workload.unstable_runs").Add(out.stable ? 0 : 1);
+    m.histogram("workload.latency").Merge(lat);
+  }
   return out;
 }
 

@@ -138,12 +138,57 @@ TEST(OutputFlagsTest, RegisteredFlagsRoundTripThroughCli) {
   Cli cli("prog", "test program");
   AddOutputFlags(cli);
   const char* argv[] = {"prog", "--json=a.jsonl", "--trace-csv=b.csv",
-                        "--quick"};
-  ASSERT_TRUE(cli.Parse(4, argv));
+                        "--perfetto=c.json", "--quick"};
+  ASSERT_TRUE(cli.Parse(5, argv));
   OutputFlags flags = GetOutputFlags(cli);
   EXPECT_EQ(flags.json, "a.jsonl");
   EXPECT_EQ(flags.trace_csv, "b.csv");
+  EXPECT_EQ(flags.perfetto, "c.json");
+  EXPECT_TRUE(flags.WantsPerfetto());
   EXPECT_TRUE(flags.quick);
+}
+
+TEST(OutputFlagsTest, EveryValueFlagAcceptsEqualsAndSpaceForms) {
+  // The three value flags share one parse table; both accepted forms must
+  // behave identically for each of them.
+  struct Case {
+    const char* flag;
+    std::string OutputFlags::* member;
+  };
+  const Case cases[] = {
+      {"--json", &OutputFlags::json},
+      {"--trace-csv", &OutputFlags::trace_csv},
+      {"--perfetto", &OutputFlags::perfetto},
+  };
+  for (const Case& c : cases) {
+    {
+      ArgvFixture fx({"prog", std::string(c.flag) + "=out.path"});
+      OutputFlags flags = ParseOutputFlags(&fx.argc, fx.argv.data());
+      EXPECT_EQ(flags.*(c.member), "out.path") << c.flag << " (equals form)";
+      EXPECT_EQ(fx.argc, 1) << c.flag;
+    }
+    {
+      ArgvFixture fx({"prog", c.flag, "out.path"});
+      OutputFlags flags = ParseOutputFlags(&fx.argc, fx.argv.data());
+      EXPECT_EQ(flags.*(c.member), "out.path") << c.flag << " (space form)";
+      EXPECT_EQ(fx.argc, 1) << c.flag;
+    }
+  }
+}
+
+TEST(OutputFlagsTest, PerfettoExtractsAndCompactsArgv) {
+  ArgvFixture fx({"prog", "--perfetto", "t.json", "--benchmark_filter=NONE"});
+  OutputFlags flags = ParseOutputFlags(&fx.argc, fx.argv.data());
+  EXPECT_EQ(flags.perfetto, "t.json");
+  EXPECT_TRUE(flags.WantsPerfetto());
+  ASSERT_EQ(fx.argc, 2);
+  EXPECT_STREQ(fx.argv[1], "--benchmark_filter=NONE");
+}
+
+TEST(OutputFlagsDeathTest, TrailingValueFlagExitsWithStatus2) {
+  ArgvFixture fx({"prog", "--perfetto"});
+  EXPECT_EXIT(ParseOutputFlags(&fx.argc, fx.argv.data()),
+              ::testing::ExitedWithCode(2), "--perfetto requires a value");
 }
 
 }  // namespace

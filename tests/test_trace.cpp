@@ -30,6 +30,34 @@ TEST(JsonWriterTest, EscapesSpecialCharacters) {
   EXPECT_EQ(JsonEscape(std::string("nul\x01") + "x"), "nul\\u0001x");
 }
 
+TEST(JsonWriterTest, EscapesEveryControlCharacter) {
+  // All of U+0000..U+001F must come out as an escape — either a short form
+  // (\n, \t, ...) or \u00XX — never as a raw byte.
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string escaped =
+        JsonEscape(std::string(1, static_cast<char>(c)));
+    ASSERT_FALSE(escaped.empty()) << "control char " << c;
+    EXPECT_EQ(escaped[0], '\\') << "control char " << c;
+    for (char out : escaped) {
+      EXPECT_GE(static_cast<unsigned char>(out), 0x20u)
+          << "raw control byte leaked for char " << c;
+    }
+  }
+}
+
+TEST(JsonWriterTest, MultiByteUtf8PassesThroughUnchanged) {
+  // JsonEscape must treat bytes >= 0x80 as opaque payload: 2-, 3-, and
+  // 4-byte UTF-8 sequences survive byte-for-byte.
+  const std::string two_byte = "caf\xc3\xa9";              // é
+  const std::string three_byte = "\xe6\xa1\x81";           // 桁
+  const std::string four_byte = "\xf0\x9f\x94\xa5 hot";    // 🔥
+  EXPECT_EQ(JsonEscape(two_byte), two_byte);
+  EXPECT_EQ(JsonEscape(three_byte), three_byte);
+  EXPECT_EQ(JsonEscape(four_byte), four_byte);
+  // Mixed: escapes around multi-byte text leave the UTF-8 alone.
+  EXPECT_EQ(JsonEscape("\"\xc3\xa9\\"), "\\\"\xc3\xa9\\\\");
+}
+
 TEST(JsonWriterTest, WritesNestedStructureWithCommas) {
   std::ostringstream os;
   JsonWriter w(os);
@@ -129,6 +157,76 @@ TEST(TraceTest, CloseIsIdempotentAndStampsWallClock) {
   span.Close();
   span.Close();  // second close must be a no-op
   EXPECT_GE(ctx.nodes()[1].stats.wall_ms, 0.0);
+}
+
+TEST(TraceTest, SpansCarryWallClockBeginEndTimestamps) {
+  TraceContext ctx;
+  {
+    Span outer = ctx.Open("outer");
+    Span inner = ctx.Open("inner");
+  }
+  const auto& nodes = ctx.nodes();
+  ASSERT_EQ(nodes.size(), 3u);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_GE(nodes[i].begin_ms, 0.0);
+    EXPECT_GE(nodes[i].end_ms, nodes[i].begin_ms);
+  }
+  // The child opened after and closed before its parent.
+  EXPECT_LE(nodes[1].begin_ms, nodes[2].begin_ms);
+  EXPECT_GE(nodes[1].end_ms, nodes[2].end_ms);
+}
+
+TEST(TraceTest, OpenSpanHasNegativeEndUntilClosed) {
+  TraceContext ctx;
+  Span span = ctx.Open("phase");
+  EXPECT_LT(ctx.nodes()[1].end_ms, 0.0);  // still open
+  span.Close();
+  EXPECT_GE(ctx.nodes()[1].end_ms, 0.0);
+}
+
+TEST(TraceTest, StepClockAdvancesWithRecordedSteps) {
+  TraceContext ctx;
+  EXPECT_EQ(ctx.step_cursor(), 0);
+  {
+    Span a = ctx.Open("a");
+    a.RecordRouting(40, 400, 4, 0);
+  }
+  EXPECT_EQ(ctx.step_cursor(), 40);
+  {
+    Span b = ctx.Open("b");
+    b.RecordLocal(5, 2);
+    b.RecordRouting(10, 30, 2, 0);
+  }
+  EXPECT_EQ(ctx.step_cursor(), 55);  // 40 + 5 local + 10 routing
+  const auto& nodes = ctx.nodes();
+  // Span extents on the step axis: [0,40) for a, [40,55) for b.
+  EXPECT_EQ(nodes[1].begin_steps, 0);
+  EXPECT_EQ(nodes[1].end_steps, 40);
+  EXPECT_EQ(nodes[2].begin_steps, 40);
+  EXPECT_EQ(nodes[2].end_steps, 55);
+}
+
+TEST(TraceTest, ToJsonIncludesTimestampKeys) {
+  TraceContext ctx;
+  {
+    Span span = ctx.Open("phase");
+    span.RecordRouting(10, 100, 3, 0);
+  }
+  const std::string json = ctx.ToJson();
+  EXPECT_NE(json.find("\"begin_ms\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"end_ms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"begin_steps\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"end_steps\":10"), std::string::npos);
+}
+
+TEST(TraceTest, ClearResetsStepCursor) {
+  TraceContext ctx;
+  {
+    Span span = ctx.Open("phase");
+    span.RecordRouting(10, 100, 3, 0);
+  }
+  ctx.Clear();
+  EXPECT_EQ(ctx.step_cursor(), 0);
 }
 
 TEST(TraceTest, RenderTreeShowsNamesAndStepsOverD) {

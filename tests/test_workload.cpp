@@ -12,6 +12,8 @@
 
 #include "net/engine.h"
 #include "net/network.h"
+#include "obs/probe.h"
+#include "obs/registry.h"
 #include "routing/permutations.h"
 #include "util/thread_pool.h"
 #include "workload/driver.h"
@@ -228,6 +230,68 @@ TEST(OpenLoop, DeterministicAcrossThreadsAndModes) {
           << " workers=" << pool->workers();
     }
   }
+}
+
+// The zero-cost observability contract: attaching every timeline sink at
+// once — congestion probe, metrics registry, thread-pool activity log —
+// must leave the delivery trace byte-identical to the bare run.
+TEST(OpenLoop, ObservabilitySinksDoNotPerturbDeliveries) {
+  Topology topo(3, 6, Wrap::kMesh);
+  TrafficPattern pat(topo, PatternKind::kTranspose, 21);
+  DriverOptions dopts;
+  dopts.rate = 0.08;
+  dopts.warmup_steps = 20;
+  dopts.measure_steps = 60;
+  dopts.drain = true;
+  dopts.seed = 7;
+
+  ThreadPool pool(2);
+  RunTrace bare;
+  {
+    OpenLoopInjector inner(topo, pat, dopts);
+    RecordingInjector rec(&inner, &bare);
+    EngineOptions eopts;
+    eopts.pool = &pool;
+    eopts.injector = &rec;
+    Engine engine(topo, eopts);
+    Network net(topo);
+    bare.result.route = engine.Route(net);
+    bare.result.offered = inner.offered();
+    bare.result.delivered = inner.delivered();
+    bare.result.latency_count = inner.latency().count();
+    bare.result.latency_p99 = inner.latency().Quantile(0.99);
+  }
+  ASSERT_GT(bare.result.delivered, 0);
+
+  RunTrace instrumented;
+  CongestionTrace probe;
+  MetricsRegistry metrics;
+  ThreadPoolActivity activity;
+  {
+    OpenLoopInjector inner(topo, pat, dopts);
+    RecordingInjector rec(&inner, &instrumented);
+    EngineOptions eopts;
+    eopts.pool = &pool;
+    eopts.injector = &rec;
+    eopts.probe = &probe;
+    eopts.metrics = &metrics;
+    pool.set_activity(&activity);
+    Engine engine(topo, eopts);
+    Network net(topo);
+    instrumented.result.route = engine.Route(net);
+    pool.set_activity(nullptr);
+    instrumented.result.offered = inner.offered();
+    instrumented.result.delivered = inner.delivered();
+    instrumented.result.latency_count = inner.latency().count();
+    instrumented.result.latency_p99 = inner.latency().Quantile(0.99);
+  }
+
+  EXPECT_TRUE(bare == instrumented);
+  // ...and the sinks actually observed the run.
+  EXPECT_FALSE(probe.samples().empty());
+  EXPECT_EQ(metrics.counter("engine.routes").Total(), 1);
+  EXPECT_EQ(metrics.counter("engine.steps").Total(),
+            instrumented.result.route.steps);
 }
 
 TEST(OpenLoop, DrainedRunConservesPackets) {
