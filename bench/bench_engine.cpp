@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
 #include <sstream>
 #include <string>
 
@@ -135,6 +136,11 @@ void WritePerfettoTrace(const OutputFlags& flags) {
   ThreadPoolActivity activity;
   pool.set_activity(&activity);
   TraceContext ctx;
+  // --perf: phase spans carry hardware-counter deltas, which the Chrome
+  // trace exports as span args (visible in the Perfetto UI).
+  if (flags.perf && !ctx.EnablePerfCounters()) {
+    std::fprintf(stderr, "bench_engine --perf: %s\n", ctx.perf_error().c_str());
+  }
   CongestionTrace trace;
   MetricsRegistry metrics;
   TwoPhaseOptions opts;
@@ -155,6 +161,56 @@ void WritePerfettoTrace(const OutputFlags& flags) {
   writer.AddWorkerActivity(activity);
   pool.set_activity(nullptr);
   writer.WriteFile(flags.perfetto);
+}
+
+// E24: per-phase hardware profile — one instrumented two-phase run per
+// spec with perf_event_open counters scoped to each phase span. Emits one
+// phase_perf record per span: steps, wall time, and (when the kernel
+// grants counters) cycles / instructions / IPC / cache and branch misses.
+// The wall-clock regression guard ignores these records — they carry no
+// packet_steps_per_sec.
+void EmitPhasePerf(BenchJson& json, const MeshSpec& spec) {
+  Topology topo = spec.Build();
+  const std::vector<ProcId> dest = ReversalPermutation(topo);
+  TraceContext ctx;
+  if (!ctx.EnablePerfCounters()) {
+    std::fprintf(stderr, "bench_engine --perf: %s\n", ctx.perf_error().c_str());
+  }
+  TwoPhaseOptions opts;
+  opts.g = spec.d == 2 ? 8 : 4;
+  opts.seed = 99;
+  opts.trace = &ctx;
+  RouteTwoPhase(topo, dest, opts);
+  for (std::size_t i = 1; i < ctx.nodes().size(); ++i) {
+    const TraceContext::Node& n = ctx.nodes()[i];
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.BeginObject();
+    w.Key("experiment").String("phase_perf");
+    w.Key("spec").BeginObject();
+    w.Key("d").Int(spec.d);
+    w.Key("n").Int(spec.n);
+    w.Key("wrap").String(spec.wrap == Wrap::kTorus ? "torus" : "mesh");
+    w.EndObject();
+    w.Key("phase").String(n.name);
+    w.Key("top_level").Bool(n.parent == 0);
+    w.Key("steps").Int(n.stats.steps);
+    w.Key("moves").Int(n.stats.moves);
+    w.Key("wall_ms").Double(n.end_ms >= 0.0 ? n.end_ms - n.begin_ms : 0.0);
+    if (n.perf.cycles >= 0) w.Key("cycles").Int(n.perf.cycles);
+    if (n.perf.instructions >= 0) {
+      w.Key("instructions").Int(n.perf.instructions);
+    }
+    if (n.perf.ipc() >= 0.0) w.Key("ipc").Double(n.perf.ipc());
+    if (n.perf.cache_misses >= 0) {
+      w.Key("cache_misses").Int(n.perf.cache_misses);
+    }
+    if (n.perf.branch_misses >= 0) {
+      w.Key("branch_misses").Int(n.perf.branch_misses);
+    }
+    w.EndObject();
+    json.AddRaw(os.str());
+  }
 }
 
 // E21 wall-clock records, keyed (workload, spec, mode): min-of-reps wall
@@ -184,6 +240,14 @@ void WriteThroughputJson(const OutputFlags& flags) {
   for (const MeshSpec& spec : loaded_specs) {
     for (const char* mode : {"dense", "sparse"}) {
       EmitWallRecord(json, RunLoadedRoute(spec, mode, reps));
+    }
+  }
+  // --perf --json: append the E24 per-phase hardware records for the 2D
+  // and 3D routing pipelines.
+  if (flags.perf) {
+    for (const MeshSpec& spec :
+         {MeshSpec{2, 64, Wrap::kMesh}, MeshSpec{3, 16, Wrap::kMesh}}) {
+      EmitPhasePerf(json, spec);
     }
   }
   json.WriteFile(flags.json);

@@ -11,6 +11,12 @@
 //   $ ./resilience_demo --d=3 --n=8 --node-pm=30 --seed=7  # 3% dead nodes
 //   $ ./resilience_demo --d=2 --n=32 --flap-pm=50          # transient flaps
 //   $ ./resilience_demo --link-pm=500 --stall-window=32    # likely stall
+//
+// With --flight-recorder=PATH the engine keeps a black-box ring of recent
+// step records and dumps it to PATH when the watchdog fires, the step cap
+// hits, an invariant trips, or the process takes SIGINT/SIGTERM — the last
+// records of a stalled run, ready for postmortem. --progress adds a stderr
+// heartbeat.
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -51,6 +57,10 @@ int main(int argc, char** argv) {
   cli.AddInt("node-pm", 0, "dead processors, per mille");
   cli.AddInt("flap-pm", 0, "flapping links, per mille");
   cli.AddInt("seed", 1, "seed for both the FaultPlan and the permutation");
+  cli.AddInt("isolate", -1,
+             "surgically kill every link around this processor; its "
+             "outbound packet freezes and the watchdog fires once the "
+             "rest deliver (guaranteed-stall demo)");
   cli.AddInt("stall-window", 0,
              "watchdog window in steps (0 = auto, negative disables)");
   cli.AddBool("invariants", false, "run the per-step invariant checker");
@@ -69,6 +79,25 @@ int main(int argc, char** argv) {
   fs.node_rate = static_cast<double>(cli.GetInt("node-pm")) / 1000.0;
   fs.flap_rate = static_cast<double>(cli.GetInt("flap-pm")) / 1000.0;
   FaultPlan plan = FaultPlan::Random(topo, fs, seed);
+  const std::int64_t isolate = cli.GetInt("isolate");
+  if (isolate >= topo.size()) {
+    std::fprintf(stderr, "--isolate=%lld out of range (size %lld)\n",
+                 static_cast<long long>(isolate),
+                 static_cast<long long>(topo.size()));
+    return 2;
+  }
+  if (isolate >= 0) {
+    // Sever the processor from the network but leave it alive: random
+    // link faults make packets bounce (obstacle-following counts as
+    // progress), whereas a fully severed proc's packet cannot move at
+    // all, so this is the one configuration that reliably trips the
+    // no-progress watchdog rather than burning to the step cap.
+    for (int dim = 0; dim < spec.d; ++dim) {
+      for (int dir = 0; dir < 2; ++dir) {
+        plan.KillLinkPair(static_cast<ProcId>(isolate), dim, dir);
+      }
+    }
+  }
   const bool connected = plan.Connected();
 
   std::printf("%s, seed %llu: %lld dead links, %lld dead nodes, %zu flaps\n",
@@ -93,7 +122,11 @@ int main(int argc, char** argv) {
     net.Add(p, pkt);
   }
   const std::int64_t erased = net.EraseIf([&](ProcId p, const Packet& pkt) {
-    return plan.NodeDead(p) || plan.NodeDead(pkt.dest);
+    // Packets aimed at a severed processor can never arrive and would
+    // bounce around its neighborhood forever; drop them like dead-node
+    // traffic. The severed proc's own outbound packet stays — frozen.
+    return plan.NodeDead(p) || plan.NodeDead(pkt.dest) ||
+           (isolate >= 0 && pkt.dest == isolate && p != pkt.dest);
   });
   const std::int64_t reassigned = ReassignClassesForFaults(net, plan);
   if (erased > 0 || reassigned > 0) {
@@ -108,12 +141,22 @@ int main(int argc, char** argv) {
   opts.stall_window = cli.GetInt("stall-window");
   opts.invariants =
       cli.GetBool("invariants") ? InvariantMode::kOn : InvariantMode::kAuto;
+  FlightRecorder recorder;
+  if (out.WantsFlightRecorder()) {
+    recorder.set_dump_path(out.flight_recorder);
+    FlightRecorder::InstallSignalHandlers();
+    opts.recorder = &recorder;
+  }
+  ProgressMeter meter(/*step_cap=*/0, /*interval_ms=*/500, out.progress);
   std::vector<std::int64_t> in_flight_series;
-  opts.observer = [&](std::int64_t, std::int64_t in_flight, std::int64_t) {
+  opts.observer = [&](std::int64_t step, std::int64_t in_flight,
+                      std::int64_t arrivals) {
     in_flight_series.push_back(in_flight);
+    meter.Step(step, in_flight, arrivals);
   };
   Engine engine(topo, opts);
   RouteResult r = engine.Route(net);
+  meter.Finish();
 
   const auto D = static_cast<double>(topo.Diameter());
   if (r.completed) {

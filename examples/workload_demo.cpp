@@ -7,6 +7,14 @@
 //   $ ./workload_demo --d=3 --n=8 --pattern=uniform --rate-pm=100
 //   $ ./workload_demo --d=2 --n=16 --pattern=bitrev --rate-pm=400
 //   $ ./workload_demo --d=2 --n=16 --pattern=hotspot --saturate
+//
+// Live monitoring: --metrics-port serves Prometheus text at
+// 127.0.0.1:PORT/metrics while the run executes (plus /status JSON),
+// --status-file writes the same snapshot to disk on a cadence,
+// --progress prints a stderr heartbeat, --flight-recorder arms the
+// engine's black-box, and --perf adds hardware counters to the phase span:
+//
+//   $ ./workload_demo --n=32 --measure=50000 --metrics-port=9464 --progress
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -81,17 +89,78 @@ int main(int argc, char** argv) {
   EngineOptions eopts;
   if (out.WantsPerfetto()) {
     eopts.probe = &trace;
-    eopts.metrics = &metrics;
     ThreadPool::Global().set_activity(&activity);
   }
+  if (out.WantsPerfetto() || out.WantsPublisher()) eopts.metrics = &metrics;
+  if (out.perf && !ctx.EnablePerfCounters()) {
+    std::fprintf(stderr, "--perf: %s\n", ctx.perf_error().c_str());
+  }
+
+  // Black box: --flight-recorder arms the constant-memory step ring and the
+  // SIGINT/SIGTERM dump, so even a ^C'd run leaves a forensic artifact.
+  FlightRecorder recorder;
+  if (out.WantsFlightRecorder()) {
+    recorder.set_dump_path(out.flight_recorder);
+    FlightRecorder::InstallSignalHandlers();
+    eopts.recorder = &recorder;
+  }
+
+  // Live telemetry: the engine folds its totals into the registry only at
+  // the end of Route, so an observer keeps per-step gauges fresh for
+  // mid-run scrapes; the same hook drives the stderr heartbeat.
+  ProgressMeter meter(/*step_cap=*/0, /*interval_ms=*/500, out.progress);
+  if (out.progress || out.WantsPublisher()) {
+    MetricsRegistry* live = eopts.metrics;
+    ProgressMeter* heartbeat = &meter;
+    if (live != nullptr) {
+      // Register the live gauges up front so the very first scrape of the
+      // endpoint already sees them (at zero) rather than a missing family.
+      live->gauge("engine.live.step").Set(0);
+      live->gauge("engine.live.in_flight").Set(0);
+      live->counter("engine.live.arrivals");
+    }
+    eopts.observer = [live, heartbeat](std::int64_t step,
+                                       std::int64_t in_flight,
+                                       std::int64_t arrivals) {
+      if (live != nullptr) {
+        live->gauge("engine.live.step").Set(step);
+        live->gauge("engine.live.in_flight").Set(in_flight);
+        live->counter("engine.live.arrivals").Add(arrivals);
+      }
+      heartbeat->Step(step, in_flight, arrivals);
+    };
+  }
+
+  RunManifest pub_manifest = MakeRunManifest(topo, eopts);
+  pub_manifest.seed = dopts.seed;
+  pub_manifest.binary = "workload_demo";
+  MetricsPublisher publisher;
+  if (out.WantsPublisher()) {
+    MetricsPublisher::Options popts;
+    popts.registry = &metrics;
+    popts.port = static_cast<int>(out.metrics_port);
+    popts.status_file = out.status_file;
+    popts.manifest = &pub_manifest;
+    if (!publisher.Start(popts)) {
+      std::fprintf(stderr, "failed to start the metrics publisher\n");
+      return 1;
+    }
+    if (publisher.port() > 0) {
+      std::fprintf(stderr, "serving http://127.0.0.1:%d/metrics\n",
+                   publisher.port());
+    }
+  }
+
   WorkloadResult r;
   {
     Span span = TraceContext::OpenIf(
-        out.WantsPerfetto() ? &ctx : nullptr,
+        out.WantsPerfetto() || out.perf ? &ctx : nullptr,
         std::string("open_loop_") + pattern.name());
     r = RunOpenLoop(topo, pattern, dopts, eopts);
     r.route.RecordTo(span);
   }
+  publisher.Stop();
+  meter.Finish();
   if (out.WantsPerfetto()) {
     ThreadPool::Global().set_activity(nullptr);
     RunManifest manifest = MakeRunManifest(topo, eopts);
@@ -102,6 +171,15 @@ int main(int argc, char** argv) {
     writer.AddCounters(trace);
     writer.AddWorkerActivity(activity);
     writer.WriteFile(out.perfetto);
+  }
+  if (out.perf && ctx.perf_enabled() && ctx.nodes().size() > 1) {
+    const PerfSample& p = ctx.nodes()[1].perf;
+    std::printf("perf: cycles %lld  instructions %lld  ipc %.2f  "
+                "cache-misses %lld  branch-misses %lld\n",
+                static_cast<long long>(p.cycles),
+                static_cast<long long>(p.instructions), p.ipc(),
+                static_cast<long long>(p.cache_misses),
+                static_cast<long long>(p.branch_misses));
   }
   std::printf("%s, pattern %s, rate %.3f over %lld+%lld steps%s\n",
               spec.ToString().c_str(), pattern.name(), dopts.rate,

@@ -23,9 +23,23 @@ required ph/ts/pid/tid fields on every event, matched B/E pairs per
 (pid, tid) track, non-negative durations on X events, and (optionally) a
 minimum number of distinct counter tracks.
 
+The validate-prom subcommand checks a Prometheus text-exposition body
+(as scraped from the live --metrics-port endpoint): every line is a
+`# TYPE` comment or a sample with a legal metric name and a numeric
+value, every sample's family is declared, and --require names must be
+present.
+
+The validate-flight subcommand checks a --flight-recorder black-box dump:
+embedded run manifest, abort reason, ring accounting
+(total_records = dropped + len(records)), strictly increasing step
+cursors, and the headline step matching the final record —
+--expect-reason pins the abort cause CI forced.
+
 Usage:
     check_perf_regression.py BASELINE CANDIDATE [--factor 2.0]
     check_perf_regression.py validate-trace TRACE [--min-counter-tracks N]
+    check_perf_regression.py validate-prom TEXT [--require NAME ...]
+    check_perf_regression.py validate-flight DUMP [--expect-reason R]
 
 Exit status: 0 when every check holds, 1 on any regression, missing key,
 or schema violation. Stdlib only.
@@ -33,6 +47,7 @@ or schema violation. Stdlib only.
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -152,9 +167,168 @@ def validate_trace(argv):
     )
 
 
+PROM_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def validate_prom(argv):
+    ap = argparse.ArgumentParser(
+        prog="check_perf_regression.py validate-prom",
+        description="Check a Prometheus text-exposition body.",
+    )
+    ap.add_argument("text", help="file holding the scraped /metrics body")
+    ap.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="metric name that must appear as a sample (repeatable)",
+    )
+    args = ap.parse_args(argv)
+
+    with open(args.text) as f:
+        lines = f.read().splitlines()
+
+    problems = []
+    declared = set()  # families introduced by # TYPE
+    sampled = set()  # metric names that actually carry a sample
+    samples = 0
+    for i, line in enumerate(lines, start=1):
+        if not line.strip():
+            problems.append(f"line {i}: blank line in exposition")
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "TYPE":
+                problems.append(f"line {i}: comment is not '# TYPE name kind'")
+            elif parts[3] not in ("counter", "gauge", "summary", "histogram"):
+                problems.append(f"line {i}: unknown metric kind {parts[3]!r}")
+            else:
+                declared.add(parts[2])
+            continue
+        sp = line.rfind(" ")
+        if sp < 0:
+            problems.append(f"line {i}: sample without a value: {line!r}")
+            continue
+        name = line[:sp].split("{", 1)[0]
+        if not PROM_NAME.match(name):
+            problems.append(f"line {i}: illegal metric name {name!r}")
+            continue
+        try:
+            float(line[sp + 1 :])
+        except ValueError:
+            problems.append(f"line {i}: non-numeric value: {line!r}")
+            continue
+        # Summary samples belong to the family without the _count/_sum
+        # suffix; plain counters and gauges are their own family.
+        family = name
+        for suffix in ("_count", "_sum"):
+            if family.endswith(suffix) and family[: -len(suffix)] in declared:
+                family = family[: -len(suffix)]
+        if family not in declared:
+            problems.append(f"line {i}: sample {name!r} has no # TYPE")
+        sampled.add(name)
+        sampled.add(family)
+        samples += 1
+
+    if samples == 0:
+        problems.append("no samples in exposition")
+    for name in args.require:
+        if name not in sampled:
+            problems.append(f"required metric {name!r} missing")
+
+    if problems:
+        for p in problems:
+            print(f"  FAIL  {p}")
+        sys.exit(f"{args.text}: {len(problems)} exposition problem(s)")
+    print(
+        f"{args.text}: {samples} sample(s) across {len(declared)} "
+        f"declared famil(ies) ok"
+    )
+
+
+def validate_flight(argv):
+    ap = argparse.ArgumentParser(
+        prog="check_perf_regression.py validate-flight",
+        description="Check a --flight-recorder black-box dump.",
+    )
+    ap.add_argument("dump", help="flight-recorder JSON artifact")
+    ap.add_argument(
+        "--expect-reason",
+        help="require this abort reason (watchdog, step_cap, interrupt, "
+        "invariant_failure)",
+    )
+    args = ap.parse_args(argv)
+
+    with open(args.dump) as f:
+        data = json.load(f)
+
+    problems = []
+    if not isinstance(data.get("manifest"), dict):
+        problems.append("missing embedded run manifest")
+    reason = data.get("reason")
+    if not isinstance(reason, str) or not reason:
+        problems.append("missing abort reason")
+    if args.expect_reason and reason != args.expect_reason:
+        problems.append(
+            f"reason {reason!r}, expected {args.expect_reason!r}"
+        )
+    records = data.get("records")
+    if not isinstance(records, list) or not records:
+        problems.append("records must be a non-empty array")
+        records = []
+    total = data.get("total_records", -1)
+    dropped = data.get("dropped", -1)
+    if records and total != dropped + len(records):
+        problems.append(
+            f"ring accounting broken: total_records {total} != "
+            f"dropped {dropped} + {len(records)} retained"
+        )
+    prev_step = None
+    for i, rec in enumerate(records):
+        missing = [
+            k
+            for k in ("step", "in_flight", "arrivals", "moves", "injected",
+                      "queue_max")
+            if k not in rec
+        ]
+        if missing:
+            problems.append(f"record {i} missing {missing}: {rec}")
+            continue
+        if prev_step is not None and rec["step"] <= prev_step:
+            problems.append(
+                f"record {i}: step {rec['step']} not after {prev_step}"
+            )
+        prev_step = rec["step"]
+        if "dir_moves" in rec and sum(rec["dir_moves"]) != rec["moves"]:
+            problems.append(
+                f"record {i}: dir_moves sum != moves: {rec}"
+            )
+    if records and data.get("step") != records[-1]["step"]:
+        problems.append(
+            f"headline step {data.get('step')} != final record step "
+            f"{records[-1]['step']}"
+        )
+
+    if problems:
+        for p in problems:
+            print(f"  FAIL  {p}")
+        sys.exit(f"{args.dump}: {len(problems)} dump problem(s)")
+    print(
+        f"{args.dump}: {len(records)} record(s) ok "
+        f"(reason {reason}, {dropped} dropped, final step "
+        f"{records[-1]['step'] if records else '?'})"
+    )
+
+
 def main():
     if len(sys.argv) > 1 and sys.argv[1] == "validate-trace":
         validate_trace(sys.argv[2:])
+        return
+    if len(sys.argv) > 1 and sys.argv[1] == "validate-prom":
+        validate_prom(sys.argv[2:])
+        return
+    if len(sys.argv) > 1 and sys.argv[1] == "validate-flight":
+        validate_flight(sys.argv[2:])
         return
 
     ap = argparse.ArgumentParser(description=__doc__)

@@ -15,10 +15,13 @@
 // Observability: phase-span traces, per-step probes, JSON/CSV/Chrome-trace
 // sinks, metrics registry, run manifests.
 #include "obs/chrome_trace.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/manifest.h"
 #include "obs/output.h"
+#include "obs/perf_counters.h"
 #include "obs/probe.h"
+#include "obs/publisher.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 

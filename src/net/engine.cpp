@@ -845,6 +845,11 @@ std::shared_ptr<StallReport> Engine::BuildStallReport(
   report->reason = reason;
   report->step = step;
   report->no_progress_steps = no_progress;
+  if (opts_.recorder != nullptr) {
+    // Embed the per-step history leading into the abort, so a watchdog
+    // report is diagnosable without rerunning under a probe.
+    report->recent = opts_.recorder->Tail(StallReport::kRecentCap);
+  }
   const bool torus = topo_->torus();
   for (ProcId p = 0; p < topo_->size(); ++p) {
     for (const Packet& pkt : net.At(p)) {
@@ -978,8 +983,14 @@ RouteResult Engine::Route(Network& net) {
   // entirely behind this one null check — an unobserved run never touches
   // dir_moves again.
   StepProbe* const probe = opts_.probe;
-  const bool count_dirs = probe != nullptr;
-  const bool want_hist = count_dirs && probe->WantsQueueHistogram();
+  // The flight recorder shares the probe's per-dimension move counters and
+  // stamps this engine's manifest so a mid-run dump is self-describing.
+  static_assert(FlightRecord::kMaxDims >= kMaxDim,
+                "FlightRecord must cover every topology dimension");
+  FlightRecorder* const recorder = opts_.recorder;
+  if (recorder != nullptr) recorder->set_manifest(*manifest_);
+  const bool count_dirs = probe != nullptr || recorder != nullptr;
+  const bool want_hist = probe != nullptr && probe->WantsQueueHistogram();
   const std::size_t nshards = std::max<std::size_t>(1, opts_.pool->workers());
   if (scratch_.size() != nshards) scratch_.resize(nshards);
   for (WorkerScratch& s : scratch_) {
@@ -1062,8 +1073,10 @@ RouteResult Engine::Route(Network& net) {
     return {step_arrivals, step_moves};
   };
 
-  // Observer, probe, and watchdog for one completed step; returns true when
-  // the watchdog aborts the run.
+  // Observer, probe, flight recorder, interrupt poll, and watchdog for one
+  // completed step; returns true when the run must abort (watchdog stall or
+  // a pending SIGINT/SIGTERM — `interrupted` tells them apart).
+  bool interrupted = false;
   const auto emit_step = [&](std::int64_t st, std::int64_t step_arrivals,
                              std::int64_t step_moves, bool fault_event,
                              std::int64_t active_procs,
@@ -1073,12 +1086,37 @@ RouteResult Engine::Route(Network& net) {
     if (opts_.observer) {
       opts_.observer(st, in_flight - arrivals_total, step_arrivals);
     }
-    if (probe != nullptr) {
+    if (count_dirs) {
       for (std::size_t i = 0; i < links; ++i) {
         std::int64_t v = 0;
         for (const WorkerScratch& s : scratch_) v += s.dir_moves[i];
         dir_moves_snapshot[i] = v;
       }
+    }
+    if (recorder != nullptr) {
+      FlightRecord rec;
+      rec.step = st;
+      rec.in_flight = in_flight - arrivals_total;
+      rec.arrivals = step_arrivals;
+      rec.moves = step_moves;
+      rec.injected = step_injected;
+      rec.active_procs = active_procs;
+      std::int64_t step_qmax = 0;
+      for (const WorkerScratch& s : scratch_) {
+        step_qmax = std::max(step_qmax, s.qmax);
+      }
+      rec.queue_max = step_qmax;
+      rec.dims = d_;
+      for (std::size_t i = 0; i < links; ++i) {
+        rec.dir_moves[i] = dir_moves_snapshot[i];
+      }
+      recorder->Append(rec);
+      if (FlightRecorder::InterruptRequested()) {
+        interrupted = true;
+        return true;
+      }
+    }
+    if (probe != nullptr) {
       StepSnapshot snap;
       snap.step = st;
       snap.in_flight = in_flight - arrivals_total;
@@ -1263,7 +1301,14 @@ RouteResult Engine::Route(Network& net) {
         active_valid = false;
         DenseStep(net, step, now, count_dirs, checker.get());
       }
-      checker->CheckStep(net, step);
+      try {
+        checker->CheckStep(net, step);
+      } catch (...) {
+        // Invariant violations throw; the black box must hit disk before
+        // the exception unwinds past the engine.
+        if (recorder != nullptr) recorder->Dump("invariant_failure");
+        throw;
+      }
       const auto [step_arrivals, step_moves] = reduce_scratch();
       if (emit_step(step, step_arrivals, step_moves, fault_event,
                     use_sparse ? static_cast<std::int64_t>(active_.size())
@@ -1497,10 +1542,19 @@ RouteResult Engine::Route(Network& net) {
   if (!result.completed && !injector_stopped) {
     // A kStop verdict is a requested early exit, not a stall — the leftover
     // backlog is expected (completed stays false, no report).
-    result.stall_report = BuildStallReport(
-        net, watchdog_fired ? StallReason::kWatchdog : StallReason::kStepCap,
-        step, no_progress);
+    const StallReason reason = interrupted     ? StallReason::kInterrupt
+                               : watchdog_fired ? StallReason::kWatchdog
+                                                : StallReason::kStepCap;
+    result.stall_report = BuildStallReport(net, reason, step, no_progress);
+    // The black box dumps on every abort path; with no dump path set this
+    // is a no-op (the report already embeds the ring's tail).
+    if (recorder != nullptr) {
+      recorder->Dump(result.stall_report->ReasonName());
+    }
   }
+  // Consume the interrupt so a later Route (tests, multi-phase campaigns)
+  // does not abort instantly on the stale flag.
+  if (interrupted) FlightRecorder::ClearInterrupt();
 
   // Overshoot statistics. Injector runs accumulate per-packet overshoot at
   // retirement instead (their final queues hold only undelivered packets).
@@ -1532,9 +1586,8 @@ RouteResult Engine::Route(Network& net) {
     m.gauge("engine.peak_active_procs").Max(result.peak_active_procs);
     m.histogram("engine.route_steps").Add(result.steps);
     if (result.stall_report != nullptr) {
-      m.counter(result.stall_report->reason == StallReason::kWatchdog
-                    ? "engine.stall.watchdog"
-                    : "engine.stall.step_cap")
+      m.counter(std::string("engine.stall.") +
+                result.stall_report->ReasonName())
           .Increment();
     }
   }

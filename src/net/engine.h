@@ -83,6 +83,7 @@
 #include "net/invariants.h"
 #include "net/metrics.h"
 #include "net/network.h"
+#include "obs/flight_recorder.h"
 #include "obs/probe.h"
 #include "obs/registry.h"
 #include "util/thread_pool.h"
@@ -208,6 +209,16 @@ struct EngineOptions {
   /// Route, never per step, so the hot loop is untouched; null costs one
   /// pointer check per call.
   MetricsRegistry* metrics = nullptr;
+
+  /// Optional black-box flight recorder (obs/flight_recorder.h). When set,
+  /// the coordinator appends one fixed-size FlightRecord per step into the
+  /// recorder's preallocated ring (no allocations, no locks), stamps the
+  /// engine manifest, and — when the recorder has a dump path — dumps the
+  /// ring as a JSON artifact on watchdog abort, step-cap abort, invariant
+  /// failure, or a pending SIGINT/SIGTERM (polled once per step only while
+  /// a recorder is attached; aborts with StallReason::kInterrupt). The
+  /// StallReport embeds the ring's tail either way. Null costs nothing.
+  FlightRecorder* recorder = nullptr;
 };
 
 /// FNV-1a over the routing-relevant options: step cap, sparse policy and

@@ -6,7 +6,14 @@
 namespace mdmesh {
 
 const char* StallReport::ReasonName() const {
-  return reason == StallReason::kWatchdog ? "watchdog" : "step_cap";
+  switch (reason) {
+    case StallReason::kWatchdog:
+      return "watchdog";
+    case StallReason::kInterrupt:
+      return "interrupt";
+    default:
+      return "step_cap";
+  }
 }
 
 std::string StallReport::ToString() const {
@@ -49,6 +56,11 @@ void StallReport::WriteJson(JsonWriter& w) const {
   w.Key("blocked_links").BeginArray();
   for (std::int64_t link : blocked_links) w.Int(link);
   w.EndArray();
+  if (!recent.empty()) {
+    w.Key("recent").BeginArray();
+    for (const FlightRecord& rec : recent) rec.WriteJson(w);
+    w.EndArray();
+  }
   w.EndObject();
 }
 

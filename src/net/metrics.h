@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "meshsim/topology.h"
+#include "obs/flight_recorder.h"
 #include "obs/manifest.h"
 #include "obs/trace.h"
 #include "util/stats.h"
@@ -18,8 +19,9 @@ namespace mdmesh {
 
 /// Why a Route call gave up before delivering every packet.
 enum class StallReason : std::uint8_t {
-  kStepCap,   ///< the hard step cap was reached
-  kWatchdog,  ///< no packet moved for the whole watchdog window
+  kStepCap,    ///< the hard step cap was reached
+  kWatchdog,   ///< no packet moved for the whole watchdog window
+  kInterrupt,  ///< SIGINT/SIGTERM landed mid-run (flight recorder attached)
 };
 
 /// Structured diagnostic produced when a Route call aborts (watchdog or
@@ -40,6 +42,9 @@ struct StallReport {
     bool link_dead = false;     ///< that hop's link is currently dead
   };
 
+  /// At most this many trailing flight-recorder step records are embedded.
+  static constexpr std::size_t kRecentCap = 64;
+
   StallReason reason = StallReason::kStepCap;
   std::int64_t step = 0;               ///< step at which the run aborted
   std::int64_t no_progress_steps = 0;  ///< trailing zero-move steps
@@ -48,6 +53,10 @@ struct StallReport {
   /// Distinct dead links wanted by sampled packets (global directed index
   /// p * 2d + dim * 2 + dir).
   std::vector<std::int64_t> blocked_links;
+  /// Tail of the flight recorder (last kRecentCap step records, oldest
+  /// first) when one was attached to the run — the per-step history leading
+  /// into the abort, diagnosable without a rerun. Empty without a recorder.
+  std::vector<FlightRecord> recent;
 
   const char* ReasonName() const;
   std::string ToString() const;

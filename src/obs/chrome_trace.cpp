@@ -124,8 +124,33 @@ void ChromeTraceWriter::AddCounter(const std::string& series, double ts_us,
 void ChromeTraceWriter::AddSpanNode(const TraceContext& ctx, std::size_t node,
                                     int tid) {
   const TraceContext::Node& n = ctx.nodes()[node];
-  AddDuration(n.name, n.begin_ms * 1000.0, n.end_ms * 1000.0, kPidPhasesWall,
-              tid);
+  if (n.perf.any()) {
+    // Hardware-counter deltas ride on the wall-clock B event's args, where
+    // Perfetto's span details pane surfaces them.
+    double begin_us = n.begin_ms * 1000.0;
+    double end_us = std::max(n.end_ms * 1000.0, begin_us);
+    EventBuilder begin("B", begin_us, kPidPhasesWall, tid);
+    begin.Name(n.name).Cat("phase");
+    JsonWriter& args = begin.Args();
+    if (n.perf.cycles >= 0) args.Key("cycles").Int(n.perf.cycles);
+    if (n.perf.instructions >= 0) {
+      args.Key("instructions").Int(n.perf.instructions);
+    }
+    if (n.perf.cache_misses >= 0) {
+      args.Key("cache_misses").Int(n.perf.cache_misses);
+    }
+    if (n.perf.branch_misses >= 0) {
+      args.Key("branch_misses").Int(n.perf.branch_misses);
+    }
+    if (n.perf.ipc() >= 0) args.Key("ipc").Double(n.perf.ipc());
+    events_.push_back(begin.Finish());
+    EventBuilder end("E", end_us, kPidPhasesWall, tid);
+    end.Name(n.name).Cat("phase");
+    events_.push_back(end.Finish());
+  } else {
+    AddDuration(n.name, n.begin_ms * 1000.0, n.end_ms * 1000.0,
+                kPidPhasesWall, tid);
+  }
   AddDuration(n.name, static_cast<double>(n.begin_steps),
               static_cast<double>(n.end_steps), kPidPhasesSteps, tid);
   for (const std::size_t child : n.children) AddSpanNode(ctx, child, tid);

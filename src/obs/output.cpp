@@ -27,6 +27,20 @@ void AddOutputFlags(Cli& cli) {
   cli.AddString("--perfetto", "",
                 "write a Chrome Trace Event JSON timeline to this path "
                 "(open in ui.perfetto.dev)");
+  cli.AddInt("--metrics-port", -1,
+             "serve Prometheus text at 127.0.0.1:PORT/metrics during the "
+             "run (0 = OS-assigned ephemeral port; -1 disables)");
+  cli.AddString("--status-file", "",
+                "periodically write a status JSON snapshot to this path "
+                "(atomically renamed into place)");
+  cli.AddString("--flight-recorder", "",
+                "dump the engine's black-box step ring to this path when a "
+                "run aborts (watchdog, step cap, invariant, interrupt)");
+  cli.AddBool("--progress", false,
+              "stderr heartbeat with step, in-flight, and steps/sec");
+  cli.AddBool("--perf", false,
+              "collect per-phase hardware counters via perf_event_open "
+              "(Linux only; degrades gracefully elsewhere)");
   cli.AddBool("--quick", false, "smallest configuration only (CI smoke runs)");
 }
 
@@ -35,6 +49,11 @@ OutputFlags GetOutputFlags(const Cli& cli) {
   flags.json = cli.GetString("json");
   flags.trace_csv = cli.GetString("trace-csv");
   flags.perfetto = cli.GetString("perfetto");
+  flags.metrics_port = cli.GetInt("metrics-port");
+  flags.status_file = cli.GetString("status-file");
+  flags.flight_recorder = cli.GetString("flight-recorder");
+  flags.progress = cli.GetBool("progress");
+  flags.perf = cli.GetBool("perf");
   flags.quick = cli.GetBool("quick");
   return flags;
 }
@@ -43,6 +62,9 @@ OutputFlags ParseOutputFlags(int* argc, char** argv) {
   OutputFlags flags;
   // One table drives every value flag so the two accepted forms
   // (--flag=value, --flag value) cannot drift apart between flags.
+  // --metrics-port parses through a string staging slot so the table stays
+  // uniform; the int conversion happens once at the end.
+  std::string metrics_port;
   struct ValueFlag {
     const char* name;
     std::size_t len;
@@ -52,6 +74,9 @@ OutputFlags ParseOutputFlags(int* argc, char** argv) {
       {"--json", 6, &flags.json},
       {"--trace-csv", 11, &flags.trace_csv},
       {"--perfetto", 10, &flags.perfetto},
+      {"--metrics-port", 14, &metrics_port},
+      {"--status-file", 13, &flags.status_file},
+      {"--flight-recorder", 17, &flags.flight_recorder},
   };
   int w = 1;
   for (int r = 1; r < *argc; ++r) {
@@ -67,6 +92,10 @@ OutputFlags ParseOutputFlags(int* argc, char** argv) {
     if (hit == nullptr) {
       if (std::strcmp(arg, "--quick") == 0) {
         flags.quick = true;
+      } else if (std::strcmp(arg, "--progress") == 0) {
+        flags.progress = true;
+      } else if (std::strcmp(arg, "--perf") == 0) {
+        flags.perf = true;
       } else {
         argv[w++] = argv[r];
       }
@@ -83,6 +112,9 @@ OutputFlags ParseOutputFlags(int* argc, char** argv) {
     }
   }
   *argc = w;
+  if (!metrics_port.empty()) {
+    flags.metrics_port = std::strtoll(metrics_port.c_str(), nullptr, 10);
+  }
   return flags;
 }
 

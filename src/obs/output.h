@@ -1,12 +1,22 @@
 // Shared machine-readable-output flags, registered identically by every
 // bench binary and example:
 //
-//   --json=<path>       write experiment records (JSON array, or JSONL when
-//                       the path ends in .jsonl)
-//   --trace-csv=<path>  write the per-step congestion trace as CSV
-//   --perfetto=<path>   write a Chrome Trace Event JSON timeline (open in
-//                       ui.perfetto.dev or chrome://tracing)
-//   --quick             smallest configuration only (CI smoke runs)
+//   --json=<path>           write experiment records (JSON array, or JSONL
+//                           when the path ends in .jsonl)
+//   --trace-csv=<path>      write the per-step congestion trace as CSV
+//   --perfetto=<path>       write a Chrome Trace Event JSON timeline (open
+//                           in ui.perfetto.dev or chrome://tracing)
+//   --metrics-port=<n>      serve Prometheus text at 127.0.0.1:<n>/metrics
+//                           while the run executes (0 = ephemeral port)
+//   --status-file=<path>    periodically write a status JSON snapshot
+//                           (atomic rename; `watch cat` safe)
+//   --flight-recorder=<path> dump the engine's black-box step ring there on
+//                           stall/step-cap/invariant/interrupt aborts
+//   --progress              stderr heartbeat (auto-off when not a TTY
+//                           unless the flag is given explicitly)
+//   --perf                  per-phase hardware counters (Linux
+//                           perf_event_open; silently degrades elsewhere)
+//   --quick                 smallest configuration only (CI smoke runs)
 //
 // Examples register them on their Cli via AddOutputFlags/GetOutputFlags.
 // Bench binaries cannot use Cli (google-benchmark parses argv itself), so
@@ -27,14 +37,30 @@ struct OutputFlags {
   std::string json;       ///< empty = no JSON output
   std::string trace_csv;  ///< empty = no congestion-trace CSV
   std::string perfetto;   ///< empty = no Chrome-trace timeline
+  /// HTTP port for the live /metrics endpoint: -1 (default) disabled,
+  /// 0 ephemeral, > 0 fixed. Parsed from --metrics-port.
+  std::int64_t metrics_port = -1;
+  std::string status_file;       ///< empty = no periodic status JSON
+  std::string flight_recorder;   ///< empty = no black-box dump path
+  bool progress = false;         ///< force the stderr heartbeat on
+  bool perf = false;             ///< per-phase hardware counters
   bool quick = false;
 
   bool WantsJson() const { return !json.empty(); }
   bool WantsTrace() const { return !trace_csv.empty(); }
   bool WantsPerfetto() const { return !perfetto.empty(); }
+  bool WantsMetricsEndpoint() const { return metrics_port >= 0; }
+  bool WantsStatusFile() const { return !status_file.empty(); }
+  bool WantsFlightRecorder() const { return !flight_recorder.empty(); }
+  /// True when either live-publisher sink is requested.
+  bool WantsPublisher() const {
+    return WantsMetricsEndpoint() || WantsStatusFile();
+  }
 };
 
-/// Registers --json, --trace-csv, --perfetto, and --quick on `cli`.
+/// Registers --json, --trace-csv, --perfetto, --metrics-port,
+/// --status-file, --flight-recorder, --progress, --perf, and --quick on
+/// `cli`.
 void AddOutputFlags(Cli& cli);
 
 /// Reads the flags registered by AddOutputFlags back from a parsed Cli.

@@ -1,0 +1,136 @@
+#include "obs/perf_counters.h"
+
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace mdmesh {
+
+PerfSample PerfSample::DeltaFrom(const PerfSample& base) const {
+  PerfSample d;
+  if (cycles >= 0 && base.cycles >= 0) d.cycles = cycles - base.cycles;
+  if (instructions >= 0 && base.instructions >= 0) {
+    d.instructions = instructions - base.instructions;
+  }
+  if (cache_misses >= 0 && base.cache_misses >= 0) {
+    d.cache_misses = cache_misses - base.cache_misses;
+  }
+  if (branch_misses >= 0 && base.branch_misses >= 0) {
+    d.branch_misses = branch_misses - base.branch_misses;
+  }
+  return d;
+}
+
+#if defined(__linux__)
+
+namespace {
+
+constexpr std::uint64_t kEventConfigs[4] = {
+    PERF_COUNT_HW_CPU_CYCLES,
+    PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+
+int OpenEvent(std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;  // lowers the perf_event_paranoid bar
+  attr.exclude_hv = 1;
+  // TIME_ENABLED/TIME_RUNNING let us scale away multiplexing when more
+  // events are requested than the PMU has counters for.
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  // pid=0, cpu=-1: this thread, any CPU. No group leader — each event
+  // stands alone so partial PMU support still yields what exists.
+  return static_cast<int>(
+      ::syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+std::int64_t ReadScaled(int fd) {
+  if (fd < 0) return -1;
+  struct {
+    std::uint64_t value;
+    std::uint64_t time_enabled;
+    std::uint64_t time_running;
+  } data;
+  if (::read(fd, &data, sizeof(data)) != sizeof(data)) return -1;
+  if (data.time_running == 0) return 0;
+  if (data.time_running >= data.time_enabled) {
+    return static_cast<std::int64_t>(data.value);
+  }
+  const double scale = static_cast<double>(data.time_enabled) /
+                       static_cast<double>(data.time_running);
+  return static_cast<std::int64_t>(static_cast<double>(data.value) * scale);
+}
+
+}  // namespace
+
+bool PerfCounters::Supported() { return true; }
+
+bool PerfCounters::Open() {
+  if (active_) return true;
+  int opened = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    fds_[i] = OpenEvent(kEventConfigs[i]);
+    if (fds_[i] >= 0) {
+      ::ioctl(fds_[i], PERF_EVENT_IOC_RESET, 0);
+      ::ioctl(fds_[i], PERF_EVENT_IOC_ENABLE, 0);
+      ++opened;
+    }
+  }
+  if (opened == 0) {
+    error_ = std::string("perf_event_open failed: ") + std::strerror(errno) +
+             " (check /proc/sys/kernel/perf_event_paranoid)";
+    return false;
+  }
+  active_ = true;
+  error_.clear();
+  return true;
+}
+
+void PerfCounters::Close() {
+  for (int i = 0; i < kEvents; ++i) {
+    if (fds_[i] >= 0) {
+      ::close(fds_[i]);
+      fds_[i] = -1;
+    }
+  }
+  active_ = false;
+}
+
+PerfSample PerfCounters::Read() const {
+  PerfSample s;
+  if (!active_) return s;
+  s.cycles = ReadScaled(fds_[0]);
+  s.instructions = ReadScaled(fds_[1]);
+  s.cache_misses = ReadScaled(fds_[2]);
+  s.branch_misses = ReadScaled(fds_[3]);
+  return s;
+}
+
+#else  // !__linux__
+
+bool PerfCounters::Supported() { return false; }
+
+bool PerfCounters::Open() {
+  error_ = "hardware counters require Linux perf_event_open";
+  return false;
+}
+
+void PerfCounters::Close() { active_ = false; }
+
+PerfSample PerfCounters::Read() const { return PerfSample(); }
+
+#endif
+
+}  // namespace mdmesh

@@ -1,0 +1,91 @@
+// Hardware phase profiling via Linux perf_event_open: cycles, instructions,
+// cache misses, and branch misses, read as running totals and differenced
+// around TraceContext spans so every algorithm phase reports IPC and miss
+// rates next to its wall time.
+//
+// Design constraints, in order:
+//   * Zero dependencies — raw perf_event_open syscall, no libpfm.
+//   * Graceful degradation — off Linux this compiles to a stub; on Linux
+//     without perf permissions (perf_event_paranoid, seccomp'd containers,
+//     VMs without a PMU) Open() simply reports false and every consumer
+//     carries on without hardware columns. Nothing in the repo *requires*
+//     the counters to exist.
+//   * Robust to partial availability — each event gets its own fd rather
+//     than one perf group, so a machine that exposes cycles but not cache
+//     misses (common on VMs) still yields the events it has. Reads use
+//     PERF_FORMAT_TOTAL_TIME_ENABLED/RUNNING and scale for multiplexing.
+//
+// Counters measure the calling thread (the engine coordinator). Workers'
+// cycles are not attributed — the point is per-*phase* comparison (which
+// pipeline stage is memory-bound), not whole-process accounting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mdmesh {
+
+/// One reading (or delta) of the hardware counters. -1 means the event was
+/// unavailable; consumers must treat each field independently.
+struct PerfSample {
+  std::int64_t cycles = -1;
+  std::int64_t instructions = -1;
+  std::int64_t cache_misses = -1;
+  std::int64_t branch_misses = -1;
+
+  /// True when at least one event carries data.
+  bool any() const {
+    return cycles >= 0 || instructions >= 0 || cache_misses >= 0 ||
+           branch_misses >= 0;
+  }
+
+  /// Instructions per cycle; -1 when either input is unavailable or cycles
+  /// is zero.
+  double ipc() const {
+    if (cycles <= 0 || instructions < 0) return -1.0;
+    return static_cast<double>(instructions) / static_cast<double>(cycles);
+  }
+
+  /// this - base, per event; an event missing on either side stays -1.
+  PerfSample DeltaFrom(const PerfSample& base) const;
+};
+
+class PerfCounters {
+ public:
+  PerfCounters() = default;
+  ~PerfCounters() { Close(); }
+
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// Compile-time support (true only on Linux). Runtime availability is
+  /// what Open() answers.
+  static bool Supported();
+
+  /// Opens the per-event fds for the calling thread. Returns true when at
+  /// least one event opened; false (silently — callers decide whether to
+  /// warn) when none could. Idempotent: re-opening while active is a no-op
+  /// returning active().
+  bool Open();
+
+  void Close();
+
+  /// True when at least one event fd is live.
+  bool active() const { return active_; }
+
+  /// Current running totals (multiplex-scaled). Events that failed to open
+  /// or fail to read report -1.
+  PerfSample Read() const;
+
+  /// Human-readable one-liner for why counters are unavailable ("" when
+  /// active or never opened).
+  const std::string& error() const { return error_; }
+
+ private:
+  static constexpr int kEvents = 4;
+  int fds_[kEvents] = {-1, -1, -1, -1};
+  bool active_ = false;
+  std::string error_;
+};
+
+}  // namespace mdmesh

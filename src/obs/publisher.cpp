@@ -1,0 +1,296 @@
+#include "obs/publisher.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#if defined(_WIN32)
+// No POSIX sockets / isatty here; the publisher degrades to status-file
+// only and the progress meter defaults off.
+#else
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace mdmesh {
+namespace {
+
+std::int64_t SteadyMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MetricsPublisher
+// ---------------------------------------------------------------------------
+
+bool MetricsPublisher::Start(const Options& opts) {
+  if (running_.load(std::memory_order_acquire)) {
+    std::fprintf(stderr, "metrics publisher: already running\n");
+    return false;
+  }
+  if (opts.registry == nullptr) {
+    std::fprintf(stderr, "metrics publisher: no registry attached\n");
+    return false;
+  }
+  opts_ = opts;
+  listen_fd_ = -1;
+  port_ = -1;
+
+#if !defined(_WIN32)
+  if (opts_.port >= 0) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      std::perror("metrics publisher: socket");
+      return false;
+    }
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 8) != 0) {
+      std::fprintf(stderr, "metrics publisher: cannot bind 127.0.0.1:%d: %s\n",
+                   opts_.port, std::strerror(errno));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      port_ = ntohs(bound.sin_port);
+    }
+  }
+#else
+  if (opts_.port >= 0) {
+    std::fprintf(stderr,
+                 "metrics publisher: HTTP endpoint unavailable on this "
+                 "platform; serving status file only\n");
+  }
+#endif
+
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Run(); });
+  return true;
+}
+
+void MetricsPublisher::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+#if !defined(_WIN32)
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+#endif
+  // Final snapshot so the file shows end-of-run totals, not the last tick.
+  WriteStatusFile();
+  port_ = -1;
+}
+
+std::string MetricsPublisher::StatusJson() const {
+  std::ostringstream os;
+  JsonWriter w(os, 1);
+  w.BeginObject();
+  if (opts_.manifest != nullptr) {
+    w.Key("manifest");
+    opts_.manifest->WriteJson(w);
+  }
+  w.Key("metrics");
+  opts_.registry->WriteJson(w);
+  w.EndObject();
+  os << '\n';
+  return os.str();
+}
+
+void MetricsPublisher::WriteStatusFile() {
+  if (opts_.status_file.empty() || opts_.registry == nullptr) return;
+  const std::string tmp = opts_.status_file + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      std::fprintf(stderr, "metrics publisher: cannot write %s\n",
+                   tmp.c_str());
+      return;
+    }
+    out << StatusJson();
+  }
+  if (std::rename(tmp.c_str(), opts_.status_file.c_str()) != 0) {
+    std::fprintf(stderr, "metrics publisher: rename to %s failed\n",
+                 opts_.status_file.c_str());
+    return;
+  }
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+}
+
+#if !defined(_WIN32)
+void MetricsPublisher::ServeOne(int client_fd) {
+  char buf[2048];
+  const ssize_t n = ::recv(client_fd, buf, sizeof(buf) - 1, 0);
+  if (n <= 0) return;
+  buf[n] = '\0';
+  const std::string request(buf);
+
+  std::string body;
+  std::string content_type;
+  std::string status = "200 OK";
+  if (request.rfind("GET /metrics", 0) == 0) {
+    body = opts_.registry->ToPrometheus();
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+  } else if (request.rfind("GET /status", 0) == 0) {
+    body = StatusJson();
+    content_type = "application/json";
+  } else {
+    status = "404 Not Found";
+    body = "not found\n";
+    content_type = "text/plain";
+  }
+
+  std::ostringstream resp;
+  resp << "HTTP/1.1 " << status << "\r\n"
+       << "Content-Type: " << content_type << "\r\n"
+       << "Content-Length: " << body.size() << "\r\n"
+       << "Connection: close\r\n\r\n"
+       << body;
+  const std::string out = resp.str();
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t k = ::send(client_fd, out.data() + sent, out.size() - sent,
+                             0);
+    if (k <= 0) break;
+    sent += static_cast<std::size_t>(k);
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+}
+#else
+void MetricsPublisher::ServeOne(int) {}
+#endif
+
+void MetricsPublisher::Run() {
+  std::int64_t next_snapshot_ms = SteadyMs();
+  while (!stop_.load(std::memory_order_acquire)) {
+    const std::int64_t now = SteadyMs();
+    if (now >= next_snapshot_ms) {
+      WriteStatusFile();
+      next_snapshot_ms =
+          now + (opts_.interval_ms > 0 ? opts_.interval_ms : 1000);
+    }
+#if !defined(_WIN32)
+    if (listen_fd_ >= 0) {
+      pollfd pfd{};
+      pfd.fd = listen_fd_;
+      pfd.events = POLLIN;
+      // Short poll timeout keeps both Stop() and the snapshot cadence
+      // responsive without spinning.
+      const int r = ::poll(&pfd, 1, 50);
+      if (r > 0 && (pfd.revents & POLLIN) != 0) {
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client >= 0) {
+          ServeOne(client);
+          ::close(client);
+        }
+      }
+      continue;
+    }
+#endif
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ProgressMeter
+// ---------------------------------------------------------------------------
+
+bool ProgressMeter::StderrIsTty() {
+#if defined(_WIN32)
+  return false;
+#else
+  return ::isatty(2) != 0;
+#endif
+}
+
+ProgressMeter::ProgressMeter(std::int64_t step_cap, std::int64_t interval_ms,
+                             bool force)
+    : step_cap_(step_cap),
+      interval_ms_(interval_ms > 0 ? interval_ms : 500),
+      enabled_(force || StderrIsTty()),
+      start_ms_(SteadyMs()) {
+  last_emit_ms_ = start_ms_;
+}
+
+void ProgressMeter::Emit(std::int64_t step, std::int64_t in_flight,
+                         double steps_per_sec) {
+  char line[256];
+  if (step_cap_ > 0 && steps_per_sec > 0.0) {
+    const double eta_s = static_cast<double>(step_cap_ - step) /
+                         steps_per_sec;
+    std::snprintf(line, sizeof(line),
+                  "[progress] step %lld/%lld  in-flight %lld  %.0f steps/s  "
+                  "eta %.1fs",
+                  static_cast<long long>(step),
+                  static_cast<long long>(step_cap_),
+                  static_cast<long long>(in_flight), steps_per_sec,
+                  eta_s > 0 ? eta_s : 0.0);
+  } else {
+    std::snprintf(line, sizeof(line),
+                  "[progress] step %lld  in-flight %lld  %.0f steps/s",
+                  static_cast<long long>(step),
+                  static_cast<long long>(in_flight), steps_per_sec);
+  }
+  last_line_ = line;
+  ++lines_;
+  if (enabled_) std::fprintf(stderr, "%s\n", line);
+}
+
+void ProgressMeter::Step(std::int64_t step, std::int64_t in_flight,
+                         std::int64_t arrivals) {
+  delivered_total_ += arrivals;
+  if (finished_) return;
+  const std::int64_t now = SteadyMs();
+  if (now - last_emit_ms_ < interval_ms_) return;
+  const double dt_s =
+      static_cast<double>(now - last_emit_ms_) / 1000.0;
+  const double rate =
+      dt_s > 0 ? static_cast<double>(step - last_emit_step_) / dt_s : 0.0;
+  Emit(step, in_flight, rate);
+  last_emit_ms_ = now;
+  last_emit_step_ = step;
+}
+
+std::function<void(std::int64_t, std::int64_t, std::int64_t)>
+ProgressMeter::Observer() {
+  return [this](std::int64_t step, std::int64_t in_flight,
+                std::int64_t arrivals) { Step(step, in_flight, arrivals); };
+}
+
+void ProgressMeter::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  const double total_s =
+      static_cast<double>(SteadyMs() - start_ms_) / 1000.0;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "[progress] done: %lld delivered in %.2fs",
+                static_cast<long long>(delivered_total_), total_s);
+  last_line_ = line;
+  ++lines_;
+  if (enabled_) std::fprintf(stderr, "%s\n", line);
+}
+
+}  // namespace mdmesh

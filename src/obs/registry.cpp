@@ -109,6 +109,53 @@ void MetricsRegistry::WriteJson(JsonWriter& w) const {
   w.EndObject();
 }
 
+namespace {
+
+/// Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; the registry
+/// uses dotted names, so map every out-of-alphabet byte to '_'.
+std::string PromName(const std::string& prefix, const std::string& name) {
+  std::string out = prefix.empty() ? "" : prefix + "_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::WritePrometheus(std::ostream& os,
+                                      const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = PromName(prefix, name);
+    os << "# TYPE " << prom << " counter\n";
+    os << prom << ' ' << counter->Total() << '\n';
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = PromName(prefix, name);
+    os << "# TYPE " << prom << " gauge\n";
+    os << prom << ' ' << gauge->Value() << '\n';
+  }
+  for (const auto& [name, hist] : hists_) {
+    const QuantileHistogram merged = hist->Merged();
+    const std::string prom = PromName(prefix, name);
+    os << "# TYPE " << prom << " summary\n";
+    for (double q : {0.5, 0.95, 0.99}) {
+      os << prom << "{quantile=\"" << q << "\"} " << merged.Quantile(q)
+         << '\n';
+    }
+    os << prom << "_count " << merged.count() << '\n';
+  }
+}
+
+std::string MetricsRegistry::ToPrometheus(const std::string& prefix) const {
+  std::ostringstream os;
+  WritePrometheus(os, prefix);
+  return os.str();
+}
+
 std::string MetricsRegistry::ToJson() const {
   std::ostringstream os;
   JsonWriter w(os);

@@ -91,6 +91,15 @@ class MetricsRegistry {
   void WriteJson(JsonWriter& w) const;
   std::string ToJson() const;
 
+  /// Prometheus text exposition (format 0.0.4): counters as `<prefix>_<name>`
+  /// counter samples, gauges as gauges, histograms as summaries (quantile
+  /// labels + _sum-less _count). Metric names are sanitized (`.` and any
+  /// other non-[a-zA-Z0-9_] byte become `_`). The /metrics endpoint and the
+  /// status-file publisher both render through here.
+  void WritePrometheus(std::ostream& os,
+                       const std::string& prefix = "mdmesh") const;
+  std::string ToPrometheus(const std::string& prefix = "mdmesh") const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;

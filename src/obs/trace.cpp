@@ -80,6 +80,12 @@ TraceContext::TraceContext() : origin_(std::chrono::steady_clock::now()) {
   nodes_.push_back(Node{});
   open_.push_back(0);
   open_start_.push_back(origin_);
+  open_perf_.push_back(PerfSample{});
+}
+
+bool TraceContext::EnablePerfCounters() {
+  if (perf_ == nullptr) perf_ = std::make_unique<PerfCounters>();
+  return perf_->Open();
 }
 
 Span TraceContext::Open(std::string name) {
@@ -94,6 +100,7 @@ Span TraceContext::Open(std::string name) {
   nodes_[open_.back()].children.push_back(idx);
   open_.push_back(idx);
   open_start_.push_back(now);
+  open_perf_.push_back(perf_enabled() ? perf_->Read() : PerfSample{});
   return Span(this, idx);
 }
 
@@ -107,9 +114,16 @@ void TraceContext::CloseNode(std::size_t node, double wall_ms,
   // closes by popping through (inner spans were already abandoned).
   while (open_.size() > 1) {
     const std::size_t top = open_.back();
+    const PerfSample at_open = open_perf_.back();
     open_.pop_back();
     open_start_.pop_back();
-    if (top == node) break;
+    open_perf_.pop_back();
+    if (top == node) {
+      if (perf_enabled()) {
+        nodes_[node].perf = perf_->Read().DeltaFrom(at_open);
+      }
+      break;
+    }
   }
 }
 
@@ -192,6 +206,21 @@ void TraceContext::WriteNode(JsonWriter& w, std::size_t node) const {
   w.Key("end_ms").Double(n.end_ms);
   w.Key("begin_steps").Int(n.begin_steps);
   w.Key("end_steps").Int(n.end_steps);
+  if (n.perf.any()) {
+    w.Key("perf").BeginObject();
+    if (n.perf.cycles >= 0) w.Key("cycles").Int(n.perf.cycles);
+    if (n.perf.instructions >= 0) {
+      w.Key("instructions").Int(n.perf.instructions);
+    }
+    if (n.perf.cache_misses >= 0) {
+      w.Key("cache_misses").Int(n.perf.cache_misses);
+    }
+    if (n.perf.branch_misses >= 0) {
+      w.Key("branch_misses").Int(n.perf.branch_misses);
+    }
+    if (n.perf.ipc() >= 0) w.Key("ipc").Double(n.perf.ipc());
+    w.EndObject();
+  }
   if (!n.children.empty()) {
     w.Key("children").BeginArray();
     for (const std::size_t child : n.children) WriteNode(w, child);
@@ -217,11 +246,13 @@ void TraceContext::Clear() {
   nodes_.clear();
   open_.clear();
   open_start_.clear();
+  open_perf_.clear();
   origin_ = std::chrono::steady_clock::now();
   step_cursor_ = 0;
   nodes_.push_back(Node{});
   open_.push_back(0);
   open_start_.push_back(origin_);
+  open_perf_.push_back(PerfSample{});
 }
 
 }  // namespace mdmesh

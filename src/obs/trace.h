@@ -17,10 +17,12 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "obs/json.h"
+#include "obs/perf_counters.h"
 
 namespace mdmesh {
 
@@ -87,6 +89,11 @@ class TraceContext {
     double end_ms = -1.0;
     std::int64_t begin_steps = 0;
     std::int64_t end_steps = 0;
+    /// Hardware-counter delta across the span's open-to-close window (all
+    /// fields -1 unless EnablePerfCounters() succeeded). Nested spans
+    /// overlap their parents by construction — the counters are running
+    /// thread totals differenced per span, not partitioned.
+    PerfSample perf;
   };
 
   TraceContext();
@@ -128,6 +135,15 @@ class TraceContext {
   /// against it.
   std::chrono::steady_clock::time_point origin() const { return origin_; }
 
+  /// Opt-in hardware counters (obs/perf_counters.h): once enabled, every
+  /// subsequently opened span carries a cycles/instructions/cache-miss/
+  /// branch-miss delta in its Node. Returns false — leaving the context
+  /// fully functional without hardware columns — off Linux or when the
+  /// kernel denies perf_event_open; perf_error() says why.
+  bool EnablePerfCounters();
+  bool perf_enabled() const { return perf_ != nullptr && perf_->active(); }
+  std::string perf_error() const { return perf_ ? perf_->error() : ""; }
+
  private:
   friend class Span;
   void CloseNode(std::size_t node, double wall_ms,
@@ -139,8 +155,10 @@ class TraceContext {
   std::vector<Node> nodes_;
   std::vector<std::size_t> open_;  ///< stack of open node indices; [0] = root
   std::vector<std::chrono::steady_clock::time_point> open_start_;
+  std::vector<PerfSample> open_perf_;  ///< counter totals at span open
   std::chrono::steady_clock::time_point origin_;  ///< context creation time
   std::int64_t step_cursor_ = 0;  ///< simulated-step clock (steps + local)
+  std::unique_ptr<PerfCounters> perf_;  ///< non-null once enabled
 };
 
 }  // namespace mdmesh

@@ -74,6 +74,8 @@ void ThreadPool::ParallelFor(
     std::int64_t count,
     const std::function<void(std::int64_t, std::int64_t)>& fn) {
   if (count <= 0) return;
+  dispatches_.fetch_add(1, std::memory_order_relaxed);
+  items_.fetch_add(count, std::memory_order_relaxed);
   if (ShardsFor(count) == 1) {
     RunLogged(0, 0, count, 0, [&] { fn(0, count); });
     return;
@@ -96,6 +98,8 @@ void ThreadPool::ParallelFor(
 void ThreadPool::ParallelForStaged(std::int64_t count, const StagedFn& stage1,
                                    const StagedFn& stage2) {
   if (count <= 0) return;
+  dispatches_.fetch_add(1, std::memory_order_relaxed);
+  items_.fetch_add(count, std::memory_order_relaxed);
   if (ShardsFor(count) == 1) {
     RunLogged(0, 0, count, 1, [&] { stage1(0, 0, count); });
     RunLogged(0, 0, count, 2, [&] { stage2(0, 0, count); });

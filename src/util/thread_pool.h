@@ -108,6 +108,17 @@ class ThreadPool {
   void set_activity(ThreadPoolActivity* activity);
   ThreadPoolActivity* activity() const { return activity_; }
 
+  /// Lifetime dispatch totals: calls to ParallelFor/ParallelForStaged and
+  /// the items they covered. One relaxed add per *dispatch* (never per
+  /// item), so they are always on; live-telemetry publishers surface them
+  /// as pool gauges. Reads are racy-but-monotonic snapshots.
+  std::int64_t dispatches() const {
+    return dispatches_.load(std::memory_order_relaxed);
+  }
+  std::int64_t items_dispatched() const {
+    return items_.load(std::memory_order_relaxed);
+  }
+
   /// Process-wide pool sized from MDMESH_THREADS (default: serial).
   static ThreadPool& Global();
 
@@ -129,6 +140,8 @@ class ThreadPool {
 
   std::vector<std::thread> threads_;
   ThreadPoolActivity* activity_ = nullptr;
+  std::atomic<std::int64_t> dispatches_{0};
+  std::atomic<std::int64_t> items_{0};
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_barrier_;

@@ -12,8 +12,11 @@
 
 #include "net/engine.h"
 #include "net/network.h"
+#include "obs/flight_recorder.h"
 #include "obs/probe.h"
+#include "obs/publisher.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "routing/permutations.h"
 #include "util/thread_pool.h"
 #include "workload/driver.h"
@@ -267,6 +270,11 @@ TEST(OpenLoop, ObservabilitySinksDoNotPerturbDeliveries) {
   CongestionTrace probe;
   MetricsRegistry metrics;
   ThreadPoolActivity activity;
+  FlightRecorder recorder(256);
+  MetricsPublisher publisher;
+  TraceContext trace;
+  const bool perf_on = trace.EnablePerfCounters();
+  ProgressMeter meter(/*step_cap=*/0, /*interval_ms=*/1, /*force=*/false);
   {
     OpenLoopInjector inner(topo, pat, dopts);
     RecordingInjector rec(&inner, &instrumented);
@@ -275,10 +283,22 @@ TEST(OpenLoop, ObservabilitySinksDoNotPerturbDeliveries) {
     eopts.injector = &rec;
     eopts.probe = &probe;
     eopts.metrics = &metrics;
+    eopts.recorder = &recorder;
+    eopts.observer = meter.Observer();
     pool.set_activity(&activity);
+    // The publisher thread snapshots the registry concurrently with the
+    // route, exactly as a live `--metrics-port` run would.
+    MetricsPublisher::Options popts;
+    popts.registry = &metrics;
+    popts.port = 0;
+    popts.interval_ms = 1;
+    ASSERT_TRUE(publisher.Start(popts));
     Engine engine(topo, eopts);
     Network net(topo);
+    Span route_span = trace.Open("route");
     instrumented.result.route = engine.Route(net);
+    route_span.Close();
+    publisher.Stop();
     pool.set_activity(nullptr);
     instrumented.result.offered = inner.offered();
     instrumented.result.delivered = inner.delivered();
@@ -292,6 +312,13 @@ TEST(OpenLoop, ObservabilitySinksDoNotPerturbDeliveries) {
   EXPECT_EQ(metrics.counter("engine.routes").Total(), 1);
   EXPECT_EQ(metrics.counter("engine.steps").Total(),
             instrumented.result.route.steps);
+  EXPECT_EQ(recorder.total_records(), instrumented.result.route.steps);
+  EXPECT_EQ(recorder.Last().step, instrumented.result.route.steps);
+  EXPECT_FALSE(publisher.running());
+  if (perf_on) {
+    EXPECT_TRUE(trace.nodes()[1].perf.any());
+  }
+  meter.Finish();
 }
 
 TEST(OpenLoop, DrainedRunConservesPackets) {
