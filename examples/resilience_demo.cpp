@@ -18,7 +18,9 @@
 // records of a stalled run, ready for postmortem. --progress adds a stderr
 // heartbeat.
 #include <cstdio>
+#include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -147,6 +149,20 @@ int main(int argc, char** argv) {
     FlightRecorder::InstallSignalHandlers();
     opts.recorder = &recorder;
   }
+  // --checkpoint: snapshot the faulted run on a cadence and on aborts, so a
+  // stalled or interrupted campaign restarts mid-route (--resume) instead
+  // of from scratch. Fault state resumes too — the plan's flap events are
+  // replayed up to the checkpoint's cursor.
+  std::unique_ptr<CheckpointManager> ckpt;
+  if (out.WantsCheckpoint()) {
+    CheckpointOptions copts;
+    copts.dir = out.checkpoint;
+    copts.every_steps = out.checkpoint_every > 0 ? out.checkpoint_every : 64;
+    copts.keep = static_cast<int>(out.checkpoint_keep);
+    ckpt = std::make_unique<CheckpointManager>(copts);
+    FlightRecorder::InstallSignalHandlers();
+    opts.checkpoint = ckpt.get();
+  }
   ProgressMeter meter(/*step_cap=*/0, /*interval_ms=*/500, out.progress);
   std::vector<std::int64_t> in_flight_series;
   opts.observer = [&](std::int64_t step, std::int64_t in_flight,
@@ -155,7 +171,35 @@ int main(int argc, char** argv) {
     meter.Step(step, in_flight, arrivals);
   };
   Engine engine(topo, opts);
-  RouteResult r = engine.Route(net);
+  RouteResult r;
+  if (out.resume) {
+    if (ckpt == nullptr) {
+      std::fprintf(stderr, "--resume requires --checkpoint=DIR\n");
+      return 2;
+    }
+    EngineCheckpointState state;
+    std::string loaded_path;
+    std::string log;
+    const CkptStatus status = CheckpointManager::LoadNewestValid(
+        out.checkpoint, &state, /*expected_options_hash=*/nullptr,
+        &loaded_path, &log);
+    if (!log.empty()) std::fprintf(stderr, "[ckpt] skipped:\n%s", log.c_str());
+    if (status != CkptStatus::kOk) {
+      std::fprintf(stderr, "--resume: no valid checkpoint in %s (%s)\n",
+                   out.checkpoint.c_str(), CkptStatusName(status));
+      return 1;
+    }
+    std::fprintf(stderr, "[ckpt] resuming from %s (step %lld)\n",
+                 loaded_path.c_str(), static_cast<long long>(state.step));
+    try {
+      r = engine.Resume(net, state);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "--resume: %s\n", e.what());
+      return 1;
+    }
+  } else {
+    r = engine.Route(net);
+  }
   meter.Finish();
 
   const auto D = static_cast<double>(topo.Diameter());

@@ -35,19 +35,30 @@ embedded run manifest, abort reason, ring accounting
 cursors, and the headline step matching the final record —
 --expect-reason pins the abort cause CI forced.
 
+The validate-ckpt subcommand integrity-checks engine checkpoint files
+(--checkpoint output, format src/ckpt/checkpoint.h) without linking any
+C++: the 28-byte header is struct.unpack("<8sIIQI") — magic "MDMCKPT1",
+format version, flags, payload size, payload CRC — and the checksum is
+the zlib/binascii.crc32 variant by construction. Accepts files or
+directories (a directory validates every ckpt-*.mdc in it).
+
 Usage:
     check_perf_regression.py BASELINE CANDIDATE [--factor 2.0]
     check_perf_regression.py validate-trace TRACE [--min-counter-tracks N]
     check_perf_regression.py validate-prom TEXT [--require NAME ...]
     check_perf_regression.py validate-flight DUMP [--expect-reason R]
+    check_perf_regression.py validate-ckpt PATH... [--min-files N]
 
 Exit status: 0 when every check holds, 1 on any regression, missing key,
 or schema violation. Stdlib only.
 """
 
 import argparse
+import binascii
 import json
+import os
 import re
+import struct
 import sys
 
 
@@ -320,7 +331,93 @@ def validate_flight(argv):
     )
 
 
+CKPT_MAGIC = b"MDMCKPT1"
+CKPT_VERSION = 1
+CKPT_HEADER = struct.Struct("<8sIIQI")  # magic, version, flags, size, crc
+
+
+def check_ckpt_file(path):
+    """Returns a list of problems with one checkpoint file (empty = ok)."""
+    try:
+        with open(path, "rb") as f:
+            blob = f.read()
+    except OSError as e:
+        return [f"unreadable: {e}"]
+    if len(blob) < CKPT_HEADER.size:
+        return [f"truncated header: {len(blob)} < {CKPT_HEADER.size} bytes"]
+    magic, version, flags, size, crc = CKPT_HEADER.unpack_from(blob)
+    problems = []
+    if magic != CKPT_MAGIC:
+        return [f"bad magic {magic!r}"]
+    if version != CKPT_VERSION:
+        problems.append(f"version {version}, expected {CKPT_VERSION}")
+    if flags != 0:
+        problems.append(f"reserved flags nonzero: {flags:#x}")
+    payload = blob[CKPT_HEADER.size:]
+    if len(payload) != size:
+        problems.append(
+            f"payload {len(payload)} byte(s), header declares {size}"
+        )
+    elif binascii.crc32(payload) != crc:
+        problems.append(
+            f"payload CRC {binascii.crc32(payload):08x} != header {crc:08x}"
+        )
+    return problems
+
+
+def validate_ckpt(argv):
+    ap = argparse.ArgumentParser(
+        prog="check_perf_regression.py validate-ckpt",
+        description="Integrity-check engine checkpoint files "
+        "(header framing + CRC-32, no C++ needed).",
+    )
+    ap.add_argument(
+        "paths",
+        nargs="+",
+        help="checkpoint files, or directories holding ckpt-*.mdc",
+    )
+    ap.add_argument(
+        "--min-files",
+        type=int,
+        default=1,
+        help="fail unless at least this many checkpoint files were found",
+    )
+    args = ap.parse_args(argv)
+
+    files = []
+    for path in args.paths:
+        if os.path.isdir(path):
+            files.extend(
+                os.path.join(path, name)
+                for name in sorted(os.listdir(path))
+                if name.startswith("ckpt-") and name.endswith(".mdc")
+            )
+        else:
+            files.append(path)
+
+    bad = 0
+    for path in files:
+        problems = check_ckpt_file(path)
+        if problems:
+            bad += 1
+            for p in problems:
+                print(f"  FAIL  {path}: {p}")
+        else:
+            size = os.path.getsize(path)
+            print(f"  ok    {path}: {size} byte(s), CRC verified")
+    if len(files) < args.min_files:
+        sys.exit(
+            f"found {len(files)} checkpoint file(s), need {args.min_files}"
+        )
+    if bad:
+        sys.exit(f"{bad} of {len(files)} checkpoint file(s) invalid")
+    print(f"all {len(files)} checkpoint file(s) valid")
+
+
 def main():
+    if len(sys.argv) > 1 and sys.argv[1] == "validate-ckpt":
+        validate_ckpt(sys.argv[2:])
+        return
     if len(sys.argv) > 1 and sys.argv[1] == "validate-trace":
         validate_trace(sys.argv[2:])
         return

@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Crash-recovery drill: SIGKILL a checkpointing run mid-flight, resume it,
+and require the delivery trace to come out byte-identical.
+
+The drill is the end-to-end proof of the checkpoint/restore contract
+(src/ckpt/): a run killed at an arbitrary instant — including mid-write,
+which the atomic rename makes safe — restarts from its newest valid
+checkpoint and finishes with exactly the delivery_hash of an uninterrupted
+run. The hash (workload/driver.h) folds every (packet id, injection step,
+arrival step) triple in delivery order, so a single reordered or re-timed
+delivery after resume fails the drill.
+
+Sequence:
+  1. baseline: run workload_demo to completion, record delivery_hash
+  2. victim:   same run with --checkpoint=DIR, poll until a seeded-random
+               number of checkpoint generations (2-6) exist, then SIGKILL —
+               waiting for files rather than sleeping makes the drill
+               timing-proof on slow CI machines and guarantees a valid
+               checkpoint exists at kill time
+  3. optional (--corrupt-newest): flip a byte in the newest generation so
+     the resume must fall back past it (exercises LoadNewestValid)
+  4. resume:   --checkpoint=DIR --resume, record delivery_hash
+  5. verdict:  hashes equal -> exit 0, else exit 1
+
+Stdlib only. The checkpoint directory survives on failure for artifact
+upload; pass --workdir to control where it lives.
+
+Usage:
+    crash_drill.py [--binary BUILD/examples/workload_demo]
+                   [--d 2 --n 8 --warmup 50 --measure 300 --rate-pm 100]
+                   [--every 25] [--seed 1] [--corrupt-newest]
+"""
+
+import argparse
+import os
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def extract_hash(stdout, label):
+    for line in stdout.splitlines():
+        if line.startswith("delivery_hash:"):
+            return line.split(":", 1)[1].strip()
+    sys.exit(f"{label}: no delivery_hash line in output:\n{stdout}")
+
+
+def run_to_completion(cmd, label):
+    proc = subprocess.run(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True
+    )
+    if proc.returncode != 0:
+        sys.exit(
+            f"{label}: exit {proc.returncode}\n"
+            f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+        )
+    return proc
+
+
+def count_checkpoints(ckpt_dir):
+    if not os.path.isdir(ckpt_dir):
+        return []
+    return sorted(
+        name
+        for name in os.listdir(ckpt_dir)
+        if name.startswith("ckpt-") and name.endswith(".mdc")
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--binary",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            os.pardir, "build", "examples", "workload_demo",
+        ),
+        help="workload_demo binary (default: ../build/examples/)",
+    )
+    ap.add_argument("--d", type=int, default=2)
+    ap.add_argument("--n", type=int, default=8)
+    ap.add_argument("--warmup", type=int, default=50)
+    ap.add_argument("--measure", type=int, default=300)
+    ap.add_argument("--rate-pm", type=int, default=100,
+                    help="injection rate, per mille")
+    ap.add_argument("--every", type=int, default=25,
+                    help="checkpoint cadence in steps")
+    ap.add_argument("--seed", type=int, default=1,
+                    help="drill seed (picks the kill point)")
+    ap.add_argument("--corrupt-newest", action="store_true",
+                    help="bit-flip the newest checkpoint before resuming, "
+                    "forcing the fallback path")
+    ap.add_argument("--workdir", default=None,
+                    help="directory for the checkpoint dir (default: a "
+                    "fresh temp dir, removed on success)")
+    ap.add_argument("--timeout", type=float, default=120.0,
+                    help="seconds to wait for checkpoints / runs")
+    args = ap.parse_args()
+
+    if not os.path.exists(args.binary):
+        sys.exit(f"binary not found: {args.binary} (build the tree first)")
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="crash_drill_")
+    os.makedirs(workdir, exist_ok=True)
+    ckpt_dir = os.path.join(workdir, "ckpt")
+    shutil.rmtree(ckpt_dir, ignore_errors=True)
+
+    base_cmd = [
+        args.binary,
+        f"--d={args.d}",
+        f"--n={args.n}",
+        f"--warmup={args.warmup}",
+        f"--measure={args.measure}",
+        f"--rate-pm={args.rate_pm}",
+        "--drain",
+    ]
+
+    # 1. Uninterrupted baseline.
+    baseline = run_to_completion(base_cmd, "baseline")
+    want = extract_hash(baseline.stdout, "baseline")
+    print(f"baseline delivery_hash: {want}")
+
+    # 2. Victim: checkpointing run, SIGKILL once enough generations exist.
+    rng = random.Random(args.seed)
+    target = rng.randint(2, 6)
+    # keep must exceed the kill target or rotation caps the file count and
+    # the poll below would never fire.
+    victim_cmd = base_cmd + [
+        f"--checkpoint={ckpt_dir}",
+        f"--checkpoint-every={args.every}",
+        f"--checkpoint-keep={target + 2}",
+    ]
+    print(f"victim: kill after {target} checkpoint generation(s)")
+    victim = subprocess.Popen(
+        victim_cmd, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+    )
+    deadline = time.monotonic() + args.timeout
+    killed = False
+    while victim.poll() is None:
+        if len(count_checkpoints(ckpt_dir)) >= target:
+            victim.kill()  # SIGKILL: no cleanup, no flush, mid-anything
+            killed = True
+            break
+        if time.monotonic() > deadline:
+            victim.kill()
+            sys.exit(
+                f"victim produced {len(count_checkpoints(ckpt_dir))} "
+                f"checkpoint(s) in {args.timeout}s, wanted {target}"
+            )
+        time.sleep(0.01)
+    victim.wait()
+    files = count_checkpoints(ckpt_dir)
+    if not killed:
+        # The run outraced the poll loop. Any surviving checkpoint still
+        # proves resume correctness, so continue — but say so.
+        print("victim finished before the kill; resuming from its last "
+              "checkpoint instead")
+    if not files:
+        sys.exit("victim left no checkpoint files")
+    print(f"victim killed (signal {-victim.returncode}); "
+          f"{len(files)} generation(s) on disk: {', '.join(files)}"
+          if killed else f"{len(files)} generation(s) on disk")
+
+    # 3. Optionally corrupt the newest generation.
+    if args.corrupt_newest:
+        newest = os.path.join(ckpt_dir, files[-1])
+        with open(newest, "r+b") as f:
+            f.seek(-1, os.SEEK_END)
+            byte = f.read(1)
+            f.seek(-1, os.SEEK_END)
+            f.write(bytes([byte[0] ^ 0x55]))
+        print(f"corrupted newest generation: {files[-1]}")
+
+    # 4. Resume.
+    resume_cmd = base_cmd + [f"--checkpoint={ckpt_dir}", "--resume"]
+    resumed = run_to_completion(resume_cmd, "resume")
+    if "resuming from" not in resumed.stderr:
+        sys.exit(f"resume did not report a checkpoint:\n{resumed.stderr}")
+    if args.corrupt_newest and files[-1] in resumed.stderr.split(
+            "resuming from", 1)[1]:
+        sys.exit(
+            f"resume used the corrupted generation {files[-1]}:\n"
+            f"{resumed.stderr}"
+        )
+    got = extract_hash(resumed.stdout, "resume")
+    print(f"resumed  delivery_hash: {got}")
+
+    # 5. Verdict.
+    if got != want:
+        print(f"FAIL: delivery trace diverged after crash recovery "
+              f"({got} != {want}); checkpoint dir kept at {ckpt_dir}")
+        sys.exit(1)
+    print("ok: crash-recovered run is byte-identical to the baseline")
+    if args.workdir is None:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

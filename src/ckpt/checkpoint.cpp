@@ -1,0 +1,258 @@
+#include "ckpt/checkpoint.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/atomic_file.h"
+#include "util/codec.h"
+#include "util/crc32.h"
+
+namespace mdmesh {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'D', 'M', 'C', 'K', 'P', 'T', '1'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kHeaderSize = 28;
+
+/// Bytes per serialized Packet (key, id, tag, dest, dist0, arrived, klass,
+/// flags) — used to bound element counts before any allocation.
+constexpr std::size_t kPacketRecordSize = 8 + 8 + 8 + 8 + 4 + 4 + 2 + 2;
+
+static_assert(sizeof(ProcId) == 8, "packet record assumes 64-bit ProcId");
+
+void SetIoError(std::string* error, const char* what,
+                const std::string& path) {
+  if (error == nullptr) return;
+  *error = std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+const char* CkptStatusName(CkptStatus status) {
+  switch (status) {
+    case CkptStatus::kOk:
+      return "ok";
+    case CkptStatus::kIoError:
+      return "io_error";
+    case CkptStatus::kTruncated:
+      return "truncated";
+    case CkptStatus::kBadMagic:
+      return "bad_magic";
+    case CkptStatus::kBadVersion:
+      return "bad_version";
+    case CkptStatus::kBadChecksum:
+      return "bad_checksum";
+    case CkptStatus::kBadPayload:
+      return "bad_payload";
+    case CkptStatus::kBadManifest:
+      return "bad_manifest";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> EncodeCheckpoint(const EngineCheckpointState& state) {
+  std::vector<std::uint8_t> out;
+  // Identity + accumulators are fixed-size; reserve for the queues too.
+  std::size_t packets = 0;
+  for (const auto& q : state.queues) packets += q.size();
+  out.reserve(256 + state.queues.size() * 4 + packets * kPacketRecordSize +
+              state.injector_state.size());
+  ByteWriter w(&out);
+
+  w.U32(static_cast<std::uint32_t>(state.d));
+  w.U32(static_cast<std::uint32_t>(state.n));
+  w.U8(state.torus ? 1 : 0);
+  w.U8(state.injector_attached ? 1 : 0);
+  w.U64(state.options_hash);
+
+  w.I64(state.step);
+  w.I64(state.in_flight);
+  w.I64(state.arrivals_total);
+  w.I64(state.moves_total);
+  w.I64(state.detours_total);
+  w.I64(state.fault_events_total);
+  w.I64(state.queue_max);
+  w.I64(state.no_progress);
+  w.U8(state.injecting ? 1 : 0);
+
+  w.I64(state.packets);
+  w.I64(state.max_distance);
+  w.I64(state.sparse_steps);
+  w.I64(state.peak_active_procs);
+  w.I64(state.max_overshoot);
+  w.I64(state.overshoot_count);
+  w.F64(state.overshoot_mean);
+  w.F64(state.overshoot_m2);
+  w.F64(state.overshoot_min);
+  w.F64(state.overshoot_max);
+
+  w.U64(state.fault_cursor);
+
+  w.U64(static_cast<std::uint64_t>(state.queues.size()));
+  for (const auto& q : state.queues) {
+    w.U32(static_cast<std::uint32_t>(q.size()));
+    for (const Packet& pkt : q) {
+      w.U64(pkt.key);
+      w.I64(pkt.id);
+      w.I64(pkt.tag);
+      w.I64(static_cast<std::int64_t>(pkt.dest));
+      w.I32(pkt.dist0);
+      w.I32(pkt.arrived);
+      w.U16(pkt.klass);
+      w.U16(pkt.flags);
+    }
+  }
+
+  w.U64(static_cast<std::uint64_t>(state.injector_state.size()));
+  if (!state.injector_state.empty()) {
+    w.Bytes(state.injector_state.data(), state.injector_state.size());
+  }
+  return out;
+}
+
+CkptStatus DecodeCheckpoint(const std::uint8_t* data, std::size_t size,
+                            EngineCheckpointState* out) {
+  ByteReader r(data, size);
+  EngineCheckpointState st;
+
+  st.d = static_cast<int>(r.U32());
+  st.n = static_cast<int>(r.U32());
+  st.torus = r.U8() != 0;
+  st.injector_attached = r.U8() != 0;
+  st.options_hash = r.U64();
+
+  st.step = r.I64();
+  st.in_flight = r.I64();
+  st.arrivals_total = r.I64();
+  st.moves_total = r.I64();
+  st.detours_total = r.I64();
+  st.fault_events_total = r.I64();
+  st.queue_max = r.I64();
+  st.no_progress = r.I64();
+  st.injecting = r.U8() != 0;
+
+  st.packets = r.I64();
+  st.max_distance = r.I64();
+  st.sparse_steps = r.I64();
+  st.peak_active_procs = r.I64();
+  st.max_overshoot = r.I64();
+  st.overshoot_count = r.I64();
+  st.overshoot_mean = r.F64();
+  st.overshoot_m2 = r.F64();
+  st.overshoot_min = r.F64();
+  st.overshoot_max = r.F64();
+
+  st.fault_cursor = r.U64();
+
+  const std::uint64_t num_procs = r.U64();
+  // Each queue costs at least its 4-byte length prefix: a corrupt count
+  // larger than the remaining bytes can allow is rejected before resize.
+  if (!r.ok() || num_procs > r.remaining() / 4) return CkptStatus::kBadPayload;
+  st.queues.resize(static_cast<std::size_t>(num_procs));
+  for (auto& q : st.queues) {
+    const std::uint32_t len = r.U32();
+    if (!r.ok() || len > r.remaining() / kPacketRecordSize) {
+      return CkptStatus::kBadPayload;
+    }
+    q.resize(len);
+    for (Packet& pkt : q) {
+      pkt.key = r.U64();
+      pkt.id = r.I64();
+      pkt.tag = r.I64();
+      pkt.dest = static_cast<ProcId>(r.I64());
+      pkt.dist0 = r.I32();
+      pkt.arrived = r.I32();
+      pkt.klass = r.U16();
+      pkt.flags = r.U16();
+    }
+  }
+
+  const std::uint64_t blob_size = r.U64();
+  if (!r.ok() || blob_size > r.remaining()) return CkptStatus::kBadPayload;
+  st.injector_state.resize(static_cast<std::size_t>(blob_size));
+  if (blob_size > 0) {
+    r.Bytes(st.injector_state.data(), st.injector_state.size());
+  }
+
+  // Trailing garbage is as much a format violation as a short buffer.
+  if (!r.exhausted()) return CkptStatus::kBadPayload;
+  *out = std::move(st);
+  return CkptStatus::kOk;
+}
+
+CkptStatus WriteCheckpointFile(const std::string& path,
+                               const EngineCheckpointState& state,
+                               std::string* error) {
+  const std::vector<std::uint8_t> payload = EncodeCheckpoint(state);
+
+  std::vector<std::uint8_t> file;
+  file.reserve(kHeaderSize + payload.size());
+  ByteWriter w(&file);
+  w.Bytes(kMagic, sizeof(kMagic));
+  w.U32(kFormatVersion);
+  w.U32(0);  // flags, reserved
+  w.U64(payload.size());
+  w.U32(Crc32(payload.data(), payload.size()));
+  w.Bytes(payload.data(), payload.size());
+
+  if (!WriteFileAtomic(path, file.data(), file.size(), error)) {
+    return CkptStatus::kIoError;
+  }
+  return CkptStatus::kOk;
+}
+
+CkptStatus ReadCheckpointFile(const std::string& path,
+                              EngineCheckpointState* out,
+                              const std::uint64_t* expected_options_hash,
+                              std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    SetIoError(error, "open", path);
+    return CkptStatus::kIoError;
+  }
+  std::vector<std::uint8_t> bytes;
+  char buf[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + got);
+  }
+  const bool read_err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_err) {
+    SetIoError(error, "read", path);
+    return CkptStatus::kIoError;
+  }
+
+  if (bytes.size() < kHeaderSize) return CkptStatus::kTruncated;
+  ByteReader r(bytes.data(), kHeaderSize);
+  char magic[8];
+  r.Bytes(magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return CkptStatus::kBadMagic;
+  }
+  const std::uint32_t version = r.U32();
+  r.U32();  // flags
+  const std::uint64_t payload_size = r.U64();
+  const std::uint32_t payload_crc = r.U32();
+  if (version != kFormatVersion) return CkptStatus::kBadVersion;
+  if (payload_size != bytes.size() - kHeaderSize) return CkptStatus::kTruncated;
+  const std::uint8_t* payload = bytes.data() + kHeaderSize;
+  if (Crc32(payload, static_cast<std::size_t>(payload_size)) != payload_crc) {
+    return CkptStatus::kBadChecksum;
+  }
+
+  EngineCheckpointState st;
+  const CkptStatus decoded =
+      DecodeCheckpoint(payload, static_cast<std::size_t>(payload_size), &st);
+  if (decoded != CkptStatus::kOk) return decoded;
+  if (expected_options_hash != nullptr &&
+      st.options_hash != *expected_options_hash) {
+    return CkptStatus::kBadManifest;
+  }
+  *out = std::move(st);
+  return CkptStatus::kOk;
+}
+
+}  // namespace mdmesh

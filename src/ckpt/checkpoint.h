@@ -1,0 +1,79 @@
+// Checkpoint file format: versioned framing + CRC-32 integrity around an
+// EngineCheckpointState payload.
+//
+// Layout (all fields little-endian):
+//
+//   offset  size  field
+//        0     8  magic "MDMCKPT1"
+//        8     4  format version (currently 1)
+//       12     4  flags (reserved, 0)
+//       16     8  payload size in bytes
+//       24     4  CRC-32 (IEEE, zlib-compatible) of the payload
+//       28     -  payload (EncodeCheckpoint)
+//
+// The 28-byte header is deliberately parseable with Python's
+// struct.unpack("<8sIIQI", ...) and the checksum with binascii.crc32, so
+// scripts/check_perf_regression.py validate-ckpt can verify a file without
+// linking any C++.
+//
+// Every failure mode maps to a distinct CkptStatus — a torn write, a
+// bit-flip, a format bump, and a stale-config file are different operator
+// situations and the recovery tooling (ckpt/manager.h fallback, the crash
+// drill) branches on them. Decoding never throws and never crashes on
+// malformed bytes: the payload reader zero-fills past the end and the
+// element counts are validated against the remaining size before any
+// allocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/engine_state.h"
+
+namespace mdmesh {
+
+/// Result of reading/validating a checkpoint file. kOk means the state is
+/// fully decoded and checksum-verified.
+enum class CkptStatus {
+  kOk = 0,
+  kIoError,      ///< open/read/write failed (error string carries errno text)
+  kTruncated,    ///< shorter than the header or the declared payload size
+  kBadMagic,     ///< not a checkpoint file
+  kBadVersion,   ///< format version this build does not understand
+  kBadChecksum,  ///< CRC mismatch — torn write or bit rot
+  kBadPayload,   ///< checksum passed but the payload does not decode
+  kBadManifest,  ///< decoded, but the engine-options hash does not match
+};
+
+/// Stable lowercase name ("ok", "io_error", "truncated", ...) for logs and
+/// structured test assertions.
+const char* CkptStatusName(CkptStatus status);
+
+/// Serializes the state into the versioned payload (no header/CRC framing).
+std::vector<std::uint8_t> EncodeCheckpoint(const EngineCheckpointState& state);
+
+/// Decodes a payload produced by EncodeCheckpoint. Returns kOk or
+/// kBadPayload; `out` is only valid on kOk.
+CkptStatus DecodeCheckpoint(const std::uint8_t* data, std::size_t size,
+                            EngineCheckpointState* out);
+
+/// Writes header + payload atomically (temp file, fsync, rename) so a crash
+/// mid-write can never leave a half-written file under `path`. Returns kOk
+/// or kIoError; on failure `error` (if non-null) gets the reason including
+/// errno text.
+CkptStatus WriteCheckpointFile(const std::string& path,
+                               const EngineCheckpointState& state,
+                               std::string* error);
+
+/// Reads and fully validates a checkpoint file: magic, version, declared
+/// size, CRC, payload decode, and — when `expected_options_hash` is
+/// non-null — the engine-options hash (kBadManifest on mismatch). `out` is
+/// only valid on kOk. Never throws; malformed input of any shape yields a
+/// structured status.
+CkptStatus ReadCheckpointFile(const std::string& path,
+                              EngineCheckpointState* out,
+                              const std::uint64_t* expected_options_hash,
+                              std::string* error);
+
+}  // namespace mdmesh

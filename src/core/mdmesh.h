@@ -30,11 +30,17 @@
 
 // Simulation kernel.
 #include "net/engine.h"
+#include "net/engine_state.h"
 #include "net/invariants.h"
 #include "net/metrics.h"
 #include "net/network.h"
 #include "net/packet.h"
 #include "net/reference_engine.h"
+
+// Checkpoint/restore: versioned CRC-checksummed files, keep-K rotation,
+// corrupt-generation fallback.
+#include "ckpt/checkpoint.h"
+#include "ckpt/manager.h"
 
 // Routing (Sections 2.2 and 5).
 #include "routing/greedy.h"

@@ -312,8 +312,10 @@ std::int64_t NextHopFaulted(const std::int32_t* nbr, const std::int32_t* cp,
 
 std::uint64_t HashEngineOptions(const EngineOptions& opts) {
   // FNV-1a over a canonical encoding of the options that influence routing
-  // behavior. Observability hooks (observer, probe, metrics) and the thread
-  // pool are excluded: they never change results.
+  // behavior. Observability hooks (observer, probe, metrics), the thread
+  // pool, and the checkpoint sink are excluded: they never change results
+  // (for the sink that exclusion is load-bearing — a resumed run must hash
+  // identically whether or not it keeps checkpointing).
   std::uint64_t h = 14695981039346656037ull;
   const auto mix = [&h](std::uint64_t v) {
     for (int i = 0; i < 8; ++i) {
@@ -889,7 +891,50 @@ std::shared_ptr<StallReport> Engine::BuildStallReport(
   return report;
 }
 
-RouteResult Engine::Route(Network& net) {
+RouteResult Engine::Route(Network& net) { return RouteInternal(net, nullptr); }
+
+RouteResult Engine::Resume(Network& net, const EngineCheckpointState& state) {
+  // Refuse anything that would silently continue a different run: the
+  // resumed trace must be byte-identical to the uninterrupted one, and
+  // that promise is meaningless across a topology, option, or injector
+  // mismatch.
+  if (state.d != d_ || state.n != n_ || state.torus != topo_->torus()) {
+    throw std::invalid_argument(
+        "Engine::Resume: checkpoint topology shape does not match");
+  }
+  if (state.options_hash != HashEngineOptions(opts_)) {
+    throw std::invalid_argument(
+        "Engine::Resume: checkpoint engine-options hash does not match");
+  }
+  if (state.injector_attached != (opts_.injector != nullptr)) {
+    throw std::invalid_argument(
+        "Engine::Resume: injector presence does not match the checkpoint");
+  }
+  if (state.queues.size() != static_cast<std::size_t>(topo_->size())) {
+    throw std::invalid_argument(
+        "Engine::Resume: checkpoint queue table does not match the topology");
+  }
+  if (state.fault_cursor > events_.size()) {
+    throw std::invalid_argument(
+        "Engine::Resume: fault cursor beyond the plan's event schedule");
+  }
+  if (opts_.injector != nullptr &&
+      !opts_.injector->RestoreState(state.injector_state.data(),
+                                    state.injector_state.size())) {
+    throw std::invalid_argument(
+        "Engine::Resume: injector rejected its checkpoint state");
+  }
+  net.Clear();
+  auto& queues = net.queues();
+  for (std::size_t p = 0; p < state.queues.size(); ++p) {
+    auto& q = queues[p];
+    for (const Packet& pkt : state.queues[p]) q.push_back(pkt);
+  }
+  return RouteInternal(net, &state);
+}
+
+RouteResult Engine::RouteInternal(Network& net,
+                                  const EngineCheckpointState* resume) {
   RouteResult result;
   const ProcId N = topo_->size();
   const auto links = static_cast<std::size_t>(2 * d_);
@@ -898,30 +943,45 @@ RouteResult Engine::Route(Network& net) {
 
   // Initialize per-packet measurement state. Two-leg packets (overlapped
   // routing) count their full path as the distance; a zero-length first leg
-  // retargets immediately.
+  // retargets immediately. A resumed run restores the accumulators instead:
+  // the queues already carry fully initialized mid-run packets (dist0,
+  // arrived stamps, detour locks) verbatim from the checkpoint.
   std::int64_t in_flight = 0;  // packets not yet at their final destination
-  for (ProcId p = 0; p < N; ++p) {
-    for (Packet& pkt : queues[static_cast<std::size_t>(p)]) {
-      pkt.flags &= static_cast<std::uint16_t>(
-          ~(Packet::kMoving | Packet::kDetour | Packet::kLockMask));
-      if ((pkt.flags & Packet::kTwoLeg) != 0) {
-        pkt.dist0 = static_cast<std::int32_t>(
-            topo_->Dist(p, pkt.dest) +
-            topo_->Dist(pkt.dest, static_cast<ProcId>(pkt.tag)));
-        if (pkt.dest == p) {
-          pkt.dest = static_cast<ProcId>(pkt.tag);
-          pkt.flags &= static_cast<std::uint16_t>(~Packet::kTwoLeg);
+  if (resume == nullptr) {
+    for (ProcId p = 0; p < N; ++p) {
+      for (Packet& pkt : queues[static_cast<std::size_t>(p)]) {
+        pkt.flags &= static_cast<std::uint16_t>(
+            ~(Packet::kMoving | Packet::kDetour | Packet::kLockMask));
+        if ((pkt.flags & Packet::kTwoLeg) != 0) {
+          pkt.dist0 = static_cast<std::int32_t>(
+              topo_->Dist(p, pkt.dest) +
+              topo_->Dist(pkt.dest, static_cast<ProcId>(pkt.tag)));
+          if (pkt.dest == p) {
+            pkt.dest = static_cast<ProcId>(pkt.tag);
+            pkt.flags &= static_cast<std::uint16_t>(~Packet::kTwoLeg);
+          }
+        } else {
+          pkt.dist0 = static_cast<std::int32_t>(topo_->Dist(p, pkt.dest));
         }
-      } else {
-        pkt.dist0 = static_cast<std::int32_t>(topo_->Dist(p, pkt.dest));
+        pkt.arrived = pkt.dest == p ? 0 : -1;
+        if (pkt.dest != p) ++in_flight;
+        result.max_distance = std::max<std::int64_t>(result.max_distance, pkt.dist0);
+        ++result.packets;
       }
-      pkt.arrived = pkt.dest == p ? 0 : -1;
-      if (pkt.dest != p) ++in_flight;
-      result.max_distance = std::max<std::int64_t>(result.max_distance, pkt.dist0);
-      ++result.packets;
     }
+    result.max_queue = net.MaxQueue();
+  } else {
+    in_flight = resume->in_flight;
+    result.packets = resume->packets;
+    result.max_distance = resume->max_distance;
+    result.sparse_steps = resume->sparse_steps;
+    result.peak_active_procs = resume->peak_active_procs;
+    result.max_overshoot = resume->max_overshoot;
+    result.overshoot.RestoreMoments(resume->overshoot_count,
+                                    resume->overshoot_mean, resume->overshoot_m2,
+                                    resume->overshoot_min, resume->overshoot_max);
+    result.max_queue = resume->queue_max;
   }
-  result.max_queue = net.MaxQueue();
   // Directed links: 2d per processor on the torus; meshes lose the boundary
   // links (each dimension has 2*(n-1)*n^(d-1) directed links).
   result.links = topo_->torus()
@@ -954,6 +1014,18 @@ RouteResult Engine::Route(Network& net) {
   if (have_faults_) {
     link_dead_ = link_dead_perm_;
     std::fill(flap_count_.begin(), flap_count_.end(), 0);
+    if (resume != nullptr) {
+      // Replay the flap events the original run already applied to rebuild
+      // the per-link masks; fault_events_total was accumulated by that run
+      // and restores directly, so the replay must not re-count.
+      while (event_cursor < resume->fault_cursor &&
+             event_cursor < events_.size()) {
+        const FaultPlan::FlapEvent& ev = events_[event_cursor++];
+        const auto l = static_cast<std::size_t>(ev.link);
+        flap_count_[l] += ev.delta;
+        link_dead_[l] = (link_dead_perm_[l] != 0 || flap_count_[l] > 0) ? 1 : 0;
+      }
+    }
   }
 
   // Stall watchdog: abort after `stall_window` consecutive steps in which
@@ -966,7 +1038,7 @@ RouteResult Engine::Route(Network& net) {
     }
   }
   const bool watchdog_on = stall_window > 0;
-  std::int64_t no_progress = 0;
+  std::int64_t no_progress = resume != nullptr ? resume->no_progress : 0;
   bool watchdog_fired = false;
 
   // Injector-driven runs bypass the checker: its conservation invariant
@@ -1001,12 +1073,13 @@ RouteResult Engine::Route(Network& net) {
 
   const double threshold = std::clamp(opts_.sparse_threshold, 0.0, 1.0);
   const bool have_faults = have_faults_;
-  std::int64_t arrivals_total = 0;
-  std::int64_t moves_total = 0;
-  std::int64_t detours_total = 0;
-  std::int64_t fault_events_total = 0;
+  std::int64_t arrivals_total = resume != nullptr ? resume->arrivals_total : 0;
+  std::int64_t moves_total = resume != nullptr ? resume->moves_total : 0;
+  std::int64_t detours_total = resume != nullptr ? resume->detours_total : 0;
+  std::int64_t fault_events_total =
+      resume != nullptr ? resume->fault_events_total : 0;
   std::int64_t queue_max = result.max_queue;
-  std::int64_t step = 0;
+  std::int64_t step = resume != nullptr ? resume->step : 0;
 
   // Applies the flap edges scheduled for step `at`; returns whether any
   // fired (the watchdog treats a fault event as progress).
@@ -1111,10 +1184,13 @@ RouteResult Engine::Route(Network& net) {
         rec.dir_moves[i] = dir_moves_snapshot[i];
       }
       recorder->Append(rec);
-      if (FlightRecorder::InterruptRequested()) {
-        interrupted = true;
-        return true;
-      }
+    }
+    // Interrupt polling rides on the observability/checkpoint opt-ins: a
+    // bare hot-path run never pays the atomic load per step.
+    if ((recorder != nullptr || opts_.checkpoint != nullptr) &&
+        FlightRecorder::InterruptRequested()) {
+      interrupted = true;
+      return true;
     }
     if (probe != nullptr) {
       StepSnapshot snap;
@@ -1150,31 +1226,78 @@ RouteResult Engine::Route(Network& net) {
 
   bool injector_stopped = false;
   StepInjector* const injector = opts_.injector;
+
+  // Checkpointing. `injecting` lives at function scope (instead of inside
+  // the injector branch) because the snapshot must capture it; non-injector
+  // runs never read it. Snapshots are taken at clean unfused step
+  // boundaries only — post-commit, every queue is free of the kMoving
+  // scratch bit and the parity mailbox row for the step is fully consumed,
+  // so queues + accumulators + the injector blob are the whole state.
+  bool injecting = resume != nullptr ? resume->injecting : true;
+  CheckpointSink* const sink = opts_.checkpoint;
+  const auto save_checkpoint = [&](const char* cause) {
+    EngineCheckpointState st;
+    st.d = d_;
+    st.n = n_;
+    st.torus = topo_->torus();
+    st.options_hash = HashEngineOptions(opts_);
+    st.injector_attached = injector != nullptr;
+    st.step = step;
+    st.in_flight = in_flight;
+    st.arrivals_total = arrivals_total;
+    st.moves_total = moves_total;
+    st.detours_total = detours_total;
+    st.fault_events_total = fault_events_total;
+    st.queue_max = queue_max;
+    st.no_progress = no_progress;
+    st.injecting = injecting;
+    st.packets = result.packets;
+    st.max_distance = result.max_distance;
+    st.sparse_steps = result.sparse_steps;
+    st.peak_active_procs = result.peak_active_procs;
+    st.max_overshoot = result.max_overshoot;
+    st.overshoot_count = result.overshoot.count();
+    st.overshoot_mean = result.overshoot.mean();
+    st.overshoot_m2 = result.overshoot.m2();
+    st.overshoot_min = result.overshoot.min();
+    st.overshoot_max = result.overshoot.max();
+    st.fault_cursor = static_cast<std::uint64_t>(event_cursor);
+    st.queues.resize(static_cast<std::size_t>(N));
+    for (ProcId p = 0; p < N; ++p) {
+      const auto& q = queues[static_cast<std::size_t>(p)];
+      st.queues[static_cast<std::size_t>(p)].assign(q.begin(), q.end());
+    }
+    if (injector != nullptr) injector->SaveState(&st.injector_state);
+    sink->Save(st, cause);
+  };
+
   if (injector != nullptr) {
     // Open-loop injection: unfused two-phase steps with per-step injection
     // before the bids and delivery retirement after the commits (contract
     // in engine.h). Preloaded packets count as injected at step 1; ones
-    // already at their destination retire right here with latency 0.
-    for (ProcId p = 0; p < N; ++p) {
-      auto& q = queues[static_cast<std::size_t>(p)];
-      std::size_t w = 0;
-      const std::size_t sz = q.size();
-      for (std::size_t i = 0; i < sz; ++i) {
-        q[i].tag = 1;
-        if (q[i].arrived >= 0) {
-          q[i].arrived = 0;
-          result.overshoot.Add(0.0);
-          injector->OnDeliver(q[i], 0);
-          continue;
+    // already at their destination retire right here with latency 0. A
+    // resumed run skips the normalization — its queues are already mid-run.
+    if (resume == nullptr) {
+      for (ProcId p = 0; p < N; ++p) {
+        auto& q = queues[static_cast<std::size_t>(p)];
+        std::size_t w = 0;
+        const std::size_t sz = q.size();
+        for (std::size_t i = 0; i < sz; ++i) {
+          q[i].tag = 1;
+          if (q[i].arrived >= 0) {
+            q[i].arrived = 0;
+            result.overshoot.Add(0.0);
+            injector->OnDeliver(q[i], 0);
+            continue;
+          }
+          if (w != i) q[w] = q[i];
+          ++w;
         }
-        if (w != i) q[w] = q[i];
-        ++w;
+        q.resize(w);
       }
-      q.resize(w);
     }
     std::vector<std::pair<ProcId, Packet>> batch;
     std::vector<ProcId> injected_procs;
-    bool injecting = true;
     bool active_valid = false;
     while ((injecting || in_flight > arrivals_total) && step < cap) {
       ++step;
@@ -1272,10 +1395,19 @@ RouteResult Engine::Route(Network& net) {
         break;
       }
       if (injector_stopped) break;
+      if (sink != nullptr && (injecting || in_flight > arrivals_total) &&
+          sink->Due(step)) {
+        save_checkpoint("cadence");
+      }
     }
-  } else if (checker != nullptr) {
-    // Checker path: plain two-phase steps (bid, CheckSlots, commit) so the
+  } else if (checker != nullptr || sink != nullptr || resume != nullptr) {
+    // Unfused path: plain two-phase steps (bid, CheckSlots, commit) so the
     // per-phase invariants see exactly the state they are specified on.
+    // Checkpointing and resume ride the same loop — snapshots need the
+    // clean post-commit boundary the fused pipeline never exposes, and a
+    // resumed run must step identically to the checkpointing one (unfused
+    // and fused are byte-identical by the equality contract, so forcing
+    // this loop never changes results).
     bool active_valid = false;
     while (in_flight > arrivals_total && step < cap) {
       ++step;
@@ -1288,7 +1420,7 @@ RouteResult Engine::Route(Network& net) {
           RebuildActiveSet(net);
           active_valid = true;
         }
-        if (!slots_clean_) {
+        if (checker != nullptr && !slots_clean_) {
           // CheckSlots scans every slot row, so entering sparse mode after
           // a dense step must erase the dense pass's winners once; sparse
           // steps then keep the rows clean incrementally.
@@ -1301,13 +1433,15 @@ RouteResult Engine::Route(Network& net) {
         active_valid = false;
         DenseStep(net, step, now, count_dirs, checker.get());
       }
-      try {
-        checker->CheckStep(net, step);
-      } catch (...) {
-        // Invariant violations throw; the black box must hit disk before
-        // the exception unwinds past the engine.
-        if (recorder != nullptr) recorder->Dump("invariant_failure");
-        throw;
+      if (checker != nullptr) {
+        try {
+          checker->CheckStep(net, step);
+        } catch (...) {
+          // Invariant violations throw; the black box must hit disk before
+          // the exception unwinds past the engine.
+          if (recorder != nullptr) recorder->Dump("invariant_failure");
+          throw;
+        }
       }
       const auto [step_arrivals, step_moves] = reduce_scratch();
       if (emit_step(step, step_arrivals, step_moves, fault_event,
@@ -1316,6 +1450,9 @@ RouteResult Engine::Route(Network& net) {
                     0)) {
         watchdog_fired = true;
         break;
+      }
+      if (sink != nullptr && in_flight > arrivals_total && sink->Due(step)) {
+        save_checkpoint("cadence");
       }
     }
   } else if (in_flight > 0) {
@@ -1550,6 +1687,12 @@ RouteResult Engine::Route(Network& net) {
     // is a no-op (the report already embeds the ring's tail).
     if (recorder != nullptr) {
       recorder->Dump(result.stall_report->ReasonName());
+    }
+    // Every abort also leaves a resumable snapshot (cause = abort reason):
+    // the state is still at a clean step boundary — the unfused loops only
+    // break post-commit — so a later Resume picks up exactly here.
+    if (sink != nullptr) {
+      save_checkpoint(result.stall_report->ReasonName());
     }
   }
   // Consume the interrupt so a later Route (tests, multi-phase campaigns)

@@ -71,6 +71,15 @@
 // The engine is deterministic: identical inputs give identical step counts
 // and final placements regardless of thread count (each directed link has a
 // unique writer, so the parallel update is race-free by construction).
+//
+// Checkpoint/resume (net/engine_state.h, ckpt/): when
+// EngineOptions::checkpoint is set, the engine snapshots its full state at
+// clean step boundaries (on the sink's cadence and on every abort) and
+// Engine::Resume continues a run from such a snapshot, byte-identical to
+// the uninterrupted run. Checkpointing runs use the unfused two-phase step;
+// with no sink, Route is byte-identical to an engine without checkpoint
+// support and pays nothing. See the CheckpointSink contract in
+// net/engine_state.h.
 #pragma once
 
 #include <cstdint>
@@ -80,6 +89,7 @@
 #include <vector>
 
 #include "fault/fault_plan.h"
+#include "net/engine_state.h"
 #include "net/invariants.h"
 #include "net/metrics.h"
 #include "net/network.h"
@@ -147,6 +157,22 @@ class StepInjector {
   virtual void OnDeliver(const Packet& pkt, std::int64_t step) {
     (void)pkt;
     (void)step;
+  }
+
+  /// Checkpoint support: serialize the injector's full state into `out`
+  /// (cleared first) / restore it from a snapshot taken by SaveState.
+  /// The engine calls SaveState at every checkpoint and RestoreState once
+  /// in Resume, both at clean step boundaries, so an injector only has to
+  /// round-trip its between-steps state (RNG streams, window cursors,
+  /// histograms). RestoreState returns false on a malformed blob; Resume
+  /// turns that into a structured failure instead of resuming silently.
+  /// The defaults suit stateless injectors.
+  virtual void SaveState(std::vector<std::uint8_t>* out) const {
+    out->clear();
+  }
+  virtual bool RestoreState(const std::uint8_t* data, std::size_t size) {
+    (void)data;
+    return size == 0;
   }
 };
 
@@ -219,6 +245,18 @@ struct EngineOptions {
   /// a recorder is attached; aborts with StallReason::kInterrupt). The
   /// StallReport embeds the ring's tail either way. Null costs nothing.
   FlightRecorder* recorder = nullptr;
+
+  /// Optional checkpoint sink (contract in net/engine_state.h). When set,
+  /// the engine runs the unfused two-phase step loop (identical results,
+  /// pinned by the sparse/dense/fused equality tests), polls Due() after
+  /// every completed step, snapshots on demand, and emits a final snapshot
+  /// on watchdog/step-cap/SIGINT-SIGTERM aborts. The SIGINT/SIGTERM flag
+  /// is polled per step whenever a sink or a recorder is attached. Null
+  /// leaves the fused hot path byte-identical and untouched. Excluded from
+  /// HashEngineOptions like every observability hook — checkpointing never
+  /// changes results, so a checkpointed run can resume without a sink and
+  /// vice versa.
+  CheckpointSink* checkpoint = nullptr;
 };
 
 /// FNV-1a over the routing-relevant options: step cap, sparse policy and
@@ -247,7 +285,26 @@ class Engine {
   /// Packets already at their destination stay put (arrived = 0).
   RouteResult Route(Network& net);
 
+  /// Continues a run from a checkpoint snapshot. `net`'s contents are
+  /// replaced by the snapshot's queues; the step loop then resumes at
+  /// state.step + 1 and the returned RouteResult covers the whole run
+  /// (pre-crash steps included). The resumed trace is byte-identical to
+  /// the uninterrupted run for any thread count and sparse mode.
+  ///
+  /// Requirements (std::invalid_argument otherwise): the snapshot's
+  /// topology shape and options hash match this engine, injector presence
+  /// matches (and the injector accepts its state blob), and the fault
+  /// cursor is within this plan's event schedule. The engine's own
+  /// checkpoint sink keeps working on a resumed run, so a crash-restart
+  /// cycle can repeat indefinitely.
+  RouteResult Resume(Network& net, const EngineCheckpointState& state);
+
  private:
+  /// Shared step-loop body: `resume` == nullptr is a fresh Route;
+  /// otherwise loop cursors and accumulators are restored from the
+  /// snapshot and per-packet initialization is skipped.
+  RouteResult RouteInternal(Network& net,
+                            const EngineCheckpointState* resume);
   /// Per-worker scratch arena: step counters and reusable buffers, reset by
   /// the coordinator each step and reduced after the dispatch returns.
   /// Cache-line aligned so two workers never share a line.

@@ -2,8 +2,9 @@
 
 #include <csignal>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
+
+#include "util/atomic_file.h"
 
 namespace mdmesh {
 
@@ -89,28 +90,15 @@ std::string FlightRecorder::ToJson(const std::string& reason) const {
 
 bool FlightRecorder::Dump(const std::string& reason) const {
   if (dump_path_.empty()) return false;
-  const std::string tmp = dump_path_ + ".tmp";
-  {
-    std::ofstream out(tmp);
-    if (!out) {
-      std::fprintf(stderr,
-                   "flight recorder: cannot open %s for writing\n",
-                   tmp.c_str());
-      return false;
-    }
-    JsonWriter w(out, 1);
-    WriteJson(w, reason);
-    out << '\n';
-    out.flush();
-    if (!out) {
-      std::fprintf(stderr, "flight recorder: write to %s failed\n",
-                   tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(tmp.c_str(), dump_path_.c_str()) != 0) {
-    std::fprintf(stderr, "flight recorder: rename %s -> %s failed\n",
-                 tmp.c_str(), dump_path_.c_str());
+  std::ostringstream os;
+  JsonWriter w(os, 1);
+  WriteJson(w, reason);
+  os << '\n';
+  // Atomic rename (shared util/atomic_file.h): a crash or a concurrent
+  // reader can only ever see the previous complete dump, never a torn one.
+  std::string error;
+  if (!WriteFileAtomic(dump_path_, os.str(), &error)) {
+    std::fprintf(stderr, "flight recorder: %s\n", error.c_str());
     return false;
   }
   std::fprintf(stderr, "flight recorder: dumped %zu record(s) to %s (%s)\n",

@@ -1,5 +1,6 @@
 #include "obs/output.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -7,12 +8,15 @@
 namespace mdmesh {
 
 std::ofstream OpenOutputFile(const std::string& path, const char* flag) {
+  errno = 0;
   std::ofstream out(path);
   if (!out) {
-    std::fprintf(stderr,
-                 "error: cannot open %s=%s for writing (check that the "
-                 "directory exists and is writable)\n",
-                 flag, path.c_str());
+    // ofstream sets errno through the underlying open(2); surfacing its
+    // text turns "cannot open" into an actionable message (ENOENT vs
+    // EACCES vs EROFS need different fixes).
+    std::fprintf(stderr, "error: cannot open %s=%s for writing: %s\n", flag,
+                 path.c_str(),
+                 errno != 0 ? std::strerror(errno) : "unknown error");
     std::exit(1);
   }
   return out;
@@ -36,6 +40,17 @@ void AddOutputFlags(Cli& cli) {
   cli.AddString("--flight-recorder", "",
                 "dump the engine's black-box step ring to this path when a "
                 "run aborts (watchdog, step cap, invariant, interrupt)");
+  cli.AddString("--checkpoint", "",
+                "write engine checkpoints (versioned, CRC-checksummed, "
+                "atomically renamed) into this directory");
+  cli.AddInt("--checkpoint-every", 0,
+             "checkpoint cadence in completed steps (0 = the example's "
+             "default cadence)");
+  cli.AddInt("--checkpoint-keep", 3,
+             "checkpoint generations to keep before rotating old ones out");
+  cli.AddBool("--resume", false,
+              "resume from the newest valid checkpoint in --checkpoint "
+              "instead of starting fresh");
   cli.AddBool("--progress", false,
               "stderr heartbeat with step, in-flight, and steps/sec");
   cli.AddBool("--perf", false,
@@ -52,6 +67,10 @@ OutputFlags GetOutputFlags(const Cli& cli) {
   flags.metrics_port = cli.GetInt("metrics-port");
   flags.status_file = cli.GetString("status-file");
   flags.flight_recorder = cli.GetString("flight-recorder");
+  flags.checkpoint = cli.GetString("checkpoint");
+  flags.checkpoint_every = cli.GetInt("checkpoint-every");
+  flags.checkpoint_keep = cli.GetInt("checkpoint-keep");
+  flags.resume = cli.GetBool("resume");
   flags.progress = cli.GetBool("progress");
   flags.perf = cli.GetBool("perf");
   flags.quick = cli.GetBool("quick");
@@ -65,11 +84,15 @@ OutputFlags ParseOutputFlags(int* argc, char** argv) {
   // --metrics-port parses through a string staging slot so the table stays
   // uniform; the int conversion happens once at the end.
   std::string metrics_port;
+  std::string checkpoint_every;
+  std::string checkpoint_keep;
   struct ValueFlag {
     const char* name;
     std::size_t len;
     std::string* target;
   };
+  // "--checkpoint" cannot swallow "--checkpoint-every": a prefix hit only
+  // counts when the next character is '\0' or '='.
   const ValueFlag value_flags[] = {
       {"--json", 6, &flags.json},
       {"--trace-csv", 11, &flags.trace_csv},
@@ -77,6 +100,9 @@ OutputFlags ParseOutputFlags(int* argc, char** argv) {
       {"--metrics-port", 14, &metrics_port},
       {"--status-file", 13, &flags.status_file},
       {"--flight-recorder", 17, &flags.flight_recorder},
+      {"--checkpoint", 12, &flags.checkpoint},
+      {"--checkpoint-every", 18, &checkpoint_every},
+      {"--checkpoint-keep", 17, &checkpoint_keep},
   };
   int w = 1;
   for (int r = 1; r < *argc; ++r) {
@@ -92,6 +118,8 @@ OutputFlags ParseOutputFlags(int* argc, char** argv) {
     if (hit == nullptr) {
       if (std::strcmp(arg, "--quick") == 0) {
         flags.quick = true;
+      } else if (std::strcmp(arg, "--resume") == 0) {
+        flags.resume = true;
       } else if (std::strcmp(arg, "--progress") == 0) {
         flags.progress = true;
       } else if (std::strcmp(arg, "--perf") == 0) {
@@ -114,6 +142,13 @@ OutputFlags ParseOutputFlags(int* argc, char** argv) {
   *argc = w;
   if (!metrics_port.empty()) {
     flags.metrics_port = std::strtoll(metrics_port.c_str(), nullptr, 10);
+  }
+  if (!checkpoint_every.empty()) {
+    flags.checkpoint_every =
+        std::strtoll(checkpoint_every.c_str(), nullptr, 10);
+  }
+  if (!checkpoint_keep.empty()) {
+    flags.checkpoint_keep = std::strtoll(checkpoint_keep.c_str(), nullptr, 10);
   }
   return flags;
 }

@@ -12,6 +12,12 @@
 //                           (atomic rename; `watch cat` safe)
 //   --flight-recorder=<path> dump the engine's black-box step ring there on
 //                           stall/step-cap/invariant/interrupt aborts
+//   --checkpoint=<dir>      write engine checkpoints into this directory
+//                           (versioned, CRC-checksummed, atomically renamed)
+//   --checkpoint-every=<n>  checkpoint cadence in steps
+//   --checkpoint-keep=<k>   checkpoint generations to keep (default 3)
+//   --resume                resume from the newest valid checkpoint in
+//                           --checkpoint instead of starting fresh
 //   --progress              stderr heartbeat (auto-off when not a TTY
 //                           unless the flag is given explicitly)
 //   --perf                  per-phase hardware counters (Linux
@@ -42,6 +48,15 @@ struct OutputFlags {
   std::int64_t metrics_port = -1;
   std::string status_file;       ///< empty = no periodic status JSON
   std::string flight_recorder;   ///< empty = no black-box dump path
+  /// Checkpoint directory (--checkpoint): empty = checkpointing disabled.
+  std::string checkpoint;
+  /// Checkpoint cadence in steps (--checkpoint-every; 0 keeps the
+  /// example's default).
+  std::int64_t checkpoint_every = 0;
+  /// Generations to keep in the checkpoint dir (--checkpoint-keep).
+  std::int64_t checkpoint_keep = 3;
+  /// Resume from the newest valid checkpoint in --checkpoint (--resume).
+  bool resume = false;
   bool progress = false;         ///< force the stderr heartbeat on
   bool perf = false;             ///< per-phase hardware counters
   bool quick = false;
@@ -52,6 +67,7 @@ struct OutputFlags {
   bool WantsMetricsEndpoint() const { return metrics_port >= 0; }
   bool WantsStatusFile() const { return !status_file.empty(); }
   bool WantsFlightRecorder() const { return !flight_recorder.empty(); }
+  bool WantsCheckpoint() const { return !checkpoint.empty(); }
   /// True when either live-publisher sink is requested.
   bool WantsPublisher() const {
     return WantsMetricsEndpoint() || WantsStatusFile();
@@ -59,8 +75,8 @@ struct OutputFlags {
 };
 
 /// Registers --json, --trace-csv, --perfetto, --metrics-port,
-/// --status-file, --flight-recorder, --progress, --perf, and --quick on
-/// `cli`.
+/// --status-file, --flight-recorder, --checkpoint, --checkpoint-every,
+/// --checkpoint-keep, --resume, --progress, --perf, and --quick on `cli`.
 void AddOutputFlags(Cli& cli);
 
 /// Reads the flags registered by AddOutputFlags back from a parsed Cli.

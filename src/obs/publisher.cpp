@@ -3,8 +3,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <sstream>
+
+#include "util/atomic_file.h"
 
 #if defined(_WIN32)
 // No POSIX sockets / isatty here; the publisher degrades to status-file
@@ -121,19 +122,11 @@ std::string MetricsPublisher::StatusJson() const {
 
 void MetricsPublisher::WriteStatusFile() {
   if (opts_.status_file.empty() || opts_.registry == nullptr) return;
-  const std::string tmp = opts_.status_file + ".tmp";
-  {
-    std::ofstream out(tmp);
-    if (!out) {
-      std::fprintf(stderr, "metrics publisher: cannot write %s\n",
-                   tmp.c_str());
-      return;
-    }
-    out << StatusJson();
-  }
-  if (std::rename(tmp.c_str(), opts_.status_file.c_str()) != 0) {
-    std::fprintf(stderr, "metrics publisher: rename to %s failed\n",
-                 opts_.status_file.c_str());
+  // Atomic rename (shared util/atomic_file.h): `watch cat` and scrapers
+  // never observe a half-written snapshot.
+  std::string error;
+  if (!WriteFileAtomic(opts_.status_file, StatusJson(), &error)) {
+    std::fprintf(stderr, "metrics publisher: %s\n", error.c_str());
     return;
   }
   snapshots_.fetch_add(1, std::memory_order_relaxed);

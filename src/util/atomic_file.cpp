@@ -1,0 +1,102 @@
+#include "util/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace mdmesh {
+namespace {
+
+void SetError(std::string* error, const std::string& what) {
+  if (error != nullptr) {
+    *error = what + ": " + std::strerror(errno);
+  }
+}
+
+}  // namespace
+
+#if !defined(_WIN32)
+
+bool WriteFileAtomic(const std::string& path, const void* data,
+                     std::size_t size, std::string* error) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    SetError(error, "open " + tmp);
+    return false;
+  }
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::size_t left = size;
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SetError(error, "write " + tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  // Flush to stable storage before the rename: otherwise a crash can leave
+  // the new name pointing at not-yet-durable bytes, which is exactly the
+  // torn state the temp-then-rename dance exists to rule out.
+  if (::fsync(fd) != 0) {
+    SetError(error, "fsync " + tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    SetError(error, "close " + tmp);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    SetError(error, "rename " + tmp + " -> " + path);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+#else  // _WIN32: stdio fallback, no fsync (the repo's CI targets POSIX).
+
+bool WriteFileAtomic(const std::string& path, const void* data,
+                     std::size_t size, std::string* error) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    SetError(error, "open " + tmp);
+    return false;
+  }
+  const bool wrote = size == 0 || std::fwrite(data, 1, size, f) == size;
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    SetError(error, "write " + tmp);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  std::remove(path.c_str());  // rename does not replace on Windows
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    SetError(error, "rename " + tmp + " -> " + path);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+#endif
+
+bool WriteFileAtomic(const std::string& path, const std::string& data,
+                     std::string* error) {
+  return WriteFileAtomic(path, data.data(), data.size(), error);
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,23 @@
+// Atomic file replacement: write a temporary sibling, flush it to stable
+// storage, then rename it over the destination. A reader (or a crash at any
+// instant) sees either the previous complete file or the new complete file,
+// never a torn mixture — the invariant the checkpoint store, the
+// --status-file snapshot, and the flight-recorder dump all rely on.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace mdmesh {
+
+/// Writes `size` bytes at `data` to `path` via `path + ".tmp"`:
+/// write -> fsync -> rename. Returns false on failure with a diagnostic
+/// (including the errno text) in *error; `error` may be null. The
+/// temporary file is removed on a failed write, so retries start clean.
+bool WriteFileAtomic(const std::string& path, const void* data,
+                     std::size_t size, std::string* error);
+
+bool WriteFileAtomic(const std::string& path, const std::string& data,
+                     std::string* error);
+
+}  // namespace mdmesh

@@ -1,0 +1,37 @@
+#include "util/crc32.h"
+
+namespace mdmesh {
+namespace {
+
+struct Crc32Table {
+  std::uint32_t entry[256];
+  constexpr Crc32Table() : entry{} {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entry[i] = c;
+    }
+  }
+};
+
+constexpr Crc32Table kTable{};
+
+}  // namespace
+
+std::uint32_t Crc32Update(std::uint32_t crc, const void* data,
+                          std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = kTable.entry[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t Crc32(const void* data, std::size_t size) {
+  return Crc32Update(0, data, size);
+}
+
+}  // namespace mdmesh

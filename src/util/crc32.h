@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the zlib/PNG
+// variant, chosen deliberately so Python's binascii.crc32 computes the same
+// digest and CI scripts can validate checkpoint files without linking any
+// C++ code.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mdmesh {
+
+/// One-shot CRC-32 of a byte buffer.
+std::uint32_t Crc32(const void* data, std::size_t size);
+
+/// Incremental form: feed `crc` = 0 for the first chunk, then the previous
+/// return value for each following chunk. Equivalent to one Crc32 call over
+/// the concatenation.
+std::uint32_t Crc32Update(std::uint32_t crc, const void* data,
+                          std::size_t size);
+
+}  // namespace mdmesh

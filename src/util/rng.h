@@ -7,6 +7,7 @@
 // processor of the simulated network) from a parent seed and a stream id.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -59,6 +60,20 @@ class Rng {
 
   /// A uniformly random permutation of [0, size).
   std::vector<std::int64_t> Permutation(std::int64_t size);
+
+  /// The full generator state (the four xoshiro256** lanes), for
+  /// checkpointing. Restore() on any Rng replays the identical draw
+  /// sequence from that point — including Split() children, whose
+  /// derivation reads only the parent state.
+  std::array<std::uint64_t, 4> State() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void Restore(const std::array<std::uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state[static_cast<std::size_t>(i)];
+    // The all-zero state is a fixed point of xoshiro and unreachable from
+    // any seeded generator; guard against hand-built inputs anyway.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  }
 
  private:
   std::uint64_t s_[4];

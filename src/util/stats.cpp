@@ -37,6 +37,15 @@ void Accumulator::Merge(const Accumulator& other) {
   count_ += other.count_;
 }
 
+void Accumulator::RestoreMoments(std::int64_t count, double mean, double m2,
+                                 double min, double max) {
+  count_ = count < 0 ? 0 : count;
+  mean_ = mean;
+  m2_ = m2;
+  min_ = min;
+  max_ = max;
+}
+
 double Accumulator::min() const { return count_ ? min_ : 0.0; }
 double Accumulator::max() const { return count_ ? max_ : 0.0; }
 double Accumulator::mean() const { return mean_; }
@@ -165,6 +174,20 @@ void QuantileHistogram::Merge(const QuantileHistogram& other) {
     const std::int64_t value = static_cast<std::int64_t>(i) * other.width_;
     buckets_[static_cast<std::size_t>(value / width_)] += other.buckets_[i];
   }
+}
+
+bool QuantileHistogram::RestoreState(std::int64_t width, std::int64_t count,
+                                     std::int64_t min, std::int64_t max,
+                                     double sum,
+                                     std::vector<std::int64_t> buckets) {
+  if (width < 1 || count < 0 || buckets.size() < 2) return false;
+  buckets_ = std::move(buckets);
+  width_ = width;
+  count_ = count;
+  min_ = min;
+  max_ = max;
+  sum_ = sum;
+  return true;
 }
 
 double QuantileHistogram::Quantile(double q) const {

@@ -21,6 +21,12 @@ class Accumulator {
   double stddev() const;
   double sum() const { return mean_ * static_cast<double>(count_); }
 
+  /// Raw second central moment (Welford m2), exposed with RestoreMoments so
+  /// a checkpoint can round-trip the accumulator exactly.
+  double m2() const { return m2_; }
+  void RestoreMoments(std::int64_t count, double mean, double m2, double min,
+                      double max);
+
   std::string ToString() const;
 
  private:
@@ -84,6 +90,17 @@ class QuantileHistogram {
   }
   /// Current bucket width (1 = exact integer resolution).
   std::int64_t width() const { return width_; }
+
+  /// Exact sample sum (mean() * count(), kept separately for round-trips).
+  double sum() const { return sum_; }
+  /// The raw bucket array, for checkpoint serialization.
+  const std::vector<std::int64_t>& raw_buckets() const { return buckets_; }
+  /// Replaces the full histogram state from a checkpoint. Returns false
+  /// (leaving the histogram untouched) on malformed input: width < 1,
+  /// negative count, or fewer than two buckets.
+  bool RestoreState(std::int64_t width, std::int64_t count, std::int64_t min,
+                    std::int64_t max, double sum,
+                    std::vector<std::int64_t> buckets);
 
   /// The value at quantile q in [0, 1] (0.5 = median). Exact for width 1;
   /// otherwise interpolated within the containing bucket. Clamped to the

@@ -1,9 +1,11 @@
 #include "workload/driver.h"
 
 #include <algorithm>
+#include <array>
 
 #include "net/network.h"
 #include "obs/json.h"
+#include "util/codec.h"
 
 namespace mdmesh {
 
@@ -46,12 +48,95 @@ InjectAction OpenLoopInjector::Inject(
 
 void OpenLoopInjector::OnDeliver(const Packet& pkt, std::int64_t step) {
   ++delivered_;
+  // The trace hash folds in every delivery — warmup and drain included, and
+  // before any window check — so it fingerprints the complete run, not just
+  // the measured slice.
+  const auto mix = [this](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      delivery_hash_ ^= (v >> (8 * i)) & 0xff;
+      delivery_hash_ *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(pkt.id));
+  mix(static_cast<std::uint64_t>(pkt.tag));
+  mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(pkt.arrived)));
+  mix(static_cast<std::uint64_t>(step));
   if (step <= opts_.warmup_steps ||
       step > opts_.warmup_steps + opts_.measure_steps) {
     return;
   }
   ++measured_delivered_;
   latency_.Add(static_cast<std::int64_t>(pkt.arrived) - pkt.tag + 1);
+}
+
+namespace {
+/// Injector blob format version; bumped with any layout change so a stale
+/// blob is rejected instead of misparsed.
+constexpr std::uint32_t kInjectorBlobVersion = 1;
+}  // namespace
+
+void OpenLoopInjector::SaveState(std::vector<std::uint8_t>* out) const {
+  out->clear();
+  ByteWriter w(out);
+  w.U32(kInjectorBlobVersion);
+  const std::array<std::uint64_t, 4> rng_state = rng_.State();
+  for (std::uint64_t word : rng_state) w.U64(word);
+  w.I64(next_id_);
+  w.I64(offered_);
+  w.I64(delivered_);
+  w.I64(measured_injected_);
+  w.I64(measured_delivered_);
+  w.I64(backlog_start_);
+  w.I64(backlog_end_);
+  w.U64(delivery_hash_);
+  w.I64(latency_.width());
+  w.I64(latency_.count());
+  w.I64(latency_.min());
+  w.I64(latency_.max());
+  w.F64(latency_.sum());
+  const std::vector<std::int64_t>& buckets = latency_.raw_buckets();
+  w.U64(buckets.size());
+  for (std::int64_t b : buckets) w.I64(b);
+}
+
+bool OpenLoopInjector::RestoreState(const std::uint8_t* data,
+                                    std::size_t size) {
+  ByteReader r(data, size);
+  if (r.U32() != kInjectorBlobVersion) return false;
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = r.U64();
+  const std::int64_t next_id = r.I64();
+  const std::int64_t offered = r.I64();
+  const std::int64_t delivered = r.I64();
+  const std::int64_t measured_injected = r.I64();
+  const std::int64_t measured_delivered = r.I64();
+  const std::int64_t backlog_start = r.I64();
+  const std::int64_t backlog_end = r.I64();
+  const std::uint64_t delivery_hash = r.U64();
+  const std::int64_t width = r.I64();
+  const std::int64_t count = r.I64();
+  const std::int64_t lat_min = r.I64();
+  const std::int64_t lat_max = r.I64();
+  const double sum = r.F64();
+  const std::uint64_t nbuckets = r.U64();
+  if (!r.ok() || nbuckets != r.remaining() / 8) return false;
+  std::vector<std::int64_t> buckets(static_cast<std::size_t>(nbuckets));
+  for (std::int64_t& b : buckets) b = r.I64();
+  if (!r.exhausted()) return false;
+  if (!latency_.RestoreState(width, count, lat_min, lat_max, sum,
+                             std::move(buckets))) {
+    return false;
+  }
+  rng_.Restore(rng_state);
+  next_id_ = next_id;
+  offered_ = offered;
+  delivered_ = delivered;
+  measured_injected_ = measured_injected;
+  measured_delivered_ = measured_delivered;
+  backlog_start_ = backlog_start;
+  backlog_end_ = backlog_end;
+  delivery_hash_ = delivery_hash;
+  return true;
 }
 
 double OpenLoopInjector::Throughput() const {
@@ -91,6 +176,7 @@ void WorkloadResult::WriteJson(JsonWriter& w) const {
   w.Key("latency_p95").Double(latency_p95);
   w.Key("latency_p99").Double(latency_p99);
   w.Key("latency_max").Int(latency_max);
+  w.Key("delivery_hash").UInt(delivery_hash);
   w.Key("steps").Int(route.steps);
   w.Key("moves").Int(route.moves);
   w.Key("sparse_steps").Int(route.sparse_steps);
@@ -102,7 +188,8 @@ void WorkloadResult::WriteJson(JsonWriter& w) const {
 
 WorkloadResult RunOpenLoop(const Topology& topo, const TrafficPattern& pattern,
                            const DriverOptions& dopts,
-                           const EngineOptions& eopts) {
+                           const EngineOptions& eopts,
+                           const EngineCheckpointState* resume) {
   OpenLoopInjector injector(topo, pattern, dopts);
   EngineOptions opts = eopts;
   opts.injector = &injector;
@@ -111,7 +198,10 @@ WorkloadResult RunOpenLoop(const Topology& topo, const TrafficPattern& pattern,
   WorkloadResult out;
   out.pattern = pattern.name();
   out.driver = dopts;
-  out.route = engine.Route(net);
+  // Resume restores the injector blob (RNG, counters, histogram) inside
+  // Engine::Resume before the step loop continues.
+  out.route = resume != nullptr ? engine.Resume(net, *resume)
+                                : engine.Route(net);
   out.offered = injector.offered();
   out.delivered = injector.delivered();
   out.measured_injected = injector.measured_injected();
@@ -127,6 +217,7 @@ WorkloadResult RunOpenLoop(const Topology& topo, const TrafficPattern& pattern,
   out.latency_p95 = lat.Quantile(0.95);
   out.latency_p99 = lat.Quantile(0.99);
   out.latency_max = lat.max();
+  out.delivery_hash = injector.delivery_hash();
   // Driver-side metrics: whole-run offered/delivered totals plus the
   // measured-window latency histogram, folded into the shared registry the
   // engine already recorded its engine.* counters into.

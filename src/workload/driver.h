@@ -54,6 +54,14 @@ class OpenLoopInjector final : public StepInjector {
                       std::vector<std::pair<ProcId, Packet>>* out) override;
   void OnDeliver(const Packet& pkt, std::int64_t step) override;
 
+  /// Checkpoint round-trip (StepInjector contract): the blob carries the
+  /// RNG stream, every counter, the measurement-window cursors, the
+  /// delivery-trace hash, and the full latency histogram, so a restored
+  /// injector continues draw-for-draw identically. RestoreState returns
+  /// false on a malformed or truncated blob without touching the injector.
+  void SaveState(std::vector<std::uint8_t>* out) const override;
+  bool RestoreState(const std::uint8_t* data, std::size_t size) override;
+
   // Whole-run totals.
   std::int64_t offered() const { return offered_; }
   std::int64_t delivered() const { return delivered_; }
@@ -67,6 +75,13 @@ class OpenLoopInjector final : public StepInjector {
 
   /// Latency histogram of packets delivered inside the window.
   const QuantileHistogram& latency() const { return latency_; }
+
+  /// FNV-1a hash over the whole delivery trace — every (packet id,
+  /// injection step, arrival step) triple in delivery order, warmup and
+  /// drain included. Order-sensitive by construction, so two runs agree on
+  /// it iff they delivered the same packets at the same steps in the same
+  /// order: the cross-crash comparison the recovery drill pins.
+  std::uint64_t delivery_hash() const { return delivery_hash_; }
 
   /// Measured deliveries per processor-step — the standard accepted-traffic
   /// rate; equals the offered rate while the network is below saturation.
@@ -91,6 +106,7 @@ class OpenLoopInjector final : public StepInjector {
   std::int64_t measured_delivered_ = 0;
   std::int64_t backlog_start_ = 0;
   std::int64_t backlog_end_ = -1;  ///< -1 until the window completes
+  std::uint64_t delivery_hash_ = 14695981039346656037ull;  ///< FNV-1a basis
   QuantileHistogram latency_;
 };
 
@@ -115,6 +131,9 @@ struct WorkloadResult {
   double latency_p95 = 0.0;
   double latency_p99 = 0.0;
   std::int64_t latency_max = 0;
+  /// Order-sensitive hash of the full delivery trace (see
+  /// OpenLoopInjector::delivery_hash) — the crash drill's comparison key.
+  std::uint64_t delivery_hash = 0;
 
   /// One JSON object: driver configuration, accounting, latency quantiles,
   /// and the engine-side counters (steps, sparse_steps, peak_active_procs).
@@ -123,10 +142,14 @@ struct WorkloadResult {
 
 /// Builds the injector, routes an (initially empty) network under `eopts`
 /// (the injector field is overwritten), and summarizes. `eopts.step_cap`
-/// 0 leaves termination to the driver windows.
+/// 0 leaves termination to the driver windows. When `resume` is non-null
+/// the run continues from that checkpoint (Engine::Resume) instead of
+/// starting fresh — the checkpoint's injector blob must have been produced
+/// by an OpenLoopInjector with the same driver options.
 WorkloadResult RunOpenLoop(const Topology& topo, const TrafficPattern& pattern,
                            const DriverOptions& dopts,
-                           const EngineOptions& eopts = {});
+                           const EngineOptions& eopts = {},
+                           const EngineCheckpointState* resume = nullptr);
 
 struct SaturationOptions {
   double lo = 0.0;     ///< assumed-stable lower bracket

@@ -213,5 +213,72 @@ TEST(QuantileHistogramTest, ToStringNamesTheSummaryFields) {
   EXPECT_NE(s.find("max=2"), std::string::npos) << s;
 }
 
+TEST(AccumulatorTest, RestoreMomentsRoundTripsExactly) {
+  Accumulator a;
+  for (double x : {3.0, -1.5, 8.25, 0.0, 4.75, 2.0}) a.Add(x);
+
+  Accumulator b;
+  b.RestoreMoments(a.count(), a.mean(), a.m2(), a.min(), a.max());
+  EXPECT_EQ(b.count(), a.count());
+  EXPECT_EQ(b.mean(), a.mean());
+  EXPECT_EQ(b.m2(), a.m2());
+  EXPECT_EQ(b.min(), a.min());
+  EXPECT_EQ(b.max(), a.max());
+
+  // The restored accumulator keeps accumulating identically: adding the
+  // same tail to both must leave them bit-equal (Welford updates are
+  // deterministic given equal state).
+  for (double x : {7.0, -2.25}) {
+    a.Add(x);
+    b.Add(x);
+  }
+  EXPECT_EQ(b.count(), a.count());
+  EXPECT_EQ(b.mean(), a.mean());
+  EXPECT_EQ(b.m2(), a.m2());
+  EXPECT_EQ(b.min(), a.min());
+  EXPECT_EQ(b.max(), a.max());
+}
+
+TEST(AccumulatorTest, RestoreMomentsClampsNegativeCount) {
+  Accumulator a;
+  a.RestoreMoments(-5, 1.0, 2.0, 0.0, 3.0);
+  EXPECT_EQ(a.count(), 0);
+}
+
+TEST(QuantileHistogramTest, RestoreStateRoundTripsExactly) {
+  QuantileHistogram h(16);
+  for (std::int64_t v : {1, 5, 9, 200, 3, 77, 41, 12}) h.Add(v);  // grows width
+
+  QuantileHistogram r(2);
+  ASSERT_TRUE(r.RestoreState(h.width(), h.count(), h.min(), h.max(), h.sum(),
+                             h.raw_buckets()));
+  EXPECT_EQ(r.width(), h.width());
+  EXPECT_EQ(r.count(), h.count());
+  EXPECT_EQ(r.min(), h.min());
+  EXPECT_EQ(r.max(), h.max());
+  EXPECT_EQ(r.sum(), h.sum());
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(r.Quantile(q), h.Quantile(q)) << "q=" << q;
+  }
+
+  // Continues identically after the restore, including further growth.
+  h.Add(5000);
+  r.Add(5000);
+  EXPECT_EQ(r.width(), h.width());
+  EXPECT_EQ(r.Quantile(0.99), h.Quantile(0.99));
+}
+
+TEST(QuantileHistogramTest, RestoreStateRejectsMalformedInput) {
+  QuantileHistogram h(8);
+  h.Add(3);
+  // Invalid width, negative count, too few buckets: all rejected, and the
+  // histogram keeps its prior state.
+  EXPECT_FALSE(h.RestoreState(0, 1, 0, 0, 0.0, {0, 0}));
+  EXPECT_FALSE(h.RestoreState(1, -1, 0, 0, 0.0, {0, 0}));
+  EXPECT_FALSE(h.RestoreState(1, 1, 0, 0, 0.0, {1}));
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.Quantile(0.5), 3.0);
+}
+
 }  // namespace
 }  // namespace mdmesh
