@@ -12,22 +12,50 @@
 #include <sstream>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "core/mdmesh.h"
 
 namespace mdmesh {
 namespace {
 
-/// One timed run for the E21 wall-clock records. `mode` is the engine
-/// traversal policy under test; everything else about the run is fixed by
-/// the workload.
+/// Process-wide peak resident set in MiB (getrusage ru_maxrss; KiB on
+/// Linux). Monotone over the process lifetime, so a record's value is the
+/// peak *up to* that run — meaningful as a guard ceiling, not as a
+/// per-workload delta. 0 where the platform has no getrusage.
+double PeakRssMb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+/// One timed run for the E21/E26 wall-clock records. `mode` names the
+/// traversal policy and packet-storage layout under test ("dense",
+/// "sparse", "dense_tiled", "sparse_tiled"); everything else about the run
+/// is fixed by the workload.
 struct WallRecord {
-  std::string workload;  ///< "drain_two_phase" or "loaded_route"
+  std::string workload;  ///< "drain_two_phase", "loaded_route", "mega_partial"
   MeshSpec spec;
-  std::string mode;      ///< "dense" (kNever) or "sparse" (kAuto)
+  std::string mode;
   std::int64_t steps = 0;
   std::int64_t sparse_steps = 0;
   std::int64_t moves = 0;
   double wall_ms = 0.0;
+  double peak_rss_mb = 0.0;
+  /// RSS ceiling for this record (MiB); 0 = unguarded. The perf-regression
+  /// guard fails the run when peak_rss_mb exceeds it (the mega fixtures pin
+  /// "footprint proportional to in-flight packets, not N" this way).
+  double rss_guard_mb = 0.0;
 };
 
 void EmitWallRecord(BenchJson& json, const WallRecord& rec) {
@@ -50,12 +78,34 @@ void EmitWallRecord(BenchJson& json, const WallRecord& rec) {
       .Double(rec.wall_ms > 0.0
                   ? static_cast<double>(rec.moves) * 1000.0 / rec.wall_ms
                   : 0.0);
+  w.Key("peak_rss_mb").Double(rec.peak_rss_mb);
+  if (rec.rss_guard_mb > 0.0) w.Key("rss_guard_mb").Double(rec.rss_guard_mb);
   w.EndObject();
   json.AddRaw(os.str());
 }
 
-SparseMode ModeFor(const std::string& mode) {
-  return mode == "dense" ? SparseMode::kNever : SparseMode::kAuto;
+SparseMode SparseFor(const std::string& mode) {
+  return mode.rfind("dense", 0) == 0 ? SparseMode::kNever : SparseMode::kAuto;
+}
+
+LayoutMode LayoutFor(const std::string& mode) {
+  return mode.size() >= 6 && mode.compare(mode.size() - 6, 6, "_tiled") == 0
+             ? LayoutMode::kTiled
+             : LayoutMode::kLegacy;
+}
+
+/// Engine configuration for one wall-record mode. Tiled modes force the
+/// invariant checker off — with it on the engine falls back to legacy
+/// storage (see EngineOptions::layout), which would silently bench the
+/// wrong thing in a debug build.
+EngineOptions EngineOptionsFor(const std::string& mode) {
+  EngineOptions eopts;
+  eopts.sparse = SparseFor(mode);
+  eopts.layout = LayoutFor(mode);
+  if (eopts.layout == LayoutMode::kTiled) {
+    eopts.invariants = InvariantMode::kOff;
+  }
+  return eopts;
 }
 
 /// Two-phase reversal routing — the drain-heavy workload the sparse path
@@ -67,8 +117,12 @@ WallRecord RunDrainTwoPhase(const MeshSpec& spec, const std::string& mode,
   TwoPhaseOptions opts;
   opts.g = spec.d == 2 ? 8 : 4;
   opts.seed = 99;
-  opts.engine.sparse = ModeFor(mode);
-  WallRecord rec{"drain_two_phase", spec, mode, 0, 0, 0, 1e300};
+  opts.engine = EngineOptionsFor(mode);
+  WallRecord rec;
+  rec.workload = "drain_two_phase";
+  rec.spec = spec;
+  rec.mode = mode;
+  rec.wall_ms = 1e300;
   for (int rep = 0; rep < reps; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
     TwoPhaseResult r = RouteTwoPhase(topo, dest, opts);
@@ -80,6 +134,7 @@ WallRecord RunDrainTwoPhase(const MeshSpec& spec, const std::string& mode,
     rec.sparse_steps = r.phase1.sparse_steps + r.phase2.sparse_steps;
     rec.moves = r.phase1.moves + r.phase2.moves;
   }
+  rec.peak_rss_mb = PeakRssMb();
   return rec;
 }
 
@@ -90,7 +145,11 @@ WallRecord RunLoadedRoute(const MeshSpec& spec, const std::string& mode,
                           int reps) {
   Topology topo = spec.Build();
   constexpr int kPerms = 4;
-  WallRecord rec{"loaded_route", spec, mode, 0, 0, 0, 1e300};
+  WallRecord rec;
+  rec.workload = "loaded_route";
+  rec.spec = spec;
+  rec.mode = mode;
+  rec.wall_ms = 1e300;
   for (int rep = 0; rep < reps; ++rep) {
     Network net(topo);
     Rng rng(7);
@@ -107,9 +166,7 @@ WallRecord RunLoadedRoute(const MeshSpec& spec, const std::string& mode,
         net.Add(p, pkt);
       }
     }
-    EngineOptions eopts;
-    eopts.sparse = ModeFor(mode);
-    Engine engine(topo, eopts);
+    Engine engine(topo, EngineOptionsFor(mode));
     const auto t0 = std::chrono::steady_clock::now();
     RouteResult r = engine.Route(net);
     const double ms = std::chrono::duration<double, std::milli>(
@@ -119,6 +176,95 @@ WallRecord RunLoadedRoute(const MeshSpec& spec, const std::string& mode,
     rec.steps = r.steps;
     rec.sparse_steps = r.sparse_steps;
     rec.moves = r.moves;
+  }
+  rec.peak_rss_mb = PeakRssMb();
+  return rec;
+}
+
+/// Partial-occupancy drain: N/64 random packets on a mesh large enough
+/// that a dense O(N) sweep dominates the per-step cost. This is the
+/// workload class the tiled layout exists for — footprint and step cost
+/// proportional to the tiles packets actually touch — so it is where the
+/// layout must beat the legacy dense sweep, while the full-occupancy
+/// drain fixtures above pin how much the tile indirection costs when
+/// every processor is busy.
+WallRecord RunDrainPartial(const MeshSpec& spec, const std::string& mode,
+                           int reps) {
+  Topology topo = spec.Build();
+  const std::int64_t kPackets = topo.size() / 64;
+  WallRecord rec;
+  rec.workload = "drain_partial";
+  rec.spec = spec;
+  rec.mode = mode;
+  rec.wall_ms = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    Network net(topo);
+    Rng rng(512);
+    const auto kN = static_cast<std::uint64_t>(topo.size());
+    for (std::int64_t i = 0; i < kPackets; ++i) {
+      Packet pkt;
+      pkt.id = i;
+      pkt.key = static_cast<std::uint64_t>(i);
+      const auto src = static_cast<ProcId>(rng.Below(kN));
+      pkt.dest = static_cast<ProcId>(rng.Below(kN));
+      pkt.klass = static_cast<std::uint16_t>(i % spec.d);
+      net.Add(src, pkt);
+    }
+    Engine engine(topo, EngineOptionsFor(mode));
+    const auto t0 = std::chrono::steady_clock::now();
+    RouteResult r = engine.Route(net);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (ms < rec.wall_ms) rec.wall_ms = ms;
+    rec.steps = r.steps;
+    rec.sparse_steps = r.sparse_steps;
+    rec.moves = r.moves;
+  }
+  rec.peak_rss_mb = PeakRssMb();
+  return rec;
+}
+
+/// --mega: the tiled layout's reason to exist — a 2D n=4096 mesh (16.7M
+/// processors) carrying a *partial* workload of 16384 random packets. The
+/// legacy layout cannot even construct this engine (its parity mailbox
+/// alone is 2 x N x 2d packet slots, tens of GB); the tiled arena
+/// materializes only the tiles the packets touch. The record carries an
+/// RSS guard: the run must fit in 6 GiB, which bounds the footprint by the
+/// Network's queue directory + live tiles, not by a dense O(N) engine.
+WallRecord RunMegaPartial() {
+  const MeshSpec spec{2, 4096, Wrap::kMesh};
+  const std::int64_t kPackets = 16384;
+  Topology topo = spec.Build();
+  WallRecord rec;
+  rec.workload = "mega_partial";
+  rec.spec = spec;
+  rec.mode = "sparse_tiled";
+  rec.rss_guard_mb = 6144.0;
+  Network net(topo);
+  Rng rng(4096);
+  const auto kN = static_cast<std::uint64_t>(topo.size());
+  for (std::int64_t i = 0; i < kPackets; ++i) {
+    Packet pkt;
+    pkt.id = i;
+    pkt.key = static_cast<std::uint64_t>(i);
+    const auto src = static_cast<ProcId>(rng.Below(kN));
+    pkt.dest = static_cast<ProcId>(rng.Below(kN));
+    pkt.klass = static_cast<std::uint16_t>(i % spec.d);
+    net.Add(src, pkt);
+  }
+  Engine engine(topo, EngineOptionsFor(rec.mode));
+  const auto t0 = std::chrono::steady_clock::now();
+  RouteResult r = engine.Route(net);
+  rec.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  rec.steps = r.steps;
+  rec.sparse_steps = r.sparse_steps;
+  rec.moves = r.moves;
+  rec.peak_rss_mb = PeakRssMb();
+  if (!r.completed) {
+    std::fprintf(stderr, "bench_engine --mega: mega_partial hit the step cap\n");
   }
   return rec;
 }
@@ -219,8 +365,13 @@ void EmitPhasePerf(BenchJson& json, const MeshSpec& spec) {
 void WriteThroughputJson(const OutputFlags& flags) {
   if (!flags.WantsJson()) return;
   BenchJson json("engine_wall");
+  // The primary drain spec and its engine configuration describe the
+  // artifact: real topology shape, sparse mode, and options hash instead
+  // of the placeholder zero manifest (records sweeping other specs carry
+  // their own spec object).
+  const MeshSpec primary{2, 128, Wrap::kMesh};
   {
-    RunManifest m = json.manifest();
+    RunManifest m = MakeRunManifest(primary.Build(), EngineOptionsFor("sparse"));
     m.binary = "bench_engine";
     m.seed = 99;  // the drain workload's two-phase seed
     json.SetManifest(std::move(m));
@@ -229,19 +380,28 @@ void WriteThroughputJson(const OutputFlags& flags) {
   // by (workload, spec, mode), so CI must produce the same keys as the
   // committed baseline) and only drops the repetitions.
   const int reps = flags.quick ? 1 : 3;
-  const std::vector<MeshSpec> drain_specs = {{2, 128, Wrap::kMesh},
-                                             {3, 32, Wrap::kMesh}};
+  const std::vector<MeshSpec> drain_specs = {primary, {3, 32, Wrap::kMesh}};
   const std::vector<MeshSpec> loaded_specs = {{2, 64, Wrap::kMesh}};
   for (const MeshSpec& spec : drain_specs) {
-    for (const char* mode : {"dense", "sparse"}) {
+    for (const char* mode : {"dense", "sparse", "dense_tiled", "sparse_tiled"}) {
       EmitWallRecord(json, RunDrainTwoPhase(spec, mode, reps));
     }
   }
   for (const MeshSpec& spec : loaded_specs) {
-    for (const char* mode : {"dense", "sparse"}) {
+    for (const char* mode : {"dense", "sparse", "dense_tiled", "sparse_tiled"}) {
       EmitWallRecord(json, RunLoadedRoute(spec, mode, reps));
     }
   }
+  const std::vector<MeshSpec> partial_specs = {{2, 512, Wrap::kMesh}};
+  for (const MeshSpec& spec : partial_specs) {
+    for (const char* mode : {"dense", "sparse", "dense_tiled", "sparse_tiled"}) {
+      EmitWallRecord(json, RunDrainPartial(spec, mode, reps));
+    }
+  }
+  // E26 mega fixture: opt-in (multi-GB RSS, minutes of wall time), so the
+  // committed baseline includes it but CI smoke loops skip it. The guard
+  // only compares keys present on both sides.
+  if (flags.mega) EmitWallRecord(json, RunMegaPartial());
   // --perf --json: append the E24 per-phase hardware records for the 2D
   // and 3D routing pipelines.
   if (flags.perf) {

@@ -45,6 +45,8 @@ int main(int argc, char** argv) {
   cli.AddInt("measure", 512, "measurement-window steps");
   cli.AddBool("drain", false, "route the backlog out after the window");
   cli.AddInt("seed", 1, "seed for all traffic draws");
+  cli.AddString("layout", "auto",
+                "packet-storage layout (auto, legacy, tiled)");
   cli.AddBool("saturate", false, "bisect for the saturation rate instead");
   AddOutputFlags(cli);
   if (!cli.Parse(argc, argv)) return 2;
@@ -96,6 +98,20 @@ int main(int argc, char** argv) {
   MetricsRegistry metrics;
   ThreadPoolActivity activity;
   EngineOptions eopts;
+  {
+    // Injector-driven runs support either storage layout; the crash drill
+    // passes --layout=tiled to prove checkpoint/resume under the tile arena.
+    const std::string layout = cli.GetString("layout");
+    if (layout == "legacy") {
+      eopts.layout = LayoutMode::kLegacy;
+    } else if (layout == "tiled") {
+      eopts.layout = LayoutMode::kTiled;
+    } else if (layout != "auto") {
+      std::fprintf(stderr, "unknown layout: %s (auto, legacy, tiled)\n",
+                   layout.c_str());
+      return 2;
+    }
+  }
   if (out.WantsPerfetto()) {
     eopts.probe = &trace;
     ThreadPool::Global().set_activity(&activity);

@@ -13,6 +13,20 @@ fallback that stopped engaging, an accidentally quadratic active-set
 rebuild), not single-digit-percent drift; tighten it for controlled
 hardware with --factor.
 
+Records may also carry peak_rss_mb (process peak resident set when the
+record was emitted; tiled-layout modes like "dense_tiled"/"sparse_tiled"
+use it to pin "footprint proportional to in-flight packets"). Two memory
+checks ride along with the throughput guard:
+
+  * relative: on overlapping keys where both sides report a positive
+    peak_rss_mb, the candidate must stay within
+    max(baseline * 2, baseline + 256 MiB) — slack for allocator and
+    shared-machine noise while still catching an O(N) footprint sneaking
+    back into a tiled path.
+  * absolute: any candidate record carrying rss_guard_mb (the --mega
+    n=4096 fixture) must satisfy peak_rss_mb <= rss_guard_mb, even when
+    the baseline lacks the key.
+
 Artifacts may be the legacy bare JSON array of records or the manifest
 wrapper {"manifest": {...}, "records": [...]} (BenchJson since the
 timeline-export change); both load transparently.
@@ -97,7 +111,16 @@ def load(path):
         rate = rec["packet_steps_per_sec"]
         if not isinstance(rate, (int, float)) or rate <= 0:
             sys.exit(f"{path}: bad packet_steps_per_sec in {rec}")
-        table[key_of(rec)] = float(rate)
+        rss = rec.get("peak_rss_mb", 0.0)
+        guard = rec.get("rss_guard_mb", 0.0)
+        for name, val in (("peak_rss_mb", rss), ("rss_guard_mb", guard)):
+            if not isinstance(val, (int, float)) or val < 0:
+                sys.exit(f"{path}: bad {name} in {rec}")
+        table[key_of(rec)] = {
+            "rate": float(rate),
+            "rss": float(rss),
+            "guard": float(guard),
+        }
     if not table:
         sys.exit(f"{path}: no timed wall-clock records")
     return table
@@ -445,7 +468,7 @@ def main():
     cand = load(args.candidate)
 
     failures = []
-    for key, base_rate in sorted(base.items()):
+    for key, base_rec in sorted(base.items()):
         name = "/".join(str(part) for part in key)
         if key not in cand:
             # Workload sets may legitimately differ between the full bench
@@ -453,7 +476,8 @@ def main():
             # in BOTH are guarded.
             print(f"  skip  {name}: not in candidate")
             continue
-        cand_rate = cand[key]
+        cand_rec = cand[key]
+        base_rate, cand_rate = base_rec["rate"], cand_rec["rate"]
         floor = base_rate / args.factor
         verdict = "ok" if cand_rate >= floor else "FAIL"
         print(
@@ -462,14 +486,43 @@ def main():
         )
         if cand_rate < floor:
             failures.append(name)
+        if base_rec["rss"] > 0 and cand_rec["rss"] > 0:
+            ceiling = max(base_rec["rss"] * 2.0, base_rec["rss"] + 256.0)
+            if cand_rec["rss"] > ceiling:
+                print(
+                    f"  FAIL  {name}: peak RSS {cand_rec['rss']:.0f} MiB > "
+                    f"ceiling {ceiling:.0f} (baseline {base_rec['rss']:.0f})"
+                )
+                failures.append(name + " [rss]")
+
+    # Absolute RSS guards bind regardless of baseline overlap: the --mega
+    # fixture's whole point is that the run fits the declared footprint.
+    for key, cand_rec in sorted(cand.items()):
+        if cand_rec["guard"] <= 0:
+            continue
+        name = "/".join(str(part) for part in key)
+        if cand_rec["rss"] <= 0:
+            print(f"  FAIL  {name}: rss_guard_mb set but no peak_rss_mb")
+            failures.append(name + " [rss-guard]")
+        elif cand_rec["rss"] > cand_rec["guard"]:
+            print(
+                f"  FAIL  {name}: peak RSS {cand_rec['rss']:.0f} MiB exceeds "
+                f"its guard {cand_rec['guard']:.0f}"
+            )
+            failures.append(name + " [rss-guard]")
+        else:
+            print(
+                f"  ok    {name}: peak RSS {cand_rec['rss']:.0f} MiB within "
+                f"guard {cand_rec['guard']:.0f}"
+            )
 
     guarded = sum(1 for key in base if key in cand)
     if guarded == 0:
         sys.exit("no overlapping (workload, spec, mode) keys to guard")
     if failures:
         sys.exit(
-            f"{len(failures)} of {guarded} guarded key(s) regressed by more "
-            f"than {args.factor}x: {', '.join(failures)}"
+            f"{len(failures)} of {guarded} guarded key(s) failed "
+            f"(>{args.factor}x slowdown or RSS breach): {', '.join(failures)}"
         )
     print(f"all {guarded} guarded key(s) within {args.factor}x of baseline")
 

@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "net/engine_tiled.h"
+#include "net/greedy_hop.h"
 #include "util/math.h"
 
 namespace mdmesh {
@@ -22,291 +24,6 @@ constexpr std::size_t kQueueHistBuckets = 64;
 /// Watchdog default: a fault-free engine moves at least one packet every
 /// step, so this many consecutive zero-move steps means a real deadlock.
 constexpr std::int64_t kDefaultStallWindow = 64;
-
-/// A packet whose accumulated slack (steps elapsed beyond its ideal
-/// shortest-path schedule) exceeds this starts rotating the fallback detour
-/// order, so a detour cycle cannot repeat the same two hops forever.
-constexpr std::int64_t kDetourRotateSlack = 4;
-
-/// Past this much slack the packet is assumed trapped in a cycle the plain
-/// fallback order cannot escape (e.g. its class insists on re-correcting a
-/// sidestep dimension straight back into the wall); it then makes an
-/// occasional hash-randomized choice over *every* alive hop, progress hops
-/// included, so any escape edge is eventually tried.
-constexpr std::int64_t kScrambleSlack = 16;
-
-/// Mixes (step, packet id) into rotation choices for trapped packets. Slack
-/// alone is unusable as a rotation source: it can grow by an exact multiple
-/// of the candidate count per trap cycle, repeating the same choices forever.
-/// The hash sequence never repeats across steps, so a deterministic limit
-/// cycle cannot persist — and it stays identical across thread counts.
-inline std::uint64_t DetourHash(std::int64_t step, std::int64_t id) {
-  std::uint64_t x = (static_cast<std::uint64_t>(step) << 32) ^
-                    (static_cast<std::uint64_t>(id) * 0x9e3779b97f4a7c15ull);
-  x ^= x >> 30;
-  x *= 0xbf58476d1ce4e5b9ull;
-  x ^= x >> 27;
-  x *= 0x94d049bb133111ebull;
-  x ^= x >> 31;
-  return x;
-}
-
-inline int LockDim(std::uint16_t flags) { return (flags >> 9) & 0xF; }
-inline int LockDir(std::uint16_t flags) { return (flags >> 13) & 1; }
-inline std::uint16_t MakeLock(int dim, int dir) {
-  return static_cast<std::uint16_t>(Packet::kLockActive | (dim << 9) |
-                                    (dir << 13));
-}
-
-/// Finds the next hop for a packet at coordinates `cp` heading to `dc`,
-/// visiting dimensions in the rotated order starting at `klass`. Returns the
-/// remaining distance; sets dim/dir to the first uncorrected dimension, or
-/// dim = -1 if the packet is at its destination.
-std::int64_t NextHop(const std::int32_t* cp, const std::int32_t* dc, int d,
-                     int n, bool torus, std::uint16_t klass, int& dim,
-                     int& dir) {
-  std::int64_t rem = 0;
-  dim = -1;
-  dir = 0;
-  for (int t = 0; t < d; ++t) {
-    int i = klass + t;
-    if (i >= d) i -= d;
-    const std::int32_t c = cp[i];
-    const std::int32_t g = dc[i];
-    if (c == g) continue;
-    std::int64_t dist;
-    int step;
-    if (torus) {
-      std::int64_t forward = Mod(g - c, n);
-      if (forward <= n - forward) {
-        dist = forward;
-        step = 1;
-      } else {
-        dist = n - forward;
-        step = -1;
-      }
-    } else {
-      dist = AbsDiff(c, g);
-      step = g > c ? 1 : -1;
-    }
-    rem += dist;
-    if (dim < 0) {
-      dim = i;
-      dir = step > 0 ? 1 : 0;
-    }
-  }
-  return rem;
-}
-
-/// Direction-only variant of NextHop for queues that cannot have link
-/// contention (a single resident packet): stops at the first uncorrected
-/// dimension without accumulating the remaining distance, which is only
-/// ever used as a contention priority.
-inline void NextHopDir(const std::int32_t* cp, const std::int32_t* dc, int d,
-                       int n, bool torus, std::uint16_t klass, int& dim,
-                       int& dir) {
-  for (int t = 0; t < d; ++t) {
-    int i = klass + t;
-    if (i >= d) i -= d;
-    const std::int32_t c = cp[i];
-    const std::int32_t g = dc[i];
-    if (c == g) continue;
-    if (torus) {
-      const std::int64_t forward = Mod(g - c, n);
-      dir = forward <= n - forward ? 1 : 0;
-    } else {
-      dir = g > c ? 1 : 0;
-    }
-    dim = i;
-    return;
-  }
-  dim = -1;
-  dir = 0;
-}
-
-/// Fault-aware hop selection: like NextHop, but skips dead links. Candidate
-/// order — (1) the preferred hop; (2) the other uncorrected dimensions in
-/// rotated order (still shortest-path progress, merely out of dimension
-/// order); (3) fallbacks that temporarily increase distance: sidesteps
-/// through corrected dimensions first (cost 2 around a wall), then the
-/// reverse direction of each uncorrected dimension.
-///
-/// Local information alone livelocks: the node *next to* a dead link sees a
-/// healthy shortest-way hop pointing straight back at the wall. Two
-/// stateless-per-step escapes handle that, both derived from state the
-/// packet already carries:
-///  - Wrong-way commitment (torus): taking a reverse fallback locks that
-///    (dimension, direction) into the packet's flag bits, and the packet
-///    keeps walking the long way around the ring until the dimension is
-///    corrected (or the locked path itself dies).
-///  - Slack-gated randomization: slack = steps elapsed beyond the packet's
-///    ideal shortest-path schedule (from `step` and `dist0`), monotone
-///    while stuck. Past kDetourRotateSlack the fallback order rotates by a
-///    per-step hash; past kScrambleSlack the packet additionally makes a
-///    hash-randomized choice over every alive hop on ~1 in 4 steps. The
-///    perturbation is intermittent, so a packet that escapes its trap still
-///    drifts home greedily; a trapped one keeps getting kicked until some
-///    kick lands on an escape edge.
-///
-/// `nbr` is the packet's processor row of the engine's neighbor table (2d
-/// entries, -1 on mesh boundaries), so link-existence checks are a load
-/// instead of coordinate arithmetic.
-///
-/// Sets dim = -1 when every outgoing link is dead (the packet cannot bid);
-/// `detour` is set when the chosen hop differs from the fault-free one.
-/// Returns the remaining first-leg distance, like NextHop.
-std::int64_t NextHopFaulted(const std::int32_t* nbr, const std::int32_t* cp,
-                            const std::int32_t* dc, int d, int n, bool torus,
-                            std::uint16_t klass, std::int64_t id,
-                            std::uint16_t& flags, const std::uint8_t* dead,
-                            std::int64_t step, std::int32_t dist0,
-                            std::int64_t twoleg_extra, int& dim, int& dir,
-                            bool& detour) {
-  int u_dim[kMaxDim], u_dir[kMaxDim];
-  int nu = 0;
-  std::int64_t rem = 0;
-  for (int t = 0; t < d; ++t) {
-    int i = klass + t;
-    if (i >= d) i -= d;
-    const std::int32_t c = cp[i];
-    const std::int32_t g = dc[i];
-    if (c == g) continue;
-    std::int64_t dist;
-    int sgn;
-    if (torus) {
-      std::int64_t forward = Mod(g - c, n);
-      if (forward <= n - forward) {
-        dist = forward;
-        sgn = 1;
-      } else {
-        dist = n - forward;
-        sgn = -1;
-      }
-    } else {
-      dist = AbsDiff(c, g);
-      sgn = g > c ? 1 : -1;
-    }
-    rem += dist;
-    u_dim[nu] = i;
-    u_dir[nu] = sgn > 0 ? 1 : 0;
-    ++nu;
-  }
-  dim = -1;
-  dir = 0;
-  detour = false;
-  if (nu == 0) {
-    flags &= static_cast<std::uint16_t>(~Packet::kLockMask);
-    return 0;
-  }
-  // Boundary links (mesh) are filtered by the neighbor-table check; the
-  // dead mask only covers existing links.
-  const auto alive = [&](int di, int dr) {
-    return dead[di * 2 + dr] == 0 && nbr[di * 2 + dr] >= 0;
-  };
-  const std::int64_t slack = (step - 1) - (dist0 - (rem + twoleg_extra));
-  const std::uint64_t hash =
-      slack > kDetourRotateSlack ? DetourHash(step, id) : 0;
-  if ((flags & Packet::kLockActive) != 0) {
-    const int ld = LockDim(flags);
-    const int ldir = LockDir(flags);
-    if (cp[ld] == dc[ld]) {
-      // Dimension corrected: the commitment paid off.
-      flags &= static_cast<std::uint16_t>(~Packet::kLockMask);
-    } else if (alive(ld, ldir)) {
-      dim = ld;
-      dir = ldir;
-      detour = ld != u_dim[0] || ldir != u_dir[0];
-      return rem;
-    } else {
-      // The committed ring is blocked here. Sidestep to an adjacent ring
-      // and KEEP the lock — the packet rounds the fault block instead of
-      // bouncing back toward the distance gradient it committed against.
-      const int np = 2 * (d - 1);
-      for (int t = 0; t < np; ++t) {
-        int k = t + (np > 0 ? static_cast<int>(DetourHash(step, ~id) %
-                                               static_cast<std::uint64_t>(np))
-                            : 0);
-        if (k >= np) k -= np;
-        int i = k / 2;
-        if (i >= ld) ++i;  // skip the locked dimension
-        const int dr = k & 1;
-        if (!alive(i, dr)) continue;
-        dim = i;
-        dir = dr;
-        detour = true;
-        return rem;
-      }
-      // Fully cornered on the committed path: give up the lock.
-      flags &= static_cast<std::uint16_t>(~Packet::kLockMask);
-    }
-  }
-  const bool scramble_now = slack > kScrambleSlack && (hash & 3) == 0;
-  if (!scramble_now) {
-    if (alive(u_dim[0], u_dir[0])) {
-      dim = u_dim[0];
-      dir = u_dir[0];
-      return rem;
-    }
-    for (int k = 1; k < nu; ++k) {
-      if (alive(u_dim[k], u_dir[k])) {
-        dim = u_dim[k];
-        dir = u_dir[k];
-        detour = true;
-        return rem;
-      }
-    }
-  }
-  int c_dim[4 * kMaxDim], c_dir[4 * kMaxDim];
-  bool c_rev[4 * kMaxDim];
-  int nc = 0;
-  if (scramble_now) {
-    for (int k = 0; k < nu; ++k) {
-      c_dim[nc] = u_dim[k];
-      c_dir[nc] = u_dir[k];
-      c_rev[nc] = false;
-      ++nc;
-    }
-  }
-  for (int t = 0; t < d; ++t) {
-    int i = klass + t;
-    if (i >= d) i -= d;
-    if (cp[i] != dc[i]) continue;
-    c_dim[nc] = i;
-    c_dir[nc] = 1;
-    c_rev[nc] = false;
-    ++nc;
-    c_dim[nc] = i;
-    c_dir[nc] = 0;
-    c_rev[nc] = false;
-    ++nc;
-  }
-  for (int k = 0; k < nu; ++k) {
-    c_dim[nc] = u_dim[k];
-    c_dir[nc] = 1 - u_dir[k];
-    c_rev[nc] = true;
-    ++nc;
-  }
-  // Rotate with bits independent of the (hash & 3) scramble gate — reusing
-  // the low bits would make every scramble step pick rotation 0.
-  const int rot =
-      (nc > 0 && slack > kDetourRotateSlack)
-          ? static_cast<int>((hash >> 8) % static_cast<std::uint64_t>(nc))
-          : 0;
-  for (int t = 0; t < nc; ++t) {
-    int k = t + rot;
-    if (k >= nc) k -= nc;
-    if (!alive(c_dim[k], c_dir[k])) continue;
-    dim = c_dim[k];
-    dir = c_dir[k];
-    detour = dim != u_dim[0] || dir != u_dir[0];
-    if (torus && c_rev[k]) {
-      flags = static_cast<std::uint16_t>(
-          (flags & ~Packet::kLockMask) | MakeLock(dim, dir));
-    }
-    return rem;
-  }
-  return rem;  // fully walled in: every outgoing link is dead
-}
 
 }  // namespace
 
@@ -327,6 +44,7 @@ std::uint64_t HashEngineOptions(const EngineOptions& opts) {
   mix(static_cast<std::uint64_t>(opts.stall_window));
   mix(static_cast<std::uint64_t>(opts.invariants));
   mix(static_cast<std::uint64_t>(opts.sparse));
+  mix(static_cast<std::uint64_t>(opts.layout));
   std::uint64_t threshold_bits = 0;
   static_assert(sizeof(threshold_bits) == sizeof(opts.sparse_threshold));
   std::memcpy(&threshold_bits, &opts.sparse_threshold, sizeof(threshold_bits));
@@ -347,6 +65,17 @@ const char* SparseModeName(SparseMode mode) {
   }
 }
 
+const char* LayoutModeName(LayoutMode mode) {
+  switch (mode) {
+    case LayoutMode::kLegacy:
+      return "legacy";
+    case LayoutMode::kTiled:
+      return "tiled";
+    default:
+      return "auto";
+  }
+}
+
 RunManifest MakeRunManifest(const Topology& topo, const EngineOptions& opts) {
   RunManifest m;
   m.d = topo.dim();
@@ -356,6 +85,7 @@ RunManifest MakeRunManifest(const Topology& topo, const EngineOptions& opts) {
                                    : ThreadPool::Global().workers();
   m.build_type = BuildTypeName();
   m.sparse_mode = SparseModeName(opts.sparse);
+  m.layout = LayoutModeName(opts.layout);
   char hex[17];
   std::snprintf(hex, sizeof(hex), "%016llx",
                 static_cast<unsigned long long>(HashEngineOptions(opts)));
@@ -364,32 +94,47 @@ RunManifest MakeRunManifest(const Topology& topo, const EngineOptions& opts) {
 }
 
 Engine::Engine(const Topology& topo, EngineOptions opts)
-    : topo_(&topo),
-      opts_(opts),
-      d_(topo.dim()),
-      n_(topo.side()),
-      coords_(topo.BuildCoordTable()),
-      slot_(static_cast<std::size_t>(topo.size()) * static_cast<std::size_t>(2 * topo.dim())) {
+    : topo_(&topo), opts_(opts), d_(topo.dim()), n_(topo.side()) {
   if (opts_.pool == nullptr) opts_.pool = &ThreadPool::Global();
-  if (topo.size() > std::numeric_limits<std::int32_t>::max()) {
-    throw std::invalid_argument(
-        "Engine: topology exceeds the 32-bit neighbor table");
-  }
-  // Double-buffered mailbox (see engine.h): packet entries plus padded
-  // presence rows, both sized 2 x N x row.
+  // Resolve the storage layout once. The tiled arena cannot serve an active
+  // InvariantChecker (the checker validates legacy storage directly), so
+  // checker runs fall back to legacy — trace-identical by the layout
+  // equality contract. Injector runs always bypass the checker.
+  const bool want_tiled =
+      opts_.layout == LayoutMode::kTiled ||
+      (opts_.layout == LayoutMode::kAuto &&
+       topo.size() >= kTiledAutoThreshold);
+  use_tiled_ = want_tiled && (opts_.injector != nullptr ||
+                              !InvariantsEnabled(opts_.invariants));
   const auto links = static_cast<std::size_t>(2 * d_);
   mask_stride_ = (links + 7) / 8 * 8;
-  in_pkt_.resize(2 * slot_.size());
-  in_mask_.assign(2 * static_cast<std::size_t>(topo.size()) * mask_stride_, 0);
-  // Flat neighbor table: the bid and commit hot loops probe links with one
-  // load instead of re-deriving coordinates per hop.
-  nbr_.resize(slot_.size());
-  for (ProcId p = 0; p < topo.size(); ++p) {
-    const std::size_t base = static_cast<std::size_t>(p) * links;
-    for (int dim = 0; dim < d_; ++dim) {
-      for (int dir = 0; dir < 2; ++dir) {
-        nbr_[base + static_cast<std::size_t>(dim * 2 + dir)] =
-            static_cast<std::int32_t>(topo.Neighbor(p, dim, dir));
+  if (use_tiled_) {
+    // Every legacy O(N) table (coordinate/neighbor tables, winner slots,
+    // double-buffered mailbox) stays empty: the tiled arena's footprint is
+    // what bounds the engine's memory, proportional to occupied tiles.
+    tiled_ = std::make_unique<TiledEngine>(topo, opts_.pool);
+  } else {
+    if (topo.size() > std::numeric_limits<std::int32_t>::max()) {
+      throw std::invalid_argument(
+          "Engine: topology exceeds the 32-bit neighbor table");
+    }
+    coords_ = topo.BuildCoordTable();
+    slot_.resize(static_cast<std::size_t>(topo.size()) * links);
+    // Double-buffered mailbox (see engine.h): packet entries plus padded
+    // presence rows, both sized 2 x N x row.
+    in_pkt_.resize(2 * slot_.size());
+    in_mask_.assign(2 * static_cast<std::size_t>(topo.size()) * mask_stride_,
+                    0);
+    // Flat neighbor table: the bid and commit hot loops probe links with one
+    // load instead of re-deriving coordinates per hop.
+    nbr_.resize(slot_.size());
+    for (ProcId p = 0; p < topo.size(); ++p) {
+      const std::size_t base = static_cast<std::size_t>(p) * links;
+      for (int dim = 0; dim < d_; ++dim) {
+        for (int dir = 0; dir < 2; ++dir) {
+          nbr_[base + static_cast<std::size_t>(dim * 2 + dir)] =
+              static_cast<std::int32_t>(topo.Neighbor(p, dim, dir));
+        }
       }
     }
   }
@@ -408,6 +153,8 @@ Engine::Engine(const Topology& topo, EngineOptions opts)
     events_ = opts_.faults->Events();
   }
 }
+
+Engine::~Engine() = default;
 
 template <bool kFaults, bool kSparse, bool kRecordSlots>
 void Engine::BidProc(PacketQueue* queues, ProcId p, std::int64_t step,
@@ -489,9 +236,15 @@ void Engine::BidProc(PacketQueue* queues, ProcId p, std::int64_t step,
         extra = topo_->Dist(pkt.dest, static_cast<ProcId>(pkt.tag));
       }
       bool is_detour = false;
-      rem = NextHopFaulted(&nbr_[base], cp, dc, d_, n_, torus, pkt.klass,
-                           pkt.id, pkt.flags, &link_dead_[base], step,
-                           pkt.dist0, extra, dim, dir, is_detour);
+      // Boundary links (mesh) are filtered by the neighbor-table check; the
+      // dead mask only covers existing links.
+      const std::int32_t* nbr = &nbr_[base];
+      const std::uint8_t* dead = &link_dead_[base];
+      const auto alive = [nbr, dead](int di, int dr) {
+        return dead[di * 2 + dr] == 0 && nbr[di * 2 + dr] >= 0;
+      };
+      rem = NextHopFaulted(cp, dc, d_, n_, torus, pkt.klass, pkt.id, pkt.flags,
+                           alive, step, pkt.dist0, extra, dim, dir, is_detour);
       pkt.flags = is_detour
                       ? static_cast<std::uint16_t>(pkt.flags | Packet::kDetour)
                       : static_cast<std::uint16_t>(pkt.flags &
@@ -862,14 +615,16 @@ std::shared_ptr<StallReport> Engine::BuildStallReport(
       stuck.id = pkt.id;
       stuck.at = p;
       stuck.dest = pkt.dest;
-      const std::int32_t* cp =
-          &coords_[static_cast<std::size_t>(p) * static_cast<std::size_t>(d_)];
-      const std::int32_t* dc =
-          &coords_[static_cast<std::size_t>(pkt.dest) * static_cast<std::size_t>(d_)];
+      // Coordinates come from the topology, not the legacy coords_ table —
+      // the tiled layout never builds that table, and a stall report is far
+      // off the hot path.
+      const Point cpt = topo_->Coords(p);
+      const Point dpt = topo_->Coords(pkt.dest);
       // Report the *fault-free preferred* hop: the link the packet wants,
       // which is the interesting one when it is dead.
       int dim, dir;
-      stuck.remaining = NextHop(cp, dc, d_, n_, torus, pkt.klass, dim, dir);
+      stuck.remaining = NextHop(cpt.data(), dpt.data(), d_, n_, torus,
+                                pkt.klass, dim, dir);
       if ((pkt.flags & Packet::kTwoLeg) != 0) {
         stuck.remaining += topo_->Dist(pkt.dest, static_cast<ProcId>(pkt.tag));
       }
@@ -1204,8 +959,14 @@ RouteResult Engine::RouteInternal(Network& net,
       snap.injected = step_injected;
       Histogram hist(kQueueHistBuckets);
       if (want_hist) {
-        for (ProcId p = 0; p < N; ++p) {
-          hist.Add(static_cast<std::int64_t>(queues[static_cast<std::size_t>(p)].size()));
+        if (use_tiled_) {
+          // Mid-run queues live in the tile arena, not the Network.
+          tiled_->FillQueueHist(&hist, N);
+        } else {
+          for (ProcId p = 0; p < N; ++p) {
+            hist.Add(static_cast<std::int64_t>(
+                queues[static_cast<std::size_t>(p)].size()));
+          }
         }
         snap.queue_hist = &hist;
       }
@@ -1271,7 +1032,125 @@ RouteResult Engine::RouteInternal(Network& net,
     sink->Save(st, cause);
   };
 
-  if (injector != nullptr) {
+  if (use_tiled_) {
+    // Tiled storage path (net/engine_tiled.h): one unified loop serves both
+    // drain and injector-driven runs over the tile arena. The shared
+    // prologue above already initialized per-packet state in `net`; Import
+    // moves the queues into the arena, and Export writes them back at every
+    // boundary the rest of the engine observes (cadence checkpoints, the
+    // shared epilogue). Per-step semantics — injection before bids,
+    // retirement after commits, sparse-mode accounting — mirror the legacy
+    // branches below; the equality harness pins the traces byte-identical.
+    //
+    // The whole branch lives in a noinline closure: RouteInternal is one
+    // big function, and folding another hundred lines into it measurably
+    // degrades the codegen of the legacy sparse loop below (GCC's inlining
+    // and register budgets are per-function).
+    const auto route_tiled = [&]() __attribute__((noinline)) {
+    MetricsRegistry::Gauge* g_tiles = nullptr;
+    MetricsRegistry::Gauge* g_tiles_peak = nullptr;
+    MetricsRegistry::Counter* c_halo = nullptr;
+    if (opts_.metrics != nullptr) {
+      g_tiles = &opts_.metrics->gauge("engine.tiles_allocated");
+      g_tiles_peak = &opts_.metrics->gauge("engine.tiles_peak");
+      c_halo = &opts_.metrics->counter("engine.halo_bytes");
+    }
+    tiled_->BeginRoute(have_faults ? link_dead_.data() : nullptr);
+    if (injector != nullptr && resume == nullptr) {
+      // Preload normalization (contract in engine.h, mirrored from the
+      // legacy injector branch): preloads count as injected at step 1, and
+      // ones already at their destination retire here with latency 0.
+      for (ProcId p = 0; p < N; ++p) {
+        auto& q = queues[static_cast<std::size_t>(p)];
+        std::size_t w = 0;
+        const std::size_t sz = q.size();
+        for (std::size_t i = 0; i < sz; ++i) {
+          q[i].tag = 1;
+          if (q[i].arrived >= 0) {
+            q[i].arrived = 0;
+            result.overshoot.Add(0.0);
+            injector->OnDeliver(q[i], 0);
+            continue;
+          }
+          if (w != i) q[w] = q[i];
+          ++w;
+        }
+        q.resize(w);
+      }
+    }
+    tiled_->Import(net);
+    std::vector<std::pair<ProcId, Packet>> batch;
+    std::int64_t last_halo = 0;
+    while ((injector != nullptr ? (injecting || in_flight > arrivals_total)
+                                : in_flight > arrivals_total) &&
+           step < cap) {
+      ++step;
+      const bool fault_event = apply_events(step);
+      const auto now = static_cast<std::int32_t>(step);
+      std::int64_t step_injected = 0;
+      if (injector != nullptr && injecting) {
+        batch.clear();
+        const InjectAction action = injector->Inject(step, &batch);
+        if (action != InjectAction::kContinue) injecting = false;
+        if (action == InjectAction::kStop) injector_stopped = true;
+        for (auto& [src, pkt] : batch) {
+          pkt.flags &= static_cast<std::uint16_t>(
+              ~(Packet::kMoving | Packet::kDetour | Packet::kLockMask |
+                Packet::kTwoLeg));
+          pkt.tag = step;
+          pkt.dist0 = static_cast<std::int32_t>(topo_->Dist(src, pkt.dest));
+          result.max_distance =
+              std::max<std::int64_t>(result.max_distance, pkt.dist0);
+          ++result.packets;
+          ++step_injected;
+          if (pkt.dest == src) {
+            // Zero-hop traffic never enters the arena: arrived is set one
+            // step back so latency (arrived - tag + 1) reads 0.
+            pkt.arrived = static_cast<std::int32_t>(now - 1);
+            result.overshoot.Add(0.0);
+            injector->OnDeliver(pkt, step);
+            continue;
+          }
+          pkt.arrived = -1;
+          tiled_->Append(src, pkt);
+          ++in_flight;
+        }
+      }
+      const bool use_sparse = mode_for(in_flight - arrivals_total);
+      if (use_sparse) ++result.sparse_steps;
+      reset_scratch();
+      const std::int64_t active =
+          tiled_->Step(step, now, count_dirs, scratch_);
+      tiled_->FinishStep(injector, step, &result.overshoot,
+                         &result.max_overshoot);
+      const auto [step_arrivals, step_moves] = reduce_scratch();
+      if (g_tiles != nullptr) {
+        g_tiles->Set(tiled_->live_tiles());
+        g_tiles_peak->Max(tiled_->peak_tiles());
+        c_halo->Add(tiled_->halo_bytes() - last_halo);
+        last_halo = tiled_->halo_bytes();
+      }
+      if (emit_step(step, step_arrivals, step_moves,
+                    fault_event || step_injected > 0,
+                    use_sparse ? active : -1, step_injected)) {
+        watchdog_fired = true;
+        break;
+      }
+      if (injector_stopped) break;
+      const bool more = injector != nullptr
+                            ? (injecting || in_flight > arrivals_total)
+                            : in_flight > arrivals_total;
+      if (sink != nullptr && more && sink->Due(step)) {
+        // save_checkpoint snapshots `net`'s queues: sync the interchange
+        // first. The arena keeps routing afterwards, undisturbed.
+        tiled_->Export(net);
+        save_checkpoint("cadence");
+      }
+    }
+    tiled_->Export(net);
+    };
+    route_tiled();
+  } else if (injector != nullptr) {
     // Open-loop injection: unfused two-phase steps with per-step injection
     // before the bids and delivery retirement after the commits (contract
     // in engine.h). Preloaded packets count as injected at step 1; ones

@@ -109,6 +109,21 @@ enum class SparseMode : std::uint8_t {
   kNever,   ///< force the dense full-mesh sweep
 };
 
+/// Packet-storage layout for the step loop (see net/tile_arena.h for the
+/// tiled layout). Both layouts produce byte-identical delivery traces —
+/// pinned by the equality harness in tests/test_engine_tiled.cpp; they
+/// differ only in memory footprint and throughput.
+enum class LayoutMode : std::uint8_t {
+  kAuto,    ///< tiled on meshes with >= kTiledAutoThreshold processors
+  kLegacy,  ///< per-processor InlineVec queues in the Network (the seed path)
+  kTiled,   ///< tiled SoA arena with sharded mailboxes and halo exchange
+};
+
+/// LayoutMode::kAuto switches to the tiled layout at this processor count —
+/// the point where the legacy layout's O(N) queue directory stops fitting
+/// in cache and its footprint starts to dominate RSS.
+inline constexpr std::int64_t kTiledAutoThreshold = 65536;
+
 /// Verdict returned by StepInjector::Inject for one step.
 enum class InjectAction : std::uint8_t {
   kContinue,  ///< keep going: Inject is called again next step
@@ -216,6 +231,14 @@ struct EngineOptions {
   /// Step-loop traversal policy (see SparseMode).
   SparseMode sparse = SparseMode::kAuto;
 
+  /// Packet-storage layout (see LayoutMode). kAuto picks the tiled arena on
+  /// topologies with >= kTiledAutoThreshold processors and the legacy
+  /// per-processor queues below that. The tiled layout requires the
+  /// invariant checker to be off (it validates legacy storage directly);
+  /// when a checker is active the engine falls back to legacy and the
+  /// differential tests still pass — the layouts are trace-identical.
+  LayoutMode layout = LayoutMode::kAuto;
+
   /// With SparseMode::kAuto, run the sparse path once the number of
   /// in-flight packets drops to <= sparse_threshold * N (in-flight packets
   /// upper-bound the occupied processors). Near-full phases keep the dense
@@ -233,7 +256,10 @@ struct EngineOptions {
   /// steps, moves, packets, detours, sparse steps, fault events, stall
   /// reasons, peak queue/active-set gauges). Recording happens once per
   /// Route, never per step, so the hot loop is untouched; null costs one
-  /// pointer check per call.
+  /// pointer check per call. Tiled-layout runs additionally refresh the
+  /// engine.tiles_allocated / engine.tiles_peak gauges and the
+  /// engine.halo_bytes counter once per step (coordinator-side, O(1)), so
+  /// a live /metrics scrape sees the arena's occupancy as it moves.
   MetricsRegistry* metrics = nullptr;
 
   /// Optional black-box flight recorder (obs/flight_recorder.h). When set,
@@ -260,23 +286,46 @@ struct EngineOptions {
 };
 
 /// FNV-1a over the routing-relevant options: step cap, sparse policy and
-/// threshold, stall window, invariant mode, fault-plan presence, injector
-/// presence. Identical hashes mean two runs routed under the same engine
-/// configuration (thread count excluded — it never changes results).
+/// threshold, stall window, invariant mode, layout, fault-plan presence,
+/// injector presence. Identical hashes mean two runs routed under the same
+/// engine configuration (thread count excluded — it never changes results).
+/// The layout is mixed as *configured* (kAuto stays kAuto), so a checkpoint
+/// resumes only under the same configured layout — conservative, since the
+/// layouts are trace-identical, but it keeps resume refusal simple.
 std::uint64_t HashEngineOptions(const EngineOptions& opts);
 
 const char* SparseModeName(SparseMode mode);
+const char* LayoutModeName(LayoutMode mode);
 
 /// Fills a RunManifest (obs/manifest.h) from a live engine configuration:
 /// topology shape, worker threads, build type, sparse mode, options hash.
 /// Seed and binary are left for the caller — the engine does not know them.
 RunManifest MakeRunManifest(const Topology& topo, const EngineOptions& opts);
 
+/// Per-worker scratch arena: step counters and reusable buffers, reset by
+/// the coordinator each step and reduced after the dispatch returns.
+/// Cache-line aligned so two workers never share a line. Namespace-scope so
+/// the tiled step machinery (net/engine_tiled.h) accumulates into the same
+/// arenas as the legacy paths — the coordinator's reduction is shared.
+struct alignas(64) EngineWorkerScratch {
+  std::int64_t arrivals = 0;
+  std::int64_t moves = 0;
+  std::int64_t detours = 0;
+  std::int64_t qmax = 0;
+  std::vector<std::int64_t> dir_moves;  // 2d entries; empty without probe
+  std::vector<ProcId> receivers;        // sparse bid output (reused)
+};
+
+class TiledEngine;
+
 class Engine {
  public:
   /// Throws std::invalid_argument if opts.faults targets a different
   /// topology shape.
   explicit Engine(const Topology& topo, EngineOptions opts = {});
+
+  /// Out-of-line so unique_ptr<TiledEngine> destroys a complete type.
+  ~Engine();
 
   const Topology& topo() const { return *topo_; }
 
@@ -305,17 +354,7 @@ class Engine {
   /// snapshot and per-packet initialization is skipped.
   RouteResult RouteInternal(Network& net,
                             const EngineCheckpointState* resume);
-  /// Per-worker scratch arena: step counters and reusable buffers, reset by
-  /// the coordinator each step and reduced after the dispatch returns.
-  /// Cache-line aligned so two workers never share a line.
-  struct alignas(64) WorkerScratch {
-    std::int64_t arrivals = 0;
-    std::int64_t moves = 0;
-    std::int64_t detours = 0;
-    std::int64_t qmax = 0;
-    std::vector<std::int64_t> dir_moves;  // 2d entries; empty without probe
-    std::vector<ProcId> receivers;        // sparse bid output (reused)
-  };
+  using WorkerScratch = EngineWorkerScratch;
 
   /// Winner selection for one processor (step `step`, mailbox buffer
   /// `parity` = step & 1): picks the farthest-first winner per outgoing
@@ -404,6 +443,14 @@ class Engine {
   // self-describing). Built once in the constructor; assigning it per Route
   // is a refcount bump, not a serialization.
   std::shared_ptr<const RunManifest> manifest_;
+
+  // Tiled layout (net/engine_tiled.h): resolved once in the constructor
+  // from opts_.layout, the topology size, and invariant-checker state.
+  // When use_tiled_ is set, the legacy-only arrays (coords_, slot_,
+  // mailbox, sparse sets) stay empty and RouteInternal takes the tiled
+  // branch.
+  bool use_tiled_ = false;
+  std::unique_ptr<TiledEngine> tiled_;
 
   // Fault state (empty vectors when no plan is attached).
   bool have_faults_ = false;

@@ -1,0 +1,707 @@
+#include "net/engine_tiled.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "net/engine.h"
+#include "net/greedy_hop.h"
+#include "util/math.h"
+
+namespace mdmesh {
+
+namespace {
+
+inline std::uint64_t Bit(int slot) {
+  return std::uint64_t{1} << slot;
+}
+
+}  // namespace
+
+TiledEngine::TiledEngine(const Topology& topo, ThreadPool* pool)
+    : topo_(&topo),
+      pool_(pool),
+      arena_(topo),
+      d_(topo.dim()),
+      n_(topo.side()),
+      torus_(topo.torus()),
+      nprocs_(topo.size()) {
+  strides_.resize(static_cast<std::size_t>(d_));
+  strides_[0] = 1;
+  for (int i = 1; i < d_; ++i) {
+    strides_[static_cast<std::size_t>(i)] =
+        strides_[static_cast<std::size_t>(i - 1)] * n_;
+  }
+  commit_bits_.assign(static_cast<std::size_t>((arena_.tiles() + 63) / 64), 0);
+}
+
+void TiledEngine::BeginRoute(const std::uint8_t* link_dead) {
+  link_dead_ = link_dead;
+  have_faults_ = link_dead != nullptr;
+  halo_bytes_ = 0;
+}
+
+void TiledEngine::Import(const Network& net) {
+  arena_.Reset();
+  for (ProcId p = 0; p < nprocs_; ++p) {
+    const PacketQueue& q = net.At(p);
+    if (q.empty()) continue;
+    const std::int64_t tile = TileMap::TileOf(p);
+    const std::int32_t ph = arena_.Ensure(tile);
+    const int slot = TileMap::SlotOf(p);
+    const std::size_t c = q.size();
+    assert(c < 65536 && "tiled layout caps per-processor queues at 64K");
+    bool infl = false;
+    for (std::size_t pos = 0; pos < c; ++pos) {
+      const Packet& pkt = q[pos];
+      if (pkt.arrived < 0) infl = true;
+      if (pos < kTileLanes) {
+        const Point pt = topo_->Coords(pkt.dest);
+        arena_.WriteLane(ph, static_cast<int>(pos), slot, pkt, pt.data());
+      } else {
+        arena_.ovf(ph).push_back(
+            TileOvEntry{pkt, slot, static_cast<std::int32_t>(pos)});
+      }
+    }
+    arena_.cnt(ph)[slot] = static_cast<std::uint16_t>(c);
+    *arena_.nonempty(ph) |= Bit(slot);
+    if (infl) *arena_.inflight(ph) |= Bit(slot);
+  }
+}
+
+void TiledEngine::Export(Network& net) {
+  net.Clear();
+  auto& queues = net.queues();
+  const auto& live = arena_.live_bits();
+  for (std::size_t w = 0; w < live.size(); ++w) {
+    std::uint64_t bits = live[w];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const std::int64_t tile = static_cast<std::int64_t>(w * 64) + b;
+      const std::int32_t ph = arena_.Phys(tile);
+      const std::uint16_t* cnt = arena_.cnt(ph);
+      for (int low = 0; low < kTileSlots; ++low) {
+        const ProcId p = (tile << kTileSlotBits) | low;
+        if (p >= nprocs_) break;
+        const int slot = TileMap::SlotForLow(tile, low);
+        const int c = cnt[slot];
+        if (c == 0) continue;
+        auto& q = queues[static_cast<std::size_t>(p)];
+        const int lanes = std::min<int>(c, kTileLanes);
+        for (int k = 0; k < lanes; ++k) {
+          Packet pkt;
+          arena_.ReadLane(ph, k, slot, &pkt);
+          q.push_back(pkt);
+        }
+        if (c > kTileLanes) {
+          for (const TileOvEntry& e : arena_.ovf(ph)) {
+            if (e.slot == slot) q.push_back(e.pkt);
+          }
+        }
+      }
+    }
+  }
+}
+
+void TiledEngine::Append(ProcId p, const Packet& pkt) {
+  assert(pkt.arrived < 0);
+  const std::int64_t tile = TileMap::TileOf(p);
+  const std::int32_t ph = arena_.Ensure(tile);
+  const int slot = TileMap::SlotOf(p);
+  const int c = arena_.cnt(ph)[slot];
+  assert(c < 65535);
+  if (c < kTileLanes) {
+    const Point pt = topo_->Coords(pkt.dest);
+    arena_.WriteLane(ph, c, slot, pkt, pt.data());
+  } else {
+    arena_.ovf(ph).push_back(
+        TileOvEntry{pkt, slot, static_cast<std::int32_t>(c)});
+  }
+  arena_.cnt(ph)[slot] = static_cast<std::uint16_t>(c + 1);
+  *arena_.nonempty(ph) |= Bit(slot);
+  *arena_.inflight(ph) |= Bit(slot);
+}
+
+void TiledEngine::DeliverWinner(std::int64_t tile, std::int32_t ph, ProcId p,
+                                std::int32_t c_along, int l, const Packet& pkt,
+                                const std::int32_t* dcoords, Shard& sh) {
+  const ProcId r = NeighborOf(p, c_along, l >> 1, l & 1);
+  // Link l = dim*2+dir lands in the receiver's dim*2+(1-dir) cell (l ^ 1):
+  // the entry indexed by the direction the receiver sees the sender in.
+  const int cell = l ^ 1;
+  const std::int64_t rt = TileMap::TileOf(r);
+  if (rt == tile) {
+    // Same-tile delivery: this worker owns the tile for the whole bid pass
+    // (cross-tile traffic always rides the outbox), so the direct mailbox
+    // write is race-free.
+    const int rs = TileMap::SlotOf(r);
+    arena_.mail(ph)[static_cast<std::size_t>(cell) * kTileSlots +
+                    static_cast<std::size_t>(rs)] = pkt;
+    std::int32_t* mdc =
+        arena_.mail_dc(ph) +
+        (static_cast<std::size_t>(cell) * kTileSlots +
+         static_cast<std::size_t>(rs)) *
+            static_cast<std::size_t>(d_);
+    for (int i = 0; i < d_; ++i) mdc[i] = dcoords[i];
+    arena_.pend(ph)[cell] |= Bit(rs);
+    return;
+  }
+  sh.outbox.push_back(OutMsg{r, cell, pkt, {}});
+  OutMsg& m = sh.outbox.back();
+  for (int i = 0; i < d_; ++i) m.dc[i] = dcoords[i];
+}
+
+template <bool kFaults>
+void TiledEngine::BidTile(std::int64_t tile, std::int32_t ph,
+                          std::int64_t step, Shard& sh) {
+  const auto links = static_cast<std::size_t>(2 * d_);
+  const std::uint16_t* cnt = arena_.cnt(ph);
+  const std::int32_t* ccoord = arena_.ccoord(ph);
+  const std::int32_t* dccols = arena_.dc(ph);
+  std::uint16_t* flags_col = arena_.flags_col(ph);
+  std::uint64_t bits = *arena_.inflight(ph);
+  while (bits != 0) {
+    const int slot = std::countr_zero(bits);
+    bits &= bits - 1;
+    const ProcId p = TileMap::ProcOf(tile, slot);
+    const int c = cnt[slot];
+    const StridedCoords cp{ccoord + slot, kTileSlots};
+    if constexpr (!kFaults) {
+      if (c == 1) {
+        // Singleton fast path (legacy BidProc): a one-packet queue cannot
+        // have link contention, and the in-flight bit guarantees the packet
+        // is not at its destination.
+        const StridedCoords dcs{dccols + slot, kTileLanes * kTileSlots};
+        int dim, dir;
+        NextHopDir(cp, dcs, d_, n_, torus_, arena_.klass_col(ph)[slot], dim,
+                   dir);
+        assert(dim >= 0);
+        const int l = dim * 2 + dir;
+        flags_col[slot] |= Packet::kMoving;  // lane 0 element index == slot
+        Packet mpkt;
+        arena_.ReadLane(ph, 0, slot, &mpkt);
+        std::int32_t tmp[kMaxDim];
+        for (int i = 0; i < d_; ++i) tmp[i] = dcs[i];
+        DeliverWinner(tile, ph, p, cp[dim], l, mpkt, tmp, sh);
+        continue;
+      }
+    }
+    // General path: gather the slot's in-flight packets (lanes in order,
+    // then overflow entries in ascending queue position) with their dest
+    // coordinates, then run the legacy winner loop over the gather.
+    sh.qbuf.clear();
+    sh.cbuf.clear();
+    sh.loc.clear();
+    const int lanes = std::min<int>(c, kTileLanes);
+    for (int k = 0; k < lanes; ++k) {
+      Packet pkt;
+      arena_.ReadLane(ph, k, slot, &pkt);
+      if (pkt.arrived >= 0) continue;  // delivered: never bids (dest == p)
+      sh.qbuf.push_back(pkt);
+      sh.loc.push_back(k);
+      for (int i = 0; i < d_; ++i) {
+        sh.cbuf.push_back(
+            dccols[(static_cast<std::size_t>(i) * kTileLanes +
+                    static_cast<std::size_t>(k)) *
+                       kTileSlots +
+                   static_cast<std::size_t>(slot)]);
+      }
+    }
+    if (c > kTileLanes) {
+      auto& ov = arena_.ovf(ph);
+      for (std::size_t oi = 0; oi < ov.size(); ++oi) {
+        if (ov[oi].slot != slot) continue;
+        const Packet& pkt = ov[oi].pkt;
+        if (pkt.arrived >= 0) continue;
+        sh.qbuf.push_back(pkt);
+        sh.loc.push_back(kLocOvf | static_cast<std::int32_t>(oi));
+        const Point pt = topo_->Coords(pkt.dest);
+        for (int i = 0; i < d_; ++i) sh.cbuf.push_back(pt[static_cast<std::size_t>(i)]);
+      }
+    }
+    const auto store_flags = [&](std::int32_t lc, std::uint16_t f) {
+      if ((lc & kLocOvf) != 0) {
+        arena_.ovf(ph)[static_cast<std::size_t>(lc & ~kLocOvf)].pkt.flags = f;
+      } else {
+        flags_col[static_cast<std::size_t>(lc) * kTileSlots +
+                  static_cast<std::size_t>(slot)] = f;
+      }
+    };
+    std::int32_t win[2 * kMaxDim];
+    std::int64_t prio[2 * kMaxDim];
+    std::uint32_t used = 0;
+    [[maybe_unused]] const std::uint8_t* dead = nullptr;
+    if constexpr (kFaults) {
+      dead = link_dead_ + static_cast<std::size_t>(p) * links;
+    }
+    for (std::size_t j = 0; j < sh.qbuf.size(); ++j) {
+      Packet& pkt = sh.qbuf[j];
+      if (pkt.dest == p) continue;
+      const std::int32_t* dcp = &sh.cbuf[j * static_cast<std::size_t>(d_)];
+      int dim, dir;
+      std::int64_t rem;
+      if constexpr (kFaults) {
+        // Farthest-first priority counts the full remaining path of a
+        // two-leg packet, not just the current leg.
+        std::int64_t extra = 0;
+        if ((pkt.flags & Packet::kTwoLeg) != 0) {
+          extra = topo_->Dist(pkt.dest, static_cast<ProcId>(pkt.tag));
+        }
+        bool is_detour = false;
+        const auto alive = [&](int di, int dr) {
+          if (dead[di * 2 + dr] != 0) return false;
+          if (torus_) return true;
+          const std::int32_t ci = cp[di];
+          return dr == 1 ? ci + 1 < n_ : ci > 0;
+        };
+        rem = NextHopFaulted(cp, dcp, d_, n_, torus_, pkt.klass, pkt.id,
+                             pkt.flags, alive, step, pkt.dist0, extra, dim,
+                             dir, is_detour);
+        pkt.flags = is_detour
+                        ? static_cast<std::uint16_t>(pkt.flags | Packet::kDetour)
+                        : static_cast<std::uint16_t>(pkt.flags &
+                                                     ~Packet::kDetour);
+        rem += extra;
+        // Legacy mutates the stored packet's flags in place; mirror that
+        // write-back for every bidding packet, winner or not.
+        store_flags(sh.loc[j], pkt.flags);
+        if (dim < 0) continue;  // every outgoing link is dead: cannot bid
+      } else {
+        rem = NextHop(cp, dcp, d_, n_, torus_, pkt.klass, dim, dir);
+        assert(dim >= 0);
+        if ((pkt.flags & Packet::kTwoLeg) != 0) {
+          rem += topo_->Dist(pkt.dest, static_cast<ProcId>(pkt.tag));
+        }
+      }
+      const auto l = static_cast<std::size_t>(dim * 2 + dir);
+      // Farthest remaining distance wins; ties to the smaller packet id.
+      if ((used & (std::uint32_t{1} << l)) == 0) {
+        used |= std::uint32_t{1} << l;
+        win[l] = static_cast<std::int32_t>(j);
+        prio[l] = rem;
+      } else if (rem > prio[l] ||
+                 (rem == prio[l] &&
+                  pkt.id < sh.qbuf[static_cast<std::size_t>(win[l])].id)) {
+        win[l] = static_cast<std::int32_t>(j);
+        prio[l] = rem;
+      }
+    }
+    while (used != 0) {
+      const auto l = static_cast<std::size_t>(std::countr_zero(used));
+      used &= used - 1;
+      const auto j = static_cast<std::size_t>(win[l]);
+      Packet& pkt = sh.qbuf[j];
+      pkt.flags |= Packet::kMoving;
+      store_flags(sh.loc[j], pkt.flags);
+      DeliverWinner(tile, ph, p, cp[static_cast<int>(l >> 1)],
+                    static_cast<int>(l), pkt,
+                    &sh.cbuf[j * static_cast<std::size_t>(d_)], sh);
+    }
+  }
+}
+
+void TiledEngine::RewriteSlot(std::int32_t ph, int slot, const Packet* q,
+                              const std::int32_t* c, std::size_t nc,
+                              bool had_ovf) {
+  const std::size_t lanes = std::min<std::size_t>(nc, kTileLanes);
+  for (std::size_t pos = 0; pos < lanes; ++pos) {
+    arena_.WriteLane(ph, static_cast<int>(pos), slot, q[pos],
+                     c + pos * static_cast<std::size_t>(d_));
+  }
+  if (had_ovf || nc > kTileLanes) {
+    auto& ov = arena_.ovf(ph);
+    if (had_ovf) {
+      auto* out = ov.begin();
+      for (auto* it = ov.begin(); it != ov.end(); ++it) {
+        if (it->slot != slot) {
+          if (out != it) *out = *it;
+          ++out;
+        }
+      }
+      ov.erase(out, ov.end());
+    }
+    for (std::size_t pos = kTileLanes; pos < nc; ++pos) {
+      ov.push_back(TileOvEntry{q[pos], slot, static_cast<std::int32_t>(pos)});
+    }
+  }
+  arena_.cnt(ph)[slot] = static_cast<std::uint16_t>(nc);
+}
+
+void TiledEngine::CommitTile(std::int64_t tile, std::int32_t ph,
+                             std::int32_t now, bool count_dirs, Shard& sh,
+                             EngineWorkerScratch& s) {
+  const auto links = static_cast<std::size_t>(2 * d_);
+  std::uint64_t* pend = arena_.pend(ph);
+  std::uint64_t work = *arena_.inflight(ph);
+  std::uint64_t mail_any = 0;
+  for (std::size_t l = 0; l < links; ++l) mail_any |= pend[l];
+  work |= mail_any;
+  std::uint64_t new_nonempty = *arena_.nonempty(ph);
+  std::uint64_t new_inflight = *arena_.inflight(ph);
+  const std::uint16_t* cnt = arena_.cnt(ph);
+  const std::uint16_t* flags_col = arena_.flags_col(ph);
+  const std::int32_t* dccols = arena_.dc(ph);
+  const Packet* mail = arena_.mail(ph);
+  const std::int32_t* mdc = arena_.mail_dc(ph);
+  while (work != 0) {
+    const int slot = std::countr_zero(work);
+    work &= work - 1;
+    const ProcId p = TileMap::ProcOf(tile, slot);
+    const int c = cnt[slot];
+    const bool has_mail = (mail_any & Bit(slot)) != 0;
+    // Fast skip: an in-flight slot with no movers and no incoming mail is
+    // untouched this step — only its post-commit size feeds qmax (matching
+    // the legacy commit, which samples every committed queue).
+    bool has_mover = false;
+    const int lanes = std::min<int>(c, kTileLanes);
+    for (int k = 0; k < lanes; ++k) {
+      if ((flags_col[static_cast<std::size_t>(k) * kTileSlots +
+                     static_cast<std::size_t>(slot)] &
+           Packet::kMoving) != 0) {
+        has_mover = true;
+        break;
+      }
+    }
+    if (!has_mover && c > kTileLanes) {
+      for (const TileOvEntry& e : arena_.ovf(ph)) {
+        if (e.slot == slot && (e.pkt.flags & Packet::kMoving) != 0) {
+          has_mover = true;
+          break;
+        }
+      }
+    }
+    if (!has_mover && !has_mail) {
+      s.qmax = std::max<std::int64_t>(s.qmax, c);
+      continue;
+    }
+    // Stayers: everything not selected to move out, order preserved.
+    sh.qbuf.clear();
+    sh.cbuf.clear();
+    for (int k = 0; k < lanes; ++k) {
+      Packet pkt;
+      arena_.ReadLane(ph, k, slot, &pkt);
+      if ((pkt.flags & Packet::kMoving) != 0) continue;
+      sh.qbuf.push_back(pkt);
+      for (int i = 0; i < d_; ++i) {
+        sh.cbuf.push_back(
+            dccols[(static_cast<std::size_t>(i) * kTileLanes +
+                    static_cast<std::size_t>(k)) *
+                       kTileSlots +
+                   static_cast<std::size_t>(slot)]);
+      }
+    }
+    if (c > kTileLanes) {
+      for (const TileOvEntry& e : arena_.ovf(ph)) {
+        if (e.slot != slot) continue;
+        if ((e.pkt.flags & Packet::kMoving) != 0) continue;
+        sh.qbuf.push_back(e.pkt);
+        const Point pt = topo_->Coords(e.pkt.dest);
+        for (int i = 0; i < d_; ++i) {
+          sh.cbuf.push_back(pt[static_cast<std::size_t>(i)]);
+        }
+      }
+    }
+    // Incomers: one per directed in-link, consumed in canonical (dim, dir)
+    // order — identical to the legacy mailbox-row walk.
+    if (has_mail) {
+      for (std::size_t l = 0; l < links; ++l) {
+        if ((pend[l] & Bit(slot)) == 0) continue;
+        Packet pkt = mail[l * kTileSlots + static_cast<std::size_t>(slot)];
+        if (have_faults_ && (pkt.flags & Packet::kDetour) != 0) {
+          ++s.detours;
+        }
+        pkt.flags &= static_cast<std::uint16_t>(
+            ~(Packet::kMoving | Packet::kDetour));
+        ++s.moves;
+        if (count_dirs) {
+          // Cell l arrived from p's (dim, dir) neighbor, i.e. it crossed
+          // the sender's (dim, 1-dir) directed link — index l ^ 1.
+          ++s.dir_moves[l ^ 1];
+        }
+        const std::int32_t* pdc =
+            mdc + (l * kTileSlots + static_cast<std::size_t>(slot)) *
+                      static_cast<std::size_t>(d_);
+        std::int32_t tmpc[kMaxDim];
+        if (pkt.dest == p) {
+          if ((pkt.flags & Packet::kTwoLeg) != 0) {
+            // Midpoint reached: retarget to the final destination and keep
+            // going next step.
+            pkt.dest = static_cast<ProcId>(pkt.tag);
+            pkt.flags &= static_cast<std::uint16_t>(~Packet::kTwoLeg);
+            if (pkt.dest == p) {
+              pkt.arrived = now;
+              ++s.arrivals;
+            } else {
+              const Point pt = topo_->Coords(pkt.dest);
+              for (int i = 0; i < d_; ++i) {
+                tmpc[i] = pt[static_cast<std::size_t>(i)];
+              }
+              pdc = tmpc;
+            }
+          } else {
+            pkt.arrived = now;
+            ++s.arrivals;
+          }
+        }
+        sh.qbuf.push_back(pkt);
+        for (int i = 0; i < d_; ++i) sh.cbuf.push_back(pdc[i]);
+      }
+    }
+    const std::size_t nc = sh.qbuf.size();
+    RewriteSlot(ph, slot, sh.qbuf.data(), sh.cbuf.data(), nc,
+                c > kTileLanes);
+    bool infl = false;
+    for (const Packet& pkt : sh.qbuf) {
+      if (pkt.arrived < 0) {
+        infl = true;
+        break;
+      }
+    }
+    if (nc > 0) {
+      new_nonempty |= Bit(slot);
+    } else {
+      new_nonempty &= ~Bit(slot);
+    }
+    if (infl) {
+      new_inflight |= Bit(slot);
+    } else {
+      new_inflight &= ~Bit(slot);
+    }
+    s.qmax = std::max<std::int64_t>(s.qmax, static_cast<std::int64_t>(nc));
+  }
+  *arena_.nonempty(ph) = new_nonempty;
+  *arena_.inflight(ph) = new_inflight;
+  for (std::size_t l = 0; l < links; ++l) pend[l] = 0;
+}
+
+std::int64_t TiledEngine::Step(std::int64_t step, std::int32_t now,
+                               bool count_dirs,
+                               std::vector<EngineWorkerScratch>& scratch) {
+  // Schedule: every live tile holding an in-flight packet, ascending. The
+  // live bitmap makes this O(live tiles), independent of N.
+  sched_bid_.clear();
+  const auto& live = arena_.live_bits();
+  for (std::size_t w = 0; w < live.size(); ++w) {
+    std::uint64_t bits = live[w];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const std::int64_t tile = static_cast<std::int64_t>(w * 64) + b;
+      if (*arena_.inflight(arena_.Phys(tile)) != 0) {
+        sched_bid_.push_back(tile);
+      }
+    }
+  }
+  if (shards_.size() < scratch.size()) shards_.resize(scratch.size());
+  for (Shard& sh : shards_) sh.outbox.clear();
+
+  const auto nb = static_cast<std::int64_t>(sched_bid_.size());
+  if (nb > 0) {
+    const std::int64_t chunk =
+        CeilDiv(nb, static_cast<std::int64_t>(pool_->ShardsFor(nb)));
+    pool_->ParallelFor(nb, [&](std::int64_t b, std::int64_t e) {
+      Shard& sh = shards_[static_cast<std::size_t>(b / chunk)];
+      for (std::int64_t i = b; i < e; ++i) {
+        const std::int64_t tile = sched_bid_[static_cast<std::size_t>(i)];
+        const std::int32_t ph = arena_.Phys(tile);
+        if (have_faults_) {
+          BidTile<true>(tile, ph, step, sh);
+        } else {
+          BidTile<false>(tile, ph, step, sh);
+        }
+      }
+    });
+  }
+
+  // Halo exchange, coordinator-side: drain the shard outboxes in shard
+  // order, materializing receiver tiles on demand. Every mailbox cell has a
+  // unique writer, so the apply order never changes results — only the
+  // free-list recycling order, which is invisible.
+  if (commit_bits_.size() !=
+      static_cast<std::size_t>((arena_.tiles() + 63) / 64)) {
+    commit_bits_.assign(static_cast<std::size_t>((arena_.tiles() + 63) / 64),
+                        0);
+  }
+  for (const std::int64_t tile : sched_bid_) {
+    commit_bits_[static_cast<std::size_t>(tile >> 6)] |= Bit(
+        static_cast<int>(tile & 63));
+  }
+  const std::size_t msg_bytes =
+      sizeof(Packet) + static_cast<std::size_t>(d_) * sizeof(std::int32_t);
+  for (const Shard& sh : shards_) {
+    for (const OutMsg& m : sh.outbox) {
+      const std::int64_t rt = TileMap::TileOf(m.r);
+      const std::int32_t ph = arena_.Ensure(rt);
+      const int rs = TileMap::SlotOf(m.r);
+      arena_.mail(ph)[static_cast<std::size_t>(m.cell) * kTileSlots +
+                      static_cast<std::size_t>(rs)] = m.pkt;
+      std::int32_t* mdc =
+          arena_.mail_dc(ph) +
+          (static_cast<std::size_t>(m.cell) * kTileSlots +
+           static_cast<std::size_t>(rs)) *
+              static_cast<std::size_t>(d_);
+      for (int i = 0; i < d_; ++i) mdc[i] = m.dc[i];
+      arena_.pend(ph)[m.cell] |= Bit(rs);
+      commit_bits_[static_cast<std::size_t>(rt >> 6)] |=
+          Bit(static_cast<int>(rt & 63));
+      halo_bytes_ += static_cast<std::int64_t>(msg_bytes);
+    }
+  }
+  sched_commit_.clear();
+  for (std::size_t w = 0; w < commit_bits_.size(); ++w) {
+    std::uint64_t bits = commit_bits_[w];
+    if (bits == 0) continue;
+    commit_bits_[w] = 0;
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      sched_commit_.push_back(static_cast<std::int64_t>(w * 64) + b);
+    }
+  }
+
+  const auto nt = static_cast<std::int64_t>(sched_commit_.size());
+  if (nt > 0) {
+    const std::int64_t chunk =
+        CeilDiv(nt, static_cast<std::int64_t>(pool_->ShardsFor(nt)));
+    pool_->ParallelFor(nt, [&](std::int64_t b, std::int64_t e) {
+      Shard& sh = shards_[static_cast<std::size_t>(b / chunk)];
+      EngineWorkerScratch& s = scratch[static_cast<std::size_t>(b / chunk)];
+      for (std::int64_t i = b; i < e; ++i) {
+        const std::int64_t tile = sched_commit_[static_cast<std::size_t>(i)];
+        CommitTile(tile, arena_.Phys(tile), now, count_dirs, sh, s);
+      }
+    });
+  }
+
+  // Post-commit active processors. In-flight packets can only live in
+  // committed tiles (every in-flight tile was scheduled for bids, and bids
+  // only add receivers), so the popcount sum is exact.
+  std::int64_t active = 0;
+  for (const std::int64_t tile : sched_commit_) {
+    active += std::popcount(*arena_.inflight(arena_.Phys(tile)));
+  }
+  return active;
+}
+
+void TiledEngine::FinishStep(StepInjector* injector, std::int64_t step,
+                             Accumulator* overshoot,
+                             std::int64_t* max_overshoot) {
+  if (injector != nullptr) {
+    // Retire delivered packets: ascending processor order (tiles ascending,
+    // ascending-id slot iteration inside), queue order within a processor —
+    // the OnDeliver contract.
+    for (const std::int64_t tile : sched_commit_) {
+      const std::int32_t ph = arena_.Phys(tile);
+      std::uint16_t* cnt = arena_.cnt(ph);
+      const std::int32_t* dccols = arena_.dc(ph);
+      for (int low = 0; low < kTileSlots; ++low) {
+        const ProcId p = (tile << kTileSlotBits) | low;
+        if (p >= nprocs_) break;
+        const int slot = TileMap::SlotForLow(tile, low);
+        const int c = cnt[slot];
+        if (c == 0) continue;
+        const std::int32_t* arrived = arena_.arrived_col(ph);
+        bool delivered = false;
+        const int lanes = std::min<int>(c, kTileLanes);
+        for (int k = 0; k < lanes; ++k) {
+          if (arrived[static_cast<std::size_t>(k) * kTileSlots +
+                      static_cast<std::size_t>(slot)] >= 0) {
+            delivered = true;
+            break;
+          }
+        }
+        if (!delivered && c > kTileLanes) {
+          for (const TileOvEntry& e : arena_.ovf(ph)) {
+            if (e.slot == slot && e.pkt.arrived >= 0) {
+              delivered = true;
+              break;
+            }
+          }
+        }
+        if (!delivered) continue;
+        rbuf_.clear();
+        rcbuf_.clear();
+        const auto retire_one = [&](const Packet& pkt) {
+          const std::int64_t over =
+              (static_cast<std::int64_t>(pkt.arrived) - pkt.tag + 1) -
+              pkt.dist0;
+          overshoot->Add(static_cast<double>(over));
+          *max_overshoot = std::max(*max_overshoot, over);
+          injector->OnDeliver(pkt, step);
+        };
+        for (int k = 0; k < lanes; ++k) {
+          Packet pkt;
+          arena_.ReadLane(ph, k, slot, &pkt);
+          if (pkt.arrived >= 0) {
+            retire_one(pkt);
+            continue;
+          }
+          rbuf_.push_back(pkt);
+          for (int i = 0; i < d_; ++i) {
+            rcbuf_.push_back(
+                dccols[(static_cast<std::size_t>(i) * kTileLanes +
+                        static_cast<std::size_t>(k)) *
+                           kTileSlots +
+                       static_cast<std::size_t>(slot)]);
+          }
+        }
+        if (c > kTileLanes) {
+          for (const TileOvEntry& e : arena_.ovf(ph)) {
+            if (e.slot != slot) continue;
+            if (e.pkt.arrived >= 0) {
+              retire_one(e.pkt);
+              continue;
+            }
+            rbuf_.push_back(e.pkt);
+            const Point pt = topo_->Coords(e.pkt.dest);
+            for (int i = 0; i < d_; ++i) {
+              rcbuf_.push_back(pt[static_cast<std::size_t>(i)]);
+            }
+          }
+        }
+        const std::size_t nk = rbuf_.size();
+        RewriteSlot(ph, slot, rbuf_.data(), rcbuf_.data(), nk,
+                    c > kTileLanes);
+        // Survivors are all in-flight (delivered ones just retired).
+        if (nk > 0) {
+          *arena_.nonempty(ph) |= Bit(slot);
+          *arena_.inflight(ph) |= Bit(slot);
+        } else {
+          *arena_.nonempty(ph) &= ~Bit(slot);
+          *arena_.inflight(ph) &= ~Bit(slot);
+        }
+      }
+    }
+  }
+  // Return fully drained tiles to the free list — this is what keeps the
+  // arena footprint proportional to resident packets on continuous runs.
+  for (const std::int64_t tile : sched_commit_) {
+    const std::int32_t ph = arena_.Phys(tile);
+    if (ph >= 0 && *arena_.nonempty(ph) == 0) arena_.Free(tile);
+  }
+}
+
+void TiledEngine::FillQueueHist(Histogram* hist, ProcId nprocs) {
+  std::int64_t covered = 0;
+  const auto& live = arena_.live_bits();
+  for (std::size_t w = 0; w < live.size(); ++w) {
+    std::uint64_t bits = live[w];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const std::int64_t tile = static_cast<std::int64_t>(w * 64) + b;
+      const std::int32_t ph = arena_.Phys(tile);
+      const std::uint16_t* cnt = arena_.cnt(ph);
+      for (int low = 0; low < kTileSlots; ++low) {
+        const ProcId p = (tile << kTileSlotBits) | low;
+        if (p >= nprocs) break;
+        hist->Add(cnt[TileMap::SlotForLow(tile, low)]);
+        ++covered;
+      }
+    }
+  }
+  hist->AddN(0, static_cast<std::int64_t>(nprocs) - covered);
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,178 @@
+// Step machinery for the tiled packet-storage layout (net/tile_arena.h).
+//
+// TiledEngine runs the same synchronous bid/commit step as the legacy
+// engine — the hop selection, contention rule, and detour policy are the
+// shared kernels in net/greedy_hop.h — over the tile arena instead of the
+// Network's per-processor queues:
+//
+//  * Bid: one parallel pass over the tiles holding in-flight packets
+//    (scheduled from the arena's live bitmap, ascending). Winner selection
+//    per slot is the legacy farthest-first loop verbatim; a winning packet
+//    whose receiver lives in the *same* tile is written straight into the
+//    tile's own mailbox columns (owner-exclusive, race-free), while a
+//    cross-tile winner is appended to the worker shard's outbox.
+//
+//  * Halo exchange: the coordinator drains the shard outboxes in shard
+//    order, materializing receiver tiles on demand (first-touch allocation)
+//    and writing each message into the receiver's mailbox cell + pending
+//    bitmap. This replaces the legacy global parity mailbox (2 x N x 2d
+//    entries) with traffic proportional to the packets actually crossing
+//    tile boundaries; the byte volume is surfaced as halo_bytes().
+//
+//  * Commit: a second parallel pass over the union of bid tiles and halo
+//    receivers — per slot, compact the stayers, append the mailbox
+//    incomers in canonical link order, stamp arrivals. Identical to the
+//    legacy CommitProc ordering, so queue contents (including order) match
+//    byte-for-byte at every step.
+//
+// Determinism: shard assignment only partitions work; every mailbox cell
+// has a unique writer, the coordinator applies outboxes in a fixed order,
+// and physical block indices never leak into results — so traces are
+// identical for any thread count, and identical to the legacy layout's
+// (pinned by tests/test_engine_tiled.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "meshsim/topology.h"
+#include "net/network.h"
+#include "net/tile_arena.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace mdmesh {
+
+class StepInjector;
+struct EngineWorkerScratch;
+
+class TiledEngine {
+ public:
+  TiledEngine(const Topology& topo, ThreadPool* pool);
+
+  /// Arms a Route call: `link_dead` is the engine's per-step dead-link mask
+  /// (N x 2d bytes, updated in place by fault events) or nullptr for a
+  /// fault-free run. Resets the halo-byte counter.
+  void BeginRoute(const std::uint8_t* link_dead);
+
+  /// Rebuilds the arena from the network's queues (queue order preserved).
+  /// Only occupied processors materialize tiles.
+  void Import(const Network& net);
+
+  /// Writes the arena back into `net` (cleared first): ascending processor
+  /// order, queue order within a processor — the exact layout a legacy run
+  /// would leave behind.
+  void Export(Network& net);
+
+  /// Appends an injected packet to processor `p`'s queue (arrived must be
+  /// negative — zero-hop packets are retired by the caller and never enter
+  /// the arena).
+  void Append(ProcId p, const Packet& pkt);
+
+  /// Runs one synchronous step (bid, halo exchange, commit), accumulating
+  /// arrivals/moves/detours/qmax/dir_moves into the per-worker `scratch`
+  /// arenas exactly like the legacy paths. Returns the post-commit count of
+  /// processors holding an in-flight packet (the legacy sparse path's
+  /// active-set size).
+  std::int64_t Step(std::int64_t step, std::int32_t now, bool count_dirs,
+                    std::vector<EngineWorkerScratch>& scratch);
+
+  /// Post-step bookkeeping: with an injector, retires every delivered
+  /// packet (ascending processor order, queue order within a processor —
+  /// the OnDeliver contract), folding per-packet overshoot into the
+  /// accumulators; always returns fully drained tiles to the arena's free
+  /// list, which is what keeps the footprint proportional to in-flight
+  /// traffic on continuous runs.
+  void FinishStep(StepInjector* injector, std::int64_t step,
+                  Accumulator* overshoot, std::int64_t* max_overshoot);
+
+  /// Queue-occupancy snapshot for StepProbe: adds every live tile's valid
+  /// slot counts, then the bulk zero tail for the N - covered processors
+  /// with no tile.
+  void FillQueueHist(Histogram* hist, ProcId nprocs);
+
+  std::int64_t live_tiles() const { return arena_.live_tiles(); }
+  std::int64_t peak_tiles() const { return arena_.peak_tiles(); }
+  std::int64_t halo_bytes() const { return halo_bytes_; }
+
+  const TileArena& arena() const { return arena_; }
+
+ private:
+  /// A packet crossing a tile boundary: receiver processor, the receiver's
+  /// mailbox cell (sender link ^ 1), the packet (kMoving set), and its
+  /// destination coordinates (first d entries valid).
+  struct OutMsg {
+    ProcId r;
+    std::int32_t cell;
+    Packet pkt;
+    std::int32_t dc[kMaxDim];
+  };
+
+  /// Per-worker shard state: the cross-tile outbox plus reusable gather
+  /// buffers for the bid/commit slot loops. Cache-line aligned like the
+  /// engine's scratch arenas.
+  struct alignas(64) Shard {
+    std::vector<OutMsg> outbox;
+    std::vector<Packet> qbuf;        // gathered queue of one slot
+    std::vector<std::int32_t> cbuf;  // d dest coords per gathered packet
+    std::vector<std::int32_t> loc;   // storage location per gathered packet
+  };
+
+  // `loc` encoding: lane index k in [0, kTileLanes), or kLocOvf | overflow
+  // vector index.
+  static constexpr std::int32_t kLocOvf = 1 << 30;
+
+  ProcId NeighborOf(ProcId p, std::int32_t c_along, int dim, int dir) const {
+    const std::int64_t stride = strides_[static_cast<std::size_t>(dim)];
+    if (dir == 1) {
+      return torus_ && c_along + 1 == n_ ? p - stride * (n_ - 1) : p + stride;
+    }
+    return torus_ && c_along == 0 ? p + stride * (n_ - 1) : p - stride;
+  }
+
+  template <bool kFaults>
+  void BidTile(std::int64_t tile, std::int32_t ph, std::int64_t step,
+               Shard& sh);
+
+  /// Routes one winning packet (kMoving already set) out of `p` over link
+  /// `l`: same-tile receivers get their mailbox cell written directly,
+  /// cross-tile winners go to the shard outbox. `c_along` is p's own
+  /// coordinate in the link's dimension; `dcoords` the packet's d dest
+  /// coordinates.
+  void DeliverWinner(std::int64_t tile, std::int32_t ph, ProcId p,
+                     std::int32_t c_along, int l, const Packet& pkt,
+                     const std::int32_t* dcoords, Shard& sh);
+
+  void CommitTile(std::int64_t tile, std::int32_t ph, std::int32_t now,
+                  bool count_dirs, Shard& sh, EngineWorkerScratch& s);
+
+  /// Rewrites slot `slot` of tile block `ph` from a gathered queue (`q`,
+  /// with d dest coords per packet in `c`): lanes first, the slot's
+  /// overflow entries replaced. `had_ovf` says whether the slot previously
+  /// spilled (so stale entries need erasing).
+  void RewriteSlot(std::int32_t ph, int slot, const Packet* q,
+                   const std::int32_t* c, std::size_t nc, bool had_ovf);
+
+  const Topology* topo_;
+  ThreadPool* pool_;
+  TileArena arena_;
+  int d_;
+  int n_;
+  bool torus_;
+  ProcId nprocs_;
+  std::vector<std::int64_t> strides_;  // n^i, dimension 0 least significant
+
+  const std::uint8_t* link_dead_ = nullptr;
+  bool have_faults_ = false;
+  std::int64_t halo_bytes_ = 0;
+
+  std::vector<Shard> shards_;
+  std::vector<std::int64_t> sched_bid_;     // tiles with in-flight packets
+  std::vector<std::int64_t> sched_commit_;  // bid tiles + halo receivers
+  std::vector<std::uint64_t> commit_bits_;
+  // Coordinator-side gather buffers for FinishStep's retirement pass.
+  std::vector<Packet> rbuf_;
+  std::vector<std::int32_t> rcbuf_;
+};
+
+}  // namespace mdmesh

@@ -1,0 +1,171 @@
+#include "net/tile_arena.h"
+
+#include <bit>
+#include <cassert>
+
+namespace mdmesh {
+
+namespace {
+
+constexpr std::size_t kBlockAlign = 64;
+
+std::size_t AlignUp(std::size_t x, std::size_t a) {
+  return (x + a - 1) & ~(a - 1);
+}
+
+}  // namespace
+
+TileArena::TileArena(const Topology& topo)
+    : topo_(&topo),
+      d_(topo.dim()),
+      nprocs_(topo.size()),
+      ntiles_(TileMap::TileCount(topo.size())) {
+  const std::size_t d = static_cast<std::size_t>(d_);
+  const std::size_t nlinks = 2 * d;
+  const std::size_t slots = kTileSlots;
+  const std::size_t lanes = kTileLanes;
+
+  // Offsets in alignment order: u8, u64 words, i64 columns, Packet mail,
+  // i32 columns, u16 columns. Everything 8-byte-aligned after the cnt
+  // bytes, so no padding is needed between sections.
+  std::size_t off = 0;
+  off_cnt_ = off;
+  off += slots * sizeof(std::uint16_t);
+  off_nonempty_ = off;
+  off += sizeof(std::uint64_t);
+  off_inflight_ = off;
+  off += sizeof(std::uint64_t);
+  off_pend_ = off;
+  off += nlinks * sizeof(std::uint64_t);
+  header_bytes_ = off;
+
+  off_key_ = off;
+  off += lanes * slots * sizeof(std::uint64_t);
+  off_id_ = off;
+  off += lanes * slots * sizeof(std::int64_t);
+  off_tag_ = off;
+  off += lanes * slots * sizeof(std::int64_t);
+  off_dest_ = off;
+  off += lanes * slots * sizeof(std::int64_t);
+  off_mail_ = off;
+  off += nlinks * slots * sizeof(Packet);
+  off_mail_dc_ = off;
+  off += nlinks * slots * d * sizeof(std::int32_t);
+  off_dc_ = off;
+  off += d * lanes * slots * sizeof(std::int32_t);
+  off_ccoord_ = off;
+  off += d * slots * sizeof(std::int32_t);
+  off_dist0_ = off;
+  off += lanes * slots * sizeof(std::int32_t);
+  off_arrived_ = off;
+  off += lanes * slots * sizeof(std::int32_t);
+  off_klass_ = off;
+  off += lanes * slots * sizeof(std::uint16_t);
+  off_flags_ = off;
+  off += lanes * slots * sizeof(std::uint16_t);
+  block_bytes_ = AlignUp(off, kBlockAlign);
+
+  phys_.assign(static_cast<std::size_t>(ntiles_), -1);
+  live_bits_.assign(static_cast<std::size_t>((ntiles_ + 63) / 64), 0);
+}
+
+std::int32_t TileArena::Ensure(std::int64_t tile) {
+  assert(tile >= 0 && tile < ntiles_);
+  std::int32_t ph = phys_[static_cast<std::size_t>(tile)];
+  if (ph >= 0) return ph;
+
+  if (!free_.empty()) {
+    ph = free_.back();
+    free_.pop_back();
+  } else {
+    ph = static_cast<std::int32_t>(blocks_.size());
+    blocks_.emplace_back(new std::uint8_t[block_bytes_]);
+    ovf_.emplace_back();
+  }
+  phys_[static_cast<std::size_t>(tile)] = ph;
+  live_bits_[static_cast<std::size_t>(tile >> 6)] |=
+      std::uint64_t{1} << (tile & 63);
+  ++live_;
+  ++total_allocs_;
+  if (live_ > peak_) peak_ = live_;
+
+  std::uint8_t* b = block(ph);
+  std::memset(b, 0, header_bytes_);
+  ovf_[static_cast<std::size_t>(ph)].clear();
+
+  // Fill own-coordinate columns for the tile's processors. Slots whose
+  // processor id lands at or beyond N (partial last tile) are left as-is;
+  // they are never marked in any bitmap, so their columns are never read.
+  std::int32_t* cc = reinterpret_cast<std::int32_t*>(b + off_ccoord_);
+  for (int slot = 0; slot < kTileSlots; ++slot) {
+    const ProcId p = TileMap::ProcOf(tile, slot);
+    if (p >= nprocs_) continue;
+    const Point pt = topo_->Coords(p);
+    for (int i = 0; i < d_; ++i) {
+      cc[static_cast<std::size_t>(i) * kTileSlots +
+         static_cast<std::size_t>(slot)] = pt[static_cast<std::size_t>(i)];
+    }
+  }
+  return ph;
+}
+
+void TileArena::Free(std::int64_t tile) {
+  assert(tile >= 0 && tile < ntiles_);
+  const std::int32_t ph = phys_[static_cast<std::size_t>(tile)];
+  assert(ph >= 0);
+  phys_[static_cast<std::size_t>(tile)] = -1;
+  live_bits_[static_cast<std::size_t>(tile >> 6)] &=
+      ~(std::uint64_t{1} << (tile & 63));
+  free_.push_back(ph);
+  --live_;
+}
+
+void TileArena::Reset() {
+  for (std::size_t w = 0; w < live_bits_.size(); ++w) {
+    std::uint64_t bits = live_bits_[w];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      Free(static_cast<std::int64_t>(w * 64) + b);
+    }
+  }
+  live_ = 0;
+  peak_ = 0;
+  total_allocs_ = 0;
+}
+
+void TileArena::ReadLane(std::int32_t ph, int k, int slot, Packet* out) {
+  const std::size_t e = static_cast<std::size_t>(k) * kTileSlots +
+                        static_cast<std::size_t>(slot);
+  out->key = key_col(ph)[e];
+  out->id = id_col(ph)[e];
+  out->tag = tag_col(ph)[e];
+  out->dest = dest_col(ph)[e];
+  out->dist0 = dist0_col(ph)[e];
+  out->arrived = arrived_col(ph)[e];
+  out->klass = klass_col(ph)[e];
+  out->flags = flags_col(ph)[e];
+}
+
+void TileArena::WriteLane(std::int32_t ph, int k, int slot, const Packet& pkt,
+                          const std::int32_t* dcoords) {
+  const std::size_t e = static_cast<std::size_t>(k) * kTileSlots +
+                        static_cast<std::size_t>(slot);
+  key_col(ph)[e] = pkt.key;
+  id_col(ph)[e] = pkt.id;
+  tag_col(ph)[e] = pkt.tag;
+  dest_col(ph)[e] = pkt.dest;
+  dist0_col(ph)[e] = pkt.dist0;
+  arrived_col(ph)[e] = pkt.arrived;
+  klass_col(ph)[e] = pkt.klass;
+  flags_col(ph)[e] = pkt.flags;
+  std::int32_t* d_cols = dc(ph);
+  for (int i = 0; i < d_; ++i) {
+    d_cols[(static_cast<std::size_t>(i) * kTileLanes +
+            static_cast<std::size_t>(k)) *
+               kTileSlots +
+           static_cast<std::size_t>(slot)] = dcoords[i];
+  }
+}
+
+}  // namespace mdmesh

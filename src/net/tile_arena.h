@@ -1,0 +1,234 @@
+// Tiled structure-of-arrays packet storage (the tiled layout's backing
+// store; see net/engine_tiled.h for the step machinery and net/network.h
+// for the layout contract).
+//
+// Processors are grouped 64 to a *tile*. A tile is one contiguous byte
+// block holding the routing state of its 64 processors as columns
+// (structure of arrays): destination ids, destination coordinates, classes,
+// flags, arrival stamps — 64 values of one field per column section, so the
+// bid pass streams columns instead of chasing per-processor heap queues.
+// Each slot (processor) holds up to kTileLanes resident packets in the
+// columns; deeper queues spill per-tile into an overflow side vector, which
+// measured occupancy (single digits, multi-packet model) makes rare.
+//
+// Address interleaving: the processor-to-(tile, slot) map is bit-sliced in
+// the DDR rank/bank/row idiom — the tile index is the high bits and the
+// in-tile slot is the low 6 bits XOR-swizzled with the low 6 tile bits
+// (TileMap). The XOR swizzle decorrelates slot index from the low processor
+// bits, so regular traffic patterns (dimension-0 neighbors, strided
+// permutations) spread across slots instead of hammering one column
+// position tile after tile. The map is a bijection per tile by
+// construction (XOR with a constant permutes [0, 64)); tests pin this for
+// non-power-of-two sides and d in {2, 3, 4}.
+//
+// Allocation: tiles are allocated on first touch (Ensure) and recycled
+// through a free list (Free) — the arena's footprint is proportional to
+// *occupied* tiles, not to the topology size N. Physical blocks are
+// retained across frees and reused, so a long run's steady state performs
+// no allocation at all.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "meshsim/topology.h"
+#include "net/packet.h"
+#include "util/inline_vec.h"
+
+namespace mdmesh {
+
+inline constexpr int kTileSlotBits = 6;
+inline constexpr int kTileSlots = 1 << kTileSlotBits;  // processors per tile
+/// Resident packets per slot held in the SoA columns before spilling to the
+/// per-tile overflow vector. 4 matches the legacy PacketQueue inline
+/// capacity (and the multi-packet model's measured occupancy).
+inline constexpr int kTileLanes = 4;
+
+/// The bit-sliced processor-to-(tile, slot) address map. All members are
+/// pure bit arithmetic — no topology knowledge, no bounds checks; a partial
+/// last tile (N not a multiple of 64) simply has slots whose ProcOf lands
+/// at or beyond N, which iteration must skip.
+struct TileMap {
+  static std::int64_t TileOf(ProcId p) { return p >> kTileSlotBits; }
+
+  /// Slot of p inside its tile: low 6 bits XOR-swizzled with the low 6
+  /// tile bits (bank-swizzle idiom).
+  static int SlotOf(ProcId p) {
+    return static_cast<int>((p ^ (p >> kTileSlotBits)) & (kTileSlots - 1));
+  }
+
+  /// Inverse of (TileOf, SlotOf): the processor in `tile` at `slot`.
+  static ProcId ProcOf(std::int64_t tile, int slot) {
+    return (tile << kTileSlotBits) |
+           (static_cast<std::int64_t>(slot) ^ (tile & (kTileSlots - 1)));
+  }
+
+  /// Slot of the processor whose low 6 id bits are `low`: iterating
+  /// low = 0..63 visits a tile's processors in ascending-id order.
+  static int SlotForLow(std::int64_t tile, int low) {
+    return static_cast<int>((low ^ tile) & (kTileSlots - 1));
+  }
+
+  static std::int64_t TileCount(ProcId nprocs) {
+    return (nprocs + kTileSlots - 1) >> kTileSlotBits;
+  }
+};
+
+/// Overflow record for a queue that outgrew its kTileLanes columns. `seq`
+/// is the packet's queue position (>= kTileLanes); a slot's entries appear
+/// in the per-tile overflow vector in ascending seq order by construction
+/// (appends only ever push the next position), so gathering a queue never
+/// sorts.
+struct TileOvEntry {
+  Packet pkt;
+  std::int32_t slot;
+  std::int32_t seq;
+};
+
+/// The tile directory + block store. Column layout per block, in alignment
+/// order (offsets computed once from d; L = 2d links):
+///
+///   cnt       u16[64]           total queue length per slot (ovf included)
+///   nonempty  u64               bitmap: cnt[s] > 0
+///   inflight  u64               bitmap: slot holds a packet with arrived < 0
+///   pend      u64[L]            per-link incoming-mail bitmaps
+///   key/id/tag/dest             i64 columns, element (lane k, slot s) at
+///                               [k*64 + s]
+///   mail      Packet[L][64]     receiver mailbox, cell (l, s) at [l*64 + s]
+///   mail_dc   i32[L][64][d]     dest coords riding with each mail cell
+///   dc        i32[d][kLanes][64] dest coords, (dim i, lane k, slot s) at
+///                               [(i*kLanes + k)*64 + s] (StridedCoords
+///                               stride kLanes*64)
+///   ccoord    i32[d][64]        own coords, (i, s) at [i*64 + s], filled at
+///                               Ensure (StridedCoords stride 64)
+///   dist0/arrived               i32 columns like key/id
+///   klass/flags                 u16 columns like key/id
+///
+/// The header (cnt..pend) is the only region Ensure must zero on a rebind;
+/// column garbage under cleared bitmaps is never read.
+class TileArena {
+ public:
+  explicit TileArena(const Topology& topo);
+
+  std::int64_t tiles() const { return ntiles_; }
+  std::size_t block_bytes() const { return block_bytes_; }
+
+  bool IsLive(std::int64_t tile) const {
+    return phys_[static_cast<std::size_t>(tile)] >= 0;
+  }
+  std::int32_t Phys(std::int64_t tile) const {
+    return phys_[static_cast<std::size_t>(tile)];
+  }
+  /// Live-tile bitmap (tiles()/64 words, logical tile order) — the step
+  /// scheduler scans this ascending.
+  const std::vector<std::uint64_t>& live_bits() const { return live_bits_; }
+
+  /// Returns the tile's physical block index, allocating (free list first,
+  /// then a fresh block) and initializing it on first touch: header zeroed,
+  /// ccoord columns filled from the topology, overflow cleared.
+  std::int32_t Ensure(std::int64_t tile);
+
+  /// Returns the tile's block to the free list. The block's memory is
+  /// retained for reuse; only the directory entry and live bit are cleared.
+  void Free(std::int64_t tile);
+
+  /// Frees every live tile and resets the occupancy statistics (peak,
+  /// total allocations). Blocks are retained.
+  void Reset();
+
+  std::int64_t live_tiles() const { return live_; }
+  std::int64_t peak_tiles() const { return peak_; }
+  std::int64_t total_allocs() const { return total_allocs_; }
+
+  // Column accessors, by physical block index.
+  std::uint16_t* cnt(std::int32_t ph) {
+    return reinterpret_cast<std::uint16_t*>(block(ph) + off_cnt_);
+  }
+  std::uint64_t* nonempty(std::int32_t ph) {
+    return reinterpret_cast<std::uint64_t*>(block(ph) + off_nonempty_);
+  }
+  std::uint64_t* inflight(std::int32_t ph) {
+    return reinterpret_cast<std::uint64_t*>(block(ph) + off_inflight_);
+  }
+  std::uint64_t* pend(std::int32_t ph) {
+    return reinterpret_cast<std::uint64_t*>(block(ph) + off_pend_);
+  }
+  std::uint64_t* key_col(std::int32_t ph) {
+    return reinterpret_cast<std::uint64_t*>(block(ph) + off_key_);
+  }
+  std::int64_t* id_col(std::int32_t ph) {
+    return reinterpret_cast<std::int64_t*>(block(ph) + off_id_);
+  }
+  std::int64_t* tag_col(std::int32_t ph) {
+    return reinterpret_cast<std::int64_t*>(block(ph) + off_tag_);
+  }
+  std::int64_t* dest_col(std::int32_t ph) {
+    return reinterpret_cast<std::int64_t*>(block(ph) + off_dest_);
+  }
+  Packet* mail(std::int32_t ph) {
+    return reinterpret_cast<Packet*>(block(ph) + off_mail_);
+  }
+  std::int32_t* mail_dc(std::int32_t ph) {
+    return reinterpret_cast<std::int32_t*>(block(ph) + off_mail_dc_);
+  }
+  std::int32_t* dc(std::int32_t ph) {
+    return reinterpret_cast<std::int32_t*>(block(ph) + off_dc_);
+  }
+  std::int32_t* ccoord(std::int32_t ph) {
+    return reinterpret_cast<std::int32_t*>(block(ph) + off_ccoord_);
+  }
+  std::int32_t* dist0_col(std::int32_t ph) {
+    return reinterpret_cast<std::int32_t*>(block(ph) + off_dist0_);
+  }
+  std::int32_t* arrived_col(std::int32_t ph) {
+    return reinterpret_cast<std::int32_t*>(block(ph) + off_arrived_);
+  }
+  std::uint16_t* klass_col(std::int32_t ph) {
+    return reinterpret_cast<std::uint16_t*>(block(ph) + off_klass_);
+  }
+  std::uint16_t* flags_col(std::int32_t ph) {
+    return reinterpret_cast<std::uint16_t*>(block(ph) + off_flags_);
+  }
+  InlineVec<TileOvEntry, 2>& ovf(std::int32_t ph) {
+    return ovf_[static_cast<std::size_t>(ph)];
+  }
+
+  /// Writes the lane-`k` packet of `slot` into *out (assembling it from the
+  /// columns).
+  void ReadLane(std::int32_t ph, int k, int slot, Packet* out);
+  /// Stores `pkt` into lane `k` of `slot` and its dest coords (dcoords, d
+  /// values) into the dc columns.
+  void WriteLane(std::int32_t ph, int k, int slot, const Packet& pkt,
+                 const std::int32_t* dcoords);
+
+ private:
+  std::uint8_t* block(std::int32_t ph) {
+    return blocks_[static_cast<std::size_t>(ph)].get();
+  }
+
+  const Topology* topo_;
+  int d_;
+  ProcId nprocs_;
+  std::int64_t ntiles_;
+
+  std::size_t off_cnt_, off_nonempty_, off_inflight_, off_pend_;
+  std::size_t off_key_, off_id_, off_tag_, off_dest_;
+  std::size_t off_mail_, off_mail_dc_, off_dc_, off_ccoord_;
+  std::size_t off_dist0_, off_arrived_, off_klass_, off_flags_;
+  std::size_t header_bytes_;  // [off_cnt_, off_key_): zeroed on rebind
+  std::size_t block_bytes_;
+
+  std::vector<std::int32_t> phys_;  // logical tile -> block (-1 = not live)
+  std::vector<std::uint64_t> live_bits_;
+  std::vector<std::int32_t> free_;
+  std::vector<std::unique_ptr<std::uint8_t[]>> blocks_;
+  std::vector<InlineVec<TileOvEntry, 2>> ovf_;  // parallel to blocks_
+
+  std::int64_t live_ = 0;
+  std::int64_t peak_ = 0;
+  std::int64_t total_allocs_ = 0;
+};
+
+}  // namespace mdmesh

@@ -57,6 +57,9 @@ void AddOutputFlags(Cli& cli) {
               "collect per-phase hardware counters via perf_event_open "
               "(Linux only; degrades gracefully elsewhere)");
   cli.AddBool("--quick", false, "smallest configuration only (CI smoke runs)");
+  cli.AddBool("--mega", false,
+              "additionally run the mega-mesh fixtures (several GB of RSS, "
+              "minutes of wall time)");
 }
 
 OutputFlags GetOutputFlags(const Cli& cli) {
@@ -74,6 +77,7 @@ OutputFlags GetOutputFlags(const Cli& cli) {
   flags.progress = cli.GetBool("progress");
   flags.perf = cli.GetBool("perf");
   flags.quick = cli.GetBool("quick");
+  flags.mega = cli.GetBool("mega");
   return flags;
 }
 
@@ -118,6 +122,8 @@ OutputFlags ParseOutputFlags(int* argc, char** argv) {
     if (hit == nullptr) {
       if (std::strcmp(arg, "--quick") == 0) {
         flags.quick = true;
+      } else if (std::strcmp(arg, "--mega") == 0) {
+        flags.mega = true;
       } else if (std::strcmp(arg, "--resume") == 0) {
         flags.resume = true;
       } else if (std::strcmp(arg, "--progress") == 0) {

@@ -23,6 +23,9 @@
 //   --perf                  per-phase hardware counters (Linux
 //                           perf_event_open; silently degrades elsewhere)
 //   --quick                 smallest configuration only (CI smoke runs)
+//   --mega                  additionally run the mega-mesh fixtures (e.g.
+//                           bench_engine's n=4096 2D tiled-layout record;
+//                           several GB of RSS, minutes of wall time)
 //
 // Examples register them on their Cli via AddOutputFlags/GetOutputFlags.
 // Bench binaries cannot use Cli (google-benchmark parses argv itself), so
@@ -60,6 +63,9 @@ struct OutputFlags {
   bool progress = false;         ///< force the stderr heartbeat on
   bool perf = false;             ///< per-phase hardware counters
   bool quick = false;
+  /// Opt into the mega-mesh fixtures (multi-GB RSS, minutes of wall time);
+  /// off by default so CI smoke loops stay cheap.
+  bool mega = false;
 
   bool WantsJson() const { return !json.empty(); }
   bool WantsTrace() const { return !trace_csv.empty(); }

@@ -89,7 +89,14 @@ class InlineVec {
   }
 
   void push_back(const T& value) {
-    if (size_ == cap_) Grow(cap_ * 2);
+    if (size_ == cap_) {
+      // `value` may alias an element of this vector (v.push_back(v[0]));
+      // Grow frees the old heap buffer, so copy first.
+      const T tmp = value;
+      Grow(cap_ * 2);
+      data_[size_++] = tmp;
+      return;
+    }
     data_[size_++] = value;
   }
 

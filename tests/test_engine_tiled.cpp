@@ -1,0 +1,511 @@
+// Tiled SoA packet storage vs the legacy per-processor queues. The two
+// layouts (net/tile_arena.h + net/engine_tiled.h vs the Network's
+// PacketQueues) must produce byte-identical runs: same step counts, same
+// move counts, same final queue contents *in the same order*, same
+// delivery traces under open-loop injection — for any thread count, sparse
+// mode, wrap, and fault plan. This file extends the test_engine_sparse
+// equality harness with a layout axis and pins that contract, plus the
+// tiled-only surface: checkpoint round-trips, arena occupancy metrics, and
+// the legacy fallback under an active invariant checker.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "net/engine.h"
+#include "net/tile_arena.h"
+#include "obs/registry.h"
+#include "routing/permutations.h"
+#include "routing/two_phase.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "workload/driver.h"
+#include "workload/patterns.h"
+
+namespace mdmesh {
+namespace {
+
+Packet MakePacket(std::int64_t id, ProcId dest, std::uint16_t klass = 0) {
+  Packet pkt;
+  pkt.id = id;
+  pkt.key = static_cast<std::uint64_t>(id);
+  pkt.dest = dest;
+  pkt.klass = klass;
+  return pkt;
+}
+
+void FillPermutation(Network& net, const std::vector<ProcId>& dest,
+                     int classes) {
+  std::int64_t id = 0;
+  for (ProcId p = 0; p < net.topo().size(); ++p) {
+    net.Add(p, MakePacket(id, dest[static_cast<std::size_t>(p)],
+                          static_cast<std::uint16_t>(
+                              id % (classes > 0 ? classes : 1))));
+    ++id;
+  }
+}
+
+/// Byte-level view of a network: per processor, the (key, id, dest,
+/// arrived, flags) tuples *in queue order* — the tiled Export must leave
+/// behind exactly the layout a legacy run would.
+using Ordered = std::vector<std::vector<
+    std::tuple<std::uint64_t, std::int64_t, ProcId, std::int32_t,
+               std::uint16_t>>>;
+
+Ordered OrderedSnapshot(const Network& net) {
+  Ordered snap(static_cast<std::size_t>(net.topo().size()));
+  for (ProcId p = 0; p < net.topo().size(); ++p) {
+    for (const Packet& pkt : net.At(p)) {
+      snap[static_cast<std::size_t>(p)].emplace_back(
+          pkt.key, pkt.id, pkt.dest, pkt.arrived, pkt.flags);
+    }
+  }
+  return snap;
+}
+
+struct RunOutput {
+  RouteResult result;
+  Ordered snapshot;
+};
+
+RunOutput RunOnce(const Topology& topo, const Network& initial,
+                  EngineOptions opts) {
+  Network net = initial;
+  Engine engine(topo, opts);
+  RunOutput out;
+  out.result = engine.Route(net);
+  out.snapshot = OrderedSnapshot(net);
+  return out;
+}
+
+void ExpectSameRun(const RunOutput& a, const RunOutput& b) {
+  EXPECT_EQ(a.result.steps, b.result.steps);
+  EXPECT_EQ(a.result.moves, b.result.moves);
+  EXPECT_EQ(a.result.max_queue, b.result.max_queue);
+  EXPECT_EQ(a.result.packets, b.result.packets);
+  EXPECT_EQ(a.result.completed, b.result.completed);
+  EXPECT_EQ(a.result.max_overshoot, b.result.max_overshoot);
+  EXPECT_EQ(a.result.detours, b.result.detours);
+  EXPECT_EQ(a.result.sparse_steps, b.result.sparse_steps);
+  EXPECT_EQ(a.result.peak_active_procs, b.result.peak_active_procs);
+  EXPECT_EQ(a.result.overshoot.count(), b.result.overshoot.count());
+  EXPECT_EQ(a.result.overshoot.mean(), b.result.overshoot.mean());
+  EXPECT_EQ(a.snapshot, b.snapshot);
+}
+
+/// Invariants off so the tiled layout actually engages (it requires the
+/// checker to be off; kAuto would fall back to legacy in debug builds).
+EngineOptions Opts(LayoutMode layout, SparseMode mode = SparseMode::kAuto) {
+  EngineOptions opts;
+  opts.layout = layout;
+  opts.sparse = mode;
+  opts.invariants = InvariantMode::kOff;
+  return opts;
+}
+
+class TiledVsLegacyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, Wrap>> {};
+
+TEST_P(TiledVsLegacyTest, PermutationsAgreeAcrossSparseModes) {
+  auto [d, n, wrap] = GetParam();
+  Topology topo(d, n, wrap);
+  Rng rng(static_cast<std::uint64_t>(31 * d + n));
+  std::vector<std::vector<ProcId>> perms = {
+      ReversalPermutation(topo), TransposePermutation(topo),
+      RandomPermutation(topo, rng)};
+  for (const auto& dest : perms) {
+    Network net(topo);
+    FillPermutation(net, dest, d);
+    for (SparseMode mode :
+         {SparseMode::kNever, SparseMode::kAlways, SparseMode::kAuto}) {
+      const RunOutput legacy =
+          RunOnce(topo, net, Opts(LayoutMode::kLegacy, mode));
+      const RunOutput tiled =
+          RunOnce(topo, net, Opts(LayoutMode::kTiled, mode));
+      EXPECT_TRUE(legacy.result.completed);
+      ExpectSameRun(legacy, tiled);
+    }
+  }
+}
+
+// 2D and 3D, mesh and torus, plus non-power-of-two sides (partial last
+// tile) and a 4D mesh — the full shape matrix of the acceptance criteria.
+INSTANTIATE_TEST_SUITE_P(Shapes, TiledVsLegacyTest,
+                         ::testing::Values(std::tuple{2, 8, Wrap::kMesh},
+                                           std::tuple{2, 8, Wrap::kTorus},
+                                           std::tuple{2, 9, Wrap::kMesh},
+                                           std::tuple{3, 4, Wrap::kMesh},
+                                           std::tuple{3, 4, Wrap::kTorus},
+                                           std::tuple{3, 5, Wrap::kTorus},
+                                           std::tuple{4, 3, Wrap::kMesh}));
+
+TEST(TiledVsLegacyTest, IdenticalAtEveryThreadCount) {
+  Topology topo(2, 12, Wrap::kTorus);
+  Rng rng(7);
+  Network net(topo);
+  FillPermutation(net, RandomPermutation(topo, rng), 2);
+  const RunOutput serial = RunOnce(topo, net, Opts(LayoutMode::kLegacy));
+  for (unsigned workers : {0u, 2u, 4u, 8u}) {
+    ThreadPool pool(workers);
+    EngineOptions opts = Opts(LayoutMode::kTiled);
+    opts.pool = &pool;
+    ExpectSameRun(serial, RunOnce(topo, net, opts));
+  }
+}
+
+TEST(TiledVsLegacyTest, IdenticalUnderFaults) {
+  Topology topo(2, 10, Wrap::kTorus);
+  FaultSpec spec;
+  spec.link_rate = 0.02;
+  spec.flap_rate = 0.02;
+  const FaultPlan plan = FaultPlan::Random(topo, spec, /*seed=*/11);
+  Rng rng(11);
+  Network net(topo);
+  FillPermutation(net, RandomPermutation(topo, rng), 2);
+  ThreadPool pool(4);
+  for (SparseMode mode :
+       {SparseMode::kNever, SparseMode::kAlways, SparseMode::kAuto}) {
+    EngineOptions legacy_opts = Opts(LayoutMode::kLegacy, mode);
+    legacy_opts.faults = &plan;
+    const RunOutput legacy = RunOnce(topo, net, legacy_opts);
+    EXPECT_TRUE(legacy.result.completed);
+    EXPECT_GT(legacy.result.detours, 0);  // the plan actually forced rerouting
+    for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+      EngineOptions opts = Opts(LayoutMode::kTiled, mode);
+      opts.faults = &plan;
+      opts.pool = p;
+      ExpectSameRun(legacy, RunOnce(topo, net, opts));
+    }
+  }
+}
+
+TEST(TiledVsLegacyTest, MeshBoundaryFaultsAgree) {
+  // Mesh (non-wrapping) faulted runs exercise the tiled alive-lambda's
+  // boundary arithmetic (no neighbor table to consult).
+  Topology topo(3, 5, Wrap::kMesh);
+  FaultSpec spec;
+  spec.link_rate = 0.03;
+  const FaultPlan plan = FaultPlan::Random(topo, spec, /*seed=*/3);
+  Rng rng(13);
+  Network net(topo);
+  FillPermutation(net, RandomPermutation(topo, rng), 3);
+  EngineOptions a = Opts(LayoutMode::kLegacy);
+  a.faults = &plan;
+  EngineOptions b = Opts(LayoutMode::kTiled);
+  b.faults = &plan;
+  ExpectSameRun(RunOnce(topo, net, a), RunOnce(topo, net, b));
+}
+
+TEST(TiledVsLegacyTest, DeepQueuesSpillToOverflowAndStillAgree) {
+  // Six packets per processor: queue depth exceeds kTileLanes, so the
+  // tiled layout routes through the per-tile overflow vector.
+  Topology topo(2, 8, Wrap::kMesh);
+  Rng rng(19);
+  Network net(topo);
+  std::int64_t id = 0;
+  for (int copy = 0; copy < kTileLanes + 2; ++copy) {
+    const std::vector<ProcId> dest = RandomPermutation(topo, rng);
+    for (ProcId p = 0; p < topo.size(); ++p) {
+      net.Add(p, MakePacket(id++, dest[static_cast<std::size_t>(p)],
+                            static_cast<std::uint16_t>(copy % 2)));
+    }
+  }
+  const RunOutput legacy = RunOnce(topo, net, Opts(LayoutMode::kLegacy));
+  const RunOutput tiled = RunOnce(topo, net, Opts(LayoutMode::kTiled));
+  EXPECT_GE(legacy.result.max_queue, kTileLanes + 2);
+  ExpectSameRun(legacy, tiled);
+}
+
+TEST(TiledVsLegacyTest, TwoPhaseRoutingAgrees) {
+  // End-to-end through the Section 5 two-phase router, including the
+  // overlapped variant whose two-leg packets retarget mid-flight inside
+  // the tiled commit pass.
+  Topology topo(2, 16, Wrap::kMesh);
+  const std::vector<ProcId> dest = ReversalPermutation(topo);
+  for (bool overlap : {false, true}) {
+    TwoPhaseOptions legacy;
+    legacy.g = 4;
+    legacy.overlap = overlap;
+    legacy.engine.invariants = InvariantMode::kOff;
+    legacy.engine.layout = LayoutMode::kLegacy;
+    TwoPhaseOptions tiled = legacy;
+    tiled.engine.layout = LayoutMode::kTiled;
+    const TwoPhaseResult a = RouteTwoPhase(topo, dest, legacy);
+    const TwoPhaseResult b = RouteTwoPhase(topo, dest, tiled);
+    EXPECT_TRUE(a.delivered);
+    EXPECT_TRUE(b.delivered);
+    EXPECT_EQ(a.total_steps, b.total_steps);
+    EXPECT_EQ(a.max_queue, b.max_queue);
+    EXPECT_EQ(a.phase1.steps, b.phase1.steps);
+    EXPECT_EQ(a.phase2.steps, b.phase2.steps);
+    EXPECT_EQ(a.phase1.moves, b.phase1.moves);
+    EXPECT_EQ(a.phase2.moves, b.phase2.moves);
+  }
+}
+
+TEST(TiledVsLegacyTest, EngineRecoversAfterAbortedRun) {
+  // Abort mid-flight via a tiny step cap: the arena must be rebuilt
+  // cleanly by the next Route on the same engine (Import after Export),
+  // with no stale mailbox or pending state surviving.
+  Topology topo(2, 12, Wrap::kMesh);
+  Network net(topo);
+  FillPermutation(net, ReversalPermutation(topo), 2);
+  Network run = net;
+  EngineOptions opts = Opts(LayoutMode::kTiled);
+  opts.step_cap = 3;
+  Engine engine(topo, opts);
+  RouteResult first = engine.Route(run);
+  EXPECT_FALSE(first.completed);
+  EXPECT_EQ(run.TotalPackets(), topo.size());
+  RouteResult again;
+  do {
+    again = engine.Route(run);
+  } while (!again.completed);
+  EXPECT_EQ(run.TotalPackets(), topo.size());
+  std::int64_t misplaced = 0;
+  run.ForEach([&](ProcId p, const Packet& pkt) {
+    if (pkt.dest != p) ++misplaced;
+  });
+  EXPECT_EQ(misplaced, 0);
+}
+
+TEST(TiledVsLegacyTest, ReusedEngineMatchesFreshEngine) {
+  Topology topo(2, 10, Wrap::kTorus);
+  Rng rng(41);
+  const std::vector<ProcId> first = RandomPermutation(topo, rng);
+  const std::vector<ProcId> second = ReversalPermutation(topo);
+  EngineOptions opts = Opts(LayoutMode::kTiled);
+  Engine reused(topo, opts);
+  Network warmup(topo);
+  FillPermutation(warmup, first, 2);
+  reused.Route(warmup);
+  Network via_reused(topo);
+  FillPermutation(via_reused, second, 2);
+  const RouteResult r1 = reused.Route(via_reused);
+  Network via_fresh(topo);
+  FillPermutation(via_fresh, second, 2);
+  Engine fresh(topo, opts);
+  const RouteResult r2 = fresh.Route(via_fresh);
+  EXPECT_EQ(r1.steps, r2.steps);
+  EXPECT_EQ(r1.moves, r2.moves);
+  EXPECT_EQ(OrderedSnapshot(via_reused), OrderedSnapshot(via_fresh));
+}
+
+TEST(TiledVsLegacyTest, CheckerForcesLegacyFallbackWithIdenticalResults) {
+  // An active InvariantChecker validates legacy storage directly, so
+  // layout=kTiled + invariants=kOn must silently run (and validate) the
+  // legacy path — same results, arena untouched.
+  Topology topo(2, 8, Wrap::kMesh);
+  Network net(topo);
+  FillPermutation(net, ReversalPermutation(topo), 2);
+  const RunOutput tiled = RunOnce(topo, net, Opts(LayoutMode::kTiled));
+  EngineOptions checked = Opts(LayoutMode::kTiled);
+  checked.invariants = InvariantMode::kOn;
+  MetricsRegistry reg;
+  checked.metrics = &reg;
+  ExpectSameRun(tiled, RunOnce(topo, net, checked));
+  EXPECT_EQ(reg.gauge("engine.tiles_allocated").Value(), 0);
+}
+
+TEST(TiledVsLegacyTest, AutoLayoutStaysLegacyBelowThreshold) {
+  // N = 64 << kTiledAutoThreshold: kAuto must keep the legacy layout,
+  // observable through the arena gauges staying untouched.
+  Topology topo(2, 8, Wrap::kMesh);
+  Network net(topo);
+  FillPermutation(net, ReversalPermutation(topo), 2);
+  MetricsRegistry reg;
+  EngineOptions opts = Opts(LayoutMode::kAuto);
+  opts.metrics = &reg;
+  const RunOutput out = RunOnce(topo, net, opts);
+  EXPECT_TRUE(out.result.completed);
+  EXPECT_EQ(reg.gauge("engine.tiles_allocated").Value(), 0);
+  EXPECT_EQ(reg.gauge("engine.tiles_peak").Value(), 0);
+}
+
+TEST(TiledVsLegacyTest, ArenaMetricsSurfaceOccupancyAndHaloTraffic) {
+  Topology topo(2, 12, Wrap::kMesh);  // 144 procs: 3 tiles, cross-tile halo
+  Network net(topo);
+  FillPermutation(net, ReversalPermutation(topo), 2);
+  MetricsRegistry reg;
+  EngineOptions opts = Opts(LayoutMode::kTiled);
+  opts.metrics = &reg;
+  const RunOutput out = RunOnce(topo, net, opts);
+  EXPECT_TRUE(out.result.completed);
+  // Peak occupancy reached every tile (a full permutation occupies the
+  // whole mesh). Delivered packets stay resident in a plain Route, so the
+  // tiles remain allocated through the final step.
+  EXPECT_EQ(reg.gauge("engine.tiles_peak").Value(), 3);
+  EXPECT_EQ(reg.gauge("engine.tiles_allocated").Value(), 3);
+  // A reversal crosses tile boundaries, so the halo actually carried bytes.
+  EXPECT_GT(reg.counter("engine.halo_bytes").Total(), 0);
+}
+
+TEST(TiledVsLegacyTest, InjectorRunsFreeDrainedTiles) {
+  // Under open-loop injection delivered packets are retired every step, so
+  // a drained run must hand every tile back to the free list — the
+  // footprint-tracks-occupancy property the layout exists for.
+  Topology topo(2, 12, Wrap::kMesh);
+  TrafficPattern pattern(topo, PatternKind::kUniform, /*seed=*/9);
+  DriverOptions dopts;
+  dopts.rate = 0.05;
+  dopts.warmup_steps = 8;
+  dopts.measure_steps = 32;
+  dopts.drain = true;
+  MetricsRegistry reg;
+  EngineOptions eopts = Opts(LayoutMode::kTiled);
+  eopts.metrics = &reg;
+  const WorkloadResult res = RunOpenLoop(topo, pattern, dopts, eopts);
+  ASSERT_GT(res.delivered, 0);
+  EXPECT_EQ(res.offered, res.delivered);  // drained
+  EXPECT_GT(reg.gauge("engine.tiles_peak").Value(), 0);
+  EXPECT_EQ(reg.gauge("engine.tiles_allocated").Value(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/resume under the tiled layout.
+
+class CaptureSink final : public CheckpointSink {
+ public:
+  explicit CaptureSink(std::vector<std::int64_t> at) : at_(std::move(at)) {}
+  bool Due(std::int64_t step) override {
+    for (const std::int64_t s : at_) {
+      if (s == step) return true;
+    }
+    return false;
+  }
+  void Save(const EngineCheckpointState& state, const char* cause) override {
+    (void)cause;
+    states_.push_back(state);
+  }
+  const std::vector<EngineCheckpointState>& states() const { return states_; }
+
+ private:
+  std::vector<std::int64_t> at_;
+  std::vector<EngineCheckpointState> states_;
+};
+
+TEST(TiledCheckpointTest, ResumeMatchesUninterruptedRunEitherLayout) {
+  Topology topo(2, 10, Wrap::kTorus);
+  Rng rng(99);
+  Network initial(topo);
+  FillPermutation(initial, RandomPermutation(topo, rng), 2);
+
+  const EngineOptions opts = Opts(LayoutMode::kTiled);
+  RunOutput baseline = RunOnce(topo, initial, opts);
+  ASSERT_TRUE(baseline.result.completed);
+  ASSERT_GE(baseline.result.steps, 3);
+
+  CaptureSink sink({1, baseline.result.steps / 2, baseline.result.steps - 1});
+  EngineOptions sink_opts = opts;
+  sink_opts.checkpoint = &sink;
+  RunOutput with_sink = RunOnce(topo, initial, sink_opts);
+  // Attaching the sink must not change a tiled run (Export at the clean
+  // step boundary reproduces the legacy queue layout exactly).
+  ExpectSameRun(baseline, with_sink);
+  ASSERT_EQ(sink.states().size(), 3u);
+
+  for (const EngineCheckpointState& state : sink.states()) {
+    SCOPED_TRACE("resume from step " + std::to_string(state.step));
+    // A checkpoint written under the tiled layout resumes under the same
+    // configured layout — and the resumed run matches the baseline.
+    Network net(topo);
+    Engine engine(topo, opts);
+    RunOutput resumed;
+    resumed.result = engine.Resume(net, state);
+    resumed.snapshot = OrderedSnapshot(net);
+    ExpectSameRun(baseline, resumed);
+  }
+}
+
+TEST(TiledCheckpointTest, ResumeRefusesCrossLayoutSnapshots) {
+  // The options hash mixes the configured layout, so a snapshot taken
+  // under kTiled cannot silently resume under kLegacy (or vice versa).
+  Topology topo(2, 8, Wrap::kMesh);
+  Network initial(topo);
+  FillPermutation(initial, ReversalPermutation(topo), 2);
+  const RouteResult probe = RunOnce(topo, initial, Opts(LayoutMode::kTiled))
+                                .result;
+  ASSERT_GE(probe.steps, 2);
+  CaptureSink sink({1});
+  EngineOptions tiled_opts = Opts(LayoutMode::kTiled);
+  tiled_opts.checkpoint = &sink;
+  RunOnce(topo, initial, tiled_opts);
+  ASSERT_EQ(sink.states().size(), 1u);
+
+  Network net(topo);
+  Engine legacy(topo, Opts(LayoutMode::kLegacy));
+  EXPECT_THROW(legacy.Resume(net, sink.states()[0]), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop injection: the delivery trace (ids, steps, order) is hashed by
+// the driver; legacy and tiled must agree bit-for-bit.
+
+TEST(TiledOpenLoopTest, DeliveryHashMatchesLegacyAcrossThreadCounts) {
+  Topology topo(2, 8, Wrap::kTorus);
+  TrafficPattern pattern(topo, PatternKind::kUniform, /*seed=*/5);
+  DriverOptions dopts;
+  dopts.rate = 0.05;
+  dopts.warmup_steps = 16;
+  dopts.measure_steps = 64;
+  dopts.drain = true;
+  dopts.seed = 5;
+
+  const WorkloadResult legacy =
+      RunOpenLoop(topo, pattern, dopts, Opts(LayoutMode::kLegacy));
+  ASSERT_GT(legacy.delivered, 0);
+  EXPECT_EQ(legacy.offered, legacy.delivered);  // drained
+  for (unsigned workers : {0u, 4u}) {
+    ThreadPool pool(workers);
+    EngineOptions eopts = Opts(LayoutMode::kTiled);
+    eopts.pool = &pool;
+    const WorkloadResult tiled = RunOpenLoop(topo, pattern, dopts, eopts);
+    EXPECT_EQ(tiled.delivery_hash, legacy.delivery_hash);
+    EXPECT_EQ(tiled.offered, legacy.offered);
+    EXPECT_EQ(tiled.delivered, legacy.delivered);
+    EXPECT_EQ(tiled.route.steps, legacy.route.steps);
+    EXPECT_EQ(tiled.latency_p50, legacy.latency_p50);
+    EXPECT_EQ(tiled.latency_max, legacy.latency_max);
+  }
+}
+
+TEST(TiledOpenLoopTest, PreloadedPacketsNormalizeIdentically) {
+  // Packets already sitting in the network when an injector run starts
+  // (tag = 1 stamping, zero-hop retirement) — the preload contract.
+  Topology topo(2, 9, Wrap::kMesh);
+  TrafficPattern pattern(topo, PatternKind::kTranspose, /*seed=*/2);
+  DriverOptions dopts;
+  dopts.rate = 0.1;
+  dopts.warmup_steps = 8;
+  dopts.measure_steps = 32;
+  dopts.drain = true;
+
+  WorkloadResult results[2];
+  int i = 0;
+  for (LayoutMode layout : {LayoutMode::kLegacy, LayoutMode::kTiled}) {
+    OpenLoopInjector injector(topo, pattern, dopts);
+    Network net(topo);
+    // Preload a few packets, one already at its destination (zero-hop).
+    net.Add(0, MakePacket(-10, topo.size() - 1));
+    net.Add(1, MakePacket(-11, 1));
+    net.Add(2, MakePacket(-12, topo.size() / 2));
+    EngineOptions eopts = Opts(layout);
+    eopts.injector = &injector;
+    Engine engine(topo, eopts);
+    RouteResult route = engine.Route(net);
+    results[i].route = route;
+    results[i].delivery_hash = injector.delivery_hash();
+    results[i].offered = injector.offered();
+    results[i].delivered = injector.delivered();
+    ++i;
+  }
+  EXPECT_EQ(results[0].delivery_hash, results[1].delivery_hash);
+  EXPECT_EQ(results[0].offered, results[1].offered);
+  EXPECT_EQ(results[0].delivered, results[1].delivered);
+  EXPECT_EQ(results[0].route.steps, results[1].route.steps);
+  EXPECT_EQ(results[0].route.moves, results[1].route.moves);
+}
+
+}  // namespace
+}  // namespace mdmesh

@@ -147,6 +147,97 @@ TEST(InlineVecTest, MoveInlineCopies) {
   EXPECT_EQ(moved[0], 3);
 }
 
+TEST(InlineVecTest, PushBackAliasingAnElementSurvivesGrowth) {
+  // v.push_back(v[i]) exactly at a capacity boundary: growth frees the old
+  // buffer, so the element must be copied out before the reallocation —
+  // both on the inline-to-heap spill and on a later heap-to-heap regrow.
+  InlineVec<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), v.capacity());  // inline boundary
+  v.push_back(v[0]);
+  EXPECT_EQ(v.back(), 0);
+  while (v.size() < v.capacity()) v.push_back(static_cast<int>(v.size()));
+  const std::size_t heap_cap = v.capacity();
+  v.push_back(v.back());  // heap boundary
+  EXPECT_GT(v.capacity(), heap_cap);
+  EXPECT_EQ(v.back(), v[v.size() - 2]);
+}
+
+TEST(InlineVecTest, ShrinkBackBelowInlineCountAfterSpill) {
+  // Spill to the heap, shrink below the inline capacity, regrow: contents
+  // stay correct and the heap buffer is retained (no shrink-to-inline
+  // migration, so iterators from before the shrink stay valid).
+  InlineVec<int, 4> v;
+  for (int i = 0; i < 32; ++i) v.push_back(i);
+  const std::size_t cap = v.capacity();
+  const int* buf = v.data();
+  v.resize(2);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.capacity(), cap);
+  EXPECT_EQ(v.data(), buf);
+  EXPECT_EQ(v[0], 0);
+  EXPECT_EQ(v[1], 1);
+  v.resize(6);  // regrown elements are value-initialized
+  for (std::size_t i = 2; i < 6; ++i) EXPECT_EQ(v[i], 0);
+}
+
+TEST(InlineVecTest, MoveAssignReleasesTheTargetsHeapBuffer) {
+  InlineVec<int, 2> heap_target;
+  for (int i = 0; i < 20; ++i) heap_target.push_back(i);
+  InlineVec<int, 2> heap_source;
+  for (int i = 100; i < 130; ++i) heap_source.push_back(i);
+  const int* stolen = heap_source.data();
+  heap_target = std::move(heap_source);
+  EXPECT_EQ(heap_target.data(), stolen);  // buffer stolen, old one released
+  EXPECT_EQ(heap_target.size(), 30u);
+  EXPECT_EQ(heap_target[0], 100);
+  EXPECT_TRUE(heap_source.empty());
+  // Moved-from object is reusable and starts back on inline storage.
+  heap_source.push_back(7);
+  EXPECT_EQ(heap_source.size(), 1u);
+  EXPECT_EQ(heap_source.capacity(), 2u);
+
+  // Inline source into a heap target: contents copied, target back inline.
+  InlineVec<int, 2> inline_source;
+  inline_source.push_back(42);
+  heap_target = std::move(inline_source);
+  EXPECT_EQ(heap_target.size(), 1u);
+  EXPECT_EQ(heap_target[0], 42);
+  EXPECT_EQ(heap_target.capacity(), 2u);
+}
+
+TEST(InlineVecTest, CopyAssignHeapIntoInlineAndBack) {
+  InlineVec<int, 2> heap;
+  for (int i = 0; i < 12; ++i) heap.push_back(i);
+  InlineVec<int, 2> inl;
+  inl.push_back(5);
+  heap = inl;  // heap target shrinks back to inline storage
+  EXPECT_EQ(heap.size(), 1u);
+  EXPECT_EQ(heap.capacity(), 2u);
+  EXPECT_EQ(heap[0], 5);
+  for (int i = 0; i < 12; ++i) inl.push_back(i);
+  EXPECT_EQ(heap.size(), 1u);  // fully detached from its source
+}
+
+TEST(InlineVecTest, SelfMoveAssignmentIsSafe) {
+  InlineVec<int, 2> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  InlineVec<int, 2>& alias = v;
+  v = std::move(alias);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v[9], 9);
+}
+
+TEST(InlineVecTest, EraseEverythingOnHeapThenRefill) {
+  InlineVec<int, 2> v;
+  for (int i = 0; i < 25; ++i) v.push_back(i);
+  v.erase(v.begin(), v.end());
+  EXPECT_TRUE(v.empty());
+  EXPECT_GE(v.capacity(), 25u);  // buffer kept for the refill
+  for (int i = 0; i < 25; ++i) v.push_back(-i);
+  EXPECT_EQ(v[24], -24);
+}
+
 TEST(InlineVecTest, StdSortWorksOnIterators) {
   InlineVec<int, 4> v;
   for (int i = 0; i < 20; ++i) v.push_back(19 - i);

@@ -1,0 +1,227 @@
+// Tiled packet storage: the bit-sliced address map and the tile arena
+// (net/tile_arena.h). The map tests pin the property the whole layout
+// rests on — processor -> (tile, slot) is a bijection, including partial
+// last tiles on non-power-of-two meshes — and the arena tests pin the
+// free-list recycling that keeps the footprint proportional to occupancy.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "meshsim/topology.h"
+#include "net/tile_arena.h"
+
+namespace mdmesh {
+namespace {
+
+// --- TileMap -------------------------------------------------------------
+
+TEST(TileMapTest, BijectionOverNonPowerOfTwoMeshes) {
+  // Every (d, n) here has N = n^d not a multiple of 64, so the last tile is
+  // partial; d spans the dimensions the engine actually runs.
+  const std::tuple<int, int> specs[] = {{2, 9},  {2, 23}, {3, 5},
+                                        {3, 7},  {4, 3},  {4, 5}};
+  for (const auto& [d, n] : specs) {
+    Topology topo(d, n, Wrap::kMesh);
+    const ProcId N = topo.size();
+    const std::int64_t tiles = TileMap::TileCount(N);
+    EXPECT_EQ(tiles, (N + kTileSlots - 1) / kTileSlots);
+    std::vector<std::uint8_t> hit(
+        static_cast<std::size_t>(tiles * kTileSlots), 0);
+    for (ProcId p = 0; p < N; ++p) {
+      const std::int64_t t = TileMap::TileOf(p);
+      const int s = TileMap::SlotOf(p);
+      ASSERT_GE(t, 0);
+      ASSERT_LT(t, tiles);
+      ASSERT_GE(s, 0);
+      ASSERT_LT(s, kTileSlots);
+      // Round trip: ProcOf inverts (TileOf, SlotOf).
+      ASSERT_EQ(TileMap::ProcOf(t, s), p) << "d=" << d << " n=" << n;
+      // Injective: no two processors share a (tile, slot) cell.
+      std::uint8_t& cell =
+          hit[static_cast<std::size_t>(t * kTileSlots + s)];
+      ASSERT_EQ(cell, 0) << "collision at tile " << t << " slot " << s;
+      cell = 1;
+    }
+    // Full tiles are saturated: every slot of every non-final tile is hit.
+    for (std::int64_t t = 0; t + 1 < tiles; ++t) {
+      for (int s = 0; s < kTileSlots; ++s) {
+        EXPECT_EQ(hit[static_cast<std::size_t>(t * kTileSlots + s)], 1);
+      }
+    }
+  }
+}
+
+TEST(TileMapTest, SlotForLowVisitsProcessorsInAscendingIdOrder) {
+  for (std::int64_t tile : {std::int64_t{0}, std::int64_t{1},
+                            std::int64_t{63}, std::int64_t{64},
+                            std::int64_t{1'000'003}}) {
+    ProcId prev = -1;
+    for (int low = 0; low < kTileSlots; ++low) {
+      const int slot = TileMap::SlotForLow(tile, low);
+      const ProcId p = TileMap::ProcOf(tile, slot);
+      EXPECT_EQ(p, (tile << kTileSlotBits) | low);
+      EXPECT_GT(p, prev);  // ascending-id iteration order
+      prev = p;
+    }
+  }
+}
+
+TEST(TileMapTest, SwizzleDecorrelatesLowBits) {
+  // Processors with equal low bits land in different slots on tiles whose
+  // low tile bits differ — the bank-swizzle property that spreads strided
+  // traffic across column positions.
+  EXPECT_NE(TileMap::SlotOf(TileMap::ProcOf(0, 0) /* p = 0 */),
+            TileMap::SlotOf((std::int64_t{1} << kTileSlotBits) | 0));
+}
+
+// --- TileArena -----------------------------------------------------------
+
+TEST(TileArenaTest, EnsureIsIdempotentAndFreeRecyclesBlocks) {
+  Topology topo(2, 12, Wrap::kMesh);  // N = 144: two full tiles + partial
+  TileArena arena(topo);
+  EXPECT_EQ(arena.tiles(), 3);
+  EXPECT_EQ(arena.live_tiles(), 0);
+
+  const std::int32_t ph0 = arena.Ensure(0);
+  EXPECT_TRUE(arena.IsLive(0));
+  EXPECT_EQ(arena.Phys(0), ph0);
+  EXPECT_EQ(arena.Ensure(0), ph0);  // already live: no reallocation
+  EXPECT_EQ(arena.live_tiles(), 1);
+  EXPECT_EQ(arena.total_allocs(), 1);
+
+  const std::int32_t ph1 = arena.Ensure(1);
+  EXPECT_NE(ph1, ph0);
+  EXPECT_EQ(arena.live_tiles(), 2);
+  EXPECT_EQ(arena.peak_tiles(), 2);
+
+  arena.Free(0);
+  EXPECT_FALSE(arena.IsLive(0));
+  EXPECT_EQ(arena.live_tiles(), 1);
+  EXPECT_EQ(arena.peak_tiles(), 2);  // peak is sticky
+
+  // The freed physical block is recycled for the next Ensure: the arena's
+  // footprint tracks occupancy, not the number of distinct tiles touched.
+  const std::int32_t ph2 = arena.Ensure(2);
+  EXPECT_EQ(ph2, ph0);
+  EXPECT_EQ(arena.live_tiles(), 2);
+  EXPECT_EQ(arena.peak_tiles(), 2);
+}
+
+TEST(TileArenaTest, LiveBitsTrackTheDirectory) {
+  Topology topo(3, 10, Wrap::kMesh);  // N = 1000 -> 16 tiles
+  TileArena arena(topo);
+  arena.Ensure(0);
+  arena.Ensure(5);
+  arena.Ensure(15);
+  ASSERT_EQ(arena.live_bits().size(), 1u);
+  EXPECT_EQ(arena.live_bits()[0],
+            (std::uint64_t{1} << 0) | (std::uint64_t{1} << 5) |
+                (std::uint64_t{1} << 15));
+  arena.Free(5);
+  EXPECT_EQ(arena.live_bits()[0],
+            (std::uint64_t{1} << 0) | (std::uint64_t{1} << 15));
+}
+
+TEST(TileArenaTest, EnsureZeroesHeaderOnRebind) {
+  Topology topo(2, 12, Wrap::kMesh);
+  TileArena arena(topo);
+  const std::int32_t ph = arena.Ensure(0);
+  arena.cnt(ph)[7] = 3;
+  *arena.nonempty(ph) = 0xff;
+  *arena.inflight(ph) = 0xf0;
+  arena.pend(ph)[1] = 0x8;
+  arena.ovf(ph).push_back(TileOvEntry{});
+  arena.Free(0);
+
+  // Rebinding the same physical block to a different tile must present a
+  // clean header and an empty overflow vector.
+  const std::int32_t ph2 = arena.Ensure(1);
+  ASSERT_EQ(ph2, ph);
+  for (int s = 0; s < kTileSlots; ++s) EXPECT_EQ(arena.cnt(ph2)[s], 0);
+  EXPECT_EQ(*arena.nonempty(ph2), 0u);
+  EXPECT_EQ(*arena.inflight(ph2), 0u);
+  for (int l = 0; l < 2 * topo.dim(); ++l) EXPECT_EQ(arena.pend(ph2)[l], 0u);
+  EXPECT_EQ(arena.ovf(ph2).size(), 0u);
+}
+
+TEST(TileArenaTest, ResetFreesEverythingAndClearsStats) {
+  Topology topo(2, 12, Wrap::kMesh);
+  TileArena arena(topo);
+  arena.Ensure(0);
+  arena.Ensure(1);
+  arena.Ensure(2);
+  arena.Reset();
+  EXPECT_EQ(arena.live_tiles(), 0);
+  EXPECT_EQ(arena.peak_tiles(), 0);
+  EXPECT_EQ(arena.total_allocs(), 0);
+  for (std::int64_t t = 0; t < arena.tiles(); ++t) {
+    EXPECT_FALSE(arena.IsLive(t));
+  }
+  for (const std::uint64_t w : arena.live_bits()) EXPECT_EQ(w, 0u);
+  // Blocks are retained: re-ensuring reuses them (no fresh allocation is
+  // observable, but the recycled physical index range stays [0, 3)).
+  EXPECT_LT(arena.Ensure(2), 3);
+}
+
+TEST(TileArenaTest, CoordColumnsMatchTopologyIncludingPartialLastTile) {
+  Topology topo(2, 9, Wrap::kMesh);  // N = 81: tile 1 holds only 17 procs
+  TileArena arena(topo);
+  for (std::int64_t t = 0; t < arena.tiles(); ++t) {
+    const std::int32_t ph = arena.Ensure(t);
+    for (int slot = 0; slot < kTileSlots; ++slot) {
+      const ProcId p = TileMap::ProcOf(t, slot);
+      if (p >= topo.size()) continue;  // partial-tile hole: never read
+      const Point pt = topo.Coords(p);
+      for (int i = 0; i < topo.dim(); ++i) {
+        EXPECT_EQ(arena.ccoord(ph)[i * kTileSlots + slot],
+                  pt[static_cast<std::size_t>(i)])
+            << "p=" << p << " dim=" << i;
+      }
+    }
+  }
+}
+
+TEST(TileArenaTest, LaneRoundTripPreservesEveryFieldAndDestCoords) {
+  Topology topo(3, 5, Wrap::kTorus);
+  TileArena arena(topo);
+  const std::int32_t ph = arena.Ensure(0);
+  Packet in;
+  in.key = 0xdeadbeefcafe1234ull;
+  in.id = -77;
+  in.tag = 41;
+  in.dest = 113;
+  in.dist0 = 9;
+  in.arrived = -1;
+  in.klass = 2;
+  in.flags = Packet::kLockActive | (5u << 9);
+  const std::int32_t dc[3] = {3, 2, 4};
+  for (int k = 0; k < kTileLanes; ++k) {
+    arena.WriteLane(ph, k, /*slot=*/17, in, dc);
+    Packet out;
+    arena.ReadLane(ph, k, 17, &out);
+    EXPECT_EQ(out.key, in.key);
+    EXPECT_EQ(out.id, in.id);
+    EXPECT_EQ(out.tag, in.tag);
+    EXPECT_EQ(out.dest, in.dest);
+    EXPECT_EQ(out.dist0, in.dist0);
+    EXPECT_EQ(out.arrived, in.arrived);
+    EXPECT_EQ(out.klass, in.klass);
+    EXPECT_EQ(out.flags, in.flags);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(arena.dc(ph)[(i * kTileLanes + k) * kTileSlots + 17], dc[i]);
+    }
+  }
+}
+
+TEST(TileArenaTest, BlockBytesAreCacheLineAligned) {
+  for (int d : {2, 3, 4}) {
+    Topology topo(d, 5, Wrap::kMesh);
+    TileArena arena(topo);
+    EXPECT_EQ(arena.block_bytes() % 64, 0u) << "d=" << d;
+  }
+}
+
+}  // namespace
+}  // namespace mdmesh
