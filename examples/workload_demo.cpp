@@ -22,11 +22,13 @@
 //
 //   $ ./workload_demo --n=16 --checkpoint=ckpts --checkpoint-every=64
 //   $ ./workload_demo --n=16 --checkpoint=ckpts --resume
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "core/mdmesh.h"
 #include "util/cli.h"
@@ -48,6 +50,10 @@ int main(int argc, char** argv) {
   cli.AddString("layout", "auto",
                 "packet-storage layout (auto, legacy, tiled)");
   cli.AddBool("saturate", false, "bisect for the saturation rate instead");
+  cli.AddInt("server", 0,
+             "submit to an experiment_server on this 127.0.0.1 port and "
+             "wait for the result instead of running locally");
+  cli.AddInt("priority", 0, "scheduling priority for --server submissions");
   AddOutputFlags(cli);
   if (!cli.Parse(argc, argv)) return 2;
   const OutputFlags out = GetOutputFlags(cli);
@@ -72,6 +78,86 @@ int main(int argc, char** argv) {
   dopts.measure_steps = cli.GetInt("measure");
   dopts.drain = cli.GetBool("drain");
   dopts.seed = static_cast<std::uint64_t>(cli.GetInt("seed"));
+
+  // --server: the bench becomes a client of the experiment service — the
+  // same flags build a RunSpec, the server executes it (deduping against
+  // identical submissions), and the printed delivery_hash is byte-identical
+  // to a local run because results are scheduler-independent.
+  const int server_port = static_cast<int>(cli.GetInt("server"));
+  if (server_port > 0) {
+    RunSpec rspec;
+    rspec.d = spec.d;
+    rspec.n = spec.n;
+    rspec.torus = spec.wrap == Wrap::kTorus;
+    rspec.pattern = kind;
+    rspec.pattern_seed = dopts.seed;
+    rspec.driver = dopts;
+    rspec.priority = static_cast<int>(cli.GetInt("priority"));
+    if (!ParseLayoutMode(cli.GetString("layout"), &rspec.layout)) {
+      std::fprintf(stderr, "unknown layout: %s\n",
+                   cli.GetString("layout").c_str());
+      return 2;
+    }
+    const HttpResult post =
+        HttpFetch(server_port, "POST", "/runs", rspec.ToJson());
+    if (!post.ok || post.status != 202) {
+      std::fprintf(stderr, "submit failed: %s\n",
+                   post.ok ? (std::to_string(post.status) + " " + post.body)
+                               .c_str()
+                           : post.error.c_str());
+      return 1;
+    }
+    const JsonParseResult accepted = ParseJson(post.body);
+    if (!accepted.ok) {
+      std::fprintf(stderr, "submit failed: unparseable response\n");
+      return 1;
+    }
+    const std::int64_t id = accepted.value["id"].AsInt();
+    std::fprintf(stderr, "submitted as run %lld%s\n",
+                 static_cast<long long>(id),
+                 accepted.value["deduped"].AsBool() ? " (deduplicated)" : "");
+    // Poll until the run leaves the queue/engine. Interrupted means the
+    // server is draining; the restarted server will finish the run.
+    for (;;) {
+      const HttpResult poll =
+          HttpFetch(server_port, "GET", "/runs/" + std::to_string(id));
+      if (!poll.ok || poll.status != 200) {
+        std::fprintf(stderr, "poll failed: %s\n",
+                     poll.ok ? poll.body.c_str() : poll.error.c_str());
+        return 1;
+      }
+      const JsonParseResult rec = ParseJson(poll.body);
+      if (!rec.ok) {
+        std::fprintf(stderr, "poll failed: unparseable record\n");
+        return 1;
+      }
+      const std::string state = rec.value["state"].AsString();
+      if (state == "done") {
+        const JsonValue& result = rec.value["result"];
+        std::printf("run %lld done on server :%d\n",
+                    static_cast<long long>(id), server_port);
+        std::printf("offered %lld, delivered %lld: %s\n",
+                    static_cast<long long>(result["offered"].AsInt()),
+                    static_cast<long long>(result["delivered"].AsInt()),
+                    result["stable"].AsBool()
+                        ? "stable"
+                        : "SATURATED (backlog growing)");
+        std::printf("throughput %.3f accepted/processor-step\n",
+                    result["throughput"].AsDouble());
+        std::printf("delivery_hash: %016llx\n",
+                    static_cast<unsigned long long>(
+                        rec.value["delivery_hash"].AsUInt()));
+        return 0;
+      }
+      if (state == "failed") {
+        std::fprintf(stderr, "run %lld failed: %s\n",
+                     static_cast<long long>(id),
+                     rec.value["error"].AsString().c_str());
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
 
   if (cli.GetBool("saturate")) {
     const SaturationResult sat = FindSaturationRate(topo, pattern, dopts);

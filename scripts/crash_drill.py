@@ -22,8 +22,12 @@ Sequence:
   4. resume:   --checkpoint=DIR --resume, record delivery_hash
   5. verdict:  hashes equal -> exit 0, else exit 1
 
-Stdlib only. The checkpoint directory survives on failure for artifact
-upload; pass --workdir to control where it lives.
+Stdlib only. Exit codes propagate the real failure signal: when a child run
+fails, the drill exits with the child's own exit code (128+N for a
+signal-killed child, shell style) rather than a generic 1, so CI logs show
+what actually happened. A scratch temp directory is removed on every path,
+success or failure; pass --workdir to keep the checkpoint directory for
+artifact upload instead.
 
 Usage:
     crash_drill.py [--binary BUILD/examples/workload_demo]
@@ -32,6 +36,7 @@ Usage:
 """
 
 import argparse
+import atexit
 import os
 import random
 import shutil
@@ -54,10 +59,15 @@ def run_to_completion(cmd, label):
         cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True
     )
     if proc.returncode != 0:
-        sys.exit(
+        # Propagate the child's exit code so CI shows the real signal: a
+        # signal-killed child (returncode -N) becomes the shell-style 128+N.
+        code = proc.returncode if proc.returncode > 0 else 128 - proc.returncode
+        print(
             f"{label}: exit {proc.returncode}\n"
-            f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+            f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}",
+            file=sys.stderr,
         )
+        sys.exit(code)
     return proc
 
 
@@ -108,7 +118,13 @@ def main():
     if not os.path.exists(args.binary):
         sys.exit(f"binary not found: {args.binary} (build the tree first)")
 
-    workdir = args.workdir or tempfile.mkdtemp(prefix="crash_drill_")
+    # A scratch temp dir is removed on *every* exit path — including the
+    # sys.exit failure paths, via atexit; an explicit --workdir is always
+    # kept so CI can upload its contents as artifacts.
+    scratch = None if args.workdir else tempfile.mkdtemp(prefix="crash_drill_")
+    if scratch:
+        atexit.register(shutil.rmtree, scratch, ignore_errors=True)
+    workdir = args.workdir or scratch
     os.makedirs(workdir, exist_ok=True)
     ckpt_dir = os.path.join(workdir, "ckpt")
     shutil.rmtree(ckpt_dir, ignore_errors=True)
@@ -196,12 +212,12 @@ def main():
 
     # 5. Verdict.
     if got != want:
+        kept = (f"checkpoint dir kept at {ckpt_dir}" if args.workdir
+                else "pass --workdir to keep the checkpoint dir")
         print(f"FAIL: delivery trace diverged after crash recovery "
-              f"({got} != {want}); checkpoint dir kept at {ckpt_dir}")
+              f"({got} != {want}); {kept}")
         sys.exit(1)
     print("ok: crash-recovered run is byte-identical to the baseline")
-    if args.workdir is None:
-        shutil.rmtree(workdir, ignore_errors=True)
 
 
 if __name__ == "__main__":

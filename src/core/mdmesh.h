@@ -53,6 +53,14 @@
 #include "workload/driver.h"
 #include "workload/patterns.h"
 
+// Experiment service: JSON run requests, queued scheduler, HTTP control
+// plane with checkpointed graceful drain.
+#include "serve/http.h"
+#include "serve/json_value.h"
+#include "serve/run_spec.h"
+#include "serve/scheduler.h"
+#include "serve/service.h"
+
 // Sorting and selection (Section 3, Section 4.3 upper bound).
 #include "sorting/common.h"
 #include "sorting/kk_sort.h"

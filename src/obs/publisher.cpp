@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/atomic_file.h"
+#include "util/net.h"
 
 #if defined(_WIN32)
 // No POSIX sockets / isatty here; the publisher degrades to status-file
@@ -48,31 +49,15 @@ bool MetricsPublisher::Start(const Options& opts) {
 
 #if !defined(_WIN32)
   if (opts_.port >= 0) {
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    // Shared helper (util/net.h): loopback bind with the service-grade
+    // backlog — the old backlog of 8 was sized for a single scraper and
+    // refused connections under concurrent-client bursts.
+    std::string bind_error;
+    listen_fd_ =
+        ListenLoopback(opts_.port, kListenBacklog, &port_, &bind_error);
     if (listen_fd_ < 0) {
-      std::perror("metrics publisher: socket");
+      std::fprintf(stderr, "metrics publisher: %s\n", bind_error.c_str());
       return false;
-    }
-    int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-               sizeof(addr)) != 0 ||
-        ::listen(listen_fd_, 8) != 0) {
-      std::fprintf(stderr, "metrics publisher: cannot bind 127.0.0.1:%d: %s\n",
-                   opts_.port, std::strerror(errno));
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-      return false;
-    }
-    sockaddr_in bound{};
-    socklen_t len = sizeof(bound);
-    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                      &len) == 0) {
-      port_ = ntohs(bound.sin_port);
     }
   }
 #else
@@ -177,6 +162,8 @@ void MetricsPublisher::ServeOne(int) {}
 
 void MetricsPublisher::Run() {
   std::int64_t next_snapshot_ms = SteadyMs();
+  // Escalating fd-exhaustion backoff, reset on the next successful accept.
+  int backoff_ms = 10;
   while (!stop_.load(std::memory_order_acquire)) {
     const std::int64_t now = SteadyMs();
     if (now >= next_snapshot_ms) {
@@ -193,10 +180,34 @@ void MetricsPublisher::Run() {
       // responsive without spinning.
       const int r = ::poll(&pfd, 1, 50);
       if (r > 0 && (pfd.revents & POLLIN) != 0) {
-        const int client = ::accept(listen_fd_, nullptr, nullptr);
-        if (client >= 0) {
-          ServeOne(client);
-          ::close(client);
+        // Hardened accept (util/net.h): EINTR retries inside, fd
+        // exhaustion backs off with a diagnostic instead of silently
+        // dropping the connection (it stays queued in the backlog), and
+        // only a genuinely broken listener tears the endpoint down.
+        int client = -1;
+        std::string diag;
+        switch (AcceptClient(listen_fd_, &client, &diag)) {
+          case AcceptStatus::kAccepted:
+            backoff_ms = 10;
+            ServeOne(client);
+            ::close(client);
+            break;
+          case AcceptStatus::kRetry:
+            break;
+          case AcceptStatus::kExhausted:
+            accept_backoffs_.fetch_add(1, std::memory_order_relaxed);
+            std::fprintf(stderr, "metrics publisher: %s\n", diag.c_str());
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoff_ms));
+            if (backoff_ms < 1000) backoff_ms *= 2;
+            break;
+          case AcceptStatus::kFatal:
+            std::fprintf(stderr,
+                         "metrics publisher: %s; serving status file only\n",
+                         diag.c_str());
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+            break;
         }
       }
       continue;

@@ -80,6 +80,12 @@ class MetricsPublisher {
     return snapshots_.load(std::memory_order_relaxed);
   }
 
+  /// accept() attempts that hit fd exhaustion (EMFILE/ENFILE) and backed
+  /// off instead of dropping the listener.
+  std::int64_t accept_backoffs() const {
+    return accept_backoffs_.load(std::memory_order_relaxed);
+  }
+
  private:
   void Run();
   void WriteStatusFile();
@@ -92,6 +98,7 @@ class MetricsPublisher {
   std::atomic<bool> stop_{false};
   std::atomic<std::int64_t> requests_{0};
   std::atomic<std::int64_t> snapshots_{0};
+  std::atomic<std::int64_t> accept_backoffs_{0};
   int listen_fd_ = -1;
   int port_ = -1;
 };

@@ -1,0 +1,403 @@
+#include "serve/json_value.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace mdmesh {
+
+namespace {
+const JsonValue& SharedNull() {
+  static const JsonValue null;
+  return null;
+}
+}  // namespace
+
+std::int64_t JsonValue::AsInt() const {
+  if (type_ == Type::kInt) return int_;
+  if (type_ == Type::kDouble) return static_cast<std::int64_t>(dbl_);
+  return 0;
+}
+
+std::uint64_t JsonValue::AsUInt() const {
+  if (type_ == Type::kInt) return static_cast<std::uint64_t>(int_);
+  if (type_ == Type::kDouble && dbl_ >= 0.0) {
+    return static_cast<std::uint64_t>(dbl_);
+  }
+  return 0;
+}
+
+double JsonValue::AsDouble() const {
+  if (type_ == Type::kDouble) return dbl_;
+  if (type_ == Type::kInt) {
+    return int_is_unsigned_
+               ? static_cast<double>(static_cast<std::uint64_t>(int_))
+               : static_cast<double>(int_);
+  }
+  return 0.0;
+}
+
+const JsonValue& JsonValue::At(std::size_t i) const {
+  return i < items_.size() ? items_[i] : SharedNull();
+}
+
+const JsonValue& JsonValue::operator[](const std::string& key) const {
+  const auto it = members_.find(key);
+  return it != members_.end() ? it->second : SharedNull();
+}
+
+JsonValue JsonValue::MakeBool(bool v) {
+  JsonValue j;
+  j.type_ = Type::kBool;
+  j.int_ = v ? 1 : 0;
+  return j;
+}
+
+JsonValue JsonValue::MakeInt(std::int64_t v) {
+  JsonValue j;
+  j.type_ = Type::kInt;
+  j.int_ = v;
+  return j;
+}
+
+JsonValue JsonValue::MakeDouble(double v) {
+  JsonValue j;
+  j.type_ = Type::kDouble;
+  j.dbl_ = v;
+  return j;
+}
+
+JsonValue JsonValue::MakeString(std::string v) {
+  JsonValue j;
+  j.type_ = Type::kString;
+  j.str_ = std::move(v);
+  return j;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, int max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  JsonParseResult Run() {
+    JsonParseResult out;
+    SkipWs();
+    if (!ParseValue(&out.value, 0)) {
+      out.error = error_;
+      out.offset = pos_;
+      return out;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      out.error = "trailing characters after the document";
+      out.offset = pos_;
+      return out;
+    }
+    out.ok = true;
+    return out;
+  }
+
+ private:
+  bool Fail(const char* msg) {
+    error_ = msg;
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word, std::size_t len) {
+    if (text_.compare(pos_, len, word) != 0) return Fail("invalid literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > max_depth_) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->type_ = JsonValue::Type::kString;
+        return ParseString(&out->str_);
+      case 't':
+        *out = JsonValue::MakeBool(true);
+        return Literal("true", 4);
+      case 'f':
+        *out = JsonValue::MakeBool(false);
+        return Literal("false", 5);
+      case 'n':
+        *out = JsonValue();
+        return Literal("null", 4);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    out->type_ = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':' after object key");
+      }
+      ++pos_;
+      SkipWs();
+      JsonValue member;
+      if (!ParseValue(&member, depth + 1)) return false;
+      out->members_[std::move(key)] = std::move(member);
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    out->type_ = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      JsonValue item;
+      if (!ParseValue(&item, depth + 1)) return false;
+      out->items_.push_back(std::move(item));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool HexDigit(char c, unsigned* out) {
+    if (c >= '0' && c <= '9') {
+      *out = static_cast<unsigned>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      *out = static_cast<unsigned>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      *out = static_cast<unsigned>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+    return true;
+  }
+
+  void AppendUtf8(std::string* s, unsigned cp) {
+    if (cp < 0x80) {
+      s->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      s->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      s->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      s->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool ParseHex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    unsigned cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      unsigned digit;
+      if (!HexDigit(text_[pos_ + static_cast<std::size_t>(i)], &digit)) {
+        return Fail("invalid \\u escape");
+      }
+      cp = (cp << 4) | digit;
+    }
+    pos_ += 4;
+    *out = cp;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    out->clear();
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      if (++pos_ >= text_.size()) return Fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          unsigned cp;
+          if (!ParseHex4(&cp)) return false;
+          // Surrogate pair: a high surrogate must be followed by \uDC00-DFFF.
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Fail("unpaired surrogate");
+            }
+            pos_ += 2;
+            unsigned lo;
+            if (!ParseHex4(&lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF) return Fail("unpaired surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Fail("unpaired surrogate");
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          return Fail("invalid escape character");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() ||
+        !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+      pos_ = start;
+      return Fail("invalid number");
+    }
+    // Leading-zero rule: 0 may not be followed by another digit.
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+        text_[pos_ + 1] >= '0' && text_[pos_ + 1] <= '9') {
+      return Fail("leading zero in number");
+    }
+    bool integral = true;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        return Fail("digit required after decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        return Fail("digit required in exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (integral) {
+      // Try int64 first, then uint64 (seeds use the full unsigned range);
+      // overflow falls through to double.
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        *out = JsonValue::MakeInt(static_cast<std::int64_t>(v));
+        return true;
+      }
+      if (token[0] != '-') {
+        errno = 0;
+        const unsigned long long u = std::strtoull(token.c_str(), &end, 10);
+        if (errno == 0 && end != nullptr && *end == '\0') {
+          *out = JsonValue::MakeInt(
+              static_cast<std::int64_t>(static_cast<std::uint64_t>(u)));
+          out->int_is_unsigned_ = true;
+          return true;
+        }
+      }
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(d)) {
+      pos_ = start;
+      return Fail("number out of range");
+    }
+    *out = JsonValue::MakeDouble(d);
+    return true;
+  }
+
+  const std::string& text_;
+  const int max_depth_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+JsonParseResult ParseJson(const std::string& text, int max_depth) {
+  return JsonParser(text, max_depth).Run();
+}
+
+}  // namespace mdmesh

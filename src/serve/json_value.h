@@ -1,0 +1,101 @@
+// Minimal JSON document model + recursive-descent parser for the experiment
+// service's request bodies and persisted queue files.
+//
+// The repo has always been able to *write* JSON (obs/json.h streams it); the
+// service is the first component that must *read* it — run requests arrive
+// as JSON over HTTP, and the drained queue is re-read on restart. This
+// parser is deliberately small and strict: RFC 8259 values only (no
+// comments, no trailing commas, no NaN/Infinity), a hard nesting-depth cap
+// so hostile input cannot exhaust the stack, and structured errors carrying
+// the byte offset so a rejected request names its first bad byte.
+//
+// Numbers are held in both int64 and double form: JSON does not distinguish
+// them, but the service's specs mix genuine integers (side lengths, step
+// counts, seeds — seeds exercise the full uint64 range and round-trip
+// losslessly through the int64 slot) with genuine doubles (rates,
+// thresholds). AsInt()/AsDouble() convert between them, so "0.5" and "1"
+// both work wherever a number is expected.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mdmesh {
+
+class JsonValue {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,     ///< number that parsed as a (u)int64 with no fraction/exponent
+    kDouble,  ///< any other number
+    kString,
+    kArray,
+    kObject,
+  };
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Value accessors; calling the wrong one returns a zero value rather
+  /// than crashing (spec readers validate types explicitly first).
+  bool AsBool() const { return type_ == Type::kBool && int_ != 0; }
+  std::int64_t AsInt() const;
+  std::uint64_t AsUInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const { return str_; }
+
+  const std::vector<JsonValue>& Items() const { return items_; }
+  std::size_t size() const { return items_.size(); }
+  /// Array element; out-of-range returns a shared null value.
+  const JsonValue& At(std::size_t i) const;
+
+  /// Object member lookup; a missing key returns a shared null value, so
+  /// readers chain lookups without null checks: v["a"]["b"].AsInt().
+  const JsonValue& operator[](const std::string& key) const;
+  bool Has(const std::string& key) const { return members_.count(key) != 0; }
+  const std::map<std::string, JsonValue>& Members() const { return members_; }
+
+  // Builders (used by tests and by the queue writer's round-trip checks).
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool v);
+  static JsonValue MakeInt(std::int64_t v);
+  static JsonValue MakeDouble(double v);
+  static JsonValue MakeString(std::string v);
+
+ private:
+  friend class JsonParser;
+  Type type_ = Type::kNull;
+  std::int64_t int_ = 0;
+  double dbl_ = 0.0;
+  bool int_is_unsigned_ = false;  ///< int_ holds a reinterpreted uint64
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::map<std::string, JsonValue> members_;
+};
+
+/// Parse outcome: `ok` plus either the document or an error with the byte
+/// offset of the first offending character.
+struct JsonParseResult {
+  bool ok = false;
+  JsonValue value;
+  std::string error;
+  std::size_t offset = 0;
+};
+
+/// Parses one complete JSON document (leading/trailing whitespace allowed;
+/// trailing garbage is an error). `max_depth` caps container nesting.
+JsonParseResult ParseJson(const std::string& text, int max_depth = 64);
+
+}  // namespace mdmesh

@@ -1,0 +1,548 @@
+#include "serve/scheduler.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "ckpt/manager.h"
+#include "meshsim/topology.h"
+#include "obs/chrome_trace.h"
+#include "obs/flight_recorder.h"
+#include "obs/probe.h"
+#include "serve/json_value.h"
+#include "util/atomic_file.h"
+#include "util/thread_pool.h"
+
+namespace mdmesh {
+namespace {
+
+const char* StallReasonLabel(StallReason reason) {
+  switch (reason) {
+    case StallReason::kStepCap: return "step_cap";
+    case StallReason::kWatchdog: return "watchdog";
+    case StallReason::kInterrupt: return "interrupt";
+  }
+  return "unknown";
+}
+
+bool ReadWholeFile(const std::string& path, std::string* out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::ostringstream os;
+  os << is.rdbuf();
+  *out = os.str();
+  return true;
+}
+
+}  // namespace
+
+const char* RunStateName(RunState state) {
+  switch (state) {
+    case RunState::kQueued: return "queued";
+    case RunState::kRunning: return "running";
+    case RunState::kInterrupted: return "interrupted";
+    case RunState::kDone: return "done";
+    case RunState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+bool ParseRunState(const std::string& name, RunState* out) {
+  for (RunState s :
+       {RunState::kQueued, RunState::kRunning, RunState::kInterrupted,
+        RunState::kDone, RunState::kFailed}) {
+    if (name == RunStateName(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+void WriteRunRecordJson(const RunRecord& rec, JsonWriter& w) {
+  w.BeginObject();
+  w.Key("id").Int(rec.id);
+  if (!rec.spec.name.empty()) w.Key("name").String(rec.spec.name);
+  w.Key("state").String(RunStateName(rec.state));
+  w.Key("fingerprint").UInt(rec.fingerprint);
+  w.Key("dedup_hits").Int(rec.dedup_hits);
+  w.Key("resume_pending").Bool(rec.resume_pending);
+  w.Key("resumed").Bool(rec.resumed);
+  if (!rec.error.empty()) w.Key("error").String(rec.error);
+  if (!rec.artifact_dir.empty()) {
+    w.Key("artifact_dir").String(rec.artifact_dir);
+    w.Key("artifacts").BeginObject();
+    w.Key("result").String(rec.artifact_dir + "/result.json");
+    w.Key("metrics").String(rec.artifact_dir + "/metrics.prom");
+    w.Key("trace").String(rec.artifact_dir + "/trace.json");
+    w.Key("checkpoints").String(rec.artifact_dir + "/ckpt");
+    w.EndObject();
+  }
+  w.Key("delivery_hash").UInt(rec.delivery_hash);
+  w.Key("spec");
+  rec.spec.WriteJson(w);
+  if (rec.has_result) {
+    w.Key("result");
+    rec.result.WriteJson(w);
+  }
+  w.EndObject();
+}
+
+RunScheduler::RunScheduler(const SchedulerOptions& opts) : opts_(opts) {
+  if (opts_.workers < 1) opts_.workers = 1;
+  if (opts_.queue_limit < 1) opts_.queue_limit = 1;
+}
+
+RunScheduler::~RunScheduler() { Drain(); }
+
+bool RunScheduler::Start(std::string* error) {
+  if (started_.load(std::memory_order_acquire)) {
+    if (error != nullptr) *error = "scheduler already started";
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(opts_.artifacts_dir, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "cannot create " + opts_.artifacts_dir + ": " + ec.message();
+    }
+    return false;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!RestoreLocked(error)) return false;
+  }
+  started_.store(true, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
+  for (int i = 0; i < opts_.workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  return true;
+}
+
+RunScheduler::SubmitOutcome RunScheduler::Submit(const RunSpec& spec) {
+  SubmitOutcome out;
+  const std::uint64_t fp = spec.Fingerprint();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!started_.load(std::memory_order_acquire) ||
+      draining_.load(std::memory_order_acquire)) {
+    out.error = "service is draining";
+    return out;
+  }
+  if (opts_.metrics != nullptr) {
+    opts_.metrics->counter("serve.submitted").Increment();
+  }
+  const auto dup = dedup_.find(fp);
+  if (dup != dedup_.end()) {
+    RunRecord& primary = records_[dup->second];
+    ++primary.dedup_hits;
+    out.accepted = true;
+    out.deduped = true;
+    out.id = primary.id;
+    if (opts_.metrics != nullptr) {
+      opts_.metrics->counter("serve.deduped").Increment();
+    }
+    PersistLocked();
+    return out;
+  }
+  if (queue_.size() >= opts_.queue_limit) {
+    out.error = "queue full (" + std::to_string(opts_.queue_limit) +
+                " pending runs)";
+    if (opts_.metrics != nullptr) {
+      opts_.metrics->counter("serve.rejected").Increment();
+    }
+    return out;
+  }
+  const std::int64_t id = next_id_++;
+  RunRecord rec;
+  rec.id = id;
+  rec.spec = spec;
+  rec.fingerprint = fp;
+  rec.artifact_dir = opts_.artifacts_dir + "/run-" + std::to_string(id);
+  records_[id] = std::move(rec);
+  dedup_[fp] = id;
+  EnqueueLocked(id);
+  PersistLocked();
+  out.accepted = true;
+  out.id = id;
+  lock.unlock();
+  cv_.notify_one();
+  return out;
+}
+
+std::vector<RunRecord> RunScheduler::Snapshot() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<RunRecord> out;
+  out.reserve(records_.size());
+  for (const auto& kv : records_) out.push_back(kv.second);
+  return out;
+}
+
+bool RunScheduler::Get(std::int64_t id, RunRecord* out) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = records_.find(id);
+  if (it == records_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+RunScheduler::Counts RunScheduler::CountByState() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  Counts c;
+  for (const auto& kv : records_) {
+    switch (kv.second.state) {
+      case RunState::kQueued: ++c.queued; break;
+      case RunState::kRunning: ++c.running; break;
+      case RunState::kInterrupted: ++c.interrupted; break;
+      case RunState::kDone: ++c.done; break;
+      case RunState::kFailed: ++c.failed; break;
+    }
+  }
+  return c;
+}
+
+bool RunScheduler::WaitIdle(std::int64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_until(lock, deadline, [this] {
+    return queue_.empty() && busy_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void RunScheduler::Drain() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (draining_.load(std::memory_order_acquire)) return;
+    draining_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  // Pump the interrupt flag until every in-flight run has aborted: the
+  // engine *consumes* the flag when a Route call aborts, so with several
+  // runs in flight a single request could be eaten by the first one.
+  while (busy_.load(std::memory_order_acquire) > 0) {
+    FlightRecorder::RequestInterrupt();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+  // Leave no stale flag behind for the next scheduler in this process.
+  FlightRecorder::ClearInterrupt();
+  std::unique_lock<std::mutex> lock(mu_);
+  PersistLocked();
+  started_.store(false, std::memory_order_release);
+}
+
+void RunScheduler::EnqueueLocked(std::int64_t id) {
+  const RunRecord& rec = records_[id];
+  queue_.insert({-rec.spec.priority, id});
+  if (opts_.metrics != nullptr) {
+    opts_.metrics->gauge("serve.queued")
+        .Set(static_cast<std::int64_t>(queue_.size()));
+  }
+}
+
+void RunScheduler::WorkerLoop(int worker_index) {
+  // Each worker owns its engine thread pool: ThreadPool is single-job and
+  // must not take concurrent ParallelFor calls from several runs.
+  ThreadPool pool(static_cast<unsigned>(
+      opts_.threads_per_run > 0 ? opts_.threads_per_run : 0));
+  (void)worker_index;
+  for (;;) {
+    std::int64_t id = -1;
+    bool try_resume = false;
+    RunSpec spec;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] {
+        return draining_.load(std::memory_order_acquire) || !queue_.empty();
+      });
+      if (draining_.load(std::memory_order_acquire)) return;
+      const auto it = queue_.begin();
+      id = it->second;
+      queue_.erase(it);
+      RunRecord& rec = records_[id];
+      try_resume = rec.resume_pending;
+      rec.resume_pending = false;
+      rec.state = RunState::kRunning;
+      spec = rec.spec;
+      busy_.fetch_add(1, std::memory_order_acq_rel);
+      if (opts_.metrics != nullptr) {
+        opts_.metrics->gauge("serve.queued")
+            .Set(static_cast<std::int64_t>(queue_.size()));
+        opts_.metrics->gauge("serve.running")
+            .Set(busy_.load(std::memory_order_acquire));
+      }
+    }
+    Execute(id, spec, try_resume, &pool);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      busy_.fetch_sub(1, std::memory_order_acq_rel);
+      if (opts_.metrics != nullptr) {
+        opts_.metrics->gauge("serve.running")
+            .Set(busy_.load(std::memory_order_acquire));
+      }
+      PersistLocked();
+    }
+    cv_.notify_all();
+  }
+}
+
+void RunScheduler::Execute(std::int64_t id, const RunSpec& spec,
+                           bool try_resume, ThreadPool* pool) {
+  const std::string artifact_dir =
+      opts_.artifacts_dir + "/run-" + std::to_string(id);
+  std::error_code ec;
+  std::filesystem::create_directories(artifact_dir, ec);
+
+  Topology topo(spec.d, spec.n, spec.torus ? Wrap::kTorus : Wrap::kMesh);
+  TrafficPattern pattern(topo, spec.pattern, spec.pattern_seed,
+                         spec.pattern_opts);
+
+  MetricsRegistry run_metrics;
+  CongestionTrace trace;
+  CheckpointOptions copts;
+  copts.dir = artifact_dir + "/ckpt";
+  copts.every_steps = opts_.checkpoint_every_steps;
+  copts.keep = opts_.checkpoint_keep;
+  copts.metrics = &run_metrics;
+  CheckpointManager ckpt(copts);
+
+  EngineOptions eopts = spec.MakeEngineOptions();
+  eopts.pool = pool;
+  eopts.metrics = &run_metrics;
+  eopts.probe = &trace;
+  // Always attached: gives every run crash-safe state *and* arms the
+  // engine's per-step interrupt polling, which is what makes graceful
+  // drain able to stop this run mid-flight.
+  eopts.checkpoint = &ckpt;
+
+  EngineCheckpointState resume_state;
+  bool resuming = false;
+  if (try_resume) {
+    std::string loaded_path;
+    std::string log;
+    const CkptStatus status = CheckpointManager::LoadNewestValid(
+        copts.dir, &resume_state, /*expected_options_hash=*/nullptr,
+        &loaded_path, &log);
+    resuming = status == CkptStatus::kOk;
+    if (!resuming && !log.empty()) {
+      std::fprintf(stderr, "run %lld: no resumable checkpoint, running "
+                           "fresh:\n%s",
+                   static_cast<long long>(id), log.c_str());
+    }
+  }
+
+  WorkloadResult res;
+  std::string failure;
+  try {
+    res = RunOpenLoop(topo, pattern, spec.driver, eopts,
+                      resuming ? &resume_state : nullptr);
+  } catch (const std::exception& e) {
+    failure = e.what();
+  }
+  if (resuming && failure.empty()) {
+    resumed_runs_.fetch_add(1, std::memory_order_relaxed);
+    if (opts_.metrics != nullptr) {
+      opts_.metrics->counter("serve.resumed").Increment();
+    }
+  }
+
+  RunState state;
+  std::string error;
+  if (!failure.empty()) {
+    state = RunState::kFailed;
+    error = failure;
+  } else if (res.route.stall_report != nullptr &&
+             res.route.stall_report->reason == StallReason::kInterrupt) {
+    state = RunState::kInterrupted;
+  } else if (res.route.stall_report != nullptr) {
+    state = RunState::kFailed;
+    error = std::string("run aborted: ") +
+            StallReasonLabel(res.route.stall_report->reason) + " at step " +
+            std::to_string(res.route.stall_report->step);
+  } else {
+    state = RunState::kDone;
+  }
+
+  // Artifact emission for finished runs (done or failed — a failed run's
+  // partial counters are exactly what postmortems need). Interrupted runs
+  // leave only their checkpoints; they are not results.
+  if (state != RunState::kInterrupted && failure.empty()) {
+    std::string werr;
+    {
+      std::ostringstream os;
+      JsonWriter w(os, 1);
+      w.BeginObject();
+      w.Key("id").Int(id);
+      w.Key("state").String(RunStateName(state));
+      w.Key("spec");
+      spec.WriteJson(w);
+      w.Key("result");
+      res.WriteJson(w);
+      w.Key("route").Raw(res.route.ToJson());
+      w.EndObject();
+      os << '\n';
+      if (!WriteFileAtomic(artifact_dir + "/result.json", os.str(), &werr)) {
+        std::fprintf(stderr, "run %lld: %s\n", static_cast<long long>(id),
+                     werr.c_str());
+      }
+    }
+    if (!WriteFileAtomic(artifact_dir + "/metrics.prom",
+                         run_metrics.ToPrometheus(), &werr)) {
+      std::fprintf(stderr, "run %lld: %s\n", static_cast<long long>(id),
+                   werr.c_str());
+    }
+    {
+      RunManifest manifest = res.route.manifest != nullptr
+                                 ? *res.route.manifest
+                                 : MakeRunManifest(topo, eopts);
+      ChromeTraceWriter writer(manifest);
+      writer.AddCounters(trace);
+      std::ostringstream os;
+      writer.Write(os);
+      if (!WriteFileAtomic(artifact_dir + "/trace.json", os.str(), &werr)) {
+        std::fprintf(stderr, "run %lld: %s\n", static_cast<long long>(id),
+                     werr.c_str());
+      }
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  RunRecord& rec = records_[id];
+  rec.state = state;
+  rec.error = error;
+  rec.resumed = resuming || rec.resumed;
+  if (state == RunState::kInterrupted) {
+    // Still resumable: keep the dedup entry and ask the next execution (in
+    // this process after a queue re-add, or after a restart) to resume.
+    rec.resume_pending = true;
+  } else if (failure.empty()) {
+    rec.has_result = true;
+    rec.result = res;
+    rec.delivery_hash = res.delivery_hash;
+  }
+  if (state == RunState::kFailed) {
+    // A failed fingerprint is retryable: drop it from the dedup table so a
+    // re-submission runs fresh instead of sharing the failure.
+    const auto it = dedup_.find(rec.fingerprint);
+    if (it != dedup_.end() && it->second == id) dedup_.erase(it);
+  }
+  if (opts_.metrics != nullptr) {
+    switch (state) {
+      case RunState::kDone:
+        opts_.metrics->counter("serve.completed").Increment();
+        break;
+      case RunState::kFailed:
+        opts_.metrics->counter("serve.failed").Increment();
+        break;
+      case RunState::kInterrupted:
+        opts_.metrics->counter("serve.interrupted").Increment();
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void RunScheduler::PersistLocked() {
+  std::ostringstream os;
+  JsonWriter w(os, 1);
+  w.BeginObject();
+  w.Key("next_id").Int(next_id_);
+  w.Key("runs").BeginArray();
+  for (const auto& kv : records_) {
+    WriteRunRecordJson(kv.second, w);
+  }
+  w.EndArray();
+  w.EndObject();
+  os << '\n';
+  std::string error;
+  if (!WriteFileAtomic(opts_.artifacts_dir + "/" + kQueueFile, os.str(),
+                       &error)) {
+    std::fprintf(stderr, "scheduler: persist failed: %s\n", error.c_str());
+  }
+}
+
+bool RunScheduler::RestoreLocked(std::string* error) {
+  const std::string path = opts_.artifacts_dir + "/" + kQueueFile;
+  std::string text;
+  if (!ReadWholeFile(path, &text)) return true;  // fresh start
+  const JsonParseResult parsed = ParseJson(text);
+  if (!parsed.ok) {
+    if (error != nullptr) {
+      *error = path + ": " + parsed.error + " (byte " +
+               std::to_string(parsed.offset) + ")";
+    }
+    return false;
+  }
+  const JsonValue& root = parsed.value;
+  next_id_ = root["next_id"].is_number() ? root["next_id"].AsInt() : 1;
+  if (next_id_ < 1) next_id_ = 1;
+  for (const JsonValue& rv : root["runs"].Items()) {
+    RunRecord rec;
+    std::string spec_error;
+    if (!RunSpec::FromJson(rv["spec"], &rec.spec, &spec_error)) {
+      if (error != nullptr) {
+        *error = path + ": run " + std::to_string(rv["id"].AsInt()) + ": " +
+                 spec_error;
+      }
+      return false;
+    }
+    rec.id = rv["id"].AsInt();
+    if (rec.id < 1) continue;
+    RunState state = RunState::kQueued;
+    if (!ParseRunState(rv["state"].AsString(), &state)) {
+      if (error != nullptr) {
+        *error = path + ": run " + std::to_string(rec.id) +
+                 ": unknown state \"" + rv["state"].AsString() + "\"";
+      }
+      return false;
+    }
+    rec.fingerprint = rec.spec.Fingerprint();
+    rec.dedup_hits = rv["dedup_hits"].AsInt();
+    rec.error = rv["error"].AsString();
+    rec.artifact_dir = rv["artifact_dir"].AsString();
+    if (rec.artifact_dir.empty()) {
+      rec.artifact_dir =
+          opts_.artifacts_dir + "/run-" + std::to_string(rec.id);
+    }
+    rec.delivery_hash = rv["delivery_hash"].AsUInt();
+    rec.resumed = rv["resumed"].AsBool();
+    switch (state) {
+      case RunState::kQueued:
+        rec.state = RunState::kQueued;
+        rec.resume_pending = rv["resume_pending"].AsBool();
+        break;
+      case RunState::kRunning:
+      case RunState::kInterrupted:
+        // Interrupted by drain, or torn down hard while running: either
+        // way the newest checkpoint (if any survived) carries the run
+        // forward; otherwise it restarts from scratch — same results
+        // either way, by the engine's byte-identity contract.
+        rec.state = RunState::kQueued;
+        rec.resume_pending = true;
+        break;
+      case RunState::kDone:
+      case RunState::kFailed:
+        rec.state = state;  // history; full result lives in result.json
+        break;
+    }
+    if (rec.id >= next_id_) next_id_ = rec.id + 1;
+    const std::int64_t id = rec.id;
+    const bool enqueue = rec.state == RunState::kQueued;
+    const bool dedupable = rec.state != RunState::kFailed;
+    records_[id] = std::move(rec);
+    if (dedupable) dedup_[records_[id].fingerprint] = id;
+    if (enqueue) EnqueueLocked(id);
+  }
+  return true;
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,171 @@
+// RunScheduler: the experiment service's execution core. Owns the bounded
+// priority queue of validated RunSpecs, a small pool of worker threads that
+// execute them through RunOpenLoop, the fingerprint dedup table, per-run
+// artifact emission, and the drain/restore lifecycle:
+//
+//   submit   → reject (queue full / draining), dedupe (same fingerprint →
+//              shared record), or enqueue by (priority desc, id asc)
+//   execute  → each worker owns a private ThreadPool (ThreadPool is not
+//              reentrant across concurrent ParallelFor callers) and always
+//              attaches a CheckpointManager, which both gives crash safety
+//              and arms the engine's per-step interrupt polling
+//   drain    → stop dequeuing, then pump FlightRecorder::RequestInterrupt()
+//              until every in-flight run has aborted through the engine's
+//              interrupt path (each abort saves a checkpoint and *consumes*
+//              the process-wide flag, hence the pump), persist the queue
+//   restore  → Start() reloads queue.json: queued entries re-enqueue,
+//              running/interrupted entries re-enqueue with resume_pending
+//              and continue from their newest valid checkpoint via
+//              Engine::Resume — byte-identical to an uninterrupted run
+//
+// Determinism note: results do not depend on worker count or per-run thread
+// count (the engine's delivery traces are thread-count-invariant), so any
+// scheduler configuration reproduces the same delivery_hash for a spec.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/registry.h"
+#include "serve/run_spec.h"
+#include "workload/driver.h"
+
+namespace mdmesh {
+
+enum class RunState : std::uint8_t {
+  kQueued,
+  kRunning,
+  kInterrupted,  ///< aborted by drain; resumable from its checkpoint
+  kDone,
+  kFailed,
+};
+
+const char* RunStateName(RunState state);
+bool ParseRunState(const std::string& name, RunState* out);
+
+struct RunRecord {
+  std::int64_t id = -1;
+  RunSpec spec;
+  RunState state = RunState::kQueued;
+  std::uint64_t fingerprint = 0;
+  /// Submissions that deduped onto this record (0 = unique so far).
+  std::int64_t dedup_hits = 0;
+  /// Next execution should try to continue from the newest checkpoint.
+  bool resume_pending = false;
+  /// This record's last execution continued from a checkpoint.
+  bool resumed = false;
+  std::string error;         ///< failure reason (kFailed)
+  std::string artifact_dir;  ///< per-run artifact directory
+  bool has_result = false;
+  WorkloadResult result;  ///< valid when has_result
+  /// Survives restarts even though `result` does not (the full result lives
+  /// in <artifact_dir>/result.json): the cross-restart identity key.
+  std::uint64_t delivery_hash = 0;
+};
+
+/// Serializes a record for GET /runs[/<id>] and the persisted queue.
+void WriteRunRecordJson(const RunRecord& rec, JsonWriter& w);
+
+struct SchedulerOptions {
+  /// Root for queue.json and the per-run run-<id>/ artifact directories.
+  std::string artifacts_dir = "serve-artifacts";
+  /// Concurrent runs (worker threads). Each worker owns its own ThreadPool.
+  int workers = 2;
+  /// Inner engine threads per run (0 = serial engine).
+  int threads_per_run = 0;
+  /// Queued-run bound; submissions beyond it are rejected (HTTP 429).
+  std::size_t queue_limit = 64;
+  /// Checkpoint cadence for every run (steps); the abort path saves
+  /// regardless, so this only bounds repeated work after a hard crash.
+  std::int64_t checkpoint_every_steps = 256;
+  int checkpoint_keep = 2;
+  /// Service-level registry (serve.* counters/gauges); may be null.
+  MetricsRegistry* metrics = nullptr;
+};
+
+class RunScheduler {
+ public:
+  explicit RunScheduler(const SchedulerOptions& opts);
+  ~RunScheduler();
+
+  RunScheduler(const RunScheduler&) = delete;
+  RunScheduler& operator=(const RunScheduler&) = delete;
+
+  /// Creates the artifact root, restores queue.json if present (re-enqueuing
+  /// interrupted work), and starts the workers. False + *error on failure.
+  bool Start(std::string* error);
+
+  struct SubmitOutcome {
+    bool accepted = false;
+    bool deduped = false;
+    std::int64_t id = -1;   ///< record id (the primary's id when deduped)
+    std::string error;      ///< rejection reason when !accepted
+  };
+  /// Validates nothing (callers validate specs); applies dedup, the queue
+  /// bound, and the draining gate.
+  SubmitOutcome Submit(const RunSpec& spec);
+
+  /// Snapshot copies (records are small; results include the full
+  /// WorkloadResult).
+  std::vector<RunRecord> Snapshot() const;
+  bool Get(std::int64_t id, RunRecord* out) const;
+
+  struct Counts {
+    std::int64_t queued = 0;
+    std::int64_t running = 0;
+    std::int64_t interrupted = 0;
+    std::int64_t done = 0;
+    std::int64_t failed = 0;
+  };
+  Counts CountByState() const;
+
+  /// Graceful shutdown: stops dequeuing, interrupts in-flight runs (each
+  /// checkpoints through the engine's abort path), joins the workers, and
+  /// persists the queue. Idempotent; the scheduler cannot be restarted
+  /// afterwards (construct a new one — that is the restart path).
+  void Drain();
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+  /// Executions that continued from a checkpoint since Start().
+  std::int64_t resumed_runs() const {
+    return resumed_runs_.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks until no run is queued or in flight (test helper), up to
+  /// `timeout_ms`. Returns true when idle was reached.
+  bool WaitIdle(std::int64_t timeout_ms);
+
+  static constexpr const char* kQueueFile = "queue.json";
+
+ private:
+  void WorkerLoop(int worker_index);
+  void Execute(std::int64_t id, const RunSpec& spec, bool try_resume,
+               ThreadPool* pool);
+  void PersistLocked();
+  bool RestoreLocked(std::string* error);
+  void EnqueueLocked(std::int64_t id);
+
+  SchedulerOptions opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::int64_t, RunRecord> records_;
+  /// Pending ids ordered by (-priority, id): begin() is the next run.
+  std::set<std::pair<int, std::int64_t>> queue_;
+  std::unordered_map<std::uint64_t, std::int64_t> dedup_;
+  std::vector<std::thread> workers_;
+  std::int64_t next_id_ = 1;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<int> busy_{0};
+  std::atomic<std::int64_t> resumed_runs_{0};
+};
+
+}  // namespace mdmesh

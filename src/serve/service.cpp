@@ -1,0 +1,160 @@
+#include "serve/service.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace mdmesh {
+namespace {
+
+SchedulerOptions WithMetrics(SchedulerOptions opts, MetricsRegistry* fallback) {
+  if (opts.metrics == nullptr) opts.metrics = fallback;
+  return opts;
+}
+
+HttpResponse JsonResponse(int status, const std::string& body) {
+  return {status, "application/json", body};
+}
+
+HttpResponse JsonError(int status, const std::string& message) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("error").String(message);
+  w.EndObject();
+  os << '\n';
+  return JsonResponse(status, os.str());
+}
+
+}  // namespace
+
+ExperimentService::ExperimentService(const ServiceOptions& opts)
+    : opts_(opts), scheduler_(WithMetrics(opts.scheduler, &metrics_)) {}
+
+bool ExperimentService::Start(std::string* error) {
+  if (!scheduler_.Start(error)) return false;
+  if (!http_.Start(opts_.port, [this](const HttpRequest& req) {
+        metrics_.counter("serve.http_requests").Increment();
+        return Handle(req);
+      },
+                   error)) {
+    scheduler_.Drain();
+    return false;
+  }
+  return true;
+}
+
+void ExperimentService::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  // Drain first, listener second: /runs and /metrics stay live while
+  // in-flight runs checkpoint, so a drain is observable from outside.
+  scheduler_.Drain();
+  http_.Stop();
+}
+
+HttpResponse ExperimentService::Handle(const HttpRequest& req) {
+  if (req.path == "/runs") {
+    if (req.method == "POST") return HandleSubmit(req);
+    if (req.method == "GET") return HandleList();
+    return JsonError(405, "use GET or POST on /runs");
+  }
+  if (req.path.rfind("/runs/", 0) == 0) {
+    if (req.method != "GET") return JsonError(405, "use GET on /runs/<id>");
+    char* end = nullptr;
+    const long long id = std::strtoll(req.path.c_str() + 6, &end, 10);
+    if (end == req.path.c_str() + 6 || *end != '\0') {
+      return JsonError(400, "run id must be an integer");
+    }
+    return HandleGet(id);
+  }
+  if (req.path == "/metrics" && req.method == "GET") {
+    return {200, "text/plain; version=0.0.4; charset=utf-8",
+            metrics_.ToPrometheus()};
+  }
+  if (req.path == "/status" && req.method == "GET") return HandleStatus();
+  if (req.path == "/healthz" && req.method == "GET") {
+    return {200, "text/plain", "ok\n"};
+  }
+  return JsonError(404, "no such route: " + req.path);
+}
+
+HttpResponse ExperimentService::HandleSubmit(const HttpRequest& req) {
+  RunSpec spec;
+  std::string error;
+  if (!RunSpec::FromJsonText(req.body, &spec, &error)) {
+    return JsonError(400, error);
+  }
+  const RunScheduler::SubmitOutcome outcome = scheduler_.Submit(spec);
+  if (!outcome.accepted) {
+    // Queue-full is the 429 shed path; a draining service is 503 so
+    // clients know to retry against the restarted instance.
+    const int status = scheduler_.draining() ? 503 : 429;
+    return JsonError(status, outcome.error);
+  }
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("id").Int(outcome.id);
+  w.Key("deduped").Bool(outcome.deduped);
+  w.Key("location").String("/runs/" + std::to_string(outcome.id));
+  w.EndObject();
+  os << '\n';
+  return JsonResponse(202, os.str());
+}
+
+HttpResponse ExperimentService::HandleList() const {
+  const std::vector<RunRecord> runs = scheduler_.Snapshot();
+  const RunScheduler::Counts counts = scheduler_.CountByState();
+  std::ostringstream os;
+  JsonWriter w(os, 1);
+  w.BeginObject();
+  w.Key("counts").BeginObject();
+  w.Key("queued").Int(counts.queued);
+  w.Key("running").Int(counts.running);
+  w.Key("interrupted").Int(counts.interrupted);
+  w.Key("done").Int(counts.done);
+  w.Key("failed").Int(counts.failed);
+  w.EndObject();
+  w.Key("runs").BeginArray();
+  for (const RunRecord& rec : runs) WriteRunRecordJson(rec, w);
+  w.EndArray();
+  w.EndObject();
+  os << '\n';
+  return JsonResponse(200, os.str());
+}
+
+HttpResponse ExperimentService::HandleGet(std::int64_t id) const {
+  RunRecord rec;
+  if (!scheduler_.Get(id, &rec)) {
+    return JsonError(404, "no run " + std::to_string(id));
+  }
+  std::ostringstream os;
+  JsonWriter w(os, 1);
+  WriteRunRecordJson(rec, w);
+  os << '\n';
+  return JsonResponse(200, os.str());
+}
+
+HttpResponse ExperimentService::HandleStatus() const {
+  const RunScheduler::Counts counts = scheduler_.CountByState();
+  std::ostringstream os;
+  JsonWriter w(os, 1);
+  w.BeginObject();
+  w.Key("service").String("mdmesh-experiment-server");
+  w.Key("draining").Bool(scheduler_.draining());
+  w.Key("resumed_runs").Int(scheduler_.resumed_runs());
+  w.Key("http_requests").Int(http_.requests_served());
+  w.Key("accept_backoffs").Int(http_.accept_backoffs());
+  w.Key("counts").BeginObject();
+  w.Key("queued").Int(counts.queued);
+  w.Key("running").Int(counts.running);
+  w.Key("interrupted").Int(counts.interrupted);
+  w.Key("done").Int(counts.done);
+  w.Key("failed").Int(counts.failed);
+  w.EndObject();
+  w.EndObject();
+  os << '\n';
+  return JsonResponse(200, os.str());
+}
+
+}  // namespace mdmesh
