@@ -63,6 +63,12 @@ int main(int argc, char** argv) {
   cli.AddInt("queue-limit", 64, "max queued runs before 429 rejection");
   cli.AddInt("checkpoint-every", 256, "checkpoint cadence in steps");
   cli.AddInt("checkpoint-keep", 2, "checkpoint generations kept per run");
+  cli.AddInt("keep-completed-runs", 0,
+             "retention: keep only the newest K completed run directories, "
+             "evicting older artifacts (0 = keep everything)");
+  cli.AddInt("journey-rate-pm", 10,
+             "journey sample rate per run, in per-mille of packet ids "
+             "(10 = 1%; 0 disables the journeys.jsonl artifact)");
   cli.AddString("port-file", "",
                 "write the bound port here (atomically) once listening");
   if (!cli.Parse(argc, argv)) return 2;
@@ -78,6 +84,8 @@ int main(int argc, char** argv) {
   opts.scheduler.checkpoint_every_steps = cli.GetInt("checkpoint-every");
   opts.scheduler.checkpoint_keep =
       static_cast<int>(cli.GetInt("checkpoint-keep"));
+  opts.scheduler.keep_completed_runs = cli.GetInt("keep-completed-runs");
+  opts.scheduler.journey_rate_pm = cli.GetInt("journey-rate-pm");
 
   InstallShutdownHandlers();
 

@@ -69,6 +69,11 @@ int main(int argc, char** argv) {
   opts.engine.observer = [&](std::int64_t, std::int64_t in_flight, std::int64_t) {
     in_flight_series.push_back(in_flight);
   };
+  // One tracer serves every sequential Route call (phase 1, phase 2, and
+  // the greedy baseline); each run finalizes its own log, so per-phase
+  // critical-path decompositions come out independently.
+  JourneyTracer journeys(JourneyOptionsFromFlags(out));
+  if (out.WantsJourneys()) opts.engine.journeys = &journeys;
   TraceContext trace_ctx;
   opts.trace = &trace_ctx;
   CongestionTrace congestion;
@@ -96,6 +101,32 @@ int main(int argc, char** argv) {
               static_cast<long long>(row.baseline.route.steps),
               row.baseline.steps_over_diameter(),
               static_cast<long long>(row.baseline.route.max_queue));
+  const auto print_critical = [](const char* label, const RouteResult& r) {
+    if (r.critical_path == nullptr || !r.critical_path->have_last) return;
+    const CriticalPathReport& cp = *r.critical_path;
+    std::printf(
+        "  %s critical path: packet %lld latency %lld = %lld move(s) + "
+        "%lld lost-bid + %lld dead-link wait(s); bound gap %lld over lb "
+        "%lld\n",
+        label, static_cast<long long>(cp.last.id),
+        static_cast<long long>(cp.last.latency()),
+        static_cast<long long>(cp.last.moves),
+        static_cast<long long>(cp.last.waits_lost_bid),
+        static_cast<long long>(cp.last.waits_links_dead),
+        static_cast<long long>(cp.bound_gap),
+        static_cast<long long>(cp.lower_bound));
+  };
+  if (out.WantsJourneys()) {
+    print_critical("greedy", row.baseline.route);
+    print_critical("phase 1", row.two_phase.phase1);
+    print_critical("phase 2", row.two_phase.phase2);
+    // The JSONL artifact holds the greedy baseline's journeys — that is
+    // the run whose contention the two-phase router exists to shed.
+    if (row.baseline.route.journeys != nullptr) {
+      std::ofstream jf = OpenOutputFile(out.journeys, "--journeys");
+      WriteJourneysJsonl(*row.baseline.route.journeys, spec.d, jf);
+    }
+  }
   std::printf("in-flight packets over time (both phases):\n  [%s]\n",
               Sparkline(in_flight_series, 64).c_str());
   if (cli.GetBool("trace")) {

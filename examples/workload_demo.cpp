@@ -16,6 +16,14 @@
 //
 //   $ ./workload_demo --n=32 --measure=50000 --metrics-port=9464 --progress
 //
+// Packet forensics: --journeys=FILE samples per-packet hop logs (see
+// --journey-rate-pm/--journey-seed/--journey-watch) and writes them as
+// JSONL, printing the p99 packet's latency decomposition and the
+// critical-path bound gap; with --perfetto the traced packets also join
+// the timeline as async spans:
+//
+//   $ ./workload_demo --n=16 --rate-pm=300 --journeys=j.jsonl --journey-rate-pm=1000
+//
 // Crash recovery: --checkpoint=DIR snapshots the full engine+injector state
 // on a step cadence (and on ^C); --resume continues from the newest valid
 // snapshot, reproducing the uninterrupted run's delivery trace exactly:
@@ -207,6 +215,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--perf: %s\n", ctx.perf_error().c_str());
   }
 
+  // Packet forensics: --journeys arms the deterministic journey sampler.
+  // Traces are byte-identical across thread counts and layouts, so the
+  // JSONL artifact is a stable forensic record of who waited where and why.
+  JourneyTracer journeys(JourneyOptionsFromFlags(out));
+  if (out.WantsJourneys()) eopts.journeys = &journeys;
+
   // Black box: --flight-recorder arms the constant-memory step ring and the
   // SIGINT/SIGTERM dump, so even a ^C'd run leaves a forensic artifact.
   FlightRecorder recorder;
@@ -329,6 +343,12 @@ int main(int argc, char** argv) {
     writer.AddSpanTree(ctx);
     writer.AddCounters(trace);
     writer.AddWorkerActivity(activity);
+    if (r.route.journeys != nullptr) {
+      // Traced packets join the timeline as async spans (pid "packet
+      // journeys"), so a slow packet can be eyeballed against the
+      // congestion counters it flew through.
+      ExportJourneysToChromeTrace(*r.route.journeys, topo.dim(), &writer);
+    }
     writer.WriteFile(out.perfetto);
   }
   if (out.perf && ctx.perf_enabled() && ctx.nodes().size() > 1) {
@@ -365,6 +385,35 @@ int main(int argc, char** argv) {
   // compares it between an interrupted+resumed run and a clean one.
   std::printf("delivery_hash: %016llx\n",
               static_cast<unsigned long long>(r.delivery_hash));
+  if (out.WantsJourneys() && r.route.journeys != nullptr) {
+    std::ofstream jf = OpenOutputFile(out.journeys, "--journeys");
+    WriteJourneysJsonl(*r.route.journeys, topo.dim(), jf);
+    std::printf("journeys: %lld traced packet(s), %lld event(s) -> %s\n",
+                static_cast<long long>(r.route.journeys->traced_packets),
+                static_cast<long long>(r.route.journeys->events.size()),
+                out.journeys.c_str());
+    const CriticalPathReport* cp = r.route.critical_path.get();
+    if (cp != nullptr && cp->have_p99) {
+      // The "why" behind the p99 above: how much of that packet's latency
+      // was distance and how much was contention or fault holds.
+      std::printf("p99 why: packet %lld latency %lld = %lld move(s) + "
+                  "%lld lost-bid wait(s) + %lld dead-link wait(s)\n",
+                  static_cast<long long>(cp->p99.id),
+                  static_cast<long long>(cp->p99.latency()),
+                  static_cast<long long>(cp->p99.moves),
+                  static_cast<long long>(cp->p99.waits_lost_bid),
+                  static_cast<long long>(cp->p99.waits_links_dead));
+    }
+    if (cp != nullptr && cp->have_last) {
+      std::printf("critical path: packet %lld delivered at step %lld%s "
+                  "(bound gap %lld over lower bound %lld)\n",
+                  static_cast<long long>(cp->last.id),
+                  static_cast<long long>(cp->last.delivery_step),
+                  cp->critical_traced ? "" : " [not the run's last packet]",
+                  static_cast<long long>(cp->bound_gap),
+                  static_cast<long long>(cp->lower_bound));
+    }
+  }
   if (ckpt != nullptr && ckpt->saves() > 0) {
     std::fprintf(stderr, "[ckpt] %lld checkpoint(s) in %s (last: %s)\n",
                  static_cast<long long>(ckpt->saves()), copts.dir.c_str(),

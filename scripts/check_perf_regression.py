@@ -49,6 +49,15 @@ embedded run manifest, abort reason, ring accounting
 cursors, and the headline step matching the final record —
 --expect-reason pins the abort cause CI forced.
 
+The validate-journeys subcommand checks a --journeys JSONL artifact (one
+traced packet per line, format src/obs/journey.h): required keys with the
+right shapes, event steps strictly increasing within each packet, event
+counters (moves/waits/dim_moves/dim_waits) agreeing with the raw event
+list, and the critical-path identity on every complete delivered journey:
+delivery_step - injected_step = moves + lost_bid waits + dead-link waits.
+--min-journeys pins a floor on traced packets; --require-delivered
+insists every traced journey finished.
+
 The validate-ckpt subcommand integrity-checks engine checkpoint files
 (--checkpoint output, format src/ckpt/checkpoint.h) without linking any
 C++: the 28-byte header is struct.unpack("<8sIIQI") — magic "MDMCKPT1",
@@ -62,6 +71,7 @@ Usage:
     check_perf_regression.py validate-prom TEXT [--require NAME ...]
     check_perf_regression.py validate-flight DUMP [--expect-reason R]
     check_perf_regression.py validate-ckpt PATH... [--min-files N]
+    check_perf_regression.py validate-journeys JSONL [--min-journeys N]
 
 Exit status: 0 when every check holds, 1 on any regression, missing key,
 or schema violation. Stdlib only.
@@ -354,6 +364,180 @@ def validate_flight(argv):
     )
 
 
+JOURNEY_KINDS = {"injected", "move", "wait_lost_bid", "wait_links_dead"}
+
+
+def check_journey(i, j):
+    """Returns a list of problems with one journey record (empty = ok)."""
+    problems = []
+    required = {
+        "id": int,
+        "injected_step": int,
+        "delivery_step": int,
+        "delivered": bool,
+        "dist0": int,
+        "moves": int,
+        "detour_moves": int,
+        "retargets": int,
+        "dim_moves": list,
+        "dim_waits": list,
+        "waits": dict,
+        "events": list,
+    }
+    for key, kind in required.items():
+        if not isinstance(j.get(key), kind):
+            problems.append(f"journey {i}: missing or mistyped {key!r}")
+    if problems:
+        return problems
+
+    waits = j["waits"]
+    if not isinstance(waits.get("lost_bid"), int) or not isinstance(
+        waits.get("links_dead"), int
+    ):
+        return [f"journey {i}: waits must carry integer lost_bid/links_dead"]
+
+    pid = j["id"]
+    # Replay the raw event list and require the headline counters to match:
+    # a packet does exactly one thing per step, so steps must be strictly
+    # increasing and every event must land in one of the four kinds.
+    moves = lost = dead = 0
+    dim_moves = [0] * len(j["dim_moves"])
+    dim_waits = [0] * len(j["dim_waits"])
+    prev_step = None
+    delivered_at = None
+    for e, ev in enumerate(j["events"]):
+        if not isinstance(ev, list) or len(ev) != 6:
+            problems.append(
+                f"journey {i} (id {pid}): event {e} is not "
+                f"[step, kind, proc, dim, dir, flags]"
+            )
+            continue
+        step, kind, _proc, dim, _direc, flags = ev
+        if kind not in JOURNEY_KINDS:
+            problems.append(f"journey {i} (id {pid}): unknown kind {kind!r}")
+            continue
+        if prev_step is not None and step <= prev_step:
+            problems.append(
+                f"journey {i} (id {pid}): event {e} step {step} not after "
+                f"{prev_step}"
+            )
+        prev_step = step
+        if kind == "move":
+            moves += 1
+            if 0 <= dim < len(dim_moves):
+                dim_moves[dim] += 1
+        elif kind == "wait_lost_bid":
+            lost += 1
+            if 0 <= dim < len(dim_waits):
+                dim_waits[dim] += 1
+        elif kind == "wait_links_dead":
+            dead += 1
+        if flags & 4:  # kDelivered
+            delivered_at = step
+    for name, got, declared in (
+        ("moves", moves, j["moves"]),
+        ("waits.lost_bid", lost, waits["lost_bid"]),
+        ("waits.links_dead", dead, waits["links_dead"]),
+        ("dim_moves", dim_moves, j["dim_moves"]),
+        ("dim_waits", dim_waits, j["dim_waits"]),
+    ):
+        if got != declared:
+            problems.append(
+                f"journey {i} (id {pid}): {name} declares {declared} but "
+                f"events replay to {got}"
+            )
+    if sum(dim_moves) != moves:
+        problems.append(
+            f"journey {i} (id {pid}): {moves} move(s) but dim_moves sums to "
+            f"{sum(dim_moves)} (a move without a dimension)"
+        )
+    if j["delivered"] != (delivered_at is not None) or (
+        delivered_at is not None and delivered_at != j["delivery_step"]
+    ):
+        problems.append(
+            f"journey {i} (id {pid}): delivered flag/step disagree with "
+            f"the event list"
+        )
+
+    # The identity this subsystem exists to provide. Partial journeys
+    # (resumed runs trace only post-resume steps, injected_step -1) and
+    # undelivered packets are exempt, matching PacketJourney::IdentityHolds.
+    if j["injected_step"] >= 0 and j["delivery_step"] >= 0:
+        latency = j["delivery_step"] - j["injected_step"]
+        decomposed = moves + lost + dead
+        if latency != decomposed:
+            problems.append(
+                f"journey {i} (id {pid}): identity broken: latency "
+                f"{latency} != {moves} move(s) + {lost + dead} wait(s)"
+            )
+        if j["retargets"] == 0 and moves < j["dist0"]:
+            problems.append(
+                f"journey {i} (id {pid}): {moves} move(s) below initial "
+                f"distance {j['dist0']}"
+            )
+    return problems
+
+
+def validate_journeys(argv):
+    ap = argparse.ArgumentParser(
+        prog="check_perf_regression.py validate-journeys",
+        description="Check a --journeys packet-journey JSONL artifact.",
+    )
+    ap.add_argument("jsonl", help="journeys JSONL written with --journeys")
+    ap.add_argument(
+        "--min-journeys",
+        type=int,
+        default=1,
+        help="fail unless at least this many packets were traced",
+    )
+    ap.add_argument(
+        "--require-delivered",
+        action="store_true",
+        help="require every traced journey to end delivered",
+    )
+    args = ap.parse_args(argv)
+
+    problems = []
+    journeys = 0
+    delivered = 0
+    identities = 0
+    with open(args.jsonl) as f:
+        for i, line in enumerate(f):
+            if not line.strip():
+                continue
+            try:
+                j = json.loads(line)
+            except ValueError as e:
+                problems.append(f"line {i + 1}: not JSON: {e}")
+                continue
+            journeys += 1
+            probs = check_journey(i, j)
+            problems.extend(probs)
+            if not probs:
+                if j["delivered"]:
+                    delivered += 1
+                    if j["delivered"] and j["injected_step"] >= 0:
+                        identities += 1
+                elif args.require_delivered:
+                    problems.append(
+                        f"journey {i} (id {j.get('id')}): not delivered"
+                    )
+
+    if journeys < args.min_journeys:
+        problems.append(
+            f"{journeys} traced journey(s), need >= {args.min_journeys}"
+        )
+
+    if problems:
+        for p in problems:
+            print(f"  FAIL  {p}")
+        sys.exit(f"{args.jsonl}: {len(problems)} journey problem(s)")
+    print(
+        f"{args.jsonl}: {journeys} journey(s) ok ({delivered} delivered, "
+        f"{identities} critical-path identit(ies) verified)"
+    )
+
+
 CKPT_MAGIC = b"MDMCKPT1"
 CKPT_VERSION = 1
 CKPT_HEADER = struct.Struct("<8sIIQI")  # magic, version, flags, size, crc
@@ -449,6 +633,9 @@ def main():
         return
     if len(sys.argv) > 1 and sys.argv[1] == "validate-flight":
         validate_flight(sys.argv[2:])
+        return
+    if len(sys.argv) > 1 and sys.argv[1] == "validate-journeys":
+        validate_journeys(sys.argv[2:])
         return
 
     ap = argparse.ArgumentParser(description=__doc__)

@@ -15,7 +15,9 @@
 // Observability: phase-span traces, per-step probes, JSON/CSV/Chrome-trace
 // sinks, metrics registry, run manifests.
 #include "obs/chrome_trace.h"
+#include "obs/critical_path.h"
 #include "obs/flight_recorder.h"
+#include "obs/journey.h"
 #include "obs/json.h"
 #include "obs/manifest.h"
 #include "obs/output.h"

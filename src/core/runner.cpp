@@ -142,6 +142,10 @@ RoutingRow RunRoutingExperiment(const MeshSpec& spec, const std::string& perm,
   GreedyOptions base;
   base.seed = opts.seed;
   base.class_mode = ClassMode::kZero;  // the classic single greedy router
+  // Share the caller's journey tracer (runs are sequential, so one tracer
+  // serves every Route call): the baseline's critical-path decomposition
+  // is what the two-phase router's contention profile is compared against.
+  base.engine.journeys = opts.engine.journeys;
   row.baseline = RouteOnePermutation(topo, dest, base);
   return row;
 }

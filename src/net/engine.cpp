@@ -11,6 +11,7 @@
 
 #include "net/engine_tiled.h"
 #include "net/greedy_hop.h"
+#include "obs/critical_path.h"
 #include "util/math.h"
 
 namespace mdmesh {
@@ -29,10 +30,11 @@ constexpr std::int64_t kDefaultStallWindow = 64;
 
 std::uint64_t HashEngineOptions(const EngineOptions& opts) {
   // FNV-1a over a canonical encoding of the options that influence routing
-  // behavior. Observability hooks (observer, probe, metrics), the thread
-  // pool, and the checkpoint sink are excluded: they never change results
-  // (for the sink that exclusion is load-bearing — a resumed run must hash
-  // identically whether or not it keeps checkpointing).
+  // behavior. Observability hooks (observer, probe, metrics, journeys), the
+  // thread pool, and the checkpoint sink are excluded: they never change
+  // results (for the sink and the journey tracer that exclusion is
+  // load-bearing — a resumed run must hash identically whether or not it
+  // keeps checkpointing or tracing).
   std::uint64_t h = 14695981039346656037ull;
   const auto mix = [&h](std::uint64_t v) {
     for (int i = 0; i < 8; ++i) {
@@ -250,7 +252,16 @@ void Engine::BidProc(PacketQueue* queues, ProcId p, std::int64_t step,
                       : static_cast<std::uint16_t>(pkt.flags &
                                                    ~Packet::kDetour);
       rem += extra;
-      if (dim < 0) continue;  // every outgoing link is dead: cannot bid
+      if (dim < 0) {
+        // Every outgoing link is dead: the packet holds in place. This is
+        // the one wait that never reaches the winner comparison, so it is
+        // recorded here.
+        if (opts_.journeys != nullptr) {
+          opts_.journeys->RecordWait(s->events, pkt.id, p, step,
+                                     JourneyEvent::kWaitLinksDead, -1, 0);
+        }
+        continue;
+      }
     } else {
       rem = NextHop(cp, dc, d_, n_, torus, pkt.klass, dim, dir);
       assert(dim >= 0);
@@ -262,6 +273,10 @@ void Engine::BidProc(PacketQueue* queues, ProcId p, std::int64_t step,
     }
     const std::size_t l = static_cast<std::size_t>(dim * 2 + dir);
     // Farthest remaining distance wins; ties to the smaller packet id.
+    // Every bidder that does not end up winning is displaced (or rejected)
+    // exactly once, which is where the journey tracer learns about waits:
+    // a packet bids one link per step, so one lost-bid event per loser per
+    // step — the contention half of the latency decomposition.
     if ((used & (std::uint32_t{1} << l)) == 0) {
       used |= std::uint32_t{1} << l;
       win[l] = static_cast<std::int32_t>(k);
@@ -269,8 +284,18 @@ void Engine::BidProc(PacketQueue* queues, ProcId p, std::int64_t step,
     } else if (rem > prio[l] ||
                (rem == prio[l] &&
                 pkt.id < q[static_cast<std::size_t>(win[l])].id)) {
+      if (opts_.journeys != nullptr) {
+        opts_.journeys->RecordWait(s->events,
+                                   q[static_cast<std::size_t>(win[l])].id, p,
+                                   step, JourneyEvent::kWaitLostBid, dim, dir);
+      }
       win[l] = static_cast<std::int32_t>(k);
       prio[l] = rem;
+    } else {
+      if (opts_.journeys != nullptr) {
+        opts_.journeys->RecordWait(s->events, pkt.id, p, step,
+                                   JourneyEvent::kWaitLostBid, dim, dir);
+      }
     }
   }
   if constexpr (kRecordSlots) {
@@ -305,9 +330,10 @@ void Engine::BidProc(PacketQueue* queues, ProcId p, std::int64_t step,
 
 template <bool kFaults, bool kRecordSlots>
 void Engine::StepPhaseA(PacketQueue* queues, std::int64_t step, int parity,
-                        std::int64_t begin, std::int64_t end) {
+                        std::int64_t begin, std::int64_t end,
+                        WorkerScratch* s) {
   for (ProcId p = begin; p < end; ++p) {
-    BidProc<kFaults, false, kRecordSlots>(queues, p, step, parity, nullptr);
+    BidProc<kFaults, false, kRecordSlots>(queues, p, step, parity, s);
   }
 }
 
@@ -363,7 +389,8 @@ bool Engine::CommitProc(PacketQueue* queues, ProcId p, std::int32_t now,
           wi + (static_cast<std::size_t>(std::countr_zero(word)) >> 3);
       word &= word - 1;
       Packet pkt = row[l];
-      if (have_faults_ && (pkt.flags & Packet::kDetour) != 0) {
+      const bool detoured = (pkt.flags & Packet::kDetour) != 0;
+      if (have_faults_ && detoured) {
         ++s.detours;
       }
       pkt.flags &= static_cast<std::uint16_t>(
@@ -374,12 +401,14 @@ bool Engine::CommitProc(PacketQueue* queues, ProcId p, std::int32_t now,
         // sender's (dim, 1-dir) directed link — index l ^ 1.
         ++s.dir_moves[l ^ 1];
       }
+      bool retargeted = false;
       if (pkt.dest == p) {
         if ((pkt.flags & Packet::kTwoLeg) != 0) {
           // Midpoint reached: retarget to the final destination and
           // keep going next step — no barrier between the phases.
           pkt.dest = static_cast<ProcId>(pkt.tag);
           pkt.flags &= static_cast<std::uint16_t>(~Packet::kTwoLeg);
+          retargeted = true;
           if (pkt.dest == p) {
             pkt.arrived = now;
             ++s.arrivals;
@@ -388,6 +417,15 @@ bool Engine::CommitProc(PacketQueue* queues, ProcId p, std::int32_t now,
           pkt.arrived = now;
           ++s.arrivals;
         }
+      }
+      if (opts_.journeys != nullptr) {
+        std::uint8_t jflags = 0;
+        if (detoured) jflags |= JourneyEvent::kDetour;
+        if (retargeted) jflags |= JourneyEvent::kRetarget;
+        if (pkt.arrived >= 0) jflags |= JourneyEvent::kDelivered;
+        opts_.journeys->RecordMove(s.events, pkt.id, p, now,
+                                   static_cast<int>(l >> 1),
+                                   static_cast<int>((l & 1) ^ 1), jflags);
       }
       if (pkt.arrived < 0) {
         inflight = true;
@@ -461,17 +499,18 @@ void Engine::DenseStep(Network& net, std::int64_t step, std::int32_t now,
   PacketQueue* const queues = net.queues().data();
   const bool record_slots = checker != nullptr;
   opts_.pool->ParallelFor(N, [&](std::int64_t b, std::int64_t e) {
+    WorkerScratch* const s = &scratch_[static_cast<std::size_t>(b / chunk)];
     if (have_faults_) {
       if (record_slots) {
-        StepPhaseA<true, true>(queues, step, parity, b, e);
+        StepPhaseA<true, true>(queues, step, parity, b, e, s);
       } else {
-        StepPhaseA<true, false>(queues, step, parity, b, e);
+        StepPhaseA<true, false>(queues, step, parity, b, e, s);
       }
     } else {
       if (record_slots) {
-        StepPhaseA<false, true>(queues, step, parity, b, e);
+        StepPhaseA<false, true>(queues, step, parity, b, e, s);
       } else {
-        StepPhaseA<false, false>(queues, step, parity, b, e);
+        StepPhaseA<false, false>(queues, step, parity, b, e, s);
       }
     }
   });
@@ -695,6 +734,10 @@ RouteResult Engine::RouteInternal(Network& net,
   const auto links = static_cast<std::size_t>(2 * d_);
   auto& queues_vec = net.queues();
   PacketQueue* const queues = queues_vec.data();
+  // Journey tracing: one BeginRun per Route; events drain per step in
+  // reduce_scratch and finalize in the epilogue.
+  JourneyTracer* const jt = opts_.journeys;
+  if (jt != nullptr) jt->BeginRun();
 
   // Initialize per-packet measurement state. Two-leg packets (overlapped
   // routing) count their full path as the distance; a zero-length first leg
@@ -719,6 +762,10 @@ RouteResult Engine::RouteInternal(Network& net,
           pkt.dist0 = static_cast<std::int32_t>(topo_->Dist(p, pkt.dest));
         }
         pkt.arrived = pkt.dest == p ? 0 : -1;
+        if (jt != nullptr && opts_.injector == nullptr) {
+          // Drain-run packets start at t0 = 0, so latency = arrived.
+          jt->RecordInjected(pkt.id, p, 0, pkt.dist0, pkt.arrived == 0);
+        }
         if (pkt.dest != p) ++in_flight;
         result.max_distance = std::max<std::int64_t>(result.max_distance, pkt.dist0);
         ++result.packets;
@@ -896,6 +943,9 @@ RouteResult Engine::RouteInternal(Network& net,
       detours_total += s.detours;
       queue_max = std::max(queue_max, s.qmax);
     }
+    if (jt != nullptr) {
+      for (WorkerScratch& s : scratch_) jt->Drain(&s.events);
+    }
     arrivals_total += step_arrivals;
     moves_total += step_moves;
     return {step_arrivals, step_moves};
@@ -1055,7 +1105,7 @@ RouteResult Engine::RouteInternal(Network& net,
       g_tiles_peak = &opts_.metrics->gauge("engine.tiles_peak");
       c_halo = &opts_.metrics->counter("engine.halo_bytes");
     }
-    tiled_->BeginRoute(have_faults ? link_dead_.data() : nullptr);
+    tiled_->BeginRoute(have_faults ? link_dead_.data() : nullptr, jt);
     if (injector != nullptr && resume == nullptr) {
       // Preload normalization (contract in engine.h, mirrored from the
       // legacy injector branch): preloads count as injected at step 1, and
@@ -1066,6 +1116,11 @@ RouteResult Engine::RouteInternal(Network& net,
         const std::size_t sz = q.size();
         for (std::size_t i = 0; i < sz; ++i) {
           q[i].tag = 1;
+          if (jt != nullptr) {
+            // Preloads count as injected at t0 = 0 (tag 1, latency
+            // arrived - tag + 1 = arrived); zero-hop ones deliver here.
+            jt->RecordInjected(q[i].id, p, 0, q[i].dist0, q[i].arrived >= 0);
+          }
           if (q[i].arrived >= 0) {
             q[i].arrived = 0;
             result.overshoot.Add(0.0);
@@ -1103,6 +1158,12 @@ RouteResult Engine::RouteInternal(Network& net,
               std::max<std::int64_t>(result.max_distance, pkt.dist0);
           ++result.packets;
           ++step_injected;
+          if (jt != nullptr) {
+            // Injected before the bids of `step`: the packet can move this
+            // very step, so t0 = step - 1 makes latency = moves + waits.
+            jt->RecordInjected(pkt.id, src, step - 1, pkt.dist0,
+                               pkt.dest == src);
+          }
           if (pkt.dest == src) {
             // Zero-hop traffic never enters the arena: arrived is set one
             // step back so latency (arrived - tag + 1) reads 0.
@@ -1163,6 +1224,11 @@ RouteResult Engine::RouteInternal(Network& net,
         const std::size_t sz = q.size();
         for (std::size_t i = 0; i < sz; ++i) {
           q[i].tag = 1;
+          if (jt != nullptr) {
+            // Preloads count as injected at t0 = 0 (tag 1, latency
+            // arrived - tag + 1 = arrived); zero-hop ones deliver here.
+            jt->RecordInjected(q[i].id, p, 0, q[i].dist0, q[i].arrived >= 0);
+          }
           if (q[i].arrived >= 0) {
             q[i].arrived = 0;
             result.overshoot.Add(0.0);
@@ -1199,6 +1265,12 @@ RouteResult Engine::RouteInternal(Network& net,
               std::max<std::int64_t>(result.max_distance, pkt.dist0);
           ++result.packets;
           ++step_injected;
+          if (jt != nullptr) {
+            // Injected before the bids of `step`: the packet can move this
+            // very step, so t0 = step - 1 makes latency = moves + waits.
+            jt->RecordInjected(pkt.id, src, step - 1, pkt.dist0,
+                               pkt.dest == src);
+          }
           if (pkt.dest == src) {
             // Zero-hop traffic never enters the network: arrived is set one
             // step back so latency (arrived - tag + 1) reads 0.
@@ -1392,14 +1464,18 @@ RouteResult Engine::RouteInternal(Network& net,
       }
       scan_marks();
     } else {
+      const std::int64_t chunk =
+          CeilDiv(N, static_cast<std::int64_t>(opts_.pool->ShardsFor(N)));
       opts_.pool->ParallelFor(N, [&](std::int64_t b, std::int64_t e) {
+        WorkerScratch* const s =
+            &scratch_[static_cast<std::size_t>(b / chunk)];
         if (have_faults) {
           for (ProcId p = b; p < e; ++p) {
-            BidProc<true, false, false>(queues, p, 1, 1, nullptr);
+            BidProc<true, false, false>(queues, p, 1, 1, s);
           }
         } else {
           for (ProcId p = b; p < e; ++p) {
-            BidProc<false, false, false>(queues, p, 1, 1, nullptr);
+            BidProc<false, false, false>(queues, p, 1, 1, s);
           }
         }
       });
@@ -1593,6 +1669,17 @@ RouteResult Engine::RouteInternal(Network& net,
 
   result.manifest = manifest_;
 
+  // Journey epilogue: collect leftovers from abort paths (the per-step
+  // drain only runs through reduce_scratch), trim the fused pipeline's
+  // speculative step+1 bid waits, and derive the critical-path report.
+  if (jt != nullptr) {
+    for (WorkerScratch& s : scratch_) jt->Drain(&s.events);
+    result.journeys = jt->Finalize(result.steps);
+    result.critical_path = BuildCriticalPathReportShared(
+        *result.journeys, *topo_, result.steps, result.packets,
+        result.max_distance);
+  }
+
   // Metrics recording: once per Route, after the step loop — nothing here
   // touches the hot path, and a null registry skips the block entirely.
   if (opts_.metrics != nullptr) {
@@ -1611,6 +1698,12 @@ RouteResult Engine::RouteInternal(Network& net,
       m.counter(std::string("engine.stall.") +
                 result.stall_report->ReasonName())
           .Increment();
+    }
+    if (result.journeys != nullptr) {
+      m.counter("engine.journeys.traced").Add(result.journeys->traced_packets);
+      m.counter("engine.journeys.events")
+          .Add(static_cast<std::int64_t>(result.journeys->events.size()));
+      m.gauge("engine.journeys.bound_gap").Max(result.critical_path->bound_gap);
     }
   }
   return result;

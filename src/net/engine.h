@@ -94,6 +94,7 @@
 #include "net/metrics.h"
 #include "net/network.h"
 #include "obs/flight_recorder.h"
+#include "obs/journey.h"
 #include "obs/probe.h"
 #include "obs/registry.h"
 #include "util/thread_pool.h"
@@ -283,6 +284,19 @@ struct EngineOptions {
   /// changes results, so a checkpointed run can resume without a sink and
   /// vice versa.
   CheckpointSink* checkpoint = nullptr;
+
+  /// Optional packet-journey tracer (obs/journey.h). When set, every Route
+  /// records one compact event per step of every sampled packet's life —
+  /// injection, each link crossed, each lost bid, each dead-link hold —
+  /// from all three engine paths (fused, unfused, tiled), and the epilogue
+  /// attaches the finalized JourneyLog plus a CriticalPathReport to the
+  /// RouteResult. Traces are byte-identical for any thread count, layout,
+  /// and traversal mode (sampling is a pure function of packet id; events
+  /// sort on their unique (id, step) key). Null keeps the hot paths
+  /// byte-identical and untouched. Excluded from HashEngineOptions like
+  /// every observability hook — tracing never changes results, so a
+  /// checkpointed run can resume with or without it.
+  JourneyTracer* journeys = nullptr;
 };
 
 /// FNV-1a over the routing-relevant options: step cap, sparse policy and
@@ -314,6 +328,10 @@ struct alignas(64) EngineWorkerScratch {
   std::int64_t qmax = 0;
   std::vector<std::int64_t> dir_moves;  // 2d entries; empty without probe
   std::vector<ProcId> receivers;        // sparse bid output (reused)
+  /// Journey-event buffer (empty without a tracer): workers append here
+  /// during bid/commit; the coordinator drains it into the tracer after
+  /// each step's reduction. NOT cleared by the per-step scratch reset.
+  std::vector<JourneyEvent> events;
 };
 
 class TiledEngine;
@@ -371,7 +389,7 @@ class Engine {
 
   template <bool kFaults, bool kRecordSlots>
   void StepPhaseA(PacketQueue* queues, std::int64_t step, int parity,
-                  std::int64_t begin, std::int64_t end);
+                  std::int64_t begin, std::int64_t end, WorkerScratch* s);
 
   /// Delivery for one processor, fully local: compacts the stayers of
   /// queues[p] in place and appends the incomers from p's own mailbox row

@@ -35,9 +35,11 @@ TiledEngine::TiledEngine(const Topology& topo, ThreadPool* pool)
   commit_bits_.assign(static_cast<std::size_t>((arena_.tiles() + 63) / 64), 0);
 }
 
-void TiledEngine::BeginRoute(const std::uint8_t* link_dead) {
+void TiledEngine::BeginRoute(const std::uint8_t* link_dead,
+                             JourneyTracer* journeys) {
   link_dead_ = link_dead;
   have_faults_ = link_dead != nullptr;
+  journeys_ = journeys;
   halo_bytes_ = 0;
 }
 
@@ -154,7 +156,8 @@ void TiledEngine::DeliverWinner(std::int64_t tile, std::int32_t ph, ProcId p,
 
 template <bool kFaults>
 void TiledEngine::BidTile(std::int64_t tile, std::int32_t ph,
-                          std::int64_t step, Shard& sh) {
+                          std::int64_t step, Shard& sh,
+                          EngineWorkerScratch& s) {
   const auto links = static_cast<std::size_t>(2 * d_);
   const std::uint16_t* cnt = arena_.cnt(ph);
   const std::int32_t* ccoord = arena_.ccoord(ph);
@@ -266,7 +269,15 @@ void TiledEngine::BidTile(std::int64_t tile, std::int32_t ph,
         // Legacy mutates the stored packet's flags in place; mirror that
         // write-back for every bidding packet, winner or not.
         store_flags(sh.loc[j], pkt.flags);
-        if (dim < 0) continue;  // every outgoing link is dead: cannot bid
+        if (dim < 0) {
+          // Every outgoing link is dead: the packet holds in place (same
+          // wait the legacy BidProc records at this point).
+          if (journeys_ != nullptr) {
+            journeys_->RecordWait(s.events, pkt.id, p, step,
+                                  JourneyEvent::kWaitLinksDead, -1, 0);
+          }
+          continue;
+        }
       } else {
         rem = NextHop(cp, dcp, d_, n_, torus_, pkt.klass, dim, dir);
         assert(dim >= 0);
@@ -276,6 +287,8 @@ void TiledEngine::BidTile(std::int64_t tile, std::int32_t ph,
       }
       const auto l = static_cast<std::size_t>(dim * 2 + dir);
       // Farthest remaining distance wins; ties to the smaller packet id.
+      // Losers are recorded incrementally for the journey tracer, exactly
+      // like the legacy BidProc: each bidder loses at most once per step.
       if ((used & (std::uint32_t{1} << l)) == 0) {
         used |= std::uint32_t{1} << l;
         win[l] = static_cast<std::int32_t>(j);
@@ -283,8 +296,18 @@ void TiledEngine::BidTile(std::int64_t tile, std::int32_t ph,
       } else if (rem > prio[l] ||
                  (rem == prio[l] &&
                   pkt.id < sh.qbuf[static_cast<std::size_t>(win[l])].id)) {
+        if (journeys_ != nullptr) {
+          journeys_->RecordWait(s.events,
+                                sh.qbuf[static_cast<std::size_t>(win[l])].id,
+                                p, step, JourneyEvent::kWaitLostBid, dim, dir);
+        }
         win[l] = static_cast<std::int32_t>(j);
         prio[l] = rem;
+      } else {
+        if (journeys_ != nullptr) {
+          journeys_->RecordWait(s.events, pkt.id, p, step,
+                                JourneyEvent::kWaitLostBid, dim, dir);
+        }
       }
     }
     while (used != 0) {
@@ -408,7 +431,8 @@ void TiledEngine::CommitTile(std::int64_t tile, std::int32_t ph,
       for (std::size_t l = 0; l < links; ++l) {
         if ((pend[l] & Bit(slot)) == 0) continue;
         Packet pkt = mail[l * kTileSlots + static_cast<std::size_t>(slot)];
-        if (have_faults_ && (pkt.flags & Packet::kDetour) != 0) {
+        const bool detoured = (pkt.flags & Packet::kDetour) != 0;
+        if (have_faults_ && detoured) {
           ++s.detours;
         }
         pkt.flags &= static_cast<std::uint16_t>(
@@ -423,12 +447,14 @@ void TiledEngine::CommitTile(std::int64_t tile, std::int32_t ph,
             mdc + (l * kTileSlots + static_cast<std::size_t>(slot)) *
                       static_cast<std::size_t>(d_);
         std::int32_t tmpc[kMaxDim];
+        bool retargeted = false;
         if (pkt.dest == p) {
           if ((pkt.flags & Packet::kTwoLeg) != 0) {
             // Midpoint reached: retarget to the final destination and keep
             // going next step.
             pkt.dest = static_cast<ProcId>(pkt.tag);
             pkt.flags &= static_cast<std::uint16_t>(~Packet::kTwoLeg);
+            retargeted = true;
             if (pkt.dest == p) {
               pkt.arrived = now;
               ++s.arrivals;
@@ -443,6 +469,15 @@ void TiledEngine::CommitTile(std::int64_t tile, std::int32_t ph,
             pkt.arrived = now;
             ++s.arrivals;
           }
+        }
+        if (journeys_ != nullptr) {
+          std::uint8_t jflags = 0;
+          if (detoured) jflags |= JourneyEvent::kDetour;
+          if (retargeted) jflags |= JourneyEvent::kRetarget;
+          if (pkt.arrived >= 0) jflags |= JourneyEvent::kDelivered;
+          journeys_->RecordMove(s.events, pkt.id, p, now,
+                                static_cast<int>(l >> 1),
+                                static_cast<int>((l & 1) ^ 1), jflags);
         }
         sh.qbuf.push_back(pkt);
         for (int i = 0; i < d_; ++i) sh.cbuf.push_back(pdc[i]);
@@ -502,13 +537,14 @@ std::int64_t TiledEngine::Step(std::int64_t step, std::int32_t now,
         CeilDiv(nb, static_cast<std::int64_t>(pool_->ShardsFor(nb)));
     pool_->ParallelFor(nb, [&](std::int64_t b, std::int64_t e) {
       Shard& sh = shards_[static_cast<std::size_t>(b / chunk)];
+      EngineWorkerScratch& s = scratch[static_cast<std::size_t>(b / chunk)];
       for (std::int64_t i = b; i < e; ++i) {
         const std::int64_t tile = sched_bid_[static_cast<std::size_t>(i)];
         const std::int32_t ph = arena_.Phys(tile);
         if (have_faults_) {
-          BidTile<true>(tile, ph, step, sh);
+          BidTile<true>(tile, ph, step, sh, s);
         } else {
-          BidTile<false>(tile, ph, step, sh);
+          BidTile<false>(tile, ph, step, sh, s);
         }
       }
     });

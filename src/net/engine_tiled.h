@@ -45,6 +45,7 @@ namespace mdmesh {
 
 class StepInjector;
 struct EngineWorkerScratch;
+class JourneyTracer;
 
 class TiledEngine {
  public:
@@ -52,8 +53,11 @@ class TiledEngine {
 
   /// Arms a Route call: `link_dead` is the engine's per-step dead-link mask
   /// (N x 2d bytes, updated in place by fault events) or nullptr for a
-  /// fault-free run. Resets the halo-byte counter.
-  void BeginRoute(const std::uint8_t* link_dead);
+  /// fault-free run. `journeys` is the engine's packet tracer (or nullptr):
+  /// bid and commit passes record waits/moves into the same per-worker
+  /// scratch event buffers as the legacy paths. Resets the halo-byte
+  /// counter.
+  void BeginRoute(const std::uint8_t* link_dead, JourneyTracer* journeys);
 
   /// Rebuilds the arena from the network's queues (queue order preserved).
   /// Only occupied processors materialize tiles.
@@ -132,7 +136,7 @@ class TiledEngine {
 
   template <bool kFaults>
   void BidTile(std::int64_t tile, std::int32_t ph, std::int64_t step,
-               Shard& sh);
+               Shard& sh, EngineWorkerScratch& s);
 
   /// Routes one winning packet (kMoving already set) out of `p` over link
   /// `l`: same-tile receivers get their mailbox cell written directly,
@@ -164,6 +168,7 @@ class TiledEngine {
 
   const std::uint8_t* link_dead_ = nullptr;
   bool have_faults_ = false;
+  JourneyTracer* journeys_ = nullptr;
   std::int64_t halo_bytes_ = 0;
 
   std::vector<Shard> shards_;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/critical_path.h"
+#include "obs/journey.h"
+
 namespace mdmesh {
 
 const char* StallReport::ReasonName() const {
@@ -103,6 +106,19 @@ void RouteResult::WriteJson(JsonWriter& w) const {
     w.Key("manifest");
     manifest->WriteJson(w);
   }
+  if (journeys != nullptr) {
+    w.Key("journeys").BeginObject();
+    w.Key("traced_packets").Int(journeys->traced_packets);
+    w.Key("events").Int(static_cast<std::int64_t>(journeys->events.size()));
+    w.Key("sample_rate").Double(journeys->sample_rate);
+    w.Key("sample_seed").Int(journeys->sample_seed);
+    w.Key("truncated").Bool(journeys->truncated);
+    w.EndObject();
+  }
+  if (critical_path != nullptr) {
+    w.Key("critical_path");
+    critical_path->WriteJson(w);
+  }
   w.EndObject();
 }
 
@@ -131,6 +147,8 @@ void RouteResult::Accumulate(const RouteResult& phase) {
   peak_active_procs = std::max(peak_active_procs, phase.peak_active_procs);
   if (stall_report == nullptr) stall_report = phase.stall_report;
   if (manifest == nullptr) manifest = phase.manifest;
+  if (journeys == nullptr) journeys = phase.journeys;
+  if (critical_path == nullptr) critical_path = phase.critical_path;
 }
 
 }  // namespace mdmesh

@@ -17,6 +17,9 @@
 
 namespace mdmesh {
 
+struct JourneyLog;
+struct CriticalPathReport;
+
 /// Why a Route call gave up before delivering every packet.
 enum class StallReason : std::uint8_t {
   kStepCap,    ///< the hard step cap was reached
@@ -116,6 +119,14 @@ struct RouteResult {
   /// every Route result it produces. Serialized into ToJson so any record
   /// built from a RouteResult is reproducible from the artifact alone.
   std::shared_ptr<const RunManifest> manifest;
+
+  /// Present iff EngineOptions::journeys was set: the finalized per-packet
+  /// hop log (obs/journey.h) and the critical-path report derived from it
+  /// (obs/critical_path.h) — last/p99 traced packets with their
+  /// distance-vs-wait decomposition and the bound-gap block. ToJson emits
+  /// the report (the raw log goes to JSONL/Perfetto sinks instead).
+  std::shared_ptr<const JourneyLog> journeys;
+  std::shared_ptr<const CriticalPathReport> critical_path;
 
   std::string ToString() const;
 

@@ -37,6 +37,16 @@ class EventBuilder {
     return *this;
   }
 
+  EventBuilder& Id(std::int64_t id) {
+    w_.Key("id").Int(id);
+    return *this;
+  }
+
+  EventBuilder& RawArgs(const std::string& args_json) {
+    w_.Key("args").Raw(args_json);
+    return *this;
+  }
+
   JsonWriter& Args() {
     w_.Key("args").BeginObject();
     args_open_ = true;
@@ -78,6 +88,7 @@ ChromeTraceWriter::ChromeTraceWriter(RunManifest manifest)
   AddMeta("process_name", kPidPhasesSteps, 0, "phases (step clock)");
   AddMeta("process_name", kPidCounters, 0, "engine counters");
   AddMeta("process_name", kPidWorkers, 0, "thread pool");
+  AddMeta("process_name", kPidJourneys, 0, "packet journeys");
 }
 
 void ChromeTraceWriter::AddMeta(const char* kind, int pid, int tid,
@@ -109,6 +120,20 @@ void ChromeTraceWriter::AddInstant(const std::string& name, double ts_us,
   // spanning the whole group.
   args.Key("s").String("t");
   events_.push_back(ev.Finish());
+}
+
+void ChromeTraceWriter::AddAsyncSpan(const std::string& name, const char* cat,
+                                     std::int64_t id, double begin_us,
+                                     double end_us, int pid, int tid,
+                                     const std::string& args_json) {
+  if (end_us < begin_us) end_us = begin_us;
+  EventBuilder begin("b", begin_us, pid, tid);
+  begin.Name(name).Cat(cat).Id(id);
+  if (!args_json.empty()) begin.RawArgs(args_json);
+  events_.push_back(begin.Finish());
+  EventBuilder end("e", end_us, pid, tid);
+  end.Name(name).Cat(cat).Id(id);
+  events_.push_back(end.Finish());
 }
 
 void ChromeTraceWriter::AddCounter(const std::string& series, double ts_us,

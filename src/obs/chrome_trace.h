@@ -22,6 +22,9 @@
 //   pid 4  "thread pool"           one track per worker lane (lane 0 =
 //                                  coordinator) with a duration event per
 //                                  dispatched shard, wall clock
+//   pid 5  "packet journeys"       one async span per traced packet
+//                                  (injection to delivery) on the step
+//                                  clock, emitted from a JourneyLog
 //
 // Wall-clock and step-clock track groups share one trace-time axis; the
 // step-clock groups are placed at 1 us per step starting at 0, so the two
@@ -49,6 +52,7 @@ class ChromeTraceWriter {
   static constexpr int kPidPhasesSteps = 2;
   static constexpr int kPidCounters = 3;
   static constexpr int kPidWorkers = 4;
+  static constexpr int kPidJourneys = 5;
 
   explicit ChromeTraceWriter(RunManifest manifest);
 
@@ -73,6 +77,15 @@ class ChromeTraceWriter {
   /// Emits a thin instant event (e.g. a marker for a fault event or a
   /// phase boundary) on the given track group.
   void AddInstant(const std::string& name, double ts_us, int pid, int tid);
+
+  /// Emits a matched async begin/end pair (ph "b"/"e") keyed by `id` —
+  /// async events may overlap freely on one track, which duration events
+  /// cannot, so they fit per-packet journey spans. `args_json`, when
+  /// non-empty, must be a pre-serialized JSON object; it rides on the
+  /// begin event.
+  void AddAsyncSpan(const std::string& name, const char* cat, std::int64_t id,
+                    double begin_us, double end_us, int pid, int tid,
+                    const std::string& args_json = std::string());
 
   /// Emits one sample on a named counter track (pid kPidCounters). This is
   /// the escape hatch for replaying counter series that did not come from a

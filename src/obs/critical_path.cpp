@@ -1,0 +1,147 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bounds/bisection.h"
+#include "obs/json.h"
+#include "util/math.h"
+
+namespace mdmesh {
+namespace {
+
+void WriteJourneyJson(const PacketJourney& j, JsonWriter& w) {
+  w.BeginObject();
+  w.Key("id").Int(j.id);
+  w.Key("injected_step").Int(j.injected_step);
+  w.Key("delivery_step").Int(j.delivery_step);
+  w.Key("latency").Int(j.delivered() && j.complete() ? j.latency() : -1);
+  w.Key("dist0").Int(j.dist0);
+  w.Key("moves").Int(j.moves);
+  w.Key("detour_moves").Int(j.detour_moves);
+  w.Key("waits_lost_bid").Int(j.waits_lost_bid);
+  w.Key("waits_links_dead").Int(j.waits_links_dead);
+  w.Key("dim_moves").BeginArray();
+  for (std::int64_t m : j.dim_moves) w.Int(m);
+  w.EndArray();
+  w.Key("dim_waits").BeginArray();
+  for (std::int64_t m : j.dim_waits) w.Int(m);
+  w.EndArray();
+  w.EndObject();
+}
+
+}  // namespace
+
+CriticalPathReport BuildCriticalPathReport(const JourneyLog& log,
+                                           const Topology& topo,
+                                           std::int64_t run_steps,
+                                           std::int64_t packets,
+                                           std::int64_t max_distance) {
+  CriticalPathReport rep;
+  rep.dims = topo.dim();
+  rep.run_steps = run_steps;
+  rep.dim_moves.assign(static_cast<std::size_t>(rep.dims), 0);
+  rep.dim_waits.assign(static_cast<std::size_t>(rep.dims), 0);
+
+  const std::vector<PacketJourney> journeys = DecomposeJourneys(log, rep.dims);
+  rep.traced = static_cast<std::int64_t>(journeys.size());
+
+  // (latency, id) pairs of complete delivered journeys, for the p99 order
+  // statistic; the id tiebreak keeps the pick deterministic.
+  std::vector<std::pair<std::int64_t, std::int64_t>> latencies;
+  latencies.reserve(journeys.size());
+  const PacketJourney* last = nullptr;
+  for (const PacketJourney& j : journeys) {
+    if (!j.delivered()) continue;
+    if (last == nullptr || j.delivery_step > last->delivery_step) last = &j;
+    if (!j.complete()) continue;  // resumed-run partial: latency unknown
+    ++rep.traced_delivered;
+    if (!j.IdentityHolds()) ++rep.identity_violations;
+    latencies.emplace_back(j.latency(), j.id);
+    rep.total_moves += j.moves;
+    rep.total_detour_moves += j.detour_moves;
+    rep.total_waits_lost_bid += j.waits_lost_bid;
+    rep.total_waits_links_dead += j.waits_links_dead;
+    for (std::size_t d = 0; d < rep.dim_moves.size(); ++d) {
+      rep.dim_moves[d] += d < j.dim_moves.size() ? j.dim_moves[d] : 0;
+      rep.dim_waits[d] += d < j.dim_waits.size() ? j.dim_waits[d] : 0;
+    }
+  }
+  if (last != nullptr) {
+    rep.have_last = true;
+    rep.last = *last;
+    rep.critical_traced = last->delivery_step == run_steps;
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    const std::size_t idx =
+        std::min(latencies.size() - 1, (latencies.size() * 99) / 100);
+    const std::int64_t want = latencies[idx].second;
+    for (const PacketJourney& j : journeys) {
+      if (j.id == want) {
+        rep.have_p99 = true;
+        rep.p99 = j;
+        break;
+      }
+    }
+  }
+
+  rep.distance_lb = max_distance;
+  // The k-k bisection bound for the offered load: k = max packets per
+  // processor needed to source the instance. A worst-case-model bound, not
+  // a per-instance one — context for the gap, with the distance term as
+  // the hard floor.
+  const std::int64_t k =
+      topo.size() > 0 ? CeilDiv(std::max<std::int64_t>(packets, 0),
+                                static_cast<std::int64_t>(topo.size()))
+                      : 0;
+  rep.bisection_lb =
+      k > 0 ? static_cast<std::int64_t>(std::ceil(KkBisectionBound(topo, k)))
+            : 0;
+  rep.lower_bound = std::max(rep.distance_lb, rep.bisection_lb);
+  rep.bound_gap = run_steps - rep.lower_bound;
+  return rep;
+}
+
+std::shared_ptr<const CriticalPathReport> BuildCriticalPathReportShared(
+    const JourneyLog& log, const Topology& topo, std::int64_t run_steps,
+    std::int64_t packets, std::int64_t max_distance) {
+  return std::make_shared<const CriticalPathReport>(BuildCriticalPathReport(
+      log, topo, run_steps, packets, max_distance));
+}
+
+void CriticalPathReport::WriteJson(JsonWriter& w) const {
+  w.BeginObject();
+  w.Key("run_steps").Int(run_steps);
+  w.Key("traced").Int(traced);
+  w.Key("traced_delivered").Int(traced_delivered);
+  w.Key("identity_violations").Int(identity_violations);
+  w.Key("critical_traced").Bool(critical_traced);
+  if (have_last) {
+    w.Key("last");
+    WriteJourneyJson(last, w);
+  }
+  if (have_p99) {
+    w.Key("p99");
+    WriteJourneyJson(p99, w);
+  }
+  w.Key("total_moves").Int(total_moves);
+  w.Key("total_detour_moves").Int(total_detour_moves);
+  w.Key("total_waits_lost_bid").Int(total_waits_lost_bid);
+  w.Key("total_waits_links_dead").Int(total_waits_links_dead);
+  w.Key("dim_moves").BeginArray();
+  for (std::int64_t m : dim_moves) w.Int(m);
+  w.EndArray();
+  w.Key("dim_waits").BeginArray();
+  for (std::int64_t m : dim_waits) w.Int(m);
+  w.EndArray();
+  w.Key("bound_gap").BeginObject();
+  w.Key("distance_lb").Int(distance_lb);
+  w.Key("bisection_lb").Int(bisection_lb);
+  w.Key("lower_bound").Int(lower_bound);
+  w.Key("gap").Int(bound_gap);
+  w.EndObject();
+  w.EndObject();
+}
+
+}  // namespace mdmesh

@@ -1,0 +1,86 @@
+// Critical-path analysis over a finalized JourneyLog: which packet made
+// the run as long as it was, and why.
+//
+// For every traced journey the decomposition (obs/journey.h) splits the
+// measured latency exactly into per-dimension moves and per-reason waits.
+// This module aggregates those decompositions into a run-level report:
+//
+//   - the last-delivered traced packet (the measured critical path): its
+//     full distance-vs-contention split, and whether it *is* the run's
+//     critical packet (its delivery step equals the run's step count — at
+//     sample rates < 1 the true last packet may not have been traced)
+//   - the p99-latency traced packet — the "why" behind the latency report's
+//     p99 number
+//   - a bound_gap block comparing the measured step count against the
+//     instance's lower bounds (reusing src/bounds/): the realized maximum
+//     source-destination distance and the k-k bisection bound. The gap is
+//     then attributable: the critical journey's wait terms say how much of
+//     it was contention (lost bids) vs faults (dead-link holds and detour
+//     hops) vs scheduling slack.
+//
+// Everything here is derived data — deterministic given the log, cheap
+// (one pass over the events), and safe to compute on the engine epilogue.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "meshsim/topology.h"
+#include "obs/journey.h"
+
+namespace mdmesh {
+
+class JsonWriter;
+
+struct CriticalPathReport {
+  int dims = 0;
+  std::int64_t run_steps = 0;
+
+  std::int64_t traced = 0;            ///< journeys decomposed
+  std::int64_t traced_delivered = 0;  ///< of those, delivered with injection
+  /// Journeys violating delivery - injection = moves + waits. Always 0 on
+  /// a healthy engine; surfaced so the validator can pin it.
+  std::int64_t identity_violations = 0;
+
+  bool have_last = false;
+  PacketJourney last;  ///< latest delivery among traced (ties: smaller id)
+  /// True when `last` finished on the run's final step, i.e. the measured
+  /// critical packet was inside the sample.
+  bool critical_traced = false;
+
+  bool have_p99 = false;
+  PacketJourney p99;  ///< the p99 order statistic of traced latencies
+
+  // Aggregates over traced delivered journeys.
+  std::int64_t total_moves = 0;
+  std::int64_t total_detour_moves = 0;
+  std::int64_t total_waits_lost_bid = 0;
+  std::int64_t total_waits_links_dead = 0;
+  std::vector<std::int64_t> dim_moves;
+  std::vector<std::int64_t> dim_waits;
+
+  // Bound gap: measured steps vs the instance's lower bounds.
+  std::int64_t distance_lb = 0;   ///< max source-destination distance
+  std::int64_t bisection_lb = 0;  ///< ceil of the k-k bisection bound
+  std::int64_t lower_bound = 0;   ///< max of the above
+  std::int64_t bound_gap = 0;     ///< run_steps - lower_bound
+
+  void WriteJson(JsonWriter& w) const;
+};
+
+/// Builds the report. `packets` and `max_distance` describe the whole
+/// instance (RouteResult::packets / max_distance), not just the traced
+/// sample: they anchor the lower bounds even when sampling is sparse.
+CriticalPathReport BuildCriticalPathReport(const JourneyLog& log,
+                                           const Topology& topo,
+                                           std::int64_t run_steps,
+                                           std::int64_t packets,
+                                           std::int64_t max_distance);
+
+/// Convenience used by the engine epilogue.
+std::shared_ptr<const CriticalPathReport> BuildCriticalPathReportShared(
+    const JourneyLog& log, const Topology& topo, std::int64_t run_steps,
+    std::int64_t packets, std::int64_t max_distance);
+
+}  // namespace mdmesh

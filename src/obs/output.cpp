@@ -51,6 +51,17 @@ void AddOutputFlags(Cli& cli) {
   cli.AddBool("--resume", false,
               "resume from the newest valid checkpoint in --checkpoint "
               "instead of starting fresh");
+  cli.AddString("--journeys", "",
+                "write per-packet journey records (JSONL, one traced packet "
+                "per line) to this path after the run");
+  cli.AddInt("--journey-rate-pm", 10,
+             "journey sample rate in per-mille of packet ids (10 = 1%, "
+             "1000 = every packet)");
+  cli.AddInt("--journey-seed", 0,
+             "seed for the deterministic journey sampler");
+  cli.AddString("--journey-watch", "",
+                "comma-separated packet ids to always trace, regardless of "
+                "the sample rate");
   cli.AddBool("--progress", false,
               "stderr heartbeat with step, in-flight, and steps/sec");
   cli.AddBool("--perf", false,
@@ -74,6 +85,10 @@ OutputFlags GetOutputFlags(const Cli& cli) {
   flags.checkpoint_every = cli.GetInt("checkpoint-every");
   flags.checkpoint_keep = cli.GetInt("checkpoint-keep");
   flags.resume = cli.GetBool("resume");
+  flags.journeys = cli.GetString("journeys");
+  flags.journey_rate_pm = cli.GetInt("journey-rate-pm");
+  flags.journey_seed = cli.GetInt("journey-seed");
+  flags.journey_watch = cli.GetString("journey-watch");
   flags.progress = cli.GetBool("progress");
   flags.perf = cli.GetBool("perf");
   flags.quick = cli.GetBool("quick");
@@ -90,6 +105,8 @@ OutputFlags ParseOutputFlags(int* argc, char** argv) {
   std::string metrics_port;
   std::string checkpoint_every;
   std::string checkpoint_keep;
+  std::string journey_rate_pm;
+  std::string journey_seed;
   struct ValueFlag {
     const char* name;
     std::size_t len;
@@ -107,6 +124,10 @@ OutputFlags ParseOutputFlags(int* argc, char** argv) {
       {"--checkpoint", 12, &flags.checkpoint},
       {"--checkpoint-every", 18, &checkpoint_every},
       {"--checkpoint-keep", 17, &checkpoint_keep},
+      {"--journeys", 10, &flags.journeys},
+      {"--journey-rate-pm", 17, &journey_rate_pm},
+      {"--journey-seed", 14, &journey_seed},
+      {"--journey-watch", 15, &flags.journey_watch},
   };
   int w = 1;
   for (int r = 1; r < *argc; ++r) {
@@ -156,7 +177,31 @@ OutputFlags ParseOutputFlags(int* argc, char** argv) {
   if (!checkpoint_keep.empty()) {
     flags.checkpoint_keep = std::strtoll(checkpoint_keep.c_str(), nullptr, 10);
   }
+  if (!journey_rate_pm.empty()) {
+    flags.journey_rate_pm = std::strtoll(journey_rate_pm.c_str(), nullptr, 10);
+  }
+  if (!journey_seed.empty()) {
+    flags.journey_seed = std::strtoll(journey_seed.c_str(), nullptr, 10);
+  }
   return flags;
+}
+
+JourneyTracer::Options JourneyOptionsFromFlags(const OutputFlags& flags) {
+  JourneyTracer::Options opts;
+  opts.sample_rate = static_cast<double>(flags.journey_rate_pm) / 1000.0;
+  opts.seed = static_cast<std::uint64_t>(flags.journey_seed);
+  const char* s = flags.journey_watch.c_str();
+  while (*s != '\0') {
+    char* end = nullptr;
+    const long long id = std::strtoll(s, &end, 10);
+    if (end == s) {
+      ++s;  // malformed entry: skip one char and retry
+      continue;
+    }
+    opts.watch.push_back(static_cast<std::int64_t>(id));
+    s = *end == ',' ? end + 1 : end;
+  }
+  return opts;
 }
 
 }  // namespace mdmesh

@@ -18,6 +18,13 @@
 //   --checkpoint-keep=<k>   checkpoint generations to keep (default 3)
 //   --resume                resume from the newest valid checkpoint in
 //                           --checkpoint instead of starting fresh
+//   --journeys=<path>       write per-packet journey records (JSONL, one
+//                           traced packet per line) after the run
+//   --journey-rate-pm=<n>   journey sample rate in per-mille (default 10 =
+//                           1%; 1000 traces every packet)
+//   --journey-seed=<n>      seed for the deterministic journey sampler
+//   --journey-watch=<ids>   comma-separated packet ids to always trace,
+//                           regardless of the sample rate
 //   --progress              stderr heartbeat (auto-off when not a TTY
 //                           unless the flag is given explicitly)
 //   --perf                  per-phase hardware counters (Linux
@@ -38,6 +45,7 @@
 #include <fstream>
 #include <string>
 
+#include "obs/journey.h"
 #include "util/cli.h"
 
 namespace mdmesh {
@@ -60,6 +68,15 @@ struct OutputFlags {
   std::int64_t checkpoint_keep = 3;
   /// Resume from the newest valid checkpoint in --checkpoint (--resume).
   bool resume = false;
+  /// Journey-trace JSONL output path (--journeys): empty = tracing off.
+  std::string journeys;
+  /// Journey sample rate in per-mille (--journey-rate-pm): 10 = 1% of
+  /// packet ids, 1000 = every packet.
+  std::int64_t journey_rate_pm = 10;
+  /// Seed for the deterministic journey sampler (--journey-seed).
+  std::int64_t journey_seed = 0;
+  /// Comma-separated packet ids to always trace (--journey-watch).
+  std::string journey_watch;
   bool progress = false;         ///< force the stderr heartbeat on
   bool perf = false;             ///< per-phase hardware counters
   bool quick = false;
@@ -74,6 +91,7 @@ struct OutputFlags {
   bool WantsStatusFile() const { return !status_file.empty(); }
   bool WantsFlightRecorder() const { return !flight_recorder.empty(); }
   bool WantsCheckpoint() const { return !checkpoint.empty(); }
+  bool WantsJourneys() const { return !journeys.empty(); }
   /// True when either live-publisher sink is requested.
   bool WantsPublisher() const {
     return WantsMetricsEndpoint() || WantsStatusFile();
@@ -87,6 +105,11 @@ void AddOutputFlags(Cli& cli);
 
 /// Reads the flags registered by AddOutputFlags back from a parsed Cli.
 OutputFlags GetOutputFlags(const Cli& cli);
+
+/// Builds JourneyTracer::Options from the journey flags: per-mille rate to
+/// a [0, 1] fraction, the seed verbatim, and the comma-separated watch
+/// list parsed into ids (malformed entries are skipped).
+JourneyTracer::Options JourneyOptionsFromFlags(const OutputFlags& flags);
 
 /// Extracts --json/--trace-csv/--perfetto/--quick from argv (uniformly
 /// both `--flag=value` and `--flag value` forms for every value flag),

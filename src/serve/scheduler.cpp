@@ -10,6 +10,7 @@
 #include "meshsim/topology.h"
 #include "obs/chrome_trace.h"
 #include "obs/flight_recorder.h"
+#include "obs/journey.h"
 #include "obs/probe.h"
 #include "serve/json_value.h"
 #include "util/atomic_file.h"
@@ -71,12 +72,14 @@ void WriteRunRecordJson(const RunRecord& rec, JsonWriter& w) {
   w.Key("resume_pending").Bool(rec.resume_pending);
   w.Key("resumed").Bool(rec.resumed);
   if (!rec.error.empty()) w.Key("error").String(rec.error);
+  if (rec.evicted) w.Key("evicted").Bool(true);
   if (!rec.artifact_dir.empty()) {
     w.Key("artifact_dir").String(rec.artifact_dir);
     w.Key("artifacts").BeginObject();
     w.Key("result").String(rec.artifact_dir + "/result.json");
     w.Key("metrics").String(rec.artifact_dir + "/metrics.prom");
     w.Key("trace").String(rec.artifact_dir + "/trace.json");
+    w.Key("journeys").String(rec.artifact_dir + "/journeys.jsonl");
     w.Key("checkpoints").String(rec.artifact_dir + "/ckpt");
     w.EndObject();
   }
@@ -113,6 +116,15 @@ bool RunScheduler::Start(std::string* error) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (!RestoreLocked(error)) return false;
+    EvictOldArtifactsLocked();
+    // Pre-register the scheduler gauges so the very first /metrics scrape
+    // sees them at their true values instead of omitting the series.
+    if (opts_.metrics != nullptr) {
+      opts_.metrics->gauge("serve.queued")
+          .Set(static_cast<std::int64_t>(queue_.size()));
+      opts_.metrics->gauge("serve.running").Set(0);
+      opts_.metrics->gauge("serve.dedup_hits").Set(dedup_hits_total_);
+    }
   }
   started_.store(true, std::memory_order_release);
   draining_.store(false, std::memory_order_release);
@@ -138,11 +150,13 @@ RunScheduler::SubmitOutcome RunScheduler::Submit(const RunSpec& spec) {
   if (dup != dedup_.end()) {
     RunRecord& primary = records_[dup->second];
     ++primary.dedup_hits;
+    ++dedup_hits_total_;
     out.accepted = true;
     out.deduped = true;
     out.id = primary.id;
     if (opts_.metrics != nullptr) {
       opts_.metrics->counter("serve.deduped").Increment();
+      opts_.metrics->gauge("serve.dedup_hits").Set(dedup_hits_total_);
     }
     PersistLocked();
     return out;
@@ -318,6 +332,15 @@ void RunScheduler::Execute(std::int64_t id, const RunSpec& spec,
   eopts.pool = pool;
   eopts.metrics = &run_metrics;
   eopts.probe = &trace;
+  // Journey tracing on every run: the sampler is seeded by the spec
+  // fingerprint, so re-submissions (and resumed executions) of the same
+  // spec trace the same packet ids.
+  JourneyTracer::Options jopts;
+  jopts.sample_rate =
+      static_cast<double>(opts_.journey_rate_pm) / 1000.0;
+  jopts.seed = spec.Fingerprint();
+  JourneyTracer journeys(jopts);
+  if (opts_.journey_rate_pm > 0) eopts.journeys = &journeys;
   // Always attached: gives every run crash-safe state *and* arms the
   // engine's per-step interrupt polling, which is what makes graceful
   // drain able to stop this run mid-flight.
@@ -412,6 +435,15 @@ void RunScheduler::Execute(std::int64_t id, const RunSpec& spec,
                      werr.c_str());
       }
     }
+    if (res.route.journeys != nullptr) {
+      std::ostringstream os;
+      WriteJourneysJsonl(*res.route.journeys, topo.dim(), os);
+      if (!WriteFileAtomic(artifact_dir + "/journeys.jsonl", os.str(),
+                           &werr)) {
+        std::fprintf(stderr, "run %lld: %s\n", static_cast<long long>(id),
+                     werr.c_str());
+      }
+    }
   }
 
   std::unique_lock<std::mutex> lock(mu_);
@@ -447,6 +479,46 @@ void RunScheduler::Execute(std::int64_t id, const RunSpec& spec,
         break;
       default:
         break;
+    }
+  }
+  EvictOldArtifactsLocked();
+}
+
+void RunScheduler::EvictOldArtifactsLocked() {
+  if (opts_.keep_completed_runs <= 0) return;
+  // records_ is keyed by ascending id, so this collects completed runs
+  // oldest-first; everything past the newest K gets reclaimed.
+  std::vector<std::int64_t> finished;
+  for (const auto& kv : records_) {
+    const RunRecord& rec = kv.second;
+    if ((rec.state == RunState::kDone || rec.state == RunState::kFailed) &&
+        !rec.evicted && !rec.artifact_dir.empty()) {
+      finished.push_back(kv.first);
+    }
+  }
+  const std::size_t keep =
+      static_cast<std::size_t>(opts_.keep_completed_runs);
+  if (finished.size() <= keep) return;
+  const std::size_t evict_n = finished.size() - keep;
+  std::ofstream log(opts_.artifacts_dir + "/evictions.log",
+                    std::ios::app);
+  for (std::size_t i = 0; i < evict_n; ++i) {
+    RunRecord& rec = records_[finished[i]];
+    std::error_code ec;
+    std::filesystem::remove_all(rec.artifact_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "run %lld: eviction failed: %s\n",
+                   static_cast<long long>(rec.id), ec.message().c_str());
+      continue;  // keep the record pointing at whatever survived
+    }
+    if (log) {
+      log << "evicted run-" << rec.id << " state=" << RunStateName(rec.state)
+          << " dir=" << rec.artifact_dir << '\n';
+    }
+    rec.evicted = true;
+    rec.artifact_dir.clear();
+    if (opts_.metrics != nullptr) {
+      opts_.metrics->counter("serve.evicted").Increment();
     }
   }
 }
@@ -507,9 +579,11 @@ bool RunScheduler::RestoreLocked(std::string* error) {
     }
     rec.fingerprint = rec.spec.Fingerprint();
     rec.dedup_hits = rv["dedup_hits"].AsInt();
+    dedup_hits_total_ += rec.dedup_hits;
     rec.error = rv["error"].AsString();
+    rec.evicted = rv["evicted"].AsBool();
     rec.artifact_dir = rv["artifact_dir"].AsString();
-    if (rec.artifact_dir.empty()) {
+    if (rec.artifact_dir.empty() && !rec.evicted) {
       rec.artifact_dir =
           opts_.artifacts_dir + "/run-" + std::to_string(rec.id);
     }

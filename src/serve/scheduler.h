@@ -63,7 +63,10 @@ struct RunRecord {
   /// This record's last execution continued from a checkpoint.
   bool resumed = false;
   std::string error;         ///< failure reason (kFailed)
-  std::string artifact_dir;  ///< per-run artifact directory
+  std::string artifact_dir;  ///< per-run artifact directory ("" once evicted)
+  /// Artifacts reclaimed by retention GC; the record itself survives as
+  /// history (and its in-memory result, when present, stays queryable).
+  bool evicted = false;
   bool has_result = false;
   WorkloadResult result;  ///< valid when has_result
   /// Survives restarts even though `result` does not (the full result lives
@@ -87,6 +90,14 @@ struct SchedulerOptions {
   /// regardless, so this only bounds repeated work after a hard crash.
   std::int64_t checkpoint_every_steps = 256;
   int checkpoint_keep = 2;
+  /// Artifact retention: keep the newest K completed (done or failed)
+  /// run-<id>/ directories and reclaim older ones, logging each eviction
+  /// to <artifacts_dir>/evictions.log. 0 = keep everything.
+  std::int64_t keep_completed_runs = 0;
+  /// Journey-trace sample rate for every run, in per-mille of packet ids
+  /// (10 = 1%; 0 disables tracing; 1000 traces every packet). Traced runs
+  /// emit a journeys.jsonl artifact next to result.json.
+  std::int64_t journey_rate_pm = 10;
   /// Service-level registry (serve.* counters/gauges); may be null.
   MetricsRegistry* metrics = nullptr;
 };
@@ -152,6 +163,9 @@ class RunScheduler {
   void PersistLocked();
   bool RestoreLocked(std::string* error);
   void EnqueueLocked(std::int64_t id);
+  /// Retention GC: evicts the oldest completed run directories beyond
+  /// opts_.keep_completed_runs (no-op when the knob is 0).
+  void EvictOldArtifactsLocked();
 
   SchedulerOptions opts_;
   mutable std::mutex mu_;
@@ -162,6 +176,9 @@ class RunScheduler {
   std::unordered_map<std::uint64_t, std::int64_t> dedup_;
   std::vector<std::thread> workers_;
   std::int64_t next_id_ = 1;
+  /// Sum of dedup_hits across all records; mirrored to the
+  /// serve.dedup_hits gauge so /metrics can plot collapse pressure.
+  std::int64_t dedup_hits_total_ = 0;
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};
   std::atomic<int> busy_{0};

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "net/network.h"
+#include "obs/critical_path.h"
 #include "obs/json.h"
 #include "util/codec.h"
 
@@ -183,6 +184,12 @@ void WorkloadResult::WriteJson(JsonWriter& w) const {
   w.Key("peak_active_procs").Int(route.peak_active_procs);
   w.Key("max_queue").Int(route.max_queue);
   w.Key("completed").Bool(route.completed);
+  if (route.critical_path != nullptr) {
+    // The "why" behind the latency percentiles above: the traced last and
+    // p99 packets with their distance-vs-wait decomposition.
+    w.Key("critical_path");
+    route.critical_path->WriteJson(w);
+  }
   w.EndObject();
 }
 

@@ -198,13 +198,14 @@ std::size_t CountOccurrences(const std::string& hay, const std::string& pin) {
 
 TEST(ChromeTraceWriterTest, ConstructorEmitsTrackGroupMetadata) {
   ChromeTraceWriter writer(TestManifest());
-  EXPECT_EQ(writer.event_count(), 4u);  // one process_name per track group
+  EXPECT_EQ(writer.event_count(), 5u);  // one process_name per track group
   std::ostringstream os;
   writer.Write(os);
   const std::string out = os.str();
   EXPECT_NE(out.find("\"phases (wall clock)\""), std::string::npos);
   EXPECT_NE(out.find("\"engine counters\""), std::string::npos);
   EXPECT_NE(out.find("\"thread pool\""), std::string::npos);
+  EXPECT_NE(out.find("\"packet journeys\""), std::string::npos);
 }
 
 TEST(ChromeTraceWriterTest, ManifestIsEmbeddedInMetadata) {

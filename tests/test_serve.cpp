@@ -19,6 +19,7 @@
 #include "fault/fault_plan.h"
 #include "meshsim/topology.h"
 #include "net/engine.h"
+#include "obs/critical_path.h"
 #include "obs/flight_recorder.h"
 #include "obs/probe.h"
 #include "obs/registry.h"
@@ -595,6 +596,110 @@ TEST(RunScheduler, DedupsIdenticalSpecsToOneExecution) {
   EXPECT_FALSE(other.deduped);
   EXPECT_NE(other.id, first.id);
   sched.Drain();
+}
+
+TEST(RunScheduler, EmitsJourneysArtifactAndSchedulerGauges) {
+  MetricsRegistry registry;
+  SchedulerOptions opts;
+  opts.artifacts_dir = FreshDir("serve_journeys");
+  opts.workers = 1;
+  opts.journey_rate_pm = 1000;  // trace every packet
+  opts.metrics = &registry;
+  RunScheduler sched(opts);
+  std::string error;
+  ASSERT_TRUE(sched.Start(&error)) << error;
+
+  // The scheduler gauges are pre-registered at Start, so the very first
+  // /metrics scrape already carries the series at their true values.
+  const std::string prom = registry.ToPrometheus();
+  EXPECT_NE(prom.find("mdmesh_serve_queued"), std::string::npos);
+  EXPECT_NE(prom.find("mdmesh_serve_running"), std::string::npos);
+  EXPECT_NE(prom.find("mdmesh_serve_dedup_hits"), std::string::npos);
+
+  const auto out = sched.Submit(QuickSpec(31));
+  ASSERT_TRUE(out.accepted) << out.error;
+  ASSERT_TRUE(sched.WaitIdle(30000));
+
+  RunRecord rec;
+  ASSERT_TRUE(sched.Get(out.id, &rec));
+  ASSERT_EQ(rec.state, RunState::kDone);
+  const std::string journeys = rec.artifact_dir + "/journeys.jsonl";
+  ASSERT_TRUE(std::filesystem::exists(journeys));
+  EXPECT_GT(std::filesystem::file_size(journeys), 0u);
+  ASSERT_TRUE(rec.has_result);
+  ASSERT_NE(rec.result.route.critical_path, nullptr);
+  EXPECT_EQ(rec.result.route.critical_path->identity_violations, 0);
+
+  // dedup_hits is a live gauge, not just a per-record counter.
+  EXPECT_EQ(registry.gauge("serve.dedup_hits").Value(), 0);
+  const auto dup1 = sched.Submit(QuickSpec(31));
+  const auto dup2 = sched.Submit(QuickSpec(31));
+  ASSERT_TRUE(dup1.deduped);
+  ASSERT_TRUE(dup2.deduped);
+  EXPECT_EQ(registry.gauge("serve.dedup_hits").Value(), 2);
+  sched.Drain();
+}
+
+TEST(RunScheduler, RetentionEvictsAllButTheNewestCompletedRuns) {
+  MetricsRegistry registry;
+  SchedulerOptions opts;
+  opts.artifacts_dir = FreshDir("serve_retention");
+  opts.workers = 1;  // serial execution: ids complete in order
+  opts.keep_completed_runs = 2;
+  opts.metrics = &registry;
+  std::vector<std::int64_t> ids;
+  {
+    RunScheduler sched(opts);
+    std::string error;
+    ASSERT_TRUE(sched.Start(&error)) << error;
+    for (std::uint64_t seed = 50; seed < 54; ++seed) {
+      const auto out = sched.Submit(QuickSpec(seed));
+      ASSERT_TRUE(out.accepted) << out.error;
+      ids.push_back(out.id);
+    }
+    ASSERT_TRUE(sched.WaitIdle(60000));
+
+    // Newest two keep their artifacts; the two oldest are reclaimed but
+    // survive as history records.
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      RunRecord rec;
+      ASSERT_TRUE(sched.Get(ids[i], &rec));
+      EXPECT_EQ(rec.state, RunState::kDone);
+      const bool kept = i >= ids.size() - 2;
+      EXPECT_EQ(rec.evicted, !kept) << "run " << rec.id;
+      EXPECT_EQ(rec.artifact_dir.empty(), !kept) << "run " << rec.id;
+      if (kept) {
+        EXPECT_TRUE(
+            std::filesystem::exists(rec.artifact_dir + "/result.json"));
+      } else {
+        EXPECT_FALSE(std::filesystem::exists(
+            opts.artifacts_dir + "/run-" + std::to_string(rec.id)));
+      }
+    }
+    EXPECT_EQ(registry.counter("serve.evicted").Total(), 2);
+    EXPECT_TRUE(
+        std::filesystem::exists(opts.artifacts_dir + "/evictions.log"));
+    sched.Drain();
+  }
+
+  // Eviction is durable: a restarted scheduler must not resurrect the
+  // reclaimed directories or re-evict the survivors.
+  RunScheduler restarted(opts);
+  std::string error;
+  ASSERT_TRUE(restarted.Start(&error)) << error;
+  ASSERT_TRUE(restarted.WaitIdle(60000));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    RunRecord rec;
+    ASSERT_TRUE(restarted.Get(ids[i], &rec));
+    EXPECT_EQ(rec.state, RunState::kDone);
+    EXPECT_EQ(rec.evicted, i < ids.size() - 2);
+    if (!rec.evicted) {
+      EXPECT_TRUE(
+          std::filesystem::exists(rec.artifact_dir + "/result.json"));
+    }
+  }
+  EXPECT_EQ(registry.counter("serve.evicted").Total(), 2);
+  restarted.Drain();
 }
 
 TEST(RunScheduler, BoundedQueueRejectsOverflow) {

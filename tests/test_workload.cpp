@@ -12,7 +12,9 @@
 
 #include "net/engine.h"
 #include "net/network.h"
+#include "obs/critical_path.h"
 #include "obs/flight_recorder.h"
+#include "obs/journey.h"
 #include "obs/probe.h"
 #include "obs/publisher.h"
 #include "obs/registry.h"
@@ -272,6 +274,9 @@ TEST(OpenLoop, ObservabilitySinksDoNotPerturbDeliveries) {
   ThreadPoolActivity activity;
   FlightRecorder recorder(256);
   MetricsPublisher publisher;
+  JourneyTracer::Options jopts;
+  jopts.sample_rate = 1.0;
+  JourneyTracer journeys(jopts);
   TraceContext trace;
   const bool perf_on = trace.EnablePerfCounters();
   ProgressMeter meter(/*step_cap=*/0, /*interval_ms=*/1, /*force=*/false);
@@ -284,6 +289,7 @@ TEST(OpenLoop, ObservabilitySinksDoNotPerturbDeliveries) {
     eopts.probe = &probe;
     eopts.metrics = &metrics;
     eopts.recorder = &recorder;
+    eopts.journeys = &journeys;
     eopts.observer = meter.Observer();
     pool.set_activity(&activity);
     // The publisher thread snapshots the registry concurrently with the
@@ -314,6 +320,10 @@ TEST(OpenLoop, ObservabilitySinksDoNotPerturbDeliveries) {
             instrumented.result.route.steps);
   EXPECT_EQ(recorder.total_records(), instrumented.result.route.steps);
   EXPECT_EQ(recorder.Last().step, instrumented.result.route.steps);
+  ASSERT_NE(instrumented.result.route.journeys, nullptr);
+  EXPECT_GT(instrumented.result.route.journeys->traced_packets, 0);
+  ASSERT_NE(instrumented.result.route.critical_path, nullptr);
+  EXPECT_EQ(instrumented.result.route.critical_path->identity_violations, 0);
   EXPECT_FALSE(publisher.running());
   if (perf_on) {
     EXPECT_TRUE(trace.nodes()[1].perf.any());
